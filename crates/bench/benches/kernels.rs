@@ -1,0 +1,228 @@
+//! Criterion microbenchmarks of the real (host-CPU) likelihood kernels.
+//!
+//! Each group is the host-side ablation of one paper optimization:
+//!
+//! * `newview/*`   — scalar vs 2-lane vectorized loops (§5.2.5, Table 5)
+//! * `exp/*`       — libm vs SDK-style exponential (§5.2.2, Table 2)
+//! * `scaling/*`   — float vs integer-cast conditional (§5.2.3, Table 3)
+//! * `evaluate/*`, `makenewz/*` — the other two offloaded kernels (§5.2.7)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phylo::likelihood::kernels::{
+    build_sumtable, build_tip_tables, evaluate_lnl, newton_derivatives, newview, Child,
+    EvalOperand, Mat4,
+};
+use phylo::likelihood::{KernelKind, ScalingCheck};
+use phylo::math::fast_exp;
+use phylo::model::{ExpImpl, GammaRates, SubstModel};
+
+const N_PATTERNS: usize = 250; // the 42_SC regime (~250 distinct patterns)
+const N_RATES: usize = 4;
+
+struct Fixture {
+    model: SubstModel,
+    rates: Vec<f64>,
+    pl: Vec<Mat4>,
+    pr: Vec<Mat4>,
+    xl: Vec<f64>,
+    xr: Vec<f64>,
+    zeros: Vec<u32>,
+    codes: Vec<u8>,
+    weights: Vec<f64>,
+}
+
+fn fixture() -> Fixture {
+    let model =
+        SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0]).unwrap();
+    let gamma = GammaRates::standard(0.7).unwrap();
+    let rates = gamma.rates().to_vec();
+    let pl: Vec<Mat4> =
+        rates.iter().map(|&r| model.transition_matrix(0.13, r, ExpImpl::Sdk)).collect();
+    let pr: Vec<Mat4> =
+        rates.iter().map(|&r| model.transition_matrix(0.31, r, ExpImpl::Sdk)).collect();
+    let stride = N_RATES * 4;
+    let mut seed = 0.37f64;
+    let mut next = move || {
+        seed = (seed * 9301.0 + 49297.0) % 233280.0 / 233280.0;
+        0.01 + seed
+    };
+    let xl: Vec<f64> = (0..N_PATTERNS * stride).map(|_| next()).collect();
+    let xr: Vec<f64> = (0..N_PATTERNS * stride).map(|_| next()).collect();
+    let zeros = vec![0u32; N_PATTERNS];
+    let codes: Vec<u8> = (0..N_PATTERNS).map(|i| ((i % 15) + 1) as u8).collect();
+    let weights: Vec<f64> = (0..N_PATTERNS).map(|i| 1.0 + (i % 5) as f64).collect();
+    Fixture { model, rates, pl, pr, xl, xr, zeros, codes, weights }
+}
+
+fn bench_newview(c: &mut Criterion) {
+    let f = fixture();
+    let stride = N_RATES * 4;
+    let mut out = vec![0.0; N_PATTERNS * stride];
+    let mut scale = vec![0u32; N_PATTERNS];
+
+    let mut group = c.benchmark_group("newview");
+    for (kind, kind_name) in [(KernelKind::Scalar, "scalar"), (KernelKind::Vector, "vector")] {
+        group.bench_function(format!("inner_inner/{kind_name}"), |b| {
+            b.iter(|| {
+                newview(
+                    &Child::Inner { x: &f.xl, scale: &f.zeros, pmats: &f.pl },
+                    &Child::Inner { x: &f.xr, scale: &f.zeros, pmats: &f.pr },
+                    black_box(&mut out),
+                    &mut scale,
+                    N_RATES,
+                    kind,
+                    ScalingCheck::IntegerCast,
+                )
+            })
+        });
+        let lt = build_tip_tables(&f.pl);
+        group.bench_function(format!("tip_inner/{kind_name}"), |b| {
+            b.iter(|| {
+                newview(
+                    &Child::Tip { codes: &f.codes, tables: &lt },
+                    &Child::Inner { x: &f.xr, scale: &f.zeros, pmats: &f.pr },
+                    black_box(&mut out),
+                    &mut scale,
+                    N_RATES,
+                    kind,
+                    ScalingCheck::IntegerCast,
+                )
+            })
+        });
+        let rt = build_tip_tables(&f.pr);
+        group.bench_function(format!("tip_tip/{kind_name}"), |b| {
+            b.iter(|| {
+                newview(
+                    &Child::Tip { codes: &f.codes, tables: &lt },
+                    &Child::Tip { codes: &f.codes, tables: &rt },
+                    black_box(&mut out),
+                    &mut scale,
+                    N_RATES,
+                    kind,
+                    ScalingCheck::IntegerCast,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_checks(c: &mut Criterion) {
+    let f = fixture();
+    let stride = N_RATES * 4;
+    let mut out = vec![0.0; N_PATTERNS * stride];
+    let mut scale = vec![0u32; N_PATTERNS];
+    let mut group = c.benchmark_group("scaling");
+    for (check, name) in
+        [(ScalingCheck::FloatCompare, "float_compare"), (ScalingCheck::IntegerCast, "integer_cast")]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                newview(
+                    &Child::Inner { x: &f.xl, scale: &f.zeros, pmats: &f.pl },
+                    &Child::Inner { x: &f.xr, scale: &f.zeros, pmats: &f.pr },
+                    black_box(&mut out),
+                    &mut scale,
+                    N_RATES,
+                    KernelKind::Vector,
+                    check,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exp(c: &mut Criterion) {
+    let args: Vec<f64> = (0..1024).map(|i| -(i as f64) * 0.05).collect();
+    let mut group = c.benchmark_group("exp");
+    group.bench_function("libm", |b| {
+        b.iter(|| args.iter().map(|&x| black_box(x).exp()).sum::<f64>())
+    });
+    group.bench_function("sdk_fast_exp", |b| {
+        b.iter(|| args.iter().map(|&x| fast_exp(black_box(x))).sum::<f64>())
+    });
+    // The consumer of exp: transition-matrix reconstruction (the "small
+    // loop" of §5.2.5).
+    let f = fixture();
+    group.bench_function("transition_matrix/libm", |b| {
+        b.iter(|| {
+            f.rates
+                .iter()
+                .map(|&r| f.model.transition_matrix(black_box(0.2), r, ExpImpl::Libm)[0][0])
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("transition_matrix/sdk", |b| {
+        b.iter(|| {
+            f.rates
+                .iter()
+                .map(|&r| f.model.transition_matrix(black_box(0.2), r, ExpImpl::Sdk)[0][0])
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("evaluate");
+    for (kind, name) in [(KernelKind::Scalar, "scalar"), (KernelKind::Vector, "vector")] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                evaluate_lnl(
+                    &EvalOperand::Tip { codes: &f.codes },
+                    &EvalOperand::Inner { x: &f.xr, scale: &f.zeros },
+                    &f.pl,
+                    f.model.freqs(),
+                    black_box(&f.weights),
+                    N_RATES,
+                    kind,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_makenewz(c: &mut Criterion) {
+    let f = fixture();
+    let u = EvalOperand::Tip { codes: &f.codes };
+    let v = EvalOperand::Inner { x: &f.xr, scale: &f.zeros };
+    let mut group = c.benchmark_group("makenewz");
+    group.bench_function("build_sumtable", |b| {
+        b.iter(|| {
+            build_sumtable(black_box(&u), black_box(&v), &f.model.eigen().w, N_PATTERNS, N_RATES)
+        })
+    });
+    let st = build_sumtable(&u, &v, &f.model.eigen().w, N_PATTERNS, N_RATES);
+    for (exp, name) in [(ExpImpl::Libm, "derivatives/libm"), (ExpImpl::Sdk, "derivatives/sdk")] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                newton_derivatives(
+                    &st,
+                    &f.model.eigen().values,
+                    &f.rates,
+                    black_box(0.17),
+                    &f.weights,
+                    exp,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_newview, bench_scaling_checks, bench_exp, bench_evaluate, bench_makenewz
+}
+criterion_main!(benches);

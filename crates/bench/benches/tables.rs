@@ -1,0 +1,16 @@
+//! Regenerates every table and figure of the paper (Tables 1a–8, Figure 3,
+//! and the §5.2 profile) from a freshly captured `42_SC`-equivalent
+//! workload. Runs under `cargo bench` as a plain harness.
+
+fn main() {
+    // `cargo bench --bench tables -- --quick` switches to the reduced
+    // workload. The default harness invocation passes flags like `--bench`;
+    // only an explicit `--quick` selects the reduced run.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let label = if quick { "test_mid (quick)" } else { "42_SC-equivalent (ALN42)" };
+    eprintln!("capturing workload: {label} — running a real traced inference…");
+    let workload = if quick { bench::quick_workload() } else { bench::aln42_workload() };
+    println!("=== RAxML-Cell reproduction: all tables and figures ===");
+    println!("workload: {label}");
+    println!("{}", bench::run_all_tables(&workload));
+}

@@ -1,0 +1,31 @@
+//! Ablation study of the five SPE-code optimizations: each applied alone to
+//! the naive offload, and each removed from the fully optimized build.
+//! Pass --quick for the reduced workload.
+
+use cellsim::cost::CostModel;
+use raxml_cell::experiment::run_ablation;
+
+fn main() {
+    let (w, label) = bench::workload_from_args();
+    println!("workload: {label}");
+    let rows = run_ablation(&w, &CostModel::paper_calibrated());
+    println!("\nablation of the SPE optimizations (1 worker × 1 bootstrap):\n");
+    println!(
+        "  {:<34} {:>10} {:>10} | {:>12} {:>10}",
+        "optimization", "alone [s]", "gain", "without [s]", "loss"
+    );
+    for r in &rows {
+        println!(
+            "  {:<34} {:>10.2} {:>9.1}% | {:>12.2} {:>9.1}%",
+            r.name,
+            r.alone_seconds,
+            r.alone_gain * 100.0,
+            r.without_seconds,
+            r.without_loss * 100.0
+        );
+    }
+    println!("\n'gain' = improvement over the naive offload when applied in isolation;");
+    println!("'loss' = slowdown when removed from the fully optimized configuration.");
+    println!("Differences between columns are interaction effects (e.g. double");
+    println!("buffering matters more after the compute it hides behind shrinks).");
+}

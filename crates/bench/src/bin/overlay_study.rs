@@ -1,0 +1,30 @@
+//! The §5.2.4 counterfactual: what would code overlays have cost if the
+//! three kernels had not fit the SPE local store?
+//! Pass --quick for the reduced workload.
+
+use cellsim::cost::CostModel;
+use raxml_cell::experiment::run_overlay_study;
+
+fn main() {
+    let (w, label) = bench::workload_from_args();
+    println!("workload: {label}");
+    let rows = run_overlay_study(&w, &CostModel::paper_calibrated());
+    println!("\ncode-overlay what-if (one bootstrap, fully optimized config):\n");
+    println!(
+        "  {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "budget", "faults", "fault rate", "overhead [s]", "bootstrap [s]"
+    );
+    for r in &rows {
+        println!(
+            "  {:>7} KB {:>12} {:>11.1}% {:>14.3} {:>14.2}",
+            r.budget / 1024,
+            r.faults,
+            r.fault_rate * 100.0,
+            r.overhead_seconds,
+            r.bootstrap_seconds
+        );
+    }
+    println!("\nThe paper kept the kernel footprint at 117 KB so the whole module set");
+    println!("stays resident (3 cold faults). Below that, calls alternate between");
+    println!("newview and makenewz/evaluate and the LRU set thrashes.");
+}

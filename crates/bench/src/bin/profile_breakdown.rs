@@ -1,0 +1,8 @@
+//! Regenerates the §5.2 gprofile-style breakdown of the workload.
+//! Pass --quick for the reduced workload.
+use cellsim::cost::CostModel;
+fn main() {
+    let (w, label) = bench::workload_from_args();
+    println!("workload: {label}");
+    println!("{}", bench::profile_text(&w, &CostModel::paper_calibrated()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1 (a: PPE-only, b: naive newview offload).
+//! Pass --quick for the reduced workload.
+fn main() {
+    let (w, label) = bench::workload_from_args();
+    println!("workload: {label}");
+    println!("{}", bench::ladder_level_text(&w, 0));
+    println!("{}", bench::ladder_level_text(&w, 1));
+}

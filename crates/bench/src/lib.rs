@@ -1,0 +1,180 @@
+//! Shared fixtures and report printers for the benchmark suite and the
+//! table/figure regeneration binaries.
+
+use cellsim::cost::CostModel;
+use raxml_cell::experiment::{
+    capture_workload, profile_breakdown, run_figure3, run_ladder, run_table8, Figure3,
+    Workload, WorkloadSpec,
+};
+use raxml_cell::report::{format_comparison, shape_deviation, PAPER_PROFILE};
+use raxml_cell::sched::DesParams;
+
+/// Capture the `42_SC`-equivalent workload (a full traced inference on the
+/// 42 × 1167 synthetic alignment). This is the expensive step — call once
+/// and reuse.
+pub fn aln42_workload() -> Workload {
+    capture_workload(&WorkloadSpec::aln42())
+}
+
+/// Capture a reduced workload for quick runs.
+pub fn quick_workload() -> Workload {
+    capture_workload(&WorkloadSpec::test_mid())
+}
+
+/// Regenerate and print every table and the figure. Returns the full text.
+pub fn run_all_tables(workload: &Workload) -> String {
+    let model = CostModel::paper_calibrated();
+    let params = DesParams::default();
+    let mut out = String::new();
+
+    out.push_str(&format!(
+        "workload: {} kernel invocations, {} patterns, final lnL {:.2}\n",
+        workload.events.len(),
+        workload.n_patterns,
+        workload.log_likelihood
+    ));
+    out.push_str(&profile_text(workload, &model));
+    out.push('\n');
+
+    for level in run_ladder(workload, &model) {
+        out.push_str(&format_comparison(level.label, &level.rows));
+        out.push_str(&format!(
+            "  [workload-scaling shape deviation vs paper: {:.1}%]\n\n",
+            shape_deviation(&level.rows) * 100.0
+        ));
+    }
+
+    let t8 = run_table8(workload, &model, &params);
+    out.push_str(&format_comparison("MGPS dynamic scheduler (Table 8)", &t8));
+    out.push_str(&format!(
+        "  [shape deviation vs paper: {:.1}%]\n\n",
+        shape_deviation(&t8) * 100.0
+    ));
+
+    out.push_str(&figure3_text(&run_figure3(workload, &model, &params)));
+    out
+}
+
+/// §5.2-style profile report text.
+pub fn profile_text(workload: &Workload, model: &CostModel) -> String {
+    let p = profile_breakdown(workload, model);
+    let mut out = String::from("profile (PPE pricing, paper §5.2 reference in parens):\n");
+    let names = ["newview", "makenewz", "evaluate"];
+    for (i, name) in names.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:<9} {:>6.2}%  (paper: {:.2}%)\n",
+            name,
+            p.fractions[i] * 100.0,
+            PAPER_PROFILE[i].1 * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "  other     {:>6.2}%  (paper: 1.23%)\n  nested newview fraction: {:.1}% | mean newview FLOPs: {:.0} (paper: ~25,554 ops/invocation)\n",
+        p.fractions[3] * 100.0,
+        p.nested_fraction * 100.0,
+        p.newview_mean_flops
+    ));
+    out
+}
+
+/// Figure 3 as an aligned text series.
+pub fn figure3_text(fig: &Figure3) -> String {
+    let mut out = String::from(
+        "Figure 3 — execution time [s] vs number of bootstraps\n  bootstraps      Cell(MGPS)      IBM Power5      Intel Xeon\n",
+    );
+    for (i, &n) in fig.bootstraps.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:>10} {:>15.2} {:>15.2} {:>15.2}\n",
+            n, fig.cell[i], fig.power5[i], fig.xeon[i]
+        ));
+    }
+    out.push_str(&format!(
+        "  ranking at {} bootstraps: Cell < Power5 < Xeon — Power5/Cell = {:.2} (paper: ~1.10), Xeon/Cell = {:.2} (paper: >2)\n",
+        fig.bootstraps[fig.bootstraps.len() - 1],
+        fig.power5.last().unwrap() / fig.cell.last().unwrap(),
+        fig.xeon.last().unwrap() / fig.cell.last().unwrap(),
+    ));
+    out
+}
+
+/// Text for one ladder level (0 = Table 1a … 7 = Table 7).
+pub fn ladder_level_text(workload: &Workload, level: usize) -> String {
+    let model = CostModel::paper_calibrated();
+    let ladder = run_ladder(workload, &model);
+    let l = &ladder[level];
+    let mut out = format_comparison(l.label, &l.rows);
+    out.push_str(&format!(
+        "  [workload-scaling shape deviation vs paper: {:.1}%]\n",
+        shape_deviation(&l.rows) * 100.0
+    ));
+    out
+}
+
+/// Text for Table 8 (MGPS).
+pub fn table8_text(workload: &Workload) -> String {
+    let model = CostModel::paper_calibrated();
+    let t8 = run_table8(workload, &model, &DesParams::default());
+    let mut out = format_comparison("MGPS dynamic scheduler (Table 8)", &t8);
+    out.push_str(&format!(
+        "  [shape deviation vs paper: {:.1}%]\n",
+        shape_deviation(&t8) * 100.0
+    ));
+    out
+}
+
+/// Utilization report for an MGPS run at a given bootstrap count (the
+/// simulator's answer to the paper's decrementer measurements).
+pub fn mgps_utilization_text(workload: &Workload, n_bootstraps: usize) -> String {
+    use raxml_cell::config::OptConfig;
+    use raxml_cell::offload::price_trace;
+    use raxml_cell::sched::mgps_makespan;
+    let model = CostModel::paper_calibrated();
+    let priced = price_trace(&workload.events, &model, &OptConfig::fully_optimized());
+    let out = mgps_makespan(&priced, n_bootstraps, &model, &DesParams::default());
+    // Component composition comes from the priced trace (the DES tracks
+    // busy time only); one bootstrap's worth, so fractions are exact.
+    let t = &priced.totals;
+    let spe_total = (t.loop_cycles + t.cond_cycles + t.exp_cycles + t.dma_stall + t.comm) as f64;
+    format!(
+        "MGPS utilization at {n_bootstraps} bootstraps:\n{}  SPE work composition: loops {:.1}% | exp {:.1}% | conditionals {:.1}% | DMA {:.1}% | comm {:.1}%\n",
+        out.stats.report(model.clock_hz),
+        100.0 * t.loop_cycles as f64 / spe_total,
+        100.0 * t.exp_cycles as f64 / spe_total,
+        100.0 * t.cond_cycles as f64 / spe_total,
+        100.0 * t.dma_stall as f64 / spe_total,
+        100.0 * t.comm as f64 / spe_total,
+    )
+}
+
+/// Text for Figure 3.
+pub fn figure3_text_for(workload: &Workload) -> String {
+    let model = CostModel::paper_calibrated();
+    figure3_text(&run_figure3(workload, &model, &DesParams::default()))
+}
+
+/// Standard binary entry point: captures the workload (reduced when
+/// `--quick` is passed) and returns it together with its label.
+pub fn workload_from_args() -> (Workload, &'static str) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        (quick_workload(), "test_mid (quick)")
+    } else {
+        eprintln!("capturing the 42_SC-equivalent workload (a real traced inference)…");
+        (aln42_workload(), "42_SC-equivalent (ALN42)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_tables_render() {
+        let w = quick_workload();
+        let text = run_all_tables(&w);
+        assert!(text.contains("Table 1a"));
+        assert!(text.contains("Table 8"));
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains("newview"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Element Interconnect Bus contention model.
+//!
+//! The EIB is a four-ring bus moving 96 bytes/cycle peak (204.8 GB/s usable
+//! at 3.2 GHz) and sustaining over 100 outstanding DMA requests (paper §4).
+//! For the workloads here the interesting effect is *bandwidth sharing*:
+//! when k SPEs stream likelihood vectors concurrently (the LLP scheduler
+//! splits one loop across SPEs), each stream gets
+//! `min(per_link, total / k)` bytes per cycle.
+
+/// EIB bandwidth model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EibModel {
+    /// Usable aggregate data bandwidth, bytes/cycle (64 at 3.2 GHz ≙
+    /// 204.8 GB/s).
+    pub total_bytes_per_cycle: f64,
+    /// Per-SPE link bandwidth, bytes/cycle.
+    pub per_link_bytes_per_cycle: f64,
+    /// Maximum outstanding requests before arbitration stalls.
+    pub max_outstanding: usize,
+}
+
+impl Default for EibModel {
+    fn default() -> Self {
+        EibModel {
+            total_bytes_per_cycle: 64.0,
+            per_link_bytes_per_cycle: 16.0,
+            max_outstanding: 128,
+        }
+    }
+}
+
+impl EibModel {
+    /// Effective bandwidth available to each of `active_streams` concurrent
+    /// streams, bytes/cycle.
+    pub fn effective_bandwidth(&self, active_streams: usize) -> f64 {
+        if active_streams == 0 {
+            return self.per_link_bytes_per_cycle;
+        }
+        self.per_link_bytes_per_cycle
+            .min(self.total_bytes_per_cycle / active_streams as f64)
+    }
+
+    /// Slowdown factor (≥ 1) a stream experiences relative to an
+    /// uncontended link.
+    pub fn contention_factor(&self, active_streams: usize) -> f64 {
+        self.per_link_bytes_per_cycle / self.effective_bandwidth(active_streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stream_gets_full_link() {
+        let eib = EibModel::default();
+        assert_eq!(eib.effective_bandwidth(1), 16.0);
+        assert_eq!(eib.contention_factor(1), 1.0);
+    }
+
+    #[test]
+    fn few_streams_uncontended() {
+        // 4 streams × 16 B/cycle = 64 B/cycle = the EIB total: just fits.
+        let eib = EibModel::default();
+        assert_eq!(eib.effective_bandwidth(4), 16.0);
+        assert_eq!(eib.contention_factor(4), 1.0);
+    }
+
+    #[test]
+    fn many_streams_share_the_bus() {
+        let eib = EibModel::default();
+        assert_eq!(eib.effective_bandwidth(8), 8.0);
+        assert_eq!(eib.contention_factor(8), 2.0);
+        assert!(eib.effective_bandwidth(16) < eib.effective_bandwidth(8));
+    }
+
+    #[test]
+    fn zero_streams_is_idle() {
+        let eib = EibModel::default();
+        assert_eq!(eib.effective_bandwidth(0), 16.0);
+    }
+
+    #[test]
+    fn aggregate_matches_paper_quote() {
+        // 64 B/cycle at 3.2 GHz = 204.8 GB/s (paper §4).
+        let eib = EibModel::default();
+        assert!((eib.total_bytes_per_cycle * 3.2e9 / 1e9 - 204.8).abs() < 1e-9);
+    }
+}

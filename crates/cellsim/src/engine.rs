@@ -1,0 +1,148 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Schedulers (in the `raxml-cell` crate) push `(time, event)` pairs and pop
+//! them in time order; ties break by insertion sequence, making every
+//! simulation fully deterministic.
+
+use crate::time::Cycles;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Cycles, u64, usize)>>,
+    events: Vec<Option<E>>,
+    seq: u64,
+    now: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), events: Vec::new(), seq: 0, now: 0 }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedule an event at an absolute time. Panics if the time is in the
+    /// past — discrete-event simulations must never rewind.
+    pub fn schedule(&mut self, at: Cycles, event: E) {
+        assert!(at >= self.now, "cannot schedule at {at} (now = {})", self.now);
+        let slot = self.events.len();
+        self.events.push(Some(event));
+        self.heap.push(Reverse((at, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Schedule an event `delay` cycles from now.
+    pub fn schedule_after(&mut self, delay: Cycles, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let Reverse((at, _, slot)) = self.heap.pop()?;
+        self.now = at;
+        let ev = self.events[slot].take().expect("event popped exactly once");
+        Some((at, ev))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.now(), 20);
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        q.schedule_after(50, "y");
+        assert_eq!(q.pop(), Some((150, "y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        q.schedule(50, "too late");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, 1);
+        q.schedule(3, 2);
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_scheduling_stays_deterministic() {
+        // Simulate a ping-pong: each pop schedules a follow-up.
+        let mut q = EventQueue::new();
+        q.schedule(0, 0u64);
+        let mut log = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            log.push((t, id));
+            if id < 5 {
+                q.schedule_after(10, id + 1);
+            }
+        }
+        assert_eq!(log, vec![(0, 0), (10, 1), (20, 2), (30, 3), (40, 4), (50, 5)]);
+    }
+}

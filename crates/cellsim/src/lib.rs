@@ -1,0 +1,52 @@
+//! # cellsim — a Cell Broadband Engine performance simulator
+//!
+//! The RAxML-Cell paper (Blagojevic et al., IPPS 2007) runs on a real
+//! dual-Cell blade. This crate is the reproduction's hardware substitute: a
+//! discrete-event performance model of one Cell processor —
+//!
+//! * a PPE (64-bit PowerPC, 2-way SMT) that runs the control program,
+//! * eight SPEs, each with a 256 KB software-managed local store
+//!   ([`localstore`]), a decrementer, and a Memory Flow Controller,
+//! * MFC DMA transfers with the architecture's size/alignment rules and a
+//!   double-buffering pipeline model ([`dma`]),
+//! * the Element Interconnect Bus with its 204.8 GB/s aggregate bandwidth
+//!   ([`eib`]),
+//! * PPE↔SPE signalling via mailboxes or direct memory-to-memory writes
+//!   ([`comm`]),
+//! * and a calibrated per-operation cycle cost model ([`cost`]) that prices
+//!   real kernel-invocation traces recorded by the `phylo` crate.
+//!
+//! The simulator does **not** execute SPE code; it *prices* the actual
+//! likelihood workload. The `phylo` engine records every `newview` /
+//! `evaluate` / `makenewz` invocation with its true operation counts
+//! (patterns, rate categories, `exp` calls, scaling conditionals, DMA
+//! bytes); [`cost::CostModel::kernel_cost`] converts each invocation into
+//! cycles under a given optimization configuration. Scheduling (which SPE
+//! runs what, when) is simulated by the `raxml-cell` crate on top of the
+//! event engine ([`engine`]).
+//!
+//! ## Calibration
+//!
+//! Cost constants are calibrated once against the component measurements the
+//! paper publishes for the `42_SC` workload (§5.2.1–5.2.7): libm `exp` = 50%
+//! of naive SPE time, the scaling conditional = 45% of `newview`, DMA wait =
+//! 11.4%, the two likelihood loops 69.4% → 57% after vectorization, and the
+//! per-optimization deltas of Tables 1–7. See [`cost`] for the derivations.
+
+pub mod comm;
+pub mod cost;
+pub mod dma;
+pub mod eib;
+pub mod engine;
+pub mod localstore;
+pub mod machine;
+pub mod overlay;
+pub mod spe;
+pub mod stats;
+pub mod time;
+
+pub use comm::SignalKind;
+pub use cost::{CondKind, CostModel, ExecutionFlags, ExpKind, KernelCost, Location};
+pub use engine::EventQueue;
+pub use machine::MachineConfig;
+pub use time::Cycles;

@@ -1,0 +1,177 @@
+//! SPE local store accounting.
+//!
+//! Each SPE has 256 KB of software-managed local storage holding *both* code
+//! and data (paper §4). The port keeps all three offloaded functions
+//! resident (117 KB of code, §5.2), leaving 139 KB for stack, heap and the
+//! 2 KB strip-mining buffers (§5.2.4). This module enforces that budget: an
+//! offload plan whose code + buffers exceed the store is rejected, exactly
+//! the constraint that forced the paper's small-buffer recursion design.
+
+use std::collections::HashMap;
+
+/// Code footprint of the three offloaded functions in the paper (§5.2):
+/// 117 KB total, leaving 139 KB free.
+pub const PAPER_CODE_FOOTPRINT: usize = 117 * 1024;
+
+/// The 2 KB likelihood-vector strip-mining buffer of §5.2.4.
+pub const PAPER_STRIP_BUFFER: usize = 2 * 1024;
+
+/// Errors from local-store allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalStoreError {
+    /// The requested allocation does not fit.
+    OutOfMemory { requested: usize, free: usize },
+    /// An allocation label was reused.
+    DuplicateLabel(String),
+    /// Freeing an unknown label.
+    UnknownLabel(String),
+}
+
+impl std::fmt::Display for LocalStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalStoreError::OutOfMemory { requested, free } => {
+                write!(f, "local store exhausted: requested {requested} bytes, {free} free")
+            }
+            LocalStoreError::DuplicateLabel(l) => write!(f, "allocation {l:?} already exists"),
+            LocalStoreError::UnknownLabel(l) => write!(f, "no allocation named {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LocalStoreError {}
+
+/// A labelled-region allocator over one SPE's local store.
+#[derive(Debug, Clone)]
+pub struct LocalStore {
+    capacity: usize,
+    used: usize,
+    regions: HashMap<String, usize>,
+}
+
+impl LocalStore {
+    /// An empty local store of the given capacity.
+    pub fn new(capacity: usize) -> LocalStore {
+        LocalStore { capacity, used: 0, regions: HashMap::new() }
+    }
+
+    /// The Cell's 256 KB store.
+    pub fn cell() -> LocalStore {
+        LocalStore::new(256 * 1024)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Allocate a labelled region. All sizes are rounded up to 16 bytes —
+    /// the MFC's quadword alignment unit.
+    pub fn alloc(&mut self, label: &str, bytes: usize) -> Result<(), LocalStoreError> {
+        let bytes = bytes.div_ceil(16) * 16;
+        if self.regions.contains_key(label) {
+            return Err(LocalStoreError::DuplicateLabel(label.to_string()));
+        }
+        if bytes > self.free() {
+            return Err(LocalStoreError::OutOfMemory { requested: bytes, free: self.free() });
+        }
+        self.regions.insert(label.to_string(), bytes);
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Free a labelled region.
+    pub fn dealloc(&mut self, label: &str) -> Result<(), LocalStoreError> {
+        match self.regions.remove(label) {
+            Some(bytes) => {
+                self.used -= bytes;
+                Ok(())
+            }
+            None => Err(LocalStoreError::UnknownLabel(label.to_string())),
+        }
+    }
+
+    /// Size of a named region, if present.
+    pub fn region(&self, label: &str) -> Option<usize> {
+        self.regions.get(label).copied()
+    }
+}
+
+/// The paper's resident-offload memory plan: all three kernels' code plus
+/// double-buffered strip-mining buffers and working state. Returns the
+/// configured store, or an error if the plan cannot fit.
+pub fn paper_offload_plan(double_buffered: bool) -> Result<LocalStore, LocalStoreError> {
+    let mut ls = LocalStore::cell();
+    ls.alloc("code:newview+makenewz+evaluate", PAPER_CODE_FOOTPRINT)?;
+    // Strip-mine buffers: one per likelihood-vector operand (left, right,
+    // out), doubled when double buffering.
+    let sets = if double_buffered { 2 } else { 1 };
+    for set in 0..sets {
+        for operand in ["left", "right", "out"] {
+            ls.alloc(&format!("buf{set}:{operand}"), PAPER_STRIP_BUFFER)?;
+        }
+    }
+    // Stack + heap + static data reservation.
+    ls.alloc("stack+heap", 64 * 1024)?;
+    Ok(ls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_cycle() {
+        let mut ls = LocalStore::new(1024);
+        ls.alloc("a", 100).unwrap();
+        assert_eq!(ls.region("a"), Some(112), "rounded to 16-byte quadwords");
+        assert_eq!(ls.used(), 112);
+        ls.dealloc("a").unwrap();
+        assert_eq!(ls.used(), 0);
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let mut ls = LocalStore::new(256);
+        ls.alloc("a", 200).unwrap();
+        let err = ls.alloc("b", 100).unwrap_err();
+        assert!(matches!(err, LocalStoreError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unknown_frees() {
+        let mut ls = LocalStore::new(1024);
+        ls.alloc("x", 16).unwrap();
+        assert_eq!(ls.alloc("x", 16), Err(LocalStoreError::DuplicateLabel("x".into())));
+        assert_eq!(ls.dealloc("y"), Err(LocalStoreError::UnknownLabel("y".into())));
+    }
+
+    #[test]
+    fn paper_plan_fits_with_room_to_spare() {
+        // §5.2: 117 KB of code "fit in the local storage and still leave
+        // 139 KB free for stack, heap and static data".
+        let ls = paper_offload_plan(true).expect("the paper's plan fits");
+        assert!(ls.free() > 60 * 1024, "free = {}", ls.free());
+        let without_dbuf = paper_offload_plan(false).unwrap();
+        assert!(without_dbuf.used() < ls.used());
+    }
+
+    #[test]
+    fn oversized_code_does_not_fit() {
+        // A hypothetical 300 KB code module must be rejected — this is why
+        // arbitrary function offloading needs overlays (§5.2.4).
+        let mut ls = LocalStore::cell();
+        let err = ls.alloc("code:everything", 300 * 1024).unwrap_err();
+        assert!(matches!(err, LocalStoreError::OutOfMemory { .. }));
+    }
+}

@@ -1,0 +1,96 @@
+//! Machine description of the simulated Cell blade (paper §4, §5).
+
+/// Static description of the simulated processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Core clock in Hz. The blade in the paper runs at 3.2 GHz.
+    pub clock_hz: f64,
+    /// Number of SPEs (8 on a Cell).
+    pub n_spes: usize,
+    /// Hardware threads on the PPE (2-way SMT).
+    pub ppe_threads: usize,
+    /// SPE local store capacity in bytes (256 KB).
+    pub local_store_bytes: usize,
+    /// EIB aggregate bandwidth in bytes/cycle (96 B/cycle transmit capacity;
+    /// 204.8 GB/s ≙ 64 B/cycle of usable data bandwidth at 3.2 GHz).
+    pub eib_bytes_per_cycle: f64,
+    /// Per-SPE link bandwidth in bytes/cycle (25.6 GB/s ≙ 8 B/cycle each
+    /// direction; we model 16 B/cycle combined).
+    pub spe_link_bytes_per_cycle: f64,
+}
+
+impl MachineConfig {
+    /// The Cell blade used in the paper: 3.2 GHz, 8 SPEs, dual-thread PPE.
+    pub fn cell_blade() -> MachineConfig {
+        MachineConfig {
+            clock_hz: 3.2e9,
+            n_spes: 8,
+            ppe_threads: 2,
+            local_store_bytes: 256 * 1024,
+            eib_bytes_per_cycle: 64.0,
+            spe_link_bytes_per_cycle: 16.0,
+        }
+    }
+
+    /// Peak double-precision GFLOP/s of the SPEs: each SPE issues one
+    /// 2-lane DP madd (4 FLOPs) every six cycles ⇒ 8 × 4/6 × 3.2 GHz ≈
+    /// 17.1. The paper quotes 21.03 GFLOP/s for the whole chip, i.e.
+    /// including the PPE's FPU (~3.9 GFLOP/s).
+    pub fn peak_dp_gflops(&self) -> f64 {
+        self.n_spes as f64 * 4.0 / 6.0 * self.clock_hz / 1e9
+    }
+
+    /// Peak single-precision GFLOP/s of the SPEs: one 4-lane SP madd
+    /// (8 FLOPs) per cycle per SPE, fully pipelined ⇒ 204.8 at 3.2 GHz.
+    /// The paper quotes 230.4 GFLOP/s for the whole chip (with the PPE's
+    /// VMX unit contributing 25.6).
+    pub fn peak_sp_gflops(&self) -> f64 {
+        self.n_spes as f64 * 4.0 * 2.0 * self.clock_hz / 1e9
+    }
+
+    /// EIB bandwidth in GB/s.
+    pub fn eib_gbytes_per_sec(&self) -> f64 {
+        self.eib_bytes_per_cycle * self.clock_hz / 1e9
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::cell_blade()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_blade_parameters() {
+        let m = MachineConfig::cell_blade();
+        assert_eq!(m.n_spes, 8);
+        assert_eq!(m.ppe_threads, 2);
+        assert_eq!(m.local_store_bytes, 262_144);
+        assert!((m.clock_hz - 3.2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn peak_flops_match_paper_quotes() {
+        let m = MachineConfig::cell_blade();
+        // Paper §4 quotes 21.03 GFLOP/s DP and 230.4 GFLOP/s SP for the
+        // whole chip; the SPE-only peaks are ~17.1 and 204.8 — the chip
+        // totals must bracket our SPE-only numbers from above.
+        let dp = m.peak_dp_gflops();
+        assert!((17.07 - dp).abs() < 0.1, "dp = {dp}");
+        assert!(dp < 21.03, "SPE-only DP peak below the chip quote");
+        let sp = m.peak_sp_gflops();
+        assert!((204.8 - sp).abs() < 0.1, "sp = {sp}");
+        assert!(sp < 230.4, "SPE-only SP peak below the chip quote");
+    }
+
+    #[test]
+    fn eib_bandwidth_matches_paper() {
+        let m = MachineConfig::cell_blade();
+        // Paper §4: 204.8 GB/s.
+        assert!((m.eib_gbytes_per_sec() - 204.8).abs() < 1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Code-overlay modelling — the road the paper chose *not* to take.
+//!
+//! §5.2.4: "Recursive function calls in general, necessitate the use of
+//! manually managed code overlays on the Cell. We have not experimented
+//! with this option, relying instead on careful control of the code
+//! footprint of the offloaded functions to avoid overlays." The three
+//! kernels fit (117 KB of 256 KB), so the real port never reloads code.
+//!
+//! This module answers the counterfactual: *what would overlays have cost?*
+//! Given a code budget smaller than the total footprint, function calls
+//! fault whenever their module is not resident; each fault DMA-streams the
+//! module's code into local store, evicting least-recently-used modules.
+//! The experiment harness replays real kernel traces through this model to
+//! price the paper's design decision.
+
+use crate::dma::{transfer_cycles, DmaCosts, MAX_TRANSFER};
+use crate::time::Cycles;
+
+/// A code module that can be overlaid into SPE local store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeModule {
+    pub name: String,
+    pub bytes: usize,
+}
+
+/// The paper's three offloaded kernels, 117 KB total (§5.2), apportioned by
+/// their relative complexity.
+pub fn paper_modules() -> Vec<CodeModule> {
+    vec![
+        CodeModule { name: "newview".into(), bytes: 60 * 1024 },
+        CodeModule { name: "makenewz".into(), bytes: 40 * 1024 },
+        CodeModule { name: "evaluate".into(), bytes: 17 * 1024 },
+    ]
+}
+
+/// An LRU overlay manager over a fixed code budget.
+#[derive(Debug, Clone)]
+pub struct OverlayManager {
+    modules: Vec<CodeModule>,
+    budget: usize,
+    /// Resident module indices, most recently used last.
+    resident: Vec<usize>,
+    faults: u64,
+    calls: u64,
+    bytes_reloaded: u64,
+}
+
+impl OverlayManager {
+    /// Create a manager. Panics if any single module exceeds the budget
+    /// (it could never run).
+    pub fn new(modules: Vec<CodeModule>, budget: usize) -> OverlayManager {
+        for m in &modules {
+            assert!(
+                m.bytes <= budget,
+                "module {} ({} B) cannot fit the {} B code budget",
+                m.name,
+                m.bytes,
+                budget
+            );
+        }
+        OverlayManager { modules, budget, resident: Vec::new(), faults: 0, calls: 0, bytes_reloaded: 0 }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident.iter().map(|&i| self.modules[i].bytes).sum()
+    }
+
+    /// Record a call into `module`. Returns the bytes reloaded (0 on a hit).
+    pub fn call(&mut self, module: usize) -> usize {
+        assert!(module < self.modules.len());
+        self.calls += 1;
+        if let Some(pos) = self.resident.iter().position(|&m| m == module) {
+            // Hit: refresh recency.
+            self.resident.remove(pos);
+            self.resident.push(module);
+            return 0;
+        }
+        // Fault: evict LRU modules until the new one fits.
+        let need = self.modules[module].bytes;
+        while self.resident_bytes() + need > self.budget {
+            self.resident.remove(0);
+        }
+        self.resident.push(module);
+        self.faults += 1;
+        self.bytes_reloaded += need as u64;
+        need
+    }
+
+    /// (calls, faults, bytes reloaded) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.calls, self.faults, self.bytes_reloaded)
+    }
+
+    /// Fault rate so far.
+    pub fn fault_rate(&self) -> f64 {
+        if self.calls == 0 {
+            return 0.0;
+        }
+        self.faults as f64 / self.calls as f64
+    }
+}
+
+/// Cycles to stream `bytes` of code into local store as a DMA list of
+/// maximal transfers.
+pub fn reload_cycles(bytes: usize, dma: &DmaCosts) -> Cycles {
+    if bytes == 0 {
+        return 0;
+    }
+    let full = bytes / MAX_TRANSFER;
+    let rest = bytes % MAX_TRANSFER;
+    let mut cycles = full as Cycles * transfer_cycles(MAX_TRANSFER, dma);
+    if rest > 0 {
+        cycles += transfer_cycles(rest.div_ceil(16) * 16, dma);
+    }
+    cycles
+}
+
+/// Replay a call sequence (module indices) through an overlay manager and
+/// return the total overlay overhead in cycles.
+pub fn overlay_overhead(
+    calls: impl IntoIterator<Item = usize>,
+    modules: Vec<CodeModule>,
+    budget: usize,
+    dma: &DmaCosts,
+) -> (OverlayManager, Cycles) {
+    let mut mgr = OverlayManager::new(modules, budget);
+    let mut cycles: Cycles = 0;
+    for m in calls {
+        let bytes = mgr.call(m);
+        cycles += reload_cycles(bytes, dma);
+    }
+    (mgr, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_modules() -> Vec<CodeModule> {
+        vec![
+            CodeModule { name: "a".into(), bytes: 100 },
+            CodeModule { name: "b".into(), bytes: 100 },
+            CodeModule { name: "c".into(), bytes: 100 },
+        ]
+    }
+
+    #[test]
+    fn everything_resident_never_faults_after_warmup() {
+        let mut mgr = OverlayManager::new(three_modules(), 300);
+        // Cold faults only.
+        assert!(mgr.call(0) > 0);
+        assert!(mgr.call(1) > 0);
+        assert!(mgr.call(2) > 0);
+        for i in [0usize, 1, 2, 2, 1, 0] {
+            assert_eq!(mgr.call(i), 0, "module {i} must be resident");
+        }
+        assert_eq!(mgr.stats().1, 3, "exactly the three cold faults");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Budget for two of three: cycling a,b,c,a,b,c… faults every call.
+        let mut mgr = OverlayManager::new(three_modules(), 200);
+        for _ in 0..3 {
+            for m in 0..3 {
+                mgr.call(m);
+            }
+        }
+        assert_eq!(mgr.fault_rate(), 1.0, "cyclic access thrashes LRU");
+
+        // But an a,b,a,b… pattern only cold-faults.
+        let mut mgr = OverlayManager::new(three_modules(), 200);
+        for _ in 0..5 {
+            mgr.call(0);
+            mgr.call(1);
+        }
+        assert_eq!(mgr.stats().1, 2);
+    }
+
+    #[test]
+    fn paper_footprint_fits_entirely() {
+        // With the real 139 KB+ of code space, all three kernels stay
+        // resident: 3 cold faults, nothing after.
+        let modules = paper_modules();
+        let total: usize = modules.iter().map(|m| m.bytes).sum();
+        assert_eq!(total, 117 * 1024, "the paper's 117 KB figure");
+        let calls = [0usize, 1, 2, 0, 0, 1, 0, 2, 0, 0, 1].into_iter();
+        let (mgr, _) = overlay_overhead(calls, modules, 139 * 1024, &DmaCosts::default());
+        assert_eq!(mgr.stats().1, 3);
+    }
+
+    #[test]
+    fn reload_cost_scales_with_module_size() {
+        let dma = DmaCosts::default();
+        assert_eq!(reload_cycles(0, &dma), 0);
+        let small = reload_cycles(17 * 1024, &dma);
+        let large = reload_cycles(60 * 1024, &dma);
+        assert!(large > small);
+        // 60 KB = 3 × 16 KB + 12 KB: four transfers.
+        assert_eq!(
+            large,
+            3 * transfer_cycles(16 * 1024, &dma) + transfer_cycles(12 * 1024, &dma)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_module_rejected() {
+        OverlayManager::new(three_modules(), 99);
+    }
+}

@@ -1,0 +1,167 @@
+//! The optimization ladder and scheduling models of the paper.
+
+use cellsim::{CondKind, ExpKind, SignalKind};
+
+/// Which functions are offloaded to the SPEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadStage {
+    /// Everything runs on the PPE (Table 1a — the initial MPI port).
+    PpeOnly,
+    /// Only `newview` runs on an SPE; `makenewz`/`evaluate` stay on the PPE
+    /// and pay a communication round trip for every nested `newview`
+    /// (Tables 1b–6).
+    NewviewOnly,
+    /// All three functions run on the SPE; nested `newview` calls are free
+    /// of PPE↔SPE communication (Table 7, §5.2.7).
+    AllThree,
+}
+
+/// One rung of the paper's §5.2 optimization ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    pub stage: OffloadStage,
+    /// §5.2.2: replace libm `exp` with the SDK numerical exp.
+    pub sdk_exp: bool,
+    /// §5.2.3: integer-cast + vectorized scaling conditionals.
+    pub cast_conditionals: bool,
+    /// §5.2.4: double-buffered strip-mining DMA.
+    pub double_buffering: bool,
+    /// §5.2.5: vectorized likelihood loops.
+    pub vectorized: bool,
+    /// §5.2.6: direct memory-to-memory signalling instead of mailboxes.
+    pub direct_comm: bool,
+}
+
+impl OptConfig {
+    /// Table 1a: the pure-PPE port.
+    pub fn ppe_only() -> OptConfig {
+        OptConfig {
+            stage: OffloadStage::PpeOnly,
+            sdk_exp: false,
+            cast_conditionals: false,
+            double_buffering: false,
+            vectorized: false,
+            direct_comm: false,
+        }
+    }
+
+    /// Table 1b: naive `newview` offload, no SPE optimizations.
+    pub fn naive_offload() -> OptConfig {
+        OptConfig { stage: OffloadStage::NewviewOnly, ..OptConfig::ppe_only() }
+    }
+
+    /// Table 7: everything offloaded, every optimization on.
+    pub fn fully_optimized() -> OptConfig {
+        OptConfig {
+            stage: OffloadStage::AllThree,
+            sdk_exp: true,
+            cast_conditionals: true,
+            double_buffering: true,
+            vectorized: true,
+            direct_comm: true,
+        }
+    }
+
+    /// The cumulative ladder exactly as the paper applies it: each entry is
+    /// (label, config, the table it reproduces).
+    pub fn ladder() -> Vec<(&'static str, OptConfig)> {
+        let l0 = OptConfig::ppe_only();
+        let l1 = OptConfig::naive_offload();
+        let l2 = OptConfig { sdk_exp: true, ..l1 };
+        let l3 = OptConfig { cast_conditionals: true, ..l2 };
+        let l4 = OptConfig { double_buffering: true, ..l3 };
+        let l5 = OptConfig { vectorized: true, ..l4 };
+        let l6 = OptConfig { direct_comm: true, ..l5 };
+        let l7 = OptConfig { stage: OffloadStage::AllThree, ..l6 };
+        vec![
+            ("PPE only (Table 1a)", l0),
+            ("newview offloaded, naive (Table 1b)", l1),
+            ("+ SDK exp (Table 2)", l2),
+            ("+ cast/vectorized conditionals (Table 3)", l3),
+            ("+ double buffering (Table 4)", l4),
+            ("+ vectorized loops (Table 5)", l5),
+            ("+ direct memory comm (Table 6)", l6),
+            ("all three functions offloaded (Table 7)", l7),
+        ]
+    }
+
+    /// The `ExpKind` this config implies.
+    pub fn exp_kind(&self) -> ExpKind {
+        if self.sdk_exp {
+            ExpKind::Sdk
+        } else {
+            ExpKind::Libm
+        }
+    }
+
+    /// The `CondKind` this config implies.
+    pub fn cond_kind(&self) -> CondKind {
+        if self.cast_conditionals {
+            CondKind::IntCast
+        } else {
+            CondKind::Float
+        }
+    }
+
+    /// The signalling mechanism this config implies.
+    pub fn signal_kind(&self) -> SignalKind {
+        if self.direct_comm {
+            SignalKind::DirectMemory
+        } else {
+            SignalKind::Mailbox
+        }
+    }
+}
+
+/// Scheduling model for distributing bootstraps over the Cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// `n` MPI workers on the PPE's SMT threads, each synchronously
+    /// offloading to its own SPE (the paper's Tables 1–7 run 1 or 2).
+    SyncWorkers(usize),
+    /// Event-driven task-level parallelism: oversubscribe the PPE with up
+    /// to 8 workers, context-switching on every offload (§5.3).
+    Edtlp,
+    /// Loop-level parallelism: `workers` processes, each splitting its
+    /// offloaded loops across `8 / workers` SPEs (§5.3).
+    Llp { workers: usize },
+    /// The dynamic multi-grain scheduler: EDTLP while ≥8 tasks remain,
+    /// LLP for the tail (§5.3, Table 8).
+    Mgps,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let ladder = OptConfig::ladder();
+        assert_eq!(ladder.len(), 8);
+        assert_eq!(ladder[0].1, OptConfig::ppe_only());
+        assert_eq!(ladder[1].1, OptConfig::naive_offload());
+        assert_eq!(ladder[7].1, OptConfig::fully_optimized());
+        // Each rung only adds optimizations.
+        let count = |c: &OptConfig| {
+            [c.sdk_exp, c.cast_conditionals, c.double_buffering, c.vectorized, c.direct_comm]
+                .iter()
+                .filter(|&&b| b)
+                .count()
+        };
+        for pair in ladder.windows(2).skip(1) {
+            assert!(count(&pair[1].1) >= count(&pair[0].1));
+        }
+    }
+
+    #[test]
+    fn kind_mappings() {
+        let c = OptConfig::fully_optimized();
+        assert_eq!(c.exp_kind(), ExpKind::Sdk);
+        assert_eq!(c.cond_kind(), CondKind::IntCast);
+        assert_eq!(c.signal_kind(), SignalKind::DirectMemory);
+        let n = OptConfig::naive_offload();
+        assert_eq!(n.exp_kind(), ExpKind::Libm);
+        assert_eq!(n.cond_kind(), CondKind::Float);
+        assert_eq!(n.signal_kind(), SignalKind::Mailbox);
+    }
+}

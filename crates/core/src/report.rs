@@ -1,0 +1,178 @@
+//! The paper's published measurements and comparison formatting.
+//!
+//! Absolute seconds depend on the workload trace (our inference makes a
+//! different number of kernel calls than RAxML-VI-HPC v2.2.0 did on the real
+//! `42_SC` file), so the meaningful comparison is the *shape*: per-row
+//! speedup ratios along the optimization ladder, scheduler scaling, and the
+//! platform ranking. The formatting here prints paper seconds, simulated
+//! seconds, and both normalized to their own baseline.
+
+/// The four workload rows of Tables 1–7: (label, workers, bootstraps).
+pub const TABLE_ROWS: [(&str, usize, usize); 4] = [
+    ("1 worker, 1 bootstrap", 1, 1),
+    ("2 workers, 8 bootstraps", 2, 8),
+    ("2 workers, 16 bootstraps", 2, 16),
+    ("2 workers, 32 bootstraps", 2, 32),
+];
+
+/// Paper Table 1a: whole application on the PPE (seconds).
+pub const PAPER_TABLE_1A: [f64; 4] = [36.9, 207.67, 427.95, 824.0];
+/// Paper Table 1b: `newview` naively offloaded to one SPE per worker.
+pub const PAPER_TABLE_1B: [f64; 4] = [106.37, 459.16, 915.75, 1836.6];
+/// Paper Table 2: + SDK `exp`.
+pub const PAPER_TABLE_2: [f64; 4] = [62.8, 285.25, 572.92, 1138.5];
+/// Paper Table 3: + cast/vectorized conditionals.
+pub const PAPER_TABLE_3: [f64; 4] = [49.3, 230.0, 460.43, 917.09];
+/// Paper Table 4: + double buffering.
+pub const PAPER_TABLE_4: [f64; 4] = [47.0, 220.92, 441.39, 884.47];
+/// Paper Table 5: + vectorization.
+pub const PAPER_TABLE_5: [f64; 4] = [40.9, 195.7, 393.0, 800.9];
+/// Paper Table 6: + direct memory-to-memory communication.
+pub const PAPER_TABLE_6: [f64; 4] = [39.9, 180.46, 357.08, 712.2];
+/// Paper Table 7: all three functions offloaded.
+pub const PAPER_TABLE_7: [f64; 4] = [27.7, 112.41, 224.69, 444.87];
+
+/// Paper Table 8 (MGPS): (bootstraps, seconds).
+pub const PAPER_TABLE_8: [(usize, f64); 4] =
+    [(1, 17.6), (8, 42.18), (16, 84.21), (32, 167.57)];
+
+/// The ladder tables in order (1a, 1b, 2, 3, 4, 5, 6, 7).
+pub const PAPER_LADDER: [&[f64; 4]; 8] = [
+    &PAPER_TABLE_1A,
+    &PAPER_TABLE_1B,
+    &PAPER_TABLE_2,
+    &PAPER_TABLE_3,
+    &PAPER_TABLE_4,
+    &PAPER_TABLE_5,
+    &PAPER_TABLE_6,
+    &PAPER_TABLE_7,
+];
+
+/// Figure 3's bootstrap counts.
+pub const FIGURE3_BOOTSTRAPS: [usize; 6] = [1, 8, 16, 32, 64, 128];
+
+/// §5.2 profile: fraction of sequential runtime per function.
+pub const PAPER_PROFILE: [(&str, f64); 3] =
+    [("newview", 0.768), ("makenewz", 0.1916), ("evaluate", 0.0237)];
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub label: String,
+    pub paper_seconds: f64,
+    pub simulated_seconds: f64,
+}
+
+impl Comparison {
+    /// Simulated time normalized by the paper time.
+    pub fn ratio(&self) -> f64 {
+        self.simulated_seconds / self.paper_seconds
+    }
+}
+
+/// Format a list of comparisons as an aligned text table, adding per-row
+/// normalizations against the first row (the shape comparison).
+pub fn format_comparison(title: &str, rows: &[Comparison]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "  {:<38} {:>10} {:>11} | {:>9} {:>9}",
+        "", "paper [s]", "sim [s]", "paper ×", "sim ×"
+    );
+    let base_paper = rows.first().map(|r| r.paper_seconds).unwrap_or(1.0);
+    let base_sim = rows.first().map(|r| r.simulated_seconds).unwrap_or(1.0);
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<38} {:>10.2} {:>11.2} | {:>9.3} {:>9.3}",
+            r.label,
+            r.paper_seconds,
+            r.simulated_seconds,
+            r.paper_seconds / base_paper,
+            r.simulated_seconds / base_sim,
+        );
+    }
+    out
+}
+
+/// Check that the simulated *shape* matches the paper: each row's
+/// normalized value (relative to the first row) must be within
+/// `rel_tolerance` of the paper's normalized value. Returns the worst
+/// relative deviation.
+pub fn shape_deviation(rows: &[Comparison]) -> f64 {
+    if rows.len() < 2 {
+        return 0.0;
+    }
+    let base_paper = rows[0].paper_seconds;
+    let base_sim = rows[0].simulated_seconds;
+    rows[1..]
+        .iter()
+        .map(|r| {
+            let paper_norm = r.paper_seconds / base_paper;
+            let sim_norm = r.simulated_seconds / base_sim;
+            (sim_norm / paper_norm - 1.0).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_are_internally_consistent() {
+        // Every optimization row improves on the previous for every workload.
+        for col in 0..4 {
+            for pair in PAPER_LADDER.windows(2).skip(1) {
+                assert!(
+                    pair[1][col] < pair[0][col],
+                    "column {col}: {} !< {}",
+                    pair[1][col],
+                    pair[0][col]
+                );
+            }
+            // Naive offload is worse than the PPE.
+            assert!(PAPER_TABLE_1B[col] > PAPER_TABLE_1A[col]);
+            // Final config beats the PPE (the paper's 25% claim at 1 bs).
+            assert!(PAPER_TABLE_7[col] < PAPER_TABLE_1A[col]);
+        }
+        // §5.2.7: ≥31% improvement from offloading all three functions.
+        let gain = 1.0 - PAPER_TABLE_7[0] / PAPER_TABLE_6[0];
+        assert!(gain > 0.30, "gain {gain}");
+    }
+
+    #[test]
+    fn profile_sums_to_nearly_all_runtime() {
+        // The paper quotes 98.77% inside the three functions; its own
+        // per-function numbers (76.8 + 19.16 + 2.37) sum to 98.33 — we keep
+        // the per-function numbers and accept the paper's rounding slack.
+        let total: f64 = PAPER_PROFILE.iter().map(|&(_, f)| f).sum();
+        assert!((total - 0.9833).abs() < 1e-4, "total {total}");
+        assert!((total - 0.9877).abs() < 0.006, "close to the quoted 98.77%");
+    }
+
+    #[test]
+    fn comparison_formatting() {
+        let rows = vec![
+            Comparison { label: "a".into(), paper_seconds: 10.0, simulated_seconds: 20.0 },
+            Comparison { label: "b".into(), paper_seconds: 20.0, simulated_seconds: 40.0 },
+        ];
+        let text = format_comparison("Test", &rows);
+        assert!(text.contains("Test"));
+        assert!(text.contains("a"));
+        // Perfect shape despite 2× absolute offset.
+        assert_eq!(shape_deviation(&rows), 0.0);
+        assert_eq!(rows[0].ratio(), 2.0);
+    }
+
+    #[test]
+    fn shape_deviation_detects_mismatch() {
+        let rows = vec![
+            Comparison { label: "a".into(), paper_seconds: 10.0, simulated_seconds: 10.0 },
+            Comparison { label: "b".into(), paper_seconds: 20.0, simulated_seconds: 30.0 },
+        ];
+        assert!((shape_deviation(&rows) - 0.5).abs() < 1e-12);
+    }
+}

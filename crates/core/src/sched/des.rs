@@ -1,0 +1,464 @@
+//! The discrete-event core of the EDTLP/LLP/MGPS simulations.
+//!
+//! Each worker (an oversubscribed MPI process) alternates between a PPE
+//! phase (offload marshalling or kernels that stayed on the PPE — needs one
+//! of the two PPE hardware threads) and an SPE phase (the offloaded kernel —
+//! runs on the worker's own SPE set). The "switch-on-offload" policy of
+//! §5.3 is what makes the PPE thread available to other workers during SPE
+//! phases; the naive port busy-waits instead (modelled by
+//! [`super::sync_workers_makespan`]).
+
+use crate::offload::PricedTrace;
+use cellsim::stats::SimStats;
+use cellsim::{Cycles, EventQueue};
+use std::collections::VecDeque;
+
+/// One scheduling phase of a worker: PPE work followed by an SPE offload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Phase {
+    /// PPE-thread cycles (before SMT inflation).
+    pub ppe: Cycles,
+    /// SPE-busy cycles.
+    pub spe: Cycles,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesParams {
+    /// PPE hardware threads (2 on the Cell).
+    pub n_ppe_threads: usize,
+    /// Slowdown of PPE work when threads contend (≥ 1).
+    pub smt_penalty: f64,
+    /// SPEs available (8 on the Cell).
+    pub n_spes: usize,
+}
+
+impl Default for DesParams {
+    fn default() -> Self {
+        DesParams { n_ppe_threads: 2, smt_penalty: super::SMT_PENALTY, n_spes: 8 }
+    }
+}
+
+/// Result of one scheduling simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// End-to-end cycles.
+    pub makespan: Cycles,
+    /// Utilization accounting.
+    pub stats: SimStats,
+}
+
+/// Turn a priced trace into scheduling phases with `k`-way loop-level
+/// parallelization of each offloaded invocation. `ctx_switch` is added to
+/// the PPE side of every *offloading* invocation (one with both PPE
+/// marshalling and SPE work) — the per-offload process switch an
+/// oversubscribed PPE pays under EDTLP's switch-on-offload policy.
+/// `eib_factor` (≥ 1) models Element Interconnect Bus contention on the DMA
+/// share when many SPEs stream concurrently.
+pub fn phases_for(
+    trace: &PricedTrace,
+    k: usize,
+    dispatch: Cycles,
+    ctx_switch: Cycles,
+    eib_factor: f64,
+) -> Vec<Phase> {
+    trace
+        .invocations
+        .iter()
+        .map(|inv| {
+            let is_offload = inv.spe_busy() > 0 && inv.ppe > 0;
+            Phase {
+                ppe: inv.ppe + if is_offload { ctx_switch } else { 0 },
+                spe: inv.spe_busy_llp(k, dispatch, eib_factor),
+            }
+        })
+        .collect()
+}
+
+/// Merge consecutive phases so a job has at most `target` macro-phases.
+/// Preserves total PPE and SPE cycles exactly; coarsens the alternation.
+pub fn compress_phases(phases: &[Phase], target: usize) -> Vec<Phase> {
+    if phases.len() <= target {
+        return phases.to_vec();
+    }
+    let group = phases.len().div_ceil(target);
+    phases
+        .chunks(group)
+        .map(|chunk| {
+            let mut m = Phase::default();
+            for p in chunk {
+                m.ppe += p.ppe;
+                m.spe += p.spe;
+            }
+            m
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    PpeDone(usize),
+    SpeDone(usize),
+}
+
+struct Worker {
+    /// Index into the phase list of the current job.
+    phase: usize,
+    /// The job currently held (an index into the job list).
+    job: Option<usize>,
+}
+
+/// Simulate `n_jobs` identical jobs (each the given phase list) over
+/// `n_workers` workers, each owning `spes_per_worker` SPEs, sharing
+/// `params.n_ppe_threads` PPE threads with switch-on-offload.
+pub fn simulate_task_parallel(
+    job_phases: &[Phase],
+    n_jobs: usize,
+    n_workers: usize,
+    spes_per_worker: usize,
+    params: &DesParams,
+) -> SimOutcome {
+    let jobs: Vec<&[Phase]> = (0..n_jobs).map(|_| job_phases).collect();
+    simulate_task_parallel_jobs(&jobs, n_workers, spes_per_worker, params)
+}
+
+/// As [`simulate_task_parallel`], with an explicit (possibly different)
+/// phase list per job — real bootstrap replicates differ in search length,
+/// and this entry point lets callers schedule genuinely varied traces.
+pub fn simulate_task_parallel_jobs(
+    jobs: &[&[Phase]],
+    n_workers: usize,
+    spes_per_worker: usize,
+    params: &DesParams,
+) -> SimOutcome {
+    let n_jobs = jobs.len();
+    assert!(n_workers >= 1, "need at least one worker");
+    assert!(
+        n_workers * spes_per_worker <= params.n_spes,
+        "worker SPE sets exceed the machine ({n_workers} × {spes_per_worker} > {})",
+        params.n_spes
+    );
+    let n_workers = n_workers.min(n_jobs.max(1));
+    let smt = if n_workers >= 2 { params.smt_penalty } else { 1.0 };
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut stats = SimStats::new(params.n_spes);
+    let mut next_job = 0usize;
+    let mut ppe_free = params.n_ppe_threads;
+    let mut ppe_waiting: VecDeque<usize> = VecDeque::new();
+    let mut workers: Vec<Worker> =
+        (0..n_workers).map(|_| Worker { phase: 0, job: None }).collect();
+    let mut makespan: Cycles = 0;
+
+    // Advance a worker to its next phase with nonzero work; start the PPE
+    // request or SPE burst. Returns scheduled events via the queue.
+    // (The argument list is the full simulation state on purpose: a struct
+    // would just re-bundle the same locals the event loop destructures.)
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        wid: usize,
+        now_queue: &mut EventQueue<Ev>,
+        workers: &mut [Worker],
+        next_job: &mut usize,
+        jobs: &[&[Phase]],
+        ppe_free: &mut usize,
+        ppe_waiting: &mut VecDeque<usize>,
+        stats: &mut SimStats,
+        smt: f64,
+        spes_per_worker: usize,
+    ) {
+        loop {
+            let w = &mut workers[wid];
+            let done = match w.job {
+                None => true,
+                Some(j) => w.phase >= jobs[j].len(),
+            };
+            if done {
+                if *next_job >= jobs.len() {
+                    w.job = None;
+                    return;
+                }
+                w.job = Some(*next_job);
+                *next_job += 1;
+                w.phase = 0;
+            }
+            let w = &workers[wid];
+            let job = jobs[w.job.expect("worker holds a job")];
+            if w.phase >= job.len() {
+                // Zero-length job: loop to take the next one.
+                continue;
+            }
+            let phase = job[w.phase];
+            if phase.ppe > 0 {
+                // Request a PPE thread.
+                if *ppe_free > 0 {
+                    *ppe_free -= 1;
+                    let dur = (phase.ppe as f64 * smt).round() as Cycles;
+                    stats.ppe_busy += dur;
+                    now_queue.schedule_after(dur, Ev::PpeDone(wid));
+                } else {
+                    ppe_waiting.push_back(wid);
+                }
+                return;
+            }
+            if phase.spe > 0 {
+                start_spe(wid, phase.spe, now_queue, stats, spes_per_worker);
+                return;
+            }
+            // Empty phase: skip.
+            workers[wid].phase += 1;
+        }
+    }
+
+    fn start_spe(
+        wid: usize,
+        spe_cycles: Cycles,
+        queue: &mut EventQueue<Ev>,
+        stats: &mut SimStats,
+        spes_per_worker: usize,
+    ) {
+        // Attribute busy cycles evenly over the worker's SPE set (for LLP
+        // the loop is split across them).
+        let share = spe_cycles / spes_per_worker as u64;
+        for s in 0..spes_per_worker {
+            let spe = wid * spes_per_worker + s;
+            stats.spes[spe].loop_cycles += share;
+            if s == 0 {
+                stats.spes[spe].invocations += 1;
+            }
+        }
+        queue.schedule_after(spe_cycles, Ev::SpeDone(wid));
+    }
+
+    // Kick off every worker.
+    for wid in 0..n_workers {
+        advance(
+            wid,
+            &mut queue,
+            &mut workers,
+            &mut next_job,
+            jobs,
+            &mut ppe_free,
+            &mut ppe_waiting,
+            &mut stats,
+            smt,
+            spes_per_worker,
+        );
+    }
+
+    while let Some((t, ev)) = queue.pop() {
+        makespan = t;
+        match ev {
+            Ev::PpeDone(wid) => {
+                ppe_free += 1;
+                // Hand the freed thread to the next waiter.
+                if let Some(next) = ppe_waiting.pop_front() {
+                    ppe_free -= 1;
+                    let w = &workers[next];
+                    let phase = jobs[w.job.expect("waiter holds a job")][w.phase];
+                    let dur = (phase.ppe as f64 * smt).round() as Cycles;
+                    stats.ppe_busy += dur;
+                    queue.schedule_after(dur, Ev::PpeDone(next));
+                }
+                // The finishing worker proceeds: SPE burst or next phase.
+                let w = &workers[wid];
+                let phase = jobs[w.job.expect("worker holds a job")][w.phase];
+                if phase.spe > 0 {
+                    start_spe(wid, phase.spe, &mut queue, &mut stats, spes_per_worker);
+                } else {
+                    workers[wid].phase += 1;
+                    advance(
+                        wid,
+                        &mut queue,
+                        &mut workers,
+                        &mut next_job,
+                        jobs,
+                        &mut ppe_free,
+                        &mut ppe_waiting,
+                        &mut stats,
+                        smt,
+                        spes_per_worker,
+                    );
+                }
+            }
+            Ev::SpeDone(wid) => {
+                workers[wid].phase += 1;
+                advance(
+                    wid,
+                    &mut queue,
+                    &mut workers,
+                    &mut next_job,
+                    jobs,
+                    &mut ppe_free,
+                    &mut ppe_waiting,
+                    &mut stats,
+                    smt,
+                    spes_per_worker,
+                );
+            }
+        }
+    }
+
+    stats.makespan = makespan;
+    SimOutcome { makespan, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DesParams {
+        DesParams { n_ppe_threads: 2, smt_penalty: 1.0, n_spes: 8 }
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        let phases = vec![Phase { ppe: 100, spe: 900 }; 10];
+        let out = simulate_task_parallel(&phases, 1, 1, 1, &params());
+        assert_eq!(out.makespan, 10 * 1000);
+        assert_eq!(out.stats.spes[0].busy(), 9000);
+        assert_eq!(out.stats.ppe_busy, 1000);
+    }
+
+    #[test]
+    fn multiple_jobs_on_one_worker_serialize() {
+        let phases = vec![Phase { ppe: 50, spe: 50 }];
+        let out = simulate_task_parallel(&phases, 5, 1, 1, &params());
+        assert_eq!(out.makespan, 5 * 100);
+    }
+
+    #[test]
+    fn spe_bound_workload_scales_with_workers() {
+        // Tiny PPE phases: 8 workers ≈ 8× throughput.
+        let phases = vec![Phase { ppe: 1, spe: 10_000 }; 20];
+        let one = simulate_task_parallel(&phases, 8, 1, 1, &params()).makespan;
+        let eight = simulate_task_parallel(&phases, 8, 8, 1, &params()).makespan;
+        let speedup = one as f64 / eight as f64;
+        assert!(speedup > 7.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn ppe_bound_workload_caps_at_two_threads() {
+        // Pure PPE phases: 8 workers can use only 2 threads.
+        let phases = vec![Phase { ppe: 1000, spe: 1 }; 10];
+        let one_worker = simulate_task_parallel(&phases, 8, 1, 1, &params()).makespan;
+        let eight = simulate_task_parallel(&phases, 8, 8, 1, &params()).makespan;
+        let speedup = one_worker as f64 / eight as f64;
+        assert!(
+            (1.8..=2.1).contains(&speedup),
+            "PPE-bound speedup must cap at ~2: {speedup}"
+        );
+    }
+
+    #[test]
+    fn smt_penalty_inflates_ppe_work_only_with_contention() {
+        let phases = vec![Phase { ppe: 1000, spe: 1000 }; 4];
+        let p = DesParams { smt_penalty: 1.5, ..params() };
+        let solo = simulate_task_parallel(&phases, 1, 1, 1, &p).makespan;
+        assert_eq!(solo, 4 * 2000, "single worker pays no SMT penalty");
+        let duo = simulate_task_parallel(&phases, 2, 2, 1, &p).makespan;
+        assert!(duo > solo / 2, "two jobs in parallel but inflated PPE");
+        // Each worker: 4 phases of (1500 PPE + 1000 SPE) = 10000, with
+        // plenty of PPE capacity (2 threads, 2 workers).
+        assert_eq!(duo, 4 * 2500);
+    }
+
+    #[test]
+    fn queueing_delays_appear_when_ppe_oversubscribed() {
+        // 4 workers, 2 threads, PPE-heavy: makespan ≥ total PPE / 2.
+        let phases = vec![Phase { ppe: 100, spe: 10 }; 50];
+        let out = simulate_task_parallel(&phases, 4, 4, 1, &params());
+        let total_ppe: Cycles = 4 * 50 * 100;
+        assert!(out.makespan >= total_ppe / 2);
+        assert!(out.stats.ppe_busy == total_ppe);
+    }
+
+    #[test]
+    fn llp_attributes_busy_across_spe_set() {
+        let phases = vec![Phase { ppe: 10, spe: 800 }];
+        let out = simulate_task_parallel(&phases, 1, 1, 8, &params());
+        for s in 0..8 {
+            assert_eq!(out.stats.spes[s].loop_cycles, 100);
+        }
+    }
+
+    #[test]
+    fn compress_preserves_totals() {
+        let phases: Vec<Phase> =
+            (0..1000).map(|i| Phase { ppe: i % 7, spe: 100 + i % 13 }).collect();
+        let compressed = compress_phases(&phases, 64);
+        assert!(compressed.len() <= 64);
+        let tp: Cycles = phases.iter().map(|p| p.ppe).sum();
+        let ts: Cycles = phases.iter().map(|p| p.spe).sum();
+        let cp: Cycles = compressed.iter().map(|p| p.ppe).sum();
+        let cs: Cycles = compressed.iter().map(|p| p.spe).sum();
+        assert_eq!((tp, ts), (cp, cs));
+        // Short inputs pass through untouched.
+        assert_eq!(compress_phases(&phases[..10], 64), phases[..10].to_vec());
+    }
+
+    #[test]
+    fn empty_phases_are_skipped() {
+        let phases = vec![
+            Phase { ppe: 0, spe: 0 },
+            Phase { ppe: 10, spe: 0 },
+            Phase { ppe: 0, spe: 20 },
+            Phase { ppe: 0, spe: 0 },
+        ];
+        let out = simulate_task_parallel(&phases, 2, 2, 1, &params());
+        assert_eq!(out.makespan, 30, "phases run back to back per worker");
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let phases = vec![Phase { ppe: 10, spe: 100 }];
+        let out = simulate_task_parallel(&phases, 2, 8, 1, &params());
+        assert_eq!(out.makespan, 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the machine")]
+    fn rejects_oversized_spe_sets() {
+        let phases = vec![Phase { ppe: 1, spe: 1 }];
+        simulate_task_parallel(&phases, 8, 8, 2, &params());
+    }
+
+    #[test]
+    fn varied_jobs_schedule_correctly() {
+        // Jobs of very different lengths: the makespan is bounded by the
+        // longest job below and the serial sum above, and all work is
+        // conserved.
+        let short: Vec<Phase> = vec![Phase { ppe: 10, spe: 100 }; 2];
+        let long: Vec<Phase> = vec![Phase { ppe: 10, spe: 100 }; 50];
+        let jobs: Vec<&[Phase]> = vec![&long, &short, &short, &short];
+        let out = simulate_task_parallel_jobs(&jobs, 4, 1, &params());
+        // With 4 workers each job has its own worker: makespan = longest.
+        assert_eq!(out.makespan, 50 * 110);
+        let total_spe: Cycles = out.stats.spes.iter().map(|s| s.busy()).sum();
+        assert_eq!(total_spe, (50 + 3 * 2) * 100);
+
+        // One worker: everything serializes.
+        let out = simulate_task_parallel_jobs(&jobs, 1, 1, &params());
+        assert_eq!(out.makespan, (50 + 3 * 2) * 110);
+    }
+
+    #[test]
+    fn varied_jobs_greedy_assignment() {
+        // 2 workers, jobs [long, short, short]: worker A takes long, worker
+        // B takes both shorts; makespan = max(long, 2×short).
+        let short: Vec<Phase> = vec![Phase { ppe: 0, spe: 100 }; 3];
+        let long: Vec<Phase> = vec![Phase { ppe: 0, spe: 100 }; 10];
+        let jobs: Vec<&[Phase]> = vec![&long, &short, &short];
+        let out = simulate_task_parallel_jobs(&jobs, 2, 1, &params());
+        assert_eq!(out.makespan, 1000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let phases: Vec<Phase> =
+            (0..500).map(|i| Phase { ppe: 30 + i % 11, spe: 200 + i % 17 }).collect();
+        let a = simulate_task_parallel(&phases, 16, 8, 1, &params()).makespan;
+        let b = simulate_task_parallel(&phases, 16, 8, 1, &params()).makespan;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,202 @@
+//! DNA alphabet with IUPAC ambiguity codes.
+//!
+//! Nucleotides are encoded RAxML-style as 4-bit sets over the state order
+//! `A, C, G, T` (indices 0..4). Bit `i` set means state `i` is compatible
+//! with the observed character. Ambiguity codes are unions; gaps and `N`
+//! are the full set `0b1111`.
+
+use crate::error::PhyloError;
+
+/// Number of nucleotide states.
+pub const STATES: usize = 4;
+
+/// A 4-bit nucleotide state set (`0b0001` = A, `0b0010` = C, `0b0100` = G,
+/// `0b1000` = T; ambiguity codes are unions, `0b1111` is a gap/unknown).
+pub type DnaCode = u8;
+
+/// The fully ambiguous code (gap, `N`, `?`, `X`).
+pub const GAP: DnaCode = 0b1111;
+
+/// State index → canonical uppercase character.
+pub const STATE_CHARS: [char; STATES] = ['A', 'C', 'G', 'T'];
+
+/// Encode one IUPAC nucleotide character into its 4-bit state set.
+///
+/// Accepts upper- and lowercase letters, `-`, `.`, `?` (treated as gaps).
+pub fn encode_base(ch: char) -> Option<DnaCode> {
+    Some(match ch.to_ascii_uppercase() {
+        'A' => 0b0001,
+        'C' => 0b0010,
+        'G' => 0b0100,
+        'T' | 'U' => 0b1000,
+        'M' => 0b0011, // A or C
+        'R' => 0b0101, // A or G
+        'W' => 0b1001, // A or T
+        'S' => 0b0110, // C or G
+        'Y' => 0b1010, // C or T
+        'K' => 0b1100, // G or T
+        'V' => 0b0111, // A, C or G
+        'H' => 0b1011, // A, C or T
+        'D' => 0b1101, // A, G or T
+        'B' => 0b1110, // C, G or T
+        'N' | 'X' | '?' | '-' | '.' | 'O' => GAP,
+        _ => return None,
+    })
+}
+
+/// Decode a 4-bit state set back into its canonical IUPAC character.
+pub fn decode_base(code: DnaCode) -> char {
+    match code & GAP {
+        0b0001 => 'A',
+        0b0010 => 'C',
+        0b0100 => 'G',
+        0b1000 => 'T',
+        0b0011 => 'M',
+        0b0101 => 'R',
+        0b1001 => 'W',
+        0b0110 => 'S',
+        0b1010 => 'Y',
+        0b1100 => 'K',
+        0b0111 => 'V',
+        0b1011 => 'H',
+        0b1101 => 'D',
+        0b1110 => 'B',
+        0b1111 => 'N',
+        _ => '-', // 0b0000: impossible for valid data
+    }
+}
+
+/// Encode a whole sequence, reporting the first invalid character.
+pub fn encode_sequence(taxon: &str, seq: &str) -> Result<Vec<DnaCode>, PhyloError> {
+    seq.chars()
+        .enumerate()
+        .map(|(i, ch)| {
+            encode_base(ch).ok_or(PhyloError::InvalidCharacter {
+                taxon: taxon.to_string(),
+                position: i,
+                ch,
+            })
+        })
+        .collect()
+}
+
+/// The 16-row tip likelihood table: row `code` holds the conditional
+/// likelihood of each of the four states given the observed state set
+/// (1.0 if the state is in the set, 0.0 otherwise).
+///
+/// This is the lookup RAxML uses in the tip-specialized `newview` paths:
+/// a leaf contributes a fixed 4-vector per site, independent of rate
+/// category or branch length.
+pub const TIP_LIKELIHOODS: [[f64; STATES]; 16] = {
+    let mut table = [[0.0; STATES]; 16];
+    let mut code = 0;
+    while code < 16 {
+        let mut s = 0;
+        while s < STATES {
+            if code & (1 << s) != 0 {
+                table[code][s] = 1.0;
+            }
+            s += 1;
+        }
+        code += 1;
+    }
+    table
+};
+
+/// Returns true if the code denotes exactly one state (an unambiguous base).
+#[inline]
+pub fn is_unambiguous(code: DnaCode) -> bool {
+    code.count_ones() == 1
+}
+
+/// Index of the single state of an unambiguous code.
+#[inline]
+pub fn state_index(code: DnaCode) -> Option<usize> {
+    is_unambiguous(code).then(|| code.trailing_zeros() as usize)
+}
+
+/// Code representing exactly one state.
+#[inline]
+pub fn code_of_state(state: usize) -> DnaCode {
+    debug_assert!(state < STATES);
+    1 << state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_canonical_bases() {
+        assert_eq!(encode_base('A'), Some(0b0001));
+        assert_eq!(encode_base('c'), Some(0b0010));
+        assert_eq!(encode_base('G'), Some(0b0100));
+        assert_eq!(encode_base('t'), Some(0b1000));
+        assert_eq!(encode_base('U'), Some(0b1000));
+    }
+
+    #[test]
+    fn encode_gaps_and_unknowns() {
+        for ch in ['N', 'n', '-', '.', '?', 'X'] {
+            assert_eq!(encode_base(ch), Some(GAP), "char {ch:?}");
+        }
+    }
+
+    #[test]
+    fn reject_invalid_characters() {
+        for ch in ['Z', '1', '*', ' ', 'e', 'f'] {
+            assert_eq!(encode_base(ch), None, "char {ch:?}");
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_all_codes() {
+        for code in 1..=15u8 {
+            let ch = decode_base(code);
+            assert_eq!(encode_base(ch), Some(code), "code {code:#06b}");
+        }
+    }
+
+    #[test]
+    fn ambiguity_codes_are_unions() {
+        let r = encode_base('R').unwrap();
+        assert_eq!(r, encode_base('A').unwrap() | encode_base('G').unwrap());
+        let y = encode_base('Y').unwrap();
+        assert_eq!(y, encode_base('C').unwrap() | encode_base('T').unwrap());
+        let v = encode_base('V').unwrap();
+        assert_eq!(v, 0b0111);
+    }
+
+    #[test]
+    fn tip_likelihood_table_matches_bits() {
+        for code in 0..16usize {
+            for s in 0..STATES {
+                let expected = if code & (1 << s) != 0 { 1.0 } else { 0.0 };
+                assert_eq!(TIP_LIKELIHOODS[code][s], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn unambiguous_state_indices() {
+        assert_eq!(state_index(0b0001), Some(0));
+        assert_eq!(state_index(0b0010), Some(1));
+        assert_eq!(state_index(0b0100), Some(2));
+        assert_eq!(state_index(0b1000), Some(3));
+        assert_eq!(state_index(0b0011), None);
+        assert_eq!(state_index(GAP), None);
+        for s in 0..STATES {
+            assert_eq!(state_index(code_of_state(s)), Some(s));
+        }
+    }
+
+    #[test]
+    fn encode_sequence_reports_position() {
+        let err = encode_sequence("tax1", "ACGZ").unwrap_err();
+        assert_eq!(
+            err,
+            PhyloError::InvalidCharacter { taxon: "tax1".into(), position: 3, ch: 'Z' }
+        );
+        assert_eq!(encode_sequence("t", "ACGT").unwrap(), vec![1, 2, 4, 8]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Bipartitions (splits), Robinson–Foulds distances and bootstrap support.
+//!
+//! Every internal branch of an unrooted tree splits the taxa into two sets;
+//! the multiset of such splits characterizes the topology. Bootstrap support
+//! (paper §3.1) is the fraction of replicate trees containing each split of
+//! the best-known tree.
+
+use crate::tree::{NodeId, Tree};
+use std::collections::HashSet;
+
+/// A taxon bipartition in canonical form: the side *not* containing taxon 0,
+/// encoded as a fixed-width bitset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bipartition {
+    bits: Vec<u64>,
+    n_taxa: usize,
+}
+
+impl Bipartition {
+    /// Build from the set of taxa on one side of a split. Canonicalizes by
+    /// complementing if the set contains taxon 0.
+    pub fn from_side(side: &[NodeId], n_taxa: usize) -> Bipartition {
+        let words = n_taxa.div_ceil(64);
+        let mut bits = vec![0u64; words];
+        for &t in side {
+            assert!(t < n_taxa, "taxon {t} out of range");
+            bits[t / 64] |= 1 << (t % 64);
+        }
+        let mut bp = Bipartition { bits, n_taxa };
+        if bp.contains(0) {
+            bp = bp.complement();
+        }
+        bp
+    }
+
+    /// True if the canonical side contains the taxon.
+    pub fn contains(&self, taxon: usize) -> bool {
+        self.bits[taxon / 64] & (1 << (taxon % 64)) != 0
+    }
+
+    /// Number of taxa on the canonical side.
+    pub fn side_size(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if this split is trivial (separates ≤1 taxon).
+    pub fn is_trivial(&self) -> bool {
+        let k = self.side_size();
+        k <= 1 || k >= self.n_taxa - 1
+    }
+
+    fn complement(&self) -> Bipartition {
+        let mut bits: Vec<u64> = self.bits.iter().map(|w| !w).collect();
+        // Clear padding bits beyond n_taxa.
+        let tail = self.n_taxa % 64;
+        if tail != 0 {
+            let last = bits.len() - 1;
+            bits[last] &= (1u64 << tail) - 1;
+        }
+        Bipartition { bits, n_taxa: self.n_taxa }
+    }
+}
+
+/// All non-trivial bipartitions of a tree, keyed for set operations, along
+/// with the internal edge that induces each.
+pub fn tree_bipartitions_with_edges(tree: &Tree) -> Vec<(Bipartition, (NodeId, NodeId))> {
+    let n = tree.n_taxa();
+    tree.edges()
+        .into_iter()
+        .filter(|&(a, b)| !tree.is_tip(a) && !tree.is_tip(b))
+        .map(|(a, b)| {
+            let side = tree.subtree_tips(a, b);
+            (Bipartition::from_side(&side, n), (a, b))
+        })
+        .filter(|(bp, _)| !bp.is_trivial())
+        .collect()
+}
+
+/// All non-trivial bipartitions of a tree.
+pub fn tree_bipartitions(tree: &Tree) -> HashSet<Bipartition> {
+    tree_bipartitions_with_edges(tree).into_iter().map(|(bp, _)| bp).collect()
+}
+
+/// The Robinson–Foulds distance: size of the symmetric difference of the
+/// two trees' non-trivial split sets. Zero iff the topologies are equal.
+pub fn robinson_foulds(a: &Tree, b: &Tree) -> usize {
+    assert_eq!(a.n_taxa(), b.n_taxa(), "trees must be over the same taxa");
+    let sa = tree_bipartitions(a);
+    let sb = tree_bipartitions(b);
+    sa.symmetric_difference(&sb).count()
+}
+
+/// Normalized RF distance in [0, 1] (divided by the maximum 2(n−3)).
+pub fn robinson_foulds_normalized(a: &Tree, b: &Tree) -> f64 {
+    let max = 2 * (a.n_taxa().saturating_sub(3));
+    if max == 0 {
+        return 0.0;
+    }
+    robinson_foulds(a, b) as f64 / max as f64
+}
+
+/// For each internal edge of `reference`, the fraction of `replicates`
+/// whose topology contains the corresponding split.
+pub fn split_support(
+    reference: &Tree,
+    replicates: &[Tree],
+) -> Vec<((NodeId, NodeId), f64)> {
+    let ref_splits = tree_bipartitions_with_edges(reference);
+    let rep_sets: Vec<HashSet<Bipartition>> =
+        replicates.iter().map(tree_bipartitions).collect();
+    ref_splits
+        .into_iter()
+        .map(|(bp, edge)| {
+            let count = rep_sets.iter().filter(|s| s.contains(&bp)).count();
+            let frac =
+                if rep_sets.is_empty() { 0.0 } else { count as f64 / rep_sets.len() as f64 };
+            (edge, frac)
+        })
+        .collect()
+}
+
+/// A majority-rule consensus tree: clades supported by more than the
+/// threshold fraction of replicate trees. Generally multifurcating, so it
+/// is its own type rather than a (strictly binary) [`Tree`].
+#[derive(Debug, Clone)]
+pub struct Consensus {
+    n_taxa: usize,
+    /// Accepted clades (taxon index sets, never containing taxon 0 — the
+    /// canonical orientation) with their support fractions, sorted by size
+    /// ascending.
+    clades: Vec<(Vec<usize>, f64)>,
+}
+
+/// Majority-rule consensus of a set of replicate trees: keeps every
+/// non-trivial split occurring in more than `threshold` of the trees
+/// (`threshold = 0.5` is the classic majority rule; any value ≥ 0.5
+/// guarantees the accepted splits are pairwise compatible).
+pub fn majority_rule_consensus(trees: &[Tree], threshold: f64) -> Consensus {
+    assert!(!trees.is_empty(), "need at least one tree");
+    assert!(threshold >= 0.5, "thresholds below 0.5 can accept incompatible splits");
+    let n_taxa = trees[0].n_taxa();
+    let mut counts: std::collections::HashMap<Bipartition, usize> =
+        std::collections::HashMap::new();
+    for t in trees {
+        assert_eq!(t.n_taxa(), n_taxa, "trees must cover the same taxa");
+        for bp in tree_bipartitions(t) {
+            *counts.entry(bp).or_insert(0) += 1;
+        }
+    }
+    let total = trees.len() as f64;
+    let mut clades: Vec<(Vec<usize>, f64)> = counts
+        .into_iter()
+        .filter(|(_, c)| *c as f64 / total > threshold)
+        .map(|(bp, c)| {
+            let taxa: Vec<usize> = (0..n_taxa).filter(|&t| bp.contains(t)).collect();
+            (taxa, c as f64 / total)
+        })
+        .collect();
+    clades.sort_by_key(|(taxa, _)| taxa.len());
+    Consensus { n_taxa, clades }
+}
+
+impl Consensus {
+    /// Number of resolved internal clades (n − 3 means fully resolved).
+    pub fn n_clades(&self) -> usize {
+        self.clades.len()
+    }
+
+    /// Accepted clades with their support fractions.
+    pub fn clades(&self) -> &[(Vec<usize>, f64)] {
+        &self.clades
+    }
+
+    /// Fully resolved consensus = a binary tree's worth of clades.
+    pub fn is_fully_resolved(&self) -> bool {
+        self.n_clades() == self.n_taxa.saturating_sub(3)
+    }
+
+    /// Render as (possibly multifurcating) Newick with percent support
+    /// labels on internal nodes.
+    pub fn to_newick(&self, names: &[String]) -> String {
+        assert_eq!(names.len(), self.n_taxa);
+        // parent[i] = index of the smallest accepted clade strictly
+        // containing clade i (clades are size-sorted, so scan upward).
+        let k = self.clades.len();
+        let contains = |outer: &[usize], inner: &[usize]| -> bool {
+            // Both sorted ascending.
+            let mut it = outer.iter();
+            inner.iter().all(|t| it.by_ref().any(|o| o == t))
+        };
+        let mut parent = vec![usize::MAX; k];
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if self.clades[j].0.len() > self.clades[i].0.len()
+                    && contains(&self.clades[j].0, &self.clades[i].0)
+                {
+                    parent[i] = j;
+                    break;
+                }
+            }
+        }
+        // Taxon t's host: the smallest clade containing it (or the root).
+        let mut taxon_host = vec![usize::MAX; self.n_taxa];
+        for t in 1..self.n_taxa {
+            for (i, (taxa, _)) in self.clades.iter().enumerate() {
+                if taxa.binary_search(&t).is_ok() {
+                    taxon_host[t] = i;
+                    break;
+                }
+            }
+        }
+
+        fn write_clade(
+            c: &Consensus,
+            idx: usize, // usize::MAX = root
+            parent: &[usize],
+            taxon_host: &[usize],
+            names: &[String],
+            out: &mut String,
+        ) {
+            out.push('(');
+            let mut first = true;
+            let sep = |out: &mut String, first: &mut bool| {
+                if !*first {
+                    out.push(',');
+                }
+                *first = false;
+            };
+            // Child clades.
+            for i in 0..c.clades.len() {
+                if parent[i] == idx {
+                    sep(out, &mut first);
+                    write_clade(c, i, parent, taxon_host, names, out);
+                }
+            }
+            // Taxa hosted directly here (taxon 0 lives at the root).
+            for t in 0..c.n_taxa {
+                let here = if t == 0 { idx == usize::MAX } else { taxon_host[t] == idx };
+                if here {
+                    sep(out, &mut first);
+                    out.push_str(&names[t]);
+                }
+            }
+            out.push(')');
+            if idx != usize::MAX {
+                let _ = std::fmt::Write::write_fmt(
+                    out,
+                    format_args!("{:.0}", c.clades[idx].1 * 100.0),
+                );
+            }
+        }
+
+        let mut out = String::new();
+        write_clade(self, usize::MAX, &parent, &taxon_host, names, &mut out);
+        out.push(';');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::newick::parse_newick;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    fn tree(nwk: &str, n: usize) -> Tree {
+        parse_newick(nwk, &names(n)).unwrap()
+    }
+
+    #[test]
+    fn canonical_form_excludes_taxon_zero() {
+        let a = Bipartition::from_side(&[0, 1], 5);
+        let b = Bipartition::from_side(&[2, 3, 4], 5);
+        assert_eq!(a, b, "complementary sides are the same split");
+        assert!(!a.contains(0));
+    }
+
+    #[test]
+    fn trivial_splits() {
+        assert!(Bipartition::from_side(&[1], 5).is_trivial());
+        assert!(Bipartition::from_side(&[1, 2, 3, 4], 5).is_trivial());
+        assert!(!Bipartition::from_side(&[1, 2], 5).is_trivial());
+    }
+
+    #[test]
+    fn split_count_matches_internal_edges() {
+        // An unrooted binary tree over n taxa has n − 3 internal edges.
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [4usize, 7, 12, 25] {
+            let t = Tree::random(n, 0.1, &mut rng).unwrap();
+            assert_eq!(tree_bipartitions(&t).len(), n - 3, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rf_zero_for_identical_topologies() {
+        let a = tree("((t0,t1),(t2,t3),t4);", 5);
+        // Same topology, different branch lengths & rotation.
+        let b = tree("((t3:0.9,t2:0.8),(t1:0.7,t0:0.6),t4:0.5);", 5);
+        assert_eq!(robinson_foulds(&a, &b), 0);
+    }
+
+    #[test]
+    fn rf_detects_differences() {
+        let a = tree("((t0,t1),(t2,t3),t4);", 5);
+        let b = tree("((t0,t2),(t1,t3),t4);", 5);
+        assert_eq!(robinson_foulds(&a, &b), 4, "both splits differ");
+        assert!((robinson_foulds_normalized(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rf_axioms_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let a = Tree::random(10, 0.1, &mut rng).unwrap();
+            let b = Tree::random(10, 0.1, &mut rng).unwrap();
+            let c = Tree::random(10, 0.1, &mut rng).unwrap();
+            assert_eq!(robinson_foulds(&a, &a), 0);
+            assert_eq!(robinson_foulds(&a, &b), robinson_foulds(&b, &a));
+            // Triangle inequality (RF is a metric).
+            assert!(
+                robinson_foulds(&a, &c)
+                    <= robinson_foulds(&a, &b) + robinson_foulds(&b, &c)
+            );
+        }
+    }
+
+    #[test]
+    fn support_counts_replicates() {
+        let reference = tree("((t0,t1),(t2,t3),t4);", 5);
+        let same = tree("((t0,t1),(t2,t3),t4);", 5);
+        let half = tree("((t0,t1),(t2,t4),t3);", 5); // shares the {t0,t1} split only
+        let support = split_support(&reference, &[same, half]);
+        assert_eq!(support.len(), 2);
+        let mut fracs: Vec<f64> = support.iter().map(|&(_, f)| f).collect();
+        fracs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(fracs, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn support_empty_replicates() {
+        let reference = tree("((t0,t1),(t2,t3),t4);", 5);
+        let support = split_support(&reference, &[]);
+        assert!(support.iter().all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn consensus_of_identical_trees_is_that_topology() {
+        let t = tree("((t0,t1),(t2,t3),t4);", 5);
+        let c = majority_rule_consensus(&[t.clone(), t.clone(), t.clone()], 0.5);
+        assert_eq!(c.n_clades(), 2);
+        assert!(c.is_fully_resolved());
+        assert!(c.clades().iter().all(|&(_, f)| f == 1.0));
+        let names: Vec<String> = (0..5).map(|i| format!("t{i}")).collect();
+        let nwk = c.to_newick(&names);
+        // The consensus newick must contain both clades with 100 support.
+        assert_eq!(nwk.matches("100").count(), 2, "{nwk}");
+        for n in &names {
+            assert!(nwk.contains(n.as_str()), "{nwk}");
+        }
+        assert!(nwk.ends_with(';'));
+    }
+
+    #[test]
+    fn consensus_majority_rule() {
+        // Two trees agree on {t2,t3}; the third differs everywhere else.
+        let a = tree("((t0,t1),(t2,t3),t4);", 5);
+        let b = tree("((t0,t4),(t2,t3),t1);", 5);
+        let c3 = tree("((t0,t2),(t1,t4),t3);", 5);
+        let c = majority_rule_consensus(&[a, b, c3], 0.5);
+        assert_eq!(c.n_clades(), 1, "only {{t2,t3}} is in a 2/3 majority");
+        assert!(!c.is_fully_resolved());
+        let (taxa, f) = &c.clades()[0];
+        assert_eq!(taxa, &vec![2, 3]);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consensus_of_incompatible_trees_is_a_star() {
+        let a = tree("((t0,t1),(t2,t3),t4);", 5);
+        let b = tree("((t0,t2),(t1,t3),t4);", 5);
+        let c = majority_rule_consensus(&[a, b], 0.5);
+        assert_eq!(c.n_clades(), 0, "nothing reaches a strict majority");
+        let names: Vec<String> = (0..5).map(|i| format!("t{i}")).collect();
+        let nwk = c.to_newick(&names);
+        assert_eq!(nwk.matches(',').count(), 4, "star tree: {nwk}");
+    }
+
+    #[test]
+    fn consensus_nests_clades() {
+        // Trees agreeing on nested clades {t3,t4} ⊂ {t2,t3,t4}.
+        let t = tree("((t0,t1),(t2,(t3,t4)),t5);", 6);
+        let c = majority_rule_consensus(&[t.clone(), t], 0.5);
+        assert_eq!(c.n_clades(), 3);
+        let names: Vec<String> = (0..6).map(|i| format!("t{i}")).collect();
+        let nwk = c.to_newick(&names);
+        // The consensus newick of identical inputs parses back to the same
+        // topology (it is binary here).
+        let back = parse_newick(&nwk, &names).unwrap();
+        assert_eq!(robinson_foulds(&back, &tree("((t0,t1),(t2,(t3,t4)),t5);", 6)), 0, "{nwk}");
+    }
+
+    #[test]
+    fn large_taxon_sets_cross_word_boundary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tree::random(130, 0.1, &mut rng).unwrap();
+        let splits = tree_bipartitions(&t);
+        assert_eq!(splits.len(), 127);
+        assert_eq!(robinson_foulds(&t, &t), 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Full analyses: multiple inferences + non-parametric bootstrapping under a
+//! thread master–worker (the paper's §3.1 MPI scheme, in-process).
+//!
+//! A "publishable" reconstruction runs 20–200 distinct inferences on the
+//! original alignment (to find the best-known ML tree) plus 100–1,000
+//! bootstrap replicates on re-weighted alignments (to attach confidence
+//! values to the tree's branches). All of these are independent — the
+//! embarrassing parallelism the Cell port schedules across SPEs.
+
+use crate::alignment::PatternAlignment;
+use crate::bipartitions::split_support;
+use crate::parallel::run_master_worker;
+use crate::search::{infer_ml_tree, SearchConfig, SearchResult};
+use crate::trace::Trace;
+use crate::tree::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Configuration of a complete analysis.
+#[derive(Debug, Clone)]
+pub struct BootstrapAnalysis {
+    /// Distinct inferences on the original alignment.
+    pub n_inferences: usize,
+    /// Bootstrap replicates on re-weighted alignments.
+    pub n_bootstraps: usize,
+    /// Worker threads (the MPI "workers" of the paper).
+    pub n_workers: usize,
+    /// Master seed; every job derives its own deterministic seed.
+    pub seed: u64,
+    /// Per-inference search settings.
+    pub search: SearchConfig,
+}
+
+/// The best tree with per-internal-edge bootstrap support.
+#[derive(Debug, Clone)]
+pub struct SupportTree {
+    /// The best-scoring ML tree.
+    pub tree: Tree,
+    /// Support fraction (0–1) for each internal edge.
+    pub support: Vec<((NodeId, NodeId), f64)>,
+}
+
+impl SupportTree {
+    /// Support of a given internal edge, if it is one.
+    pub fn support_of(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.support
+            .iter()
+            .find(|((x, y), _)| (*x == a && *y == b) || (*x == b && *y == a))
+            .map(|&(_, s)| s)
+    }
+
+    /// Newick string with bootstrap support values as internal node labels
+    /// (the standard `(...)support:length` convention, support in percent).
+    pub fn to_newick_with_support(&self, names: &[String]) -> String {
+        let tree = &self.tree;
+        let root = names.len(); // first inner node
+        let mut s = String::new();
+        s.push('(');
+        let kids: Vec<(NodeId, f64)> = tree.neighbors_of(root).collect();
+        for (i, &(child, len)) in kids.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            self.write_rec(child, root, len, names, &mut s);
+        }
+        s.push_str(");");
+        s
+    }
+
+    fn write_rec(&self, node: NodeId, parent: NodeId, len: f64, names: &[String], out: &mut String) {
+        if self.tree.is_tip(node) {
+            let _ = write!(out, "{}:{:.9}", names[node], len);
+            return;
+        }
+        out.push('(');
+        let mut first = true;
+        for (child, clen) in self.tree.neighbors_of(node) {
+            if child == parent {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            self.write_rec(child, node, clen, names, out);
+        }
+        out.push(')');
+        if let Some(sup) = self.support_of(node, parent) {
+            let _ = write!(out, "{:.0}", sup * 100.0);
+        }
+        let _ = write!(out, ":{:.9}", len);
+    }
+}
+
+/// Result of a complete analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// Best tree over all inferences, with support values.
+    pub best: SupportTree,
+    /// Log-likelihood of the best tree.
+    pub best_log_likelihood: f64,
+    /// Log-likelihoods of every inference, in job order.
+    pub inference_log_likelihoods: Vec<f64>,
+    /// Final trees of the bootstrap replicates.
+    pub bootstrap_trees: Vec<Tree>,
+    /// Merged kernel trace over all jobs.
+    pub trace: Trace,
+}
+
+impl AnalysisResult {
+    /// Majority-rule consensus of the bootstrap replicate trees (the other
+    /// standard way — besides support values on the best tree — to
+    /// summarize a bootstrap analysis).
+    pub fn consensus(&self, threshold: f64) -> crate::bipartitions::Consensus {
+        crate::bipartitions::majority_rule_consensus(&self.bootstrap_trees, threshold)
+    }
+}
+
+enum Job {
+    Inference { seed: u64 },
+    Bootstrap { seed: u64 },
+}
+
+impl BootstrapAnalysis {
+    /// Sensible defaults for a quick analysis.
+    pub fn quick(seed: u64) -> BootstrapAnalysis {
+        BootstrapAnalysis {
+            n_inferences: 3,
+            n_bootstraps: 10,
+            n_workers: 4,
+            seed,
+            search: SearchConfig::fast(),
+        }
+    }
+
+    /// Run the full analysis on an alignment.
+    pub fn run(&self, aln: &PatternAlignment) -> AnalysisResult {
+        assert!(self.n_inferences >= 1, "need at least one inference to pick a best tree");
+        let mut jobs = Vec::with_capacity(self.n_inferences + self.n_bootstraps);
+        for i in 0..self.n_inferences {
+            jobs.push(Job::Inference { seed: self.seed.wrapping_add(i as u64) });
+        }
+        for i in 0..self.n_bootstraps {
+            jobs.push(Job::Bootstrap {
+                seed: self.seed.wrapping_add(0x1000_0000).wrapping_add(i as u64),
+            });
+        }
+
+        let search = &self.search;
+        let results: Vec<SearchResult> = run_master_worker(jobs, self.n_workers, |_, job| {
+            match job {
+                Job::Inference { seed } => infer_ml_tree(aln, search, seed),
+                Job::Bootstrap { seed } => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let replicate = aln.bootstrap_replicate(&mut rng);
+                    infer_ml_tree(&replicate, search, seed)
+                }
+            }
+        });
+
+        let (inferences, bootstraps) = results.split_at(self.n_inferences);
+        let best_idx = inferences
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.log_likelihood.partial_cmp(&b.log_likelihood).expect("lnl is never NaN")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one inference");
+        let best_tree = inferences[best_idx].tree.clone();
+        let bootstrap_trees: Vec<Tree> = bootstraps.iter().map(|r| r.tree.clone()).collect();
+        let support = split_support(&best_tree, &bootstrap_trees);
+
+        let mut trace = Trace::counters_only();
+        for r in &results {
+            trace.merge(&r.trace);
+        }
+
+        AnalysisResult {
+            best: SupportTree { tree: best_tree, support },
+            best_log_likelihood: inferences[best_idx].log_likelihood,
+            inference_log_likelihoods: inferences.iter().map(|r| r.log_likelihood).collect(),
+            bootstrap_trees,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartitions::robinson_foulds;
+    use crate::simulate::SimulationConfig;
+
+    fn quick_analysis(n_taxa: usize, n_sites: usize, seed: u64) -> (AnalysisResult, crate::simulate::SimulatedWorkload) {
+        let w = SimulationConfig {
+            mean_branch: 0.12,
+            ..SimulationConfig::new(n_taxa, n_sites, seed)
+        }
+        .generate();
+        let analysis = BootstrapAnalysis {
+            n_inferences: 2,
+            n_bootstraps: 6,
+            n_workers: 3,
+            seed: 7,
+            search: SearchConfig::fast(),
+        };
+        (analysis.run(&w.alignment), w)
+    }
+
+    #[test]
+    fn analysis_produces_consistent_result() {
+        let (result, w) = quick_analysis(6, 800, 3);
+        assert_eq!(result.inference_log_likelihoods.len(), 2);
+        assert_eq!(result.bootstrap_trees.len(), 6);
+        assert!(result.best_log_likelihood < 0.0);
+        assert!(result
+            .inference_log_likelihoods
+            .iter()
+            .all(|&l| l <= result.best_log_likelihood));
+        result.best.tree.validate().unwrap();
+        // n − 3 internal edges get support values.
+        assert_eq!(result.best.support.len(), 6 - 3);
+        // Clean data: the best tree should be at most one split away from
+        // the truth (the ML tree on finite data can legitimately differ)
+        // and reasonably supported.
+        assert!(robinson_foulds(&result.best.tree, &w.true_tree) <= 2);
+        let mean_support: f64 = result.best.support.iter().map(|&(_, s)| s).sum::<f64>()
+            / result.best.support.len() as f64;
+        assert!(mean_support > 0.5, "clean data should be well supported: {mean_support}");
+    }
+
+    #[test]
+    fn support_values_are_probabilities() {
+        let (result, _) = quick_analysis(6, 300, 5);
+        for &(_, s) in &result.best.support {
+            assert!((0.0..=1.0).contains(&s), "support {s} out of range");
+        }
+    }
+
+    #[test]
+    fn newick_with_support_is_parseable_shape() {
+        let (result, w) = quick_analysis(6, 300, 9);
+        let names = w.alignment.taxon_names().to_vec();
+        let nwk = result.best.to_newick_with_support(&names);
+        assert!(nwk.ends_with(");"));
+        for name in &names {
+            assert!(nwk.contains(name.as_str()));
+        }
+        // Internal labels appear as ")<digits>:".
+        assert!(
+            nwk.contains(")1") || nwk.contains(")0") || nwk.contains(")8") || nwk.contains(")9"),
+            "expected support labels in {nwk}"
+        );
+    }
+
+    #[test]
+    fn consensus_agrees_with_support_values() {
+        let (result, _) = quick_analysis(6, 800, 3);
+        let consensus = result.consensus(0.5);
+        // Every consensus clade's support must match a well-supported split
+        // of the best tree or reflect genuine replicate variation; at
+        // minimum the counts are consistent: a fully resolved consensus has
+        // n − 3 clades.
+        assert!(consensus.n_clades() <= 6 - 3);
+        for (taxa, f) in consensus.clades() {
+            assert!(*f > 0.5 && *f <= 1.0);
+            assert!(taxa.len() >= 2 && taxa.len() <= 4);
+        }
+        // High-support splits on the best tree (>50%) appear in the
+        // consensus (they are, by definition, majority splits of the
+        // replicates).
+        let majority_on_best =
+            result.best.support.iter().filter(|&&(_, s)| s > 0.5).count();
+        assert!(consensus.n_clades() >= majority_on_best.min(6 - 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = quick_analysis(6, 200, 13);
+        let (b, _) = quick_analysis(6, 200, 13);
+        assert_eq!(a.best_log_likelihood, b.best_log_likelihood);
+        assert_eq!(a.best.tree, b.best.tree);
+        assert_eq!(a.inference_log_likelihoods, b.inference_log_likelihoods);
+    }
+
+    #[test]
+    fn trace_aggregates_all_jobs() {
+        let (result, _) = quick_analysis(6, 200, 17);
+        // 8 jobs, each a full search: plenty of kernel calls.
+        assert!(result.trace.counters().newview_calls > 500);
+        assert!(result.trace.counters().makenewz_calls > 50);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+/// Errors produced while parsing inputs or validating analysis parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhyloError {
+    /// A sequence character was not a recognized IUPAC nucleotide code.
+    InvalidCharacter { taxon: String, position: usize, ch: char },
+    /// Sequences in one alignment have differing lengths.
+    RaggedAlignment { taxon: String, expected: usize, found: usize },
+    /// Two taxa share the same name.
+    DuplicateTaxon(String),
+    /// The alignment is empty or too small for the requested analysis.
+    TooFewTaxa { found: usize, required: usize },
+    /// The alignment has zero columns.
+    EmptyAlignment,
+    /// A FASTA/PHYLIP/Newick input could not be parsed.
+    Parse { format: &'static str, line: usize, message: String },
+    /// A model parameter was out of its valid domain.
+    InvalidParameter { name: &'static str, value: f64, reason: &'static str },
+    /// A tree operation referenced a node that does not exist or has the
+    /// wrong degree.
+    TreeStructure(String),
+}
+
+impl fmt::Display for PhyloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyloError::InvalidCharacter { taxon, position, ch } => write!(
+                f,
+                "invalid nucleotide character {ch:?} at position {position} in taxon {taxon:?}"
+            ),
+            PhyloError::RaggedAlignment { taxon, expected, found } => write!(
+                f,
+                "taxon {taxon:?} has {found} sites but the alignment has {expected}"
+            ),
+            PhyloError::DuplicateTaxon(name) => write!(f, "duplicate taxon name {name:?}"),
+            PhyloError::TooFewTaxa { found, required } => {
+                write!(f, "alignment has {found} taxa but at least {required} are required")
+            }
+            PhyloError::EmptyAlignment => write!(f, "alignment has no columns"),
+            PhyloError::Parse { format, line, message } => {
+                write!(f, "{format} parse error at line {line}: {message}")
+            }
+            PhyloError::InvalidParameter { name, value, reason } => {
+                write!(f, "invalid value {value} for parameter {name}: {reason}")
+            }
+            PhyloError::TreeStructure(msg) => write!(f, "tree structure error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PhyloError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PhyloError>;

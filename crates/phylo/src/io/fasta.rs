@@ -1,0 +1,112 @@
+//! FASTA parsing and writing.
+
+use crate::alignment::Alignment;
+use crate::error::{PhyloError, Result};
+
+/// Parse a FASTA-formatted multiple sequence alignment. Headers are taken up
+/// to the first whitespace; sequences may span multiple lines.
+pub fn parse_fasta(text: &str) -> Result<Alignment> {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut current: Option<(String, String)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('>') {
+            if let Some(done) = current.take() {
+                pairs.push(done);
+            }
+            let name = rest.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Err(PhyloError::Parse {
+                    format: "FASTA",
+                    line: lineno + 1,
+                    message: "empty sequence header".into(),
+                });
+            }
+            current = Some((name, String::new()));
+        } else {
+            match current.as_mut() {
+                Some((_, seq)) => seq.push_str(line),
+                None => {
+                    return Err(PhyloError::Parse {
+                        format: "FASTA",
+                        line: lineno + 1,
+                        message: "sequence data before the first '>' header".into(),
+                    })
+                }
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        pairs.push(done);
+    }
+    if pairs.is_empty() {
+        return Err(PhyloError::Parse {
+            format: "FASTA",
+            line: 0,
+            message: "no sequences found".into(),
+        });
+    }
+    Alignment::from_named_sequences(&pairs)
+}
+
+/// Write an alignment as FASTA, wrapping sequence lines at 70 columns.
+pub fn write_fasta(aln: &Alignment) -> String {
+    let mut out = String::new();
+    for (i, name) in aln.taxon_names().iter().enumerate() {
+        out.push('>');
+        out.push_str(name);
+        out.push('\n');
+        let seq = aln.sequence_string(i);
+        for chunk in seq.as_bytes().chunks(70) {
+            out.push_str(std::str::from_utf8(chunk).expect("sequences are ASCII"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let aln = parse_fasta(">a\nACGT\n>b\nACGA\n").unwrap();
+        assert_eq!(aln.n_taxa(), 2);
+        assert_eq!(aln.n_sites(), 4);
+        assert_eq!(aln.taxon_names(), &["a", "b"]);
+    }
+
+    #[test]
+    fn multiline_sequences_and_header_comments() {
+        let aln = parse_fasta(">seq1 some description\nAC\nGT\n>seq2\nAC\nGA\n").unwrap();
+        assert_eq!(aln.taxon_names(), &["seq1", "seq2"]);
+        assert_eq!(aln.sequence_string(0), "ACGT");
+    }
+
+    #[test]
+    fn round_trip() {
+        let w = crate::simulate::SimulationConfig::new(6, 150, 3).generate();
+        let text = write_fasta(&w.raw);
+        let back = parse_fasta(&text).unwrap();
+        assert_eq!(back, w.raw);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse_fasta(""), Err(PhyloError::Parse { .. })));
+        assert!(matches!(parse_fasta("ACGT\n"), Err(PhyloError::Parse { .. })));
+        assert!(matches!(parse_fasta(">\nACGT\n"), Err(PhyloError::Parse { .. })));
+        assert!(matches!(
+            parse_fasta(">a\nACGT\n>b\nACG\n"),
+            Err(PhyloError::RaggedAlignment { .. })
+        ));
+        assert!(matches!(
+            parse_fasta(">a\nAZGT\n>b\nACGT\n"),
+            Err(PhyloError::InvalidCharacter { .. })
+        ));
+    }
+}

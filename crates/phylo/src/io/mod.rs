@@ -1,0 +1,10 @@
+//! Sequence and tree interchange formats: FASTA, PHYLIP (the format of the
+//! paper's `42_SC` input) and Newick.
+
+pub mod fasta;
+pub mod newick;
+pub mod phylip;
+
+pub use fasta::{parse_fasta, write_fasta};
+pub use newick::{parse_newick, write_newick};
+pub use phylip::{parse_phylip, write_phylip};

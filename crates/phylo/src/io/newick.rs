@@ -1,0 +1,312 @@
+//! Newick tree parsing and writing.
+//!
+//! Trees are unrooted internally; rooted (binary-root) Newick inputs are
+//! unrooted on the fly, matching how RAxML treats its starting trees.
+
+use crate::error::{PhyloError, Result};
+use crate::tree::{NodeId, Tree};
+use std::collections::HashMap;
+
+/// Default branch length for Newick inputs that omit lengths.
+const DEFAULT_LEN: f64 = 0.1;
+
+#[derive(Debug)]
+enum Ast {
+    Leaf { name: String, len: f64 },
+    Inner { children: Vec<Ast>, len: f64 },
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> PhyloError {
+        // Report character offset as the "line" surrogate: Newick is
+        // conventionally one line.
+        PhyloError::Parse { format: "Newick", line: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_node(&mut self) -> Result<Ast> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let mut children = vec![self.parse_node()?];
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                        children.push(self.parse_node()?);
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected ',' or ')' in subtree, found {:?}",
+                            other.map(|b| b as char)
+                        )))
+                    }
+                }
+            }
+            let _label = self.parse_label(); // inner labels (support) ignored
+            let len = self.parse_length()?;
+            Ok(Ast::Inner { children, len })
+        } else {
+            let name = self.parse_label();
+            if name.is_empty() {
+                return Err(self.err("expected a taxon label"));
+            }
+            let len = self.parse_length()?;
+            Ok(Ast::Leaf { name, len })
+        }
+    }
+
+    fn parse_label(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'(' | b')' | b',' | b':' | b';' | b' ' | b'\t' | b'\n' | b'\r') {
+                break;
+            }
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn parse_length(&mut self) -> Result<f64> {
+        self.skip_ws();
+        if self.peek() != Some(b':') {
+            return Ok(DEFAULT_LEN);
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        s.parse::<f64>().map_err(|_| self.err(format!("invalid branch length {s:?}")))
+    }
+}
+
+/// Parse a Newick string into a [`Tree`]. `names` fixes the taxon-index
+/// mapping (tip `i` of the tree corresponds to `names[i]`, exactly as in the
+/// alignment the tree will be scored against). The tree must be strictly
+/// binary (a degree-2 root is unrooted automatically).
+pub fn parse_newick(text: &str, names: &[String]) -> Result<Tree> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut root = parser.parse_node()?;
+    parser.skip_ws();
+    if parser.peek() == Some(b';') {
+        parser.pos += 1;
+    }
+    parser.skip_ws();
+    if parser.peek().is_some() {
+        return Err(parser.err("trailing characters after ';'"));
+    }
+
+    // Unroot a binary root: absorb the rooting by merging its two children.
+    loop {
+        match root {
+            Ast::Inner { ref mut children, .. } if children.len() == 2 => {
+                let b = children.pop().unwrap();
+                let a = children.pop().unwrap();
+                // Attach the shallower side under the deeper side's node,
+                // with the two root branch lengths summed.
+                let (mut base, other) = match (a, b) {
+                    (Ast::Inner { children, len }, other) => (Ast::Inner { children, len }, other),
+                    (other, Ast::Inner { children, len }) => (Ast::Inner { children, len }, other),
+                    (Ast::Leaf { .. }, Ast::Leaf { .. }) => {
+                        return Err(PhyloError::TooFewTaxa { found: 2, required: 3 })
+                    }
+                };
+                let base_len = match &base {
+                    Ast::Inner { len, .. } => *len,
+                    _ => unreachable!(),
+                };
+                let other = match other {
+                    Ast::Leaf { name, len } => Ast::Leaf { name, len: len + base_len },
+                    Ast::Inner { children, len } => {
+                        Ast::Inner { children, len: len + base_len }
+                    }
+                };
+                if let Ast::Inner { children, .. } = &mut base {
+                    children.push(other);
+                }
+                root = base;
+            }
+            _ => break,
+        }
+    }
+
+    let n_taxa = names.len();
+    let name_to_id: HashMap<&str, usize> =
+        names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+
+    // Flatten the AST into an edge list.
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    let mut next_inner = n_taxa;
+    let mut seen_tips = vec![false; n_taxa];
+
+    fn build(
+        ast: &Ast,
+        name_to_id: &HashMap<&str, usize>,
+        next_inner: &mut usize,
+        edges: &mut Vec<(NodeId, NodeId, f64)>,
+        seen: &mut [bool],
+        is_root: bool,
+    ) -> Result<(NodeId, f64)> {
+        match ast {
+            Ast::Leaf { name, len } => {
+                let &id = name_to_id.get(name.as_str()).ok_or_else(|| PhyloError::Parse {
+                    format: "Newick",
+                    line: 0,
+                    message: format!("unknown taxon {name:?}"),
+                })?;
+                if seen[id] {
+                    return Err(PhyloError::DuplicateTaxon(name.clone()));
+                }
+                seen[id] = true;
+                Ok((id, *len))
+            }
+            Ast::Inner { children, len } => {
+                let expected = if is_root { 3 } else { 2 };
+                if children.len() != expected {
+                    return Err(PhyloError::Parse {
+                        format: "Newick",
+                        line: 0,
+                        message: format!(
+                            "non-binary node with {} children (expected {expected})",
+                            children.len()
+                        ),
+                    });
+                }
+                let id = *next_inner;
+                *next_inner += 1;
+                for child in children {
+                    let (cid, clen) = build(child, name_to_id, next_inner, edges, seen, false)?;
+                    edges.push((id, cid, clen));
+                }
+                Ok((id, *len))
+            }
+        }
+    }
+
+    match &root {
+        Ast::Leaf { .. } => return Err(PhyloError::TooFewTaxa { found: 1, required: 3 }),
+        Ast::Inner { .. } => {
+            build(&root, &name_to_id, &mut next_inner, &mut edges, &mut seen_tips, true)?;
+        }
+    }
+    if let Some(missing) = seen_tips.iter().position(|&s| !s) {
+        return Err(PhyloError::Parse {
+            format: "Newick",
+            line: 0,
+            message: format!("taxon {:?} missing from the tree", names[missing]),
+        });
+    }
+    Tree::from_edges(n_taxa, &edges)
+}
+
+/// Serialize a tree to Newick (delegates to [`Tree::to_newick`]).
+pub fn write_newick(tree: &Tree, names: &[String]) -> String {
+    tree.to_newick(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartitions::robinson_foulds;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn parse_trifurcating() {
+        let t = parse_newick("(t0:0.1,t1:0.2,t2:0.3);", &names(3)).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.edges().len(), 3);
+        let inner = t.neighbors_of(0).next().unwrap().0;
+        assert!((t.branch_length(0, inner) - 0.1).abs() < 1e-12);
+        assert!((t.branch_length(2, inner) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rooted_binary_and_unroot() {
+        let t = parse_newick("((t0:0.1,t1:0.2):0.05,(t2:0.3,t3:0.4):0.15);", &names(4)).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.edges().len(), 5);
+        // The two root-adjacent branch lengths merge: 0.05 + 0.15 = 0.2.
+        let internal: Vec<_> = t
+            .edges()
+            .into_iter()
+            .filter(|&(a, b)| !t.is_tip(a) && !t.is_tip(b))
+            .collect();
+        assert_eq!(internal.len(), 1);
+        let (a, b) = internal[0];
+        assert!((t.branch_length(a, b) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lengths_default_when_missing() {
+        let t = parse_newick("(t0,t1,(t2,t3));", &names(4)).unwrap();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_random_trees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let names = names(17);
+        for _ in 0..5 {
+            let t = crate::tree::Tree::random(17, 0.1, &mut rng).unwrap();
+            let text = write_newick(&t, &names);
+            let back = parse_newick(&text, &names).unwrap();
+            assert_eq!(robinson_foulds(&t, &back), 0, "topology must round-trip: {text}");
+            // Branch lengths round-trip through the 9-decimal formatting:
+            // compare total tree lengths (node ids of inner nodes may differ).
+            assert!((t.total_length() - back.total_length()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        let n = names(3);
+        assert!(parse_newick("", &n).is_err());
+        assert!(parse_newick("(t0,t1,t2); junk", &n).is_err());
+        assert!(parse_newick("(t0,t1,unknown);", &n).is_err());
+        assert!(parse_newick("(t0,t1,t0);", &n).is_err());
+        assert!(parse_newick("(t0:x,t1,t2);", &n).is_err());
+        // Multifurcation beyond the root trifurcation.
+        assert!(parse_newick("((t0,t1,t2,t3),t4,t5);", &names(6)).is_err());
+        // Missing taxon.
+        assert!(parse_newick("(t0,t1,(t2,t2));", &names(4)).is_err());
+    }
+
+    #[test]
+    fn support_labels_are_ignored() {
+        let t =
+            parse_newick("((t0:0.1,t1:0.2)0.95:0.05,t2:0.3,t3:0.1);", &names(4)).unwrap();
+        t.validate().unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! Relaxed sequential PHYLIP parsing and writing — the input format of
+//! RAxML (the paper's `42_SC` file is a PHYLIP alignment of 42 sequences of
+//! length 1167).
+
+use crate::alignment::Alignment;
+use crate::error::{PhyloError, Result};
+
+/// Parse a relaxed sequential PHYLIP file: a header line `n_taxa n_sites`,
+/// then one record per taxon — a name token followed by sequence characters,
+/// which may continue across lines until `n_sites` characters are read.
+pub fn parse_phylip(text: &str) -> Result<Alignment> {
+    let mut lines = text.lines().enumerate();
+
+    // Header.
+    let (hline, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty())
+        .ok_or(PhyloError::Parse { format: "PHYLIP", line: 0, message: "empty input".into() })?;
+    let mut it = header.split_whitespace();
+    let n_taxa: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or(PhyloError::Parse {
+            format: "PHYLIP",
+            line: hline + 1,
+            message: "header must start with the taxon count".into(),
+        })?;
+    let n_sites: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or(PhyloError::Parse {
+            format: "PHYLIP",
+            line: hline + 1,
+            message: "header must contain the site count".into(),
+        })?;
+
+    let mut pairs: Vec<(String, String)> = Vec::with_capacity(n_taxa);
+    let mut current: Option<(String, String)> = None;
+    let mut last_line = hline;
+    for (lineno, line) in lines {
+        last_line = lineno;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match current.as_mut() {
+            None => {
+                // New record: first token is the name.
+                let mut parts = line.splitn(2, char::is_whitespace);
+                let name = parts.next().unwrap_or("").to_string();
+                let seq: String =
+                    parts.next().unwrap_or("").chars().filter(|c| !c.is_whitespace()).collect();
+                current = Some((name, seq));
+            }
+            Some((_, seq)) => {
+                seq.extend(line.chars().filter(|c| !c.is_whitespace()));
+            }
+        }
+        if let Some((_, seq)) = current.as_ref() {
+            if seq.len() >= n_sites {
+                if seq.len() > n_sites {
+                    return Err(PhyloError::Parse {
+                        format: "PHYLIP",
+                        line: lineno + 1,
+                        message: format!(
+                            "sequence longer than the declared {n_sites} sites"
+                        ),
+                    });
+                }
+                pairs.push(current.take().unwrap());
+            }
+        }
+        if pairs.len() == n_taxa {
+            break;
+        }
+    }
+    if let Some((name, seq)) = current {
+        return Err(PhyloError::Parse {
+            format: "PHYLIP",
+            line: last_line + 1,
+            message: format!(
+                "taxon {name:?} has only {} of the declared {n_sites} sites",
+                seq.len()
+            ),
+        });
+    }
+    if pairs.len() != n_taxa {
+        return Err(PhyloError::Parse {
+            format: "PHYLIP",
+            line: last_line + 1,
+            message: format!("found {} of the declared {n_taxa} taxa", pairs.len()),
+        });
+    }
+    Alignment::from_named_sequences(&pairs)
+}
+
+/// Write an alignment in relaxed sequential PHYLIP format.
+pub fn write_phylip(aln: &Alignment) -> String {
+    let width = aln.taxon_names().iter().map(|n| n.len()).max().unwrap_or(0) + 2;
+    let mut out = format!("{} {}\n", aln.n_taxa(), aln.n_sites());
+    for (i, name) in aln.taxon_names().iter().enumerate() {
+        out.push_str(name);
+        for _ in name.len()..width {
+            out.push(' ');
+        }
+        out.push_str(&aln.sequence_string(i));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let aln = parse_phylip("2 4\nalpha ACGT\nbeta  ACGA\n").unwrap();
+        assert_eq!(aln.n_taxa(), 2);
+        assert_eq!(aln.n_sites(), 4);
+        assert_eq!(aln.taxon_names(), &["alpha", "beta"]);
+    }
+
+    #[test]
+    fn multiline_records() {
+        let aln = parse_phylip("2 8\nalpha ACGT\nACGT\nbeta ACGAACGA\n").unwrap();
+        assert_eq!(aln.sequence_string(0), "ACGTACGT");
+        assert_eq!(aln.sequence_string(1), "ACGAACGA");
+    }
+
+    #[test]
+    fn round_trip() {
+        let w = crate::simulate::SimulationConfig::new(7, 90, 11).generate();
+        let text = write_phylip(&w.raw);
+        let back = parse_phylip(&text).unwrap();
+        assert_eq!(back, w.raw);
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(parse_phylip("").is_err());
+        assert!(parse_phylip("x y\n").is_err());
+        assert!(parse_phylip("2\n").is_err());
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        // Missing taxa.
+        assert!(parse_phylip("3 4\na ACGT\nb ACGT\n").is_err());
+        // Short sequence.
+        assert!(parse_phylip("2 4\na ACG\n").is_err());
+        // Long sequence.
+        assert!(parse_phylip("2 4\na ACGTT\nb ACGT\n").is_err());
+    }
+}

@@ -1,0 +1,683 @@
+//! The likelihood engine: per-node partial buffers, lazy virtual-root
+//! traversal (`newview`), branch log-likelihood (`evaluate`) and Newton
+//! branch-length optimization (`makenewz`) — the three functions the paper
+//! offloads to the Cell SPEs, with the same laziness structure:
+//! "`makenewz()` and `evaluate()` initially make calls to `newview()` before
+//! they can execute their own computation" (§5.2).
+
+use super::kernels::{build_sumtable, build_tip_tables, Child, EvalOperand, Mat4};
+use super::LikelihoodConfig;
+use crate::alignment::PatternAlignment;
+use crate::model::{GammaRates, SubstModel};
+use crate::parallel::{evaluate_dispatch, newton_dispatch, newview_dispatch};
+use crate::trace::{CallParent, KernelEvent, KernelOp, Trace};
+use crate::tree::{clamp_branch, Edge, NodeId, Tree};
+
+/// Maximum Newton iterations per `makenewz`.
+const NEWTON_MAX_ITER: usize = 32;
+/// Newton convergence tolerance on the branch length.
+const NEWTON_TOL: f64 = 1e-9;
+
+/// The likelihood engine. One engine serves one alignment + model + tree
+/// family; it owns the partial-likelihood buffers for every inner node.
+pub struct LikelihoodEngine<'a> {
+    aln: &'a PatternAlignment,
+    model: SubstModel,
+    rates: GammaRates,
+    config: LikelihoodConfig,
+    n_patterns: usize,
+    n_rates: usize,
+    /// Partial vectors per inner node (`[pattern][rate][state]` layout).
+    partials: Vec<Vec<f64>>,
+    /// Per-pattern scaling counts per inner node.
+    scales: Vec<Vec<u32>>,
+    /// `orientation[i] = Some(q)`: inner node `n_taxa + i`'s partial is
+    /// valid for the tree rooted so that `q` is its parent.
+    orientation: Vec<Option<NodeId>>,
+    n_taxa: usize,
+    trace: Trace,
+}
+
+impl<'a> LikelihoodEngine<'a> {
+    /// Create an engine for an alignment, substitution model and rate model.
+    pub fn new(
+        aln: &'a PatternAlignment,
+        model: SubstModel,
+        rates: GammaRates,
+        config: LikelihoodConfig,
+    ) -> LikelihoodEngine<'a> {
+        let n_taxa = aln.n_taxa();
+        let n_inner = n_taxa.saturating_sub(2);
+        let n_patterns = aln.n_patterns();
+        let n_rates = rates.n_categories();
+        LikelihoodEngine {
+            aln,
+            model,
+            rates,
+            config,
+            n_patterns,
+            n_rates,
+            partials: vec![vec![0.0; n_patterns * n_rates * 4]; n_inner],
+            scales: vec![vec![0; n_patterns]; n_inner],
+            orientation: vec![None; n_inner],
+            n_taxa,
+            trace: Trace::counters_only(),
+        }
+    }
+
+    /// The alignment this engine evaluates against.
+    pub fn alignment(&self) -> &PatternAlignment {
+        self.aln
+    }
+
+    /// Current substitution model.
+    pub fn model(&self) -> &SubstModel {
+        &self.model
+    }
+
+    /// Current rate model.
+    pub fn rates(&self) -> &GammaRates {
+        &self.rates
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &LikelihoodConfig {
+        &self.config
+    }
+
+    /// Replace the substitution model (invalidates all partials).
+    pub fn set_model(&mut self, model: SubstModel) {
+        self.model = model;
+        self.invalidate_all();
+    }
+
+    /// Update the Γ shape parameter (invalidates all partials).
+    pub fn set_alpha(&mut self, alpha: f64) -> crate::error::Result<()> {
+        self.rates.set_alpha(alpha)?;
+        self.invalidate_all();
+        Ok(())
+    }
+
+    /// Access the collected trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Switch to full event recording (for cellsim replay).
+    pub fn enable_event_recording(&mut self) {
+        self.trace = Trace::recording();
+    }
+
+    /// Take the trace, leaving a fresh one with the same recording mode.
+    pub fn take_trace(&mut self) -> Trace {
+        let fresh =
+            if self.trace.is_recording() { Trace::recording() } else { Trace::counters_only() };
+        std::mem::replace(&mut self.trace, fresh)
+    }
+
+    /// Invalidate every cached partial (call after any topology change).
+    pub fn invalidate_all(&mut self) {
+        for o in &mut self.orientation {
+            *o = None;
+        }
+    }
+
+    /// Invalidate exactly the partials whose subtree contains the branch
+    /// `(u, v)` — everything except partials oriented *toward* the branch.
+    /// Call after changing that branch's length.
+    pub fn invalidate_for_branch(&mut self, tree: &Tree, u: NodeId, v: NodeId) {
+        // First hop from every node toward u (BFS with parent pointers).
+        let mut hop = vec![usize::MAX; tree.n_nodes()];
+        let mut stack = vec![u];
+        let mut seen = vec![false; tree.n_nodes()];
+        seen[u] = true;
+        while let Some(x) = stack.pop() {
+            for (n, _) in tree.neighbors_of(x) {
+                if !seen[n] {
+                    seen[n] = true;
+                    hop[n] = x; // first hop from n toward u is x
+                    stack.push(n);
+                }
+            }
+        }
+        hop[u] = v; // from u, the branch lies toward v
+
+        for inner in self.n_taxa..tree.n_nodes() {
+            let idx = inner - self.n_taxa;
+            // Nodes not connected to the branch (e.g. a pruned subtree)
+            // cannot contain it; their caches stay as they are.
+            if hop[inner] == usize::MAX && inner != u {
+                continue;
+            }
+            if let Some(q) = self.orientation[idx] {
+                // The partial at `inner` toward q covers the subtree away
+                // from q; it contains branch (u,v) unless q is the first hop
+                // toward the branch.
+                if q != hop[inner] {
+                    self.orientation[idx] = None;
+                }
+            }
+        }
+    }
+
+    /// Rename the target of a cached orientation: if `node`'s partial is
+    /// valid "toward `from`", mark it valid "toward `to`" instead. Used by
+    /// the SPR bookkeeping when a topology edit replaces a neighbor without
+    /// changing the subtree the partial summarizes (e.g. splitting the edge
+    /// `(x, y)` with a junction `v` turns "x toward y" into "x toward v").
+    pub fn remap_orientation(&mut self, node: NodeId, from: NodeId, to: NodeId) {
+        if node < self.n_taxa {
+            return;
+        }
+        let idx = self.inner_idx(node);
+        if self.orientation[idx] == Some(from) {
+            self.orientation[idx] = Some(to);
+        }
+    }
+
+    /// Drop the cached partial of one inner node.
+    pub fn clear_orientation(&mut self, node: NodeId) {
+        if node >= self.n_taxa {
+            let idx = self.inner_idx(node);
+            self.orientation[idx] = None;
+        }
+    }
+
+    /// Log-likelihood of the tree, evaluated at an arbitrary branch (the
+    /// result is branch-independent for reversible models — paper §5.2:
+    /// "the log likelihood value is the same at all branches of the tree if
+    /// the model of nucleotide substitution is time-reversible").
+    pub fn log_likelihood(&mut self, tree: &Tree) -> f64 {
+        let (u, v) = tree.edges()[0];
+        self.log_likelihood_at(tree, (u, v))
+    }
+
+    /// Log-likelihood evaluated at a specific branch.
+    pub fn log_likelihood_at(&mut self, tree: &Tree, (u, v): Edge) -> f64 {
+        self.prepare(tree, u, v, CallParent::Evaluate);
+        let t = tree.branch_length(u, v);
+        let pmats = self.pmats(t);
+
+        let (inner_ops, lnl);
+        {
+            let op_u = self.operand(u);
+            let op_v = self.operand(v);
+            inner_ops = [u, v].iter().filter(|&&n| !tree.is_tip(n)).count() as u32;
+            lnl = evaluate_dispatch(
+                &op_u,
+                &op_v,
+                &pmats,
+                self.model.freqs(),
+                self.aln.weights(),
+                self.n_rates,
+                self.config.kernel,
+                self.config.parallel,
+            );
+        }
+        self.trace.push(KernelEvent {
+            op: KernelOp::Evaluate,
+            parent: CallParent::Search,
+            patterns: self.n_patterns as u32,
+            rates: self.n_rates as u32,
+            exp_calls: (self.n_rates * 4) as u32,
+            scaling_checks: 0,
+            scalings: 0,
+            newton_iters: 0,
+            inner_operands: inner_ops,
+        });
+        lnl
+    }
+
+    /// Per-pattern log-likelihoods (unweighted), evaluated at the first
+    /// branch. Feeds per-site rate estimation (the CAT model) and
+    /// site-level diagnostics.
+    pub fn site_log_likelihoods(&mut self, tree: &Tree) -> Vec<f64> {
+        let (u, v) = tree.edges()[0];
+        self.prepare(tree, u, v, CallParent::Evaluate);
+        let pmats = self.pmats(tree.branch_length(u, v));
+        let op_u = self.operand(u);
+        let op_v = self.operand(v);
+        super::kernels::evaluate_site_lnls(
+            &op_u,
+            &op_v,
+            &pmats,
+            self.model.freqs(),
+            self.n_patterns,
+            self.n_rates,
+            self.config.kernel,
+        )
+    }
+
+    /// Optimize the length of branch `(u, v)` by Newton–Raphson on the sum
+    /// table (`makenewz`). Updates the tree and invalidates dependent
+    /// partials. Returns the optimized length.
+    pub fn optimize_branch(&mut self, tree: &mut Tree, edge: Edge) -> f64 {
+        self.optimize_branch_with_iters(tree, edge, NEWTON_MAX_ITER).0
+    }
+
+    /// As [`Self::optimize_branch`] with an explicit Newton iteration cap —
+    /// RAxML's lazy SPR scores candidate insertions with one or two Newton
+    /// steps (`newzpercycle`). Returns `(optimized length, log-likelihood
+    /// at the optimized length)`; the likelihood comes for free from the
+    /// sum table, exactly as `makenewz` reports it to the search.
+    pub fn optimize_branch_with_iters(
+        &mut self,
+        tree: &mut Tree,
+        (u, v): Edge,
+        max_iters: usize,
+    ) -> (f64, f64) {
+        self.prepare(tree, u, v, CallParent::Makenewz);
+        let st = {
+            let op_u = self.operand(u);
+            let op_v = self.operand(v);
+            build_sumtable(&op_u, &op_v, &self.model.eigen().w, self.n_patterns, self.n_rates)
+        };
+        let lambdas = self.model.eigen().values;
+        let rates = self.rates.rates().to_vec();
+        let weights = self.aln.weights();
+
+        let mut t = tree.branch_length(u, v);
+        let mut best_t = t;
+        let mut best_lnl = f64::NEG_INFINITY;
+        let mut iters = 0u32;
+        for _ in 0..max_iters {
+            let (lnl, d1, d2) = newton_dispatch(
+                &st,
+                &lambdas,
+                &rates,
+                t,
+                weights,
+                self.config.exp_impl,
+                self.config.kernel,
+                self.config.parallel,
+            );
+            iters += 1;
+            if lnl > best_lnl {
+                best_lnl = lnl;
+                best_t = t;
+            }
+            let dt = if d2 < 0.0 {
+                -d1 / d2
+            } else {
+                // Convex region: move along the gradient geometrically
+                // (RAxML's expand/shrink fallback).
+                if d1 > 0.0 {
+                    t
+                } else {
+                    -0.5 * t
+                }
+            };
+            let t_new = clamp_branch(t + dt);
+            if (t_new - t).abs() < NEWTON_TOL * t.max(1.0) {
+                t = t_new;
+                break;
+            }
+            t = t_new;
+        }
+        // Keep the best point actually visited (Newton can overshoot on
+        // flat likelihood surfaces).
+        let (final_lnl, _, _) = newton_dispatch(
+            &st,
+            &lambdas,
+            &rates,
+            t,
+            weights,
+            self.config.exp_impl,
+            self.config.kernel,
+            self.config.parallel,
+        );
+        let mut lnl_at_t = final_lnl;
+        if final_lnl < best_lnl {
+            t = best_t;
+            lnl_at_t = best_lnl;
+        }
+        t = clamp_branch(t);
+        tree.set_branch_length(u, v, t);
+        self.invalidate_for_branch(tree, u, v);
+
+        let inner_ops = [u, v].iter().filter(|&&n| !tree.is_tip(n)).count() as u32;
+        self.trace.push(KernelEvent {
+            op: KernelOp::Makenewz,
+            parent: CallParent::Search,
+            patterns: self.n_patterns as u32,
+            rates: self.n_rates as u32,
+            exp_calls: iters * (self.n_rates * 4) as u32,
+            scaling_checks: 0,
+            scalings: 0,
+            newton_iters: iters,
+            inner_operands: inner_ops + 1,
+        });
+        (t, lnl_at_t)
+    }
+
+    /// One smoothing pass: optimize every branch once. Returns the final
+    /// log-likelihood. `passes` controls how many sweeps to run (RAxML's
+    /// `smoothings`).
+    pub fn optimize_all_branches(&mut self, tree: &mut Tree, passes: usize) -> f64 {
+        for _ in 0..passes {
+            for (u, v) in tree.edges() {
+                self.optimize_branch(tree, (u, v));
+            }
+        }
+        self.log_likelihood(tree)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn inner_idx(&self, node: NodeId) -> usize {
+        debug_assert!(node >= self.n_taxa);
+        node - self.n_taxa
+    }
+
+    /// Per-rate transition matrices for a branch of length `t`.
+    fn pmats(&self, t: f64) -> Vec<Mat4> {
+        self.rates
+            .rates()
+            .iter()
+            .map(|&r| self.model.transition_matrix(t, r, self.config.exp_impl))
+            .collect()
+    }
+
+    /// Evaluate operand for a node (tip codes or inner partials).
+    fn operand(&self, node: NodeId) -> EvalOperand<'_> {
+        if node < self.n_taxa {
+            EvalOperand::Tip { codes: self.aln.tip_row(node) }
+        } else {
+            let idx = self.inner_idx(node);
+            EvalOperand::Inner { x: &self.partials[idx], scale: &self.scales[idx] }
+        }
+    }
+
+    /// Ensure the partials facing the branch `(u, v)` are up to date.
+    fn prepare(&mut self, tree: &Tree, u: NodeId, v: NodeId, parent: CallParent) {
+        if !tree.is_tip(u) {
+            self.newview_traverse(tree, u, v, parent);
+        }
+        if !tree.is_tip(v) {
+            self.newview_traverse(tree, v, u, parent);
+        }
+    }
+
+    /// Recompute (lazily) the partial at inner node `p` oriented toward
+    /// `toward`, recursing into stale children first. Iterative post-order
+    /// so deep trees cannot overflow the stack.
+    fn newview_traverse(
+        &mut self,
+        tree: &Tree,
+        p: NodeId,
+        toward: NodeId,
+        parent: CallParent,
+    ) {
+        debug_assert!(!tree.is_tip(p));
+        // Collect the stale (node, toward) pairs in reverse finish order.
+        let mut order: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(p, toward)];
+        while let Some((node, tw)) = stack.pop() {
+            if self.orientation[self.inner_idx(node)] == Some(tw) {
+                continue; // already valid — subtree under it is too
+            }
+            order.push((node, tw));
+            for (child, _) in tree.other_neighbors(node, tw) {
+                if !tree.is_tip(child) {
+                    stack.push((child, node));
+                }
+            }
+        }
+        // Compute bottom-up. Every newview of this traversal is tagged with
+        // the high-level caller: RAxML's `makenewz`/`evaluate` execute the
+        // whole traversal descriptor internally, so under full offloading
+        // (§5.2.7) these invocations run back-to-back on the SPE with no
+        // per-node PPE↔SPE communication.
+        for &(node, tw) in order.iter().rev() {
+            self.compute_newview(tree, node, tw, parent);
+        }
+    }
+
+    /// Unconditionally recompute the partial at `p` oriented toward `toward`.
+    fn compute_newview(&mut self, tree: &Tree, p: NodeId, toward: NodeId, parent: CallParent) {
+        let [(a, la), (b, lb)] = tree.other_neighbors(p, toward);
+        let pa = self.pmats(la);
+        let pb = self.pmats(lb);
+
+        // Tip lookup tables are built only for tip children.
+        let ta = tree.is_tip(a).then(|| build_tip_tables(&pa));
+        let tb = tree.is_tip(b).then(|| build_tip_tables(&pb));
+
+        // Move the output buffers out to satisfy the borrow checker while
+        // reading sibling partials.
+        let idx = self.inner_idx(p);
+        let mut out_x = std::mem::take(&mut self.partials[idx]);
+        let mut out_scale = std::mem::take(&mut self.scales[idx]);
+
+        let stats = {
+            let ca: Child<'_> = if tree.is_tip(a) {
+                Child::Tip {
+                    codes: self.aln.tip_row(a),
+                    tables: ta.as_ref().expect("tip tables built for tip child"),
+                }
+            } else {
+                let i = self.inner_idx(a);
+                Child::Inner { x: &self.partials[i], scale: &self.scales[i], pmats: &pa }
+            };
+            let cb: Child<'_> = if tree.is_tip(b) {
+                Child::Tip {
+                    codes: self.aln.tip_row(b),
+                    tables: tb.as_ref().expect("tip tables built for tip child"),
+                }
+            } else {
+                let i = self.inner_idx(b);
+                Child::Inner { x: &self.partials[i], scale: &self.scales[i], pmats: &pb }
+            };
+            newview_dispatch(
+                &ca,
+                &cb,
+                &mut out_x,
+                &mut out_scale,
+                self.n_rates,
+                self.config.kernel,
+                self.config.scaling,
+                self.config.parallel,
+            )
+        };
+
+        self.partials[idx] = out_x;
+        self.scales[idx] = out_scale;
+        self.orientation[idx] = Some(toward);
+
+        let op = match (tree.is_tip(a), tree.is_tip(b)) {
+            (true, true) => KernelOp::NewviewTipTip,
+            (false, false) => KernelOp::NewviewInnerInner,
+            _ => KernelOp::NewviewTipInner,
+        };
+        let inner_children = [a, b].iter().filter(|&&n| !tree.is_tip(n)).count() as u32;
+        self.trace.push(KernelEvent {
+            op,
+            parent,
+            patterns: self.n_patterns as u32,
+            rates: self.n_rates as u32,
+            exp_calls: (2 * self.n_rates * 4) as u32,
+            scaling_checks: stats.checks as u32,
+            scalings: stats.fired as u32,
+            newton_iters: 0,
+            inner_operands: inner_children + 1,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Alignment;
+    use crate::likelihood::KernelKind;
+    use crate::model::ExpImpl;
+
+    fn toy_setup() -> (PatternAlignment, Tree) {
+        let aln = Alignment::from_named_sequences(&[
+            ("t0", "ACGTACGTAAGGCCTTACGT"),
+            ("t1", "ACGTACGAAAGGCCTTACGA"),
+            ("t2", "ACGAACGAAAGACCTTACGA"),
+            ("t3", "CCGAACGACAGACCTAACGA"),
+            ("t4", "CCGAACTACAGACGTAACTA"),
+        ])
+        .unwrap();
+        let pat = aln.compress();
+        let mut tree = Tree::initial_triplet(5, 0.1).unwrap();
+        let e = tree.edges();
+        tree.add_taxon_on_edge(3, e[0], 0.1).unwrap();
+        let e = tree.edges();
+        tree.add_taxon_on_edge(4, e[1], 0.1).unwrap();
+        (pat, tree)
+    }
+
+    fn engine<'a>(aln: &'a PatternAlignment, cfg: LikelihoodConfig) -> LikelihoodEngine<'a> {
+        LikelihoodEngine::new(
+            aln,
+            SubstModel::gtr(aln.base_frequencies(), [1.0, 2.0, 1.0, 1.0, 2.0, 1.0]).unwrap(),
+            GammaRates::standard(0.8).unwrap(),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn likelihood_is_finite_and_negative() {
+        let (aln, tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let lnl = eng.log_likelihood(&tree);
+        assert!(lnl.is_finite());
+        assert!(lnl < 0.0, "lnl = {lnl}");
+    }
+
+    #[test]
+    fn likelihood_same_at_every_branch() {
+        // The paper's §5.2 time-reversibility note.
+        let (aln, tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let edges = tree.edges();
+        let reference = eng.log_likelihood_at(&tree, edges[0]);
+        for &e in &edges[1..] {
+            let lnl = eng.log_likelihood_at(&tree, e);
+            assert!(
+                (lnl - reference).abs() < 1e-8,
+                "branch {e:?}: {lnl} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_configurations_agree() {
+        let (aln, tree) = toy_setup();
+        let mut reference = None;
+        for exp_impl in [ExpImpl::Libm, ExpImpl::Sdk] {
+            for kernel in [KernelKind::Scalar, KernelKind::Vector] {
+                for scaling in
+                    [super::super::ScalingCheck::FloatCompare, super::super::ScalingCheck::IntegerCast]
+                {
+                    for parallel in [false, true] {
+                        let cfg = LikelihoodConfig { exp_impl, kernel, scaling, parallel };
+                        let mut eng = engine(&aln, cfg);
+                        let lnl = eng.log_likelihood(&tree);
+                        let r = *reference.get_or_insert(lnl);
+                        assert!(
+                            (lnl - r).abs() < 1e-9,
+                            "config {cfg:?} disagrees: {lnl} vs {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caching_gives_same_answer_as_cold_start() {
+        let (aln, tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let first = eng.log_likelihood(&tree);
+        let calls_after_first = eng.trace().counters().newview_calls;
+        let second = eng.log_likelihood(&tree);
+        let calls_after_second = eng.trace().counters().newview_calls;
+        assert_eq!(first, second);
+        assert_eq!(
+            calls_after_first, calls_after_second,
+            "second evaluation at the same branch must be fully cached"
+        );
+        eng.invalidate_all();
+        let third = eng.log_likelihood(&tree);
+        assert!((first - third).abs() < 1e-12);
+        assert!(eng.trace().counters().newview_calls > calls_after_second);
+    }
+
+    #[test]
+    fn optimize_branch_improves_likelihood() {
+        let (aln, mut tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let before = eng.log_likelihood(&tree);
+        for e in tree.edges() {
+            eng.optimize_branch(&mut tree, e);
+        }
+        let after = eng.log_likelihood(&tree);
+        assert!(after >= before - 1e-9, "branch optimization must not hurt: {before} -> {after}");
+        assert!(after > before + 0.1, "expected a real improvement: {before} -> {after}");
+    }
+
+    #[test]
+    fn optimize_all_branches_converges() {
+        let (aln, mut tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let l1 = eng.optimize_all_branches(&mut tree, 1);
+        let l2 = eng.optimize_all_branches(&mut tree, 1);
+        let l3 = eng.optimize_all_branches(&mut tree, 1);
+        assert!(l2 >= l1 - 1e-9);
+        assert!(l3 >= l2 - 1e-9);
+        assert!((l3 - l2).abs() < 0.01, "should be nearly converged: {l2} -> {l3}");
+    }
+
+    #[test]
+    fn branch_invalidation_is_consistent_with_full_invalidation() {
+        let (aln, mut tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let edges = tree.edges();
+        eng.log_likelihood(&tree);
+        // Change a branch, rely on targeted invalidation.
+        let (u, v) = edges[1];
+        tree.set_branch_length(u, v, 0.735);
+        eng.invalidate_for_branch(&tree, u, v);
+        let fast = eng.log_likelihood(&tree);
+        // Full invalidation reference.
+        eng.invalidate_all();
+        let full = eng.log_likelihood(&tree);
+        assert!((fast - full).abs() < 1e-10, "{fast} vs {full}");
+    }
+
+    #[test]
+    fn trace_counts_accumulate() {
+        let (aln, mut tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        eng.enable_event_recording();
+        eng.log_likelihood(&tree);
+        let e = tree.edges()[0];
+        eng.optimize_branch(&mut tree, e);
+        let c = eng.trace().counters();
+        assert!(c.newview_calls >= 3);
+        assert_eq!(c.evaluate_calls, 1);
+        assert_eq!(c.makenewz_calls, 1);
+        assert!(c.newton_iters >= 1);
+        assert!(c.exp_calls > 0);
+        assert!(!eng.trace().events().is_empty());
+        let t = eng.take_trace();
+        assert!(t.is_recording());
+        assert_eq!(eng.trace().counters().newview_calls, 0);
+    }
+
+    #[test]
+    fn set_alpha_changes_likelihood() {
+        let (aln, tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let l1 = eng.log_likelihood(&tree);
+        eng.set_alpha(0.1).unwrap();
+        let l2 = eng.log_likelihood(&tree);
+        assert_ne!(l1, l2);
+    }
+}

@@ -1,0 +1,1009 @@
+//! Case-specialized likelihood kernels.
+//!
+//! `newview` at an inner node `p` with children `l`, `r` computes, for each
+//! site pattern `i`, rate category `c` and state `s`:
+//!
+//! ```text
+//! x_p[i,c,s] = (Σ_t P_l(c)[s][t] · x_l[i,c,t]) · (Σ_t P_r(c)[s][t] · x_r[i,c,t])
+//! ```
+//!
+//! When a child is a tip its contribution collapses to a 16-entry lookup
+//! (per rate category) — the paper's §5.2.3 case split (tip/tip, tip/inner,
+//! inner/inner), each "a distinct — highly optimized — version of the loop".
+//! Each kernel exists in scalar form and in the 2-lane `[f64; 2]` vector
+//! form of the paper's Figure 2 (an SPE register holds two doubles), with
+//! identical operation order so results are bit-equal.
+//!
+//! After each pattern, the underflow-scaling conditional (§5.2.3) checks
+//! whether every entry dropped below 2⁻²⁵⁶ and rescales; both the float
+//! comparison and the integer-cast variant are provided.
+
+use super::{KernelKind, ScalingCheck, LN_SCALE, SCALE_MULTIPLIER, SCALE_THRESHOLD};
+use crate::alphabet::TIP_LIKELIHOODS;
+
+/// A 4×4 transition-probability matrix, row-major (`m[from][to]`).
+pub type Mat4 = [[f64; 4]; 4];
+
+/// Per-rate tip lookup table: `table[code][state] = Σ_t P[state][t] · tip(code)[t]`.
+pub type TipTable16 = [[f64; 4]; 16];
+
+/// Precompute the tip lookup tables for a branch (one per rate category).
+pub fn build_tip_tables(pmats: &[Mat4]) -> Vec<TipTable16> {
+    pmats
+        .iter()
+        .map(|p| {
+            let mut table = [[0.0; 4]; 16];
+            for (code, row) in table.iter_mut().enumerate() {
+                for s in 0..4 {
+                    let mut acc = 0.0;
+                    for t in 0..4 {
+                        acc += p[s][t] * TIP_LIKELIHOODS[code][t];
+                    }
+                    row[s] = acc;
+                }
+            }
+            table
+        })
+        .collect()
+}
+
+/// One `newview` child operand.
+pub enum Child<'a> {
+    /// A tip: encoded pattern codes and the per-rate lookup tables built by
+    /// [`build_tip_tables`] for the child branch.
+    Tip { codes: &'a [u8], tables: &'a [TipTable16] },
+    /// An inner node: its partial vector (`[pattern][rate][state]` layout),
+    /// per-pattern scale counts, and the per-rate `P` matrices of the child
+    /// branch.
+    Inner { x: &'a [f64], scale: &'a [u32], pmats: &'a [Mat4] },
+}
+
+impl Child<'_> {
+    fn is_tip(&self) -> bool {
+        matches!(self, Child::Tip { .. })
+    }
+}
+
+/// Scaling statistics returned by a `newview` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScaleStats {
+    /// Number of scaling conditionals executed (one per pattern per rate).
+    pub checks: u64,
+    /// Number of patterns actually rescaled.
+    pub fired: u64,
+}
+
+impl ScaleStats {
+    pub fn merge(self, other: ScaleStats) -> ScaleStats {
+        ScaleStats { checks: self.checks + other.checks, fired: self.fired + other.fired }
+    }
+}
+
+#[inline(always)]
+fn all_below_threshold_float(v: &[f64]) -> bool {
+    // The paper's original conditional: ABS(x) < minlikelihood, one branchy
+    // comparison per entry.
+    v.iter().all(|&x| x.abs() < SCALE_THRESHOLD)
+}
+
+const THRESHOLD_BITS: u64 = 0x2FF0_0000_0000_0000; // (2^-256).to_bits()
+const ABS_MASK: u64 = 0x7FFF_FFFF_FFFF_FFFF;
+
+#[inline(always)]
+fn all_below_threshold_int(v: &[f64]) -> bool {
+    // §5.2.3: clear the sign bit with a logical AND (the spu_and trick),
+    // then compare the bit patterns as unsigned integers. For IEEE-754
+    // doubles of equal sign this ordering matches the numeric ordering.
+    // Written branch-free over the whole slice.
+    let mut below = true;
+    for &x in v {
+        below &= (x.to_bits() & ABS_MASK) < THRESHOLD_BITS;
+    }
+    below
+}
+
+/// Evaluate the scaling conditional over one pattern's `n_rates × 4` values
+/// and rescale in place if every entry is below threshold.
+/// Returns (checks, fired).
+#[inline]
+fn check_and_scale(values: &mut [f64], n_rates: usize, scaling: ScalingCheck) -> (u32, bool) {
+    debug_assert_eq!(values.len(), n_rates * 4);
+    let mut fire = true;
+    for c in 0..n_rates {
+        let quad = &values[c * 4..c * 4 + 4];
+        let below = match scaling {
+            ScalingCheck::FloatCompare => all_below_threshold_float(quad),
+            ScalingCheck::IntegerCast => all_below_threshold_int(quad),
+        };
+        fire &= below;
+    }
+    if fire {
+        for v in values.iter_mut() {
+            *v *= SCALE_MULTIPLIER;
+        }
+    }
+    (n_rates as u32, fire)
+}
+
+// ---------------------------------------------------------------------------
+// 2-lane vector helpers (the [f64; 2] mirror of the SPE's 128-bit registers).
+// ---------------------------------------------------------------------------
+
+/// `spu_splats`: replicate a scalar into both lanes.
+#[inline(always)]
+fn splat(x: f64) -> [f64; 2] {
+    [x, x]
+}
+
+/// `spu_madd`: lane-wise multiply-add `a·b + c`.
+#[inline(always)]
+fn madd(a: [f64; 2], b: [f64; 2], c: [f64; 2]) -> [f64; 2] {
+    [a[0] * b[0] + c[0], a[1] * b[1] + c[1]]
+}
+
+/// Lane-wise multiply.
+#[inline(always)]
+fn vmul(a: [f64; 2], b: [f64; 2]) -> [f64; 2] {
+    [a[0] * b[0], a[1] * b[1]]
+}
+
+// ---------------------------------------------------------------------------
+// newview
+// ---------------------------------------------------------------------------
+
+/// Compute one `newview` over all patterns in the supplied (pre-sliced)
+/// buffers. `out_x` has `patterns × n_rates × 4` entries, `out_scale` has
+/// one entry per pattern. Pattern counts of all operands must agree.
+pub fn newview(
+    left: &Child<'_>,
+    right: &Child<'_>,
+    out_x: &mut [f64],
+    out_scale: &mut [u32],
+    n_rates: usize,
+    kind: KernelKind,
+    scaling: ScalingCheck,
+) -> ScaleStats {
+    let n_patterns = out_scale.len();
+    let stride = n_rates * 4;
+    assert_eq!(out_x.len(), n_patterns * stride, "output buffer size mismatch");
+
+    // Normalize so a tip operand, if any, is on the left: the math is
+    // symmetric and this halves the number of specialized paths, exactly as
+    // RAxML canonicalizes its cases.
+    let (a, b) = if !left.is_tip() && right.is_tip() { (right, left) } else { (left, right) };
+
+    let mut stats = ScaleStats::default();
+    match (a, b) {
+        (Child::Tip { codes: lc, tables: lt }, Child::Tip { codes: rc, tables: rt }) => {
+            assert_eq!(lc.len(), n_patterns);
+            assert_eq!(rc.len(), n_patterns);
+            for i in 0..n_patterns {
+                let out = &mut out_x[i * stride..(i + 1) * stride];
+                match kind {
+                    KernelKind::Scalar => tip_tip_pattern_scalar(lc[i], rc[i], lt, rt, out),
+                    KernelKind::Vector => tip_tip_pattern_vector(lc[i], rc[i], lt, rt, out),
+                }
+                let (checks, fired) = check_and_scale(out, n_rates, scaling);
+                stats.checks += checks as u64;
+                stats.fired += fired as u64;
+                out_scale[i] = fired as u32;
+            }
+        }
+        (
+            Child::Tip { codes: lc, tables: lt },
+            Child::Inner { x: rx, scale: rs, pmats: rp },
+        ) => {
+            assert_eq!(lc.len(), n_patterns);
+            assert_eq!(rx.len(), n_patterns * stride);
+            for i in 0..n_patterns {
+                let out = &mut out_x[i * stride..(i + 1) * stride];
+                let xr = &rx[i * stride..(i + 1) * stride];
+                match kind {
+                    KernelKind::Scalar => tip_inner_pattern_scalar(lc[i], lt, xr, rp, out),
+                    KernelKind::Vector => tip_inner_pattern_vector(lc[i], lt, xr, rp, out),
+                }
+                let (checks, fired) = check_and_scale(out, n_rates, scaling);
+                stats.checks += checks as u64;
+                stats.fired += fired as u64;
+                out_scale[i] = rs[i] + fired as u32;
+            }
+        }
+        (
+            Child::Inner { x: lx, scale: ls, pmats: lp },
+            Child::Inner { x: rx, scale: rs, pmats: rp },
+        ) => {
+            assert_eq!(lx.len(), n_patterns * stride);
+            assert_eq!(rx.len(), n_patterns * stride);
+            for i in 0..n_patterns {
+                let out = &mut out_x[i * stride..(i + 1) * stride];
+                let xl = &lx[i * stride..(i + 1) * stride];
+                let xr = &rx[i * stride..(i + 1) * stride];
+                match kind {
+                    KernelKind::Scalar => inner_inner_pattern_scalar(xl, lp, xr, rp, out),
+                    KernelKind::Vector => inner_inner_pattern_vector(xl, lp, xr, rp, out),
+                }
+                let (checks, fired) = check_and_scale(out, n_rates, scaling);
+                stats.checks += checks as u64;
+                stats.fired += fired as u64;
+                out_scale[i] = ls[i] + rs[i] + fired as u32;
+            }
+        }
+        _ => unreachable!("tip operand is always normalized to the left"),
+    }
+    stats
+}
+
+#[inline]
+fn tip_tip_pattern_scalar(
+    lcode: u8,
+    rcode: u8,
+    lt: &[TipTable16],
+    rt: &[TipTable16],
+    out: &mut [f64],
+) {
+    for (c, (ltab, rtab)) in lt.iter().zip(rt).enumerate() {
+        let lv = &ltab[lcode as usize];
+        let rv = &rtab[rcode as usize];
+        for s in 0..4 {
+            out[c * 4 + s] = lv[s] * rv[s];
+        }
+    }
+}
+
+#[inline]
+fn tip_tip_pattern_vector(
+    lcode: u8,
+    rcode: u8,
+    lt: &[TipTable16],
+    rt: &[TipTable16],
+    out: &mut [f64],
+) {
+    for (c, (ltab, rtab)) in lt.iter().zip(rt).enumerate() {
+        let lv = &ltab[lcode as usize];
+        let rv = &rtab[rcode as usize];
+        let lo = vmul([lv[0], lv[1]], [rv[0], rv[1]]);
+        let hi = vmul([lv[2], lv[3]], [rv[2], rv[3]]);
+        out[c * 4] = lo[0];
+        out[c * 4 + 1] = lo[1];
+        out[c * 4 + 2] = hi[0];
+        out[c * 4 + 3] = hi[1];
+    }
+}
+
+#[inline]
+fn tip_inner_pattern_scalar(
+    lcode: u8,
+    lt: &[TipTable16],
+    xr: &[f64],
+    rp: &[Mat4],
+    out: &mut [f64],
+) {
+    for (c, (ltab, p)) in lt.iter().zip(rp).enumerate() {
+        let lv = &ltab[lcode as usize];
+        let x = &xr[c * 4..c * 4 + 4];
+        for s in 0..4 {
+            let rv = p[s][0] * x[0] + p[s][1] * x[1] + p[s][2] * x[2] + p[s][3] * x[3];
+            out[c * 4 + s] = lv[s] * rv;
+        }
+    }
+}
+
+#[inline]
+fn tip_inner_pattern_vector(
+    lcode: u8,
+    lt: &[TipTable16],
+    xr: &[f64],
+    rp: &[Mat4],
+    out: &mut [f64],
+) {
+    for (c, (ltab, p)) in lt.iter().zip(rp).enumerate() {
+        let lv = &ltab[lcode as usize];
+        let x = &xr[c * 4..c * 4 + 4];
+        // Two lanes of states at a time; per-lane op order matches scalar.
+        for pair in 0..2 {
+            let (s0, s1) = (2 * pair, 2 * pair + 1);
+            let mut acc = vmul([p[s0][0], p[s1][0]], splat(x[0]));
+            acc = madd([p[s0][1], p[s1][1]], splat(x[1]), acc);
+            acc = madd([p[s0][2], p[s1][2]], splat(x[2]), acc);
+            acc = madd([p[s0][3], p[s1][3]], splat(x[3]), acc);
+            let prod = vmul([lv[s0], lv[s1]], acc);
+            out[c * 4 + s0] = prod[0];
+            out[c * 4 + s1] = prod[1];
+        }
+    }
+}
+
+#[inline]
+fn inner_inner_pattern_scalar(
+    xl: &[f64],
+    lp: &[Mat4],
+    xr: &[f64],
+    rp: &[Mat4],
+    out: &mut [f64],
+) {
+    for (c, (pl, pr)) in lp.iter().zip(rp).enumerate() {
+        let a = &xl[c * 4..c * 4 + 4];
+        let b = &xr[c * 4..c * 4 + 4];
+        for s in 0..4 {
+            let la = pl[s][0] * a[0] + pl[s][1] * a[1] + pl[s][2] * a[2] + pl[s][3] * a[3];
+            let ra = pr[s][0] * b[0] + pr[s][1] * b[1] + pr[s][2] * b[2] + pr[s][3] * b[3];
+            out[c * 4 + s] = la * ra;
+        }
+    }
+}
+
+#[inline]
+fn inner_inner_pattern_vector(
+    xl: &[f64],
+    lp: &[Mat4],
+    xr: &[f64],
+    rp: &[Mat4],
+    out: &mut [f64],
+) {
+    for (c, (pl, pr)) in lp.iter().zip(rp).enumerate() {
+        let a = &xl[c * 4..c * 4 + 4];
+        let b = &xr[c * 4..c * 4 + 4];
+        for pair in 0..2 {
+            let (s0, s1) = (2 * pair, 2 * pair + 1);
+            let mut la = vmul([pl[s0][0], pl[s1][0]], splat(a[0]));
+            la = madd([pl[s0][1], pl[s1][1]], splat(a[1]), la);
+            la = madd([pl[s0][2], pl[s1][2]], splat(a[2]), la);
+            la = madd([pl[s0][3], pl[s1][3]], splat(a[3]), la);
+            let mut ra = vmul([pr[s0][0], pr[s1][0]], splat(b[0]));
+            ra = madd([pr[s0][1], pr[s1][1]], splat(b[1]), ra);
+            ra = madd([pr[s0][2], pr[s1][2]], splat(b[2]), ra);
+            ra = madd([pr[s0][3], pr[s1][3]], splat(b[3]), ra);
+            let prod = vmul(la, ra);
+            out[c * 4 + s0] = prod[0];
+            out[c * 4 + s1] = prod[1];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// evaluate
+// ---------------------------------------------------------------------------
+
+/// One side of an `evaluate`/`makenewz` branch.
+pub enum EvalOperand<'a> {
+    /// A tip: its encoded pattern codes.
+    Tip { codes: &'a [u8] },
+    /// An inner node: partials and per-pattern scale counts.
+    Inner { x: &'a [f64], scale: &'a [u32] },
+}
+
+impl EvalOperand<'_> {
+    fn scale_at(&self, i: usize) -> u32 {
+        match self {
+            EvalOperand::Tip { .. } => 0,
+            EvalOperand::Inner { scale, .. } => scale[i],
+        }
+    }
+
+    /// The conditional-likelihood 4-vector of pattern `i`, rate `c`.
+    #[inline]
+    fn quad(&self, i: usize, c: usize, n_rates: usize) -> [f64; 4] {
+        match self {
+            EvalOperand::Tip { codes } => TIP_LIKELIHOODS[codes[i] as usize],
+            EvalOperand::Inner { x, .. } => {
+                let off = (i * n_rates + c) * 4;
+                [x[off], x[off + 1], x[off + 2], x[off + 3]]
+            }
+        }
+    }
+}
+
+/// Log-likelihood at a branch: `Σ_i w_i · ln((1/C) Σ_c x_uᵀ diag(π) P_c x_v)`
+/// plus the accumulated scaling corrections.
+pub fn evaluate_lnl(
+    u: &EvalOperand<'_>,
+    v: &EvalOperand<'_>,
+    pmats: &[Mat4],
+    freqs: &[f64; 4],
+    weights: &[f64],
+    n_rates: usize,
+    kind: KernelKind,
+) -> f64 {
+    let n_patterns = weights.len();
+    let inv_c = 1.0 / n_rates as f64;
+    let mut lnl = 0.0;
+    for i in 0..n_patterns {
+        if weights[i] == 0.0 {
+            continue; // bootstrap replicates zero-out unsampled patterns
+        }
+        let mut site = 0.0;
+        for (c, p) in pmats.iter().enumerate() {
+            let xu = u.quad(i, c, n_rates);
+            let xv = v.quad(i, c, n_rates);
+            site += match kind {
+                KernelKind::Scalar => eval_site_scalar(&xu, &xv, p, freqs),
+                KernelKind::Vector => eval_site_vector(&xu, &xv, p, freqs),
+            };
+        }
+        site *= inv_c;
+        let scale = (u.scale_at(i) + v.scale_at(i)) as f64;
+        lnl += weights[i] * (site.max(1e-300).ln() + scale * LN_SCALE);
+    }
+    lnl
+}
+
+/// Per-pattern log-likelihoods at a branch (unweighted): the same
+/// computation as [`evaluate_lnl`], reported per site pattern. Used for
+/// per-site rate estimation (the CAT model) and diagnostics.
+pub fn evaluate_site_lnls(
+    u: &EvalOperand<'_>,
+    v: &EvalOperand<'_>,
+    pmats: &[Mat4],
+    freqs: &[f64; 4],
+    n_patterns: usize,
+    n_rates: usize,
+    kind: KernelKind,
+) -> Vec<f64> {
+    let inv_c = 1.0 / n_rates as f64;
+    let mut out = Vec::with_capacity(n_patterns);
+    for i in 0..n_patterns {
+        let mut site = 0.0;
+        for (c, p) in pmats.iter().enumerate() {
+            let xu = u.quad(i, c, n_rates);
+            let xv = v.quad(i, c, n_rates);
+            site += match kind {
+                KernelKind::Scalar => eval_site_scalar(&xu, &xv, p, freqs),
+                KernelKind::Vector => eval_site_vector(&xu, &xv, p, freqs),
+            };
+        }
+        site *= inv_c;
+        let scale = (u.scale_at(i) + v.scale_at(i)) as f64;
+        out.push(site.max(1e-300).ln() + scale * LN_SCALE);
+    }
+    out
+}
+
+#[inline]
+fn eval_site_scalar(xu: &[f64; 4], xv: &[f64; 4], p: &Mat4, freqs: &[f64; 4]) -> f64 {
+    let mut acc = 0.0;
+    for s in 0..4 {
+        let pv = p[s][0] * xv[0] + p[s][1] * xv[1] + p[s][2] * xv[2] + p[s][3] * xv[3];
+        acc += freqs[s] * xu[s] * pv;
+    }
+    acc
+}
+
+#[inline]
+fn eval_site_vector(xu: &[f64; 4], xv: &[f64; 4], p: &Mat4, freqs: &[f64; 4]) -> f64 {
+    let mut acc = [0.0; 2];
+    for pair in 0..2 {
+        let (s0, s1) = (2 * pair, 2 * pair + 1);
+        let mut pv = vmul([p[s0][0], p[s1][0]], splat(xv[0]));
+        pv = madd([p[s0][1], p[s1][1]], splat(xv[1]), pv);
+        pv = madd([p[s0][2], p[s1][2]], splat(xv[2]), pv);
+        pv = madd([p[s0][3], p[s1][3]], splat(xv[3]), pv);
+        acc = madd(vmul([freqs[s0], freqs[s1]], [xu[s0], xu[s1]]), pv, acc);
+    }
+    acc[0] + acc[1]
+}
+
+// ---------------------------------------------------------------------------
+// makenewz (sum table + Newton derivatives)
+// ---------------------------------------------------------------------------
+
+/// The `makenewz` sum table: for a branch `(u, v)` and eigensystem `W`, `λ`,
+/// `st[i][c][k] = (W x_u)[k] · (W x_v)[k]`, so that the per-site likelihood
+/// at branch length `t` is `Σ_k st[i][c][k] · e^{λ_k r_c t}` — making first
+/// and second derivatives w.r.t. `t` nearly free. RAxML builds exactly this
+/// table once per `makenewz` and iterates Newton on it.
+pub struct SumTable {
+    /// Layout `[pattern][rate][k]`.
+    pub data: Vec<f64>,
+    pub n_rates: usize,
+    /// Combined (u + v) scale counts — constant offsets that cancel in the
+    /// Newton ratio but are kept for exactness checks.
+    pub scale: Vec<u32>,
+}
+
+/// Build the sum table. `w` is the model's `W = Vᵀ D^{1/2}` matrix.
+pub fn build_sumtable(
+    u: &EvalOperand<'_>,
+    v: &EvalOperand<'_>,
+    w: &[[f64; 4]; 4],
+    n_patterns: usize,
+    n_rates: usize,
+) -> SumTable {
+    // Precompute W·tip(code) for all 16 codes (tips are rate-independent).
+    let mut wtip = [[0.0f64; 4]; 16];
+    for code in 0..16 {
+        for k in 0..4 {
+            let mut acc = 0.0;
+            for s in 0..4 {
+                acc += w[k][s] * TIP_LIKELIHOODS[code][s];
+            }
+            wtip[code][k] = acc;
+        }
+    }
+    let wx = |op: &EvalOperand<'_>, i: usize, c: usize| -> [f64; 4] {
+        match op {
+            EvalOperand::Tip { codes } => wtip[codes[i] as usize],
+            EvalOperand::Inner { .. } => {
+                let q = op.quad(i, c, n_rates);
+                let mut out = [0.0; 4];
+                for k in 0..4 {
+                    out[k] = w[k][0] * q[0] + w[k][1] * q[1] + w[k][2] * q[2] + w[k][3] * q[3];
+                }
+                out
+            }
+        }
+    };
+
+    let mut data = vec![0.0; n_patterns * n_rates * 4];
+    let mut scale = vec![0u32; n_patterns];
+    for i in 0..n_patterns {
+        scale[i] = u.scale_at(i) + v.scale_at(i);
+        for c in 0..n_rates {
+            let wu = wx(u, i, c);
+            let wv = wx(v, i, c);
+            let off = (i * n_rates + c) * 4;
+            for k in 0..4 {
+                data[off + k] = wu[k] * wv[k];
+            }
+        }
+    }
+    SumTable { data, n_rates, scale }
+}
+
+/// First and second derivatives of the log-likelihood w.r.t. the branch
+/// length `t`, plus the log-likelihood itself, evaluated from a sum table.
+///
+/// Returns `(lnl, d_lnl, dd_lnl)`.
+pub fn newton_derivatives(
+    st: &SumTable,
+    lambdas: &[f64; 4],
+    rates: &[f64],
+    t: f64,
+    weights: &[f64],
+    exp_impl: crate::model::ExpImpl,
+) -> (f64, f64, f64) {
+    newton_derivatives_kind(st, lambdas, rates, t, weights, exp_impl, KernelKind::Scalar)
+}
+
+/// As [`newton_derivatives`] with an explicit kernel form: the vector
+/// variant evaluates the three eigen-sums two lanes at a time, mirroring
+/// the paper's vectorization of "the other offloaded functions" (§5.2.5).
+/// The two forms agree to within floating-point re-association (≤1 ulp per
+/// site).
+#[allow(clippy::too_many_arguments)]
+pub fn newton_derivatives_kind(
+    st: &SumTable,
+    lambdas: &[f64; 4],
+    rates: &[f64],
+    t: f64,
+    weights: &[f64],
+    exp_impl: crate::model::ExpImpl,
+    kind: KernelKind,
+) -> (f64, f64, f64) {
+    let n_rates = st.n_rates;
+    let n_patterns = weights.len();
+    let inv_c = 1.0 / n_rates as f64;
+
+    // The "small loop": per (rate, eigenvalue) exponentials — 4 × C exp
+    // calls per Newton iteration (§5.2.2's hot spot).
+    let mut e0 = vec![[0.0f64; 4]; n_rates];
+    let mut e1 = vec![[0.0f64; 4]; n_rates];
+    let mut e2 = vec![[0.0f64; 4]; n_rates];
+    for c in 0..n_rates {
+        for k in 0..4 {
+            let lr = lambdas[k] * rates[c];
+            let e = exp_impl.eval(lr * t);
+            e0[c][k] = e;
+            e1[c][k] = lr * e;
+            e2[c][k] = lr * lr * e;
+        }
+    }
+
+    let mut lnl = 0.0;
+    let mut d1 = 0.0;
+    let mut d2 = 0.0;
+    for i in 0..n_patterns {
+        let wgt = weights[i];
+        if wgt == 0.0 {
+            continue;
+        }
+        let mut li = 0.0;
+        let mut dli = 0.0;
+        let mut ddli = 0.0;
+        for c in 0..n_rates {
+            let off = (i * n_rates + c) * 4;
+            let s = &st.data[off..off + 4];
+            match kind {
+                KernelKind::Scalar => {
+                    li += s[0] * e0[c][0] + s[1] * e0[c][1] + s[2] * e0[c][2] + s[3] * e0[c][3];
+                    dli += s[0] * e1[c][0] + s[1] * e1[c][1] + s[2] * e1[c][2] + s[3] * e1[c][3];
+                    ddli +=
+                        s[0] * e2[c][0] + s[1] * e2[c][1] + s[2] * e2[c][2] + s[3] * e2[c][3];
+                }
+                KernelKind::Vector => {
+                    // Two lanes over the eigen index: the pairwise
+                    // association (s0·e0 + s2·e2) + (s1·e1 + s3·e3) differs
+                    // from the scalar left-to-right sum only in rounding
+                    // (≤1 ulp per site).
+                    let slo = [s[0], s[1]];
+                    let shi = [s[2], s[3]];
+                    let l = madd(shi, [e0[c][2], e0[c][3]], vmul(slo, [e0[c][0], e0[c][1]]));
+                    li += l[0] + l[1];
+                    let d = madd(shi, [e1[c][2], e1[c][3]], vmul(slo, [e1[c][0], e1[c][1]]));
+                    dli += d[0] + d[1];
+                    let dd = madd(shi, [e2[c][2], e2[c][3]], vmul(slo, [e2[c][0], e2[c][1]]));
+                    ddli += dd[0] + dd[1];
+                }
+            }
+        }
+        li *= inv_c;
+        dli *= inv_c;
+        ddli *= inv_c;
+        let li_safe = li.max(1e-300);
+        lnl += wgt * (li_safe.ln() + st.scale[i] as f64 * LN_SCALE);
+        d1 += wgt * (dli / li_safe);
+        d2 += wgt * ((ddli * li_safe - dli * dli) / (li_safe * li_safe));
+    }
+    (lnl, d1, d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ExpImpl, SubstModel};
+
+    fn pmats(model: &SubstModel, t: f64, rates: &[f64]) -> Vec<Mat4> {
+        rates.iter().map(|&r| model.transition_matrix(t, r, ExpImpl::Libm)).collect()
+    }
+
+    fn model() -> SubstModel {
+        SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn tip_tables_match_direct_sum() {
+        let m = model();
+        let p = pmats(&m, 0.2, &[0.5, 1.5]);
+        let tables = build_tip_tables(&p);
+        for c in 0..2 {
+            for code in 0..16usize {
+                for s in 0..4 {
+                    let direct: f64 =
+                        (0..4).map(|t| p[c][s][t] * TIP_LIKELIHOODS[code][t]).sum();
+                    assert!((tables[c][code][s] - direct).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    /// Replace a tip operand with an equivalent inner operand whose partial
+    /// is the raw tip vector; newview must produce identical results.
+    #[test]
+    fn tip_paths_agree_with_inner_path() {
+        let m = model();
+        let rates = [0.3, 1.0, 2.2];
+        let n_rates = rates.len();
+        let pl = pmats(&m, 0.17, &rates);
+        let pr = pmats(&m, 0.42, &rates);
+        let lt = build_tip_tables(&pl);
+        let rt = build_tip_tables(&pr);
+
+        let codes_l: Vec<u8> = vec![1, 2, 4, 8, 5, 15, 3, 10];
+        let codes_r: Vec<u8> = vec![8, 8, 1, 2, 15, 4, 7, 1];
+        let n = codes_l.len();
+        let stride = n_rates * 4;
+
+        // Fake "inner" operands replicating the tip vectors per rate.
+        let expand = |codes: &[u8]| -> Vec<f64> {
+            let mut x = vec![0.0; n * stride];
+            for i in 0..n {
+                for c in 0..n_rates {
+                    for s in 0..4 {
+                        x[(i * n_rates + c) * 4 + s] = TIP_LIKELIHOODS[codes[i] as usize][s];
+                    }
+                }
+            }
+            x
+        };
+        let xl = expand(&codes_l);
+        let xr = expand(&codes_r);
+        let zeros = vec![0u32; n];
+
+        let mut out_tt = vec![0.0; n * stride];
+        let mut sc_tt = vec![0u32; n];
+        newview(
+            &Child::Tip { codes: &codes_l, tables: &lt },
+            &Child::Tip { codes: &codes_r, tables: &rt },
+            &mut out_tt,
+            &mut sc_tt,
+            n_rates,
+            KernelKind::Scalar,
+            ScalingCheck::IntegerCast,
+        );
+
+        let mut out_ii = vec![0.0; n * stride];
+        let mut sc_ii = vec![0u32; n];
+        newview(
+            &Child::Inner { x: &xl, scale: &zeros, pmats: &pl },
+            &Child::Inner { x: &xr, scale: &zeros, pmats: &pr },
+            &mut out_ii,
+            &mut sc_ii,
+            n_rates,
+            KernelKind::Scalar,
+            ScalingCheck::IntegerCast,
+        );
+
+        let mut out_ti = vec![0.0; n * stride];
+        let mut sc_ti = vec![0u32; n];
+        newview(
+            &Child::Tip { codes: &codes_l, tables: &lt },
+            &Child::Inner { x: &xr, scale: &zeros, pmats: &pr },
+            &mut out_ti,
+            &mut sc_ti,
+            n_rates,
+            KernelKind::Scalar,
+            ScalingCheck::IntegerCast,
+        );
+
+        for (a, b) in out_tt.iter().zip(&out_ii) {
+            assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+        }
+        for (a, b) in out_ti.iter().zip(&out_ii) {
+            assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+        }
+        assert_eq!(sc_tt, sc_ii);
+        assert_eq!(sc_ti, sc_ii);
+    }
+
+    #[test]
+    fn vector_kernels_bit_equal_to_scalar() {
+        let m = model();
+        let rates = [0.25, 0.8, 1.3, 2.7];
+        let n_rates = rates.len();
+        let pl = pmats(&m, 0.11, &rates);
+        let pr = pmats(&m, 0.29, &rates);
+        let lt = build_tip_tables(&pl);
+        let rt = build_tip_tables(&pr);
+        let n = 13;
+        let stride = n_rates * 4;
+
+        // Deterministic pseudo-random partials.
+        let mut x = 0.123456789f64;
+        let mut next = || {
+            x = (x * 9301.0 + 49297.0) % 233280.0 / 233280.0;
+            0.01 + x
+        };
+        let xl: Vec<f64> = (0..n * stride).map(|_| next()).collect();
+        let xr: Vec<f64> = (0..n * stride).map(|_| next()).collect();
+        let zeros = vec![0u32; n];
+        let codes: Vec<u8> = (0..n).map(|i| ((i % 15) + 1) as u8).collect();
+
+        let cases: Vec<(Child, Child)> = vec![
+            (
+                Child::Tip { codes: &codes, tables: &lt },
+                Child::Tip { codes: &codes, tables: &rt },
+            ),
+            (
+                Child::Tip { codes: &codes, tables: &lt },
+                Child::Inner { x: &xr, scale: &zeros, pmats: &pr },
+            ),
+            (
+                Child::Inner { x: &xl, scale: &zeros, pmats: &pl },
+                Child::Inner { x: &xr, scale: &zeros, pmats: &pr },
+            ),
+        ];
+        for (a, b) in &cases {
+            let mut out_s = vec![0.0; n * stride];
+            let mut sc_s = vec![0u32; n];
+            newview(a, b, &mut out_s, &mut sc_s, n_rates, KernelKind::Scalar, ScalingCheck::IntegerCast);
+            let mut out_v = vec![0.0; n * stride];
+            let mut sc_v = vec![0u32; n];
+            newview(a, b, &mut out_v, &mut sc_v, n_rates, KernelKind::Vector, ScalingCheck::IntegerCast);
+            assert_eq!(out_s, out_v, "vector kernel must be bit-equal");
+            assert_eq!(sc_s, sc_v);
+        }
+    }
+
+    #[test]
+    fn scaling_fires_and_preserves_likelihood_meaning() {
+        let m = model();
+        let rates = [1.0];
+        let pl = pmats(&m, 0.1, &rates);
+        let pr = pmats(&m, 0.1, &rates);
+        // Inner children with very small partials force a scaling event.
+        let tiny = SCALE_THRESHOLD * 1e-3;
+        let xl = vec![tiny; 4];
+        let xr = vec![tiny; 4];
+        let ls = vec![3u32];
+        let rs = vec![5u32];
+        let mut out = vec![0.0; 4];
+        let mut sc = vec![0u32; 1];
+        let stats = newview(
+            &Child::Inner { x: &xl, scale: &ls, pmats: &pl },
+            &Child::Inner { x: &xr, scale: &rs, pmats: &pr },
+            &mut out,
+            &mut sc,
+            1,
+            KernelKind::Scalar,
+            ScalingCheck::IntegerCast,
+        );
+        assert_eq!(stats.fired, 1);
+        assert_eq!(sc[0], 3 + 5 + 1, "scale counts must accumulate");
+        // Compare against the same computation with scaling disabled-in-effect:
+        // the rescaled values must be exactly 2^256 × the raw products.
+        let mut raw = vec![0.0; 4];
+        inner_inner_pattern_scalar(&xl, &pl, &xr, &pr, &mut raw);
+        for (v, r) in out.iter().zip(&raw) {
+            assert_eq!(*v, r * SCALE_MULTIPLIER, "rescale must be an exact power-of-two shift");
+        }
+    }
+
+    #[test]
+    fn float_and_int_scaling_checks_agree() {
+        // Exhaustive-ish agreement check across magnitudes, including
+        // exactly at the threshold and for negative values.
+        let candidates = [
+            0.0,
+            1e-300,
+            SCALE_THRESHOLD / 2.0,
+            SCALE_THRESHOLD * 0.999999,
+            SCALE_THRESHOLD,
+            SCALE_THRESHOLD * 1.000001,
+            1e-20,
+            0.5,
+            1.0,
+            -SCALE_THRESHOLD / 2.0,
+            -1.0,
+        ];
+        for &a in &candidates {
+            for &b in &candidates {
+                let v = [a, b, a, b];
+                assert_eq!(
+                    all_below_threshold_float(&v),
+                    all_below_threshold_int(&v),
+                    "disagreement on {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_scalar_vector_agree() {
+        let m = model();
+        let rates = [0.5, 1.5];
+        let n_rates = 2;
+        let p = pmats(&m, 0.31, &rates);
+        let n = 6;
+        let stride = n_rates * 4;
+        let xv: Vec<f64> = (0..n * stride).map(|i| 0.01 + (i % 7) as f64 * 0.1).collect();
+        let sv = vec![1u32; n];
+        let codes: Vec<u8> = vec![1, 2, 4, 8, 15, 5];
+        let weights = vec![2.0, 1.0, 1.0, 3.0, 1.0, 2.0];
+
+        let u = EvalOperand::Tip { codes: &codes };
+        let v = EvalOperand::Inner { x: &xv, scale: &sv };
+        let a = evaluate_lnl(&u, &v, &p, m.freqs(), &weights, n_rates, KernelKind::Scalar);
+        let b = evaluate_lnl(&u, &v, &p, m.freqs(), &weights, n_rates, KernelKind::Vector);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        assert!(a < 0.0, "log likelihood of probabilities < 1 must be negative");
+    }
+
+    #[test]
+    fn sumtable_reproduces_evaluate() {
+        // lnl from newton_derivatives at the same t must equal evaluate_lnl.
+        let m = model();
+        let gam = crate::model::GammaRates::standard(0.7).unwrap();
+        let rates = gam.rates();
+        let n_rates = rates.len();
+        let t = 0.23;
+        let p = pmats(&m, t, rates);
+        let n = 5;
+        let stride = n_rates * 4;
+        let xv: Vec<f64> = (0..n * stride).map(|i| 0.02 + (i % 5) as f64 * 0.17).collect();
+        let sv = vec![2u32; n];
+        let codes: Vec<u8> = vec![1, 8, 2, 4, 10];
+        let weights = vec![1.0, 4.0, 2.0, 1.0, 1.0];
+
+        let u = EvalOperand::Tip { codes: &codes };
+        let v = EvalOperand::Inner { x: &xv, scale: &sv };
+        let direct = evaluate_lnl(&u, &v, &p, m.freqs(), &weights, n_rates, KernelKind::Scalar);
+
+        let st = build_sumtable(&u, &v, &m.eigen().w, n, n_rates);
+        let (lnl, _, _) =
+            newton_derivatives(&st, &m.eigen().values, rates, t, &weights, ExpImpl::Libm);
+        assert!((lnl - direct).abs() < 1e-9, "{lnl} vs {direct}");
+    }
+
+    #[test]
+    fn newton_derivatives_match_finite_differences() {
+        let m = model();
+        let rates = [0.4, 1.6];
+        let n = 4;
+        let n_rates = 2;
+        let stride = n_rates * 4;
+        let xv: Vec<f64> = (0..n * stride).map(|i| 0.05 + (i % 3) as f64 * 0.3).collect();
+        let sv = vec![0u32; n];
+        let codes: Vec<u8> = vec![1, 2, 4, 8];
+        let weights = vec![1.0, 2.0, 1.0, 1.0];
+        let u = EvalOperand::Tip { codes: &codes };
+        let v = EvalOperand::Inner { x: &xv, scale: &sv };
+        let st = build_sumtable(&u, &v, &m.eigen().w, n, n_rates);
+
+        let t = 0.3;
+        let f = |tt: f64| {
+            newton_derivatives(&st, &m.eigen().values, &rates, tt, &weights, ExpImpl::Libm).0
+        };
+        let (_, d1, d2) =
+            newton_derivatives(&st, &m.eigen().values, &rates, t, &weights, ExpImpl::Libm);
+        // First derivative: small step is fine.
+        let h1 = 1e-6;
+        let fd1 = (f(t + h1) - f(t - h1)) / (2.0 * h1);
+        assert!((d1 - fd1).abs() < 1e-5, "d1 {d1} vs fd {fd1}");
+        // Second derivative: the central difference cancels ~16 digits, so
+        // use a larger step to keep round-off noise below the tolerance.
+        let h2 = 1e-4;
+        let fd2 = (f(t + h2) - 2.0 * f(t) + f(t - h2)) / (h2 * h2);
+        assert!((d2 - fd2).abs() < 1e-4, "d2 {d2} vs fd {fd2}");
+    }
+
+    #[test]
+    fn newton_scalar_and_vector_agree() {
+        let m = model();
+        let gam = crate::model::GammaRates::standard(0.5).unwrap();
+        let rates = gam.rates().to_vec();
+        let n = 9;
+        let n_rates = rates.len();
+        let stride = n_rates * 4;
+        let xv: Vec<f64> = (0..n * stride).map(|i| 0.03 + (i % 11) as f64 * 0.09).collect();
+        let sv = vec![1u32; n];
+        let codes: Vec<u8> = vec![1, 2, 4, 8, 3, 5, 9, 15, 6];
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let u = EvalOperand::Tip { codes: &codes };
+        let v = EvalOperand::Inner { x: &xv, scale: &sv };
+        let st = build_sumtable(&u, &v, &m.eigen().w, n, n_rates);
+        for &t in &[0.01, 0.2, 1.5] {
+            let a = newton_derivatives_kind(
+                &st, &m.eigen().values, &rates, t, &weights, ExpImpl::Sdk, KernelKind::Scalar,
+            );
+            let b = newton_derivatives_kind(
+                &st, &m.eigen().values, &rates, t, &weights, ExpImpl::Sdk, KernelKind::Vector,
+            );
+            assert!((a.0 - b.0).abs() < 1e-9, "lnl: {} vs {}", a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-9, "d1: {} vs {}", a.1, b.1);
+            assert!((a.2 - b.2).abs() < 1e-9, "d2: {} vs {}", a.2, b.2);
+        }
+    }
+
+    #[test]
+    fn site_lnls_sum_to_evaluate() {
+        let m = model();
+        let rates = [0.5, 1.5];
+        let n_rates = 2;
+        let p = pmats(&m, 0.27, &rates);
+        let n = 7;
+        let stride = n_rates * 4;
+        let xv: Vec<f64> = (0..n * stride).map(|i| 0.02 + (i % 9) as f64 * 0.11).collect();
+        let sv = vec![2u32; n];
+        let codes: Vec<u8> = vec![1, 8, 2, 4, 10, 15, 5];
+        let weights: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
+        let u = EvalOperand::Tip { codes: &codes };
+        let v = EvalOperand::Inner { x: &xv, scale: &sv };
+        let site = evaluate_site_lnls(&u, &v, &p, m.freqs(), n, n_rates, KernelKind::Vector);
+        let total: f64 = site.iter().zip(&weights).map(|(s, w)| s * w).sum();
+        let direct = evaluate_lnl(&u, &v, &p, m.freqs(), &weights, n_rates, KernelKind::Vector);
+        assert!((total - direct).abs() < 1e-10, "{total} vs {direct}");
+    }
+
+    #[test]
+    fn zero_weight_patterns_are_skipped() {
+        let m = model();
+        let p = pmats(&m, 0.2, &[1.0]);
+        let codes = vec![1u8, 2];
+        let x = vec![0.5; 8];
+        let s = vec![0u32; 2];
+        let u = EvalOperand::Tip { codes: &codes };
+        let v = EvalOperand::Inner { x: &x, scale: &s };
+        let full = evaluate_lnl(&u, &v, &p, m.freqs(), &[1.0, 1.0], 1, KernelKind::Scalar);
+        let half = evaluate_lnl(&u, &v, &p, m.freqs(), &[1.0, 0.0], 1, KernelKind::Scalar);
+        assert!(half > full, "dropping a pattern must raise (less negative) lnl");
+    }
+}

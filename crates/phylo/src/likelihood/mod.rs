@@ -1,0 +1,89 @@
+//! The likelihood core: the three kernels RAxML-Cell offloads to the SPEs.
+//!
+//! * [`kernels`] — case-specialized `newview` partial-likelihood loops
+//!   (paper §5.2.3: tip/tip, tip/inner, inner/inner), in scalar and 2-lane
+//!   vectorized form (§5.2.5, Figure 2), with both the floating-point and
+//!   the integer-cast underflow-scaling conditional (§5.2.3).
+//! * [`cat`] — the CAT per-site rate approximation (fit, per-site rate
+//!   estimation, CAT likelihood).
+//! * [`engine`] — the [`engine::LikelihoodEngine`]: per-node partial
+//!   buffers, lazy virtual-root traversal, `evaluate` and `makenewz`.
+//! * [`mod@reference`] — a deliberately naive implementation used only to
+//!   validate the optimized kernels.
+
+pub mod cat;
+pub mod engine;
+pub mod kernels;
+pub mod reference;
+
+/// RAxML's `minlikelihood`: partials below this threshold (for every state
+/// and rate category of a site) are rescaled to avoid numerical underflow.
+/// The value is 2⁻²⁵⁶, so the rescaling multiplier is exactly representable.
+pub const SCALE_THRESHOLD: f64 = 8.636168555094445e-78; // 2^-256
+
+/// The rescaling multiplier 2²⁵⁶ (RAxML's `twotothe256`).
+pub const SCALE_MULTIPLIER: f64 = 1.157920892373162e77; // 2^256
+
+/// ln(2⁻²⁵⁶): each scaling event contributes this constant to the per-site
+/// log-likelihood.
+pub const LN_SCALE: f64 = -177.445_678_223_346; // -256 · ln 2
+
+/// Which arithmetic formulation the `newview` loops use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Straight-line scalar code (the paper's starting point).
+    Scalar,
+    /// 2-lane `[f64; 2]` vectorized loops mirroring the SPE's 128-bit
+    /// registers (paper Figure 2).
+    #[default]
+    Vector,
+}
+
+/// How the underflow-scaling conditional is evaluated (paper §5.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScalingCheck {
+    /// `ABS(x) < minlikelihood` on doubles — 8 hard-to-predict conditions.
+    FloatCompare,
+    /// Reinterpret the (positive) doubles as unsigned integers and compare
+    /// those: IEEE-754 doubles of one sign are lexicographically ordered by
+    /// their bit patterns, so the outcome is identical and branch-friendly.
+    #[default]
+    IntegerCast,
+}
+
+/// Runtime configuration of the likelihood engine — every switch corresponds
+/// to one of the paper's optimizations so each can be measured independently.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LikelihoodConfig {
+    /// libm vs SDK-style exponential (§5.2.2).
+    pub exp_impl: crate::model::ExpImpl,
+    /// Scalar vs vectorized likelihood loops (§5.2.5).
+    pub kernel: KernelKind,
+    /// Float vs integer-cast scaling conditional (§5.2.3).
+    pub scaling: ScalingCheck,
+    /// Loop-level parallelism over site patterns with rayon (the
+    /// RAxML-OMP analogue; the paper's third parallelism layer).
+    pub parallel: bool,
+}
+
+impl LikelihoodConfig {
+    /// The fully optimized configuration (sequential).
+    pub fn optimized() -> LikelihoodConfig {
+        LikelihoodConfig {
+            exp_impl: crate::model::ExpImpl::Sdk,
+            kernel: KernelKind::Vector,
+            scaling: ScalingCheck::IntegerCast,
+            parallel: false,
+        }
+    }
+
+    /// The unoptimized baseline (what the naive Cell port ran).
+    pub fn baseline() -> LikelihoodConfig {
+        LikelihoodConfig {
+            exp_impl: crate::model::ExpImpl::Libm,
+            kernel: KernelKind::Scalar,
+            scaling: ScalingCheck::FloatCompare,
+            parallel: false,
+        }
+    }
+}

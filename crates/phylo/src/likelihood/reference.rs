@@ -1,0 +1,276 @@
+//! A deliberately naive likelihood implementation used to validate the
+//! optimized kernels.
+//!
+//! Independence from the production path is the point: transition matrices
+//! are computed by scaling-and-squaring series exponentiation of the rate
+//! matrix (not eigendecomposition), conditional likelihoods by direct
+//! recursion (no pattern-sharing tricks, no underflow scaling, no case
+//! specialization). Only usable on small trees — exactly what tests need.
+
+use crate::alignment::PatternAlignment;
+use crate::alphabet::TIP_LIKELIHOODS;
+use crate::model::{GammaRates, SubstModel};
+use crate::tree::{NodeId, Tree};
+
+/// Build the normalized GTR rate matrix from first principles (duplicating
+/// the model's internal construction on purpose).
+fn rate_matrix(model: &SubstModel) -> [[f64; 4]; 4] {
+    let f = model.freqs();
+    let ex = model.exchange();
+    let order = [(0usize, 1usize), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    let mut r = [[0.0; 4]; 4];
+    for (idx, &(i, j)) in order.iter().enumerate() {
+        r[i][j] = ex[idx];
+        r[j][i] = ex[idx];
+    }
+    let mut q = [[0.0; 4]; 4];
+    for i in 0..4 {
+        let mut row = 0.0;
+        for j in 0..4 {
+            if i != j {
+                q[i][j] = r[i][j] * f[j];
+                row += q[i][j];
+            }
+        }
+        q[i][i] = -row;
+    }
+    let mu: f64 = -(0..4).map(|i| f[i] * q[i][i]).sum::<f64>();
+    for row in &mut q {
+        for x in row.iter_mut() {
+            *x /= mu;
+        }
+    }
+    q
+}
+
+/// Matrix exponential `e^{Q·t}` by scaling and squaring with a Taylor
+/// series — slow, simple, and independent of the eigen path.
+pub fn expm(q: &[[f64; 4]; 4], t: f64) -> [[f64; 4]; 4] {
+    // Scale so the argument is small, exponentiate by series, square back.
+    let norm: f64 =
+        q.iter().map(|row| row.iter().map(|x| x.abs()).sum::<f64>()).fold(0.0, f64::max);
+    let mut squarings = 0u32;
+    let mut scale = t;
+    while norm * scale.abs() > 0.5 {
+        scale *= 0.5;
+        squarings += 1;
+    }
+
+    // Taylor series for e^{Q·scale}.
+    let mut result = identity();
+    let mut term = identity();
+    for k in 1..=24 {
+        term = mat_mul(&term, &mat_scale(q, scale / k as f64));
+        result = mat_add(&result, &term);
+    }
+    for _ in 0..squarings {
+        result = mat_mul(&result, &result);
+    }
+    result
+}
+
+fn identity() -> [[f64; 4]; 4] {
+    let mut m = [[0.0; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+fn mat_mul(a: &[[f64; 4]; 4], b: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+    let mut c = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            for k in 0..4 {
+                c[i][j] += a[i][k] * b[k][j];
+            }
+        }
+    }
+    c
+}
+
+fn mat_add(a: &[[f64; 4]; 4], b: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+    let mut c = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    c
+}
+
+fn mat_scale(a: &[[f64; 4]; 4], s: f64) -> [[f64; 4]; 4] {
+    let mut c = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = a[i][j] * s;
+        }
+    }
+    c
+}
+
+/// Conditional likelihood of the subtree at `node` (seen from `parent`) for
+/// one pattern and one rate multiplier.
+fn conditional(
+    tree: &Tree,
+    aln: &PatternAlignment,
+    q: &[[f64; 4]; 4],
+    rate: f64,
+    pattern: usize,
+    node: NodeId,
+    parent: NodeId,
+) -> [f64; 4] {
+    if tree.is_tip(node) {
+        return TIP_LIKELIHOODS[aln.tip_row(node)[pattern] as usize];
+    }
+    let mut out = [1.0; 4];
+    for (child, len) in tree.neighbors_of(node) {
+        if child == parent {
+            continue;
+        }
+        let p = expm(q, len * rate);
+        let cl = conditional(tree, aln, q, rate, pattern, child, node);
+        for s in 0..4 {
+            let mut acc = 0.0;
+            for (t, &clt) in cl.iter().enumerate() {
+                acc += p[s][t] * clt;
+            }
+            out[s] *= acc;
+        }
+    }
+    out
+}
+
+/// Naive log-likelihood of the tree under the model — the ground truth the
+/// optimized engine is validated against.
+pub fn log_likelihood_naive(
+    tree: &Tree,
+    aln: &PatternAlignment,
+    model: &SubstModel,
+    rates: &GammaRates,
+) -> f64 {
+    let q = rate_matrix(model);
+    let freqs = model.freqs();
+    let (u, v) = tree.edges()[0];
+    let n_rates = rates.n_categories();
+    let mut lnl = 0.0;
+    for i in 0..aln.n_patterns() {
+        let w = aln.weights()[i];
+        if w == 0.0 {
+            continue;
+        }
+        let mut site = 0.0;
+        for &r in rates.rates() {
+            let lu = conditional(tree, aln, &q, r, i, u, v);
+            let lv = conditional(tree, aln, &q, r, i, v, u);
+            let p = expm(&q, tree.branch_length(u, v) * r);
+            for s in 0..4 {
+                let mut acc = 0.0;
+                for (t, &lvt) in lv.iter().enumerate() {
+                    acc += p[s][t] * lvt;
+                }
+                site += freqs[s] * lu[s] * acc;
+            }
+        }
+        lnl += w * (site / n_rates as f64).ln();
+    }
+    lnl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Alignment;
+    use crate::likelihood::engine::LikelihoodEngine;
+    use crate::likelihood::LikelihoodConfig;
+    use crate::model::ExpImpl;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expm_matches_eigendecomposition() {
+        let m = SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0])
+            .unwrap();
+        let q = rate_matrix(&m);
+        for &t in &[0.01, 0.2, 1.0, 5.0] {
+            let series = expm(&q, t);
+            let eigen = m.transition_matrix(t, 1.0, ExpImpl::Libm);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!(
+                        (series[i][j] - eigen[i][j]).abs() < 1e-10,
+                        "t={t} ({i},{j}): {} vs {}",
+                        series[i][j],
+                        eigen[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hand-computable 3-taxon case: L_col = Σ_s π_s Π_j P(t_j)[s][x_j].
+    #[test]
+    fn three_taxon_closed_form() {
+        let aln = Alignment::from_named_sequences(&[("a", "AC"), ("b", "AG"), ("c", "AT")])
+            .unwrap()
+            .compress();
+        let model = SubstModel::jc69();
+        let rates = GammaRates::homogeneous();
+        let tree = Tree::initial_triplet(3, 0.2).unwrap();
+
+        let naive = log_likelihood_naive(&tree, &aln, &model, &rates);
+
+        // Closed form under JC with all branch lengths 0.2.
+        let e = (-4.0 * 0.2 / 3.0f64).exp();
+        let p_same = 0.25 + 0.75 * e;
+        let p_diff = 0.25 - 0.25 * e;
+        // Column 1 (A,A,A): Σ_s π_s P[s][A]³ = ¼(p_same³ + 3·p_diff³).
+        let col1: f64 = 0.25 * (p_same.powi(3) + 3.0 * p_diff.powi(3));
+        // Column 2 (C,G,T): Σ_s π_s P[s][C]·P[s][G]·P[s][T]
+        //   = ¼(p_diff³ + 3·p_same·p_diff²)  (root = A gives the p_diff³ term).
+        let col2: f64 = 0.25 * (p_diff.powi(3) + 3.0 * p_same * p_diff * p_diff);
+        let expected = col1.ln() + col2.ln();
+        assert!(
+            (naive - expected).abs() < 1e-10,
+            "naive {naive} vs closed form {expected}"
+        );
+    }
+
+    #[test]
+    fn engine_matches_naive_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(20260706);
+        for trial in 0..5 {
+            let workload =
+                crate::simulate::SimulationConfig::new(6, 40, 1000 + trial).generate();
+            let aln = workload.alignment;
+            let tree = Tree::random(6, 0.15, &mut rng).unwrap();
+            let model =
+                SubstModel::gtr(aln.base_frequencies(), [1.1, 2.5, 0.7, 1.3, 2.9, 1.0])
+                    .unwrap();
+            let rates = GammaRates::standard(0.6).unwrap();
+
+            let naive = log_likelihood_naive(&tree, &aln, &model, &rates);
+            let mut eng =
+                LikelihoodEngine::new(&aln, model, rates, LikelihoodConfig::optimized());
+            let fast = eng.log_likelihood(&tree);
+            assert!(
+                (naive - fast).abs() < 1e-6 * naive.abs().max(1.0),
+                "trial {trial}: naive {naive} vs engine {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_matches_naive_with_bootstrap_weights() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let workload = crate::simulate::SimulationConfig::new(5, 60, 7).generate();
+        let aln = workload.alignment.bootstrap_replicate(&mut rng);
+        let tree = Tree::random(5, 0.2, &mut rng).unwrap();
+        let model = SubstModel::jc69();
+        let rates = GammaRates::standard(1.0).unwrap();
+        let naive = log_likelihood_naive(&tree, &aln, &model, &rates);
+        let mut eng = LikelihoodEngine::new(&aln, model, rates, LikelihoodConfig::optimized());
+        let fast = eng.log_likelihood(&tree);
+        assert!((naive - fast).abs() < 1e-6 * naive.abs().max(1.0), "{naive} vs {fast}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Brent's method for 1-D function minimization, used to optimize the Γ
+//! shape parameter and GTR exchangeabilities (RAxML optimizes model
+//! parameters one dimension at a time with Brent).
+
+/// Minimize `f` on `[a, b]` with Brent's method (golden section + parabolic
+/// interpolation). Returns `(x_min, f(x_min))`.
+///
+/// `tol` is the relative x-tolerance; a good general-purpose value is 1e-6.
+pub fn brent_minimize<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> (f64, f64) {
+    assert!(a < b, "invalid bracket [{a}, {b}]");
+    const GOLD: f64 = 0.381_966_011_250_105; // (3 − √5)/2
+    const EPS: f64 = 1e-12;
+
+    let (mut lo, mut hi) = (a, b);
+    let mut x = lo + GOLD * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+
+    for _ in 0..max_iter {
+        let m = 0.5 * (lo + hi);
+        let tol1 = tol * x.abs() + EPS;
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (hi - lo) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q_ = (x - v) * (fx - fw);
+            let mut p = (x - v) * q_ - (x - w) * r;
+            let mut q2 = 2.0 * (q_ - r);
+            if q2 > 0.0 {
+                p = -p;
+            }
+            q2 = q2.abs();
+            let e_old = e;
+            e = d;
+            // Accept the parabolic step only if it falls inside the bracket
+            // and improves on the previous-previous step length.
+            if p.abs() < (0.5 * q2 * e_old).abs() && p > q2 * (lo - x) && p < q2 * (hi - x) {
+                d = p / q2;
+                let u = x + d;
+                if (u - lo) < tol2 || (hi - u) < tol2 {
+                    d = if m > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x < m { hi - x } else { lo - x };
+            d = GOLD * e;
+        }
+        let u = if d.abs() >= tol1 { x + d } else { x + if d > 0.0 { tol1 } else { -tol1 } };
+        let fu = f(u);
+        if fu <= fx {
+            if u < x {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    (x, fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let (x, fx) = brent_minimize(|x| (x - 3.0) * (x - 3.0) + 2.0, 0.0, 10.0, 1e-10, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+        assert!((fx - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn asymmetric_function() {
+        // f(x) = x + 1/x has its minimum at x = 1 on (0, ∞).
+        let (x, _) = brent_minimize(|x| x + 1.0 / x, 0.01, 50.0, 1e-10, 200);
+        assert!((x - 1.0).abs() < 1e-5, "x = {x}");
+    }
+
+    #[test]
+    fn minimum_at_boundary() {
+        // Monotone decreasing: minimum approached at the right edge.
+        let (x, _) = brent_minimize(|x| -x, 0.0, 1.0, 1e-8, 200);
+        assert!(x > 0.99, "x = {x}");
+    }
+
+    #[test]
+    fn nonsmooth_function() {
+        let (x, _) = brent_minimize(|x: f64| (x - 2.5).abs(), 0.0, 10.0, 1e-9, 300);
+        assert!((x - 2.5).abs() < 1e-5, "x = {x}");
+    }
+
+    #[test]
+    fn counts_evaluations_reasonably() {
+        let mut evals = 0;
+        let _ = brent_minimize(
+            |x| {
+                evals += 1;
+                (x - 0.7).powi(2)
+            },
+            0.0,
+            1.0,
+            1e-8,
+            200,
+        );
+        assert!(evals < 60, "Brent should converge quickly, used {evals} evals");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn rejects_inverted_bracket() {
+        brent_minimize(|x| x, 1.0, 0.0, 1e-8, 10);
+    }
+}

@@ -1,0 +1,226 @@
+//! Jacobi eigendecomposition for small symmetric matrices.
+//!
+//! Time-reversible substitution models reduce to a symmetric eigenproblem
+//! (see [`crate::model`]); for 4×4 nucleotide matrices the classic cyclic
+//! Jacobi sweep converges in a handful of iterations and is numerically
+//! robust, which is what matters here — the decomposition is done once per
+//! model update while `P(t)` reconstruction runs millions of times.
+
+/// Result of a symmetric eigendecomposition: `a = V · diag(values) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Column-major eigenvectors: `vectors[j*n + i]` is component `i` of
+    /// eigenvector `j` (paired with `values[j]`).
+    pub vectors: Vec<f64>,
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl SymmetricEigen {
+    /// Eigenvector `j` as a slice.
+    pub fn vector(&self, j: usize) -> &[f64] {
+        &self.vectors[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Reconstruct the original matrix (row-major), for testing.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut out = vec![0.0; n * n];
+        for k in 0..n {
+            let v = self.vector(k);
+            let lam = self.values[k];
+            for i in 0..n {
+                for j in 0..n {
+                    out[i * n + j] += lam * v[i] * v[j];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix given in row-major
+/// order. Panics if the matrix is not square or not (numerically) symmetric.
+pub fn jacobi_eigen(a: &[f64], n: usize) -> SymmetricEigen {
+    assert_eq!(a.len(), n * n, "matrix must be n*n");
+    let scale = a.iter().fold(0.0f64, |m, &x| m.max(x.abs())).max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                (a[i * n + j] - a[j * n + i]).abs() <= 1e-9 * scale,
+                "matrix must be symmetric (a[{i}][{j}]={} vs a[{j}][{i}]={})",
+                a[i * n + j],
+                a[j * n + i]
+            );
+        }
+    }
+
+    let mut m = a.to_vec();
+    // v starts as identity; accumulates rotations (column j = eigenvector j).
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    const MAX_SWEEPS: usize = 64;
+    for _sweep in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| m[i * n + j] * m[i * n + j])
+            .sum();
+        if off.sqrt() <= 1e-14 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                // tan of the rotation angle, choosing the smaller rotation.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, θ): m ← Gᵀ m G.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort ascending by eigenvalue.
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|j| {
+            let val = m[j * n + j];
+            let vec: Vec<f64> = (0..n).map(|i| v[i * n + j]).collect();
+            (val, vec)
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    let values = pairs.iter().map(|(val, _)| *val).collect();
+    let mut vectors = Vec::with_capacity(n * n);
+    for (_, vec) in &pairs {
+        vectors.extend_from_slice(vec);
+    }
+    SymmetricEigen { values, vectors, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = [3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let e = jacobi_eigen(&a, 3);
+        assert_close(&e.values, &[1.0, 2.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let e = jacobi_eigen(&[2.0, 1.0, 1.0, 2.0], 2);
+        assert_close(&e.values, &[1.0, 3.0], 1e-12);
+        // Eigenvector for λ=1 is (1,-1)/√2 up to sign.
+        let v = e.vector(0);
+        assert!((v[0] + v[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_round_trip_4x4() {
+        let a = [
+            4.0, 1.0, 0.5, 0.2, //
+            1.0, 3.0, 0.3, 0.1, //
+            0.5, 0.3, 2.0, 0.4, //
+            0.2, 0.1, 0.4, 1.0,
+        ];
+        let e = jacobi_eigen(&a, 4);
+        assert_close(&e.reconstruct(), &a, 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = [
+            4.0, 1.0, 0.5, 0.2, //
+            1.0, 3.0, 0.3, 0.1, //
+            0.5, 0.3, 2.0, 0.4, //
+            0.2, 0.1, 0.4, 1.0,
+        ];
+        let e = jacobi_eigen(&a, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = e.vector(i).iter().zip(e.vector(j)).map(|(x, y)| x * y).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-10, "({i},{j}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = [
+            1.0, 0.7, 0.2, 0.1, //
+            0.7, 5.0, 0.9, 0.3, //
+            0.2, 0.9, 2.5, 0.6, //
+            0.1, 0.3, 0.6, 7.0,
+        ];
+        let e = jacobi_eigen(&a, 4);
+        let trace: f64 = (0..4).map(|i| a[i * 4 + i]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric() {
+        jacobi_eigen(&[1.0, 2.0, 3.0, 4.0], 2);
+    }
+
+    #[test]
+    fn values_sorted_ascending() {
+        let a = [
+            9.0, 0.1, 0.2, 0.3, //
+            0.1, 1.0, 0.4, 0.5, //
+            0.2, 0.4, 5.0, 0.6, //
+            0.3, 0.5, 0.6, 3.0,
+        ];
+        let e = jacobi_eigen(&a, 4);
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

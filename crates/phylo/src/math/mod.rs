@@ -1,0 +1,12 @@
+//! Numerical building blocks: a symmetric eigensolver, gamma-family special
+//! functions, a Cell-SDK-style fast exponential, and 1-D optimization.
+
+pub mod brent;
+pub mod eigen;
+pub mod fastexp;
+pub mod gamma;
+
+pub use brent::brent_minimize;
+pub use eigen::jacobi_eigen;
+pub use fastexp::fast_exp;
+pub use gamma::{discrete_gamma_rates, inv_reg_gamma, ln_gamma, reg_gamma_lower};

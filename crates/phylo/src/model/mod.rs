@@ -1,0 +1,457 @@
+//! Time-reversible nucleotide substitution models.
+//!
+//! The General Time-Reversible (GTR) model is parameterized by base
+//! frequencies `π` and six symmetric exchangeabilities `r`. The instantaneous
+//! rate matrix `Q` (with `Q_ij = r_ij π_j` for `i ≠ j`) is normalized to one
+//! expected substitution per unit time and decomposed via a similarity
+//! transform into a *symmetric* eigenproblem:
+//!
+//! ```text
+//! B = D^{1/2} Q D^{-1/2}   with D = diag(π)   (B symmetric)
+//! B = V Λ Vᵀ  ⇒  P(t) = e^{Qt} = D^{-1/2} V e^{Λt} Vᵀ D^{1/2}
+//! ```
+//!
+//! `newview`'s "small loop" (paper §5.2.5, 4–25 iterations, 36 FLOPs each)
+//! is exactly the reconstruction of the per-rate-category `P(r·t)` from this
+//! decomposition — one `exp` per eigenvalue per category, the calls §5.2.2
+//! replaces with the SDK exponential.
+
+pub mod rates;
+
+pub use rates::{CatRates, GammaRates};
+
+use crate::alphabet::STATES;
+use crate::error::{PhyloError, Result};
+use crate::math::{fast_exp, jacobi_eigen};
+
+/// Which exponential implementation `P(t)` reconstruction uses — the paper's
+/// §5.2.2 optimization surfaced as a runtime switch so both variants can be
+/// benchmarked and priced by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpImpl {
+    /// The platform libm `exp` (the paper's unoptimized starting point).
+    Libm,
+    /// The Cell-SDK-style numerical exp ([`crate::math::fast_exp`]).
+    #[default]
+    Sdk,
+}
+
+impl ExpImpl {
+    #[inline]
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            ExpImpl::Libm => x.exp(),
+            ExpImpl::Sdk => fast_exp(x),
+        }
+    }
+}
+
+/// Eigendecomposition of a normalized reversible rate matrix, cached for
+/// fast `P(t)` reconstruction.
+#[derive(Debug, Clone)]
+pub struct ModelEigen {
+    /// Eigenvalues of `Q` (all ≤ 0; the largest is 0 for the stationary mode).
+    pub values: [f64; STATES],
+    /// `U = D^{-1/2} V`, row-major: `u[i][k]`.
+    pub u: [[f64; STATES]; STATES],
+    /// `W = Vᵀ D^{1/2}`, row-major: `w[k][j]`.
+    pub w: [[f64; STATES]; STATES],
+}
+
+/// A reversible nucleotide substitution model (GTR and its special cases).
+#[derive(Debug, Clone)]
+pub struct SubstModel {
+    freqs: [f64; STATES],
+    /// Exchangeabilities in order AC, AG, AT, CG, CT, GT.
+    exchange: [f64; 6],
+    eigen: ModelEigen,
+}
+
+/// Order of the exchangeability parameters.
+pub const EXCHANGE_NAMES: [&str; 6] = ["AC", "AG", "AT", "CG", "CT", "GT"];
+
+impl SubstModel {
+    /// General Time-Reversible model with explicit frequencies and
+    /// exchangeabilities (order AC, AG, AT, CG, CT, GT; GT is conventionally
+    /// fixed to 1 during optimization).
+    pub fn gtr(freqs: [f64; STATES], exchange: [f64; 6]) -> Result<SubstModel> {
+        validate_freqs(&freqs)?;
+        for (i, &r) in exchange.iter().enumerate() {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(PhyloError::InvalidParameter {
+                    name: EXCHANGE_NAMES[i],
+                    value: r,
+                    reason: "exchangeability must be positive and finite",
+                });
+            }
+        }
+        let eigen = decompose(&freqs, &exchange);
+        Ok(SubstModel { freqs, exchange, eigen })
+    }
+
+    /// Jukes–Cantor: equal frequencies, equal exchangeabilities.
+    pub fn jc69() -> SubstModel {
+        SubstModel::gtr([0.25; 4], [1.0; 6]).expect("JC69 parameters are valid")
+    }
+
+    /// HKY85: arbitrary frequencies, one transition/transversion ratio κ
+    /// (transitions are A↔G and C↔T).
+    pub fn hky85(freqs: [f64; STATES], kappa: f64) -> Result<SubstModel> {
+        if !kappa.is_finite() || kappa <= 0.0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "kappa",
+                value: kappa,
+                reason: "transition/transversion ratio must be positive",
+            });
+        }
+        //           AC   AG     AT   CG   CT     GT
+        SubstModel::gtr(freqs, [1.0, kappa, 1.0, 1.0, kappa, 1.0])
+    }
+
+    /// Stationary base frequencies.
+    pub fn freqs(&self) -> &[f64; STATES] {
+        &self.freqs
+    }
+
+    /// Exchangeabilities (AC, AG, AT, CG, CT, GT).
+    pub fn exchange(&self) -> &[f64; 6] {
+        &self.exchange
+    }
+
+    /// The cached eigendecomposition.
+    pub fn eigen(&self) -> &ModelEigen {
+        &self.eigen
+    }
+
+    /// Replace one exchangeability and refresh the decomposition (used by
+    /// the model optimizer).
+    pub fn set_exchange(&mut self, index: usize, value: f64) -> Result<()> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(PhyloError::InvalidParameter {
+                name: EXCHANGE_NAMES[index],
+                value,
+                reason: "exchangeability must be positive and finite",
+            });
+        }
+        self.exchange[index] = value;
+        self.eigen = decompose(&self.freqs, &self.exchange);
+        Ok(())
+    }
+
+    /// Transition probability matrix `P(t)` for branch length `t` scaled by
+    /// `rate` (the rate-category multiplier), using the configured exp.
+    ///
+    /// Returns a row-major matrix: `p[from][to]`.
+    pub fn transition_matrix(&self, t: f64, rate: f64, exp_impl: ExpImpl) -> [[f64; 4]; 4] {
+        let e = &self.eigen;
+        let mut exps = [0.0; STATES];
+        for k in 0..STATES {
+            exps[k] = exp_impl.eval(e.values[k] * rate * t);
+        }
+        let mut p = [[0.0; STATES]; STATES];
+        for i in 0..STATES {
+            for j in 0..STATES {
+                let mut acc = 0.0;
+                for k in 0..STATES {
+                    acc += e.u[i][k] * exps[k] * e.w[k][j];
+                }
+                // Clamp tiny negative values from round-off: probabilities
+                // feed into logarithms downstream.
+                p[i][j] = acc.max(0.0);
+            }
+        }
+        p
+    }
+
+    /// Transform a conditional-likelihood 4-vector into the eigenbasis
+    /// weighted by `D^{1/2}` (i.e. `W·x`). Two such transforms multiplied
+    /// componentwise give the `makenewz` sum table: the per-site likelihood
+    /// at a branch is `Σ_k (W x_p)_k (W x_q)_k e^{λ_k r t}`.
+    #[inline]
+    pub fn w_transform(&self, x: &[f64; STATES]) -> [f64; STATES] {
+        let w = &self.eigen.w;
+        let mut out = [0.0; STATES];
+        for k in 0..STATES {
+            out[k] = w[k][0] * x[0] + w[k][1] * x[1] + w[k][2] * x[2] + w[k][3] * x[3];
+        }
+        out
+    }
+}
+
+fn validate_freqs(freqs: &[f64; STATES]) -> Result<()> {
+    let sum: f64 = freqs.iter().sum();
+    for &f in freqs {
+        if !f.is_finite() || f <= 0.0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "base frequency",
+                value: f,
+                reason: "frequencies must be positive",
+            });
+        }
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(PhyloError::InvalidParameter {
+            name: "base frequencies",
+            value: sum,
+            reason: "frequencies must sum to 1",
+        });
+    }
+    Ok(())
+}
+
+/// Build the normalized rate matrix, symmetrize, and decompose.
+fn decompose(freqs: &[f64; STATES], exchange: &[f64; 6]) -> ModelEigen {
+    // Assemble the symmetric exchangeability matrix r[i][j].
+    let mut r = [[0.0; STATES]; STATES];
+    let order = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    for (idx, &(i, j)) in order.iter().enumerate() {
+        r[i][j] = exchange[idx];
+        r[j][i] = exchange[idx];
+    }
+
+    // Q_ij = r_ij π_j (i ≠ j), diagonal = −row sum.
+    let mut q = [[0.0; STATES]; STATES];
+    for i in 0..STATES {
+        let mut row = 0.0;
+        for j in 0..STATES {
+            if i != j {
+                q[i][j] = r[i][j] * freqs[j];
+                row += q[i][j];
+            }
+        }
+        q[i][i] = -row;
+    }
+
+    // Normalize to one expected substitution per unit time:
+    // μ = −Σ_i π_i Q_ii.
+    let mu: f64 = -(0..STATES).map(|i| freqs[i] * q[i][i]).sum::<f64>();
+    for row in &mut q {
+        for x in row.iter_mut() {
+            *x /= mu;
+        }
+    }
+
+    // Symmetrize: B_ij = √(π_i) Q_ij / √(π_j); eigendecompose B.
+    let sqrt_pi: Vec<f64> = freqs.iter().map(|&f| f.sqrt()).collect();
+    let mut b = vec![0.0; STATES * STATES];
+    for i in 0..STATES {
+        for j in 0..STATES {
+            b[i * STATES + j] = sqrt_pi[i] * q[i][j] / sqrt_pi[j];
+        }
+    }
+    // Enforce exact symmetry against round-off before the Jacobi sweep.
+    for i in 0..STATES {
+        for j in (i + 1)..STATES {
+            let m = 0.5 * (b[i * STATES + j] + b[j * STATES + i]);
+            b[i * STATES + j] = m;
+            b[j * STATES + i] = m;
+        }
+    }
+    let eig = jacobi_eigen(&b, STATES);
+
+    let mut values = [0.0; STATES];
+    let mut u = [[0.0; STATES]; STATES];
+    let mut w = [[0.0; STATES]; STATES];
+    for k in 0..STATES {
+        values[k] = eig.values[k];
+        let v = eig.vector(k);
+        for i in 0..STATES {
+            u[i][k] = v[i] / sqrt_pi[i];
+            w[k][i] = v[i] * sqrt_pi[i];
+        }
+    }
+    ModelEigen { values, u, w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_gtr() -> SubstModel {
+        SubstModel::gtr(
+            [0.3, 0.2, 0.25, 0.25],
+            [1.2, 3.1, 0.8, 0.9, 3.4, 1.0],
+        )
+        .unwrap()
+    }
+
+    fn mat_mul(a: &[[f64; 4]; 4], b: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+        let mut c = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    c[i][j] += a[i][k] * b[k][j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let m = example_gtr();
+        for &t in &[0.0, 0.01, 0.1, 1.0, 10.0] {
+            let p = m.transition_matrix(t, 1.0, ExpImpl::Libm);
+            for (i, row) in p.iter().enumerate() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-10, "t={t}, row {i}: sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_at_zero() {
+        let p = example_gtr().transition_matrix(0.0, 1.0, ExpImpl::Sdk);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((p[i][j] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_stationary() {
+        let m = example_gtr();
+        let p = m.transition_matrix(500.0, 1.0, ExpImpl::Libm);
+        for row in &p {
+            for j in 0..4 {
+                assert!((row[j] - m.freqs()[j]).abs() < 1e-8, "{row:?} vs {:?}", m.freqs());
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_balance() {
+        // Reversibility: π_i P_ij(t) = π_j P_ji(t).
+        let m = example_gtr();
+        let p = m.transition_matrix(0.37, 1.0, ExpImpl::Libm);
+        for i in 0..4 {
+            for j in 0..4 {
+                let lhs = m.freqs()[i] * p[i][j];
+                let rhs = m.freqs()[j] * p[j][i];
+                assert!((lhs - rhs).abs() < 1e-12, "({i},{j}): {lhs} vs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn chapman_kolmogorov() {
+        // P(s + t) = P(s) · P(t).
+        let m = example_gtr();
+        let p_s = m.transition_matrix(0.2, 1.0, ExpImpl::Libm);
+        let p_t = m.transition_matrix(0.5, 1.0, ExpImpl::Libm);
+        let p_st = m.transition_matrix(0.7, 1.0, ExpImpl::Libm);
+        let prod = mat_mul(&p_s, &p_t);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((prod[i][j] - p_st[i][j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_scales_time() {
+        let m = example_gtr();
+        let a = m.transition_matrix(0.3, 2.0, ExpImpl::Libm);
+        let b = m.transition_matrix(0.6, 1.0, ExpImpl::Libm);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a[i][j] - b[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_to_one_substitution_per_unit_time() {
+        // d/dt Σ_i π_i P_ii(t) at t = 0 should be −1 (unit substitution rate).
+        let m = example_gtr();
+        let h = 1e-6;
+        let p = m.transition_matrix(h, 1.0, ExpImpl::Libm);
+        let diag: f64 = (0..4).map(|i| m.freqs()[i] * p[i][i]).sum();
+        let deriv = (diag - 1.0) / h;
+        assert!((deriv + 1.0).abs() < 1e-4, "derivative {deriv}");
+    }
+
+    #[test]
+    fn eigenvalues_nonpositive_with_one_zero() {
+        let m = example_gtr();
+        let vals = m.eigen().values;
+        assert!(vals.iter().all(|&v| v < 1e-10), "{vals:?}");
+        assert!(vals.iter().any(|&v| v.abs() < 1e-10), "{vals:?}");
+    }
+
+    #[test]
+    fn sdk_exp_matches_libm_transition_matrices() {
+        let m = example_gtr();
+        for &t in &[0.001, 0.05, 0.9, 4.0] {
+            let a = m.transition_matrix(t, 0.7, ExpImpl::Libm);
+            let b = m.transition_matrix(t, 0.7, ExpImpl::Sdk);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!((a[i][j] - b[i][j]).abs() < 1e-12, "t={t}, ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jc69_closed_form() {
+        // JC69: P_ii(t) = 1/4 + 3/4 e^{-4t/3}, P_ij = 1/4 − 1/4 e^{-4t/3}.
+        let m = SubstModel::jc69();
+        for &t in &[0.05, 0.3, 1.0] {
+            let p = m.transition_matrix(t, 1.0, ExpImpl::Libm);
+            let e = (-4.0 * t / 3.0f64).exp();
+            for i in 0..4 {
+                for j in 0..4 {
+                    let expected = if i == j { 0.25 + 0.75 * e } else { 0.25 - 0.25 * e };
+                    assert!((p[i][j] - expected).abs() < 1e-12, "t={t} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hky_transitions_exceed_transversions() {
+        let m = SubstModel::hky85([0.25; 4], 4.0).unwrap();
+        let p = m.transition_matrix(0.2, 1.0, ExpImpl::Libm);
+        // A→G (transition) should exceed A→C (transversion).
+        assert!(p[0][2] > p[0][1]);
+        // C→T transition exceeds C→G transversion.
+        assert!(p[1][3] > p[1][2]);
+    }
+
+    #[test]
+    fn w_transform_reconstructs_branch_likelihood() {
+        // Σ_k (W x)_k (W y)_k e^{λ_k t} must equal xᵀ D P(t) y.
+        let m = example_gtr();
+        let x = [0.9, 0.05, 0.03, 0.02];
+        let y = [0.1, 0.2, 0.3, 0.4];
+        let t = 0.42;
+        let wx = m.w_transform(&x);
+        let wy = m.w_transform(&y);
+        let via_eigen: f64 = (0..4)
+            .map(|k| wx[k] * wy[k] * (m.eigen().values[k] * t).exp())
+            .sum();
+        let p = m.transition_matrix(t, 1.0, ExpImpl::Libm);
+        let mut direct = 0.0;
+        for i in 0..4 {
+            for j in 0..4 {
+                direct += m.freqs()[i] * x[i] * p[i][j] * y[j];
+            }
+        }
+        assert!((via_eigen - direct).abs() < 1e-12, "{via_eigen} vs {direct}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SubstModel::gtr([0.5, 0.5, 0.1, 0.1], [1.0; 6]).is_err());
+        assert!(SubstModel::gtr([0.25; 4], [1.0, -1.0, 1.0, 1.0, 1.0, 1.0]).is_err());
+        assert!(SubstModel::gtr([0.25, 0.25, 0.25, 0.0], [1.0; 6]).is_err());
+        assert!(SubstModel::hky85([0.25; 4], 0.0).is_err());
+        let mut m = SubstModel::jc69();
+        assert!(m.set_exchange(0, f64::NAN).is_err());
+        assert!(m.set_exchange(1, 2.0).is_ok());
+        assert_eq!(m.exchange()[1], 2.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Rate-heterogeneity models: discrete Γ and per-site CAT categories
+//! (Stamatakis 2006, "Phylogenetic models of rate heterogeneity" — cited by
+//! the paper in §5.2.5: the small `newview` loop runs once per "distinct
+//! rate category of the CAT or Γ models").
+
+use crate::error::{PhyloError, Result};
+use crate::math::discrete_gamma_rates;
+
+/// Discrete Γ-distributed rates across sites (Yang 1994): `n` equal-weight
+/// categories, each site averages over all categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GammaRates {
+    alpha: f64,
+    rates: Vec<f64>,
+}
+
+impl GammaRates {
+    /// Create `n_categories` discrete Γ rates with shape `alpha`.
+    pub fn new(alpha: f64, n_categories: usize) -> Result<GammaRates> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                reason: "gamma shape must be positive and finite",
+            });
+        }
+        if n_categories == 0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "n_categories",
+                value: 0.0,
+                reason: "need at least one rate category",
+            });
+        }
+        Ok(GammaRates { alpha, rates: discrete_gamma_rates(alpha, n_categories) })
+    }
+
+    /// The standard 4-category Γ used by RAxML (and the paper's workload).
+    pub fn standard(alpha: f64) -> Result<GammaRates> {
+        GammaRates::new(alpha, 4)
+    }
+
+    /// A single-category model (no rate heterogeneity).
+    pub fn homogeneous() -> GammaRates {
+        GammaRates { alpha: f64::INFINITY, rates: vec![1.0] }
+    }
+
+    /// The shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The category rate multipliers (ascending, mean 1).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of categories.
+    pub fn n_categories(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Update the shape parameter in place, keeping the category count.
+    pub fn set_alpha(&mut self, alpha: f64) -> Result<()> {
+        let updated = GammaRates::new(alpha, self.rates.len())?;
+        *self = updated;
+        Ok(())
+    }
+}
+
+/// Per-site rate categories (the CAT approximation): every site pattern is
+/// assigned to one of `c` rate categories; a site evaluates under its single
+/// category rate instead of averaging over Γ categories. This trades
+/// statistical rigor for a ~4× smaller likelihood workload — the trade
+/// RAxML's CAT mode makes for large datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatRates {
+    /// Rate multiplier of each category.
+    category_rates: Vec<f64>,
+    /// Category index of each site pattern.
+    pattern_category: Vec<usize>,
+}
+
+impl CatRates {
+    /// All patterns in a single rate-1 category.
+    pub fn uniform(n_patterns: usize) -> CatRates {
+        CatRates { category_rates: vec![1.0], pattern_category: vec![0; n_patterns] }
+    }
+
+    /// Build from explicit per-pattern rates, clustering them into at most
+    /// `max_categories` categories by quantile bucketing (RAxML clusters
+    /// individually optimized per-site rates the same way).
+    pub fn from_pattern_rates(pattern_rates: &[f64], max_categories: usize) -> Result<CatRates> {
+        if pattern_rates.is_empty() {
+            return Err(PhyloError::EmptyAlignment);
+        }
+        if max_categories == 0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "max_categories",
+                value: 0.0,
+                reason: "need at least one category",
+            });
+        }
+        for &r in pattern_rates {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(PhyloError::InvalidParameter {
+                    name: "pattern rate",
+                    value: r,
+                    reason: "per-site rates must be positive and finite",
+                });
+            }
+        }
+        // Sort the distinct rates and cut into quantile buckets.
+        let mut sorted: Vec<f64> = pattern_rates.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let k = max_categories.min(sorted.len());
+        let mut cuts = Vec::with_capacity(k + 1);
+        for i in 0..=k {
+            cuts.push(sorted[(i * (sorted.len() - 1)) / k.max(1)]);
+        }
+        // Category rate = mean of member rates; assignment by bucket.
+        let bucket_of = |r: f64| -> usize {
+            let mut b = 0;
+            while b + 1 < k && r > cuts[b + 1] {
+                b += 1;
+            }
+            b
+        };
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        let mut pattern_category = Vec::with_capacity(pattern_rates.len());
+        for &r in pattern_rates {
+            let b = bucket_of(r);
+            sums[b] += r;
+            counts[b] += 1;
+            pattern_category.push(b);
+        }
+        // Drop empty buckets, remapping indices.
+        let mut remap = vec![usize::MAX; k];
+        let mut category_rates = Vec::new();
+        for b in 0..k {
+            if counts[b] > 0 {
+                remap[b] = category_rates.len();
+                category_rates.push(sums[b] / counts[b] as f64);
+            }
+        }
+        for c in &mut pattern_category {
+            *c = remap[*c];
+        }
+        Ok(CatRates { category_rates, pattern_category })
+    }
+
+    /// Rate multiplier of each category.
+    pub fn category_rates(&self) -> &[f64] {
+        &self.category_rates
+    }
+
+    /// Category of each pattern.
+    pub fn pattern_category(&self) -> &[usize] {
+        &self.pattern_category
+    }
+
+    /// Rate of a given pattern.
+    #[inline]
+    pub fn rate_of(&self, pattern: usize) -> f64 {
+        self.category_rates[self.pattern_category[pattern]]
+    }
+
+    /// Number of categories actually in use.
+    pub fn n_categories(&self) -> usize {
+        self.category_rates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_rates_basic() {
+        let g = GammaRates::standard(0.5).unwrap();
+        assert_eq!(g.n_categories(), 4);
+        assert_eq!(g.alpha(), 0.5);
+        let mean: f64 = g.rates().iter().sum::<f64>() / 4.0;
+        assert!((mean - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_rejects_bad_alpha() {
+        assert!(GammaRates::standard(0.0).is_err());
+        assert!(GammaRates::standard(-1.0).is_err());
+        assert!(GammaRates::standard(f64::NAN).is_err());
+        assert!(GammaRates::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn homogeneous_is_single_unit_rate() {
+        let g = GammaRates::homogeneous();
+        assert_eq!(g.rates(), &[1.0]);
+        assert_eq!(g.n_categories(), 1);
+    }
+
+    #[test]
+    fn set_alpha_updates_rates() {
+        let mut g = GammaRates::standard(1.0).unwrap();
+        let before = g.rates().to_vec();
+        g.set_alpha(0.2).unwrap();
+        assert_ne!(g.rates(), &before[..]);
+        assert_eq!(g.alpha(), 0.2);
+        // Smaller alpha → more spread.
+        assert!(g.rates()[0] < before[0]);
+        assert!(g.rates()[3] > before[3]);
+    }
+
+    #[test]
+    fn cat_uniform() {
+        let c = CatRates::uniform(10);
+        assert_eq!(c.n_categories(), 1);
+        assert_eq!(c.rate_of(7), 1.0);
+    }
+
+    #[test]
+    fn cat_clustering_respects_max_categories() {
+        let rates: Vec<f64> = (1..=100).map(|i| i as f64 / 10.0).collect();
+        let c = CatRates::from_pattern_rates(&rates, 8).unwrap();
+        assert!(c.n_categories() <= 8);
+        assert_eq!(c.pattern_category().len(), 100);
+        // Category rates must be increasing in bucket order.
+        for w in c.category_rates().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Every pattern's category rate is "close" to its own rate.
+        for (p, &r) in rates.iter().enumerate() {
+            let cr = c.rate_of(p);
+            assert!((cr - r).abs() < 2.0, "pattern {p}: rate {r} vs category {cr}");
+        }
+    }
+
+    #[test]
+    fn cat_identical_rates_collapse_to_one_category() {
+        let c = CatRates::from_pattern_rates(&[1.5; 20], 4).unwrap();
+        assert_eq!(c.n_categories(), 1);
+        assert!((c.category_rates()[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cat_rejects_invalid() {
+        assert!(CatRates::from_pattern_rates(&[], 4).is_err());
+        assert!(CatRates::from_pattern_rates(&[1.0], 0).is_err());
+        assert!(CatRates::from_pattern_rates(&[1.0, -2.0], 4).is_err());
+        assert!(CatRates::from_pattern_rates(&[1.0, f64::NAN], 4).is_err());
+    }
+}

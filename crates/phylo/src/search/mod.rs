@@ -1,0 +1,354 @@
+//! Maximum-likelihood tree search: randomized stepwise-addition parsimony
+//! starting trees, SPR hill climbing, and model parameter optimization —
+//! the full RAxML-style inference pipeline (paper §3).
+
+pub mod nni;
+pub mod parsimony;
+pub mod spr;
+
+pub use nni::{nni_round, NniRoundStats};
+pub use parsimony::{parsimony_score, stepwise_addition_tree};
+pub use spr::{spr_round, SprRoundStats};
+
+use crate::alignment::PatternAlignment;
+use crate::likelihood::engine::LikelihoodEngine;
+use crate::likelihood::LikelihoodConfig;
+use crate::math::brent_minimize;
+use crate::model::{GammaRates, SubstModel};
+use crate::trace::Trace;
+use crate::tree::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bounds for Γ-shape optimization.
+const ALPHA_MIN: f64 = 0.02;
+const ALPHA_MAX: f64 = 20.0;
+/// Bounds for GTR exchangeability optimization.
+const RATE_MIN: f64 = 0.02;
+const RATE_MAX: f64 = 50.0;
+
+/// Configuration of a full ML inference.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Kernel/exp/scaling/parallelism switches for the likelihood engine.
+    pub likelihood: LikelihoodConfig,
+    /// Number of discrete Γ rate categories (RAxML default: 4).
+    pub n_rate_categories: usize,
+    /// Initial Γ shape.
+    pub initial_alpha: f64,
+    /// Optimize the Γ shape with Brent's method.
+    pub optimize_alpha: bool,
+    /// Optimize the five free GTR exchangeabilities.
+    pub optimize_exchangeabilities: bool,
+    /// SPR rearrangement radius (RAxML's rearrangement setting).
+    pub spr_radius: usize,
+    /// Maximum SPR improvement rounds.
+    pub max_spr_rounds: usize,
+    /// Branch-length smoothing passes in the final optimization.
+    pub branch_smoothings: usize,
+    /// Minimum log-likelihood improvement to accept an SPR move.
+    pub epsilon: f64,
+    /// Explicit substitution model; `None` uses GTR with empirical base
+    /// frequencies and unit exchangeabilities.
+    pub model: Option<SubstModel>,
+    /// Initial branch length for starting trees.
+    pub initial_branch_length: f64,
+}
+
+impl SearchConfig {
+    /// Fast settings for tests and demos: small radius, few rounds.
+    pub fn fast() -> SearchConfig {
+        SearchConfig {
+            likelihood: LikelihoodConfig::optimized(),
+            n_rate_categories: 4,
+            initial_alpha: 0.7,
+            optimize_alpha: true,
+            optimize_exchangeabilities: false,
+            spr_radius: 4,
+            max_spr_rounds: 3,
+            branch_smoothings: 2,
+            epsilon: 1e-3,
+            model: None,
+            initial_branch_length: 0.1,
+        }
+    }
+
+    /// Standard analysis settings (the defaults a user would run).
+    pub fn standard() -> SearchConfig {
+        SearchConfig {
+            spr_radius: 8,
+            max_spr_rounds: 10,
+            branch_smoothings: 4,
+            optimize_exchangeabilities: true,
+            ..SearchConfig::fast()
+        }
+    }
+
+    /// Thorough settings for final published analyses.
+    pub fn thorough() -> SearchConfig {
+        SearchConfig {
+            spr_radius: 15,
+            max_spr_rounds: 25,
+            branch_smoothings: 8,
+            epsilon: 1e-4,
+            ..SearchConfig::standard()
+        }
+    }
+}
+
+/// Result of one ML inference.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best tree found.
+    pub tree: Tree,
+    /// Its log-likelihood.
+    pub log_likelihood: f64,
+    /// Parsimony score of the starting tree.
+    pub starting_parsimony: f64,
+    /// Optimized Γ shape.
+    pub alpha: f64,
+    /// The substitution model after optimization.
+    pub model: SubstModel,
+    /// SPR rounds actually run.
+    pub rounds: usize,
+    /// Total SPR moves applied.
+    pub moves_applied: usize,
+    /// Kernel trace of the whole inference.
+    pub trace: Trace,
+}
+
+/// Run one full ML inference: stepwise-addition start, branch and model
+/// optimization, SPR hill climbing. `seed` controls the randomized addition
+/// order — distinct seeds reproduce the paper's "multiple inferences on
+/// distinct starting trees".
+pub fn infer_ml_tree(
+    aln: &PatternAlignment,
+    config: &SearchConfig,
+    seed: u64,
+) -> SearchResult {
+    infer_ml_tree_traced(aln, config, seed, false)
+}
+
+/// As [`infer_ml_tree`], optionally recording the full kernel event trace
+/// (needed by the Cell simulator replay).
+pub fn infer_ml_tree_traced(
+    aln: &PatternAlignment,
+    config: &SearchConfig,
+    seed: u64,
+    record_events: bool,
+) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 1. Starting tree: randomized stepwise-addition parsimony.
+    let mut tree = stepwise_addition_tree(aln, config.initial_branch_length, &mut rng)
+        .expect("alignment has >= 3 taxa");
+    let starting_parsimony = parsimony_score(&tree, aln);
+
+    // 2. Engine.
+    let model = config.model.clone().unwrap_or_else(|| {
+        SubstModel::gtr(aln.base_frequencies(), [1.0; 6]).expect("empirical GTR is valid")
+    });
+    let rates = GammaRates::new(config.initial_alpha, config.n_rate_categories)
+        .expect("configured rate model is valid");
+    let mut engine = LikelihoodEngine::new(aln, model, rates, config.likelihood);
+    if record_events {
+        engine.enable_event_recording();
+    }
+
+    // 3. Initial branch lengths + model.
+    engine.optimize_all_branches(&mut tree, 2);
+    if config.optimize_alpha {
+        optimize_alpha(&mut engine, &tree);
+        engine.optimize_all_branches(&mut tree, 1);
+    }
+
+    // 4. SPR hill climbing.
+    let mut rounds = 0;
+    let mut moves_applied = 0;
+    for round in 0..config.max_spr_rounds {
+        let stats = spr_round(&mut engine, &mut tree, config.spr_radius, config.epsilon);
+        rounds += 1;
+        moves_applied += stats.applied;
+        engine.optimize_all_branches(&mut tree, 1);
+        if config.optimize_alpha && round % 2 == 1 {
+            optimize_alpha(&mut engine, &tree);
+        }
+        if stats.applied == 0 {
+            break;
+        }
+    }
+
+    // 5. Final model + branch polish.
+    if config.optimize_exchangeabilities {
+        optimize_exchangeabilities(&mut engine, &tree);
+        engine.optimize_all_branches(&mut tree, 1);
+    }
+    if config.optimize_alpha {
+        optimize_alpha(&mut engine, &tree);
+    }
+    // The final smoothing pass determines the reported likelihood: it is the
+    // log-likelihood of the returned tree under the returned model.
+    let lnl = engine.optimize_all_branches(&mut tree, config.branch_smoothings);
+
+    let alpha = engine.rates().alpha();
+    let model = engine.model().clone();
+    let trace = engine.take_trace();
+    SearchResult {
+        tree,
+        log_likelihood: lnl,
+        starting_parsimony,
+        alpha,
+        model,
+        rounds,
+        moves_applied,
+        trace,
+    }
+}
+
+/// Optimize the Γ shape parameter with Brent's method; leaves the engine at
+/// the optimum and returns the log-likelihood there.
+pub fn optimize_alpha(engine: &mut LikelihoodEngine<'_>, tree: &Tree) -> f64 {
+    let (best_alpha, neg_lnl) = brent_minimize(
+        |a| {
+            engine.set_alpha(a).expect("alpha within bounds");
+            -engine.log_likelihood(tree)
+        },
+        ALPHA_MIN,
+        ALPHA_MAX,
+        1e-3,
+        50,
+    );
+    engine.set_alpha(best_alpha).expect("optimum within bounds");
+    -neg_lnl
+}
+
+/// One round of coordinate-wise Brent optimization over the five free GTR
+/// exchangeabilities (GT stays fixed at 1 as the reference rate).
+pub fn optimize_exchangeabilities(engine: &mut LikelihoodEngine<'_>, tree: &Tree) -> f64 {
+    let mut lnl = engine.log_likelihood(tree);
+    for idx in 0..5 {
+        let current = engine.model().exchange()[idx];
+        let (best, neg_lnl) = brent_minimize(
+            |r| {
+                let mut m = engine.model().clone();
+                m.set_exchange(idx, r).expect("rate within bounds");
+                engine.set_model(m);
+                -engine.log_likelihood(tree)
+            },
+            RATE_MIN,
+            RATE_MAX,
+            1e-3,
+            40,
+        );
+        // Keep the optimum only if it genuinely improves (Brent may return
+        // a boundary point on flat surfaces).
+        if -neg_lnl >= lnl {
+            let mut m = engine.model().clone();
+            m.set_exchange(idx, best).expect("rate within bounds");
+            engine.set_model(m);
+            lnl = -neg_lnl;
+        } else {
+            let mut m = engine.model().clone();
+            m.set_exchange(idx, current).expect("restoring previous rate");
+            engine.set_model(m);
+        }
+    }
+    lnl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartitions::robinson_foulds;
+    use crate::simulate::SimulationConfig;
+
+    #[test]
+    fn inference_recovers_true_topology_on_clean_data() {
+        let w = SimulationConfig {
+            mean_branch: 0.12,
+            ..SimulationConfig::new(8, 1200, 40)
+        }
+        .generate();
+        let result = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 1);
+        assert_eq!(
+            robinson_foulds(&result.tree, &w.true_tree),
+            0,
+            "ML search should recover the generating topology"
+        );
+        assert!(result.log_likelihood.is_finite());
+        result.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn inference_is_deterministic_given_seed() {
+        let w = SimulationConfig::new(7, 300, 11).generate();
+        let a = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 5);
+        let b = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 5);
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(a.log_likelihood, b.log_likelihood);
+    }
+
+    #[test]
+    fn distinct_seeds_explore_distinct_starting_trees() {
+        let w = SimulationConfig::new(10, 150, 23).generate();
+        let a = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 1);
+        let b = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 2);
+        // Final trees may coincide; starting parsimony scores usually
+        // differ, and likelihoods must both be sane.
+        assert!(a.log_likelihood < 0.0 && b.log_likelihood < 0.0);
+        let _ = (a.starting_parsimony, b.starting_parsimony);
+    }
+
+    #[test]
+    fn alpha_optimization_improves_likelihood() {
+        let w = SimulationConfig {
+            alpha: 0.3, // strong rate heterogeneity in the data
+            ..SimulationConfig::new(8, 600, 77)
+        }
+        .generate();
+        let mut no_alpha_cfg = SearchConfig::fast();
+        no_alpha_cfg.optimize_alpha = false;
+        no_alpha_cfg.initial_alpha = 5.0; // deliberately wrong
+        let mut alpha_cfg = no_alpha_cfg.clone();
+        alpha_cfg.optimize_alpha = true;
+        let without = infer_ml_tree(&w.alignment, &no_alpha_cfg, 3);
+        let with = infer_ml_tree(&w.alignment, &alpha_cfg, 3);
+        assert!(
+            with.log_likelihood > without.log_likelihood,
+            "alpha optimization must help on heterogeneous data: {} vs {}",
+            with.log_likelihood,
+            without.log_likelihood
+        );
+        assert!(with.alpha < 2.0, "fitted alpha should move toward the truth, got {}", with.alpha);
+    }
+
+    #[test]
+    fn search_likelihood_beats_starting_tree() {
+        let w = SimulationConfig::new(9, 400, 55).generate();
+        let cfg = SearchConfig::fast();
+        let result = infer_ml_tree(&w.alignment, &cfg, 9);
+        // Compare against the unoptimized starting tree's likelihood.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let start = stepwise_addition_tree(&w.alignment, 0.1, &mut rng).unwrap();
+        let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+        let mut eng = LikelihoodEngine::new(
+            &w.alignment,
+            model,
+            GammaRates::standard(cfg.initial_alpha).unwrap(),
+            cfg.likelihood,
+        );
+        let start_lnl = eng.log_likelihood(&start);
+        assert!(result.log_likelihood > start_lnl);
+    }
+
+    #[test]
+    fn trace_is_collected() {
+        let w = SimulationConfig::new(6, 120, 3).generate();
+        let result = infer_ml_tree_traced(&w.alignment, &SearchConfig::fast(), 1, true);
+        let c = result.trace.counters();
+        assert!(c.newview_calls > 100, "a search makes many newview calls: {c:?}");
+        assert!(c.makenewz_calls > 10);
+        assert!(c.evaluate_calls > 10);
+        assert!(!result.trace.events().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Nearest-neighbor-interchange hill climbing — the cheaper, smaller-radius
+//! alternative to SPR. PHYML-style searches (cited by the paper as a RAxML
+//! competitor) are NNI-based; RAxML uses NNIs implicitly as the radius-1
+//! subset of its SPR moves. Provided as a standalone refinement pass and as
+//! a baseline against which the SPR search can be compared.
+
+use crate::likelihood::engine::LikelihoodEngine;
+use crate::tree::{Edge, Tree};
+
+/// Outcome of one NNI improvement round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NniRoundStats {
+    /// Interchanges applied.
+    pub applied: usize,
+    /// Interchanges evaluated (2 per internal edge).
+    pub evaluated: usize,
+    /// Log-likelihood after the round.
+    pub log_likelihood: f64,
+}
+
+/// One NNI round: for every internal edge, try both interchanges; keep an
+/// interchange when it improves the log-likelihood by more than `epsilon`
+/// (after re-optimizing the central branch).
+pub fn nni_round(
+    engine: &mut LikelihoodEngine<'_>,
+    tree: &mut Tree,
+    epsilon: f64,
+) -> NniRoundStats {
+    let mut current = engine.log_likelihood(tree);
+    let mut applied = 0;
+    let mut evaluated = 0;
+
+    let internal: Vec<Edge> = tree
+        .edges()
+        .into_iter()
+        .filter(|&(a, b)| !tree.is_tip(a) && !tree.is_tip(b))
+        .collect();
+
+    for (u, v) in internal {
+        if !tree.adjacent(u, v) || tree.is_tip(u) || tree.is_tip(v) {
+            continue; // an earlier interchange may have rearranged this region
+        }
+        let mut best: Option<(f64, Tree)> = None;
+        for swap in 0..2 {
+            let mut candidate = tree.clone();
+            if candidate.nni(u, v, swap).is_err() {
+                continue;
+            }
+            engine.invalidate_all();
+            let (_, lnl) = engine.optimize_branch_with_iters(&mut candidate, (u, v), 4);
+            evaluated += 1;
+            if lnl > current + epsilon && best.as_ref().is_none_or(|(b, _)| lnl > *b) {
+                best = Some((lnl, candidate));
+            }
+        }
+        if let Some((lnl, better)) = best {
+            *tree = better;
+            current = lnl;
+            applied += 1;
+        }
+        engine.invalidate_all();
+    }
+    // Leave the caches consistent with the final tree and report its exact
+    // likelihood.
+    current = engine.log_likelihood(tree);
+    NniRoundStats { applied, evaluated, log_likelihood: current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::likelihood::LikelihoodConfig;
+    use crate::model::{GammaRates, SubstModel};
+    use crate::search::spr::spr_round;
+    use crate::simulate::SimulationConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(aln: &crate::alignment::PatternAlignment) -> LikelihoodEngine<'_> {
+        LikelihoodEngine::new(
+            aln,
+            SubstModel::gtr(aln.base_frequencies(), [1.0; 6]).unwrap(),
+            GammaRates::standard(0.8).unwrap(),
+            LikelihoodConfig::optimized(),
+        )
+    }
+
+    #[test]
+    fn nni_round_never_decreases_likelihood() {
+        let w = SimulationConfig::new(9, 350, 44).generate();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tree = Tree::random(9, 0.1, &mut rng).unwrap();
+        let mut eng = engine(&w.alignment);
+        let before = eng.optimize_all_branches(&mut tree, 2);
+        let stats = nni_round(&mut eng, &mut tree, 1e-4);
+        assert!(stats.log_likelihood >= before - 1e-6);
+        assert!(stats.evaluated > 0);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn nni_improves_a_random_start() {
+        let w = SimulationConfig {
+            mean_branch: 0.12,
+            ..SimulationConfig::new(8, 1000, 3)
+        }
+        .generate();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tree = Tree::random(8, 0.1, &mut rng).unwrap();
+        let mut eng = engine(&w.alignment);
+        let start = eng.optimize_all_branches(&mut tree, 2);
+        let mut last = start;
+        for _ in 0..8 {
+            let stats = nni_round(&mut eng, &mut tree, 1e-4);
+            eng.optimize_all_branches(&mut tree, 1);
+            if stats.applied == 0 {
+                break;
+            }
+            last = stats.log_likelihood;
+        }
+        assert!(last > start, "NNI must improve a random start: {start} -> {last}");
+    }
+
+    #[test]
+    fn spr_explores_at_least_as_well_as_nni() {
+        // SPR's move set strictly contains NNI's, so from the same start
+        // an SPR round followed by smoothing should do at least as well as
+        // an NNI round from the same state.
+        let w = SimulationConfig::new(9, 600, 71).generate();
+        let mut rng = StdRng::seed_from_u64(9);
+        let start = Tree::random(9, 0.1, &mut rng).unwrap();
+
+        let mut t_nni = start.clone();
+        let mut eng = engine(&w.alignment);
+        eng.optimize_all_branches(&mut t_nni, 2);
+        for _ in 0..6 {
+            if nni_round(&mut eng, &mut t_nni, 1e-4).applied == 0 {
+                break;
+            }
+            eng.optimize_all_branches(&mut t_nni, 1);
+        }
+        let nni_lnl = eng.optimize_all_branches(&mut t_nni, 2);
+
+        let mut t_spr = start;
+        let mut eng = engine(&w.alignment);
+        eng.optimize_all_branches(&mut t_spr, 2);
+        for _ in 0..6 {
+            if spr_round(&mut eng, &mut t_spr, 6, 1e-4).applied == 0 {
+                break;
+            }
+            eng.optimize_all_branches(&mut t_spr, 1);
+        }
+        let spr_lnl = eng.optimize_all_branches(&mut t_spr, 2);
+
+        assert!(
+            spr_lnl >= nni_lnl - 0.5,
+            "SPR should not lose clearly to NNI: {spr_lnl} vs {nni_lnl}"
+        );
+    }
+}

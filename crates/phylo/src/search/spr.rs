@@ -1,0 +1,308 @@
+//! Lazy SPR (subtree pruning and regrafting) hill climbing — the core of
+//! RAxML's rapid hill climbing search (paper §3): subtrees are pruned and
+//! re-inserted at all branches within a rearrangement radius; improving
+//! moves are applied immediately.
+//!
+//! "Lazy" is doing real work here, exactly as in RAxML: partial-likelihood
+//! vectors are kept valid across candidate insertions through careful
+//! orientation bookkeeping, so scoring one candidate costs roughly **one**
+//! `newview` (the virtual junction) plus **one** short `makenewz` (a couple
+//! of Newton steps on the insertion branch) — not a full tree traversal.
+//! This is what gives RAxML its ~2–3 `newview` calls per `makenewz` trace
+//! profile that the Cell port's communication analysis (§5.2.6) relies on.
+
+use crate::likelihood::engine::LikelihoodEngine;
+use crate::tree::{edge, Edge, NodeId, Tree};
+
+
+/// Outcome of one SPR improvement round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprRoundStats {
+    /// Moves applied this round.
+    pub applied: usize,
+    /// Candidate regrafts evaluated.
+    pub evaluated: usize,
+    /// Log-likelihood after the round.
+    pub log_likelihood: f64,
+}
+
+/// Split the edge `(x, y)` with junction `v` (regraft bookkeeping): partials
+/// whose subtree contains the edge become stale; `x`/`y` partials pointing
+/// at each other become partials pointing at `v`.
+fn note_split(engine: &mut LikelihoodEngine<'_>, tree: &Tree, x: NodeId, y: NodeId, v: NodeId) {
+    // Must run while (x, y) is still an edge.
+    engine.invalidate_for_branch(tree, x, y);
+    engine.remap_orientation(x, y, v);
+    engine.remap_orientation(y, x, v);
+    engine.clear_orientation(v);
+}
+
+/// Merge `(x, v, y)` back into the edge `(x, y)` (prune bookkeeping): the
+/// junction's partial dies; `x`/`y` partials pointing at `v` now point at
+/// each other. Anything that contained the region was already stale.
+fn note_merge(engine: &mut LikelihoodEngine<'_>, x: NodeId, y: NodeId, v: NodeId) {
+    engine.clear_orientation(v);
+    engine.remap_orientation(x, v, y);
+    engine.remap_orientation(y, v, x);
+}
+
+/// One full SPR round: every prunable subtree is tried against every target
+/// branch within `radius` of its original location; a move is kept when it
+/// improves the log-likelihood by more than `epsilon`. Returns round stats.
+pub fn spr_round(
+    engine: &mut LikelihoodEngine<'_>,
+    tree: &mut Tree,
+    radius: usize,
+    epsilon: f64,
+) -> SprRoundStats {
+    let mut current = engine.log_likelihood(tree);
+    let mut applied = 0;
+    let mut evaluated = 0;
+
+    // Enumerate prunable (subtree root, junction) pairs up front; the tree
+    // changes as moves are applied, so re-check adjacency before each prune.
+    let candidates: Vec<(NodeId, NodeId)> = tree
+        .edges()
+        .iter()
+        .flat_map(|&(a, b)| [(a, b), (b, a)])
+        .collect();
+
+    for (s, v) in candidates {
+        // The junction must (still) be an inner node adjacent to s.
+        if !tree.adjacent(s, v) || tree.is_tip(v) {
+            continue;
+        }
+        // Keep at least a quartet on the remaining tree.
+        let subtree_taxa = tree.subtree_tips(s, v).len();
+        if tree.n_taxa() - subtree_taxa < 3 {
+            continue;
+        }
+
+        let pruned = match tree.prune(s, v) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let (ma, mb) = pruned.merged_edge;
+        note_merge(engine, ma, mb, v);
+        engine.invalidate_for_branch(tree, ma, mb);
+
+        // Regraft targets: branches within `radius` hops of the original
+        // location (both endpoints of the merged edge), excluding the
+        // merged edge itself (the identity move). Sorted so candidate
+        // order — and thereby tie-breaking — is fully deterministic.
+        let mut targets: Vec<Edge> = tree.edges_within_radius(ma, radius, &[]);
+        targets.extend(tree.edges_within_radius(mb, radius, &[]));
+        targets.sort_unstable();
+        targets.dedup();
+        targets.retain(|&t| t != edge(ma, mb));
+
+        let mut best: Option<(f64, Edge)> = None;
+        for &target in &targets {
+            let (x, y) = target;
+            let old_len = tree.branch_length(x, y);
+            note_split(engine, tree, x, y, pruned.junction);
+            if tree.regraft(&pruned, target).is_err() {
+                // Roll the bookkeeping back; the edge still exists.
+                note_merge(engine, x, y, pruned.junction);
+                continue;
+            }
+            // Lazy scoring, RAxML-style: one junction newview inside the
+            // makenewz preparation plus a couple of Newton steps; the
+            // sum table reports the likelihood for free.
+            let (_, lnl) = engine.optimize_branch_with_iters(
+                tree,
+                (pruned.junction, pruned.root),
+                2,
+            );
+            evaluated += 1;
+            if best.is_none_or(|(b, _)| lnl > b) {
+                best = Some((lnl, target));
+            }
+            // Undo: prune again and restore the target edge length exactly.
+            // (The insertion-branch length tweaked by the lazy Newton is
+            // discarded with the prune; regrafting always reuses the
+            // original prune length.)
+            tree.prune(pruned.root, pruned.junction)
+                .expect("undoing a regraft always succeeds");
+            note_merge(engine, x, y, pruned.junction);
+            tree.set_branch_length(x, y, old_len);
+        }
+
+        match best {
+            Some((lnl, target)) if lnl > current + epsilon => {
+                let (x, y) = target;
+                note_split(engine, tree, x, y, pruned.junction);
+                tree.regraft(&pruned, target).expect("best target is still a valid edge");
+                // Lazy local optimization of the three branches the move
+                // created (RAxML's lazy SPR refinement).
+                let v_node = pruned.junction;
+                let locals: Vec<Edge> = tree
+                    .neighbors_of(v_node)
+                    .map(|(n, _)| edge(v_node, n))
+                    .collect();
+                for e in locals {
+                    engine.optimize_branch(tree, e);
+                }
+                current = engine.log_likelihood(tree);
+                applied += 1;
+            }
+            _ => {
+                // Put the subtree back exactly where it was.
+                note_split(engine, tree, ma, mb, pruned.junction);
+                tree.undo_prune(&pruned).expect("undo information is consistent");
+            }
+        }
+        debug_assert!(tree.validate().is_ok());
+    }
+
+    SprRoundStats { applied, evaluated, log_likelihood: current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::PatternAlignment;
+    use crate::bipartitions::robinson_foulds;
+    use crate::likelihood::LikelihoodConfig;
+    use crate::model::{GammaRates, SubstModel};
+    use crate::simulate::SimulationConfig;
+    use crate::tree::Tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(aln: &PatternAlignment) -> LikelihoodEngine<'_> {
+        LikelihoodEngine::new(
+            aln,
+            SubstModel::gtr(aln.base_frequencies(), [1.0; 6]).unwrap(),
+            GammaRates::standard(0.8).unwrap(),
+            LikelihoodConfig::optimized(),
+        )
+    }
+
+    #[test]
+    fn spr_round_never_decreases_likelihood() {
+        let w = SimulationConfig::new(8, 300, 31).generate();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut tree = Tree::random(8, 0.1, &mut rng).unwrap();
+        let mut eng = engine(&w.alignment);
+        let before = eng.optimize_all_branches(&mut tree, 2);
+        let stats = spr_round(&mut eng, &mut tree, 5, 1e-4);
+        assert!(
+            stats.log_likelihood >= before - 1e-6,
+            "{before} -> {}",
+            stats.log_likelihood
+        );
+        assert!(stats.evaluated > 0);
+        tree.validate().unwrap();
+    }
+
+    /// The lazy orientation bookkeeping must leave the engine's caches in a
+    /// state indistinguishable from a cold start: after a round, a fresh
+    /// engine must assign the same likelihood to the same tree.
+    #[test]
+    fn lazy_bookkeeping_is_exact() {
+        for seed in [3u64, 5, 9, 13] {
+            let w = SimulationConfig::new(9, 250, seed).generate();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tree = Tree::random(9, 0.1, &mut rng).unwrap();
+            let mut eng = engine(&w.alignment);
+            eng.optimize_all_branches(&mut tree, 1);
+            let stats = spr_round(&mut eng, &mut tree, 4, 1e-4);
+            // Warm engine (incremental caches) vs cold engine (full
+            // recompute) on the identical final tree.
+            let warm = eng.log_likelihood(&tree);
+            let mut cold = engine(&w.alignment);
+            let reference = cold.log_likelihood(&tree);
+            assert!(
+                (warm - reference).abs() < 1e-8,
+                "seed {seed}: warm {warm} vs cold {reference} (round lnl {})",
+                stats.log_likelihood
+            );
+        }
+    }
+
+    /// Candidate scoring must be cheap: roughly one newview per candidate,
+    /// not a full traversal (this is what makes the SPR "lazy").
+    #[test]
+    fn candidate_scoring_is_lazy() {
+        let w = SimulationConfig::new(12, 400, 21).generate();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tree = Tree::random(12, 0.1, &mut rng).unwrap();
+        let mut eng = engine(&w.alignment);
+        eng.optimize_all_branches(&mut tree, 2);
+        let nv_before = eng.trace().counters().newview_calls;
+        let stats = spr_round(&mut eng, &mut tree, 4, 1e9); // epsilon so big nothing applies
+        let nv_after = eng.trace().counters().newview_calls;
+        let per_candidate = (nv_after - nv_before) as f64 / stats.evaluated.max(1) as f64;
+        assert!(
+            per_candidate < 6.0,
+            "expected ~1–3 newviews per candidate, got {per_candidate:.1}"
+        );
+    }
+
+    #[test]
+    fn spr_matches_or_beats_the_true_tree_from_a_random_start() {
+        // The ML tree on finite data need not equal the generating topology,
+        // but a correct hill climb from a random start must reach at least
+        // the (branch-optimized) true tree's likelihood and land close to it
+        // topologically.
+        let w = SimulationConfig {
+            mean_branch: 0.12,
+            ..SimulationConfig::new(7, 2000, 17)
+        }
+        .generate();
+        let mut true_tree = w.true_tree.clone();
+        let mut eng = engine(&w.alignment);
+        let true_lnl = eng.optimize_all_branches(&mut true_tree, 4);
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tree = Tree::random(7, 0.1, &mut rng).unwrap();
+        let mut eng = engine(&w.alignment);
+        eng.optimize_all_branches(&mut tree, 2);
+        let mut lnl = f64::NEG_INFINITY;
+        for _ in 0..6 {
+            let stats = spr_round(&mut eng, &mut tree, 6, 1e-4);
+            lnl = eng.optimize_all_branches(&mut tree, 1);
+            if stats.applied == 0 {
+                break;
+            }
+        }
+        assert!(
+            lnl >= true_lnl - 1e-3,
+            "search must reach the truth's likelihood: {lnl} vs {true_lnl}"
+        );
+        assert!(
+            robinson_foulds(&tree, &w.true_tree) <= 2,
+            "found tree should be within one split of the truth"
+        );
+    }
+
+    #[test]
+    fn no_moves_on_an_already_optimal_tree() {
+        let w = SimulationConfig {
+            mean_branch: 0.15,
+            ..SimulationConfig::new(6, 3000, 5)
+        }
+        .generate();
+        let mut tree = w.true_tree.clone();
+        let mut eng = engine(&w.alignment);
+        eng.optimize_all_branches(&mut tree, 3);
+        let stats = spr_round(&mut eng, &mut tree, 4, 1e-3);
+        assert_eq!(
+            stats.applied, 0,
+            "the true tree on overwhelming data should be a local optimum"
+        );
+        assert_eq!(robinson_foulds(&tree, &w.true_tree), 0, "tree must be unchanged");
+    }
+
+    #[test]
+    fn radius_zero_evaluates_nothing() {
+        let w = SimulationConfig::new(6, 200, 2).generate();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tree = Tree::random(6, 0.1, &mut rng).unwrap();
+        let mut eng = engine(&w.alignment);
+        let stats = spr_round(&mut eng, &mut tree, 0, 1e-4);
+        assert_eq!(stats.evaluated, 0);
+        assert_eq!(stats.applied, 0);
+    }
+}

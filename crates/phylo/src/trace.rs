@@ -1,0 +1,318 @@
+//! Kernel-invocation instrumentation.
+//!
+//! The paper's §5.2 profiles RAxML with gprofile and finds 98.77% of runtime
+//! in three functions (`newview` 76.8%, `makenewz` 19.16%, `evaluate` 2.37%).
+//! We instrument the same three kernels directly: every invocation is
+//! counted, and optionally recorded as a [`KernelEvent`] carrying the
+//! quantities the Cell simulator needs to price the invocation (pattern
+//! count, rate categories, `exp` calls, scaling checks, DMA-relevant sizes,
+//! nesting).
+
+/// Which high-level kernel an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelOp {
+    /// `newview`, both children are tips (cheapest specialized path).
+    NewviewTipTip,
+    /// `newview`, exactly one child is a tip.
+    NewviewTipInner,
+    /// `newview`, both children are inner nodes (full path).
+    NewviewInnerInner,
+    /// `evaluate`: log-likelihood summation at a branch.
+    Evaluate,
+    /// `makenewz`: Newton–Raphson branch-length optimization.
+    Makenewz,
+}
+
+impl KernelOp {
+    /// True for any of the three `newview` variants.
+    pub fn is_newview(self) -> bool {
+        matches!(
+            self,
+            KernelOp::NewviewTipTip | KernelOp::NewviewTipInner | KernelOp::NewviewInnerInner
+        )
+    }
+}
+
+/// The caller context of a kernel invocation. With only `newview` offloaded
+/// (paper Tables 1–6) every invocation pays a PPE↔SPE round trip; with all
+/// three functions offloaded (Table 7) `newview` calls *nested* inside
+/// `makenewz`/`evaluate` stay on the SPE and need no communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallParent {
+    /// Invoked directly by the search code (tree traversal).
+    Search,
+    /// Invoked while serving an `evaluate`.
+    Evaluate,
+    /// Invoked while serving a `makenewz`.
+    Makenewz,
+}
+
+/// One kernel invocation with everything the cost model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelEvent {
+    pub op: KernelOp,
+    pub parent: CallParent,
+    /// Site patterns processed.
+    pub patterns: u32,
+    /// Rate categories.
+    pub rates: u32,
+    /// Calls to `exp()` (transition-matrix reconstruction; for `makenewz`
+    /// this accumulates over Newton iterations).
+    pub exp_calls: u32,
+    /// Scaling-threshold conditionals executed (the paper's §5.2.3 branch).
+    pub scaling_checks: u32,
+    /// Conditionals that actually fired (rare; the paper notes "negligible
+    /// time is spent in the body").
+    pub scalings: u32,
+    /// Newton iterations (`makenewz` only, 0 otherwise).
+    pub newton_iters: u32,
+    /// Number of *inner-node* partial-likelihood operands streamed through
+    /// DMA (0–2 for newview inputs; +1 for the output vector).
+    pub inner_operands: u32,
+}
+
+impl KernelEvent {
+    /// Bytes of likelihood-vector traffic between main memory and SPE local
+    /// store for this invocation: each inner operand (in or out) is
+    /// `patterns × rates × 4 states × 8 bytes`.
+    pub fn dma_bytes(&self) -> u64 {
+        let vector = self.patterns as u64 * self.rates as u64 * 4 * 8;
+        vector * self.inner_operands as u64
+    }
+
+    /// Double-precision FLOPs of the main likelihood loops, from the
+    /// per-iteration operation counts of the scalar kernels (the paper
+    /// reports ≈44 FLOPs per large-loop iteration for the inner-inner path).
+    pub fn flops(&self) -> u64 {
+        let per_iter = match self.op {
+            KernelOp::NewviewTipTip => 4,      // 4 multiplies
+            KernelOp::NewviewTipInner => 24,   // one mat-vec + elementwise product
+            KernelOp::NewviewInnerInner => 44, // two mat-vecs + product
+            // mat-vec + π-weighted dot product.
+            KernelOp::Evaluate => 28,
+            // Sum-table build (two W-transforms + product ≈ 60 FLOPs) plus
+            // 24 FLOPs per Newton iteration (three 4-term dot products).
+            KernelOp::Makenewz => 60 + 24 * self.newton_iters.max(1) as u64,
+        };
+        self.patterns as u64 * self.rates as u64 * per_iter
+    }
+}
+
+/// Aggregate counters, always collected (cheap).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    pub newview_calls: u64,
+    pub newview_tip_tip: u64,
+    pub newview_tip_inner: u64,
+    pub newview_inner_inner: u64,
+    pub newview_nested: u64,
+    pub evaluate_calls: u64,
+    pub makenewz_calls: u64,
+    pub newton_iters: u64,
+    pub exp_calls: u64,
+    pub scaling_checks: u64,
+    pub scalings: u64,
+    pub patterns_processed: u64,
+}
+
+/// Collects kernel events and aggregate counters during likelihood
+/// computation.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    counters: TraceCounters,
+    events: Vec<KernelEvent>,
+    record_events: bool,
+}
+
+impl Trace {
+    /// A trace that only keeps aggregate counters.
+    pub fn counters_only() -> Trace {
+        Trace::default()
+    }
+
+    /// A trace that records every kernel invocation (needed for cellsim
+    /// replay).
+    pub fn recording() -> Trace {
+        Trace { record_events: true, ..Trace::default() }
+    }
+
+    /// Whether full events are being recorded.
+    pub fn is_recording(&self) -> bool {
+        self.record_events
+    }
+
+    /// Record one kernel invocation.
+    pub fn push(&mut self, ev: KernelEvent) {
+        let c = &mut self.counters;
+        match ev.op {
+            KernelOp::NewviewTipTip => {
+                c.newview_calls += 1;
+                c.newview_tip_tip += 1;
+            }
+            KernelOp::NewviewTipInner => {
+                c.newview_calls += 1;
+                c.newview_tip_inner += 1;
+            }
+            KernelOp::NewviewInnerInner => {
+                c.newview_calls += 1;
+                c.newview_inner_inner += 1;
+            }
+            KernelOp::Evaluate => c.evaluate_calls += 1,
+            KernelOp::Makenewz => c.makenewz_calls += 1,
+        }
+        if ev.op.is_newview() && ev.parent != CallParent::Search {
+            c.newview_nested += 1;
+        }
+        c.newton_iters += ev.newton_iters as u64;
+        c.exp_calls += ev.exp_calls as u64;
+        c.scaling_checks += ev.scaling_checks as u64;
+        c.scalings += ev.scalings as u64;
+        c.patterns_processed += ev.patterns as u64;
+        if self.record_events {
+            self.events.push(ev);
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> &TraceCounters {
+        &self.counters
+    }
+
+    /// Recorded events (empty unless constructed with [`Trace::recording`]).
+    pub fn events(&self) -> &[KernelEvent] {
+        &self.events
+    }
+
+    /// Consume the trace, returning its events.
+    pub fn into_events(self) -> Vec<KernelEvent> {
+        self.events
+    }
+
+    /// Merge another trace's counters (and events, if both record) into this
+    /// one — used when joining per-thread traces.
+    pub fn merge(&mut self, other: &Trace) {
+        let a = &mut self.counters;
+        let b = other.counters;
+        a.newview_calls += b.newview_calls;
+        a.newview_tip_tip += b.newview_tip_tip;
+        a.newview_tip_inner += b.newview_tip_inner;
+        a.newview_inner_inner += b.newview_inner_inner;
+        a.newview_nested += b.newview_nested;
+        a.evaluate_calls += b.evaluate_calls;
+        a.makenewz_calls += b.makenewz_calls;
+        a.newton_iters += b.newton_iters;
+        a.exp_calls += b.exp_calls;
+        a.scaling_checks += b.scaling_checks;
+        a.scalings += b.scalings;
+        a.patterns_processed += b.patterns_processed;
+        if self.record_events {
+            self.events.extend_from_slice(&other.events);
+        }
+    }
+
+    /// Reset counters and events.
+    pub fn clear(&mut self) {
+        self.counters = TraceCounters::default();
+        self.events.clear();
+    }
+
+    /// Fraction of `newview` invocations that were nested inside `evaluate`
+    /// or `makenewz` (drives the Table 7 communication savings).
+    pub fn nested_fraction(&self) -> f64 {
+        if self.counters.newview_calls == 0 {
+            return 0.0;
+        }
+        self.counters.newview_nested as f64 / self.counters.newview_calls as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: KernelOp, parent: CallParent) -> KernelEvent {
+        KernelEvent {
+            op,
+            parent,
+            patterns: 100,
+            rates: 4,
+            exp_calls: 16,
+            scaling_checks: 400,
+            scalings: 2,
+            newton_iters: if op == KernelOp::Makenewz { 5 } else { 0 },
+            inner_operands: 3,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = Trace::counters_only();
+        t.push(ev(KernelOp::NewviewTipTip, CallParent::Search));
+        t.push(ev(KernelOp::NewviewInnerInner, CallParent::Makenewz));
+        t.push(ev(KernelOp::Makenewz, CallParent::Search));
+        let c = t.counters();
+        assert_eq!(c.newview_calls, 2);
+        assert_eq!(c.newview_tip_tip, 1);
+        assert_eq!(c.newview_inner_inner, 1);
+        assert_eq!(c.newview_nested, 1);
+        assert_eq!(c.makenewz_calls, 1);
+        assert_eq!(c.newton_iters, 5);
+        assert_eq!(c.exp_calls, 48);
+        assert_eq!(c.patterns_processed, 300);
+        assert!(t.events().is_empty(), "counters_only must not store events");
+    }
+
+    #[test]
+    fn recording_stores_events() {
+        let mut t = Trace::recording();
+        t.push(ev(KernelOp::Evaluate, CallParent::Search));
+        t.push(ev(KernelOp::NewviewTipInner, CallParent::Evaluate));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].parent, CallParent::Evaluate);
+    }
+
+    #[test]
+    fn nested_fraction() {
+        let mut t = Trace::counters_only();
+        assert_eq!(t.nested_fraction(), 0.0);
+        t.push(ev(KernelOp::NewviewTipTip, CallParent::Search));
+        t.push(ev(KernelOp::NewviewTipTip, CallParent::Makenewz));
+        t.push(ev(KernelOp::NewviewTipTip, CallParent::Evaluate));
+        t.push(ev(KernelOp::NewviewTipTip, CallParent::Evaluate));
+        assert_eq!(t.nested_fraction(), 0.75);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Trace::recording();
+        a.push(ev(KernelOp::NewviewTipTip, CallParent::Search));
+        let mut b = Trace::recording();
+        b.push(ev(KernelOp::Makenewz, CallParent::Search));
+        b.push(ev(KernelOp::Evaluate, CallParent::Search));
+        a.merge(&b);
+        assert_eq!(a.counters().newview_calls, 1);
+        assert_eq!(a.counters().makenewz_calls, 1);
+        assert_eq!(a.counters().evaluate_calls, 1);
+        assert_eq!(a.events().len(), 3);
+    }
+
+    #[test]
+    fn dma_bytes_and_flops() {
+        let e = ev(KernelOp::NewviewInnerInner, CallParent::Search);
+        // 100 patterns × 4 rates × 4 states × 8 bytes × 3 operands.
+        assert_eq!(e.dma_bytes(), 100 * 4 * 4 * 8 * 3);
+        assert_eq!(e.flops(), 100 * 4 * 44);
+        let m = ev(KernelOp::Makenewz, CallParent::Search);
+        assert_eq!(m.flops(), 100 * 4 * (60 + 24 * 5));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::recording();
+        t.push(ev(KernelOp::Evaluate, CallParent::Search));
+        t.clear();
+        assert_eq!(t.counters(), &TraceCounters::default());
+        assert!(t.events().is_empty());
+        assert!(t.is_recording(), "recording mode survives clear");
+    }
+}

@@ -1,0 +1,61 @@
+//! Amino-acid analysis: the "DNA or AA" half of the paper's §3 claim.
+//!
+//! ```sh
+//! cargo run --release --example protein_analysis
+//! ```
+//!
+//! Simulates protein sequences on a known tree under the Poisson model,
+//! then recovers the topology with the general-20-state NNI search and
+//! compares likelihoods against the truth.
+
+use phylo::bipartitions::robinson_foulds;
+use phylo::protein::{
+    optimize_branch_lengths, protein_log_likelihood, protein_nni_search, simulate_protein,
+    MultiStateModel, ProteinAlignment,
+};
+use phylo::tree::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 7-taxon true tree with solid branches.
+    let mut rng = StdRng::seed_from_u64(20260706);
+    let true_tree = Tree::random(7, 0.15, &mut rng).unwrap();
+    let model = MultiStateModel::poisson(&[0.05; 20]).unwrap();
+
+    let pairs = simulate_protein(&true_tree, &model, 300, 11);
+    println!("simulated {} protein sequences × 300 sites:", pairs.len());
+    for (name, seq) in &pairs {
+        println!("  >{name}  {}…", &seq[..40]);
+    }
+    let aln = ProteinAlignment::from_named_sequences(&pairs).unwrap();
+    println!(
+        "\n{} distinct site patterns; empirical frequencies ≈ uniform (Poisson model)",
+        aln.n_patterns()
+    );
+
+    let t0 = std::time::Instant::now();
+    let (found, lnl) = protein_nni_search(&aln, &model, 1, 6, 3);
+    println!("\nNNI search (4 restarts) finished in {:.2?}", t0.elapsed());
+    println!("best lnL   : {lnl:.4}");
+
+    let mut truth = true_tree.clone();
+    let true_lnl = optimize_branch_lengths(&mut truth, &aln, &model, 2);
+    println!("true tree  : {true_lnl:.4} (branch-optimized)");
+    println!(
+        "RF distance to the generating topology: {}",
+        robinson_foulds(&found, &true_tree)
+    );
+
+    // Score the same data under a badly mis-scaled tree for contrast.
+    let mut stretched = true_tree.clone();
+    for (a, b) in true_tree.edges() {
+        stretched.set_branch_length(a, b, 3.0);
+    }
+    println!(
+        "same topology, saturated branches: {:.4} (information destroyed)",
+        protein_log_likelihood(&stretched, &aln, &model)
+    );
+
+    println!("\nfound tree (Newick):\n{}", found.to_newick(aln.taxon_names()));
+}

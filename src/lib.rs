@@ -1,0 +1,16 @@
+//! Umbrella crate for the RAxML-Cell reproduction suite.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). All functionality lives in
+//! the member crates, re-exported here for convenience:
+//!
+//! * [`phylo`] — the maximum-likelihood phylogenetic inference engine
+//!   (the RAxML-class application the paper ports).
+//! * [`cellsim`] — the Cell Broadband Engine performance simulator
+//!   (the hardware substrate; see `DESIGN.md` for the substitution rationale).
+//! * [`raxml_cell`] — the port itself: function offloading, the seven
+//!   Cell-specific optimizations, and the EDTLP/LLP/MGPS schedulers.
+
+pub use cellsim;
+pub use phylo;
+pub use raxml_cell;

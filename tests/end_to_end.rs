@@ -1,0 +1,161 @@
+//! Cross-crate integration: a real inference feeds the Cell simulator and
+//! the whole pipeline stays consistent.
+
+use cellsim::cost::{CostModel, ExecutionFlags};
+use phylo::bipartitions::robinson_foulds;
+use phylo::likelihood::engine::LikelihoodEngine;
+use phylo::likelihood::reference::log_likelihood_naive;
+use phylo::likelihood::LikelihoodConfig;
+use phylo::model::{GammaRates, SubstModel};
+use phylo::search::{infer_ml_tree, SearchConfig};
+use phylo::simulate::SimulationConfig;
+use raxml_cell::config::OptConfig;
+use raxml_cell::experiment::{capture_workload, WorkloadSpec};
+use raxml_cell::offload::price_trace;
+
+/// The engine the search uses must agree with the naive reference on the
+/// final tree of a real inference — the strongest end-to-end correctness
+/// statement: every optimized kernel, cache and invalidation shortcut in
+/// the search produced a tree whose likelihood an independent
+/// implementation confirms.
+#[test]
+fn search_result_likelihood_is_confirmed_by_reference() {
+    let w = SimulationConfig::new(8, 250, 99).generate();
+    let result = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 3);
+    let rates = GammaRates::new(result.alpha, 4).unwrap();
+    let naive = log_likelihood_naive(&result.tree, &w.alignment, &result.model, &rates);
+    assert!(
+        (naive - result.log_likelihood).abs() < 1e-6 * naive.abs(),
+        "search reported {} but the naive reference computes {}",
+        result.log_likelihood,
+        naive
+    );
+}
+
+/// Likelihood invariants survive the full pipeline: rooting invariance and
+/// pattern-compression consistency on searched (not just random) trees.
+#[test]
+fn searched_tree_satisfies_reversibility_invariant() {
+    let w = SimulationConfig::new(9, 300, 5).generate();
+    let result = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 7);
+    let mut engine = LikelihoodEngine::new(
+        &w.alignment,
+        result.model.clone(),
+        GammaRates::new(result.alpha, 4).unwrap(),
+        LikelihoodConfig::optimized(),
+    );
+    let edges = result.tree.edges();
+    let first = engine.log_likelihood_at(&result.tree, edges[0]);
+    for &e in edges.iter().skip(1).step_by(3) {
+        let lnl = engine.log_likelihood_at(&result.tree, e);
+        assert!((lnl - first).abs() < 1e-7, "branch {e:?}: {lnl} vs {first}");
+    }
+}
+
+/// A captured workload prices coherently at every ladder rung: cycle totals
+/// are conserved and the optimization ordering holds for the real trace.
+#[test]
+fn real_trace_prices_coherently_across_the_ladder() {
+    let workload = capture_workload(&WorkloadSpec::small());
+    let model = CostModel::paper_calibrated();
+    let mut previous_total: Option<u64> = None;
+    for (label, cfg) in OptConfig::ladder().into_iter().skip(1) {
+        let priced = price_trace(&workload.events, &model, &cfg);
+        assert_eq!(
+            priced.invocations.len(),
+            workload.events.len() + 1,
+            "{label}: every event priced + the other-work entry"
+        );
+        assert!(priced.spe_cycles() > 0, "{label}: SPE work must exist");
+        // Each cumulative optimization reduces the sequential end-to-end
+        // time. (SPE-busy cycles alone can *grow* at the last rung — Table 7
+        // moves makenewz/evaluate compute onto the SPE — so the monotone
+        // quantity is the total.)
+        let total = priced.sequential_cycles();
+        if let Some(prev) = previous_total {
+            assert!(
+                total <= prev,
+                "{label}: each optimization must reduce total cycles ({total} > {prev})"
+            );
+        }
+        previous_total = Some(total);
+        // Totals decompose exactly.
+        assert_eq!(total, priced.ppe_cycles() + priced.spe_cycles());
+    }
+}
+
+/// The cost model's per-event pricing is deterministic and stable across
+/// repeated pricing of the same trace.
+#[test]
+fn pricing_is_deterministic() {
+    let workload = capture_workload(&WorkloadSpec::small());
+    let model = CostModel::paper_calibrated();
+    let cfg = OptConfig::fully_optimized();
+    let a = price_trace(&workload.events, &model, &cfg);
+    let b = price_trace(&workload.events, &model, &cfg);
+    assert_eq!(a.sequential_cycles(), b.sequential_cycles());
+    assert_eq!(a.invocations, b.invocations);
+}
+
+/// Sanity: kernel events carry physically sensible quantities.
+#[test]
+fn trace_events_are_physically_sensible() {
+    let workload = capture_workload(&WorkloadSpec::small());
+    let model = CostModel::paper_calibrated();
+    for ev in &workload.events {
+        assert!(ev.patterns > 0);
+        assert!(ev.rates == 4);
+        assert!(ev.exp_calls > 0);
+        assert!(ev.flops() > 0);
+        // One likelihood vector is at most patterns × rates × 4 × 8 bytes;
+        // at most 3 operands stream through DMA.
+        assert!(ev.dma_bytes() <= ev.patterns as u64 * ev.rates as u64 * 4 * 8 * 3);
+        let cost = model.kernel_cost(ev, &ExecutionFlags::spe_optimized());
+        assert!(cost.total() > 0);
+        assert!(cost.parallelizable() + cost.serial() == cost.processor_busy());
+    }
+}
+
+/// Full-system determinism: capturing the same workload twice produces the
+/// identical trace (search, RNG, kernels, bookkeeping all reproducible).
+#[test]
+fn workload_capture_is_deterministic() {
+    let a = capture_workload(&WorkloadSpec::small());
+    let b = capture_workload(&WorkloadSpec::small());
+    assert_eq!(a.events.len(), b.events.len());
+    assert_eq!(a.log_likelihood, b.log_likelihood);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.events, b.events);
+}
+
+/// Searches started from different seeds explore different trees but both
+/// land within the same likelihood neighbourhood on easy data.
+#[test]
+fn multiple_inferences_converge_on_easy_data() {
+    let w = SimulationConfig {
+        mean_branch: 0.12,
+        ..SimulationConfig::new(8, 900, 123)
+    }
+    .generate();
+    let a = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 10);
+    let b = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 20);
+    assert!((a.log_likelihood - b.log_likelihood).abs() < 1.0, "{} vs {}", a.log_likelihood, b.log_likelihood);
+    assert!(robinson_foulds(&a.tree, &b.tree) <= 2);
+}
+
+/// The substitution-model plumbing exposed at the workspace level stays
+/// consistent: an HKY model is a constrained GTR.
+#[test]
+fn hky_is_a_special_case_of_gtr() {
+    let w = SimulationConfig::new(6, 200, 8).generate();
+    let freqs = w.alignment.base_frequencies();
+    let kappa = 3.0;
+    let hky = SubstModel::hky85(freqs, kappa).unwrap();
+    let gtr = SubstModel::gtr(freqs, [1.0, kappa, 1.0, 1.0, kappa, 1.0]).unwrap();
+    let rates = GammaRates::standard(0.9).unwrap();
+    let mut e1 = LikelihoodEngine::new(&w.alignment, hky, rates.clone(), LikelihoodConfig::optimized());
+    let mut e2 = LikelihoodEngine::new(&w.alignment, gtr, rates, LikelihoodConfig::optimized());
+    let lnl1 = e1.log_likelihood(&w.true_tree);
+    let lnl2 = e2.log_likelihood(&w.true_tree);
+    assert!((lnl1 - lnl2).abs() < 1e-9, "{lnl1} vs {lnl2}");
+}

@@ -1,0 +1,381 @@
+//! Property-based tests (proptest) over the core invariants of all three
+//! crates. These complement the unit tests with randomized coverage of the
+//! data-structure and numerical invariants DESIGN.md calls out.
+
+use proptest::prelude::*;
+
+use cellsim::dma::{
+    build_dma_list, stream_stall_blocking, stream_stall_double_buffered, validate_transfer,
+    DmaCosts, MAX_TRANSFER,
+};
+use cellsim::engine::EventQueue;
+use phylo::alphabet::{decode_base, encode_base};
+use phylo::bipartitions::{robinson_foulds, tree_bipartitions};
+use phylo::io::newick::{parse_newick, write_newick};
+use phylo::likelihood::engine::LikelihoodEngine;
+use phylo::likelihood::reference::log_likelihood_naive;
+use phylo::likelihood::{KernelKind, LikelihoodConfig, ScalingCheck};
+use phylo::math::{brent_minimize, discrete_gamma_rates, jacobi_eigen};
+use phylo::model::{ExpImpl, GammaRates, SubstModel};
+use phylo::search::parsimony_score;
+use phylo::simulate::SimulationConfig;
+use phylo::tree::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// alphabet / alignment
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Every 4-bit code decodes to a character that re-encodes to itself.
+    #[test]
+    fn alphabet_round_trip(code in 1u8..16) {
+        prop_assert_eq!(encode_base(decode_base(code)), Some(code));
+    }
+
+    /// Pattern compression never changes the likelihood: an alignment and
+    /// its column-shuffled copy compress to the same likelihood.
+    #[test]
+    fn compression_is_likelihood_invariant(seed in 0u64..50) {
+        let w = SimulationConfig::new(5, 60, seed).generate();
+        let aln = &w.alignment;
+        // Compare the compressed-likelihood against the naive per-pattern
+        // reference, which applies weights explicitly.
+        let model = SubstModel::jc69();
+        let rates = GammaRates::standard(1.0).unwrap();
+        let mut engine = LikelihoodEngine::new(aln, model.clone(), rates.clone(), LikelihoodConfig::optimized());
+        let fast = engine.log_likelihood(&w.true_tree);
+        let naive = log_likelihood_naive(&w.true_tree, aln, &model, &rates);
+        prop_assert!((fast - naive).abs() < 1e-6 * naive.abs().max(1.0),
+            "fast {} vs naive {}", fast, naive);
+    }
+
+    /// Total pattern weight always equals the raw site count.
+    #[test]
+    fn compression_conserves_weight(seed in 0u64..50, n_taxa in 4usize..9, n_sites in 10usize..200) {
+        let w = SimulationConfig::new(n_taxa, n_sites, seed).generate();
+        prop_assert_eq!(w.alignment.total_weight(), n_sites as f64);
+        prop_assert!(w.alignment.n_patterns() <= n_sites);
+    }
+
+    /// Bootstrap weights are a multinomial redistribution: non-negative,
+    /// summing to the site count, supported on existing patterns.
+    #[test]
+    fn bootstrap_weights_are_a_redistribution(seed in 0u64..100) {
+        let w = SimulationConfig::new(6, 80, 11).generate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = w.alignment.bootstrap_weights(&mut rng);
+        prop_assert_eq!(weights.iter().sum::<f64>(), 80.0);
+        prop_assert!(weights.iter().all(|&x| x >= 0.0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// math
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Discrete Γ rates always have mean 1 and are strictly increasing.
+    #[test]
+    fn gamma_rates_mean_one(alpha in 0.05f64..50.0, k in 2usize..9) {
+        let rates = discrete_gamma_rates(alpha, k);
+        let mean = rates.iter().sum::<f64>() / k as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9);
+        for w in rates.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Jacobi eigendecomposition reconstructs random symmetric matrices.
+    #[test]
+    fn eigen_reconstructs(vals in proptest::collection::vec(-5.0f64..5.0, 10)) {
+        let mut m = [0.0f64; 16];
+        let mut idx = 0;
+        for i in 0..4 {
+            for j in i..4 {
+                m[i * 4 + j] = vals[idx];
+                m[j * 4 + i] = vals[idx];
+                idx += 1;
+            }
+        }
+        let e = jacobi_eigen(&m, 4);
+        let back = e.reconstruct();
+        for (a, b) in m.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    /// Brent finds the minimum of shifted quadratics anywhere in a bracket.
+    #[test]
+    fn brent_finds_quadratic_minima(center in 0.1f64..9.9, scale in 0.1f64..10.0) {
+        let (x, _) = brent_minimize(|x| scale * (x - center) * (x - center), 0.0, 10.0, 1e-9, 200);
+        prop_assert!((x - center).abs() < 1e-4, "found {} expected {}", x, center);
+    }
+}
+
+// ---------------------------------------------------------------------
+// model
+// ---------------------------------------------------------------------
+
+fn arb_freqs() -> impl Strategy<Value = [f64; 4]> {
+    proptest::collection::vec(0.05f64..1.0, 4).prop_map(|v| {
+        let total: f64 = v.iter().sum();
+        [v[0] / total, v[1] / total, v[2] / total, v[3] / total]
+    })
+}
+
+fn arb_exchange() -> impl Strategy<Value = [f64; 6]> {
+    proptest::collection::vec(0.1f64..8.0, 6)
+        .prop_map(|v| [v[0], v[1], v[2], v[3], v[4], v[5]])
+}
+
+proptest! {
+    /// P(t) of a random GTR model is a proper stochastic matrix satisfying
+    /// detailed balance for any (t, rate).
+    #[test]
+    fn transition_matrices_are_stochastic_and_reversible(
+        freqs in arb_freqs(),
+        ex in arb_exchange(),
+        t in 1e-6f64..10.0,
+        rate in 0.05f64..4.0,
+    ) {
+        let m = SubstModel::gtr(freqs, ex).unwrap();
+        let p = m.transition_matrix(t, rate, ExpImpl::Sdk);
+        for i in 0..4 {
+            let row: f64 = p[i].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-8, "row {} sums to {}", i, row);
+            for j in 0..4 {
+                prop_assert!(p[i][j] >= 0.0);
+                let balance = freqs[i] * p[i][j] - freqs[j] * p[j][i];
+                prop_assert!(balance.abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The SDK exp and libm produce matching matrices for any model.
+    #[test]
+    fn exp_implementations_agree(freqs in arb_freqs(), ex in arb_exchange(), t in 1e-6f64..5.0) {
+        let m = SubstModel::gtr(freqs, ex).unwrap();
+        let a = m.transition_matrix(t, 1.0, ExpImpl::Libm);
+        let b = m.transition_matrix(t, 1.0, ExpImpl::Sdk);
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((a[i][j] - b[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// tree / bipartitions / newick
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Random trees validate, have the right edge count, and RF(t, t) = 0.
+    #[test]
+    fn random_trees_are_wellformed(n in 4usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tree::random(n, 0.1, &mut rng).unwrap();
+        t.validate().unwrap();
+        prop_assert_eq!(t.edges().len(), 2 * n - 3);
+        prop_assert_eq!(tree_bipartitions(&t).len(), n - 3);
+        prop_assert_eq!(robinson_foulds(&t, &t), 0);
+    }
+
+    /// Newick round-trips preserve topology for arbitrary random trees.
+    #[test]
+    fn newick_round_trip(n in 4usize..30, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tree::random(n, 0.1, &mut rng).unwrap();
+        let names: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+        let text = write_newick(&t, &names);
+        let back = parse_newick(&text, &names).unwrap();
+        prop_assert_eq!(robinson_foulds(&t, &back), 0, "{}", text);
+    }
+
+    /// SPR prune + undo is the identity on topology and branch lengths.
+    #[test]
+    fn spr_prune_undo_identity(n in 5usize..20, seed in 0u64..500, pick in 0usize..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let original = Tree::random(n, 0.1, &mut rng).unwrap();
+        let mut t = original.clone();
+        let edges = t.edges();
+        let (s, v0) = edges[pick % edges.len()];
+        // Prune whichever side has an inner junction.
+        let (root, junction) = if !t.is_tip(v0) { (s, v0) } else { (v0, s) };
+        if t.is_tip(junction) {
+            return Ok(()); // both tips: cannot prune (n = 3 style edge)
+        }
+        if t.n_taxa() - t.subtree_tips(root, junction).len() < 3 {
+            return Ok(());
+        }
+        let pruned = t.prune(root, junction).unwrap();
+        t.undo_prune(&pruned).unwrap();
+        t.validate().unwrap();
+        prop_assert_eq!(&t, &original);
+    }
+
+    /// Parsimony scores are non-negative, bounded by weighted sites × max
+    /// changes, and zero only for constant alignments.
+    #[test]
+    fn parsimony_bounds(seed in 0u64..100) {
+        let w = SimulationConfig::new(7, 120, seed).generate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tree::random(7, 0.1, &mut rng).unwrap();
+        let score = parsimony_score(&t, &w.alignment);
+        prop_assert!(score >= 0.0);
+        // At most (taxa − 1) changes per site.
+        prop_assert!(score <= (7.0 - 1.0) * 120.0);
+    }
+}
+
+proptest! {
+    /// Majority-rule consensus invariants over random replicate sets.
+    #[test]
+    fn consensus_invariants(n in 5usize..12, seeds in proptest::collection::vec(0u64..10_000, 2..8)) {
+        use phylo::bipartitions::majority_rule_consensus;
+        let trees: Vec<Tree> = seeds
+            .iter()
+            .map(|&s| Tree::random(n, 0.1, &mut StdRng::seed_from_u64(s)).unwrap())
+            .collect();
+        let c50 = majority_rule_consensus(&trees, 0.5);
+        let c90 = majority_rule_consensus(&trees, 0.9);
+        // Resolution bounds.
+        prop_assert!(c50.n_clades() <= n - 3);
+        // Higher thresholds never accept more clades.
+        prop_assert!(c90.n_clades() <= c50.n_clades());
+        // Every accepted clade really is a majority split (recount).
+        for (taxa, f) in c50.clades() {
+            prop_assert!(*f > 0.5);
+            let bp = phylo::bipartitions::Bipartition::from_side(taxa, n);
+            let count = trees.iter().filter(|t| tree_bipartitions(t).contains(&bp)).count();
+            prop_assert_eq!(count as f64 / trees.len() as f64, *f);
+        }
+        // The consensus of one tree is that tree, fully resolved.
+        let solo = majority_rule_consensus(&trees[..1], 0.5);
+        prop_assert!(solo.is_fully_resolved());
+        // And it renders to parseable Newick.
+        let names: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+        let nwk = c50.to_newick(&names);
+        prop_assert!(nwk.ends_with(';'));
+        for name in &names {
+            prop_assert!(nwk.contains(name.as_str()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// likelihood kernels
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Scalar and vector kernels agree (bit-equal) on random data, and both
+    /// scaling-check variants agree, through the full engine.
+    #[test]
+    fn kernel_variants_agree_on_random_instances(seed in 0u64..40) {
+        let w = SimulationConfig::new(6, 100, seed).generate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = Tree::random(6, 0.2, &mut rng).unwrap();
+        let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+        let rates = GammaRates::standard(0.6).unwrap();
+        let mut reference: Option<f64> = None;
+        for kernel in [KernelKind::Scalar, KernelKind::Vector] {
+            for scaling in [ScalingCheck::FloatCompare, ScalingCheck::IntegerCast] {
+                let cfg = LikelihoodConfig { kernel, scaling, ..LikelihoodConfig::optimized() };
+                let mut engine = LikelihoodEngine::new(&w.alignment, model.clone(), rates.clone(), cfg);
+                let lnl = engine.log_likelihood(&tree);
+                let r = *reference.get_or_insert(lnl);
+                prop_assert!((lnl - r).abs() < 1e-10, "{:?}/{:?}: {} vs {}", kernel, scaling, lnl, r);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// cellsim
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// DMA legality: multiples of 16 up to 16 KB are legal; everything the
+    /// validator accepts can be packed into a legal DMA list.
+    #[test]
+    fn dma_rules(bytes in 1usize..100_000) {
+        let legal = matches!(bytes, 1 | 2 | 4 | 8) || bytes % 16 == 0;
+        let fits = bytes <= MAX_TRANSFER;
+        prop_assert_eq!(validate_transfer(bytes, 0).is_ok(), legal && fits);
+        // Any size can be packed into a list of legal entries.
+        let list = build_dma_list(bytes).unwrap();
+        let total: usize = list.iter().sum();
+        prop_assert!(total >= bytes);
+        for &e in &list {
+            prop_assert!(validate_transfer(e, 0).is_ok());
+        }
+    }
+
+    /// Double buffering never loses to blocking transfers, and more compute
+    /// never increases the double-buffered stall.
+    #[test]
+    fn double_buffering_dominates(total in 1u64..1_000_000, compute in 0u64..10_000_000) {
+        let costs = DmaCosts::default();
+        let blocking = stream_stall_blocking(total, 2048, &costs);
+        let dbuf = stream_stall_double_buffered(total, 2048, compute, &costs);
+        prop_assert!(dbuf <= blocking);
+        let dbuf_more = stream_stall_double_buffered(total, 2048, compute * 2, &costs);
+        prop_assert!(dbuf_more <= dbuf);
+    }
+
+    /// The event queue pops in exactly sorted order with FIFO ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// schedulers
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The task-parallel DES conserves work: every job's SPE cycles end up
+    /// attributed to some SPE, and the makespan is bounded below by both
+    /// the SPE and PPE critical paths.
+    #[test]
+    fn des_conserves_work(
+        n_jobs in 1usize..20,
+        n_workers in 1usize..9,
+        ppe in 1u64..5_000,
+        spe in 1u64..50_000,
+        phases in 1usize..30,
+    ) {
+        use raxml_cell::sched::{simulate_task_parallel, DesParams, Phase};
+        let params = DesParams { n_ppe_threads: 2, smt_penalty: 1.0, n_spes: 8 };
+        let n_workers = n_workers.min(8);
+        let job: Vec<Phase> = (0..phases).map(|_| Phase { ppe, spe }).collect();
+        let out = simulate_task_parallel(&job, n_jobs, n_workers, 1, &params);
+        let total_spe: u64 = out.stats.spes.iter().map(|s| s.busy()).sum();
+        prop_assert_eq!(total_spe, n_jobs as u64 * phases as u64 * spe, "SPE work conserved");
+        prop_assert_eq!(out.stats.ppe_busy, n_jobs as u64 * phases as u64 * ppe, "PPE work conserved");
+        // Lower bounds.
+        let per_job = phases as u64 * (ppe + spe);
+        let spe_bound = (n_jobs as u64).div_ceil(n_workers as u64) * phases as u64 * spe;
+        prop_assert!(out.makespan >= spe_bound);
+        prop_assert!(out.makespan >= out.stats.ppe_busy / 2);
+        // Upper bound: fully serial execution.
+        prop_assert!(out.makespan <= per_job * n_jobs as u64);
+    }
+}

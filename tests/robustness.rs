@@ -1,0 +1,239 @@
+//! Robustness: degenerate and extreme inputs the pipeline must survive.
+
+use phylo::alignment::Alignment;
+use phylo::bootstrap::BootstrapAnalysis;
+use phylo::likelihood::engine::LikelihoodEngine;
+use phylo::likelihood::LikelihoodConfig;
+use phylo::model::{GammaRates, SubstModel};
+use phylo::search::{infer_ml_tree, SearchConfig};
+use phylo::simulate::SimulationConfig;
+use phylo::tree::{Tree, MAX_BRANCH, MIN_BRANCH};
+
+fn fast() -> SearchConfig {
+    let mut cfg = SearchConfig::fast();
+    cfg.max_spr_rounds = 2;
+    cfg
+}
+
+/// All-identical sequences: zero phylogenetic signal. The search must not
+/// panic, branch lengths collapse toward the minimum, and the likelihood is
+/// that of a star-ish tree with no substitutions.
+#[test]
+fn identical_sequences_do_not_break_the_search() {
+    let seq = "ACGTACGTACGTACGTACGT";
+    let aln = Alignment::from_named_sequences(&[
+        ("a", seq),
+        ("b", seq),
+        ("c", seq),
+        ("d", seq),
+        ("e", seq),
+    ])
+    .unwrap()
+    .compress();
+    let result = infer_ml_tree(&aln, &fast(), 1);
+    assert!(result.log_likelihood.is_finite());
+    assert_eq!(result.starting_parsimony, 0.0);
+    // With no signal every branch should optimize to (near) zero.
+    let total = result.tree.total_length();
+    assert!(
+        total < 15.0 * MIN_BRANCH * 10.0,
+        "branches should collapse on constant data: total {total}"
+    );
+}
+
+/// The minimum viable problem: three taxa (a single inner node, no
+/// topology to search).
+#[test]
+fn three_taxa_is_the_degenerate_search() {
+    let w = SimulationConfig::new(3, 200, 4).generate();
+    let result = infer_ml_tree(&w.alignment, &fast(), 1);
+    assert!(result.log_likelihood.is_finite());
+    assert_eq!(result.moves_applied, 0, "no SPR exists on 3 taxa");
+    assert_eq!(result.tree.edges().len(), 3);
+    result.tree.validate().unwrap();
+}
+
+/// Four taxa: exactly one internal edge, three topologies. Simulated on an
+/// explicit quartet with a solid internal branch (a random 4-taxon tree can
+/// draw a near-zero internal branch, which makes the quartet genuinely
+/// unresolvable).
+#[test]
+fn four_taxa_searches_all_topologies() {
+    let mut quartet = Tree::initial_triplet(4, 0.1).unwrap();
+    let pendant = phylo::tree::edge(0, quartet.neighbors_of(0).next().unwrap().0);
+    let v = quartet.add_taxon_on_edge(3, pendant, 0.1).unwrap();
+    // Make the internal branch decisive.
+    let internal: Vec<_> = quartet
+        .neighbors_of(v)
+        .filter(|&(n, _)| !quartet.is_tip(n))
+        .collect();
+    quartet.set_branch_length(v, internal[0].0, 0.15);
+    let w = SimulationConfig {
+        tree: Some(quartet),
+        ..SimulationConfig::new(4, 2000, 9)
+    }
+    .generate();
+    let result = infer_ml_tree(&w.alignment, &fast(), 1);
+    assert_eq!(
+        phylo::bipartitions::robinson_foulds(&result.tree, &w.true_tree),
+        0,
+        "4-taxon ML with 2000 sites must find the right quartet"
+    );
+}
+
+/// A taxon that is entirely gaps carries no information but must flow
+/// through every stage (gaps hit the ambiguity-code paths everywhere).
+#[test]
+fn all_gap_taxon_survives_the_pipeline() {
+    let w = SimulationConfig::new(6, 150, 3).generate();
+    let mut pairs: Vec<(String, String)> = (0..6)
+        .map(|i| (w.raw.taxon_names()[i].clone(), w.raw.sequence_string(i)))
+        .collect();
+    pairs.push(("gappy".to_string(), "-".repeat(150)));
+    let aln = Alignment::from_named_sequences(&pairs).unwrap().compress();
+    let result = infer_ml_tree(&aln, &fast(), 1);
+    assert!(result.log_likelihood.is_finite());
+    result.tree.validate().unwrap();
+    assert_eq!(result.tree.n_taxa(), 7);
+}
+
+/// Extreme Γ shapes at both engine bounds.
+#[test]
+fn alpha_extremes_stay_finite() {
+    let w = SimulationConfig::new(6, 200, 11).generate();
+    let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+    for alpha in [0.02, 0.5, 20.0] {
+        let rates = GammaRates::standard(alpha).unwrap();
+        let mut engine = LikelihoodEngine::new(
+            &w.alignment,
+            model.clone(),
+            rates,
+            LikelihoodConfig::optimized(),
+        );
+        let lnl = engine.log_likelihood(&w.true_tree);
+        assert!(lnl.is_finite() && lnl < 0.0, "alpha {alpha}: {lnl}");
+    }
+}
+
+/// Branch lengths clamped at both extremes still give valid likelihoods
+/// (saturated branches approach the stationary distribution).
+#[test]
+fn branch_length_extremes() {
+    let w = SimulationConfig::new(5, 150, 21).generate();
+    let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+    let rates = GammaRates::standard(0.7).unwrap();
+
+    for len in [MIN_BRANCH, MAX_BRANCH] {
+        let mut tree = w.true_tree.clone();
+        for (a, b) in tree.edges() {
+            tree.set_branch_length(a, b, len);
+        }
+        let mut engine = LikelihoodEngine::new(
+            &w.alignment,
+            model.clone(),
+            rates.clone(),
+            LikelihoodConfig::optimized(),
+        );
+        let lnl = engine.log_likelihood(&tree);
+        assert!(lnl.is_finite(), "len {len}: {lnl}");
+    }
+}
+
+/// Deep trees (a caterpillar of 160 taxa) exercise the scaling machinery:
+/// partials shrink exponentially with accumulated state conflicts and must
+/// rescale rather than underflow to zero. (The threshold is 2⁻²⁵⁶ ≈ 9e-78,
+/// so it takes on the order of a hundred conflicting merges to trip it —
+/// which is exactly why the paper's 42-taxon workload never rescales and
+/// its conditional is all misprediction cost, no body cost.)
+#[test]
+fn deep_caterpillar_tree_needs_and_survives_scaling() {
+    let n = 160;
+    let w = SimulationConfig {
+        mean_branch: 0.3, // long branches: fast decay of partials
+        ..SimulationConfig::new(n, 120, 13)
+    }
+    .generate();
+    // Build a caterpillar: taxa strung along a path — the deepest possible
+    // traversal for n taxa.
+    let mut tree = Tree::initial_triplet(n, 0.3).unwrap();
+    for tip in 3..n {
+        // Always insert on the last tip's pendant edge: maximal depth.
+        let junction = tree.neighbors_of(tip - 1).next().unwrap().0;
+        tree.add_taxon_on_edge(tip, phylo::tree::edge(tip - 1, junction), 0.3).unwrap();
+    }
+    tree.validate().unwrap();
+
+    let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+    // A mid-range α keeps even the slowest Γ category decaying at state
+    // conflicts, so the all-categories-below-threshold condition can fire.
+    let rates = GammaRates::standard(1.0).unwrap();
+    let mut engine =
+        LikelihoodEngine::new(&w.alignment, model, rates, LikelihoodConfig::optimized());
+    let lnl = engine.log_likelihood(&tree);
+    assert!(lnl.is_finite(), "deep tree must not underflow: {lnl}");
+    // The point of the test: scaling actually fired.
+    assert!(
+        engine.trace().counters().scalings > 0,
+        "a 160-taxon caterpillar with 0.3 branches must trigger §5.2.3 rescaling"
+    );
+}
+
+/// Bootstrap analysis on a tiny, noisy alignment: supports may be low but
+/// everything must hold together.
+#[test]
+fn tiny_noisy_bootstrap_analysis() {
+    let w = SimulationConfig {
+        mean_branch: 0.01, // nearly no signal
+        ..SimulationConfig::new(5, 60, 17)
+    }
+    .generate();
+    let analysis = BootstrapAnalysis {
+        n_inferences: 2,
+        n_bootstraps: 8,
+        n_workers: 2,
+        seed: 5,
+        search: fast(),
+    };
+    let result = analysis.run(&w.alignment);
+    assert!(result.best_log_likelihood.is_finite());
+    assert_eq!(result.bootstrap_trees.len(), 8);
+    for &(_, s) in &result.best.support {
+        assert!((0.0..=1.0).contains(&s));
+    }
+    // The consensus of noisy replicates is typically unresolved — it must
+    // still render.
+    let consensus = result.consensus(0.5);
+    let names = w.alignment.taxon_names().to_vec();
+    assert!(consensus.to_newick(&names).ends_with(';'));
+}
+
+/// Single-pattern alignments (one repeated column).
+#[test]
+fn single_pattern_alignment() {
+    let aln = Alignment::from_named_sequences(&[
+        ("a", "AAAA"),
+        ("b", "CCCC"),
+        ("c", "GGGG"),
+        ("d", "TTTT"),
+    ])
+    .unwrap()
+    .compress();
+    assert_eq!(aln.n_patterns(), 1);
+    let result = infer_ml_tree(&aln, &fast(), 1);
+    assert!(result.log_likelihood.is_finite());
+}
+
+/// Larger trees keep the engine honest: a 96-taxon inference completes and
+/// improves on its starting tree.
+#[test]
+fn mid_scale_inference_is_sane() {
+    let w = SimulationConfig::new(96, 300, 31).generate();
+    let mut cfg = fast();
+    cfg.spr_radius = 2;
+    cfg.max_spr_rounds = 1;
+    cfg.optimize_alpha = false;
+    let result = infer_ml_tree(&w.alignment, &cfg, 1);
+    assert!(result.log_likelihood.is_finite());
+    result.tree.validate().unwrap();
+    assert_eq!(result.tree.n_taxa(), 96);
+}
