@@ -1,0 +1,193 @@
+//! Offline stand-in for the subset of the `rayon` 1.x API this workspace
+//! uses. The build environment has no access to crates.io, so the
+//! workspace patches `rayon` to this crate (see the root `Cargo.toml`).
+//!
+//! Unlike real rayon there is no global work-stealing pool: a parallel
+//! iterator chain stays a cheap `Vec` of pending items until a sink
+//! (`reduce`/`sum`) is called, at which point the items are striped across
+//! scoped OS threads and the per-item work (the `map` closure) runs in
+//! parallel. Reduction order is deterministic: each stripe folds
+//! left-to-right and stripe results combine left-to-right, so results are
+//! reproducible run-to-run (real rayon's reduction tree is not).
+
+/// Number of worker threads a parallel sink will use (analogue of
+/// `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// A materialized "parallel" iterator: items are held eagerly, the
+/// expensive per-item work is deferred to [`ParMap`].
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A pending parallel map: items plus the closure to run on each, striped
+/// across threads when a sink executes.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// `slice.par_chunks(n)` (subset of `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// `slice.par_chunks_mut(n)` (subset of `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair items positionally with another parallel iterator's items.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
+    /// Attach each item's index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Defer `f` over every item; `f` runs on worker threads at the sink.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// Split `n` items into at most `current_num_threads()` contiguous stripes
+/// and run `fold_stripe` on each stripe in parallel; stripe results are
+/// combined left-to-right by the caller.
+fn striped<T, R, G>(items: Vec<T>, fold_stripe: G) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    G: Fn(Vec<T>) -> R + Sync,
+{
+    let n = items.len();
+    let n_threads = current_num_threads().min(n).max(1);
+    if n_threads <= 1 {
+        return vec![fold_stripe(items)];
+    }
+    // Stripe sizes differ by at most one, preserving item order.
+    let base = n / n_threads;
+    let extra = n % n_threads;
+    let mut stripes: Vec<Vec<T>> = Vec::with_capacity(n_threads);
+    let mut it = items.into_iter();
+    for i in 0..n_threads {
+        let len = base + usize::from(i < extra);
+        stripes.push(it.by_ref().take(len).collect());
+    }
+    let fold_stripe = &fold_stripe;
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            stripes.into_iter().map(|stripe| s.spawn(move || fold_stripe(stripe))).collect();
+        handles.into_iter().map(|h| h.join().expect("rayon-compat worker panicked")).collect()
+    })
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// `reduce(identity, op)` with rayon semantics: `identity()` seeds each
+    /// stripe and `op` combines mapped values and stripe results.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let f = &self.f;
+        let op_ref = &op;
+        let identity_ref = &identity;
+        let partials =
+            striped(self.items, |stripe| stripe.into_iter().map(f).fold(identity_ref(), op_ref));
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Sum the mapped values.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<R> + std::iter::Sum<S>,
+    {
+        let f = &self.f;
+        let partials = striped(self.items, |stripe| stripe.into_iter().map(f).sum::<S>());
+        partials.into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_sum_matches_sequential() {
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let par: f64 = v.par_chunks(97).enumerate().map(|(_, c)| c.iter().sum::<f64>()).sum();
+        let seq: f64 = v.iter().sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunks_mut_zip_writes_every_chunk() {
+        let mut a = vec![0u64; 1000];
+        let mut b = vec![0u64; 250];
+        let total = a
+            .par_chunks_mut(40)
+            .zip(b.par_chunks_mut(10))
+            .enumerate()
+            .map(|(ci, (ca, cb))| {
+                for x in ca.iter_mut() {
+                    *x = ci as u64 + 1;
+                }
+                for x in cb.iter_mut() {
+                    *x = ci as u64 + 1;
+                }
+                ca.len() as u64
+            })
+            .reduce(|| 0, |x, y| x + y);
+        assert_eq!(total, 1000);
+        assert!(a.iter().all(|&x| x > 0));
+        assert!(b.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn reduce_is_deterministic() {
+        let v: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+        let r1: f64 = v.par_chunks(64).map(|c| c.iter().sum::<f64>()).reduce(|| 0.0, |a, b| a + b);
+        let r2: f64 = v.par_chunks(64).map(|c| c.iter().sum::<f64>()).reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(r1.to_bits(), r2.to_bits());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let v = [1.0f64, 2.0, 3.0];
+        let s: f64 = v.par_chunks(10).map(|c| c.iter().sum::<f64>()).sum();
+        assert_eq!(s, 6.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Fused `TraversalOps` dispatch vs per-node dispatch, and workspace
+//! pooling vs fresh allocation — the host-side benchmarks of the
+//! zero-allocation hot-path redesign.
+//!
+//! `dispatch/*` measures one full-tree likelihood on the ALN42-sized
+//! workload (42 taxa × 1167 sites, ~250 patterns): every inner partial
+//! recomputed, then one `evaluate`. The fused engine compiles the
+//! traversal into a descriptor list executed out of preallocated arenas;
+//! the per-node engine walks the historical allocating path.
+//!
+//! `workspace/*` measures a complete small inference end-to-end, fresh
+//! arenas each run vs one recycled workspace (the bootstrap worker's
+//! steady state).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phylo::likelihood::engine::LikelihoodEngine;
+use phylo::likelihood::{LikelihoodConfig, LikelihoodWorkspace, WorkspaceOptions};
+use phylo::model::{GammaRates, SubstModel};
+use phylo::search::{infer_ml_tree, infer_ml_tree_pooled, SearchConfig};
+use phylo::simulate::SimulationConfig;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let w = SimulationConfig::aln42().generate();
+    let aln = &w.alignment;
+    let model = SubstModel::gtr(aln.base_frequencies(), [1.0; 6]).unwrap();
+    let rates = GammaRates::standard(0.8).unwrap();
+    let config = LikelihoodConfig { parallel: false, ..LikelihoodConfig::optimized() };
+    let tree = &w.true_tree;
+    let edge = tree.edges()[0];
+
+    let mut group = c.benchmark_group("dispatch");
+    for (name, options) in
+        [("fused", WorkspaceOptions::default()), ("per_node", WorkspaceOptions::per_node())]
+    {
+        let mut engine =
+            LikelihoodEngine::with_options(aln, model.clone(), rates.clone(), config, options);
+        group.bench_function(format!("{name}/full_traversal_aln42"), |b| {
+            b.iter(|| {
+                engine.invalidate_all();
+                black_box(engine.log_likelihood_at(tree, edge))
+            })
+        });
+        group.bench_function(format!("{name}/branch_sweep_aln42"), |b| {
+            let edges = tree.edges();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &e in edges.iter().step_by(8) {
+                    engine.invalidate_for_branch(tree, e.0, e.1);
+                    acc += engine.log_likelihood_at(tree, e);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workspace_pooling(c: &mut Criterion) {
+    let w = SimulationConfig::new(10, 400, 3).generate();
+    let config = SearchConfig::fast();
+
+    let mut group = c.benchmark_group("workspace");
+    group.sample_size(10);
+    group.bench_function("fresh/inference_10x400", |b| {
+        b.iter(|| black_box(infer_ml_tree(&w.alignment, &config, 5).log_likelihood))
+    });
+    group.bench_function("pooled/inference_10x400", |b| {
+        let mut ws = Some(LikelihoodWorkspace::new());
+        b.iter(|| {
+            let (result, returned) =
+                infer_ml_tree_pooled(&w.alignment, &config, 5, false, ws.take().unwrap());
+            ws = Some(returned);
+            black_box(result.log_likelihood)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_workspace_pooling);
+criterion_main!(benches);

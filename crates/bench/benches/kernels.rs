@@ -32,8 +32,7 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let model =
-        SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0]).unwrap();
+    let model = SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0]).unwrap();
     let gamma = GammaRates::standard(0.7).unwrap();
     let rates = gamma.rates().to_vec();
     let pl: Vec<Mat4> =

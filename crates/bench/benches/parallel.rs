@@ -20,8 +20,8 @@ use rand::SeedableRng;
 fn bench_llp(c: &mut Criterion) {
     // A long multi-gene-style alignment: many patterns so the loop split
     // pays off.
-    let w = SimulationConfig { mean_branch: 0.2, ..SimulationConfig::new(16, 12_000, 77) }
-        .generate();
+    let w =
+        SimulationConfig { mean_branch: 0.2, ..SimulationConfig::new(16, 12_000, 77) }.generate();
     let aln = w.alignment;
     let mut rng = StdRng::seed_from_u64(3);
     let tree = Tree::random(16, 0.1, &mut rng).unwrap();

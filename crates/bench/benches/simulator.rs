@@ -7,9 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use phylo::trace::{CallParent, KernelEvent, KernelOp};
 use raxml_cell::config::OptConfig;
 use raxml_cell::offload::price_trace;
-use raxml_cell::sched::{
-    compress_phases, des, mgps_makespan, simulate_task_parallel, DesParams,
-};
+use raxml_cell::sched::{compress_phases, des, mgps_makespan, simulate_task_parallel, DesParams};
 
 fn synthetic_trace(n: usize) -> Vec<KernelEvent> {
     (0..n)

@@ -9,8 +9,9 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let label = if quick { "test_mid (quick)" } else { "42_SC-equivalent (ALN42)" };
     eprintln!("capturing workload: {label} — running a real traced inference…");
-    let workload = if quick { bench::quick_workload() } else { bench::aln42_workload() };
+    let workload =
+        bench::or_exit(if quick { bench::quick_workload() } else { bench::aln42_workload() });
     println!("=== RAxML-Cell reproduction: all tables and figures ===");
     println!("workload: {label}");
-    println!("{}", bench::run_all_tables(&workload));
+    println!("{}", bench::or_exit(bench::run_all_tables(&workload)));
 }

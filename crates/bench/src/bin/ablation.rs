@@ -6,9 +6,9 @@ use cellsim::cost::CostModel;
 use raxml_cell::experiment::run_ablation;
 
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    let rows = run_ablation(&w, &CostModel::paper_calibrated());
+    let rows = bench::or_exit(run_ablation(&w, &CostModel::paper_calibrated()));
     println!("\nablation of the SPE optimizations (1 worker × 1 bootstrap):\n");
     println!(
         "  {:<34} {:>10} {:>10} | {:>12} {:>10}",

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure in one run.
 //! Pass --quick for the reduced workload.
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    println!("{}", bench::run_all_tables(&w));
+    println!("{}", bench::or_exit(bench::run_all_tables(&w)));
 }

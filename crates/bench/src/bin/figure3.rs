@@ -1,7 +1,7 @@
 //! Regenerates Figure 3 (Cell vs Power5 vs Xeon).
 //! Pass --quick for the reduced workload.
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    println!("{}", bench::figure3_text_for(&w));
+    println!("{}", bench::or_exit(bench::figure3_text_for(&w)));
 }

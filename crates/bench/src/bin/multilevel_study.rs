@@ -9,15 +9,15 @@ use raxml_cell::experiment::run_multilevel_study;
 use raxml_cell::sched::DesParams;
 
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    let rows =
-        run_multilevel_study(&w, &CostModel::paper_calibrated(), &DesParams::default());
+    let rows = bench::or_exit(run_multilevel_study(
+        &w,
+        &CostModel::paper_calibrated(),
+        &DesParams::default(),
+    ));
     println!("\nEDTLP (2 layers) vs LLP (3 layers) vs dynamic MGPS [seconds]:\n");
-    println!(
-        "  {:>10} {:>10} {:>10} {:>10}   winner",
-        "bootstraps", "EDTLP", "LLP", "MGPS"
-    );
+    println!("  {:>10} {:>10} {:>10} {:>10}   winner", "bootstraps", "EDTLP", "LLP", "MGPS");
     for r in &rows {
         let winner = if r.llp_seconds < r.edtlp_seconds { "LLP" } else { "EDTLP" };
         println!(

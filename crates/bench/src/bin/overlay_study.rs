@@ -6,9 +6,9 @@ use cellsim::cost::CostModel;
 use raxml_cell::experiment::run_overlay_study;
 
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    let rows = run_overlay_study(&w, &CostModel::paper_calibrated());
+    let rows = bench::or_exit(run_overlay_study(&w, &CostModel::paper_calibrated()));
     println!("\ncode-overlay what-if (one bootstrap, fully optimized config):\n");
     println!(
         "  {:>10} {:>12} {:>12} {:>14} {:>14}",

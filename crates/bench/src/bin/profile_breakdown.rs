@@ -2,7 +2,7 @@
 //! Pass --quick for the reduced workload.
 use cellsim::cost::CostModel;
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    println!("{}", bench::profile_text(&w, &CostModel::paper_calibrated()));
+    println!("{}", bench::or_exit(bench::profile_text(&w, &CostModel::paper_calibrated())));
 }

@@ -7,9 +7,9 @@ use cellsim::cost::CostModel;
 use raxml_cell::experiment::run_scaling_study;
 
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    let rows = run_scaling_study(&w, &CostModel::paper_calibrated(), 32);
+    let rows = bench::or_exit(run_scaling_study(&w, &CostModel::paper_calibrated(), 32));
     println!("\nMGPS scaling at 32 bootstraps:\n");
     println!(
         "  {:>6} {:>12} {:>14} {:>10} {:>10}",

@@ -1,8 +1,8 @@
 //! Regenerates Table 1 (a: PPE-only, b: naive newview offload).
 //! Pass --quick for the reduced workload.
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    println!("{}", bench::ladder_level_text(&w, 0));
-    println!("{}", bench::ladder_level_text(&w, 1));
+    println!("{}", bench::or_exit(bench::ladder_level_text(&w, 0)));
+    println!("{}", bench::or_exit(bench::ladder_level_text(&w, 1)));
 }

@@ -1,6 +1,6 @@
 //! Regenerates Table 4 of the paper. Pass --quick for the reduced workload.
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    println!("{}", bench::ladder_level_text(&w, 4));
+    println!("{}", bench::or_exit(bench::ladder_level_text(&w, 4)));
 }

@@ -1,9 +1,9 @@
 //! Regenerates Table 8 (the MGPS dynamic scheduler), with per-SPE
 //! utilization reports. Pass --quick for the reduced workload.
 fn main() {
-    let (w, label) = bench::workload_from_args();
+    let (w, label) = bench::or_exit(bench::workload_from_args());
     println!("workload: {label}");
-    println!("{}", bench::table8_text(&w));
+    println!("{}", bench::or_exit(bench::table8_text(&w)));
     for n in [1usize, 8, 32] {
         println!("{}", bench::mgps_utilization_text(&w, n));
     }

@@ -1,28 +1,44 @@
 //! Shared fixtures and report printers for the benchmark suite and the
 //! table/figure regeneration binaries.
+//!
+//! Every helper that runs an experiment driver propagates its
+//! [`ExperimentError`]; the binaries funnel through [`or_exit`] so a bad
+//! workload prints a diagnosis and exits nonzero instead of unwinding.
 
 use cellsim::cost::CostModel;
+use raxml_cell::error::ExperimentError;
 use raxml_cell::experiment::{
-    capture_workload, profile_breakdown, run_figure3, run_ladder, run_table8, Figure3,
-    Workload, WorkloadSpec,
+    capture_workload, profile_breakdown, run_figure3, run_ladder, run_table8, Figure3, Workload,
+    WorkloadSpec,
 };
 use raxml_cell::report::{format_comparison, shape_deviation, PAPER_PROFILE};
 use raxml_cell::sched::DesParams;
 
+/// Unwrap a driver result in a binary: print the error and exit nonzero.
+pub fn or_exit<T>(result: Result<T, ExperimentError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Capture the `42_SC`-equivalent workload (a full traced inference on the
 /// 42 × 1167 synthetic alignment). This is the expensive step — call once
 /// and reuse.
-pub fn aln42_workload() -> Workload {
+pub fn aln42_workload() -> Result<Workload, ExperimentError> {
     capture_workload(&WorkloadSpec::aln42())
 }
 
 /// Capture a reduced workload for quick runs.
-pub fn quick_workload() -> Workload {
+pub fn quick_workload() -> Result<Workload, ExperimentError> {
     capture_workload(&WorkloadSpec::test_mid())
 }
 
 /// Regenerate and print every table and the figure. Returns the full text.
-pub fn run_all_tables(workload: &Workload) -> String {
+pub fn run_all_tables(workload: &Workload) -> Result<String, ExperimentError> {
     let model = CostModel::paper_calibrated();
     let params = DesParams::default();
     let mut out = String::new();
@@ -33,10 +49,10 @@ pub fn run_all_tables(workload: &Workload) -> String {
         workload.n_patterns,
         workload.log_likelihood
     ));
-    out.push_str(&profile_text(workload, &model));
+    out.push_str(&profile_text(workload, &model)?);
     out.push('\n');
 
-    for level in run_ladder(workload, &model) {
+    for level in run_ladder(workload, &model)? {
         out.push_str(&format_comparison(level.label, &level.rows));
         out.push_str(&format!(
             "  [workload-scaling shape deviation vs paper: {:.1}%]\n\n",
@@ -44,20 +60,20 @@ pub fn run_all_tables(workload: &Workload) -> String {
         ));
     }
 
-    let t8 = run_table8(workload, &model, &params);
+    let t8 = run_table8(workload, &model, &params)?;
     out.push_str(&format_comparison("MGPS dynamic scheduler (Table 8)", &t8));
     out.push_str(&format!(
         "  [shape deviation vs paper: {:.1}%]\n\n",
         shape_deviation(&t8) * 100.0
     ));
 
-    out.push_str(&figure3_text(&run_figure3(workload, &model, &params)));
-    out
+    out.push_str(&figure3_text(&run_figure3(workload, &model, &params)?));
+    Ok(out)
 }
 
 /// §5.2-style profile report text.
-pub fn profile_text(workload: &Workload, model: &CostModel) -> String {
-    let p = profile_breakdown(workload, model);
+pub fn profile_text(workload: &Workload, model: &CostModel) -> Result<String, ExperimentError> {
+    let p = profile_breakdown(workload, model)?;
     let mut out = String::from("profile (PPE pricing, paper §5.2 reference in parens):\n");
     let names = ["newview", "makenewz", "evaluate"];
     for (i, name) in names.iter().enumerate() {
@@ -74,7 +90,7 @@ pub fn profile_text(workload: &Workload, model: &CostModel) -> String {
         p.nested_fraction * 100.0,
         p.newview_mean_flops
     ));
-    out
+    Ok(out)
 }
 
 /// Figure 3 as an aligned text series.
@@ -98,28 +114,25 @@ pub fn figure3_text(fig: &Figure3) -> String {
 }
 
 /// Text for one ladder level (0 = Table 1a … 7 = Table 7).
-pub fn ladder_level_text(workload: &Workload, level: usize) -> String {
+pub fn ladder_level_text(workload: &Workload, level: usize) -> Result<String, ExperimentError> {
     let model = CostModel::paper_calibrated();
-    let ladder = run_ladder(workload, &model);
+    let ladder = run_ladder(workload, &model)?;
     let l = &ladder[level];
     let mut out = format_comparison(l.label, &l.rows);
     out.push_str(&format!(
         "  [workload-scaling shape deviation vs paper: {:.1}%]\n",
         shape_deviation(&l.rows) * 100.0
     ));
-    out
+    Ok(out)
 }
 
 /// Text for Table 8 (MGPS).
-pub fn table8_text(workload: &Workload) -> String {
+pub fn table8_text(workload: &Workload) -> Result<String, ExperimentError> {
     let model = CostModel::paper_calibrated();
-    let t8 = run_table8(workload, &model, &DesParams::default());
+    let t8 = run_table8(workload, &model, &DesParams::default())?;
     let mut out = format_comparison("MGPS dynamic scheduler (Table 8)", &t8);
-    out.push_str(&format!(
-        "  [shape deviation vs paper: {:.1}%]\n",
-        shape_deviation(&t8) * 100.0
-    ));
-    out
+    out.push_str(&format!("  [shape deviation vs paper: {:.1}%]\n", shape_deviation(&t8) * 100.0));
+    Ok(out)
 }
 
 /// Utilization report for an MGPS run at a given bootstrap count (the
@@ -147,20 +160,20 @@ pub fn mgps_utilization_text(workload: &Workload, n_bootstraps: usize) -> String
 }
 
 /// Text for Figure 3.
-pub fn figure3_text_for(workload: &Workload) -> String {
+pub fn figure3_text_for(workload: &Workload) -> Result<String, ExperimentError> {
     let model = CostModel::paper_calibrated();
-    figure3_text(&run_figure3(workload, &model, &DesParams::default()))
+    Ok(figure3_text(&run_figure3(workload, &model, &DesParams::default())?))
 }
 
 /// Standard binary entry point: captures the workload (reduced when
 /// `--quick` is passed) and returns it together with its label.
-pub fn workload_from_args() -> (Workload, &'static str) {
+pub fn workload_from_args() -> Result<(Workload, &'static str), ExperimentError> {
     let quick = std::env::args().any(|a| a == "--quick");
     if quick {
-        (quick_workload(), "test_mid (quick)")
+        Ok((quick_workload()?, "test_mid (quick)"))
     } else {
         eprintln!("capturing the 42_SC-equivalent workload (a real traced inference)…");
-        (aln42_workload(), "42_SC-equivalent (ALN42)")
+        Ok((aln42_workload()?, "42_SC-equivalent (ALN42)"))
     }
 }
 
@@ -170,11 +183,24 @@ mod tests {
 
     #[test]
     fn quick_tables_render() {
-        let w = quick_workload();
-        let text = run_all_tables(&w);
+        let w = quick_workload().expect("capture");
+        let text = run_all_tables(&w).expect("tables");
         assert!(text.contains("Table 1a"));
         assert!(text.contains("Table 8"));
         assert!(text.contains("Figure 3"));
         assert!(text.contains("newview"));
+    }
+
+    #[test]
+    fn empty_trace_surfaces_as_an_error_not_a_panic() {
+        let empty = Workload {
+            events: Vec::new(),
+            counters: Default::default(),
+            log_likelihood: -1.0,
+            n_patterns: 1,
+        };
+        assert!(run_all_tables(&empty).is_err());
+        assert!(table8_text(&empty).is_err());
+        assert!(figure3_text_for(&empty).is_err());
     }
 }

@@ -401,10 +401,7 @@ mod tests {
         flags.pay_offload = false; // nested invocation (Table 7 regime)
         let spe = m.kernel_cost(&ev, &flags).total();
         let ppe = m.kernel_cost(&ev, &ExecutionFlags::ppe()).total();
-        assert!(
-            spe < ppe,
-            "optimized nested SPE ({spe}) must beat PPE ({ppe})"
-        );
+        assert!(spe < ppe, "optimized nested SPE ({spe}) must beat PPE ({ppe})");
     }
 
     #[test]

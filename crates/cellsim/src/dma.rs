@@ -150,10 +150,7 @@ mod tests {
             assert_eq!(validate_transfer(s, 0), Err(DmaError::BadSize(s)), "size {s}");
         }
         assert_eq!(validate_transfer(0, 0), Err(DmaError::BadSize(0)));
-        assert_eq!(
-            validate_transfer(16 * 1024 + 16, 0),
-            Err(DmaError::TooLarge(16 * 1024 + 16))
-        );
+        assert_eq!(validate_transfer(16 * 1024 + 16, 0), Err(DmaError::TooLarge(16 * 1024 + 16)));
     }
 
     #[test]

@@ -36,8 +36,7 @@ impl EibModel {
         if active_streams == 0 {
             return self.per_link_bytes_per_cycle;
         }
-        self.per_link_bytes_per_cycle
-            .min(self.total_bytes_per_cycle / active_streams as f64)
+        self.per_link_bytes_per_cycle.min(self.total_bytes_per_cycle / active_streams as f64)
     }
 
     /// Slowdown factor (≥ 1) a stream experiences relative to an

@@ -58,7 +58,14 @@ impl OverlayManager {
                 budget
             );
         }
-        OverlayManager { modules, budget, resident: Vec::new(), faults: 0, calls: 0, bytes_reloaded: 0 }
+        OverlayManager {
+            modules,
+            budget,
+            resident: Vec::new(),
+            faults: 0,
+            calls: 0,
+            bytes_reloaded: 0,
+        }
     }
 
     fn resident_bytes(&self) -> usize {
@@ -197,10 +204,7 @@ mod tests {
         let large = reload_cycles(60 * 1024, &dma);
         assert!(large > small);
         // 60 KB = 3 × 16 KB + 12 KB: four transfers.
-        assert_eq!(
-            large,
-            3 * transfer_cycles(16 * 1024, &dma) + transfer_cycles(12 * 1024, &dma)
-        );
+        assert_eq!(large, 3 * transfer_cycles(16 * 1024, &dma) + transfer_cycles(12 * 1024, &dma));
     }
 
     #[test]

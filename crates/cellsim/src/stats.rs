@@ -71,10 +71,7 @@ impl SimStats {
         if self.makespan == 0 {
             return 0.0;
         }
-        self.spes
-            .iter()
-            .map(|s| s.busy() as f64 / self.makespan as f64)
-            .fold(0.0, f64::max)
+        self.spes.iter().map(|s| s.busy() as f64 / self.makespan as f64).fold(0.0, f64::max)
     }
 
     /// Total kernel invocations across all SPEs.

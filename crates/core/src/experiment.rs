@@ -8,11 +8,10 @@
 //! the priced invocations over the simulated machine.
 
 use crate::config::OptConfig;
+use crate::error::{ExperimentError, Result};
 use crate::offload::price_trace;
 use crate::platform::PlatformModel;
-use crate::report::{
-    Comparison, FIGURE3_BOOTSTRAPS, PAPER_LADDER, PAPER_TABLE_8, TABLE_ROWS,
-};
+use crate::report::{Comparison, FIGURE3_BOOTSTRAPS, PAPER_LADDER, PAPER_TABLE_8, TABLE_ROWS};
 use crate::sched::{mgps_makespan, sync_workers_makespan, DesParams};
 use cellsim::cost::CostModel;
 use phylo::search::{infer_ml_tree_traced, SearchConfig};
@@ -79,7 +78,21 @@ pub struct Workload {
 }
 
 /// Run a real inference with full tracing and return its workload.
-pub fn capture_workload(spec: &WorkloadSpec) -> Workload {
+pub fn capture_workload(spec: &WorkloadSpec) -> Result<Workload> {
+    if spec.n_taxa < 4 {
+        return Err(ExperimentError::InvalidSpec {
+            field: "n_taxa",
+            value: spec.n_taxa,
+            reason: "an unrooted tree search needs at least 4 taxa",
+        });
+    }
+    if spec.n_sites == 0 {
+        return Err(ExperimentError::InvalidSpec {
+            field: "n_sites",
+            value: spec.n_sites,
+            reason: "an alignment needs at least one site",
+        });
+    }
     let sim = if spec.n_taxa == 42 && spec.n_sites == 1167 {
         SimulationConfig::aln42()
     } else {
@@ -87,13 +100,28 @@ pub fn capture_workload(spec: &WorkloadSpec) -> Workload {
     };
     let generated = sim.generate();
     let result = infer_ml_tree_traced(&generated.alignment, &spec.search, spec.seed, true);
+    if !result.log_likelihood.is_finite() {
+        return Err(ExperimentError::NonFiniteLikelihood(result.log_likelihood));
+    }
     let counters = *result.trace.counters();
-    Workload {
-        events: result.trace.into_events(),
+    let events = result.trace.into_events();
+    if events.is_empty() {
+        return Err(ExperimentError::EmptyTrace);
+    }
+    Ok(Workload {
+        events,
         counters,
         log_likelihood: result.log_likelihood,
         n_patterns: generated.alignment.n_patterns(),
+    })
+}
+
+/// Reject workloads whose trace has nothing to price.
+fn check_workload(workload: &Workload) -> Result<()> {
+    if workload.events.is_empty() {
+        return Err(ExperimentError::EmptyTrace);
     }
+    Ok(())
 }
 
 /// One rung of the ladder with its four workload rows.
@@ -107,8 +135,9 @@ pub struct LevelResult {
 /// Reproduce Tables 1a–7: every ladder rung × the paper's four workload
 /// rows (1 worker × 1 bootstrap, 2 workers × 8/16/32 bootstraps) under
 /// synchronous-worker scheduling.
-pub fn run_ladder(workload: &Workload, model: &CostModel) -> Vec<LevelResult> {
-    OptConfig::ladder()
+pub fn run_ladder(workload: &Workload, model: &CostModel) -> Result<Vec<LevelResult>> {
+    check_workload(workload)?;
+    let levels = OptConfig::ladder()
         .into_iter()
         .enumerate()
         .map(|(i, (label, config))| {
@@ -125,21 +154,27 @@ pub fn run_ladder(workload: &Workload, model: &CostModel) -> Vec<LevelResult> {
                 .collect();
             LevelResult { label, config, rows }
         })
-        .collect()
+        .collect();
+    Ok(levels)
 }
 
 /// Reproduce Table 8: the MGPS dynamic scheduler over 1/8/16/32 bootstraps
 /// with the fully optimized code.
-pub fn run_table8(workload: &Workload, model: &CostModel, params: &DesParams) -> Vec<Comparison> {
+pub fn run_table8(
+    workload: &Workload,
+    model: &CostModel,
+    params: &DesParams,
+) -> Result<Vec<Comparison>> {
+    check_workload(workload)?;
     let priced = price_trace(&workload.events, model, &OptConfig::fully_optimized());
-    PAPER_TABLE_8
+    Ok(PAPER_TABLE_8
         .iter()
         .map(|&(n, paper)| Comparison {
             label: format!("{n} bootstrap{}", if n == 1 { "" } else { "s" }),
             paper_seconds: paper,
             simulated_seconds: model.seconds(mgps_makespan(&priced, n, model, params).makespan),
         })
-        .collect()
+        .collect())
 }
 
 /// Table 8 with *varied* jobs: every bootstrap is a genuinely distinct
@@ -151,9 +186,14 @@ pub fn run_table8_varied(
     workloads: &[Workload],
     model: &CostModel,
     params: &DesParams,
-) -> Vec<Comparison> {
+) -> Result<Vec<Comparison>> {
     use crate::sched::{compress_phases, des, simulate_task_parallel_jobs, DEFAULT_GRANULARITY};
-    assert!(!workloads.is_empty());
+    if workloads.is_empty() {
+        return Err(ExperimentError::NoWorkloads);
+    }
+    for w in workloads {
+        check_workload(w)?;
+    }
     let cfg = OptConfig::fully_optimized();
     let priced: Vec<_> = workloads.iter().map(|w| price_trace(&w.events, model, &cfg)).collect();
     // Pre-build per-workload phase lists for EDTLP (k = 1, oversubscribed).
@@ -167,7 +207,7 @@ pub fn run_table8_varied(
         })
         .collect();
 
-    PAPER_TABLE_8
+    Ok(PAPER_TABLE_8
         .iter()
         .map(|&(n, paper)| {
             let jobs: Vec<&[des::Phase]> =
@@ -180,7 +220,7 @@ pub fn run_table8_varied(
                 simulated_seconds: model.seconds(out.makespan),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Figure 3 data: execution time vs #bootstraps on Cell (MGPS), Power5 and
@@ -194,7 +234,8 @@ pub struct Figure3 {
 }
 
 /// Reproduce Figure 3.
-pub fn run_figure3(workload: &Workload, model: &CostModel, params: &DesParams) -> Figure3 {
+pub fn run_figure3(workload: &Workload, model: &CostModel, params: &DesParams) -> Result<Figure3> {
+    check_workload(workload)?;
     let optimized = price_trace(&workload.events, model, &OptConfig::fully_optimized());
     let ppe_only = price_trace(&workload.events, model, &OptConfig::ppe_only());
     let ppe_bootstrap_seconds = model.seconds(ppe_only.sequential_cycles());
@@ -212,7 +253,7 @@ pub fn run_figure3(workload: &Workload, model: &CostModel, params: &DesParams) -
         fig.power5.push(power5.makespan_seconds(ppe_bootstrap_seconds, n));
         fig.xeon.push(xeon.makespan_seconds(ppe_bootstrap_seconds, n));
     }
-    fig
+    Ok(fig)
 }
 
 /// One optimization's isolated and leave-one-out impact.
@@ -234,15 +275,17 @@ pub struct AblationRow {
 /// offload and *left out* of the fully optimized configuration. Interaction
 /// effects — e.g. double buffering being worth more once compute shrinks —
 /// show up as the difference between the two views.
-pub fn run_ablation(workload: &Workload, model: &CostModel) -> Vec<AblationRow> {
+pub fn run_ablation(workload: &Workload, model: &CostModel) -> Result<Vec<AblationRow>> {
+    check_workload(workload)?;
     let naive = OptConfig::naive_offload();
     let mut full = OptConfig::fully_optimized();
     // Keep the offload stage fixed at NewviewOnly so the comparison is
     // purely about the five SPE-code optimizations.
     full.stage = crate::config::OffloadStage::NewviewOnly;
 
-    let seconds =
-        |cfg: &OptConfig| model.seconds(price_trace(&workload.events, model, cfg).sequential_cycles());
+    let seconds = |cfg: &OptConfig| {
+        model.seconds(price_trace(&workload.events, model, cfg).sequential_cycles())
+    };
     let naive_s = seconds(&naive);
     let full_s = seconds(&full);
 
@@ -255,7 +298,7 @@ pub fn run_ablation(workload: &Workload, model: &CostModel) -> Vec<AblationRow> 
         ("direct memory comm (§5.2.6)", |c, v| c.direct_comm = v),
     ];
 
-    toggles
+    Ok(toggles
         .iter()
         .map(|&(name, toggle)| {
             let mut alone = naive;
@@ -272,7 +315,7 @@ pub fn run_ablation(workload: &Workload, model: &CostModel) -> Vec<AblationRow> 
                 without_loss: without_seconds / full_s - 1.0,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// One code-budget scenario of the overlay what-if study.
@@ -295,9 +338,10 @@ pub struct OverlayScenario {
 /// call sequence through an LRU overlay manager at several code budgets and
 /// prices the reload DMA. The paper avoided this by keeping the footprint
 /// at 117 KB; the study quantifies what that design care was worth.
-pub fn run_overlay_study(workload: &Workload, model: &CostModel) -> Vec<OverlayScenario> {
+pub fn run_overlay_study(workload: &Workload, model: &CostModel) -> Result<Vec<OverlayScenario>> {
     use cellsim::overlay::{overlay_overhead, paper_modules};
 
+    check_workload(workload)?;
     let base = price_trace(&workload.events, model, &OptConfig::fully_optimized());
     let base_seconds = model.seconds(base.sequential_cycles());
 
@@ -313,7 +357,7 @@ pub fn run_overlay_study(workload: &Workload, model: &CostModel) -> Vec<OverlayS
 
     // 139 KB is what the real port had free-plus-code; 117 KB fits exactly;
     // smaller budgets force increasingly severe thrashing.
-    [139 * 1024, 117 * 1024, 100 * 1024, 80 * 1024, 64 * 1024]
+    Ok([139 * 1024, 117 * 1024, 100 * 1024, 80 * 1024, 64 * 1024]
         .into_iter()
         .map(|budget| {
             let (mgr, cycles) =
@@ -328,7 +372,7 @@ pub fn run_overlay_study(workload: &Workload, model: &CostModel) -> Vec<OverlayS
                 bootstrap_seconds: base_seconds + overhead_seconds,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// One point of the multilevel-parallelism comparison.
@@ -353,10 +397,11 @@ pub fn run_multilevel_study(
     workload: &Workload,
     model: &CostModel,
     params: &DesParams,
-) -> Vec<MultilevelPoint> {
+) -> Result<Vec<MultilevelPoint>> {
     use crate::sched::{edtlp_makespan, llp_makespan, mgps_makespan};
+    check_workload(workload)?;
     let priced = price_trace(&workload.events, model, &OptConfig::fully_optimized());
-    [1usize, 2, 3, 4, 6, 8, 12, 16, 32]
+    Ok([1usize, 2, 3, 4, 6, 8, 12, 16, 32]
         .into_iter()
         .map(|n| {
             let llp_workers = n.min(4);
@@ -368,7 +413,7 @@ pub fn run_multilevel_study(
                 mgps_seconds: model.seconds(mgps_makespan(&priced, n, model, params).makespan),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// One machine scale point of the SPE-scaling projection.
@@ -391,12 +436,20 @@ pub fn run_scaling_study(
     workload: &Workload,
     model: &CostModel,
     n_bootstraps: usize,
-) -> Vec<ScalingPoint> {
+) -> Result<Vec<ScalingPoint>> {
     use crate::sched::mgps_makespan;
+    check_workload(workload)?;
+    if n_bootstraps == 0 {
+        return Err(ExperimentError::InvalidParameter {
+            name: "n_bootstraps",
+            value: 0,
+            reason: "the scaling projection needs at least one bootstrap to schedule",
+        });
+    }
     let priced = price_trace(&workload.events, model, &OptConfig::fully_optimized());
     let baseline = model.seconds(crate::sched::sync_workers_makespan(&priced, n_bootstraps, 1));
 
-    [(1usize, 2usize), (2, 2), (4, 2), (8, 2), (16, 2), (16, 4)]
+    Ok([(1usize, 2usize), (2, 2), (4, 2), (8, 2), (16, 2), (16, 4)]
         .into_iter()
         .map(|(n_spes, ppe_threads)| {
             let params = DesParams { n_spes, n_ppe_threads: ppe_threads, ..DesParams::default() };
@@ -410,7 +463,7 @@ pub fn run_scaling_study(
                 spe_utilization: out.stats.spe_utilization(),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// The §5.2 profile breakdown of a workload under PPE-only pricing.
@@ -427,7 +480,8 @@ pub struct ProfileReport {
 }
 
 /// Profile a workload like the paper's gprofile run (§5.2).
-pub fn profile_breakdown(workload: &Workload, model: &CostModel) -> ProfileReport {
+pub fn profile_breakdown(workload: &Workload, model: &CostModel) -> Result<ProfileReport> {
+    check_workload(workload)?;
     let cfg = OptConfig::ppe_only();
     let mut per_kernel = [0u64; 3]; // newview, makenewz, evaluate
     let mut newview_flops = 0u64;
@@ -435,9 +489,7 @@ pub fn profile_breakdown(workload: &Workload, model: &CostModel) -> ProfileRepor
     for ev in &workload.events {
         let (p, _) = crate::offload::price_event(ev, model, &cfg);
         let idx = match ev.op {
-            KernelOp::NewviewTipTip
-            | KernelOp::NewviewTipInner
-            | KernelOp::NewviewInnerInner => {
+            KernelOp::NewviewTipTip | KernelOp::NewviewTipInner | KernelOp::NewviewInnerInner => {
                 newview_flops += ev.flops();
                 newview_calls += 1;
                 0
@@ -449,9 +501,9 @@ pub fn profile_breakdown(workload: &Workload, model: &CostModel) -> ProfileRepor
     }
     let other = crate::offload::other_work_cycles(&workload.events, model);
     let total = (per_kernel.iter().sum::<u64>() + other) as f64;
-    let nested = workload.counters.newview_nested as f64
-        / workload.counters.newview_calls.max(1) as f64;
-    ProfileReport {
+    let nested =
+        workload.counters.newview_nested as f64 / workload.counters.newview_calls.max(1) as f64;
+    Ok(ProfileReport {
         fractions: [
             per_kernel[0] as f64 / total,
             per_kernel[1] as f64 / total,
@@ -461,7 +513,7 @@ pub fn profile_breakdown(workload: &Workload, model: &CostModel) -> ProfileRepor
         nested_fraction: nested,
         invocations: workload.events.len() as u64,
         newview_mean_flops: newview_flops as f64 / newview_calls.max(1) as f64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -473,7 +525,7 @@ mod tests {
     /// Capture the mid-size workload once; it is used by several tests.
     fn workload() -> &'static Workload {
         static CACHE: OnceLock<Workload> = OnceLock::new();
-        CACHE.get_or_init(|| capture_workload(&WorkloadSpec::test_mid()))
+        CACHE.get_or_init(|| capture_workload(&WorkloadSpec::test_mid()).expect("capture"))
     }
 
     #[test]
@@ -490,7 +542,7 @@ mod tests {
     fn ladder_reproduces_the_paper_shape_qualitatively() {
         let w = workload();
         let model = CostModel::paper_calibrated();
-        let ladder = run_ladder(w, &model);
+        let ladder = run_ladder(w, &model).unwrap();
         assert_eq!(ladder.len(), 8);
 
         // Single-bootstrap column across the ladder.
@@ -509,7 +561,7 @@ mod tests {
     fn ladder_workload_rows_scale_like_the_paper() {
         let w = workload();
         let model = CostModel::paper_calibrated();
-        let ladder = run_ladder(w, &model);
+        let ladder = run_ladder(w, &model).unwrap();
         for level in &ladder {
             // Within a table, rows scale with bootstraps/workers: the shape
             // deviation against the paper must be modest. (The mid-size
@@ -526,17 +578,14 @@ mod tests {
         let w = workload();
         let model = CostModel::paper_calibrated();
         let params = DesParams::default();
-        let t8 = run_table8(w, &model, &params);
+        let t8 = run_table8(w, &model, &params).unwrap();
         assert_eq!(t8.len(), 4);
         // MGPS over 32 bootstraps crushes 2 synchronous workers (Table 7
         // row 4 vs Table 8 row 4 in the paper: 444.87 → 167.57).
-        let ladder = run_ladder(w, &model);
+        let ladder = run_ladder(w, &model).unwrap();
         let t7_32 = ladder[7].rows[3].simulated_seconds;
         let mgps_32 = t8[3].simulated_seconds;
-        assert!(
-            mgps_32 < t7_32 * 0.55,
-            "MGPS must give a large speedup: {mgps_32} vs {t7_32}"
-        );
+        assert!(mgps_32 < t7_32 * 0.55, "MGPS must give a large speedup: {mgps_32} vs {t7_32}");
         // 1 bootstrap: LLP must help over plain sequential.
         let t7_1 = ladder[7].rows[0].simulated_seconds;
         let mgps_1 = t8[0].simulated_seconds;
@@ -548,7 +597,7 @@ mod tests {
         let w = workload();
         let model = CostModel::paper_calibrated();
         let params = DesParams::default();
-        let fig = run_figure3(w, &model, &params);
+        let fig = run_figure3(w, &model, &params).unwrap();
         for i in 0..fig.bootstraps.len() {
             assert!(
                 fig.cell[i] < fig.power5[i],
@@ -578,14 +627,13 @@ mod tests {
         // A second, genuinely different inference on the same data.
         let mut spec = WorkloadSpec::test_mid();
         spec.seed = 1234;
-        let other = capture_workload(&spec);
+        let other = capture_workload(&spec).expect("capture");
         assert_ne!(base.events.len(), other.events.len(), "traces should differ");
 
         let model = CostModel::paper_calibrated();
         let params = DesParams::default();
-        let varied =
-            run_table8_varied(&[base.clone(), other], &model, &params);
-        let uniform = run_table8(base, &model, &params);
+        let varied = run_table8_varied(&[base.clone(), other], &model, &params).unwrap();
+        let uniform = run_table8(base, &model, &params).unwrap();
         // Skip the 1-bootstrap row: the uniform path runs it under 8-way
         // LLP (MGPS's tail rule) while the varied scheduler keeps k = 1,
         // so they measure different things there by design.
@@ -602,7 +650,7 @@ mod tests {
     fn ablation_is_consistent_with_the_ladder() {
         let w = workload();
         let model = CostModel::paper_calibrated();
-        let rows = run_ablation(w, &model);
+        let rows = run_ablation(w, &model).unwrap();
         assert_eq!(rows.len(), 5);
         for r in &rows {
             // Alone, every optimization helps (or at worst is neutral).
@@ -612,9 +660,7 @@ mod tests {
         }
         // The paper's headline ordering: the exp replacement is the single
         // biggest lever, and the conditional cast beats FP vectorization.
-        let gain = |name: &str| {
-            rows.iter().find(|r| r.name.starts_with(name)).unwrap().alone_gain
-        };
+        let gain = |name: &str| rows.iter().find(|r| r.name.starts_with(name)).unwrap().alone_gain;
         assert!(gain("SDK exp") > gain("int-cast"), "exp dominates");
         assert!(
             gain("int-cast") > gain("vectorized loops"),
@@ -626,18 +672,12 @@ mod tests {
     fn multilevel_study_reproduces_contribution_iii() {
         let w = workload();
         let model = CostModel::paper_calibrated();
-        let rows = run_multilevel_study(w, &model, &DesParams::default());
+        let rows = run_multilevel_study(w, &model, &DesParams::default()).unwrap();
         let at = |n: usize| rows.iter().find(|r| r.n_bootstraps == n).unwrap();
         // Low task-level parallelism: three layers (LLP) win.
-        assert!(
-            at(1).llp_seconds < at(1).edtlp_seconds,
-            "LLP must win at 1 bootstrap"
-        );
+        assert!(at(1).llp_seconds < at(1).edtlp_seconds, "LLP must win at 1 bootstrap");
         // Ample task-level parallelism: two layers (EDTLP) win.
-        assert!(
-            at(32).edtlp_seconds < at(32).llp_seconds,
-            "EDTLP must win at 32 bootstraps"
-        );
+        assert!(at(32).edtlp_seconds < at(32).llp_seconds, "EDTLP must win at 32 bootstraps");
         // MGPS is never meaningfully worse than the better pure strategy.
         for r in &rows {
             let best = r.edtlp_seconds.min(r.llp_seconds);
@@ -655,7 +695,7 @@ mod tests {
     fn overlay_study_shows_the_papers_design_margin() {
         let w = workload();
         let model = CostModel::paper_calibrated();
-        let rows = run_overlay_study(w, &model);
+        let rows = run_overlay_study(w, &model).unwrap();
         assert_eq!(rows.len(), 5);
         // At the real 139 KB budget there are exactly the 3 cold faults.
         assert_eq!(rows[0].faults, 3);
@@ -673,7 +713,7 @@ mod tests {
     fn scaling_study_shows_the_ppe_wall() {
         let w = workload();
         let model = CostModel::paper_calibrated();
-        let rows = run_scaling_study(w, &model, 32);
+        let rows = run_scaling_study(w, &model, 32).unwrap();
         // Speedup grows with SPEs…
         for pair in rows.windows(2) {
             assert!(
@@ -693,17 +733,14 @@ mod tests {
             spe16_4t.speedup,
             spe16_2t.speedup
         );
-        assert!(
-            spe16_2t.speedup < spe8.speedup * 1.5,
-            "the 2-thread PPE caps the 16-SPE gain"
-        );
+        assert!(spe16_2t.speedup < spe8.speedup * 1.5, "the 2-thread PPE caps the 16-SPE gain");
     }
 
     #[test]
     fn profile_breakdown_matches_expectations() {
         let w = workload();
         let model = CostModel::paper_calibrated();
-        let p = profile_breakdown(w, &model);
+        let p = profile_breakdown(w, &model).unwrap();
         let total: f64 = p.fractions.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         // The likelihood kernels dominate (the paper's 98.77% claim); the
@@ -711,14 +748,56 @@ mod tests {
         // 12-taxon test workload the lazy SPR's per-candidate makenewz
         // calls rival newview, while the 42-taxon ALN42 run shows the
         // paper-like newview domination (see the `tables` bench output).
-        assert!(
-            p.fractions[0] + p.fractions[1] > 0.9,
-            "kernels must dominate: {:?}",
-            p.fractions
-        );
+        assert!(p.fractions[0] + p.fractions[1] > 0.9, "kernels must dominate: {:?}", p.fractions);
         assert!(p.fractions[0] > 0.3, "newview is a major component: {:?}", p.fractions);
         assert!(p.fractions[3] < 0.05, "other work is small");
         assert!(p.nested_fraction > 0.0 && p.nested_fraction <= 1.0);
         assert!(p.newview_mean_flops > 1000.0);
+    }
+
+    #[test]
+    fn capture_rejects_degenerate_specs() {
+        let mut spec = WorkloadSpec::small();
+        spec.n_taxa = 3;
+        match capture_workload(&spec) {
+            Err(ExperimentError::InvalidSpec { field: "n_taxa", .. }) => {}
+            other => panic!("expected InvalidSpec for n_taxa: {other:?}"),
+        }
+        let mut spec = WorkloadSpec::small();
+        spec.n_sites = 0;
+        match capture_workload(&spec) {
+            Err(ExperimentError::InvalidSpec { field: "n_sites", .. }) => {}
+            other => panic!("expected InvalidSpec for n_sites: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drivers_reject_empty_traces_instead_of_panicking() {
+        let empty = Workload {
+            events: Vec::new(),
+            counters: TraceCounters::default(),
+            log_likelihood: -1.0,
+            n_patterns: 10,
+        };
+        let model = CostModel::paper_calibrated();
+        let params = DesParams::default();
+        assert_eq!(run_ladder(&empty, &model).unwrap_err(), ExperimentError::EmptyTrace);
+        assert_eq!(run_table8(&empty, &model, &params).unwrap_err(), ExperimentError::EmptyTrace);
+        assert_eq!(run_figure3(&empty, &model, &params).unwrap_err(), ExperimentError::EmptyTrace);
+        assert_eq!(run_ablation(&empty, &model).unwrap_err(), ExperimentError::EmptyTrace);
+        assert_eq!(run_overlay_study(&empty, &model).unwrap_err(), ExperimentError::EmptyTrace);
+        assert_eq!(
+            run_multilevel_study(&empty, &model, &params).unwrap_err(),
+            ExperimentError::EmptyTrace
+        );
+        assert_eq!(profile_breakdown(&empty, &model).unwrap_err(), ExperimentError::EmptyTrace);
+        assert_eq!(
+            run_table8_varied(&[], &model, &params).unwrap_err(),
+            ExperimentError::NoWorkloads
+        );
+        match run_scaling_study(workload(), &model, 0) {
+            Err(ExperimentError::InvalidParameter { name: "n_bootstraps", .. }) => {}
+            other => panic!("expected InvalidParameter: {other:?}"),
+        }
     }
 }

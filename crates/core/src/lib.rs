@@ -24,9 +24,12 @@
 //!   §6 (Figure 3).
 //! * [`experiment`] — end-to-end drivers that regenerate every table and
 //!   figure of the paper from a real captured workload trace.
+//! * [`error`] — the [`ExperimentError`] type every driver returns instead
+//!   of panicking; the table/figure binaries print it and exit nonzero.
 //! * [`report`] — the paper's published numbers and table formatting.
 
 pub mod config;
+pub mod error;
 pub mod experiment;
 pub mod offload;
 pub mod platform;
@@ -34,4 +37,5 @@ pub mod report;
 pub mod sched;
 
 pub use config::{OffloadStage, OptConfig, Scheduler};
+pub use error::ExperimentError;
 pub use experiment::{capture_workload, Workload, WorkloadSpec};

@@ -86,8 +86,9 @@ pub fn flags_for_event(ev: &KernelEvent, cfg: &OptConfig) -> ExecutionFlags {
     // On the SPE. With all three functions resident, `newview` invocations
     // nested inside an on-SPE `makenewz`/`evaluate` pay no PPE↔SPE
     // communication (§5.2.7); with only `newview` offloaded every call does.
-    let nested_free =
-        cfg.stage == OffloadStage::AllThree && ev.op.is_newview() && ev.parent != CallParent::Search;
+    let nested_free = cfg.stage == OffloadStage::AllThree
+        && ev.op.is_newview()
+        && ev.parent != CallParent::Search;
     ExecutionFlags {
         location: Location::Spe,
         exp: cfg.exp_kind(),
@@ -108,12 +109,9 @@ pub fn price_event(
     let flags = flags_for_event(ev, cfg);
     let cost = model.kernel_cost(ev, &flags);
     let priced = match flags.location {
-        Location::Ppe => PricedInvocation {
-            ppe: cost.total(),
-            spe_serial: 0,
-            spe_parallel: 0,
-            spe_dma: 0,
-        },
+        Location::Ppe => {
+            PricedInvocation { ppe: cost.total(), spe_serial: 0, spe_parallel: 0, spe_dma: 0 }
+        }
         Location::Spe => PricedInvocation {
             ppe: cost.ppe_overhead,
             spe_serial: cost.serial(),
@@ -223,7 +221,8 @@ mod tests {
     fn newview_only_splits_by_kernel() {
         let model = CostModel::paper_calibrated();
         let cfg = OptConfig::naive_offload();
-        let (nv, _) = price_event(&ev(KernelOp::NewviewTipInner, CallParent::Makenewz), &model, &cfg);
+        let (nv, _) =
+            price_event(&ev(KernelOp::NewviewTipInner, CallParent::Makenewz), &model, &cfg);
         assert!(nv.spe_busy() > 0, "newview goes to the SPE");
         assert_eq!(nv.ppe, model.offload_overhead, "marshalling stays on the PPE");
         let (mz, _) = price_event(&ev(KernelOp::Makenewz, CallParent::Search), &model, &cfg);
@@ -278,15 +277,13 @@ mod tests {
     fn llp_split_helps_parallel_portion_only() {
         let model = CostModel::paper_calibrated();
         let cfg = OptConfig::fully_optimized();
-        let (p, _) = price_event(&ev(KernelOp::NewviewInnerInner, CallParent::Makenewz), &model, &cfg);
+        let (p, _) =
+            price_event(&ev(KernelOp::NewviewInnerInner, CallParent::Makenewz), &model, &cfg);
         let one = p.spe_busy_llp(1, model.llp_dispatch, 1.0);
         assert_eq!(one, p.spe_busy());
         let eight = p.spe_busy_llp(8, model.llp_dispatch, 2.0);
         assert!(eight < one, "8-way LLP must be faster: {eight} vs {one}");
-        assert!(
-            eight > p.spe_serial,
-            "serial portion is not parallelized"
-        );
+        assert!(eight > p.spe_serial, "serial portion is not parallelized");
         // Extreme fan-out eventually loses to dispatch overhead.
         let huge = p.spe_busy_llp(64, model.llp_dispatch, 2.0);
         assert!(huge > eight, "dispatch overhead dominates at silly fan-outs");

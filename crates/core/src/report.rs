@@ -33,8 +33,7 @@ pub const PAPER_TABLE_6: [f64; 4] = [39.9, 180.46, 357.08, 712.2];
 pub const PAPER_TABLE_7: [f64; 4] = [27.7, 112.41, 224.69, 444.87];
 
 /// Paper Table 8 (MGPS): (bootstraps, seconds).
-pub const PAPER_TABLE_8: [(usize, f64); 4] =
-    [(1, 17.6), (8, 42.18), (16, 84.21), (32, 167.57)];
+pub const PAPER_TABLE_8: [(usize, f64); 4] = [(1, 17.6), (8, 42.18), (16, 84.21), (32, 167.57)];
 
 /// The ladder tables in order (1a, 1b, 2, 3, 4, 5, 6, 7).
 pub const PAPER_LADDER: [&[f64; 4]; 8] = [

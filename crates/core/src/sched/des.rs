@@ -146,8 +146,7 @@ pub fn simulate_task_parallel_jobs(
     let mut next_job = 0usize;
     let mut ppe_free = params.n_ppe_threads;
     let mut ppe_waiting: VecDeque<usize> = VecDeque::new();
-    let mut workers: Vec<Worker> =
-        (0..n_workers).map(|_| Worker { phase: 0, job: None }).collect();
+    let mut workers: Vec<Worker> = (0..n_workers).map(|_| Worker { phase: 0, job: None }).collect();
     let mut makespan: Cycles = 0;
 
     // Advance a worker to its next phase with nonzero work; start the PPE
@@ -344,10 +343,7 @@ mod tests {
         let one_worker = simulate_task_parallel(&phases, 8, 1, 1, &params()).makespan;
         let eight = simulate_task_parallel(&phases, 8, 8, 1, &params()).makespan;
         let speedup = one_worker as f64 / eight as f64;
-        assert!(
-            (1.8..=2.1).contains(&speedup),
-            "PPE-bound speedup must cap at ~2: {speedup}"
-        );
+        assert!((1.8..=2.1).contains(&speedup), "PPE-bound speedup must cap at ~2: {speedup}");
     }
 
     #[test]

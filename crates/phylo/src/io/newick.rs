@@ -144,9 +144,7 @@ pub fn parse_newick(text: &str, names: &[String]) -> Result<Tree> {
                 };
                 let other = match other {
                     Ast::Leaf { name, len } => Ast::Leaf { name, len: len + base_len },
-                    Ast::Inner { children, len } => {
-                        Ast::Inner { children, len: len + base_len }
-                    }
+                    Ast::Inner { children, len } => Ast::Inner { children, len: len + base_len },
                 };
                 if let Ast::Inner { children, .. } = &mut base {
                     children.push(other);
@@ -258,11 +256,8 @@ mod tests {
         t.validate().unwrap();
         assert_eq!(t.edges().len(), 5);
         // The two root-adjacent branch lengths merge: 0.05 + 0.15 = 0.2.
-        let internal: Vec<_> = t
-            .edges()
-            .into_iter()
-            .filter(|&(a, b)| !t.is_tip(a) && !t.is_tip(b))
-            .collect();
+        let internal: Vec<_> =
+            t.edges().into_iter().filter(|&(a, b)| !t.is_tip(a) && !t.is_tip(b)).collect();
         assert_eq!(internal.len(), 1);
         let (a, b) = internal[0];
         assert!((t.branch_length(a, b) - 0.2).abs() < 1e-12);
@@ -305,8 +300,7 @@ mod tests {
 
     #[test]
     fn support_labels_are_ignored() {
-        let t =
-            parse_newick("((t0:0.1,t1:0.2)0.95:0.05,t2:0.3,t3:0.1);", &names(4)).unwrap();
+        let t = parse_newick("((t0:0.1,t1:0.2)0.95:0.05,t2:0.3,t3:0.1);", &names(4)).unwrap();
         t.validate().unwrap();
     }
 }

@@ -17,22 +17,16 @@ pub fn parse_phylip(text: &str) -> Result<Alignment> {
         .find(|(_, l)| !l.trim().is_empty())
         .ok_or(PhyloError::Parse { format: "PHYLIP", line: 0, message: "empty input".into() })?;
     let mut it = header.split_whitespace();
-    let n_taxa: usize = it
-        .next()
-        .and_then(|t| t.parse().ok())
-        .ok_or(PhyloError::Parse {
-            format: "PHYLIP",
-            line: hline + 1,
-            message: "header must start with the taxon count".into(),
-        })?;
-    let n_sites: usize = it
-        .next()
-        .and_then(|t| t.parse().ok())
-        .ok_or(PhyloError::Parse {
-            format: "PHYLIP",
-            line: hline + 1,
-            message: "header must contain the site count".into(),
-        })?;
+    let n_taxa: usize = it.next().and_then(|t| t.parse().ok()).ok_or(PhyloError::Parse {
+        format: "PHYLIP",
+        line: hline + 1,
+        message: "header must start with the taxon count".into(),
+    })?;
+    let n_sites: usize = it.next().and_then(|t| t.parse().ok()).ok_or(PhyloError::Parse {
+        format: "PHYLIP",
+        line: hline + 1,
+        message: "header must contain the site count".into(),
+    })?;
 
     let mut pairs: Vec<(String, String)> = Vec::with_capacity(n_taxa);
     let mut current: Option<(String, String)> = None;
@@ -62,9 +56,7 @@ pub fn parse_phylip(text: &str) -> Result<Alignment> {
                     return Err(PhyloError::Parse {
                         format: "PHYLIP",
                         line: lineno + 1,
-                        message: format!(
-                            "sequence longer than the declared {n_sites} sites"
-                        ),
+                        message: format!("sequence longer than the declared {n_sites} sites"),
                     });
                 }
                 pairs.push(current.take().unwrap());

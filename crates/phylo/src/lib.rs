@@ -73,10 +73,20 @@ pub mod tree;
 pub mod prelude {
     pub use crate::alignment::{Alignment, PatternAlignment};
     pub use crate::alphabet::{encode_base, DnaCode};
-    pub use crate::bootstrap::{BootstrapAnalysis, SupportTree};
+    pub use crate::bipartitions::robinson_foulds;
+    pub use crate::bootstrap::{AnalysisResult, BootstrapAnalysis, SupportTree};
     pub use crate::error::PhyloError;
+    pub use crate::io::{parse_fasta, parse_newick, parse_phylip, write_phylip};
     pub use crate::likelihood::engine::LikelihoodEngine;
+    pub use crate::likelihood::{
+        LikelihoodConfig, LikelihoodWorkspace, TraversalOps, WorkspaceOptions, WorkspacePool,
+    };
     pub use crate::model::{GammaRates, SubstModel};
-    pub use crate::search::{infer_ml_tree, SearchConfig, SearchResult};
+    pub use crate::search::{
+        infer_ml_tree, infer_ml_tree_pooled, infer_ml_tree_traced, SearchConfig,
+        SearchConfigBuilder, SearchResult,
+    };
+    pub use crate::simulate::SimulationConfig;
+    pub use crate::trace::Trace;
     pub use crate::tree::{NodeId, Tree};
 }

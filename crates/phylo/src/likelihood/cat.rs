@@ -161,12 +161,9 @@ mod tests {
 
     fn setup() -> (PatternAlignment, Tree, SubstModel) {
         // Strong rate heterogeneity so CAT has something to find.
-        let w = SimulationConfig {
-            alpha: 0.3,
-            mean_branch: 0.15,
-            ..SimulationConfig::new(8, 500, 77)
-        }
-        .generate();
+        let w =
+            SimulationConfig { alpha: 0.3, mean_branch: 0.15, ..SimulationConfig::new(8, 500, 77) }
+                .generate();
         let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
         (w.alignment, w.true_tree, model)
     }
@@ -174,8 +171,7 @@ mod tests {
     #[test]
     fn curves_have_grid_shape() {
         let (aln, tree, model) = setup();
-        let curves =
-            sample_site_rate_curves(&aln, &tree, &model, LikelihoodConfig::optimized(), 9);
+        let curves = sample_site_rate_curves(&aln, &tree, &model, LikelihoodConfig::optimized(), 9);
         assert_eq!(curves.grid.len(), 9);
         assert_eq!(curves.curves.len(), 9);
         for c in &curves.curves {
@@ -210,8 +206,7 @@ mod tests {
         assert!(fit.rates.n_categories() <= 8);
 
         // Homogeneous likelihood (a single rate-1 category).
-        let mut engine =
-            LikelihoodEngine::new(&aln, model.clone(), GammaRates::homogeneous(), cfg);
+        let mut engine = LikelihoodEngine::new(&aln, model.clone(), GammaRates::homogeneous(), cfg);
         let homogeneous = engine.log_likelihood(&tree);
         assert!(
             fit.log_likelihood > homogeneous,
@@ -240,8 +235,7 @@ mod tests {
         let cfg = LikelihoodConfig::optimized();
         let cat = CatRates::from_pattern_rates(&vec![1.0; aln.n_patterns()], 1).unwrap();
         let via_cat = cat_log_likelihood(&aln, &tree, &model, cfg, &cat);
-        let mut engine =
-            LikelihoodEngine::new(&aln, model.clone(), GammaRates::homogeneous(), cfg);
+        let mut engine = LikelihoodEngine::new(&aln, model.clone(), GammaRates::homogeneous(), cfg);
         let direct = engine.log_likelihood(&tree);
         assert!((via_cat - direct).abs() < 1e-8, "{via_cat} vs {direct}");
     }

@@ -4,11 +4,22 @@
 //! offloads to the Cell SPEs, with the same laziness structure:
 //! "`makenewz()` and `evaluate()` initially make calls to `newview()` before
 //! they can execute their own computation" (§5.2).
+//!
+//! All buffers live in a [`LikelihoodWorkspace`] arena owned by the engine:
+//! after warm-up, `newview`/`evaluate`/`makenewz` perform **zero heap
+//! allocation**. Traversals compile into a [`TraversalOps`] descriptor list
+//! executed by one kernel-driver loop ([`WorkspaceOptions::fused_dispatch`],
+//! the default); the historical per-node dispatch is retained behind
+//! [`WorkspaceOptions::per_node`] as the measured baseline.
 
-use super::kernels::{build_sumtable, build_tip_tables, Child, EvalOperand, Mat4};
+use super::kernels::{
+    build_sumtable_into, build_tip_tables, build_tip_tables_into, Child, EvalOperand, Mat4,
+    TipTable16,
+};
+use super::workspace::{LikelihoodWorkspace, TraversalOp, TraversalOps, WorkspaceOptions};
 use super::LikelihoodConfig;
 use crate::alignment::PatternAlignment;
-use crate::model::{GammaRates, SubstModel};
+use crate::model::{ExpImpl, GammaRates, SubstModel};
 use crate::parallel::{evaluate_dispatch, newton_dispatch, newview_dispatch};
 use crate::trace::{CallParent, KernelEvent, KernelOp, Trace};
 use crate::tree::{clamp_branch, Edge, NodeId, Tree};
@@ -18,51 +29,136 @@ const NEWTON_MAX_ITER: usize = 32;
 /// Newton convergence tolerance on the branch length.
 const NEWTON_TOL: f64 = 1e-9;
 
+/// Per-rate transition matrices for a branch of length `t`, written into a
+/// caller-owned buffer (free function so the workspace can be borrowed
+/// mutably while the model/rates fields are read).
+fn fill_pmats(model: &SubstModel, rates: &[f64], t: f64, exp_impl: ExpImpl, out: &mut Vec<Mat4>) {
+    out.resize(rates.len(), [[0.0; 4]; 4]);
+    for (slot, &r) in out.iter_mut().zip(rates) {
+        *slot = model.transition_matrix(t, r, exp_impl);
+    }
+}
+
+/// Evaluate operand for a node, borrowing workspace buffers directly.
+fn operand_in<'w>(
+    aln: &'w PatternAlignment,
+    n_taxa: usize,
+    partials: &'w [Vec<f64>],
+    scales: &'w [Vec<u32>],
+    node: NodeId,
+) -> EvalOperand<'w> {
+    if node < n_taxa {
+        EvalOperand::Tip { codes: aln.tip_row(node) }
+    } else {
+        EvalOperand::Inner { x: &partials[node - n_taxa], scale: &scales[node - n_taxa] }
+    }
+}
+
+/// `newview` child operand for a descriptor, borrowing workspace buffers.
+#[allow(clippy::too_many_arguments)]
+fn child_in<'w>(
+    aln: &'w PatternAlignment,
+    n_taxa: usize,
+    partials: &'w [Vec<f64>],
+    scales: &'w [Vec<u32>],
+    pmats: &'w [Mat4],
+    tables: &'w [TipTable16],
+    node: NodeId,
+    is_tip: bool,
+) -> Child<'w> {
+    if is_tip {
+        Child::Tip { codes: aln.tip_row(node), tables }
+    } else {
+        Child::Inner { x: &partials[node - n_taxa], scale: &scales[node - n_taxa], pmats }
+    }
+}
+
 /// The likelihood engine. One engine serves one alignment + model + tree
-/// family; it owns the partial-likelihood buffers for every inner node.
+/// family; it owns a [`LikelihoodWorkspace`] holding the partial-likelihood
+/// buffers for every inner node plus all kernel scratch.
 pub struct LikelihoodEngine<'a> {
     aln: &'a PatternAlignment,
     model: SubstModel,
     rates: GammaRates,
     config: LikelihoodConfig,
+    options: WorkspaceOptions,
     n_patterns: usize,
     n_rates: usize,
-    /// Partial vectors per inner node (`[pattern][rate][state]` layout).
-    partials: Vec<Vec<f64>>,
-    /// Per-pattern scaling counts per inner node.
-    scales: Vec<Vec<u32>>,
-    /// `orientation[i] = Some(q)`: inner node `n_taxa + i`'s partial is
-    /// valid for the tree rooted so that `q` is its parent.
-    orientation: Vec<Option<NodeId>>,
     n_taxa: usize,
+    ws: LikelihoodWorkspace,
     trace: Trace,
 }
 
 impl<'a> LikelihoodEngine<'a> {
-    /// Create an engine for an alignment, substitution model and rate model.
+    /// Create an engine for an alignment, substitution model and rate model
+    /// with default workspace options and a fresh arena.
     pub fn new(
         aln: &'a PatternAlignment,
         model: SubstModel,
         rates: GammaRates,
         config: LikelihoodConfig,
     ) -> LikelihoodEngine<'a> {
+        LikelihoodEngine::with_workspace(
+            aln,
+            model,
+            rates,
+            config,
+            WorkspaceOptions::default(),
+            LikelihoodWorkspace::new(),
+        )
+    }
+
+    /// As [`Self::new`] with explicit workspace/dispatch options.
+    pub fn with_options(
+        aln: &'a PatternAlignment,
+        model: SubstModel,
+        rates: GammaRates,
+        config: LikelihoodConfig,
+        options: WorkspaceOptions,
+    ) -> LikelihoodEngine<'a> {
+        LikelihoodEngine::with_workspace(
+            aln,
+            model,
+            rates,
+            config,
+            options,
+            LikelihoodWorkspace::new(),
+        )
+    }
+
+    /// Build an engine on top of an existing (possibly recycled) workspace
+    /// arena: the arena is resized for this problem's geometry — reusing
+    /// its capacity — and all cached partials are invalidated. This is how
+    /// pooled workers avoid reallocating buffers per bootstrap replicate.
+    pub fn with_workspace(
+        aln: &'a PatternAlignment,
+        model: SubstModel,
+        rates: GammaRates,
+        config: LikelihoodConfig,
+        options: WorkspaceOptions,
+        mut ws: LikelihoodWorkspace,
+    ) -> LikelihoodEngine<'a> {
         let n_taxa = aln.n_taxa();
-        let n_inner = n_taxa.saturating_sub(2);
         let n_patterns = aln.n_patterns();
         let n_rates = rates.n_categories();
+        ws.ensure(n_taxa, n_patterns, n_rates);
         LikelihoodEngine {
             aln,
             model,
             rates,
             config,
+            options,
             n_patterns,
             n_rates,
-            partials: vec![vec![0.0; n_patterns * n_rates * 4]; n_inner],
-            scales: vec![vec![0; n_patterns]; n_inner],
-            orientation: vec![None; n_inner],
             n_taxa,
+            ws,
             trace: Trace::counters_only(),
         }
+    }
+
+    /// Consume the engine, recovering its workspace arena for reuse.
+    pub fn into_workspace(self) -> LikelihoodWorkspace {
+        self.ws
     }
 
     /// The alignment this engine evaluates against.
@@ -83,6 +179,30 @@ impl<'a> LikelihoodEngine<'a> {
     /// Engine configuration.
     pub fn config(&self) -> &LikelihoodConfig {
         &self.config
+    }
+
+    /// Workspace/dispatch options.
+    pub fn options(&self) -> WorkspaceOptions {
+        self.options
+    }
+
+    /// The descriptor list compiled by the most recent fused traversal
+    /// (empty before any traversal or when running per-node dispatch).
+    pub fn last_traversal(&self) -> &TraversalOps {
+        &self.ws.ops
+    }
+
+    /// The cached partial vector and scale counts of an inner node, if that
+    /// node currently holds a valid partial: `(partial, scales, toward)`.
+    /// Tips and stale inner nodes return `None`. Exposed for equivalence
+    /// tests between dispatch modes.
+    pub fn node_partial(&self, node: NodeId) -> Option<(&[f64], &[u32], NodeId)> {
+        if node < self.n_taxa {
+            return None;
+        }
+        let idx = self.inner_idx(node);
+        self.ws.orientation[idx]
+            .map(|tw| (self.ws.partials[idx].as_slice(), self.ws.scales[idx].as_slice(), tw))
     }
 
     /// Replace the substitution model (invalidates all partials).
@@ -117,44 +237,48 @@ impl<'a> LikelihoodEngine<'a> {
 
     /// Invalidate every cached partial (call after any topology change).
     pub fn invalidate_all(&mut self) {
-        for o in &mut self.orientation {
-            *o = None;
-        }
+        self.ws.reset();
     }
 
     /// Invalidate exactly the partials whose subtree contains the branch
     /// `(u, v)` — everything except partials oriented *toward* the branch.
     /// Call after changing that branch's length.
     pub fn invalidate_for_branch(&mut self, tree: &Tree, u: NodeId, v: NodeId) {
-        // First hop from every node toward u (BFS with parent pointers).
-        let mut hop = vec![usize::MAX; tree.n_nodes()];
-        let mut stack = vec![u];
-        let mut seen = vec![false; tree.n_nodes()];
-        seen[u] = true;
-        while let Some(x) = stack.pop() {
+        let n_nodes = tree.n_nodes();
+        let ws = &mut self.ws;
+        // First hop from every node toward u (DFS with parent pointers),
+        // using workspace scratch so steady-state calls allocate nothing.
+        ws.hop.clear();
+        ws.hop.resize(n_nodes, usize::MAX);
+        ws.seen.clear();
+        ws.seen.resize(n_nodes, false);
+        ws.node_stack.clear();
+        ws.node_stack.push(u);
+        ws.seen[u] = true;
+        while let Some(x) = ws.node_stack.pop() {
             for (n, _) in tree.neighbors_of(x) {
-                if !seen[n] {
-                    seen[n] = true;
-                    hop[n] = x; // first hop from n toward u is x
-                    stack.push(n);
+                if !ws.seen[n] {
+                    ws.seen[n] = true;
+                    ws.hop[n] = x; // first hop from n toward u is x
+                    ws.node_stack.push(n);
                 }
             }
         }
-        hop[u] = v; // from u, the branch lies toward v
+        ws.hop[u] = v; // from u, the branch lies toward v
 
-        for inner in self.n_taxa..tree.n_nodes() {
+        for inner in self.n_taxa..n_nodes {
             let idx = inner - self.n_taxa;
             // Nodes not connected to the branch (e.g. a pruned subtree)
             // cannot contain it; their caches stay as they are.
-            if hop[inner] == usize::MAX && inner != u {
+            if ws.hop[inner] == usize::MAX && inner != u {
                 continue;
             }
-            if let Some(q) = self.orientation[idx] {
+            if let Some(q) = ws.orientation[idx] {
                 // The partial at `inner` toward q covers the subtree away
                 // from q; it contains branch (u,v) unless q is the first hop
                 // toward the branch.
-                if q != hop[inner] {
-                    self.orientation[idx] = None;
+                if q != ws.hop[inner] {
+                    ws.orientation[idx] = None;
                 }
             }
         }
@@ -170,8 +294,8 @@ impl<'a> LikelihoodEngine<'a> {
             return;
         }
         let idx = self.inner_idx(node);
-        if self.orientation[idx] == Some(from) {
-            self.orientation[idx] = Some(to);
+        if self.ws.orientation[idx] == Some(from) {
+            self.ws.orientation[idx] = Some(to);
         }
     }
 
@@ -179,7 +303,7 @@ impl<'a> LikelihoodEngine<'a> {
     pub fn clear_orientation(&mut self, node: NodeId) {
         if node >= self.n_taxa {
             let idx = self.inner_idx(node);
-            self.orientation[idx] = None;
+            self.ws.orientation[idx] = None;
         }
     }
 
@@ -196,24 +320,30 @@ impl<'a> LikelihoodEngine<'a> {
     pub fn log_likelihood_at(&mut self, tree: &Tree, (u, v): Edge) -> f64 {
         self.prepare(tree, u, v, CallParent::Evaluate);
         let t = tree.branch_length(u, v);
-        let pmats = self.pmats(t);
+        fill_pmats(
+            &self.model,
+            self.rates.rates(),
+            t,
+            self.config.exp_impl,
+            &mut self.ws.pmat_eval,
+        );
 
-        let (inner_ops, lnl);
-        {
-            let op_u = self.operand(u);
-            let op_v = self.operand(v);
-            inner_ops = [u, v].iter().filter(|&&n| !tree.is_tip(n)).count() as u32;
-            lnl = evaluate_dispatch(
+        let inner_ops = [u, v].iter().filter(|&&n| !tree.is_tip(n)).count() as u32;
+        let lnl = {
+            let ws = &self.ws;
+            let op_u = operand_in(self.aln, self.n_taxa, &ws.partials, &ws.scales, u);
+            let op_v = operand_in(self.aln, self.n_taxa, &ws.partials, &ws.scales, v);
+            evaluate_dispatch(
                 &op_u,
                 &op_v,
-                &pmats,
+                &ws.pmat_eval,
                 self.model.freqs(),
                 self.aln.weights(),
                 self.n_rates,
                 self.config.kernel,
                 self.config.parallel,
-            );
-        }
+            )
+        };
         self.trace.push(KernelEvent {
             op: KernelOp::Evaluate,
             parent: CallParent::Search,
@@ -234,13 +364,21 @@ impl<'a> LikelihoodEngine<'a> {
     pub fn site_log_likelihoods(&mut self, tree: &Tree) -> Vec<f64> {
         let (u, v) = tree.edges()[0];
         self.prepare(tree, u, v, CallParent::Evaluate);
-        let pmats = self.pmats(tree.branch_length(u, v));
-        let op_u = self.operand(u);
-        let op_v = self.operand(v);
+        let t = tree.branch_length(u, v);
+        fill_pmats(
+            &self.model,
+            self.rates.rates(),
+            t,
+            self.config.exp_impl,
+            &mut self.ws.pmat_eval,
+        );
+        let ws = &self.ws;
+        let op_u = operand_in(self.aln, self.n_taxa, &ws.partials, &ws.scales, u);
+        let op_v = operand_in(self.aln, self.n_taxa, &ws.partials, &ws.scales, v);
         super::kernels::evaluate_site_lnls(
             &op_u,
             &op_v,
-            &pmats,
+            &ws.pmat_eval,
             self.model.freqs(),
             self.n_patterns,
             self.n_rates,
@@ -267,29 +405,44 @@ impl<'a> LikelihoodEngine<'a> {
         max_iters: usize,
     ) -> (f64, f64) {
         self.prepare(tree, u, v, CallParent::Makenewz);
-        let st = {
-            let op_u = self.operand(u);
-            let op_v = self.operand(v);
-            build_sumtable(&op_u, &op_v, &self.model.eigen().w, self.n_patterns, self.n_rates)
-        };
+        let w_mat = self.model.eigen().w;
         let lambdas = self.model.eigen().values;
-        let rates = self.rates.rates().to_vec();
         let weights = self.aln.weights();
+        {
+            let ws = &mut self.ws;
+            let op_u = operand_in(self.aln, self.n_taxa, &ws.partials, &ws.scales, u);
+            let op_v = operand_in(self.aln, self.n_taxa, &ws.partials, &ws.scales, v);
+            build_sumtable_into(
+                &op_u,
+                &op_v,
+                &w_mat,
+                self.n_patterns,
+                self.n_rates,
+                &mut ws.sum_data,
+                &mut ws.sum_scale,
+            );
+        }
+        self.ws.rates_scratch.clear();
+        self.ws.rates_scratch.extend_from_slice(self.rates.rates());
 
         let mut t = tree.branch_length(u, v);
         let mut best_t = t;
         let mut best_lnl = f64::NEG_INFINITY;
         let mut iters = 0u32;
         for _ in 0..max_iters {
+            let ws = &mut self.ws;
             let (lnl, d1, d2) = newton_dispatch(
-                &st,
+                &ws.sum_data,
+                &ws.sum_scale,
+                self.n_rates,
                 &lambdas,
-                &rates,
+                &ws.rates_scratch,
                 t,
                 weights,
                 self.config.exp_impl,
                 self.config.kernel,
                 self.config.parallel,
+                &mut ws.newton,
             );
             iters += 1;
             if lnl > best_lnl {
@@ -316,15 +469,19 @@ impl<'a> LikelihoodEngine<'a> {
         }
         // Keep the best point actually visited (Newton can overshoot on
         // flat likelihood surfaces).
+        let ws = &mut self.ws;
         let (final_lnl, _, _) = newton_dispatch(
-            &st,
+            &ws.sum_data,
+            &ws.sum_scale,
+            self.n_rates,
             &lambdas,
-            &rates,
+            &ws.rates_scratch,
             t,
             weights,
             self.config.exp_impl,
             self.config.kernel,
             self.config.parallel,
+            &mut ws.newton,
         );
         let mut lnl_at_t = final_lnl;
         if final_lnl < best_lnl {
@@ -372,51 +529,173 @@ impl<'a> LikelihoodEngine<'a> {
         node - self.n_taxa
     }
 
-    /// Per-rate transition matrices for a branch of length `t`.
-    fn pmats(&self, t: f64) -> Vec<Mat4> {
-        self.rates
-            .rates()
-            .iter()
-            .map(|&r| self.model.transition_matrix(t, r, self.config.exp_impl))
-            .collect()
-    }
-
-    /// Evaluate operand for a node (tip codes or inner partials).
-    fn operand(&self, node: NodeId) -> EvalOperand<'_> {
-        if node < self.n_taxa {
-            EvalOperand::Tip { codes: self.aln.tip_row(node) }
-        } else {
-            let idx = self.inner_idx(node);
-            EvalOperand::Inner { x: &self.partials[idx], scale: &self.scales[idx] }
-        }
-    }
-
-    /// Ensure the partials facing the branch `(u, v)` are up to date.
+    /// Ensure the partials facing the branch `(u, v)` are up to date:
+    /// compile the stale sub-traversals into one [`TraversalOps`] list and
+    /// execute it with the fused kernel driver, or (per-node mode) run the
+    /// historical recursive dispatch.
     fn prepare(&mut self, tree: &Tree, u: NodeId, v: NodeId, parent: CallParent) {
-        if !tree.is_tip(u) {
-            self.newview_traverse(tree, u, v, parent);
+        if self.options.fused_dispatch {
+            self.compile_traversal(tree, u, v);
+            self.execute_ops(parent);
+        } else {
+            if !tree.is_tip(u) {
+                self.newview_traverse(tree, u, v, parent);
+            }
+            if !tree.is_tip(v) {
+                self.newview_traverse(tree, v, u, parent);
+            }
         }
-        if !tree.is_tip(v) {
-            self.newview_traverse(tree, v, u, parent);
+    }
+
+    /// Compile the stale portion of the traversal toward branch `(u, v)`
+    /// into the workspace's descriptor list, in execution (bottom-up)
+    /// order. The two endpoint segments cover disjoint subtrees (each side
+    /// of the branch), so their descriptors are independent.
+    fn compile_traversal(&mut self, tree: &Tree, u: NodeId, v: NodeId) {
+        let n_taxa = self.n_taxa;
+        let ws = &mut self.ws;
+        ws.ops.clear();
+        for (p, toward) in [(u, v), (v, u)] {
+            if tree.is_tip(p) {
+                continue;
+            }
+            let start = ws.ops.len();
+            ws.visit_stack.clear();
+            ws.visit_stack.push((p, toward));
+            // Discovery order puts every node before its descendants…
+            while let Some((node, tw)) = ws.visit_stack.pop() {
+                if ws.orientation[node - n_taxa] == Some(tw) {
+                    continue; // already valid — subtree under it is too
+                }
+                let [(a, la), (b, lb)] = tree.other_neighbors(node, tw);
+                ws.ops.push(TraversalOp {
+                    node,
+                    toward: tw,
+                    left: a,
+                    left_len: la,
+                    right: b,
+                    right_len: lb,
+                    left_tip: tree.is_tip(a),
+                    right_tip: tree.is_tip(b),
+                });
+                if !tree.is_tip(a) {
+                    ws.visit_stack.push((a, node));
+                }
+                if !tree.is_tip(b) {
+                    ws.visit_stack.push((b, node));
+                }
+            }
+            // …so reversing the segment yields children-before-parents.
+            ws.ops.reverse_from(start);
+        }
+    }
+
+    /// Execute the compiled descriptor list: one driver loop dispatching
+    /// every `newview` back-to-back out of workspace buffers — the host
+    /// analogue of the SPE executing a whole traversal from one DMA list
+    /// with no per-node PPE↔SPE round trip (§5.2.7).
+    fn execute_ops(&mut self, parent: CallParent) {
+        let n_ops = self.ws.ops.len();
+        for i in 0..n_ops {
+            let op = self.ws.ops.get(i);
+            fill_pmats(
+                &self.model,
+                self.rates.rates(),
+                op.left_len,
+                self.config.exp_impl,
+                &mut self.ws.pmat_a,
+            );
+            fill_pmats(
+                &self.model,
+                self.rates.rates(),
+                op.right_len,
+                self.config.exp_impl,
+                &mut self.ws.pmat_b,
+            );
+            if op.left_tip {
+                build_tip_tables_into(&self.ws.pmat_a, &mut self.ws.tip_a);
+            }
+            if op.right_tip {
+                build_tip_tables_into(&self.ws.pmat_b, &mut self.ws.tip_b);
+            }
+
+            let idx = self.inner_idx(op.node);
+            let ws = &mut self.ws;
+            // Move the output buffers out to satisfy the borrow checker
+            // while reading sibling partials (moves, not allocations).
+            let mut out_x = std::mem::take(&mut ws.partials[idx]);
+            let mut out_scale = std::mem::take(&mut ws.scales[idx]);
+            let stats = {
+                let ca = child_in(
+                    self.aln,
+                    self.n_taxa,
+                    &ws.partials,
+                    &ws.scales,
+                    &ws.pmat_a,
+                    &ws.tip_a,
+                    op.left,
+                    op.left_tip,
+                );
+                let cb = child_in(
+                    self.aln,
+                    self.n_taxa,
+                    &ws.partials,
+                    &ws.scales,
+                    &ws.pmat_b,
+                    &ws.tip_b,
+                    op.right,
+                    op.right_tip,
+                );
+                newview_dispatch(
+                    &ca,
+                    &cb,
+                    &mut out_x,
+                    &mut out_scale,
+                    self.n_rates,
+                    self.config.kernel,
+                    self.config.scaling,
+                    self.config.parallel,
+                )
+            };
+            ws.partials[idx] = out_x;
+            ws.scales[idx] = out_scale;
+            ws.orientation[idx] = Some(op.toward);
+
+            let kernel_op = match (op.left_tip, op.right_tip) {
+                (true, true) => KernelOp::NewviewTipTip,
+                (false, false) => KernelOp::NewviewInnerInner,
+                _ => KernelOp::NewviewTipInner,
+            };
+            let inner_children = (!op.left_tip) as u32 + (!op.right_tip) as u32;
+            self.trace.push(KernelEvent {
+                op: kernel_op,
+                parent,
+                patterns: self.n_patterns as u32,
+                rates: self.n_rates as u32,
+                exp_calls: (2 * self.n_rates * 4) as u32,
+                scaling_checks: stats.checks as u32,
+                scalings: stats.fired as u32,
+                newton_iters: 0,
+                inner_operands: inner_children + 1,
+            });
+        }
+        if n_ops > 0 {
+            self.trace.record_fused_batch(n_ops as u64);
         }
     }
 
     /// Recompute (lazily) the partial at inner node `p` oriented toward
     /// `toward`, recursing into stale children first. Iterative post-order
-    /// so deep trees cannot overflow the stack.
-    fn newview_traverse(
-        &mut self,
-        tree: &Tree,
-        p: NodeId,
-        toward: NodeId,
-        parent: CallParent,
-    ) {
+    /// so deep trees cannot overflow the stack. This is the historical
+    /// per-node dispatch path (fresh scratch per call), retained behind
+    /// [`WorkspaceOptions::per_node`] as the fused dispatcher's baseline.
+    fn newview_traverse(&mut self, tree: &Tree, p: NodeId, toward: NodeId, parent: CallParent) {
         debug_assert!(!tree.is_tip(p));
         // Collect the stale (node, toward) pairs in reverse finish order.
         let mut order: Vec<(NodeId, NodeId)> = Vec::new();
         let mut stack: Vec<(NodeId, NodeId)> = vec![(p, toward)];
         while let Some((node, tw)) = stack.pop() {
-            if self.orientation[self.inner_idx(node)] == Some(tw) {
+            if self.ws.orientation[self.inner_idx(node)] == Some(tw) {
                 continue; // already valid — subtree under it is too
             }
             order.push((node, tw));
@@ -436,11 +715,14 @@ impl<'a> LikelihoodEngine<'a> {
         }
     }
 
-    /// Unconditionally recompute the partial at `p` oriented toward `toward`.
+    /// Unconditionally recompute the partial at `p` oriented toward `toward`
+    /// (per-node path: allocates its P matrices and tip tables per call).
     fn compute_newview(&mut self, tree: &Tree, p: NodeId, toward: NodeId, parent: CallParent) {
         let [(a, la), (b, lb)] = tree.other_neighbors(p, toward);
-        let pa = self.pmats(la);
-        let pb = self.pmats(lb);
+        let mut pa = Vec::new();
+        let mut pb = Vec::new();
+        fill_pmats(&self.model, self.rates.rates(), la, self.config.exp_impl, &mut pa);
+        fill_pmats(&self.model, self.rates.rates(), lb, self.config.exp_impl, &mut pb);
 
         // Tip lookup tables are built only for tip children.
         let ta = tree.is_tip(a).then(|| build_tip_tables(&pa));
@@ -449,8 +731,9 @@ impl<'a> LikelihoodEngine<'a> {
         // Move the output buffers out to satisfy the borrow checker while
         // reading sibling partials.
         let idx = self.inner_idx(p);
-        let mut out_x = std::mem::take(&mut self.partials[idx]);
-        let mut out_scale = std::mem::take(&mut self.scales[idx]);
+        let ws = &mut self.ws;
+        let mut out_x = std::mem::take(&mut ws.partials[idx]);
+        let mut out_scale = std::mem::take(&mut ws.scales[idx]);
 
         let stats = {
             let ca: Child<'_> = if tree.is_tip(a) {
@@ -459,8 +742,8 @@ impl<'a> LikelihoodEngine<'a> {
                     tables: ta.as_ref().expect("tip tables built for tip child"),
                 }
             } else {
-                let i = self.inner_idx(a);
-                Child::Inner { x: &self.partials[i], scale: &self.scales[i], pmats: &pa }
+                let i = a - self.n_taxa;
+                Child::Inner { x: &ws.partials[i], scale: &ws.scales[i], pmats: &pa }
             };
             let cb: Child<'_> = if tree.is_tip(b) {
                 Child::Tip {
@@ -468,8 +751,8 @@ impl<'a> LikelihoodEngine<'a> {
                     tables: tb.as_ref().expect("tip tables built for tip child"),
                 }
             } else {
-                let i = self.inner_idx(b);
-                Child::Inner { x: &self.partials[i], scale: &self.scales[i], pmats: &pb }
+                let i = b - self.n_taxa;
+                Child::Inner { x: &ws.partials[i], scale: &ws.scales[i], pmats: &pb }
             };
             newview_dispatch(
                 &ca,
@@ -483,9 +766,9 @@ impl<'a> LikelihoodEngine<'a> {
             )
         };
 
-        self.partials[idx] = out_x;
-        self.scales[idx] = out_scale;
-        self.orientation[idx] = Some(toward);
+        ws.partials[idx] = out_x;
+        ws.scales[idx] = out_scale;
+        ws.orientation[idx] = Some(toward);
 
         let op = match (tree.is_tip(a), tree.is_tip(b)) {
             (true, true) => KernelOp::NewviewTipTip,
@@ -541,6 +824,20 @@ mod tests {
         )
     }
 
+    fn engine_with<'a>(
+        aln: &'a PatternAlignment,
+        cfg: LikelihoodConfig,
+        options: WorkspaceOptions,
+    ) -> LikelihoodEngine<'a> {
+        LikelihoodEngine::with_options(
+            aln,
+            SubstModel::gtr(aln.base_frequencies(), [1.0, 2.0, 1.0, 1.0, 2.0, 1.0]).unwrap(),
+            GammaRates::standard(0.8).unwrap(),
+            cfg,
+            options,
+        )
+    }
+
     #[test]
     fn likelihood_is_finite_and_negative() {
         let (aln, tree) = toy_setup();
@@ -559,10 +856,7 @@ mod tests {
         let reference = eng.log_likelihood_at(&tree, edges[0]);
         for &e in &edges[1..] {
             let lnl = eng.log_likelihood_at(&tree, e);
-            assert!(
-                (lnl - reference).abs() < 1e-8,
-                "branch {e:?}: {lnl} vs {reference}"
-            );
+            assert!((lnl - reference).abs() < 1e-8, "branch {e:?}: {lnl} vs {reference}");
         }
     }
 
@@ -572,22 +866,78 @@ mod tests {
         let mut reference = None;
         for exp_impl in [ExpImpl::Libm, ExpImpl::Sdk] {
             for kernel in [KernelKind::Scalar, KernelKind::Vector] {
-                for scaling in
-                    [super::super::ScalingCheck::FloatCompare, super::super::ScalingCheck::IntegerCast]
-                {
+                for scaling in [
+                    super::super::ScalingCheck::FloatCompare,
+                    super::super::ScalingCheck::IntegerCast,
+                ] {
                     for parallel in [false, true] {
                         let cfg = LikelihoodConfig { exp_impl, kernel, scaling, parallel };
                         let mut eng = engine(&aln, cfg);
                         let lnl = eng.log_likelihood(&tree);
                         let r = *reference.get_or_insert(lnl);
-                        assert!(
-                            (lnl - r).abs() < 1e-9,
-                            "config {cfg:?} disagrees: {lnl} vs {r}"
-                        );
+                        assert!((lnl - r).abs() < 1e-9, "config {cfg:?} disagrees: {lnl} vs {r}");
                     }
                 }
             }
         }
+    }
+
+    /// The fused descriptor-list driver and the historical per-node
+    /// dispatch must produce bit-identical likelihoods, partials and scale
+    /// counts, and the same kernel-call counts.
+    #[test]
+    fn fused_dispatch_bit_equal_to_per_node() {
+        let (aln, mut tree) = toy_setup();
+        let mut fused =
+            engine_with(&aln, LikelihoodConfig::optimized(), WorkspaceOptions::default());
+        let mut legacy =
+            engine_with(&aln, LikelihoodConfig::optimized(), WorkspaceOptions::per_node());
+        assert!(fused.options().fused_dispatch);
+        assert!(!legacy.options().fused_dispatch);
+
+        let a = fused.log_likelihood(&tree);
+        let b = legacy.log_likelihood(&tree);
+        assert_eq!(a, b, "dispatch modes must agree bit-for-bit");
+        assert_eq!(fused.trace().counters().newview_calls, legacy.trace().counters().newview_calls);
+        assert!(fused.trace().counters().fused_batches >= 1);
+        assert!(fused.trace().counters().fused_ops >= 3);
+        assert_eq!(legacy.trace().counters().fused_batches, 0);
+        assert!(!fused.last_traversal().is_empty());
+        assert!(legacy.last_traversal().is_empty());
+
+        for node in aln.n_taxa()..tree.n_nodes() {
+            let fa = fused.node_partial(node);
+            let fb = legacy.node_partial(node);
+            assert_eq!(fa, fb, "partials at node {node} differ");
+        }
+
+        // Branch optimization exercises makenewz + targeted invalidation.
+        let mut tree2 = tree.clone();
+        let la = fused.optimize_all_branches(&mut tree, 2);
+        let lb = legacy.optimize_all_branches(&mut tree2, 2);
+        assert_eq!(la, lb);
+        assert_eq!(tree, tree2);
+    }
+
+    /// A workspace recycled through `into_workspace`/`with_workspace` gives
+    /// bit-identical answers to a fresh allocation.
+    #[test]
+    fn recycled_workspace_matches_fresh() {
+        let (aln, tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let fresh = eng.log_likelihood(&tree);
+        let ws = eng.into_workspace();
+
+        let mut reused = LikelihoodEngine::with_workspace(
+            &aln,
+            SubstModel::gtr(aln.base_frequencies(), [1.0, 2.0, 1.0, 1.0, 2.0, 1.0]).unwrap(),
+            GammaRates::standard(0.8).unwrap(),
+            LikelihoodConfig::optimized(),
+            WorkspaceOptions::default(),
+            ws,
+        );
+        let again = reused.log_likelihood(&tree);
+        assert_eq!(fresh, again, "recycled workspace must be bit-identical");
     }
 
     #[test]

@@ -29,22 +29,26 @@ pub type TipTable16 = [[f64; 4]; 16];
 
 /// Precompute the tip lookup tables for a branch (one per rate category).
 pub fn build_tip_tables(pmats: &[Mat4]) -> Vec<TipTable16> {
-    pmats
-        .iter()
-        .map(|p| {
-            let mut table = [[0.0; 4]; 16];
-            for (code, row) in table.iter_mut().enumerate() {
-                for s in 0..4 {
-                    let mut acc = 0.0;
-                    for t in 0..4 {
-                        acc += p[s][t] * TIP_LIKELIHOODS[code][t];
-                    }
-                    row[s] = acc;
+    let mut out = Vec::new();
+    build_tip_tables_into(pmats, &mut out);
+    out
+}
+
+/// As [`build_tip_tables`], writing into a caller-owned buffer (resized to
+/// `pmats.len()`) so the steady-state hot path allocates nothing.
+pub fn build_tip_tables_into(pmats: &[Mat4], out: &mut Vec<TipTable16>) {
+    out.resize(pmats.len(), [[0.0; 4]; 16]);
+    for (p, table) in pmats.iter().zip(out.iter_mut()) {
+        for (code, row) in table.iter_mut().enumerate() {
+            for s in 0..4 {
+                let mut acc = 0.0;
+                for t in 0..4 {
+                    acc += p[s][t] * TIP_LIKELIHOODS[code][t];
                 }
+                row[s] = acc;
             }
-            table
-        })
-        .collect()
+        }
+    }
 }
 
 /// One `newview` child operand.
@@ -189,10 +193,7 @@ pub fn newview(
                 out_scale[i] = fired as u32;
             }
         }
-        (
-            Child::Tip { codes: lc, tables: lt },
-            Child::Inner { x: rx, scale: rs, pmats: rp },
-        ) => {
+        (Child::Tip { codes: lc, tables: lt }, Child::Inner { x: rx, scale: rs, pmats: rp }) => {
             assert_eq!(lc.len(), n_patterns);
             assert_eq!(rx.len(), n_patterns * stride);
             for i in 0..n_patterns {
@@ -314,13 +315,7 @@ fn tip_inner_pattern_vector(
 }
 
 #[inline]
-fn inner_inner_pattern_scalar(
-    xl: &[f64],
-    lp: &[Mat4],
-    xr: &[f64],
-    rp: &[Mat4],
-    out: &mut [f64],
-) {
+fn inner_inner_pattern_scalar(xl: &[f64], lp: &[Mat4], xr: &[f64], rp: &[Mat4], out: &mut [f64]) {
     for (c, (pl, pr)) in lp.iter().zip(rp).enumerate() {
         let a = &xl[c * 4..c * 4 + 4];
         let b = &xr[c * 4..c * 4 + 4];
@@ -333,13 +328,7 @@ fn inner_inner_pattern_scalar(
 }
 
 #[inline]
-fn inner_inner_pattern_vector(
-    xl: &[f64],
-    lp: &[Mat4],
-    xr: &[f64],
-    rp: &[Mat4],
-    out: &mut [f64],
-) {
+fn inner_inner_pattern_vector(xl: &[f64], lp: &[Mat4], xr: &[f64], rp: &[Mat4], out: &mut [f64]) {
     for (c, (pl, pr)) in lp.iter().zip(rp).enumerate() {
         let a = &xl[c * 4..c * 4 + 4];
         let b = &xr[c * 4..c * 4 + 4];
@@ -508,6 +497,23 @@ pub fn build_sumtable(
     n_patterns: usize,
     n_rates: usize,
 ) -> SumTable {
+    let mut data = Vec::new();
+    let mut scale = Vec::new();
+    build_sumtable_into(u, v, w, n_patterns, n_rates, &mut data, &mut scale);
+    SumTable { data, n_rates, scale }
+}
+
+/// As [`build_sumtable`], writing into caller-owned buffers (resized to the
+/// required lengths) so the steady-state `makenewz` path allocates nothing.
+pub fn build_sumtable_into(
+    u: &EvalOperand<'_>,
+    v: &EvalOperand<'_>,
+    w: &[[f64; 4]; 4],
+    n_patterns: usize,
+    n_rates: usize,
+    data: &mut Vec<f64>,
+    scale: &mut Vec<u32>,
+) {
     // Precompute W·tip(code) for all 16 codes (tips are rate-independent).
     let mut wtip = [[0.0f64; 4]; 16];
     for code in 0..16 {
@@ -533,8 +539,8 @@ pub fn build_sumtable(
         }
     };
 
-    let mut data = vec![0.0; n_patterns * n_rates * 4];
-    let mut scale = vec![0u32; n_patterns];
+    data.resize(n_patterns * n_rates * 4, 0.0);
+    scale.resize(n_patterns, 0);
     for i in 0..n_patterns {
         scale[i] = u.scale_at(i) + v.scale_at(i);
         for c in 0..n_rates {
@@ -546,7 +552,6 @@ pub fn build_sumtable(
             }
         }
     }
-    SumTable { data, n_rates, scale }
 }
 
 /// First and second derivatives of the log-likelihood w.r.t. the branch
@@ -579,15 +584,65 @@ pub fn newton_derivatives_kind(
     exp_impl: crate::model::ExpImpl,
     kind: KernelKind,
 ) -> (f64, f64, f64) {
-    let n_rates = st.n_rates;
+    let mut scratch = NewtonScratch::default();
+    newton_derivatives_scratch(
+        &st.data,
+        &st.scale,
+        st.n_rates,
+        lambdas,
+        rates,
+        t,
+        weights,
+        exp_impl,
+        kind,
+        &mut scratch,
+    )
+}
+
+/// Exponential-table scratch for [`newton_derivatives_scratch`]: the three
+/// `[rate][k]` tables of the §5.2.2 "small loop" (`e^{λ_k r_c t}` and its
+/// `λr`- and `(λr)²`-weighted variants), owned by the caller so repeated
+/// Newton iterations allocate nothing.
+#[derive(Debug, Default)]
+pub struct NewtonScratch {
+    e0: Vec<[f64; 4]>,
+    e1: Vec<[f64; 4]>,
+    e2: Vec<[f64; 4]>,
+}
+
+impl NewtonScratch {
+    /// Size the tables for `n_rates` categories (capacity is retained).
+    pub fn ensure(&mut self, n_rates: usize) {
+        self.e0.resize(n_rates, [0.0; 4]);
+        self.e1.resize(n_rates, [0.0; 4]);
+        self.e2.resize(n_rates, [0.0; 4]);
+    }
+}
+
+/// As [`newton_derivatives_kind`], operating on raw sum-table slices
+/// (layout `[pattern][rate][k]` + per-pattern scale counts) with
+/// caller-owned exponential scratch — the zero-allocation form the engine
+/// and the parallel dispatcher use.
+#[allow(clippy::too_many_arguments)]
+pub fn newton_derivatives_scratch(
+    st_data: &[f64],
+    st_scale: &[u32],
+    n_rates: usize,
+    lambdas: &[f64; 4],
+    rates: &[f64],
+    t: f64,
+    weights: &[f64],
+    exp_impl: crate::model::ExpImpl,
+    kind: KernelKind,
+    scratch: &mut NewtonScratch,
+) -> (f64, f64, f64) {
     let n_patterns = weights.len();
     let inv_c = 1.0 / n_rates as f64;
 
     // The "small loop": per (rate, eigenvalue) exponentials — 4 × C exp
     // calls per Newton iteration (§5.2.2's hot spot).
-    let mut e0 = vec![[0.0f64; 4]; n_rates];
-    let mut e1 = vec![[0.0f64; 4]; n_rates];
-    let mut e2 = vec![[0.0f64; 4]; n_rates];
+    scratch.ensure(n_rates);
+    let (e0, e1, e2) = (&mut scratch.e0, &mut scratch.e1, &mut scratch.e2);
     for c in 0..n_rates {
         for k in 0..4 {
             let lr = lambdas[k] * rates[c];
@@ -611,13 +666,12 @@ pub fn newton_derivatives_kind(
         let mut ddli = 0.0;
         for c in 0..n_rates {
             let off = (i * n_rates + c) * 4;
-            let s = &st.data[off..off + 4];
+            let s = &st_data[off..off + 4];
             match kind {
                 KernelKind::Scalar => {
                     li += s[0] * e0[c][0] + s[1] * e0[c][1] + s[2] * e0[c][2] + s[3] * e0[c][3];
                     dli += s[0] * e1[c][0] + s[1] * e1[c][1] + s[2] * e1[c][2] + s[3] * e1[c][3];
-                    ddli +=
-                        s[0] * e2[c][0] + s[1] * e2[c][1] + s[2] * e2[c][2] + s[3] * e2[c][3];
+                    ddli += s[0] * e2[c][0] + s[1] * e2[c][1] + s[2] * e2[c][2] + s[3] * e2[c][3];
                 }
                 KernelKind::Vector => {
                     // Two lanes over the eigen index: the pairwise
@@ -639,7 +693,7 @@ pub fn newton_derivatives_kind(
         dli *= inv_c;
         ddli *= inv_c;
         let li_safe = li.max(1e-300);
-        lnl += wgt * (li_safe.ln() + st.scale[i] as f64 * LN_SCALE);
+        lnl += wgt * (li_safe.ln() + st_scale[i] as f64 * LN_SCALE);
         d1 += wgt * (dli / li_safe);
         d2 += wgt * ((ddli * li_safe - dli * dli) / (li_safe * li_safe));
     }
@@ -667,8 +721,7 @@ mod tests {
         for c in 0..2 {
             for code in 0..16usize {
                 for s in 0..4 {
-                    let direct: f64 =
-                        (0..4).map(|t| p[c][s][t] * TIP_LIKELIHOODS[code][t]).sum();
+                    let direct: f64 = (0..4).map(|t| p[c][s][t] * TIP_LIKELIHOODS[code][t]).sum();
                     assert!((tables[c][code][s] - direct).abs() < 1e-15);
                 }
             }
@@ -778,10 +831,7 @@ mod tests {
         let codes: Vec<u8> = (0..n).map(|i| ((i % 15) + 1) as u8).collect();
 
         let cases: Vec<(Child, Child)> = vec![
-            (
-                Child::Tip { codes: &codes, tables: &lt },
-                Child::Tip { codes: &codes, tables: &rt },
-            ),
+            (Child::Tip { codes: &codes, tables: &lt }, Child::Tip { codes: &codes, tables: &rt }),
             (
                 Child::Tip { codes: &codes, tables: &lt },
                 Child::Inner { x: &xr, scale: &zeros, pmats: &pr },
@@ -794,10 +844,26 @@ mod tests {
         for (a, b) in &cases {
             let mut out_s = vec![0.0; n * stride];
             let mut sc_s = vec![0u32; n];
-            newview(a, b, &mut out_s, &mut sc_s, n_rates, KernelKind::Scalar, ScalingCheck::IntegerCast);
+            newview(
+                a,
+                b,
+                &mut out_s,
+                &mut sc_s,
+                n_rates,
+                KernelKind::Scalar,
+                ScalingCheck::IntegerCast,
+            );
             let mut out_v = vec![0.0; n * stride];
             let mut sc_v = vec![0u32; n];
-            newview(a, b, &mut out_v, &mut sc_v, n_rates, KernelKind::Vector, ScalingCheck::IntegerCast);
+            newview(
+                a,
+                b,
+                &mut out_v,
+                &mut sc_v,
+                n_rates,
+                KernelKind::Vector,
+                ScalingCheck::IntegerCast,
+            );
             assert_eq!(out_s, out_v, "vector kernel must be bit-equal");
             assert_eq!(sc_s, sc_v);
         }
@@ -962,10 +1028,22 @@ mod tests {
         let st = build_sumtable(&u, &v, &m.eigen().w, n, n_rates);
         for &t in &[0.01, 0.2, 1.5] {
             let a = newton_derivatives_kind(
-                &st, &m.eigen().values, &rates, t, &weights, ExpImpl::Sdk, KernelKind::Scalar,
+                &st,
+                &m.eigen().values,
+                &rates,
+                t,
+                &weights,
+                ExpImpl::Sdk,
+                KernelKind::Scalar,
             );
             let b = newton_derivatives_kind(
-                &st, &m.eigen().values, &rates, t, &weights, ExpImpl::Sdk, KernelKind::Vector,
+                &st,
+                &m.eigen().values,
+                &rates,
+                t,
+                &weights,
+                ExpImpl::Sdk,
+                KernelKind::Vector,
             );
             assert!((a.0 - b.0).abs() < 1e-9, "lnl: {} vs {}", a.0, b.0);
             assert!((a.1 - b.1).abs() < 1e-9, "d1: {} vs {}", a.1, b.1);

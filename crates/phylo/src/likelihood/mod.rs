@@ -8,6 +8,10 @@
 //!   estimation, CAT likelihood).
 //! * [`engine`] — the [`engine::LikelihoodEngine`]: per-node partial
 //!   buffers, lazy virtual-root traversal, `evaluate` and `makenewz`.
+//! * [`workspace`] — preallocated [`workspace::LikelihoodWorkspace`] arenas
+//!   (all hot-path buffers, allocated once and pooled across replicates)
+//!   and the fused [`workspace::TraversalOps`] descriptor lists traversals
+//!   compile into (the SPE DMA-list / BEAGLE operation-array analogue).
 //! * [`mod@reference`] — a deliberately naive implementation used only to
 //!   validate the optimized kernels.
 
@@ -15,6 +19,11 @@ pub mod cat;
 pub mod engine;
 pub mod kernels;
 pub mod reference;
+pub mod workspace;
+
+pub use workspace::{
+    LikelihoodWorkspace, TraversalOp, TraversalOps, WorkspaceOptions, WorkspacePool,
+};
 
 /// RAxML's `minlikelihood`: partials below this threshold (for every state
 /// and rate category of a site) are rescaled to avoid numerical underflow.

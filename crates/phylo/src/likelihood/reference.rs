@@ -189,8 +189,7 @@ mod tests {
 
     #[test]
     fn expm_matches_eigendecomposition() {
-        let m = SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0])
-            .unwrap();
+        let m = SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0]).unwrap();
         let q = rate_matrix(&m);
         for &t in &[0.01, 0.2, 1.0, 5.0] {
             let series = expm(&q, t);
@@ -230,28 +229,22 @@ mod tests {
         //   = ¼(p_diff³ + 3·p_same·p_diff²)  (root = A gives the p_diff³ term).
         let col2: f64 = 0.25 * (p_diff.powi(3) + 3.0 * p_same * p_diff * p_diff);
         let expected = col1.ln() + col2.ln();
-        assert!(
-            (naive - expected).abs() < 1e-10,
-            "naive {naive} vs closed form {expected}"
-        );
+        assert!((naive - expected).abs() < 1e-10, "naive {naive} vs closed form {expected}");
     }
 
     #[test]
     fn engine_matches_naive_on_random_instances() {
         let mut rng = StdRng::seed_from_u64(20260706);
         for trial in 0..5 {
-            let workload =
-                crate::simulate::SimulationConfig::new(6, 40, 1000 + trial).generate();
+            let workload = crate::simulate::SimulationConfig::new(6, 40, 1000 + trial).generate();
             let aln = workload.alignment;
             let tree = Tree::random(6, 0.15, &mut rng).unwrap();
             let model =
-                SubstModel::gtr(aln.base_frequencies(), [1.1, 2.5, 0.7, 1.3, 2.9, 1.0])
-                    .unwrap();
+                SubstModel::gtr(aln.base_frequencies(), [1.1, 2.5, 0.7, 1.3, 2.9, 1.0]).unwrap();
             let rates = GammaRates::standard(0.6).unwrap();
 
             let naive = log_likelihood_naive(&tree, &aln, &model, &rates);
-            let mut eng =
-                LikelihoodEngine::new(&aln, model, rates, LikelihoodConfig::optimized());
+            let mut eng = LikelihoodEngine::new(&aln, model, rates, LikelihoodConfig::optimized());
             let fast = eng.log_likelihood(&tree);
             assert!(
                 (naive - fast).abs() < 1e-6 * naive.abs().max(1.0),

@@ -1,0 +1,358 @@
+//! Workspace arenas and traversal descriptors for the likelihood hot path.
+//!
+//! The paper's SPE kernels work out of a fixed 256 KB local store: buffers
+//! are allocated once and work arrives as a stream of descriptors (DMA
+//! lists). This module is the host-side analogue — a [`LikelihoodWorkspace`]
+//! owns every buffer the three kernels touch (partials, scale vectors,
+//! P-matrix scratch, tip tables, Newton sum table and exponential tables,
+//! traversal scratch), so that steady-state `newview`/`evaluate`/`makenewz`
+//! calls perform **zero heap allocation**, and a tree traversal compiles
+//! into an ordered [`TraversalOps`] descriptor list (the BEAGLE
+//! operation-array analogue) executed by one kernel driver.
+//!
+//! Workspaces outlive engines: [`crate::likelihood::engine::LikelihoodEngine::into_workspace`]
+//! recovers the arena when an engine is dropped, and a [`WorkspacePool`]
+//! recycles arenas across bootstrap replicates so the master–worker in
+//! [`crate::parallel`] never rebuilds buffers per job.
+
+use super::kernels::{Mat4, NewtonScratch, TipTable16};
+use crate::tree::NodeId;
+use std::sync::Mutex;
+
+/// Engine-level switches for the workspace/dispatch layer, threaded through
+/// [`crate::search::SearchConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkspaceOptions {
+    /// Execute traversals as one fused [`TraversalOps`] descriptor list
+    /// (the default). `false` restores the historical per-node dispatch in
+    /// which every `newview` allocates its own scratch — kept as the
+    /// baseline the `dispatch` Criterion group measures against.
+    pub fused_dispatch: bool,
+}
+
+impl Default for WorkspaceOptions {
+    fn default() -> WorkspaceOptions {
+        WorkspaceOptions { fused_dispatch: true }
+    }
+}
+
+impl WorkspaceOptions {
+    /// The historical per-node dispatch path (fresh scratch per kernel
+    /// call).
+    pub fn per_node() -> WorkspaceOptions {
+        WorkspaceOptions { fused_dispatch: false }
+    }
+}
+
+/// One `newview` work descriptor: everything the kernel driver needs to
+/// recompute the partial at `node` oriented toward `toward`, without
+/// consulting the tree again — the analogue of one SPE DMA-list entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraversalOp {
+    /// Inner node whose partial this op (re)computes.
+    pub node: NodeId,
+    /// Orientation: the partial is valid for the tree rooted so that
+    /// `toward` is `node`'s parent.
+    pub toward: NodeId,
+    /// First child and its branch length.
+    pub left: NodeId,
+    pub left_len: f64,
+    /// Second child and its branch length.
+    pub right: NodeId,
+    pub right_len: f64,
+    /// Whether each child is a tip (selects the specialized kernel path).
+    pub left_tip: bool,
+    pub right_tip: bool,
+}
+
+/// An ordered `newview` descriptor list in execution (bottom-up) order —
+/// the BEAGLE operation-array / SPE DMA-list analogue. Compiled once per
+/// traversal by the engine, executed by a single kernel driver loop, and
+/// exposed so tests and the trace layer can inspect exactly what a
+/// traversal dispatched.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraversalOps {
+    list: Vec<TraversalOp>,
+}
+
+impl TraversalOps {
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Descriptors in execution order (children strictly before parents).
+    pub fn as_slice(&self) -> &[TraversalOp] {
+        &self.list
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, TraversalOp> {
+        self.list.iter()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.list.clear();
+    }
+
+    pub(crate) fn push(&mut self, op: TraversalOp) {
+        self.list.push(op);
+    }
+
+    pub(crate) fn get(&self, i: usize) -> TraversalOp {
+        self.list[i]
+    }
+
+    /// Reverse the tail `[from..]` in place — used by the compiler to turn
+    /// a root-first discovery segment into bottom-up execution order.
+    pub(crate) fn reverse_from(&mut self, from: usize) {
+        self.list[from..].reverse();
+    }
+}
+
+impl<'a> IntoIterator for &'a TraversalOps {
+    type Item = &'a TraversalOp;
+    type IntoIter = std::slice::Iter<'a, TraversalOp>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.list.iter()
+    }
+}
+
+/// Every buffer the likelihood hot path touches, allocated once and reused
+/// across all kernel calls, SPR candidates and (via [`WorkspacePool`])
+/// bootstrap replicates. Geometry (`n_taxa`, `n_patterns`, `n_rates`) is
+/// re-validated by [`LikelihoodWorkspace::ensure`] whenever an engine
+/// adopts the workspace; buffers only grow or shrink in *length*, their
+/// capacity is retained, so a recycled workspace reaches its steady state
+/// with no new allocations.
+#[derive(Debug, Default)]
+pub struct LikelihoodWorkspace {
+    n_taxa: usize,
+    n_patterns: usize,
+    n_rates: usize,
+    /// Partial vectors per inner node (`[pattern][rate][state]` layout).
+    pub(crate) partials: Vec<Vec<f64>>,
+    /// Per-pattern scaling counts per inner node.
+    pub(crate) scales: Vec<Vec<u32>>,
+    /// `orientation[i] = Some(q)`: inner node `n_taxa + i`'s partial is
+    /// valid for the tree rooted so that `q` is its parent.
+    pub(crate) orientation: Vec<Option<NodeId>>,
+    /// Per-rate P-matrix scratch for the two `newview` child branches and
+    /// for the `evaluate`/`makenewz` branch.
+    pub(crate) pmat_a: Vec<Mat4>,
+    pub(crate) pmat_b: Vec<Mat4>,
+    pub(crate) pmat_eval: Vec<Mat4>,
+    /// Tip lookup-table scratch for the two `newview` child branches.
+    pub(crate) tip_a: Vec<TipTable16>,
+    pub(crate) tip_b: Vec<TipTable16>,
+    /// `makenewz` sum table (`[pattern][rate][k]` layout + per-pattern
+    /// scale counts).
+    pub(crate) sum_data: Vec<f64>,
+    pub(crate) sum_scale: Vec<u32>,
+    /// Newton exponential tables (the §5.2.2 "small loop" scratch).
+    pub(crate) newton: NewtonScratch,
+    /// Per-call copy of the rate vector (avoids re-borrowing the rate
+    /// model while the sum table is borrowed).
+    pub(crate) rates_scratch: Vec<f64>,
+    /// The compiled descriptor list of the most recent fused traversal.
+    pub(crate) ops: TraversalOps,
+    /// DFS stack for traversal compilation: `(node, toward)` pairs.
+    pub(crate) visit_stack: Vec<(NodeId, NodeId)>,
+    /// Scratch for targeted invalidation (`invalidate_for_branch`).
+    pub(crate) hop: Vec<usize>,
+    pub(crate) seen: Vec<bool>,
+    pub(crate) node_stack: Vec<NodeId>,
+}
+
+impl LikelihoodWorkspace {
+    /// An empty workspace; buffers materialize on first [`Self::ensure`].
+    pub fn new() -> LikelihoodWorkspace {
+        LikelihoodWorkspace::default()
+    }
+
+    /// A workspace pre-sized for the given problem geometry.
+    pub fn for_dimensions(n_taxa: usize, n_patterns: usize, n_rates: usize) -> LikelihoodWorkspace {
+        let mut ws = LikelihoodWorkspace::new();
+        ws.ensure(n_taxa, n_patterns, n_rates);
+        ws
+    }
+
+    /// Size every buffer for the given geometry and invalidate all cached
+    /// partials. Lengths are set exactly (kernels assert on them); existing
+    /// capacity is reused, so re-adopting a workspace of the same or larger
+    /// geometry allocates nothing.
+    pub fn ensure(&mut self, n_taxa: usize, n_patterns: usize, n_rates: usize) {
+        let n_inner = n_taxa.saturating_sub(2);
+        let n_nodes = n_taxa + n_inner;
+        let stride = n_rates * 4;
+
+        if self.partials.len() > n_inner {
+            self.partials.truncate(n_inner);
+            self.scales.truncate(n_inner);
+        }
+        while self.partials.len() < n_inner {
+            self.partials.push(Vec::new());
+            self.scales.push(Vec::new());
+        }
+        for p in &mut self.partials {
+            p.resize(n_patterns * stride, 0.0);
+        }
+        for s in &mut self.scales {
+            s.resize(n_patterns, 0);
+        }
+        self.orientation.clear();
+        self.orientation.resize(n_inner, None);
+
+        self.pmat_a.resize(n_rates, [[0.0; 4]; 4]);
+        self.pmat_b.resize(n_rates, [[0.0; 4]; 4]);
+        self.pmat_eval.resize(n_rates, [[0.0; 4]; 4]);
+        self.tip_a.resize(n_rates, [[0.0; 4]; 16]);
+        self.tip_b.resize(n_rates, [[0.0; 4]; 16]);
+
+        self.sum_data.resize(n_patterns * stride, 0.0);
+        self.sum_scale.resize(n_patterns, 0);
+        self.newton.ensure(n_rates);
+        self.rates_scratch.clear();
+        self.rates_scratch.reserve(n_rates);
+
+        self.ops.clear();
+        // Worst case: every inner node appears once per traversal side.
+        self.ops.list.reserve(n_inner);
+        self.visit_stack.clear();
+        self.visit_stack.reserve(n_inner);
+
+        self.hop.clear();
+        self.hop.resize(n_nodes, usize::MAX);
+        self.seen.clear();
+        self.seen.resize(n_nodes, false);
+        self.node_stack.clear();
+        self.node_stack.reserve(n_nodes);
+
+        self.n_taxa = n_taxa;
+        self.n_patterns = n_patterns;
+        self.n_rates = n_rates;
+    }
+
+    /// Invalidate every cached partial without touching buffer sizes.
+    pub fn reset(&mut self) {
+        for o in &mut self.orientation {
+            *o = None;
+        }
+        self.ops.clear();
+    }
+
+    /// Geometry this workspace is currently sized for:
+    /// `(n_taxa, n_patterns, n_rates)`.
+    pub fn dimensions(&self) -> (usize, usize, usize) {
+        (self.n_taxa, self.n_patterns, self.n_rates)
+    }
+
+    /// Bytes held in the partial-likelihood buffers (the dominant term; the
+    /// analogue of the paper's local-store budget accounting).
+    pub fn partials_bytes(&self) -> usize {
+        self.partials.iter().map(|p| p.len() * std::mem::size_of::<f64>()).sum::<usize>()
+            + self.scales.iter().map(|s| s.len() * std::mem::size_of::<u32>()).sum::<usize>()
+    }
+}
+
+/// A thread-safe pool of [`LikelihoodWorkspace`] arenas. Workers of the
+/// master–worker scheme check a workspace out per job and return it
+/// afterwards, so `n_workers` arenas serve any number of bootstrap
+/// replicates — instead of every replicate reallocating all partials.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    slots: Mutex<Vec<LikelihoodWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool; workspaces are created on demand at first checkout.
+    pub fn new() -> WorkspacePool {
+        WorkspacePool::default()
+    }
+
+    /// Take a workspace (a recycled one if available, otherwise empty).
+    pub fn checkout(&self) -> LikelihoodWorkspace {
+        self.slots.lock().expect("workspace pool poisoned").pop().unwrap_or_default()
+    }
+
+    /// Return a workspace for reuse.
+    pub fn checkin(&self, ws: LikelihoodWorkspace) {
+        self.slots.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    /// Number of idle workspaces currently pooled.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().expect("workspace pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_sets_exact_lengths() {
+        let mut ws = LikelihoodWorkspace::new();
+        ws.ensure(8, 100, 4);
+        assert_eq!(ws.partials.len(), 6);
+        assert!(ws.partials.iter().all(|p| p.len() == 100 * 16));
+        assert!(ws.scales.iter().all(|s| s.len() == 100));
+        assert_eq!(ws.orientation.len(), 6);
+        assert_eq!(ws.pmat_a.len(), 4);
+        assert_eq!(ws.sum_data.len(), 100 * 16);
+        assert_eq!(ws.hop.len(), 14);
+        assert_eq!(ws.dimensions(), (8, 100, 4));
+    }
+
+    #[test]
+    fn ensure_shrinks_and_regrows_without_losing_shape() {
+        let mut ws = LikelihoodWorkspace::for_dimensions(10, 200, 4);
+        ws.ensure(5, 50, 2);
+        assert_eq!(ws.partials.len(), 3);
+        assert!(ws.partials.iter().all(|p| p.len() == 50 * 8));
+        ws.ensure(10, 200, 4);
+        assert_eq!(ws.partials.len(), 8);
+        assert!(ws.partials.iter().all(|p| p.len() == 200 * 16));
+        assert!(ws.orientation.iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn pool_recycles_workspaces() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle(), 0);
+        let mut ws = pool.checkout();
+        ws.ensure(6, 80, 4);
+        let bytes = ws.partials_bytes();
+        assert!(bytes > 0);
+        pool.checkin(ws);
+        assert_eq!(pool.idle(), 1);
+        let ws2 = pool.checkout();
+        assert_eq!(ws2.partials_bytes(), bytes, "recycled workspace keeps its buffers");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn traversal_ops_reverse_segment() {
+        let mk = |node| TraversalOp {
+            node,
+            toward: 0,
+            left: 1,
+            left_len: 0.1,
+            right: 2,
+            right_len: 0.2,
+            left_tip: true,
+            right_tip: true,
+        };
+        let mut ops = TraversalOps::default();
+        ops.push(mk(10));
+        ops.push(mk(11));
+        ops.push(mk(12));
+        ops.reverse_from(1);
+        let order: Vec<_> = ops.iter().map(|o| o.node).collect();
+        assert_eq!(order, vec![10, 12, 11]);
+        assert_eq!(ops.len(), 3);
+        assert!(!ops.is_empty());
+    }
+}

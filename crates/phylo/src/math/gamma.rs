@@ -224,7 +224,8 @@ pub fn discrete_gamma_rates(alpha: f64, k: usize) -> Vec<f64> {
     // and α/β = 1 here.
     let mut rates = Vec::with_capacity(k);
     for i in 0..k {
-        let lo = if bounds[i] == 0.0 { 0.0 } else { reg_gamma_lower(alpha + 1.0, alpha * bounds[i]) };
+        let lo =
+            if bounds[i] == 0.0 { 0.0 } else { reg_gamma_lower(alpha + 1.0, alpha * bounds[i]) };
         let hi = if bounds[i + 1].is_infinite() {
             1.0
         } else {
@@ -261,10 +262,7 @@ mod tests {
         // For a = 1, P(1, x) = 1 − e^{−x}.
         for &x in &[0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
             let expected = 1.0 - f64::exp(-x);
-            assert!(
-                (reg_gamma_lower(1.0, x) - expected).abs() < 1e-12,
-                "x = {x}"
-            );
+            assert!((reg_gamma_lower(1.0, x) - expected).abs() < 1e-12, "x = {x}");
         }
     }
 
@@ -348,7 +346,8 @@ mod tests {
                 let x0 = lo + i as f64 * h;
                 let x1 = x0 + h;
                 let xm = 0.5 * (x0 + x1);
-                integral += h / 6.0 * (x0 * density(x0) + 4.0 * xm * density(xm) + x1 * density(x1));
+                integral +=
+                    h / 6.0 * (x0 * density(x0) + 4.0 * xm * density(xm) + x1 * density(x1));
             }
             let expected = k as f64 * integral;
             assert!(

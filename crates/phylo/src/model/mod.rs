@@ -268,11 +268,7 @@ mod tests {
     use super::*;
 
     fn example_gtr() -> SubstModel {
-        SubstModel::gtr(
-            [0.3, 0.2, 0.25, 0.25],
-            [1.2, 3.1, 0.8, 0.9, 3.4, 1.0],
-        )
-        .unwrap()
+        SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0]).unwrap()
     }
 
     fn mat_mul(a: &[[f64; 4]; 4], b: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
@@ -430,9 +426,7 @@ mod tests {
         let t = 0.42;
         let wx = m.w_transform(&x);
         let wy = m.w_transform(&y);
-        let via_eigen: f64 = (0..4)
-            .map(|k| wx[k] * wy[k] * (m.eigen().values[k] * t).exp())
-            .sum();
+        let via_eigen: f64 = (0..4).map(|k| wx[k] * wy[k] * (m.eigen().values[k] * t).exp()).sum();
         let p = m.transition_matrix(t, 1.0, ExpImpl::Libm);
         let mut direct = 0.0;
         for i in 0..4 {

@@ -13,7 +13,7 @@
 //!    ([`crate::likelihood::kernels`]).
 
 use crate::likelihood::kernels::{
-    self, evaluate_lnl, Child, EvalOperand, Mat4, ScaleStats, SumTable,
+    self, evaluate_lnl, Child, EvalOperand, Mat4, NewtonScratch, ScaleStats,
 };
 use crate::likelihood::{KernelKind, ScalingCheck};
 use crate::model::ExpImpl;
@@ -35,7 +35,12 @@ fn slice_child<'a>(c: &Child<'a>, lo: usize, hi: usize, n_rates: usize) -> Child
 }
 
 /// Restrict an evaluate/makenewz operand to the pattern range `[lo, hi)`.
-fn slice_operand<'a>(op: &EvalOperand<'a>, lo: usize, hi: usize, n_rates: usize) -> EvalOperand<'a> {
+fn slice_operand<'a>(
+    op: &EvalOperand<'a>,
+    lo: usize,
+    hi: usize,
+    n_rates: usize,
+) -> EvalOperand<'a> {
     let stride = n_rates * 4;
     match *op {
         EvalOperand::Tip { codes } => EvalOperand::Tip { codes: &codes[lo..hi] },
@@ -112,10 +117,15 @@ pub fn evaluate_dispatch(
         .sum()
 }
 
-/// Newton derivatives with optional loop-level parallelism.
+/// Newton derivatives with optional loop-level parallelism, on raw
+/// sum-table slices with caller-owned exponential scratch (the sequential
+/// path is zero-allocation; each parallel chunk fills a thread-local
+/// scratch from sub-slices, no sum-table copies).
 #[allow(clippy::too_many_arguments)]
 pub fn newton_dispatch(
-    st: &SumTable,
+    st_data: &[f64],
+    st_scale: &[u32],
+    n_rates: usize,
     lambdas: &[f64; 4],
     rates: &[f64],
     t: f64,
@@ -123,12 +133,14 @@ pub fn newton_dispatch(
     exp_impl: ExpImpl,
     kind: KernelKind,
     parallel: bool,
+    scratch: &mut NewtonScratch,
 ) -> (f64, f64, f64) {
     let n = weights.len();
     if !parallel || n < 2 * MIN_CHUNK {
-        return kernels::newton_derivatives_kind(st, lambdas, rates, t, weights, exp_impl, kind);
+        return kernels::newton_derivatives_scratch(
+            st_data, st_scale, n_rates, lambdas, rates, t, weights, exp_impl, kind, scratch,
+        );
     }
-    let n_rates = st.n_rates;
     let stride = n_rates * 4;
     let chunk = chunk_size(n);
     weights
@@ -137,12 +149,19 @@ pub fn newton_dispatch(
         .map(|(ci, w)| {
             let lo = ci * chunk;
             let hi = lo + w.len();
-            let sub = SumTable {
-                data: st.data[lo * stride..hi * stride].to_vec(),
+            let mut local = NewtonScratch::default();
+            kernels::newton_derivatives_scratch(
+                &st_data[lo * stride..hi * stride],
+                &st_scale[lo..hi],
                 n_rates,
-                scale: st.scale[lo..hi].to_vec(),
-            };
-            kernels::newton_derivatives_kind(&sub, lambdas, rates, t, w, exp_impl, kind)
+                lambdas,
+                rates,
+                t,
+                w,
+                exp_impl,
+                kind,
+                &mut local,
+            )
         })
         .reduce(|| (0.0, 0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
 }
@@ -219,8 +238,8 @@ mod tests {
     #[test]
     fn parallel_paths_match_sequential_on_large_alignments() {
         // High divergence ⇒ >> 128 distinct patterns.
-        let w = SimulationConfig { mean_branch: 0.4, ..SimulationConfig::new(10, 3000, 99) }
-            .generate();
+        let w =
+            SimulationConfig { mean_branch: 0.4, ..SimulationConfig::new(10, 3000, 99) }.generate();
         assert!(
             w.alignment.n_patterns() > 2 * MIN_CHUNK,
             "need enough patterns to engage the parallel path: {}",
@@ -276,9 +295,8 @@ mod tests {
     #[test]
     fn master_worker_runs_every_job_once() {
         let counter = AtomicUsize::new(0);
-        let results = run_master_worker(vec![(); 57], 8, |_, ()| {
-            counter.fetch_add(1, Ordering::SeqCst)
-        });
+        let results =
+            run_master_worker(vec![(); 57], 8, |_, ()| counter.fetch_add(1, Ordering::SeqCst));
         assert_eq!(results.len(), 57);
         assert_eq!(counter.load(Ordering::SeqCst), 57);
     }

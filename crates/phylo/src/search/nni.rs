@@ -30,11 +30,8 @@ pub fn nni_round(
     let mut applied = 0;
     let mut evaluated = 0;
 
-    let internal: Vec<Edge> = tree
-        .edges()
-        .into_iter()
-        .filter(|&(a, b)| !tree.is_tip(a) && !tree.is_tip(b))
-        .collect();
+    let internal: Vec<Edge> =
+        tree.edges().into_iter().filter(|&(a, b)| !tree.is_tip(a) && !tree.is_tip(b)).collect();
 
     for (u, v) in internal {
         if !tree.adjacent(u, v) || tree.is_tip(u) || tree.is_tip(v) {
@@ -100,11 +97,8 @@ mod tests {
 
     #[test]
     fn nni_improves_a_random_start() {
-        let w = SimulationConfig {
-            mean_branch: 0.12,
-            ..SimulationConfig::new(8, 1000, 3)
-        }
-        .generate();
+        let w =
+            SimulationConfig { mean_branch: 0.12, ..SimulationConfig::new(8, 1000, 3) }.generate();
         let mut rng = StdRng::seed_from_u64(5);
         let mut tree = Tree::random(8, 0.1, &mut rng).unwrap();
         let mut eng = engine(&w.alignment);

@@ -94,8 +94,7 @@ pub fn stepwise_addition_tree<R: Rng>(
     let mut order: Vec<NodeId> = (0..n).collect();
     order.shuffle(rng);
 
-    let mut tree =
-        Tree::initial_triplet_of(n, [order[0], order[1], order[2]], initial_len)?;
+    let mut tree = Tree::initial_triplet_of(n, [order[0], order[1], order[2]], initial_len)?;
     for &tip in &order[3..] {
         let mut best: Option<(f64, (NodeId, NodeId))> = None;
         for edge in tree.edges() {
@@ -150,14 +149,10 @@ mod tests {
     fn hand_computed_score() {
         // One variable column A/A/C/C: on ((t0,t1),(t2,t3)) it needs exactly
         // one change; on ((t0,t2),(t1,t3)) it needs two.
-        let aln = Alignment::from_named_sequences(&[
-            ("t0", "A"),
-            ("t1", "A"),
-            ("t2", "C"),
-            ("t3", "C"),
-        ])
-        .unwrap()
-        .compress();
+        let aln =
+            Alignment::from_named_sequences(&[("t0", "A"), ("t1", "A"), ("t2", "C"), ("t3", "C")])
+                .unwrap()
+                .compress();
         let good = parse_newick("((t0,t1),(t2,t3));", &names(4)).unwrap();
         let bad = parse_newick("((t0,t2),(t1,t3));", &names(4)).unwrap();
         assert_eq!(parsimony_score(&good, &aln), 1.0);
@@ -167,14 +162,10 @@ mod tests {
     #[test]
     fn weights_multiply_scores() {
         // Two identical informative columns = twice the single-column score.
-        let one = Alignment::from_named_sequences(&[
-            ("t0", "A"),
-            ("t1", "A"),
-            ("t2", "C"),
-            ("t3", "C"),
-        ])
-        .unwrap()
-        .compress();
+        let one =
+            Alignment::from_named_sequences(&[("t0", "A"), ("t1", "A"), ("t2", "C"), ("t3", "C")])
+                .unwrap()
+                .compress();
         let two = Alignment::from_named_sequences(&[
             ("t0", "AA"),
             ("t1", "AA"),
@@ -190,14 +181,10 @@ mod tests {
     #[test]
     fn ambiguity_codes_reduce_changes() {
         // R = {A,G}: compatible with both A and G sides, no change needed.
-        let aln = Alignment::from_named_sequences(&[
-            ("t0", "A"),
-            ("t1", "R"),
-            ("t2", "G"),
-            ("t3", "G"),
-        ])
-        .unwrap()
-        .compress();
+        let aln =
+            Alignment::from_named_sequences(&[("t0", "A"), ("t1", "R"), ("t2", "G"), ("t3", "G")])
+                .unwrap()
+                .compress();
         let t = parse_newick("((t0,t1),(t2,t3));", &names(4)).unwrap();
         assert_eq!(parsimony_score(&t, &aln), 1.0, "A→G transition once, R free");
     }
@@ -211,12 +198,8 @@ mod tests {
         // re-rooting by scoring structurally-identical trees built from
         // different edge orders.
         let base = parsimony_score(&t, &w.alignment);
-        let list: Vec<(NodeId, NodeId, f64)> = t
-            .edges()
-            .into_iter()
-            .rev()
-            .map(|(a, b)| (a, b, t.branch_length(a, b)))
-            .collect();
+        let list: Vec<(NodeId, NodeId, f64)> =
+            t.edges().into_iter().rev().map(|(a, b)| (a, b, t.branch_length(a, b))).collect();
         let t2 = Tree::from_edges(9, &list).unwrap();
         assert_eq!(parsimony_score(&t2, &w.alignment), base);
     }
@@ -270,10 +253,8 @@ mod tests {
     #[test]
     fn stepwise_addition_is_deterministic_given_seed() {
         let w = crate::simulate::SimulationConfig::new(10, 120, 5).generate();
-        let t1 = stepwise_addition_tree(&w.alignment, 0.1, &mut StdRng::seed_from_u64(7))
-            .unwrap();
-        let t2 = stepwise_addition_tree(&w.alignment, 0.1, &mut StdRng::seed_from_u64(7))
-            .unwrap();
+        let t1 = stepwise_addition_tree(&w.alignment, 0.1, &mut StdRng::seed_from_u64(7)).unwrap();
+        let t2 = stepwise_addition_tree(&w.alignment, 0.1, &mut StdRng::seed_from_u64(7)).unwrap();
         assert_eq!(t1, t2);
     }
 }

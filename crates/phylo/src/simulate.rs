@@ -55,11 +55,8 @@ impl SimulationConfig {
             n_taxa,
             n_sites,
             seed,
-            model: SubstModel::gtr(
-                [0.30, 0.18, 0.24, 0.28],
-                [1.4, 4.2, 0.9, 1.1, 4.8, 1.0],
-            )
-            .expect("default simulation model is valid"),
+            model: SubstModel::gtr([0.30, 0.18, 0.24, 0.28], [1.4, 4.2, 0.9, 1.1, 4.8, 1.0])
+                .expect("default simulation model is valid"),
             alpha: 0.7,
             mean_branch: 0.08,
             tree: None,
@@ -121,10 +118,8 @@ impl SimulationConfig {
         states[root] = (0..self.n_sites).map(|_| sample_state(&freqs, &mut rng)).collect();
 
         // DFS from the root.
-        let mut stack: Vec<(NodeId, NodeId)> = tree
-            .neighbors_of(root)
-            .map(|(child, _)| (child, root))
-            .collect();
+        let mut stack: Vec<(NodeId, NodeId)> =
+            tree.neighbors_of(root).map(|(child, _)| (child, root)).collect();
         while let Some((node, parent)) = stack.pop() {
             let len = tree.branch_length(node, parent);
             // Transition matrices for this branch, one per category.
@@ -202,18 +197,14 @@ mod tests {
         // Paper: "the number of distinct data patterns ... is on the order
         // of 250". Accept a generous band around that.
         let p = w.alignment.n_patterns();
-        assert!(
-            (180..=350).contains(&p),
-            "pattern count {p} outside the 42_SC-like band"
-        );
+        assert!((180..=350).contains(&p), "pattern count {p} outside the 42_SC-like band");
     }
 
     #[test]
     fn explicit_tree_is_used_verbatim() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let tree = crate::tree::Tree::random(7, 0.15, &mut rng).unwrap();
-        let cfg =
-            SimulationConfig { tree: Some(tree.clone()), ..SimulationConfig::new(7, 100, 3) };
+        let cfg = SimulationConfig { tree: Some(tree.clone()), ..SimulationConfig::new(7, 100, 3) };
         let w = cfg.generate();
         assert_eq!(w.true_tree, tree);
         // Taxon-count mismatch is rejected.
@@ -225,9 +216,7 @@ mod tests {
     fn higher_divergence_creates_more_patterns() {
         let low = SimulationConfig { mean_branch: 0.01, ..SimulationConfig::new(12, 400, 3) };
         let high = SimulationConfig { mean_branch: 0.5, ..SimulationConfig::new(12, 400, 3) };
-        assert!(
-            high.generate().alignment.n_patterns() > low.generate().alignment.n_patterns()
-        );
+        assert!(high.generate().alignment.n_patterns() > low.generate().alignment.n_patterns());
     }
 
     #[test]

@@ -113,6 +113,11 @@ pub struct TraceCounters {
     pub scaling_checks: u64,
     pub scalings: u64,
     pub patterns_processed: u64,
+    /// Fused traversal batches executed (one per compiled
+    /// [`crate::likelihood::TraversalOps`] list with at least one op).
+    pub fused_batches: u64,
+    /// Total `newview` descriptors executed through fused batches.
+    pub fused_ops: u64,
 }
 
 /// Collects kernel events and aggregate counters during likelihood
@@ -173,6 +178,15 @@ impl Trace {
         }
     }
 
+    /// Record one fused traversal batch of `n_ops` `newview` descriptors.
+    /// The per-op [`KernelEvent`]s are still pushed individually (their
+    /// shape is what the cost model prices); this counter captures how many
+    /// of them were dispatched as a single descriptor-list execution.
+    pub fn record_fused_batch(&mut self, n_ops: u64) {
+        self.counters.fused_batches += 1;
+        self.counters.fused_ops += n_ops;
+    }
+
     /// Aggregate counters.
     pub fn counters(&self) -> &TraceCounters {
         &self.counters
@@ -205,6 +219,8 @@ impl Trace {
         a.scaling_checks += b.scaling_checks;
         a.scalings += b.scalings;
         a.patterns_processed += b.patterns_processed;
+        a.fused_batches += b.fused_batches;
+        a.fused_ops += b.fused_ops;
         if self.record_events {
             self.events.extend_from_slice(&other.events);
         }

@@ -68,11 +68,7 @@ impl Tree {
 
     /// Create the 3-taxon tree over an arbitrary tip triple (used by
     /// randomized stepwise addition, which starts from a random triple).
-    pub fn initial_triplet_of(
-        n_taxa: usize,
-        tips: [NodeId; 3],
-        initial_len: f64,
-    ) -> Result<Tree> {
+    pub fn initial_triplet_of(n_taxa: usize, tips: [NodeId; 3], initial_len: f64) -> Result<Tree> {
         if n_taxa < 3 {
             return Err(PhyloError::TooFewTaxa { found: n_taxa, required: 3 });
         }
@@ -237,16 +233,9 @@ impl Tree {
     /// Insert taxon `tip` on edge `(a, b)`: a new inner node `v` splits the
     /// edge, and `tip` hangs off `v` with branch length `tip_len`.
     /// Returns the junction node.
-    pub fn add_taxon_on_edge(
-        &mut self,
-        tip: NodeId,
-        (a, b): Edge,
-        tip_len: f64,
-    ) -> Result<NodeId> {
+    pub fn add_taxon_on_edge(&mut self, tip: NodeId, (a, b): Edge, tip_len: f64) -> Result<NodeId> {
         if !self.is_tip(tip) || self.degree(tip) != 0 {
-            return Err(PhyloError::TreeStructure(format!(
-                "node {tip} is not a detached tip"
-            )));
+            return Err(PhyloError::TreeStructure(format!("node {tip} is not a detached tip")));
         }
         let v = self.alloc_inner()?;
         let old_len = self.branch_length(a, b);
@@ -270,9 +259,7 @@ impl Tree {
             return Err(PhyloError::TreeStructure(format!("{s} and {v} are not adjacent")));
         }
         if self.is_tip(v) {
-            return Err(PhyloError::TreeStructure(format!(
-                "junction {v} must be an inner node"
-            )));
+            return Err(PhyloError::TreeStructure(format!("junction {v} must be an inner node")));
         }
         let prune_len = self.branch_length(s, v);
         let [(a, la), (b, lb)] = self.other_neighbors(v, s);
@@ -429,8 +416,7 @@ impl Tree {
     /// Structural validation: degrees, symmetry, connectivity, length
     /// agreement. Cheap enough to run in debug assertions and tests.
     pub fn validate(&self) -> Result<()> {
-        let attached_tips: Vec<NodeId> =
-            (0..self.n_taxa).filter(|&t| self.degree(t) > 0).collect();
+        let attached_tips: Vec<NodeId> = (0..self.n_taxa).filter(|&t| self.degree(t) > 0).collect();
         for &t in &attached_tips {
             if self.degree(t) != 1 {
                 return Err(PhyloError::TreeStructure(format!(
@@ -480,8 +466,7 @@ impl Tree {
                     }
                 }
             }
-            let attached_total =
-                (0..self.n_nodes()).filter(|&n| self.degree(n) > 0).count();
+            let attached_total = (0..self.n_nodes()).filter(|&n| self.degree(n) > 0).count();
             if count != attached_total {
                 return Err(PhyloError::TreeStructure(format!(
                     "tree is disconnected: reached {count} of {attached_total} nodes"
@@ -711,11 +696,8 @@ mod tests {
     fn prune_inner_subtree() {
         let mut t = five_taxon_tree();
         // Find an internal edge (u, v): prune the subtree rooted at u.
-        let internal: Vec<Edge> = t
-            .edges()
-            .into_iter()
-            .filter(|&(a, b)| !t.is_tip(a) && !t.is_tip(b))
-            .collect();
+        let internal: Vec<Edge> =
+            t.edges().into_iter().filter(|&(a, b)| !t.is_tip(a) && !t.is_tip(b)).collect();
         assert!(!internal.is_empty());
         let (u, v) = internal[0];
         let n_sub_tips = t.subtree_tips(u, v).len();
@@ -728,11 +710,8 @@ mod tests {
     #[test]
     fn nni_swaps_subtrees() {
         let mut t = five_taxon_tree();
-        let internal: Vec<Edge> = t
-            .edges()
-            .into_iter()
-            .filter(|&(a, b)| !t.is_tip(a) && !t.is_tip(b))
-            .collect();
+        let internal: Vec<Edge> =
+            t.edges().into_iter().filter(|&(a, b)| !t.is_tip(a) && !t.is_tip(b)).collect();
         let (u, v) = internal[0];
         let tips_before = t.subtree_tips(u, v);
         t.nni(u, v, 0).unwrap();
@@ -804,9 +783,7 @@ mod tests {
             }
         }
         // Triangle inequality on the tree metric.
-        assert!(
-            t.path_length(0, 2) <= t.path_length(0, 4) + t.path_length(4, 2) + 1e-12
-        );
+        assert!(t.path_length(0, 2) <= t.path_length(0, 4) + t.path_length(4, 2) + 1e-12);
     }
 
     #[test]
@@ -824,11 +801,8 @@ mod tests {
     #[test]
     fn from_edges_round_trip() {
         let t = five_taxon_tree();
-        let list: Vec<(NodeId, NodeId, f64)> = t
-            .edges()
-            .into_iter()
-            .map(|(a, b)| (a, b, t.branch_length(a, b)))
-            .collect();
+        let list: Vec<(NodeId, NodeId, f64)> =
+            t.edges().into_iter().map(|(a, b)| (a, b, t.branch_length(a, b))).collect();
         let t2 = Tree::from_edges(5, &list).unwrap();
         let mut e1 = t.edges();
         let mut e2 = t2.edges();
@@ -841,10 +815,7 @@ mod tests {
     #[test]
     fn from_edges_rejects_garbage() {
         assert!(Tree::from_edges(3, &[(0, 1, 0.1)]).is_err()); // wrong count
-        assert!(Tree::from_edges(
-            3,
-            &[(0, 0, 0.1), (1, 3, 0.1), (2, 3, 0.1)]
-        )
-        .is_err()); // self edge
+        assert!(Tree::from_edges(3, &[(0, 0, 0.1), (1, 3, 0.1), (2, 3, 0.1)]).is_err());
+        // self edge
     }
 }

@@ -8,17 +8,12 @@
 //! cargo run --release --example bootstrap_analysis
 //! ```
 
-use phylo::bootstrap::BootstrapAnalysis;
-use phylo::search::SearchConfig;
-use phylo::simulate::SimulationConfig;
+use raxml_cell_repro::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let workload = SimulationConfig {
-        mean_branch: 0.1,
-        ..SimulationConfig::new(10, 600, 7)
-    }
-    .generate();
+    let workload =
+        SimulationConfig { mean_branch: 0.1, ..SimulationConfig::new(10, 600, 7) }.generate();
     let alignment = &workload.alignment;
     println!(
         "dataset: {} taxa × {} sites ({} patterns)",
@@ -55,10 +50,7 @@ fn main() {
     }
 
     let names = alignment.taxon_names().to_vec();
-    println!(
-        "\nbest tree with support values:\n{}",
-        result.best.to_newick_with_support(&names)
-    );
+    println!("\nbest tree with support values:\n{}", result.best.to_newick_with_support(&names));
 
     println!(
         "\nmajority-rule consensus of the bootstrap replicates:\n{}",

@@ -7,18 +7,23 @@
 //! cargo run --release --example cell_port_study -- --quick # reduced workload
 //! ```
 
-use cellsim::cost::CostModel;
-use cellsim::localstore::paper_offload_plan;
-use raxml_cell::experiment::{capture_workload, run_ladder, WorkloadSpec};
+use raxml_cell_repro::prelude::*;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ExperimentError> {
     let quick = std::env::args().any(|a| a == "--quick");
     let spec = if quick { WorkloadSpec::test_mid() } else { WorkloadSpec::aln42() };
     println!(
         "capturing workload: {} taxa × {} sites (running a real traced inference)…",
         spec.n_taxa, spec.n_sites
     );
-    let workload = capture_workload(&spec);
+    let workload = capture_workload(&spec)?;
     println!(
         "trace: {} kernel invocations, final lnL {:.2}\n",
         workload.events.len(),
@@ -35,13 +40,10 @@ fn main() {
     );
 
     let model = CostModel::paper_calibrated();
-    let ladder = run_ladder(&workload, &model);
+    let ladder = run_ladder(&workload, &model)?;
 
     println!("optimization ladder — 1 worker × 1 bootstrap on the simulated Cell:");
-    println!(
-        "  {:<42} {:>9} {:>11} {:>11}",
-        "configuration", "sim [s]", "vs PPE", "step gain"
-    );
+    println!("  {:<42} {:>9} {:>11} {:>11}", "configuration", "sim [s]", "vs PPE", "step gain");
     let ppe = ladder[0].rows[0].simulated_seconds;
     let mut prev = f64::NAN;
     for level in &ladder {
@@ -51,13 +53,7 @@ fn main() {
         } else {
             format!("{:+.1}%", (1.0 - s / prev) * 100.0)
         };
-        println!(
-            "  {:<42} {:>9.2} {:>10.2}× {:>11}",
-            level.label,
-            s,
-            ppe / s,
-            step
-        );
+        println!("  {:<42} {:>9.2} {:>10.2}× {:>11}", level.label, s, ppe / s, step);
         prev = s;
     }
 
@@ -68,4 +64,5 @@ fn main() {
         naive / final_t,
         (1.0 - final_t / ppe) * 100.0
     );
+    Ok(())
 }

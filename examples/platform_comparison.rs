@@ -7,21 +7,26 @@
 //! cargo run --release --example platform_comparison -- --quick # reduced workload
 //! ```
 
-use cellsim::cost::CostModel;
-use raxml_cell::experiment::{capture_workload, run_figure3, WorkloadSpec};
-use raxml_cell::sched::DesParams;
+use raxml_cell_repro::prelude::*;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ExperimentError> {
     let quick = std::env::args().any(|a| a == "--quick");
     let spec = if quick { WorkloadSpec::test_mid() } else { WorkloadSpec::aln42() };
     println!(
         "capturing workload: {} taxa × {} sites (running a real traced inference)…\n",
         spec.n_taxa, spec.n_sites
     );
-    let workload = capture_workload(&spec);
+    let workload = capture_workload(&spec)?;
 
     let model = CostModel::paper_calibrated();
-    let fig = run_figure3(&workload, &model, &DesParams::default());
+    let fig = run_figure3(&workload, &model, &DesParams::default())?;
 
     println!("execution time [s] vs number of bootstraps (Figure 3):\n");
     println!(
@@ -29,10 +34,7 @@ fn main() {
         "bootstraps", "Cell (MGPS)", "IBM Power5", "Intel Xeon ×2"
     );
     for (i, &n) in fig.bootstraps.iter().enumerate() {
-        println!(
-            "  {:>10} {:>14.2} {:>14.2} {:>14.2}",
-            n, fig.cell[i], fig.power5[i], fig.xeon[i]
-        );
+        println!("  {:>10} {:>14.2} {:>14.2} {:>14.2}", n, fig.cell[i], fig.power5[i], fig.xeon[i]);
     }
 
     // A crude terminal rendition of the figure.
@@ -52,4 +54,5 @@ fn main() {
         fig.power5[last] / fig.cell[last],
         fig.xeon[last] / fig.cell[last]
     );
+    Ok(())
 }

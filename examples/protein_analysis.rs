@@ -8,14 +8,13 @@
 //! then recovers the topology with the general-20-state NNI search and
 //! compares likelihoods against the truth.
 
-use phylo::bipartitions::robinson_foulds;
 use phylo::protein::{
     optimize_branch_lengths, protein_log_likelihood, protein_nni_search, simulate_protein,
     MultiStateModel, ProteinAlignment,
 };
-use phylo::tree::Tree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use raxml_cell_repro::prelude::*;
 
 fn main() {
     // A 7-taxon true tree with solid branches.
@@ -42,10 +41,7 @@ fn main() {
     let mut truth = true_tree.clone();
     let true_lnl = optimize_branch_lengths(&mut truth, &aln, &model, 2);
     println!("true tree  : {true_lnl:.4} (branch-optimized)");
-    println!(
-        "RF distance to the generating topology: {}",
-        robinson_foulds(&found, &true_tree)
-    );
+    println!("RF distance to the generating topology: {}", robinson_foulds(&found, &true_tree));
 
     // Score the same data under a badly mis-scaled tree for contrast.
     let mut stretched = true_tree.clone();

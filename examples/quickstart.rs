@@ -9,10 +9,7 @@
 //! inference (randomized stepwise-addition parsimony start + SPR hill
 //! climbing + model optimization), and print the tree as Newick.
 
-use phylo::io::{parse_phylip, write_phylip};
-use phylo::prelude::*;
-use phylo::search::infer_ml_tree;
-use phylo::simulate::SimulationConfig;
+use raxml_cell_repro::prelude::*;
 
 fn main() {
     // A small synthetic dataset: 12 taxa × 800 sites evolved under GTR+Γ.
@@ -54,6 +51,6 @@ fn main() {
     println!("\nbest tree (Newick):\n{newick}");
 
     // How close did we get to the generating topology?
-    let rf = phylo::bipartitions::robinson_foulds(&result.tree, &workload.true_tree);
+    let rf = robinson_foulds(&result.tree, &workload.true_tree);
     println!("\nRobinson–Foulds distance to the true tree: {rf}");
 }

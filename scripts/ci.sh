@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full local CI gate. Run from anywhere inside the repo.
+#
+#   scripts/ci.sh          # tier-1 + lints
+#   scripts/ci.sh --quick  # skip the release build (debug test run only)
+#
+# Tier-1 (the driver's acceptance gate) is the release build plus the full
+# test suite; formatting and clippy are held to zero warnings on top.
+
+set -euo pipefail
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$quick" -eq 0 ]]; then
+    run cargo build --release
+fi
+run cargo test --workspace -q
+
+echo
+echo "ci: all checks passed"

@@ -14,3 +14,18 @@
 pub use cellsim;
 pub use phylo;
 pub use raxml_cell;
+
+/// One-stop imports for analyses that span all three crates: everything in
+/// [`phylo::prelude`] plus the simulator's cost model and the experiment
+/// drivers (with their [`ExperimentError`](raxml_cell::ExperimentError)
+/// Result API). The `examples/` binaries are written against this module.
+pub mod prelude {
+    pub use cellsim::cost::CostModel;
+    pub use cellsim::localstore::paper_offload_plan;
+    pub use phylo::prelude::*;
+    pub use raxml_cell::error::ExperimentError;
+    pub use raxml_cell::experiment::{
+        capture_workload, run_figure3, run_ladder, run_table8, Workload, WorkloadSpec,
+    };
+    pub use raxml_cell::sched::DesParams;
+}

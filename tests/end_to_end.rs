@@ -56,7 +56,7 @@ fn searched_tree_satisfies_reversibility_invariant() {
 /// are conserved and the optimization ordering holds for the real trace.
 #[test]
 fn real_trace_prices_coherently_across_the_ladder() {
-    let workload = capture_workload(&WorkloadSpec::small());
+    let workload = capture_workload(&WorkloadSpec::small()).expect("capture");
     let model = CostModel::paper_calibrated();
     let mut previous_total: Option<u64> = None;
     for (label, cfg) in OptConfig::ladder().into_iter().skip(1) {
@@ -88,7 +88,7 @@ fn real_trace_prices_coherently_across_the_ladder() {
 /// repeated pricing of the same trace.
 #[test]
 fn pricing_is_deterministic() {
-    let workload = capture_workload(&WorkloadSpec::small());
+    let workload = capture_workload(&WorkloadSpec::small()).expect("capture");
     let model = CostModel::paper_calibrated();
     let cfg = OptConfig::fully_optimized();
     let a = price_trace(&workload.events, &model, &cfg);
@@ -100,7 +100,7 @@ fn pricing_is_deterministic() {
 /// Sanity: kernel events carry physically sensible quantities.
 #[test]
 fn trace_events_are_physically_sensible() {
-    let workload = capture_workload(&WorkloadSpec::small());
+    let workload = capture_workload(&WorkloadSpec::small()).expect("capture");
     let model = CostModel::paper_calibrated();
     for ev in &workload.events {
         assert!(ev.patterns > 0);
@@ -120,8 +120,8 @@ fn trace_events_are_physically_sensible() {
 /// identical trace (search, RNG, kernels, bookkeeping all reproducible).
 #[test]
 fn workload_capture_is_deterministic() {
-    let a = capture_workload(&WorkloadSpec::small());
-    let b = capture_workload(&WorkloadSpec::small());
+    let a = capture_workload(&WorkloadSpec::small()).expect("capture");
+    let b = capture_workload(&WorkloadSpec::small()).expect("capture");
     assert_eq!(a.events.len(), b.events.len());
     assert_eq!(a.log_likelihood, b.log_likelihood);
     assert_eq!(a.counters, b.counters);
@@ -132,14 +132,15 @@ fn workload_capture_is_deterministic() {
 /// land within the same likelihood neighbourhood on easy data.
 #[test]
 fn multiple_inferences_converge_on_easy_data() {
-    let w = SimulationConfig {
-        mean_branch: 0.12,
-        ..SimulationConfig::new(8, 900, 123)
-    }
-    .generate();
+    let w = SimulationConfig { mean_branch: 0.12, ..SimulationConfig::new(8, 900, 123) }.generate();
     let a = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 10);
     let b = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 20);
-    assert!((a.log_likelihood - b.log_likelihood).abs() < 1.0, "{} vs {}", a.log_likelihood, b.log_likelihood);
+    assert!(
+        (a.log_likelihood - b.log_likelihood).abs() < 1.0,
+        "{} vs {}",
+        a.log_likelihood,
+        b.log_likelihood
+    );
     assert!(robinson_foulds(&a.tree, &b.tree) <= 2);
 }
 
@@ -153,7 +154,8 @@ fn hky_is_a_special_case_of_gtr() {
     let hky = SubstModel::hky85(freqs, kappa).unwrap();
     let gtr = SubstModel::gtr(freqs, [1.0, kappa, 1.0, 1.0, kappa, 1.0]).unwrap();
     let rates = GammaRates::standard(0.9).unwrap();
-    let mut e1 = LikelihoodEngine::new(&w.alignment, hky, rates.clone(), LikelihoodConfig::optimized());
+    let mut e1 =
+        LikelihoodEngine::new(&w.alignment, hky, rates.clone(), LikelihoodConfig::optimized());
     let mut e2 = LikelihoodEngine::new(&w.alignment, gtr, rates, LikelihoodConfig::optimized());
     let lnl1 = e1.log_likelihood(&w.true_tree);
     let lnl2 = e2.log_likelihood(&w.true_tree);

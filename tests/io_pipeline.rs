@@ -1,14 +1,12 @@
 //! Integration of the I/O formats with the analysis pipeline: everything a
 //! user round-trips through files must survive and interoperate.
 
+use phylo::bipartitions::robinson_foulds;
 use phylo::bootstrap::BootstrapAnalysis;
-use phylo::io::{
-    parse_fasta, parse_newick, parse_phylip, write_fasta, write_newick, write_phylip,
-};
+use phylo::io::{parse_fasta, parse_newick, parse_phylip, write_fasta, write_newick, write_phylip};
 use phylo::likelihood::engine::LikelihoodEngine;
 use phylo::likelihood::LikelihoodConfig;
 use phylo::model::{GammaRates, SubstModel};
-use phylo::bipartitions::robinson_foulds;
 use phylo::search::SearchConfig;
 use phylo::simulate::SimulationConfig;
 
@@ -41,26 +39,18 @@ fn likelihood_is_invariant_under_io_round_trips() {
         rates.clone(),
         LikelihoodConfig::optimized(),
     );
-    let mut e2 =
-        LikelihoodEngine::new(&aln_back, model, rates, LikelihoodConfig::optimized());
+    let mut e2 = LikelihoodEngine::new(&aln_back, model, rates, LikelihoodConfig::optimized());
     let original = e1.log_likelihood(&w.true_tree);
     let round_tripped = e2.log_likelihood(&tree_back);
     // Branch lengths go through 9-decimal text; likelihood agrees tightly.
-    assert!(
-        (original - round_tripped).abs() < 1e-4,
-        "{original} vs {round_tripped}"
-    );
+    assert!((original - round_tripped).abs() < 1e-4, "{original} vs {round_tripped}");
 }
 
 #[test]
 fn support_annotated_newick_is_parseable() {
     // The analysis writes support values as internal labels; our parser (and
     // every standard tool) must read the topology back.
-    let w = SimulationConfig {
-        mean_branch: 0.12,
-        ..SimulationConfig::new(7, 500, 21)
-    }
-    .generate();
+    let w = SimulationConfig { mean_branch: 0.12, ..SimulationConfig::new(7, 500, 21) }.generate();
     let analysis = BootstrapAnalysis {
         n_inferences: 1,
         n_bootstraps: 5,
@@ -92,8 +82,7 @@ fn files_round_trip_on_disk() {
     std::fs::write(&tree_path, write_newick(&w.true_tree, &names)).unwrap();
 
     let aln = parse_phylip(&std::fs::read_to_string(&aln_path).unwrap()).unwrap();
-    let tree =
-        parse_newick(&std::fs::read_to_string(&tree_path).unwrap(), &names).unwrap();
+    let tree = parse_newick(&std::fs::read_to_string(&tree_path).unwrap(), &names).unwrap();
     assert_eq!(aln, w.raw);
     assert_eq!(robinson_foulds(&tree, &w.true_tree), 0);
 

@@ -15,7 +15,7 @@ use std::sync::OnceLock;
 
 fn workload() -> &'static Workload {
     static CACHE: OnceLock<Workload> = OnceLock::new();
-    CACHE.get_or_init(|| capture_workload(&WorkloadSpec::test_mid()))
+    CACHE.get_or_init(|| capture_workload(&WorkloadSpec::test_mid()).expect("capture"))
 }
 
 fn model() -> CostModel {
@@ -25,6 +25,7 @@ fn model() -> CostModel {
 /// Single-bootstrap seconds at every ladder level.
 fn ladder_column() -> Vec<f64> {
     run_ladder(workload(), &model())
+        .expect("ladder")
         .iter()
         .map(|l| l.rows[0].simulated_seconds)
         .collect()
@@ -36,10 +37,7 @@ fn ladder_column() -> Vec<f64> {
 fn claim_naive_offload_hurts() {
     let col = ladder_column();
     let slowdown = col[1] / col[0];
-    assert!(
-        (1.8..4.5).contains(&slowdown),
-        "naive offload slowdown {slowdown:.2} (paper: 2.88×)"
-    );
+    assert!((1.8..4.5).contains(&slowdown), "naive offload slowdown {slowdown:.2} (paper: 2.88×)");
 }
 
 /// Paper §5.2.2: the exp replacement is the single largest optimization
@@ -48,10 +46,7 @@ fn claim_naive_offload_hurts() {
 fn claim_exp_replacement_dominates() {
     let col = ladder_column();
     let exp_gain = 1.0 - col[2] / col[1];
-    assert!(
-        (0.25..0.55).contains(&exp_gain),
-        "exp gain {exp_gain:.2} (paper: 0.37–0.41)"
-    );
+    assert!((0.25..0.55).contains(&exp_gain), "exp gain {exp_gain:.2} (paper: 0.37–0.41)");
     // And it is the biggest single step of the ladder.
     for i in 3..7 {
         let step = 1.0 - col[i] / col[i - 1];
@@ -76,31 +71,23 @@ fn claim_control_flow_beats_fp_vectorization() {
 #[test]
 fn claim_final_config_beats_ppe() {
     let col = ladder_column();
-    assert!(
-        col[7] < col[0],
-        "fully offloaded {:.2}s must beat PPE {:.2}s",
-        col[7],
-        col[0]
-    );
+    assert!(col[7] < col[0], "fully offloaded {:.2}s must beat PPE {:.2}s", col[7], col[0]);
 }
 
 /// Paper (conclusion): >5× from the naive port to MGPS.
 #[test]
 fn claim_overall_speedup_exceeds_four() {
     let col = ladder_column();
-    let t8 = run_table8(workload(), &model(), &DesParams::default());
+    let t8 = run_table8(workload(), &model(), &DesParams::default()).expect("table8");
     let mgps_1 = t8[0].simulated_seconds;
     let speedup = col[1] / mgps_1;
-    assert!(
-        speedup > 4.0,
-        "naive → MGPS speedup {speedup:.2} (paper: 106.37/17.6 ≈ 6.0)"
-    );
+    assert!(speedup > 4.0, "naive → MGPS speedup {speedup:.2} (paper: 106.37/17.6 ≈ 6.0)");
 }
 
 /// Paper Table 8: MGPS throughput is batch-linear in full batches of 8.
 #[test]
 fn claim_mgps_scales_in_batches() {
-    let t8 = run_table8(workload(), &model(), &DesParams::default());
+    let t8 = run_table8(workload(), &model(), &DesParams::default()).expect("table8");
     let r8 = t8[1].simulated_seconds;
     let r16 = t8[2].simulated_seconds;
     let r32 = t8[3].simulated_seconds;
@@ -111,7 +98,7 @@ fn claim_mgps_scales_in_batches() {
 /// Paper §6 / Figure 3: Cell < Power5 < Xeon, Xeon > 2× Cell.
 #[test]
 fn claim_platform_ranking() {
-    let fig = run_figure3(workload(), &model(), &DesParams::default());
+    let fig = run_figure3(workload(), &model(), &DesParams::default()).expect("figure3");
     let last = fig.bootstraps.len() - 1;
     assert!(fig.cell[last] < fig.power5[last]);
     assert!(fig.power5[last] < fig.xeon[last]);
@@ -122,7 +109,7 @@ fn claim_platform_ranking() {
 /// necessary" — neither pure model wins everywhere.
 #[test]
 fn claim_no_single_model_wins_everywhere() {
-    let rows = run_multilevel_study(workload(), &model(), &DesParams::default());
+    let rows = run_multilevel_study(workload(), &model(), &DesParams::default()).expect("study");
     let llp_wins = rows.iter().filter(|r| r.llp_seconds < r.edtlp_seconds).count();
     let edtlp_wins = rows.iter().filter(|r| r.edtlp_seconds < r.llp_seconds).count();
     assert!(llp_wins > 0, "LLP must win somewhere (small bootstrap counts)");

@@ -14,7 +14,9 @@ use phylo::bipartitions::{robinson_foulds, tree_bipartitions};
 use phylo::io::newick::{parse_newick, write_newick};
 use phylo::likelihood::engine::LikelihoodEngine;
 use phylo::likelihood::reference::log_likelihood_naive;
-use phylo::likelihood::{KernelKind, LikelihoodConfig, ScalingCheck};
+use phylo::likelihood::{
+    KernelKind, LikelihoodConfig, LikelihoodWorkspace, ScalingCheck, WorkspaceOptions,
+};
 use phylo::math::{brent_minimize, discrete_gamma_rates, jacobi_eigen};
 use phylo::model::{ExpImpl, GammaRates, SubstModel};
 use phylo::search::parsimony_score;
@@ -126,8 +128,7 @@ fn arb_freqs() -> impl Strategy<Value = [f64; 4]> {
 }
 
 fn arb_exchange() -> impl Strategy<Value = [f64; 6]> {
-    proptest::collection::vec(0.1f64..8.0, 6)
-        .prop_map(|v| [v[0], v[1], v[2], v[3], v[4], v[5]])
+    proptest::collection::vec(0.1f64..8.0, 6).prop_map(|v| [v[0], v[1], v[2], v[3], v[4], v[5]])
 }
 
 proptest! {
@@ -289,6 +290,122 @@ proptest! {
                 prop_assert!((lnl - r).abs() < 1e-10, "{:?}/{:?}: {} vs {}", kernel, scaling, lnl, r);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// likelihood workspace arenas + fused traversal dispatch
+// ---------------------------------------------------------------------
+
+/// Compare every cached inner-node partial of two engines bit-for-bit.
+fn assert_partials_identical(
+    a: &LikelihoodEngine<'_>,
+    b: &LikelihoodEngine<'_>,
+    n_taxa: usize,
+) -> Result<(), TestCaseError> {
+    for node in n_taxa..(2 * n_taxa - 2) {
+        match (a.node_partial(node), b.node_partial(node)) {
+            (None, None) => {}
+            (Some((xa, sa, ta)), Some((xb, sb, tb))) => {
+                prop_assert_eq!(ta, tb, "orientation of node {}", node);
+                prop_assert_eq!(sa, sb, "scale counts of node {}", node);
+                prop_assert_eq!(xa, xb, "partials of node {}", node);
+            }
+            (a_state, b_state) => {
+                return Err(TestCaseError::fail(format!(
+                    "node {node}: validity differs ({} vs {})",
+                    a_state.is_some(),
+                    b_state.is_some()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// A workspace recycled through arbitrarily many prior engines produces
+    /// bit-identical likelihoods, partials and scale counts to a freshly
+    /// allocated one, on random trees and random warm-up history.
+    #[test]
+    fn recycled_workspace_matches_fresh_allocation(seed in 0u64..40, warm_seed in 100u64..140) {
+        let w = SimulationConfig::new(6, 150, seed).generate();
+        let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+        let rates = GammaRates::standard(0.8).unwrap();
+        let cfg = LikelihoodConfig::optimized();
+
+        // Dirty a workspace on an unrelated tree (different shape history).
+        let warm_w = SimulationConfig::new(7, 90, warm_seed).generate();
+        let mut warm = LikelihoodEngine::new(&warm_w.alignment, model.clone(), rates.clone(), cfg);
+        let mut warm_rng = StdRng::seed_from_u64(warm_seed);
+        let warm_tree = Tree::random(7, 0.15, &mut warm_rng).unwrap();
+        warm.log_likelihood(&warm_tree);
+        let recycled: LikelihoodWorkspace = warm.into_workspace();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree_fresh = Tree::random(6, 0.2, &mut rng).unwrap();
+        let mut tree_pooled = tree_fresh.clone();
+
+        let mut fresh = LikelihoodEngine::new(&w.alignment, model.clone(), rates.clone(), cfg);
+        let mut pooled = LikelihoodEngine::with_workspace(
+            &w.alignment, model, rates, cfg, WorkspaceOptions::default(), recycled,
+        );
+
+        let la = fresh.log_likelihood(&tree_fresh);
+        let lb = pooled.log_likelihood(&tree_pooled);
+        prop_assert_eq!(la.to_bits(), lb.to_bits(), "lnl {} vs {}", la, lb);
+        assert_partials_identical(&fresh, &pooled, 6)?;
+
+        let oa = fresh.optimize_all_branches(&mut tree_fresh, 2);
+        let ob = pooled.optimize_all_branches(&mut tree_pooled, 2);
+        prop_assert_eq!(oa.to_bits(), ob.to_bits(), "optimized lnl {} vs {}", oa, ob);
+        prop_assert_eq!(&tree_fresh, &tree_pooled);
+        assert_partials_identical(&fresh, &pooled, 6)?;
+    }
+
+    /// Fused `TraversalOps` execution is indistinguishable from per-node
+    /// dispatch: same likelihood bits, same cached partials and scale
+    /// counts, same optimized trees — over random trees and rootings.
+    #[test]
+    fn fused_dispatch_matches_per_node(seed in 0u64..40, edge_pick in 0usize..64) {
+        let w = SimulationConfig::new(7, 120, seed).generate();
+        let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+        let rates = GammaRates::standard(0.7).unwrap();
+        let cfg = LikelihoodConfig::optimized();
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(5));
+        let mut tree_fused = Tree::random(7, 0.2, &mut rng).unwrap();
+        let mut tree_node = tree_fused.clone();
+
+        let mut fused = LikelihoodEngine::with_options(
+            &w.alignment, model.clone(), rates.clone(), cfg, WorkspaceOptions::default(),
+        );
+        let mut node = LikelihoodEngine::with_options(
+            &w.alignment, model, rates, cfg, WorkspaceOptions::per_node(),
+        );
+
+        // Evaluate at a random branch so the compiled segments vary.
+        let edges = tree_fused.edges();
+        let at = edges[edge_pick % edges.len()];
+        let la = fused.log_likelihood_at(&tree_fused, at);
+        let lb = node.log_likelihood_at(&tree_node, at);
+        prop_assert_eq!(la.to_bits(), lb.to_bits(), "lnl {} vs {}", la, lb);
+        assert_partials_identical(&fused, &node, 7)?;
+
+        // The fused engine actually compiled a descriptor list; the
+        // per-node engine never does.
+        prop_assert!(!fused.last_traversal().is_empty());
+        prop_assert!(node.last_traversal().is_empty());
+        // Descriptor lists execute children before parents within segments.
+        for op in fused.last_traversal() {
+            prop_assert!(op.node >= 7, "ops target inner nodes only");
+        }
+
+        let oa = fused.optimize_all_branches(&mut tree_fused, 2);
+        let ob = node.optimize_all_branches(&mut tree_node, 2);
+        prop_assert_eq!(oa.to_bits(), ob.to_bits(), "optimized lnl {} vs {}", oa, ob);
+        prop_assert_eq!(&tree_fused, &tree_node);
+        assert_partials_identical(&fused, &node, 7)?;
     }
 }
 

@@ -63,16 +63,10 @@ fn four_taxa_searches_all_topologies() {
     let pendant = phylo::tree::edge(0, quartet.neighbors_of(0).next().unwrap().0);
     let v = quartet.add_taxon_on_edge(3, pendant, 0.1).unwrap();
     // Make the internal branch decisive.
-    let internal: Vec<_> = quartet
-        .neighbors_of(v)
-        .filter(|&(n, _)| !quartet.is_tip(n))
-        .collect();
+    let internal: Vec<_> = quartet.neighbors_of(v).filter(|&(n, _)| !quartet.is_tip(n)).collect();
     quartet.set_branch_length(v, internal[0].0, 0.15);
-    let w = SimulationConfig {
-        tree: Some(quartet),
-        ..SimulationConfig::new(4, 2000, 9)
-    }
-    .generate();
+    let w =
+        SimulationConfig { tree: Some(quartet), ..SimulationConfig::new(4, 2000, 9) }.generate();
     let result = infer_ml_tree(&w.alignment, &fast(), 1);
     assert_eq!(
         phylo::bipartitions::robinson_foulds(&result.tree, &w.true_tree),
@@ -86,9 +80,8 @@ fn four_taxa_searches_all_topologies() {
 #[test]
 fn all_gap_taxon_survives_the_pipeline() {
     let w = SimulationConfig::new(6, 150, 3).generate();
-    let mut pairs: Vec<(String, String)> = (0..6)
-        .map(|i| (w.raw.taxon_names()[i].clone(), w.raw.sequence_string(i)))
-        .collect();
+    let mut pairs: Vec<(String, String)> =
+        (0..6).map(|i| (w.raw.taxon_names()[i].clone(), w.raw.sequence_string(i))).collect();
     pairs.push(("gappy".to_string(), "-".repeat(150)));
     let aln = Alignment::from_named_sequences(&pairs).unwrap().compress();
     let result = infer_ml_tree(&aln, &fast(), 1);

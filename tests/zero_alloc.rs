@@ -1,0 +1,120 @@
+//! Steady-state zero-allocation guarantee for the likelihood hot path.
+//!
+//! The workspace-arena redesign promises that after warm-up, the complete
+//! `newview` → `evaluate` → `makenewz` cycle — traversal compilation, fused
+//! kernel execution, sum-table construction, Newton iteration and partial
+//! invalidation — touches the heap zero times. This test wraps the system
+//! allocator in a counting shim and asserts exactly that.
+//!
+//! It is the only test in this file on purpose: a `#[global_allocator]`
+//! counts every allocation in the process, and a concurrently running test
+//! would perturb the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static REALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn heap_counters() -> (u64, u64, u64) {
+    (
+        ALLOCATIONS.load(Ordering::SeqCst),
+        DEALLOCATIONS.load(Ordering::SeqCst),
+        REALLOCATIONS.load(Ordering::SeqCst),
+    )
+}
+
+#[test]
+fn steady_state_hot_path_does_not_touch_the_heap() {
+    use phylo::likelihood::engine::LikelihoodEngine;
+    use phylo::likelihood::{LikelihoodConfig, WorkspaceOptions};
+    use phylo::model::{GammaRates, SubstModel};
+    use phylo::simulate::SimulationConfig;
+    use phylo::tree::Tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let w = SimulationConfig::new(12, 600, 41).generate();
+    let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+    let rates = GammaRates::standard(0.8).unwrap();
+    // Sequential dispatch: the rayon path hands chunks to worker threads,
+    // whose bookkeeping is outside the zero-allocation contract.
+    let config = LikelihoodConfig { parallel: false, ..LikelihoodConfig::optimized() };
+    let mut engine = LikelihoodEngine::with_options(
+        &w.alignment,
+        model,
+        rates,
+        config,
+        WorkspaceOptions::default(),
+    );
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut tree = Tree::random(12, 0.15, &mut rng).unwrap();
+    // `tree.edges()` allocates; collect once outside the measured region.
+    let edges = tree.edges();
+
+    // One full cycle of everything the search's inner loop does.
+    let cycle = |engine: &mut LikelihoodEngine<'_>, tree: &mut Tree| -> f64 {
+        engine.invalidate_all();
+        let mut acc = 0.0;
+        for &edge in &edges {
+            acc += engine.log_likelihood_at(tree, edge);
+        }
+        for &edge in &edges {
+            let (_, lnl) = engine.optimize_branch_with_iters(tree, edge, 4);
+            acc += lnl;
+        }
+        acc
+    };
+
+    // Warm-up: every arena reaches its steady-state capacity here.
+    let warm = cycle(&mut engine, &mut tree);
+    assert!(warm.is_finite());
+
+    let before = heap_counters();
+    let measured = cycle(&mut engine, &mut tree);
+    let after = heap_counters();
+    black_box(measured);
+
+    assert!(measured.is_finite());
+    assert_eq!(
+        (after.0 - before.0, after.1 - before.1, after.2 - before.2),
+        (0, 0, 0),
+        "steady-state newview/evaluate/makenewz cycle must not allocate: \
+         +{} allocs, +{} deallocs, +{} reallocs over {} branches",
+        after.0 - before.0,
+        after.1 - before.1,
+        after.2 - before.2,
+        edges.len(),
+    );
+
+    // Sanity: the counting allocator is actually live.
+    let probe_before = heap_counters();
+    black_box(vec![0u8; 1024]);
+    let probe_after = heap_counters();
+    assert!(probe_after.0 > probe_before.0, "counting allocator must observe allocations");
+}
