@@ -165,6 +165,73 @@ pub fn figure3_text_for(workload: &Workload) -> Result<String, ExperimentError> 
     Ok(figure3_text(&run_figure3(workload, &model, &DesParams::default())?))
 }
 
+/// Sweep uniform fault rates and a dead-SPE scenario across the DES
+/// schedulers, reporting makespan degradation and what the recovery
+/// machinery (retries, re-dispatch, blacklisting, PPE degradation) did.
+pub fn fault_study_text(workload: &Workload, n_jobs: usize) -> String {
+    use cellsim::fault::FaultPlan;
+    use raxml_cell::config::{OptConfig, Scheduler};
+    use raxml_cell::offload::price_trace;
+    use raxml_cell::report::{format_fault_table, FaultRow};
+    use raxml_cell::sched::{schedule_makespan, schedule_makespan_with_faults};
+
+    let model = CostModel::paper_calibrated();
+    let params = DesParams::default();
+    let priced = price_trace(&workload.events, &model, &OptConfig::fully_optimized());
+    let schedulers: [(Scheduler, &str); 3] = [
+        (Scheduler::Edtlp, "EDTLP"),
+        (Scheduler::Llp { workers: 2 }, "LLP/2"),
+        (Scheduler::Mgps, "MGPS"),
+    ];
+
+    let mut out = String::new();
+    let mut rows = Vec::new();
+    for &(sched, label) in &schedulers {
+        let clean = schedule_makespan(sched, &priced, n_jobs, &model, &params);
+        for rate in [0.01, 0.05, 0.2] {
+            let o = schedule_makespan_with_faults(
+                sched,
+                &priced,
+                n_jobs,
+                &model,
+                &params,
+                &FaultPlan::uniform(29, rate),
+            );
+            rows.push(FaultRow {
+                scheduler: label.to_string(),
+                fault_rate: rate,
+                makespan: o.makespan,
+                clean_makespan: clean,
+                report: o.faults,
+            });
+        }
+    }
+    out.push_str(&format_fault_table(
+        &format!("Fault-rate sweep ({n_jobs} bootstraps, uniform plan, seed 29)"),
+        &rows,
+    ));
+
+    let mut rows = Vec::new();
+    for &(sched, label) in &schedulers {
+        let clean = schedule_makespan(sched, &priced, n_jobs, &model, &params);
+        let plan = FaultPlan::none().with_death(0, clean / 4).with_death(3, clean / 2);
+        let o = schedule_makespan_with_faults(sched, &priced, n_jobs, &model, &params, &plan);
+        rows.push(FaultRow {
+            scheduler: label.to_string(),
+            fault_rate: 0.0,
+            makespan: o.makespan,
+            clean_makespan: clean,
+            report: o.faults,
+        });
+    }
+    out.push('\n');
+    out.push_str(&format_fault_table(
+        "Permanent SPE deaths (SPE 0 at 25% of clean makespan, SPE 3 at 50%)",
+        &rows,
+    ));
+    out
+}
+
 /// Standard binary entry point: captures the workload (reduced when
 /// `--quick` is passed) and returns it together with its label.
 pub fn workload_from_args() -> Result<(Workload, &'static str), ExperimentError> {

@@ -7,6 +7,7 @@
 //! with the number of active SPEs because the offloaded functions are
 //! fine-grained (71 µs average for `newview`).
 
+use crate::fault::FaultPlan;
 use crate::time::Cycles;
 
 /// How the PPE and an SPE signal each other.
@@ -124,6 +125,60 @@ impl Channel {
     }
 }
 
+/// Outcome of a fault-aware signal round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalOutcome {
+    /// Total cycles: every attempt plus detection and backoff on faults.
+    pub cycles: Cycles,
+    /// Round trips attempted (1 on the fault-free path).
+    pub attempts: u32,
+    /// Signals lost or corrupted along the way.
+    pub faults: u32,
+}
+
+/// A signal that never got through: all retry attempts faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalError {
+    pub attempts: u32,
+    pub cycles: Cycles,
+}
+
+impl std::fmt::Display for SignalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "signal lost after {} attempts ({} cycles spent)", self.attempts, self.cycles)
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+/// One offload signal round trip under a [`FaultPlan`]: dropped signals are
+/// detected by timeout and resent after backoff; corrupted ones are caught
+/// by payload validation and likewise retried. With an inert plan this is
+/// exactly one [`CommCosts::roundtrip`].
+pub fn roundtrip_with_faults(
+    costs: &CommCosts,
+    kind: SignalKind,
+    plan: &FaultPlan,
+    stream: u64,
+    index: u64,
+) -> Result<SignalOutcome, SignalError> {
+    let per_attempt = costs.roundtrip(kind);
+    let mut cycles: Cycles = 0;
+    let mut faults = 0u32;
+    let max = plan.backoff.max_attempts.max(1);
+    for attempt in 0..max {
+        cycles += per_attempt;
+        match plan.signal_fault(stream, index, attempt) {
+            None => return Ok(SignalOutcome { cycles, attempts: attempt + 1, faults }),
+            Some(f) => {
+                faults += 1;
+                cycles += plan.detect_cost(f) + plan.backoff.delay(attempt);
+            }
+        }
+    }
+    Err(SignalError { attempts: max, cycles })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +214,38 @@ mod tests {
         assert!(ch.complete());
         assert!(!ch.accept());
         assert!(ch.consume());
+    }
+
+    #[test]
+    fn faultless_signal_is_one_roundtrip() {
+        let c = CommCosts::default();
+        let out =
+            roundtrip_with_faults(&c, SignalKind::DirectMemory, &FaultPlan::none(), 0, 0).unwrap();
+        assert_eq!(out, SignalOutcome { cycles: c.direct_roundtrip, attempts: 1, faults: 0 });
+    }
+
+    #[test]
+    fn dropped_signals_are_retried_deterministically() {
+        let c = CommCosts::default();
+        let mut plan = FaultPlan::uniform(9, 0.0);
+        plan.signal_drop_rate = 0.5;
+        let run = |idx| roundtrip_with_faults(&c, SignalKind::Mailbox, &plan, 4, idx);
+        let retried = (0..100).filter_map(|i| run(i).ok()).find(|o| o.faults > 0).unwrap();
+        assert!(retried.attempts > 1);
+        assert!(retried.cycles > retried.attempts as u64 * c.mailbox_roundtrip);
+        for i in 0..100 {
+            assert_eq!(run(i), run(i), "replays must be identical");
+        }
+    }
+
+    #[test]
+    fn certain_drops_exhaust_the_signal() {
+        let c = CommCosts::default();
+        let mut plan = FaultPlan::uniform(2, 0.0);
+        plan.signal_drop_rate = 1.0;
+        let err = roundtrip_with_faults(&c, SignalKind::Mailbox, &plan, 0, 0).unwrap_err();
+        assert_eq!(err.attempts, plan.backoff.max_attempts);
+        assert!(err.cycles > 0);
     }
 
     #[test]

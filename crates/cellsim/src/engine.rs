@@ -8,6 +8,24 @@ use crate::time::Cycles;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// A scheduling request that would rewind the clock, returned (with the
+/// rejected event) by [`EventQueue::try_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulePast {
+    /// The requested (past) timestamp.
+    pub at: Cycles,
+    /// The queue's current time.
+    pub now: Cycles,
+}
+
+impl std::fmt::Display for SchedulePast {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot schedule at {} (now = {})", self.at, self.now)
+    }
+}
+
+impl std::error::Error for SchedulePast {}
+
 /// A deterministic time-ordered event queue.
 #[derive(Debug)]
 pub struct EventQueue<E> {
@@ -37,11 +55,23 @@ impl<E> EventQueue<E> {
     /// Schedule an event at an absolute time. Panics if the time is in the
     /// past — discrete-event simulations must never rewind.
     pub fn schedule(&mut self, at: Cycles, event: E) {
-        assert!(at >= self.now, "cannot schedule at {at} (now = {})", self.now);
+        if let Err((_, e)) = self.try_schedule(at, event) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`EventQueue::schedule`]: a past timestamp returns the event
+    /// back with a [`SchedulePast`] instead of panicking, so fault-recovery
+    /// code can reroute work it computed against a stale clock.
+    pub fn try_schedule(&mut self, at: Cycles, event: E) -> Result<(), (E, SchedulePast)> {
+        if at < self.now {
+            return Err((event, SchedulePast { at, now: self.now }));
+        }
         let slot = self.events.len();
         self.events.push(Some(event));
         self.heap.push(Reverse((at, self.seq, slot)));
         self.seq += 1;
+        Ok(())
     }
 
     /// Schedule an event `delay` cycles from now.
@@ -117,6 +147,20 @@ mod tests {
         q.schedule(100, "x");
         q.pop();
         q.schedule(50, "too late");
+    }
+
+    #[test]
+    fn try_schedule_returns_past_events_instead_of_panicking() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        let (event, err) = q.try_schedule(50, "too late").unwrap_err();
+        assert_eq!(event, "too late");
+        assert_eq!(err, SchedulePast { at: 50, now: 100 });
+        assert_eq!(err.to_string(), "cannot schedule at 50 (now = 100)");
+        // The current time is legal (not in the past).
+        assert!(q.try_schedule(100, "boundary").is_ok());
+        assert_eq!(q.pop(), Some((100, "boundary")));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod cost;
 pub mod dma;
 pub mod eib;
 pub mod engine;
+pub mod fault;
 pub mod localstore;
 pub mod machine;
 pub mod overlay;
@@ -48,5 +49,6 @@ pub mod time;
 pub use comm::SignalKind;
 pub use cost::{CondKind, CostModel, ExecutionFlags, ExpKind, KernelCost, Location};
 pub use engine::EventQueue;
+pub use fault::{FaultKind, FaultPlan, FaultReport, SpeDeath};
 pub use machine::MachineConfig;
 pub use time::Cycles;

@@ -63,6 +63,21 @@ impl Decrementer {
     }
 }
 
+/// Attempt to use an SPE that has died permanently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeDead {
+    /// Index of the dead SPE.
+    pub id: usize,
+}
+
+impl std::fmt::Display for SpeDead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SPE{} is dead", self.id)
+    }
+}
+
+impl std::error::Error for SpeDead {}
+
 /// One Synergistic Processing Element.
 #[derive(Debug, Clone)]
 pub struct Spe {
@@ -76,8 +91,12 @@ pub struct Spe {
     busy_until: Cycles,
     /// Total busy cycles accumulated.
     busy_total: Cycles,
+    /// Cycles lost to transient stalls (not useful work).
+    stalled_total: Cycles,
     /// Tasks executed.
     tasks: u64,
+    /// False once the SPE has died permanently.
+    alive: bool,
 }
 
 impl Spe {
@@ -89,7 +108,9 @@ impl Spe {
             channel: Channel::default(),
             busy_until: 0,
             busy_total: 0,
+            stalled_total: 0,
             tasks: 0,
+            alive: true,
         }
     }
 
@@ -98,9 +119,29 @@ impl Spe {
         now < self.busy_until
     }
 
+    /// Is the SPE still in service?
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Kill the SPE permanently: it accepts no further tasks.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+
     /// Start a task of the given duration at time `now` (which must not be
     /// before the current busy horizon). Returns the completion time.
     pub fn run_task(&mut self, now: Cycles, duration: Cycles) -> Cycles {
+        self.try_run_task(now, duration).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`Spe::run_task`], but a dead SPE returns [`SpeDead`] instead of
+    /// accepting work. Overlapping tasks still panic: that is a scheduler
+    /// bug, not a runtime condition.
+    pub fn try_run_task(&mut self, now: Cycles, duration: Cycles) -> Result<Cycles, SpeDead> {
+        if !self.alive {
+            return Err(SpeDead { id: self.id });
+        }
         assert!(
             now >= self.busy_until,
             "SPE{} is busy until {} (asked to start at {now})",
@@ -110,7 +151,21 @@ impl Spe {
         self.busy_until = now + duration;
         self.busy_total += duration;
         self.tasks += 1;
+        Ok(self.busy_until)
+    }
+
+    /// A transient stall at time `now`: pushes the busy horizon out by
+    /// `cycles` without counting the time as useful work. Returns the new
+    /// horizon.
+    pub fn stall(&mut self, now: Cycles, cycles: Cycles) -> Cycles {
+        self.busy_until = self.busy_until.max(now) + cycles;
+        self.stalled_total += cycles;
         self.busy_until
+    }
+
+    /// Cycles lost to transient stalls.
+    pub fn stalled_total(&self) -> Cycles {
+        self.stalled_total
     }
 
     /// Completion time of the current task (or the last one).
@@ -161,6 +216,46 @@ mod tests {
     }
 
     #[test]
+    fn decrementer_interval_aliases_modulo_one_full_wrap() {
+        // The 32-bit interval path: elapsed() reconstructs `start − read`,
+        // which is exact for intervals < 2³² ticks and aliases modulo 2³²
+        // beyond that — exactly how the hardware register behaves.
+        let d = Decrementer::with_ratio(100, 0, 1.0);
+        let wrap = 1u64 << 32;
+
+        // One tick short of a full wrap: still measurable.
+        assert_eq!(d.elapsed(wrap - 1), u32::MAX);
+        // Exactly one full wrap: the register is back at its start value and
+        // the measured interval collapses to zero.
+        assert_eq!(d.read(wrap), 100);
+        assert_eq!(d.elapsed(wrap), 0);
+        // Past one wrap: only the remainder is visible.
+        assert_eq!(d.read(wrap + 7), 93);
+        assert_eq!(d.elapsed(wrap + 7), 7);
+        // Several wraps behave the same: 3·2³² + 12345 → 12345.
+        assert_eq!(d.elapsed(3 * wrap + 12_345), 12_345);
+    }
+
+    #[test]
+    fn decrementer_wrap_interval_with_fractional_tick_ratio() {
+        // At the real timebase ratio a wrap takes 2³² / ratio core cycles;
+        // the tick count must still reduce modulo 2³².
+        let ratio = Decrementer::CELL_TICKS_PER_CYCLE;
+        let d = Decrementer::write(5, 0);
+        let cycles_per_wrap = ((1u64 << 32) as f64 / ratio) as Cycles;
+        let ticks_past = 1_000u64;
+        let now = cycles_per_wrap + (ticks_past as f64 / ratio) as Cycles;
+        let elapsed = d.elapsed(now) as u64;
+        // Float rounding in the tick conversion allows a few ticks of slop,
+        // but the measured interval must be the post-wrap remainder, not the
+        // ~4.3-billion-tick true interval.
+        assert!(
+            elapsed.abs_diff(ticks_past) < 5,
+            "expected ≈{ticks_past} ticks after one wrap, got {elapsed}"
+        );
+    }
+
+    #[test]
     fn cell_ratio_measures_microseconds() {
         // 3200 cycles = 1 µs at 3.2 GHz ≈ 14.3 decrementer ticks.
         let d = Decrementer::write(u32::MAX, 0);
@@ -191,6 +286,36 @@ mod tests {
         let mut spe = Spe::new(0);
         spe.run_task(0, 100);
         spe.run_task(50, 10);
+    }
+
+    #[test]
+    fn dead_spe_refuses_work() {
+        let mut spe = Spe::new(2);
+        assert!(spe.is_alive());
+        assert_eq!(spe.try_run_task(0, 10), Ok(10));
+        spe.kill();
+        assert!(!spe.is_alive());
+        assert_eq!(spe.try_run_task(20, 10), Err(SpeDead { id: 2 }));
+        assert_eq!(spe.tasks(), 1, "the rejected task must not be counted");
+    }
+
+    #[test]
+    #[should_panic(expected = "SPE4 is dead")]
+    fn run_task_panics_on_dead_spe() {
+        let mut spe = Spe::new(4);
+        spe.kill();
+        spe.run_task(0, 10);
+    }
+
+    #[test]
+    fn stalls_extend_the_horizon_without_counting_as_work() {
+        let mut spe = Spe::new(1);
+        spe.run_task(0, 100);
+        assert_eq!(spe.stall(50, 30), 130, "stall extends the current task");
+        assert_eq!(spe.stall(500, 20), 520, "idle stall starts from now");
+        assert_eq!(spe.busy_total(), 100);
+        assert_eq!(spe.stalled_total(), 50);
+        assert!(spe.is_busy(510));
     }
 
     #[test]

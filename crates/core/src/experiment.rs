@@ -116,6 +116,30 @@ pub fn capture_workload(spec: &WorkloadSpec) -> Result<Workload> {
     })
 }
 
+/// Load an alignment from disk, detecting the format from the extension
+/// (`.fa`/`.fasta` → FASTA, `.nwk` aside, everything else sniffed: a leading
+/// `>` means FASTA, otherwise relaxed PHYLIP — RAxML's own input format).
+///
+/// Unreadable files surface as [`ExperimentError::Io`]; malformed contents
+/// as the parser's typed [`phylo::error::PhyloError`] wrapped in
+/// [`ExperimentError::Phylo`], so drivers print a line/column diagnosis and
+/// exit nonzero instead of panicking on corrupt input.
+pub fn load_alignment(path: &std::path::Path) -> Result<phylo::alignment::Alignment> {
+    let text = std::fs::read_to_string(path).map_err(|e| ExperimentError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let ext = path.extension().and_then(|e| e.to_str()).map(|e| e.to_ascii_lowercase());
+    let is_fasta = match ext.as_deref() {
+        Some("fa" | "fasta") => true,
+        Some("phy" | "phylip") => false,
+        _ => text.trim_start().starts_with('>'),
+    };
+    let aln =
+        if is_fasta { phylo::io::parse_fasta(&text)? } else { phylo::io::parse_phylip(&text)? };
+    Ok(aln)
+}
+
 /// Reject workloads whose trace has nothing to price.
 fn check_workload(workload: &Workload) -> Result<()> {
     if workload.events.is_empty() {
@@ -526,6 +550,43 @@ mod tests {
     fn workload() -> &'static Workload {
         static CACHE: OnceLock<Workload> = OnceLock::new();
         CACHE.get_or_init(|| capture_workload(&WorkloadSpec::test_mid()).expect("capture"))
+    }
+
+    #[test]
+    fn load_alignment_routes_typed_errors() {
+        let dir = std::env::temp_dir().join("raxml-cell-load-aln-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file → Io.
+        let missing = dir.join("does-not-exist.phy");
+        match load_alignment(&missing) {
+            Err(ExperimentError::Io { path, .. }) => assert!(path.contains("does-not-exist")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+
+        // Corrupt PHYLIP → typed parse error with a line number.
+        let bad = dir.join("bad.phy");
+        std::fs::write(&bad, "2 4\nalpha ACGTTTTT\n").unwrap();
+        match load_alignment(&bad) {
+            Err(ExperimentError::Phylo(phylo::error::PhyloError::Parse {
+                format, line, ..
+            })) => {
+                assert_eq!(format, "PHYLIP");
+                assert!(line > 0);
+            }
+            other => panic!("expected Phylo(Parse) error, got {other:?}"),
+        }
+
+        // Good FASTA sniffed by content even with a neutral extension.
+        let good = dir.join("good.txt");
+        std::fs::write(&good, ">a\nACGT\n>b\nACGA\n").unwrap();
+        let aln = load_alignment(&good).unwrap();
+        assert_eq!((aln.n_taxa(), aln.n_sites()), (2, 4));
+
+        // Good PHYLIP by extension.
+        let phy = dir.join("good.phy");
+        std::fs::write(&phy, "2 4\nalpha ACGT\nbeta  ACGA\n").unwrap();
+        assert_eq!(load_alignment(&phy).unwrap().n_taxa(), 2);
     }
 
     #[test]

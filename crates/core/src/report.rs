@@ -96,6 +96,69 @@ pub fn format_comparison(title: &str, rows: &[Comparison]) -> String {
     out
 }
 
+/// One row of a fault-study sweep: a scheduler at a fault rate, with the
+/// resulting makespan and recovery accounting.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Scheduler label (e.g. "EDTLP", "LLP/2", "MGPS").
+    pub scheduler: String,
+    /// Uniform per-category fault rate of the plan.
+    pub fault_rate: f64,
+    /// Makespan in cycles under the plan.
+    pub makespan: cellsim::Cycles,
+    /// Makespan in cycles of the fault-free run (the degradation baseline).
+    pub clean_makespan: cellsim::Cycles,
+    /// What the recovery machinery did.
+    pub report: cellsim::fault::FaultReport,
+}
+
+impl FaultRow {
+    /// Slowdown relative to the fault-free run (1.0 = unaffected).
+    pub fn degradation(&self) -> f64 {
+        if self.clean_makespan == 0 {
+            return 1.0;
+        }
+        self.makespan as f64 / self.clean_makespan as f64
+    }
+}
+
+/// Format a fault sweep as an aligned text table: one line per
+/// (scheduler, rate) with the degradation factor and recovery counters.
+pub fn format_fault_table(title: &str, rows: &[FaultRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>6} {:>14} {:>9} | {:>8} {:>8} {:>7} {:>7} {:>6}",
+        "scheduler",
+        "rate",
+        "makespan",
+        "slowdown",
+        "injected",
+        "retries",
+        "redisp",
+        "blackl",
+        "degr"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>6.3} {:>14} {:>8.3}x | {:>8} {:>8} {:>7} {:>7} {:>6}",
+            r.scheduler,
+            r.fault_rate,
+            r.makespan,
+            r.degradation(),
+            r.report.injected,
+            r.report.retries,
+            r.report.redispatches,
+            r.report.blacklisted,
+            r.report.degradations,
+        );
+    }
+    out
+}
+
 /// Check that the simulated *shape* matches the paper: each row's
 /// normalized value (relative to the first row) must be within
 /// `rel_tolerance` of the paper's normalized value. Returns the worst
@@ -164,6 +227,39 @@ mod tests {
         // Perfect shape despite 2× absolute offset.
         assert_eq!(shape_deviation(&rows), 0.0);
         assert_eq!(rows[0].ratio(), 2.0);
+    }
+
+    #[test]
+    fn fault_table_formatting() {
+        let rows = vec![
+            FaultRow {
+                scheduler: "EDTLP".into(),
+                fault_rate: 0.0,
+                makespan: 1000,
+                clean_makespan: 1000,
+                report: Default::default(),
+            },
+            FaultRow {
+                scheduler: "MGPS".into(),
+                fault_rate: 0.1,
+                makespan: 1500,
+                clean_makespan: 1000,
+                report: cellsim::fault::FaultReport {
+                    injected: 7,
+                    retries: 5,
+                    ..Default::default()
+                },
+            },
+        ];
+        assert_eq!(rows[0].degradation(), 1.0);
+        assert!((rows[1].degradation() - 1.5).abs() < 1e-12);
+        let text = format_fault_table("Fault study", &rows);
+        assert!(text.contains("Fault study"));
+        assert!(text.contains("MGPS"));
+        assert!(text.contains("1.500x"));
+        // Zero baseline does not divide by zero.
+        let degenerate = FaultRow { clean_makespan: 0, ..rows[1].clone() };
+        assert_eq!(degenerate.degradation(), 1.0);
     }
 
     #[test]

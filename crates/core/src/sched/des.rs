@@ -7,8 +7,22 @@
 //! §5.3 is what makes the PPE thread available to other workers during SPE
 //! phases; the naive port busy-waits instead (modelled by
 //! [`super::sync_workers_makespan`]).
+//!
+//! ## Fault model
+//!
+//! [`simulate_task_parallel_jobs_with_faults`] runs the same simulation
+//! under a [`FaultPlan`]: every SPE burst walks the plan's offload
+//! retry/backoff state machine (extra cycles are charged to the burst and
+//! recorded in a [`FaultReport`]), offloads that exhaust their attempts are
+//! re-dispatched, repeatedly failing SPE sets have members blacklisted,
+//! scheduled SPE deaths shrink a worker's set mid-run (in-flight work is
+//! lost and re-dispatched), and a worker whose whole set is dead degrades
+//! to PPE-only execution of its remaining SPE phases. With an inert plan
+//! the event sequence — and therefore every makespan and statistic — is
+//! bit-identical to the fault-free simulator.
 
 use crate::offload::PricedTrace;
+use cellsim::fault::{FaultPlan, FaultReport};
 use cellsim::stats::SimStats;
 use cellsim::{Cycles, EventQueue};
 use std::collections::VecDeque;
@@ -46,6 +60,8 @@ pub struct SimOutcome {
     pub makespan: Cycles,
     /// Utilization accounting.
     pub stats: SimStats,
+    /// Fault/recovery accounting (all-zero without a fault plan).
+    pub faults: FaultReport,
 }
 
 /// Turn a priced trace into scheduling phases with `k`-way loop-level
@@ -101,11 +117,241 @@ enum Ev {
     SpeDone(usize),
 }
 
+/// Consecutive exhausted offloads before a member of the worker's SPE set
+/// is blacklisted as a repeat offender.
+const BLACKLIST_AFTER: u32 = 2;
+
 struct Worker {
     /// Index into the phase list of the current job.
     phase: usize,
     /// The job currently held (an index into the job list).
     job: Option<usize>,
+    /// Offload sequence number: the per-worker fault-draw stream index.
+    seq: u64,
+    /// The outstanding PPE grant is degraded (fallback) SPE work.
+    fallback: bool,
+    /// All of this worker's SPEs are dead: run everything on the PPE.
+    degraded: bool,
+    /// Consecutive offloads that exhausted their retry budget.
+    failures: u32,
+    /// In-flight SPE burst, for mid-flight death detection.
+    burst: Option<Burst>,
+}
+
+struct Burst {
+    /// Absolute SPE ids that were alive when the burst started.
+    members: Vec<usize>,
+    /// Wall duration the burst was scheduled for.
+    duration: Cycles,
+    /// Nominal SPE cycles of the phase (for re-dispatch).
+    spe_cycles: Cycles,
+}
+
+struct Sim<'a> {
+    jobs: &'a [&'a [Phase]],
+    plan: &'a FaultPlan,
+    queue: EventQueue<Ev>,
+    stats: SimStats,
+    report: FaultReport,
+    next_job: usize,
+    ppe_free: usize,
+    /// Workers waiting for a PPE thread, with the duration to charge.
+    ppe_waiting: VecDeque<(usize, Cycles)>,
+    workers: Vec<Worker>,
+    smt: f64,
+    spes_per_worker: usize,
+    spe_dead: Vec<bool>,
+}
+
+impl Sim<'_> {
+    /// Advance a worker to its next phase with nonzero work; start the PPE
+    /// request or SPE burst.
+    fn advance(&mut self, wid: usize) {
+        loop {
+            let w = &mut self.workers[wid];
+            let done = match w.job {
+                None => true,
+                Some(j) => w.phase >= self.jobs[j].len(),
+            };
+            if done {
+                if self.next_job >= self.jobs.len() {
+                    w.job = None;
+                    return;
+                }
+                w.job = Some(self.next_job);
+                self.next_job += 1;
+                w.phase = 0;
+            }
+            let w = &self.workers[wid];
+            let job = self.jobs[w.job.expect("worker holds a job")];
+            if w.phase >= job.len() {
+                // Zero-length job: loop to take the next one.
+                continue;
+            }
+            let phase = job[w.phase];
+            if phase.ppe > 0 {
+                let dur = (phase.ppe as f64 * self.smt).round() as Cycles;
+                self.request_ppe(wid, dur, false);
+                return;
+            }
+            if phase.spe > 0 {
+                self.start_spe(wid, phase.spe);
+                return;
+            }
+            // Empty phase: skip.
+            self.workers[wid].phase += 1;
+        }
+    }
+
+    /// Request a PPE hardware thread for `dur` cycles (already SMT-inflated).
+    fn request_ppe(&mut self, wid: usize, dur: Cycles, fallback: bool) {
+        self.workers[wid].fallback = fallback;
+        if self.ppe_free > 0 {
+            self.ppe_free -= 1;
+            self.stats.ppe_busy += dur;
+            self.queue.schedule_after(dur, Ev::PpeDone(wid));
+        } else {
+            self.ppe_waiting.push_back((wid, dur));
+        }
+    }
+
+    /// Mark every death scheduled at or before `now`, once.
+    fn apply_deaths(&mut self, now: Cycles) {
+        if self.plan.deaths.is_empty() {
+            return;
+        }
+        for d in &self.plan.deaths {
+            if d.at <= now && d.spe < self.spe_dead.len() && !self.spe_dead[d.spe] {
+                self.spe_dead[d.spe] = true;
+                self.report.blacklisted += 1;
+            }
+        }
+    }
+
+    /// The worker's SPEs that are still in service.
+    fn alive_set(&self, wid: usize) -> Vec<usize> {
+        (wid * self.spes_per_worker..(wid + 1) * self.spes_per_worker)
+            .filter(|&s| !self.spe_dead[s])
+            .collect()
+    }
+
+    /// Start an SPE burst of nominally `spe_cycles` for worker `wid`,
+    /// running the fault/retry machinery when the plan is live.
+    fn start_spe(&mut self, wid: usize, spe_cycles: Cycles) {
+        self.apply_deaths(self.queue.now());
+        loop {
+            let alive = self.alive_set(wid);
+            if alive.is_empty() {
+                self.degrade(wid, spe_cycles);
+                return;
+            }
+            let mut extra: Cycles = 0;
+            if !self.plan.is_inert() {
+                let seq = self.workers[wid].seq;
+                self.workers[wid].seq += 1;
+                let rec = self.plan.offload_recovery(wid as u64, seq);
+                self.report.injected += rec.injected as u64;
+                self.report.retries += rec.retries as u64;
+                self.report.penalty_cycles += rec.extra_cycles;
+                extra = rec.extra_cycles;
+                if rec.gave_up {
+                    // The offload never completed on this set: re-dispatch.
+                    self.report.redispatches += 1;
+                    self.workers[wid].failures += 1;
+                    if self.workers[wid].failures >= BLACKLIST_AFTER {
+                        // Repeat offender: blacklist one member and retry on
+                        // the reduced set (degrading if none remain).
+                        self.workers[wid].failures = 0;
+                        self.spe_dead[alive[0]] = true;
+                        self.report.blacklisted += 1;
+                        continue;
+                    }
+                } else {
+                    self.workers[wid].failures = 0;
+                }
+            }
+            // Burst duration and per-SPE attribution. The fault-free branch
+            // is kept arithmetically identical to the legacy simulator; a
+            // shrunken set stretches the wall time by k/alive (the same loop
+            // split across fewer SPEs).
+            let k = self.spes_per_worker;
+            let (duration, share) = if alive.len() == k {
+                (spe_cycles, spe_cycles / k as u64)
+            } else {
+                (spe_cycles * k as u64 / alive.len() as u64, spe_cycles / alive.len() as u64)
+            };
+            if alive.len() < k {
+                self.report.penalty_cycles += duration - spe_cycles;
+            }
+            let duration = duration + extra;
+            for (i, &s) in alive.iter().enumerate() {
+                self.stats.spes[s].loop_cycles += share;
+                if i == 0 {
+                    self.stats.spes[s].invocations += 1;
+                }
+            }
+            self.workers[wid].burst = Some(Burst { members: alive, duration, spe_cycles });
+            self.queue.schedule_after(duration, Ev::SpeDone(wid));
+            return;
+        }
+    }
+
+    /// All of the worker's SPEs are dead: run the SPE phase on the PPE at
+    /// the plan's fallback slowdown, through the normal thread queue.
+    fn degrade(&mut self, wid: usize, spe_cycles: Cycles) {
+        if !self.workers[wid].degraded {
+            self.workers[wid].degraded = true;
+            self.report.degradations += 1;
+        }
+        let dur = (spe_cycles as f64 * self.plan.ppe_fallback_factor * self.smt).round() as Cycles;
+        self.report.penalty_cycles += dur.saturating_sub(spe_cycles);
+        self.request_ppe(wid, dur, true);
+    }
+
+    fn on_ppe_done(&mut self, wid: usize) {
+        self.ppe_free += 1;
+        // Hand the freed thread to the next waiter.
+        if let Some((next, dur)) = self.ppe_waiting.pop_front() {
+            self.ppe_free -= 1;
+            self.stats.ppe_busy += dur;
+            self.queue.schedule_after(dur, Ev::PpeDone(next));
+        }
+        // The finishing worker proceeds: SPE burst or next phase.
+        if self.workers[wid].fallback {
+            // Degraded SPE work just completed on the PPE: phase done.
+            self.workers[wid].fallback = false;
+            self.workers[wid].phase += 1;
+            self.advance(wid);
+            return;
+        }
+        let w = &self.workers[wid];
+        let phase = self.jobs[w.job.expect("worker holds a job")][w.phase];
+        if phase.spe > 0 {
+            self.start_spe(wid, phase.spe);
+        } else {
+            self.workers[wid].phase += 1;
+            self.advance(wid);
+        }
+    }
+
+    fn on_spe_done(&mut self, wid: usize, now: Cycles) {
+        let burst = self.workers[wid].burst.take().expect("SpeDone without a burst");
+        if !self.plan.deaths.is_empty() {
+            let died_in_flight =
+                burst.members.iter().any(|&s| !self.spe_dead[s] && self.plan.dead_at(s, now));
+            if died_in_flight {
+                // The burst's output is lost with the dead SPE: blacklist
+                // the casualties and re-dispatch the whole phase from now.
+                self.apply_deaths(now);
+                self.report.redispatches += 1;
+                self.report.penalty_cycles += burst.duration;
+                self.start_spe(wid, burst.spe_cycles);
+                return;
+            }
+        }
+        self.workers[wid].phase += 1;
+        self.advance(wid);
+    }
 }
 
 /// Simulate `n_jobs` identical jobs (each the given phase list) over
@@ -122,6 +368,19 @@ pub fn simulate_task_parallel(
     simulate_task_parallel_jobs(&jobs, n_workers, spes_per_worker, params)
 }
 
+/// As [`simulate_task_parallel`], under a fault plan.
+pub fn simulate_task_parallel_with_faults(
+    job_phases: &[Phase],
+    n_jobs: usize,
+    n_workers: usize,
+    spes_per_worker: usize,
+    params: &DesParams,
+    plan: &FaultPlan,
+) -> SimOutcome {
+    let jobs: Vec<&[Phase]> = (0..n_jobs).map(|_| job_phases).collect();
+    simulate_task_parallel_jobs_with_faults(&jobs, n_workers, spes_per_worker, params, plan)
+}
+
 /// As [`simulate_task_parallel`], with an explicit (possibly different)
 /// phase list per job — real bootstrap replicates differ in search length,
 /// and this entry point lets callers schedule genuinely varied traces.
@@ -130,6 +389,26 @@ pub fn simulate_task_parallel_jobs(
     n_workers: usize,
     spes_per_worker: usize,
     params: &DesParams,
+) -> SimOutcome {
+    simulate_task_parallel_jobs_with_faults(
+        jobs,
+        n_workers,
+        spes_per_worker,
+        params,
+        &FaultPlan::none(),
+    )
+}
+
+/// The full simulator: [`simulate_task_parallel_jobs`] under a
+/// [`FaultPlan`]. An inert plan reproduces the fault-free event sequence
+/// bit-exactly; a live plan charges retries, backoff, re-dispatches, and
+/// PPE-fallback degradation into the makespan and reports them.
+pub fn simulate_task_parallel_jobs_with_faults(
+    jobs: &[&[Phase]],
+    n_workers: usize,
+    spes_per_worker: usize,
+    params: &DesParams,
+    plan: &FaultPlan,
 ) -> SimOutcome {
     let n_jobs = jobs.len();
     assert!(n_workers >= 1, "need at least one worker");
@@ -141,165 +420,47 @@ pub fn simulate_task_parallel_jobs(
     let n_workers = n_workers.min(n_jobs.max(1));
     let smt = if n_workers >= 2 { params.smt_penalty } else { 1.0 };
 
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut stats = SimStats::new(params.n_spes);
-    let mut next_job = 0usize;
-    let mut ppe_free = params.n_ppe_threads;
-    let mut ppe_waiting: VecDeque<usize> = VecDeque::new();
-    let mut workers: Vec<Worker> = (0..n_workers).map(|_| Worker { phase: 0, job: None }).collect();
-    let mut makespan: Cycles = 0;
-
-    // Advance a worker to its next phase with nonzero work; start the PPE
-    // request or SPE burst. Returns scheduled events via the queue.
-    // (The argument list is the full simulation state on purpose: a struct
-    // would just re-bundle the same locals the event loop destructures.)
-    #[allow(clippy::too_many_arguments)]
-    fn advance(
-        wid: usize,
-        now_queue: &mut EventQueue<Ev>,
-        workers: &mut [Worker],
-        next_job: &mut usize,
-        jobs: &[&[Phase]],
-        ppe_free: &mut usize,
-        ppe_waiting: &mut VecDeque<usize>,
-        stats: &mut SimStats,
-        smt: f64,
-        spes_per_worker: usize,
-    ) {
-        loop {
-            let w = &mut workers[wid];
-            let done = match w.job {
-                None => true,
-                Some(j) => w.phase >= jobs[j].len(),
-            };
-            if done {
-                if *next_job >= jobs.len() {
-                    w.job = None;
-                    return;
-                }
-                w.job = Some(*next_job);
-                *next_job += 1;
-                w.phase = 0;
-            }
-            let w = &workers[wid];
-            let job = jobs[w.job.expect("worker holds a job")];
-            if w.phase >= job.len() {
-                // Zero-length job: loop to take the next one.
-                continue;
-            }
-            let phase = job[w.phase];
-            if phase.ppe > 0 {
-                // Request a PPE thread.
-                if *ppe_free > 0 {
-                    *ppe_free -= 1;
-                    let dur = (phase.ppe as f64 * smt).round() as Cycles;
-                    stats.ppe_busy += dur;
-                    now_queue.schedule_after(dur, Ev::PpeDone(wid));
-                } else {
-                    ppe_waiting.push_back(wid);
-                }
-                return;
-            }
-            if phase.spe > 0 {
-                start_spe(wid, phase.spe, now_queue, stats, spes_per_worker);
-                return;
-            }
-            // Empty phase: skip.
-            workers[wid].phase += 1;
-        }
-    }
-
-    fn start_spe(
-        wid: usize,
-        spe_cycles: Cycles,
-        queue: &mut EventQueue<Ev>,
-        stats: &mut SimStats,
-        spes_per_worker: usize,
-    ) {
-        // Attribute busy cycles evenly over the worker's SPE set (for LLP
-        // the loop is split across them).
-        let share = spe_cycles / spes_per_worker as u64;
-        for s in 0..spes_per_worker {
-            let spe = wid * spes_per_worker + s;
-            stats.spes[spe].loop_cycles += share;
-            if s == 0 {
-                stats.spes[spe].invocations += 1;
-            }
-        }
-        queue.schedule_after(spe_cycles, Ev::SpeDone(wid));
-    }
+    let mut sim = Sim {
+        jobs,
+        plan,
+        queue: EventQueue::new(),
+        stats: SimStats::new(params.n_spes),
+        report: FaultReport::default(),
+        next_job: 0,
+        ppe_free: params.n_ppe_threads,
+        ppe_waiting: VecDeque::new(),
+        workers: (0..n_workers)
+            .map(|_| Worker {
+                phase: 0,
+                job: None,
+                seq: 0,
+                fallback: false,
+                degraded: false,
+                failures: 0,
+                burst: None,
+            })
+            .collect(),
+        smt,
+        spes_per_worker,
+        spe_dead: vec![false; params.n_spes],
+    };
 
     // Kick off every worker.
     for wid in 0..n_workers {
-        advance(
-            wid,
-            &mut queue,
-            &mut workers,
-            &mut next_job,
-            jobs,
-            &mut ppe_free,
-            &mut ppe_waiting,
-            &mut stats,
-            smt,
-            spes_per_worker,
-        );
+        sim.advance(wid);
     }
 
-    while let Some((t, ev)) = queue.pop() {
+    let mut makespan: Cycles = 0;
+    while let Some((t, ev)) = sim.queue.pop() {
         makespan = t;
         match ev {
-            Ev::PpeDone(wid) => {
-                ppe_free += 1;
-                // Hand the freed thread to the next waiter.
-                if let Some(next) = ppe_waiting.pop_front() {
-                    ppe_free -= 1;
-                    let w = &workers[next];
-                    let phase = jobs[w.job.expect("waiter holds a job")][w.phase];
-                    let dur = (phase.ppe as f64 * smt).round() as Cycles;
-                    stats.ppe_busy += dur;
-                    queue.schedule_after(dur, Ev::PpeDone(next));
-                }
-                // The finishing worker proceeds: SPE burst or next phase.
-                let w = &workers[wid];
-                let phase = jobs[w.job.expect("worker holds a job")][w.phase];
-                if phase.spe > 0 {
-                    start_spe(wid, phase.spe, &mut queue, &mut stats, spes_per_worker);
-                } else {
-                    workers[wid].phase += 1;
-                    advance(
-                        wid,
-                        &mut queue,
-                        &mut workers,
-                        &mut next_job,
-                        jobs,
-                        &mut ppe_free,
-                        &mut ppe_waiting,
-                        &mut stats,
-                        smt,
-                        spes_per_worker,
-                    );
-                }
-            }
-            Ev::SpeDone(wid) => {
-                workers[wid].phase += 1;
-                advance(
-                    wid,
-                    &mut queue,
-                    &mut workers,
-                    &mut next_job,
-                    jobs,
-                    &mut ppe_free,
-                    &mut ppe_waiting,
-                    &mut stats,
-                    smt,
-                    spes_per_worker,
-                );
-            }
+            Ev::PpeDone(wid) => sim.on_ppe_done(wid),
+            Ev::SpeDone(wid) => sim.on_spe_done(wid, t),
         }
     }
 
-    stats.makespan = makespan;
-    SimOutcome { makespan, stats }
+    sim.stats.makespan = makespan;
+    SimOutcome { makespan, stats: sim.stats, faults: sim.report }
 }
 
 #[cfg(test)]
@@ -317,6 +478,7 @@ mod tests {
         assert_eq!(out.makespan, 10 * 1000);
         assert_eq!(out.stats.spes[0].busy(), 9000);
         assert_eq!(out.stats.ppe_busy, 1000);
+        assert!(out.faults.is_clean());
     }
 
     #[test]
@@ -456,5 +618,112 @@ mod tests {
         let a = simulate_task_parallel(&phases, 16, 8, 1, &params()).makespan;
         let b = simulate_task_parallel(&phases, 16, 8, 1, &params()).makespan;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inert_plan_is_bit_identical_to_fault_free() {
+        let phases: Vec<Phase> =
+            (0..300).map(|i| Phase { ppe: 40 + i % 13, spe: 300 + i % 23 }).collect();
+        let p = DesParams { smt_penalty: 1.407, ..params() };
+        for (workers, k) in [(8, 1), (4, 2), (2, 4), (1, 8)] {
+            let clean = simulate_task_parallel(&phases, 16, workers, k, &p);
+            let inert =
+                simulate_task_parallel_with_faults(&phases, 16, workers, k, &p, &FaultPlan::none());
+            assert_eq!(clean.makespan, inert.makespan, "workers={workers} k={k}");
+            assert_eq!(clean.stats.ppe_busy, inert.stats.ppe_busy);
+            for s in 0..8 {
+                assert_eq!(clean.stats.spes[s].busy(), inert.stats.spes[s].busy());
+            }
+            assert!(inert.faults.is_clean());
+        }
+    }
+
+    #[test]
+    fn fault_rates_stretch_the_makespan_monotonically() {
+        let phases = vec![Phase { ppe: 100, spe: 2000 }; 40];
+        let clean = simulate_task_parallel(&phases, 16, 8, 1, &params()).makespan;
+        let mut last = clean;
+        for rate in [0.01, 0.1, 0.4] {
+            let out = simulate_task_parallel_with_faults(
+                &phases,
+                16,
+                8,
+                1,
+                &params(),
+                &FaultPlan::uniform(7, rate),
+            );
+            assert!(
+                out.makespan >= last,
+                "rate {rate}: makespan {} should not beat {last}",
+                out.makespan
+            );
+            assert!(out.faults.injected > 0, "rate {rate} must inject something");
+            assert!(out.faults.penalty_cycles > 0);
+            last = out.makespan;
+        }
+        assert!(last > clean, "40% faults must cost real cycles");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let phases = vec![Phase { ppe: 100, spe: 2000 }; 30];
+        let plan = FaultPlan::uniform(99, 0.2).with_death(3, 50_000);
+        let a = simulate_task_parallel_with_faults(&phases, 12, 8, 1, &params(), &plan);
+        let b = simulate_task_parallel_with_faults(&phases, 12, 8, 1, &params(), &plan);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn spe_death_redispatches_and_shrinks_the_set() {
+        // One worker owning all 8 SPEs; kill one mid-run. The work must
+        // complete, with at least one re-dispatch and a longer makespan.
+        let phases = vec![Phase { ppe: 10, spe: 8000 }; 10];
+        let clean = simulate_task_parallel(&phases, 1, 1, 8, &params());
+        let plan = FaultPlan::none().with_death(2, clean.makespan / 2);
+        let out = simulate_task_parallel_with_faults(&phases, 1, 1, 8, &params(), &plan);
+        assert!(out.makespan > clean.makespan);
+        assert_eq!(out.faults.blacklisted, 1);
+        assert!(out.faults.redispatches >= 1, "in-flight work on SPE2 must be re-dispatched");
+        // SPE 2 stops accumulating after its death; survivors absorb more.
+        assert!(out.stats.spes[2].busy() < out.stats.spes[3].busy());
+    }
+
+    #[test]
+    fn all_spes_dead_degrades_to_ppe_only() {
+        let phases = vec![Phase { ppe: 100, spe: 1000 }; 5];
+        let mut plan = FaultPlan::none();
+        for s in 0..8 {
+            plan = plan.with_death(s, 0);
+        }
+        let out = simulate_task_parallel_with_faults(&phases, 2, 2, 1, &params(), &plan);
+        let clean = simulate_task_parallel(&phases, 2, 2, 1, &params());
+        assert_eq!(out.faults.degradations, 2, "both workers degrade");
+        assert_eq!(out.faults.blacklisted, 8);
+        assert!(out.makespan > clean.makespan, "PPE fallback is slower");
+        // No SPE did any work.
+        assert!(out.stats.spes.iter().all(|s| s.busy() == 0));
+        // All SPE work ran on the PPE at the fallback factor.
+        let expected_fallback: Cycles = 2 * 5 * (1000.0 * 2.5f64).round() as Cycles;
+        assert_eq!(out.stats.ppe_busy, 2 * 5 * 100 + expected_fallback);
+    }
+
+    #[test]
+    fn certain_faults_blacklist_repeat_offenders_and_still_finish() {
+        // Rate 1.0: every offload exhausts its retries. Repeat offenders are
+        // blacklisted until the worker degrades to the PPE — the simulation
+        // must terminate with all work done.
+        let phases = vec![Phase { ppe: 10, spe: 500 }; 6];
+        let out = simulate_task_parallel_with_faults(
+            &phases,
+            4,
+            4,
+            2,
+            &params(),
+            &FaultPlan::uniform(5, 1.0),
+        );
+        assert!(out.makespan > 0);
+        assert!(out.faults.blacklisted > 0);
+        assert_eq!(out.faults.degradations, 4, "every worker eventually degrades");
     }
 }

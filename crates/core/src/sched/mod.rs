@@ -12,7 +12,8 @@
 pub mod des;
 
 pub use des::{
-    compress_phases, simulate_task_parallel, simulate_task_parallel_jobs, DesParams, Phase,
+    compress_phases, simulate_task_parallel, simulate_task_parallel_jobs,
+    simulate_task_parallel_jobs_with_faults, simulate_task_parallel_with_faults, DesParams, Phase,
     SimOutcome,
 };
 
@@ -20,6 +21,7 @@ use crate::config::Scheduler;
 use crate::offload::PricedTrace;
 use cellsim::cost::CostModel;
 use cellsim::eib::EibModel;
+use cellsim::fault::FaultPlan;
 use cellsim::Cycles;
 
 /// PPE SMT slowdown when both hardware threads are busy, calibrated from
@@ -52,12 +54,24 @@ pub fn edtlp_makespan(
     model: &CostModel,
     params: &DesParams,
 ) -> SimOutcome {
+    edtlp_makespan_with_faults(trace, n_jobs, model, params, &FaultPlan::none())
+}
+
+/// [`edtlp_makespan`] under a fault plan: each worker's offloads pay the
+/// plan's retry/backoff costs and SPE deaths shrink worker sets.
+pub fn edtlp_makespan_with_faults(
+    trace: &PricedTrace,
+    n_jobs: usize,
+    model: &CostModel,
+    params: &DesParams,
+    plan: &FaultPlan,
+) -> SimOutcome {
     let workers = n_jobs.min(params.n_spes);
     let ctx = if workers > params.n_ppe_threads { model.edtlp_context_switch } else { 0 };
     let eib = EibModel::default().contention_factor(workers);
     let phases = des::phases_for(trace, 1, model.llp_dispatch, ctx, eib);
     let phases = compress_phases(&phases, DEFAULT_GRANULARITY);
-    simulate_task_parallel(&phases, n_jobs, workers, 1, params)
+    simulate_task_parallel_with_faults(&phases, n_jobs, workers, 1, params, plan)
 }
 
 /// Makespan under LLP with `workers` processes, each splitting its
@@ -69,6 +83,19 @@ pub fn llp_makespan(
     model: &CostModel,
     params: &DesParams,
 ) -> SimOutcome {
+    llp_makespan_with_faults(trace, n_jobs, workers, model, params, &FaultPlan::none())
+}
+
+/// [`llp_makespan`] under a fault plan. A dead SPE stretches its worker's
+/// loop splits across the survivors; a fully dead set degrades to the PPE.
+pub fn llp_makespan_with_faults(
+    trace: &PricedTrace,
+    n_jobs: usize,
+    workers: usize,
+    model: &CostModel,
+    params: &DesParams,
+    plan: &FaultPlan,
+) -> SimOutcome {
     let workers = workers.clamp(1, params.n_spes);
     let k = (params.n_spes / workers).max(1);
     let ctx = if workers > params.n_ppe_threads { model.edtlp_context_switch } else { 0 };
@@ -76,7 +103,7 @@ pub fn llp_makespan(
     let eib = EibModel::default().contention_factor(k * workers);
     let phases = des::phases_for(trace, k, model.llp_dispatch, ctx, eib);
     let phases = compress_phases(&phases, DEFAULT_GRANULARITY);
-    simulate_task_parallel(&phases, n_jobs, workers, k, params)
+    simulate_task_parallel_with_faults(&phases, n_jobs, workers, k, params, plan)
 }
 
 /// Makespan under MGPS: full batches of eight bootstraps run EDTLP; a tail
@@ -90,25 +117,39 @@ pub fn mgps_makespan(
     model: &CostModel,
     params: &DesParams,
 ) -> SimOutcome {
+    mgps_makespan_with_faults(trace, n_jobs, model, params, &FaultPlan::none())
+}
+
+/// [`mgps_makespan`] under a fault plan. Fault accounting from the EDTLP
+/// batches and the LLP/EDTLP tail is merged into one [`FaultReport`].
+pub fn mgps_makespan_with_faults(
+    trace: &PricedTrace,
+    n_jobs: usize,
+    model: &CostModel,
+    params: &DesParams,
+    plan: &FaultPlan,
+) -> SimOutcome {
     let batch = params.n_spes;
     let full_batches = n_jobs / batch;
     let tail = n_jobs % batch;
 
     let mut total: Cycles = 0;
     let mut stats = cellsim::stats::SimStats::new(params.n_spes);
+    let mut faults = cellsim::fault::FaultReport::default();
     if full_batches > 0 {
-        let out = edtlp_makespan(trace, full_batches * batch, model, params);
+        let out = edtlp_makespan_with_faults(trace, full_batches * batch, model, params, plan);
         total += out.makespan;
         stats = out.stats;
+        faults = out.faults;
     }
     if tail > 0 {
         let out = if tail <= 4 {
             // LLP: `tail` workers, 8/tail SPEs each.
-            llp_makespan(trace, tail, tail, model, params)
+            llp_makespan_with_faults(trace, tail, tail, model, params, plan)
         } else {
             // 5–7 leftover tasks: not enough SPEs for ≥2-way loop splits;
             // run them EDTLP-style.
-            edtlp_makespan(trace, tail, model, params)
+            edtlp_makespan_with_faults(trace, tail, model, params, plan)
         };
         total += out.makespan;
         for (a, b) in stats.spes.iter_mut().zip(&out.stats.spes) {
@@ -120,9 +161,10 @@ pub fn mgps_makespan(
             a.invocations += b.invocations;
         }
         stats.ppe_busy += out.stats.ppe_busy;
+        faults.merge(&out.faults);
     }
     stats.makespan = total;
-    SimOutcome { makespan: total, stats }
+    SimOutcome { makespan: total, stats, faults }
 }
 
 /// Dispatch on a [`Scheduler`] value.
@@ -138,6 +180,36 @@ pub fn schedule_makespan(
         Scheduler::Edtlp => edtlp_makespan(trace, n_jobs, model, params).makespan,
         Scheduler::Llp { workers } => llp_makespan(trace, n_jobs, workers, model, params).makespan,
         Scheduler::Mgps => mgps_makespan(trace, n_jobs, model, params).makespan,
+    }
+}
+
+/// [`schedule_makespan`] under a fault plan, returning the full
+/// [`SimOutcome`] so callers can read the fault report next to the
+/// makespan.
+///
+/// `SyncWorkers` stays the closed-form wave model: it has no discrete-event
+/// machinery to inject faults into, so the plan is ignored there (the naive
+/// port is only ever used as a fault-free baseline).
+pub fn schedule_makespan_with_faults(
+    scheduler: Scheduler,
+    trace: &PricedTrace,
+    n_jobs: usize,
+    model: &CostModel,
+    params: &DesParams,
+    plan: &FaultPlan,
+) -> SimOutcome {
+    match scheduler {
+        Scheduler::SyncWorkers(w) => {
+            let makespan = sync_workers_makespan(trace, n_jobs, w);
+            let mut stats = cellsim::stats::SimStats::new(params.n_spes);
+            stats.makespan = makespan;
+            SimOutcome { makespan, stats, faults: cellsim::fault::FaultReport::default() }
+        }
+        Scheduler::Edtlp => edtlp_makespan_with_faults(trace, n_jobs, model, params, plan),
+        Scheduler::Llp { workers } => {
+            llp_makespan_with_faults(trace, n_jobs, workers, model, params, plan)
+        }
+        Scheduler::Mgps => mgps_makespan_with_faults(trace, n_jobs, model, params, plan),
     }
 }
 
@@ -263,5 +335,49 @@ mod tests {
             schedule_makespan(Scheduler::Mgps, &t, 9, &model, &p),
             mgps_makespan(&t, 9, &model, &p).makespan
         );
+    }
+
+    #[test]
+    fn inert_plan_reproduces_every_scheduler_exactly() {
+        let model = CostModel::paper_calibrated();
+        let t = priced();
+        let p = params();
+        let inert = FaultPlan::none();
+        for sched in [Scheduler::Edtlp, Scheduler::Llp { workers: 2 }, Scheduler::Mgps] {
+            let clean = schedule_makespan(sched, &t, 12, &model, &p);
+            let out = schedule_makespan_with_faults(sched, &t, 12, &model, &p, &inert);
+            assert_eq!(clean, out.makespan, "{sched:?}");
+            assert!(out.faults.is_clean());
+        }
+    }
+
+    #[test]
+    fn faulty_schedulers_report_and_slow_down() {
+        let model = CostModel::paper_calibrated();
+        let t = priced();
+        let p = params();
+        let plan = FaultPlan::uniform(11, 0.05);
+        for sched in [Scheduler::Edtlp, Scheduler::Llp { workers: 2 }, Scheduler::Mgps] {
+            let clean = schedule_makespan(sched, &t, 12, &model, &p);
+            let out = schedule_makespan_with_faults(sched, &t, 12, &model, &p, &plan);
+            assert!(out.makespan >= clean, "{sched:?}");
+            assert!(out.faults.injected > 0, "{sched:?} must inject");
+        }
+    }
+
+    #[test]
+    fn mgps_merges_fault_reports_across_batch_and_tail() {
+        let model = CostModel::paper_calibrated();
+        let t = priced();
+        let p = params();
+        let plan = FaultPlan::uniform(3, 0.3);
+        // 11 jobs: one full EDTLP batch of 8 + an LLP tail of 3.
+        let whole = mgps_makespan_with_faults(&t, 11, &model, &p, &plan);
+        let batch = edtlp_makespan_with_faults(&t, 8, &model, &p, &plan);
+        let tail = llp_makespan_with_faults(&t, 3, 3, &model, &p, &plan);
+        let mut merged = batch.faults;
+        merged.merge(&tail.faults);
+        assert_eq!(whole.faults, merged);
+        assert_eq!(whole.makespan, batch.makespan + tail.makespan);
     }
 }

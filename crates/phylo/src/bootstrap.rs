@@ -9,6 +9,8 @@
 
 use crate::alignment::PatternAlignment;
 use crate::bipartitions::split_support;
+use crate::checkpoint::{search_fingerprint, BootstrapStore, Fingerprint};
+use crate::error::{PhyloError, Result};
 use crate::likelihood::WorkspacePool;
 use crate::parallel::run_master_worker;
 use crate::search::{infer_ml_tree_pooled, SearchConfig, SearchResult};
@@ -17,6 +19,7 @@ use crate::tree::{NodeId, Tree};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// Configuration of a complete analysis.
 #[derive(Debug, Clone)]
@@ -130,6 +133,35 @@ enum Job {
     Bootstrap { seed: u64 },
 }
 
+/// Where and how an analysis persists progress; see
+/// [`BootstrapAnalysis::run_with_checkpoint`].
+#[derive(Debug, Clone)]
+pub struct BootstrapCheckpointPolicy {
+    /// The append-only [`BootstrapStore`] file.
+    pub path: PathBuf,
+    /// Jobs dispatched per master–worker wave; the store is appended after
+    /// each wave, so a kill loses at most one wave of work.
+    pub chunk_size: usize,
+    /// Testing hook: return [`PhyloError::Interrupted`] after this many
+    /// waves (with their results already on disk) — models a mid-analysis
+    /// kill without a real signal.
+    pub abort_after_chunks: Option<usize>,
+}
+
+impl BootstrapCheckpointPolicy {
+    /// Checkpoint to `path` after every `chunk_size` completed jobs.
+    pub fn new(path: impl Into<PathBuf>, chunk_size: usize) -> BootstrapCheckpointPolicy {
+        assert!(chunk_size >= 1, "chunk size must be at least 1");
+        BootstrapCheckpointPolicy { path: path.into(), chunk_size, abort_after_chunks: None }
+    }
+
+    /// Abort (with progress safely on disk) after `n` waves.
+    pub fn abort_after_chunks(mut self, n: usize) -> BootstrapCheckpointPolicy {
+        self.abort_after_chunks = Some(n);
+        self
+    }
+}
+
 impl BootstrapAnalysis {
     /// Sensible defaults for a quick analysis.
     pub fn quick(seed: u64) -> BootstrapAnalysis {
@@ -142,26 +174,35 @@ impl BootstrapAnalysis {
         }
     }
 
-    /// Run the full analysis on an alignment.
-    pub fn run(&self, aln: &PatternAlignment) -> AnalysisResult {
-        assert!(self.n_inferences >= 1, "need at least one inference to pick a best tree");
-        let mut jobs = Vec::with_capacity(self.n_inferences + self.n_bootstraps);
-        for i in 0..self.n_inferences {
-            jobs.push(Job::Inference { seed: self.seed.wrapping_add(i as u64) });
-        }
-        for i in 0..self.n_bootstraps {
-            jobs.push(Job::Bootstrap {
-                seed: self.seed.wrapping_add(0x1000_0000).wrapping_add(i as u64),
-            });
-        }
+    /// Total jobs (inferences + bootstraps).
+    fn n_jobs(&self) -> usize {
+        self.n_inferences + self.n_bootstraps
+    }
 
+    /// The job at position `index` in the analysis's fixed job list. The
+    /// seed derivation is per-job and independent of execution order, which
+    /// is what lets a checkpointed run execute the list in chunks and still
+    /// land bit-identically on [`BootstrapAnalysis::run`]'s results.
+    fn job_for(&self, index: usize) -> Job {
+        if index < self.n_inferences {
+            Job::Inference { seed: self.seed.wrapping_add(index as u64) }
+        } else {
+            let i = (index - self.n_inferences) as u64;
+            Job::Bootstrap { seed: self.seed.wrapping_add(0x1000_0000).wrapping_add(i) }
+        }
+    }
+
+    /// Dispatch jobs `start..end` to the master–worker and return their
+    /// results in job order.
+    fn run_jobs(&self, aln: &PatternAlignment, start: usize, end: usize) -> Vec<SearchResult> {
+        let jobs: Vec<Job> = (start..end).map(|i| self.job_for(i)).collect();
         // Each worker checks a workspace arena out of the pool per job and
         // returns it afterwards: `n_workers` arenas serve all replicates, so
         // steady-state jobs reuse the previous job's buffers instead of
         // reallocating every partial vector (results are bit-identical).
         let search = &self.search;
         let pool = WorkspacePool::new();
-        let results: Vec<SearchResult> = run_master_worker(jobs, self.n_workers, |_, job| {
+        run_master_worker(jobs, self.n_workers, |_, job| {
             let ws = pool.checkout();
             let (result, ws) = match job {
                 Job::Inference { seed } => infer_ml_tree_pooled(aln, search, seed, false, ws),
@@ -173,33 +214,95 @@ impl BootstrapAnalysis {
             };
             pool.checkin(ws);
             result
-        });
+        })
+    }
 
-        let (inferences, bootstraps) = results.split_at(self.n_inferences);
+    /// Assemble the final [`AnalysisResult`] from per-job (log-likelihood,
+    /// tree) pairs in job order, plus whatever trace was gathered.
+    fn assemble(&self, per_job: Vec<(f64, Tree)>, trace: Trace) -> AnalysisResult {
+        let (inferences, bootstraps) = per_job.split_at(self.n_inferences);
         let best_idx = inferences
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                a.log_likelihood.partial_cmp(&b.log_likelihood).expect("lnl is never NaN")
-            })
+            .max_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).expect("lnl is never NaN"))
             .map(|(i, _)| i)
             .expect("at least one inference");
-        let best_tree = inferences[best_idx].tree.clone();
-        let bootstrap_trees: Vec<Tree> = bootstraps.iter().map(|r| r.tree.clone()).collect();
+        let best_tree = inferences[best_idx].1.clone();
+        let bootstrap_trees: Vec<Tree> = bootstraps.iter().map(|(_, t)| t.clone()).collect();
         let support = split_support(&best_tree, &bootstrap_trees);
+        AnalysisResult {
+            best: SupportTree { tree: best_tree, support },
+            best_log_likelihood: inferences[best_idx].0,
+            inference_log_likelihoods: inferences.iter().map(|(l, _)| *l).collect(),
+            bootstrap_trees,
+            trace,
+        }
+    }
 
+    /// Run the full analysis on an alignment.
+    pub fn run(&self, aln: &PatternAlignment) -> AnalysisResult {
+        assert!(self.n_inferences >= 1, "need at least one inference to pick a best tree");
+        let results = self.run_jobs(aln, 0, self.n_jobs());
         let mut trace = Trace::counters_only();
         for r in &results {
             trace.merge(&r.trace);
         }
+        let per_job = results.into_iter().map(|r| (r.log_likelihood, r.tree)).collect();
+        self.assemble(per_job, trace)
+    }
 
-        AnalysisResult {
-            best: SupportTree { tree: best_tree, support },
-            best_log_likelihood: inferences[best_idx].log_likelihood,
-            inference_log_likelihoods: inferences.iter().map(|r| r.log_likelihood).collect(),
-            bootstrap_trees,
-            trace,
+    /// Fingerprint tying a [`BootstrapStore`] to this exact analysis on this
+    /// exact alignment.
+    pub fn fingerprint(&self, aln: &PatternAlignment) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.push_u64(search_fingerprint(aln, &self.search, self.seed))
+            .push_u64(self.n_inferences as u64)
+            .push_u64(self.n_bootstraps as u64);
+        fp.finish()
+    }
+
+    /// As [`BootstrapAnalysis::run`], persisting every completed job to an
+    /// append-only store and resuming from it when one already exists.
+    ///
+    /// Job seeds are derived from the job index, never from execution
+    /// order, so a run killed partway and resumed — even with a different
+    /// `chunk_size` or worker count — produces trees and log-likelihoods
+    /// bit-identical to an uninterrupted [`BootstrapAnalysis::run`]. The
+    /// one exception is [`AnalysisResult::trace`]: it only counts kernels
+    /// the *current* process executed (jobs restored from disk are not
+    /// re-run, so their kernel work is genuinely absent).
+    pub fn run_with_checkpoint(
+        &self,
+        aln: &PatternAlignment,
+        policy: &BootstrapCheckpointPolicy,
+    ) -> Result<AnalysisResult> {
+        assert!(self.n_inferences >= 1, "need at least one inference to pick a best tree");
+        let total = self.n_jobs();
+        let mut store = BootstrapStore::open(&policy.path, self.fingerprint(aln), total)?;
+
+        let mut trace = Trace::counters_only();
+        let mut chunks = 0;
+        while store.completed() < total {
+            let start = store.completed();
+            let end = (start + policy.chunk_size).min(total);
+            for result in self.run_jobs(aln, start, end) {
+                trace.merge(&result.trace);
+                store.append(result.log_likelihood, &result.tree.to_exact_string())?;
+            }
+            chunks += 1;
+            if let Some(limit) = policy.abort_after_chunks {
+                if chunks >= limit && store.completed() < total {
+                    return Err(PhyloError::Interrupted { completed: store.completed() });
+                }
+            }
         }
+
+        let per_job = store
+            .records()
+            .iter()
+            .map(|rec| Ok((rec.log_likelihood, Tree::from_exact_string(&rec.tree_exact)?)))
+            .collect::<Result<Vec<(f64, Tree)>>>()?;
+        Ok(self.assemble(per_job, trace))
     }
 }
 
@@ -297,6 +400,81 @@ mod tests {
         assert_eq!(a.best_log_likelihood, b.best_log_likelihood);
         assert_eq!(a.best.tree, b.best.tree);
         assert_eq!(a.inference_log_likelihoods, b.inference_log_likelihoods);
+    }
+
+    /// A bootstrap analysis killed mid-run and resumed from its store must
+    /// reproduce the uninterrupted analysis bit-for-bit: same best tree,
+    /// same per-job log-likelihoods, same replicate trees.
+    #[test]
+    fn killed_analysis_resumes_bit_identically() {
+        let w =
+            SimulationConfig { mean_branch: 0.12, ..SimulationConfig::new(6, 200, 3) }.generate();
+        let analysis = BootstrapAnalysis {
+            n_inferences: 2,
+            n_bootstraps: 6,
+            n_workers: 3,
+            seed: 7,
+            search: SearchConfig::fast(),
+        };
+        let reference = analysis.run(&w.alignment);
+
+        let dir = std::env::temp_dir().join("raxml-cell-bootstrap-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kill-resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        // First attempt dies after one 3-job wave (progress on disk).
+        let dying = BootstrapCheckpointPolicy::new(&path, 3).abort_after_chunks(1);
+        let err = analysis.run_with_checkpoint(&w.alignment, &dying).unwrap_err();
+        assert_eq!(err, PhyloError::Interrupted { completed: 3 });
+
+        // Resume with a *different* chunk size: job seeds depend only on the
+        // job index, so chunking must not matter.
+        let policy = BootstrapCheckpointPolicy::new(&path, 2);
+        let resumed = analysis.run_with_checkpoint(&w.alignment, &policy).unwrap();
+
+        assert_eq!(resumed.best.tree.to_exact_string(), reference.best.tree.to_exact_string());
+        assert_eq!(resumed.best_log_likelihood.to_bits(), reference.best_log_likelihood.to_bits());
+        assert_eq!(
+            resumed.inference_log_likelihoods.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            reference.inference_log_likelihoods.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(resumed.bootstrap_trees.len(), reference.bootstrap_trees.len());
+        for (a, b) in resumed.bootstrap_trees.iter().zip(&reference.bootstrap_trees) {
+            assert_eq!(a.to_exact_string(), b.to_exact_string());
+        }
+        assert_eq!(resumed.best.support, reference.best.support);
+
+        // A third invocation finds everything done and re-runs nothing: the
+        // trace is empty, the results unchanged.
+        let again = analysis.run_with_checkpoint(&w.alignment, &policy).unwrap();
+        assert_eq!(again.trace.counters().newview_calls, 0);
+        assert_eq!(again.best_log_likelihood.to_bits(), reference.best_log_likelihood.to_bits());
+    }
+
+    /// The store refuses to resume an analysis with different parameters.
+    #[test]
+    fn checkpoint_refuses_a_different_analysis() {
+        let w = SimulationConfig::new(6, 120, 9).generate();
+        let analysis = BootstrapAnalysis {
+            n_inferences: 1,
+            n_bootstraps: 2,
+            n_workers: 2,
+            seed: 1,
+            search: SearchConfig::fast(),
+        };
+        let dir = std::env::temp_dir().join("raxml-cell-bootstrap-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("foreign.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let policy = BootstrapCheckpointPolicy::new(&path, 2);
+        analysis.run_with_checkpoint(&w.alignment, &policy).unwrap();
+
+        let mut other = analysis.clone();
+        other.seed = 2;
+        let err = other.run_with_checkpoint(&w.alignment, &policy).unwrap_err();
+        assert!(matches!(err, PhyloError::Checkpoint { .. }), "{err}");
     }
 
     #[test]

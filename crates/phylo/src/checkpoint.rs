@@ -1,0 +1,602 @@
+//! On-disk checkpoints for long-running analyses.
+//!
+//! Two artifacts live here:
+//!
+//! * [`SearchCheckpointer`] — whole-file snapshots of an SPR hill climb,
+//!   rewritten atomically (temp file + rename) after every improvement
+//!   round. A killed search resumes from the last completed round and
+//!   finishes **bit-identically** to an uninterrupted run, because the
+//!   deterministic prefix (stepwise-addition start, engine construction)
+//!   is recomputed from the seed and only the mutable state (tree, Γ
+//!   shape, round counters) is restored from disk.
+//! * [`BootstrapStore`] — an append-only log of completed bootstrap /
+//!   inference jobs. Each record is one line; a crash mid-write leaves at
+//!   most one malformed trailing record, which is dropped on reload (the
+//!   job simply re-runs).
+//!
+//! Both formats are plain text, versioned by a header line, and guarded by
+//! an FNV-1a fingerprint of the analysis inputs so a checkpoint written
+//! for one alignment/seed/configuration can never silently resume
+//! another. Floating-point state is stored as `f64::to_bits` hex — exact,
+//! locale-proof, round-trip safe.
+
+use crate::alignment::PatternAlignment;
+use crate::error::{PhyloError, Result};
+use crate::search::SearchConfig;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File-format version; bumped on any incompatible layout change.
+const VERSION: u32 = 1;
+
+/// Magic first token of every checkpoint file.
+const MAGIC: &str = "#RAXML-CELL-CHECKPOINT";
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// Incremental FNV-1a-64 hash over the inputs that define an analysis.
+///
+/// Not cryptographic — it only needs to make accidental cross-analysis
+/// resumes (wrong alignment, wrong seed, changed search radius) fail loudly
+/// instead of producing silently wrong trees.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Fingerprint {
+        Fingerprint(Fingerprint::OFFSET)
+    }
+
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Fingerprint {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Fingerprint::PRIME);
+        }
+        self
+    }
+
+    pub fn push_u64(&mut self, v: u64) -> &mut Fingerprint {
+        self.push_bytes(&v.to_le_bytes())
+    }
+
+    pub fn push_str(&mut self, s: &str) -> &mut Fingerprint {
+        // Length prefix keeps ("ab","c") distinct from ("a","bc").
+        self.push_u64(s.len() as u64);
+        self.push_bytes(s.as_bytes())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint::new()
+    }
+}
+
+/// Fingerprint of one ML search: alignment shape and taxa, the seed, and
+/// every [`SearchConfig`] knob that alters the search trajectory.
+pub fn search_fingerprint(aln: &PatternAlignment, config: &SearchConfig, seed: u64) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.push_u64(aln.n_taxa() as u64)
+        .push_u64(aln.n_sites() as u64)
+        .push_u64(aln.n_patterns() as u64);
+    for name in aln.taxon_names() {
+        fp.push_str(name);
+    }
+    fp.push_u64(seed)
+        .push_u64(config.spr_radius as u64)
+        .push_u64(config.max_spr_rounds as u64)
+        .push_u64(config.epsilon.to_bits())
+        .push_u64(config.n_rate_categories as u64)
+        .push_u64(config.initial_alpha.to_bits())
+        .push_u64(config.initial_branch_length.to_bits())
+        .push_u64(u64::from(config.optimize_alpha));
+    fp.finish()
+}
+
+// ---------------------------------------------------------------------------
+// I/O helpers
+// ---------------------------------------------------------------------------
+
+fn io_err(path: &Path, e: std::io::Error) -> PhyloError {
+    PhyloError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+fn bad(path: &Path, message: impl Into<String>) -> PhyloError {
+    PhyloError::Checkpoint { path: path.display().to_string(), message: message.into() }
+}
+
+/// Write `contents` to `path` atomically: write a sibling temp file, flush,
+/// then rename over the target. A crash mid-write leaves the previous
+/// checkpoint intact.
+fn atomic_write(path: &Path, contents: &str) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(contents.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+fn parse_hex_u64(path: &Path, field: &str, text: &str) -> Result<u64> {
+    u64::from_str_radix(text, 16).map_err(|_| bad(path, format!("bad {field} value {text:?}")))
+}
+
+fn parse_usize(path: &Path, field: &str, text: &str) -> Result<usize> {
+    text.parse().map_err(|_| bad(path, format!("bad {field} value {text:?}")))
+}
+
+/// Validate `#RAXML-CELL-CHECKPOINT v<N> <kind>` and the following
+/// `fingerprint <hex>` line; returns the remaining lines iterator.
+fn check_header<'a>(
+    path: &Path,
+    lines: &mut impl Iterator<Item = &'a str>,
+    kind: &str,
+    fingerprint: u64,
+) -> Result<()> {
+    let header = lines.next().ok_or_else(|| bad(path, "empty file"))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(MAGIC) {
+        return Err(bad(path, "not a checkpoint file (bad magic)"));
+    }
+    let version = parts.next().unwrap_or("");
+    if version != format!("v{VERSION}") {
+        return Err(bad(path, format!("unsupported version {version:?} (expected v{VERSION})")));
+    }
+    let found_kind = parts.next().unwrap_or("");
+    if found_kind != kind {
+        return Err(bad(path, format!("checkpoint kind {found_kind:?} is not {kind:?}")));
+    }
+    let fp_line = lines.next().ok_or_else(|| bad(path, "missing fingerprint line"))?;
+    let fp_hex = fp_line
+        .strip_prefix("fingerprint ")
+        .ok_or_else(|| bad(path, "missing fingerprint line"))?;
+    let found = parse_hex_u64(path, "fingerprint", fp_hex)?;
+    if found != fingerprint {
+        return Err(bad(
+            path,
+            format!(
+                "fingerprint mismatch ({found:016x} on disk, {fingerprint:016x} expected): \
+                 checkpoint belongs to a different analysis"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Search checkpoints
+// ---------------------------------------------------------------------------
+
+/// Mutable state of an SPR hill climb after a completed round — everything
+/// the search cannot re-derive from its seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCheckpoint {
+    /// SPR rounds completed so far.
+    pub rounds_done: usize,
+    /// Total SPR moves applied so far.
+    pub moves_applied: usize,
+    /// Moves applied in the *last* round (0 ⇒ the climb has converged and
+    /// a resume skips straight to the final polish).
+    pub last_applied: usize,
+    /// Γ shape, bit-exact.
+    pub alpha_bits: u64,
+    /// The tree in [`crate::tree::Tree::to_exact_string`] form (slot order
+    /// and branch-length bits preserved, so the resumed SPR scan visits
+    /// candidates in the identical order).
+    pub tree_exact: String,
+}
+
+/// Writes/reads [`SearchCheckpoint`] snapshots and optionally simulates a
+/// mid-run kill for tests via [`SearchCheckpointer::abort_after_saves`].
+#[derive(Debug)]
+pub struct SearchCheckpointer {
+    path: PathBuf,
+    fingerprint: u64,
+    abort_after_saves: Option<usize>,
+    saves: usize,
+}
+
+impl SearchCheckpointer {
+    /// A checkpointer for the search identified by `fingerprint` (from
+    /// [`search_fingerprint`]), persisting to `path`.
+    pub fn new(path: impl Into<PathBuf>, fingerprint: u64) -> SearchCheckpointer {
+        SearchCheckpointer { path: path.into(), fingerprint, abort_after_saves: None, saves: 0 }
+    }
+
+    /// Abort the search with [`PhyloError::Interrupted`] after `n` snapshots
+    /// have been written *in this process* — the snapshot is on disk first,
+    /// so this models a kill between rounds without needing a real signal.
+    pub fn abort_after_saves(mut self, n: usize) -> SearchCheckpointer {
+        self.abort_after_saves = Some(n);
+        self
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Load the snapshot, if any. `Ok(None)` means no checkpoint exists
+    /// (fresh start); a present-but-foreign or corrupt file is an error —
+    /// silently ignoring it would discard real progress.
+    pub fn load(&self) -> Result<Option<SearchCheckpoint>> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(&self.path, e)),
+        };
+        let path = &self.path;
+        let mut lines = text.lines();
+        check_header(path, &mut lines, "search", self.fingerprint)?;
+        let mut field = |name: &str| -> Result<String> {
+            let line = lines.next().ok_or_else(|| bad(path, format!("missing {name} line")))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_owned)
+                .ok_or_else(|| bad(path, format!("missing {name} line")))
+        };
+        let rounds_done = parse_usize(path, "rounds", &field("rounds")?)?;
+        let moves_applied = parse_usize(path, "moves", &field("moves")?)?;
+        let last_applied = parse_usize(path, "last-applied", &field("last-applied")?)?;
+        let alpha_bits = parse_hex_u64(path, "alpha", &field("alpha")?)?;
+        if lines.next() != Some("tree") {
+            return Err(bad(path, "missing tree section"));
+        }
+        let tree_exact: String = {
+            let mut s = String::new();
+            for line in lines {
+                s.push_str(line);
+                s.push('\n');
+            }
+            s
+        };
+        // Validate eagerly so a truncated tree fails at load, not mid-search.
+        crate::tree::Tree::from_exact_string(&tree_exact)
+            .map_err(|e| bad(path, format!("unreadable tree section: {e}")))?;
+        Ok(Some(SearchCheckpoint {
+            rounds_done,
+            moves_applied,
+            last_applied,
+            alpha_bits,
+            tree_exact,
+        }))
+    }
+
+    /// Atomically persist `snap`, then enforce the abort policy.
+    pub fn save(&mut self, snap: &SearchCheckpoint) -> Result<()> {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC} v{VERSION} search");
+        let _ = writeln!(out, "fingerprint {:016x}", self.fingerprint);
+        let _ = writeln!(out, "rounds {}", snap.rounds_done);
+        let _ = writeln!(out, "moves {}", snap.moves_applied);
+        let _ = writeln!(out, "last-applied {}", snap.last_applied);
+        let _ = writeln!(out, "alpha {:016x}", snap.alpha_bits);
+        let _ = writeln!(out, "tree");
+        out.push_str(&snap.tree_exact);
+        atomic_write(&self.path, &out)?;
+        self.saves += 1;
+        if let Some(limit) = self.abort_after_saves {
+            if self.saves >= limit {
+                return Err(PhyloError::Interrupted { completed: snap.rounds_done });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap job store
+// ---------------------------------------------------------------------------
+
+/// One completed master–worker job: its index in the analysis job list,
+/// its final log-likelihood (bit-exact), and its tree in exact form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    pub index: usize,
+    pub log_likelihood: f64,
+    pub tree_exact: String,
+}
+
+/// Append-only log of completed bootstrap-analysis jobs.
+///
+/// Records must arrive contiguously from index 0 — the analysis driver
+/// completes jobs in chunks and appends each chunk in order, so "how far
+/// did we get" is simply the record count. On open, a malformed or
+/// truncated trailing record (a crash mid-append) is discarded and the
+/// file is rewritten to the clean prefix.
+#[derive(Debug)]
+pub struct BootstrapStore {
+    path: PathBuf,
+    fingerprint: u64,
+    total: usize,
+    records: Vec<JobRecord>,
+}
+
+impl BootstrapStore {
+    /// Open (or create) the store for an analysis of `total` jobs with the
+    /// given fingerprint. An existing file for a *different* analysis is an
+    /// error; a missing file starts empty.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        fingerprint: u64,
+        total: usize,
+    ) -> Result<BootstrapStore> {
+        let path = path.into();
+        let mut store = BootstrapStore { path, fingerprint, total, records: Vec::new() };
+        let text = match std::fs::read_to_string(&store.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                store.rewrite()?;
+                return Ok(store);
+            }
+            Err(e) => return Err(io_err(&store.path, e)),
+        };
+        let path = store.path.clone();
+        let mut lines = text.lines();
+        check_header(&path, &mut lines, "bootstrap", fingerprint)?;
+        let total_line = lines.next().ok_or_else(|| bad(&path, "missing total line"))?;
+        let found_total = total_line
+            .strip_prefix("total ")
+            .ok_or_else(|| bad(&path, "missing total line"))
+            .and_then(|t| parse_usize(&path, "total", t))?;
+        if found_total != total {
+            return Err(bad(
+                &path,
+                format!("job count mismatch ({found_total} on disk, {total} expected)"),
+            ));
+        }
+        let mut truncated = false;
+        for line in lines {
+            match parse_record(line, store.records.len()) {
+                Some(rec) => store.records.push(rec),
+                // First bad/out-of-order record: everything after it is the
+                // debris of a crash mid-append. Drop it and stop.
+                None => {
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        if store.records.len() > total {
+            return Err(bad(&path, "more records than jobs"));
+        }
+        if truncated {
+            store.rewrite()?;
+        }
+        Ok(store)
+    }
+
+    /// Number of jobs completed and persisted.
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total jobs in the analysis this store belongs to.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// All persisted records, in job order.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Append one completed job. Jobs must be appended in index order with
+    /// no gaps (enforced), matching the chunked driver.
+    pub fn append(&mut self, log_likelihood: f64, tree_exact: &str) -> Result<()> {
+        let index = self.records.len();
+        assert!(index < self.total, "appending job {index} to a store of {} jobs", self.total);
+        let line = record_line(index, log_likelihood, tree_exact);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err(&self.path, e))?;
+        f.write_all(line.as_bytes()).map_err(|e| io_err(&self.path, e))?;
+        f.sync_all().map_err(|e| io_err(&self.path, e))?;
+        self.records.push(JobRecord { index, log_likelihood, tree_exact: tree_exact.to_owned() });
+        Ok(())
+    }
+
+    /// Rewrite the whole file from the in-memory state (header + clean
+    /// records) — used on creation and after dropping crash debris.
+    fn rewrite(&self) -> Result<()> {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC} v{VERSION} bootstrap");
+        let _ = writeln!(out, "fingerprint {:016x}", self.fingerprint);
+        let _ = writeln!(out, "total {}", self.total);
+        for rec in &self.records {
+            out.push_str(&record_line(rec.index, rec.log_likelihood, &rec.tree_exact));
+        }
+        atomic_write(&self.path, &out)
+    }
+}
+
+/// `job <idx> <lnl_bits> <tree with '\n' → '|'>` on a single line, so a
+/// torn append can damage at most the final line.
+fn record_line(index: usize, log_likelihood: f64, tree_exact: &str) -> String {
+    format!(
+        "job {index} {:016x} {}\n",
+        log_likelihood.to_bits(),
+        tree_exact.trim_end_matches('\n').replace('\n', "|")
+    )
+}
+
+/// Parse one record line; `None` on any damage or if the index is not the
+/// expected next one.
+fn parse_record(line: &str, expected_index: usize) -> Option<JobRecord> {
+    let rest = line.strip_prefix("job ")?;
+    let mut parts = rest.splitn(3, ' ');
+    let index: usize = parts.next()?.parse().ok()?;
+    if index != expected_index {
+        return None;
+    }
+    let bits = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let tree_flat = parts.next()?;
+    let mut tree_exact = tree_flat.replace('|', "\n");
+    tree_exact.push('\n');
+    // Damaged tree text ⇒ damaged record.
+    crate::tree::Tree::from_exact_string(&tree_exact).ok()?;
+    Some(JobRecord { index, log_likelihood: f64::from_bits(bits), tree_exact })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::SimulationConfig;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("raxml-cell-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_tree_exact() -> String {
+        let w = SimulationConfig::new(5, 40, 3).generate();
+        w.true_tree.to_exact_string()
+    }
+
+    #[test]
+    fn fingerprint_separates_analyses() {
+        let w = SimulationConfig::new(6, 100, 1).generate();
+        let cfg = SearchConfig::fast();
+        let base = search_fingerprint(&w.alignment, &cfg, 5);
+        assert_eq!(base, search_fingerprint(&w.alignment, &cfg, 5), "deterministic");
+        assert_ne!(base, search_fingerprint(&w.alignment, &cfg, 6), "seed matters");
+        let mut wide = cfg.clone();
+        wide.spr_radius += 1;
+        assert_ne!(base, search_fingerprint(&w.alignment, &wide, 5), "radius matters");
+        let other = SimulationConfig::new(7, 100, 1).generate();
+        assert_ne!(base, search_fingerprint(&other.alignment, &cfg, 5), "alignment matters");
+    }
+
+    #[test]
+    fn search_checkpoint_round_trips() {
+        let path = tmp("search-roundtrip.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut ck = SearchCheckpointer::new(&path, 0xdead_beef);
+        assert_eq!(ck.load().unwrap(), None, "no file yet");
+
+        let snap = SearchCheckpoint {
+            rounds_done: 2,
+            moves_applied: 7,
+            last_applied: 3,
+            alpha_bits: 0.8317_f64.to_bits(),
+            tree_exact: sample_tree_exact(),
+        };
+        ck.save(&snap).unwrap();
+        let loaded = ck.load().unwrap().unwrap();
+        assert_eq!(loaded, snap);
+
+        // A later snapshot replaces the earlier one.
+        let snap2 = SearchCheckpoint { rounds_done: 3, last_applied: 0, ..snap.clone() };
+        ck.save(&snap2).unwrap();
+        assert_eq!(ck.load().unwrap().unwrap(), snap2);
+    }
+
+    #[test]
+    fn search_checkpoint_rejects_foreign_and_corrupt_files() {
+        let path = tmp("search-foreign.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let snap = SearchCheckpoint {
+            rounds_done: 1,
+            moves_applied: 1,
+            last_applied: 1,
+            alpha_bits: 1.0_f64.to_bits(),
+            tree_exact: sample_tree_exact(),
+        };
+        SearchCheckpointer::new(&path, 111).save(&snap).unwrap();
+
+        // Wrong fingerprint: refuse, loudly.
+        let err = SearchCheckpointer::new(&path, 222).load().unwrap_err();
+        assert!(matches!(err, PhyloError::Checkpoint { .. }), "{err}");
+        assert!(err.to_string().contains("fingerprint mismatch"));
+
+        // Truncated tree section: refuse.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 20;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let err = SearchCheckpointer::new(&path, 111).load().unwrap_err();
+        assert!(matches!(err, PhyloError::Checkpoint { .. }), "{err}");
+
+        // Not a checkpoint at all.
+        std::fs::write(&path, "totally unrelated\n").unwrap();
+        let err = SearchCheckpointer::new(&path, 111).load().unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn abort_policy_interrupts_after_the_snapshot_lands() {
+        let path = tmp("search-abort.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut ck = SearchCheckpointer::new(&path, 9).abort_after_saves(2);
+        let snap = SearchCheckpoint {
+            rounds_done: 1,
+            moves_applied: 2,
+            last_applied: 2,
+            alpha_bits: 0.5_f64.to_bits(),
+            tree_exact: sample_tree_exact(),
+        };
+        ck.save(&snap).unwrap();
+        let snap2 = SearchCheckpoint { rounds_done: 2, ..snap.clone() };
+        let err = ck.save(&snap2).unwrap_err();
+        assert_eq!(err, PhyloError::Interrupted { completed: 2 });
+        // The snapshot that triggered the abort is on disk.
+        let loaded = SearchCheckpointer::new(&path, 9).load().unwrap().unwrap();
+        assert_eq!(loaded, snap2);
+    }
+
+    #[test]
+    fn bootstrap_store_appends_and_reloads() {
+        let path = tmp("bootstrap-append.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let tree = sample_tree_exact();
+        {
+            let mut store = BootstrapStore::open(&path, 42, 4).unwrap();
+            assert_eq!(store.completed(), 0);
+            store.append(-123.456, &tree).unwrap();
+            store.append(-99.5, &tree).unwrap();
+        }
+        let store = BootstrapStore::open(&path, 42, 4).unwrap();
+        assert_eq!(store.completed(), 2);
+        assert_eq!(store.records()[0].log_likelihood, -123.456);
+        assert_eq!(store.records()[1].log_likelihood, -99.5);
+        assert_eq!(store.records()[0].tree_exact, tree);
+
+        // Foreign fingerprint or job count: refuse.
+        assert!(BootstrapStore::open(&path, 43, 4).is_err());
+        assert!(BootstrapStore::open(&path, 42, 5).is_err());
+    }
+
+    #[test]
+    fn bootstrap_store_drops_a_torn_trailing_record() {
+        let path = tmp("bootstrap-torn.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let tree = sample_tree_exact();
+        {
+            let mut store = BootstrapStore::open(&path, 7, 3).unwrap();
+            store.append(-10.0, &tree).unwrap();
+            store.append(-20.0, &tree).unwrap();
+        }
+        // Simulate a crash mid-append: chop the final record in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 30;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let store = BootstrapStore::open(&path, 7, 3).unwrap();
+        assert_eq!(store.completed(), 1, "torn record dropped, clean prefix kept");
+        assert_eq!(store.records()[0].log_likelihood, -10.0);
+        // And the file was healed: reopening sees the same clean state.
+        let again = BootstrapStore::open(&path, 7, 3).unwrap();
+        assert_eq!(again.completed(), 1);
+    }
+}

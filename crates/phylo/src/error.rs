@@ -22,6 +22,19 @@ pub enum PhyloError {
     /// A tree operation referenced a node that does not exist or has the
     /// wrong degree.
     TreeStructure(String),
+    /// A file could not be read or written (the OS error is flattened to a
+    /// string so the enum stays `Clone + PartialEq`).
+    Io { path: String, message: String },
+    /// A checkpoint file was missing a section, version-mismatched, or was
+    /// written for a different analysis (fingerprint mismatch).
+    Checkpoint { path: String, message: String },
+    /// The likelihood engine produced a non-finite value that even a forced
+    /// conservative re-evaluation could not repair.
+    Numerical { context: &'static str, value: f64 },
+    /// An analysis was interrupted (e.g. by an abort policy) after
+    /// completing `completed` units of work; progress is on disk and the
+    /// run can be resumed from its checkpoint.
+    Interrupted { completed: usize },
 }
 
 impl fmt::Display for PhyloError {
@@ -46,6 +59,16 @@ impl fmt::Display for PhyloError {
                 write!(f, "invalid value {value} for parameter {name}: {reason}")
             }
             PhyloError::TreeStructure(msg) => write!(f, "tree structure error: {msg}"),
+            PhyloError::Io { path, message } => write!(f, "cannot access {path}: {message}"),
+            PhyloError::Checkpoint { path, message } => {
+                write!(f, "invalid checkpoint {path}: {message}")
+            }
+            PhyloError::Numerical { context, value } => {
+                write!(f, "non-finite likelihood in {context} ({value}) survived forced rescaling")
+            }
+            PhyloError::Interrupted { completed } => {
+                write!(f, "analysis interrupted after {completed} completed units; resumable from checkpoint")
+            }
         }
     }
 }

@@ -57,6 +57,7 @@ pub mod alignment;
 pub mod alphabet;
 pub mod bipartitions;
 pub mod bootstrap;
+pub mod checkpoint;
 pub mod error;
 pub mod io;
 pub mod likelihood;
@@ -74,7 +75,10 @@ pub mod prelude {
     pub use crate::alignment::{Alignment, PatternAlignment};
     pub use crate::alphabet::{encode_base, DnaCode};
     pub use crate::bipartitions::robinson_foulds;
-    pub use crate::bootstrap::{AnalysisResult, BootstrapAnalysis, SupportTree};
+    pub use crate::bootstrap::{
+        AnalysisResult, BootstrapAnalysis, BootstrapCheckpointPolicy, SupportTree,
+    };
+    pub use crate::checkpoint::{BootstrapStore, SearchCheckpointer};
     pub use crate::error::PhyloError;
     pub use crate::io::{parse_fasta, parse_newick, parse_phylip, write_phylip};
     pub use crate::likelihood::engine::LikelihoodEngine;
@@ -83,8 +87,8 @@ pub mod prelude {
     };
     pub use crate::model::{GammaRates, SubstModel};
     pub use crate::search::{
-        infer_ml_tree, infer_ml_tree_pooled, infer_ml_tree_traced, SearchConfig,
-        SearchConfigBuilder, SearchResult,
+        infer_ml_tree, infer_ml_tree_checked, infer_ml_tree_checkpointed, infer_ml_tree_pooled,
+        infer_ml_tree_traced, SearchConfig, SearchConfigBuilder, SearchResult,
     };
     pub use crate::simulate::SimulationConfig;
     pub use crate::trace::Trace;

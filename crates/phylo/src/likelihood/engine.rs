@@ -87,6 +87,8 @@ pub struct LikelihoodEngine<'a> {
     n_taxa: usize,
     ws: LikelihoodWorkspace,
     trace: Trace,
+    /// Test hook: force the next guarded evaluation to observe a NaN.
+    poison_numerics: bool,
 }
 
 impl<'a> LikelihoodEngine<'a> {
@@ -153,6 +155,7 @@ impl<'a> LikelihoodEngine<'a> {
             n_taxa,
             ws,
             trace: Trace::counters_only(),
+            poison_numerics: false,
         }
     }
 
@@ -314,6 +317,45 @@ impl<'a> LikelihoodEngine<'a> {
     pub fn log_likelihood(&mut self, tree: &Tree) -> f64 {
         let (u, v) = tree.edges()[0];
         self.log_likelihood_at(tree, (u, v))
+    }
+
+    /// [`Self::log_likelihood`] with a numerical guard at the engine
+    /// boundary: a non-finite value (NaN/−∞ from under-scaled partials in
+    /// the optimized kernels) triggers exactly one re-evaluation under the
+    /// most conservative configuration — scalar kernel, float-compare
+    /// scaling checks, `libm` exp, no parallelism — with every cached
+    /// partial invalidated so rescaling is applied from scratch. If even
+    /// that is non-finite, the alignment/model combination is genuinely
+    /// degenerate and a typed [`PhyloError::Numerical`] is returned.
+    pub fn try_log_likelihood(&mut self, tree: &Tree) -> crate::error::Result<f64> {
+        let mut lnl = self.log_likelihood(tree);
+        if self.poison_numerics {
+            self.poison_numerics = false;
+            lnl = f64::NAN;
+        }
+        if lnl.is_finite() {
+            return Ok(lnl);
+        }
+        // Forced conservative re-evaluation.
+        let saved = self.config;
+        self.config = LikelihoodConfig::baseline();
+        self.invalidate_all();
+        let recovered = self.log_likelihood(tree);
+        self.config = saved;
+        self.invalidate_all();
+        if recovered.is_finite() {
+            Ok(recovered)
+        } else {
+            Err(crate::error::PhyloError::Numerical { context: "log_likelihood", value: recovered })
+        }
+    }
+
+    /// Test hook: make the next [`Self::try_log_likelihood`] see a NaN from
+    /// its first evaluation, exercising the recovery path without having to
+    /// construct a genuinely degenerate alignment.
+    #[doc(hidden)]
+    pub fn poison_next_evaluation(&mut self) {
+        self.poison_numerics = true;
     }
 
     /// Log-likelihood evaluated at a specific branch.
@@ -845,6 +887,29 @@ mod tests {
         let lnl = eng.log_likelihood(&tree);
         assert!(lnl.is_finite());
         assert!(lnl < 0.0, "lnl = {lnl}");
+    }
+
+    #[test]
+    fn numerical_guard_recovers_from_a_poisoned_evaluation() {
+        let (aln, tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        let clean = eng.try_log_likelihood(&tree).unwrap();
+        assert_eq!(clean, eng.log_likelihood(&tree), "guard is a no-op on finite values");
+
+        // Poison the next evaluation: the guard must fall back to the
+        // conservative configuration and recover a finite value close to
+        // the healthy one (baseline vs optimized agree to rounding).
+        eng.poison_next_evaluation();
+        let recovered = eng.try_log_likelihood(&tree).unwrap();
+        assert!(recovered.is_finite());
+        assert!(
+            (recovered - clean).abs() < 1e-6 * clean.abs(),
+            "recovered {recovered} vs clean {clean}"
+        );
+        // The engine's own configuration is restored afterwards.
+        assert_eq!(eng.config().kernel, LikelihoodConfig::optimized().kernel);
+        // And subsequent evaluations are healthy again.
+        assert_eq!(eng.try_log_likelihood(&tree).unwrap(), clean);
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub use parsimony::{parsimony_score, stepwise_addition_tree};
 pub use spr::{spr_round, SprRoundStats};
 
 use crate::alignment::PatternAlignment;
+use crate::checkpoint::{SearchCheckpoint, SearchCheckpointer};
+use crate::error::Result;
 use crate::likelihood::engine::LikelihoodEngine;
 use crate::likelihood::{LikelihoodConfig, LikelihoodWorkspace, WorkspaceOptions};
 use crate::math::brent_minimize;
@@ -220,9 +222,50 @@ pub fn infer_ml_tree_pooled(
     record_events: bool,
     workspace: LikelihoodWorkspace,
 ) -> (SearchResult, LikelihoodWorkspace) {
+    run_search(aln, config, seed, record_events, workspace, None)
+        .expect("un-checkpointed search on finite data cannot fail; use infer_ml_tree_checked")
+}
+
+/// As [`infer_ml_tree`], but returning `Err` instead of panicking when the
+/// likelihood goes non-finite beyond what the engine's forced conservative
+/// re-evaluation can repair ([`crate::error::PhyloError::Numerical`]).
+pub fn infer_ml_tree_checked(
+    aln: &PatternAlignment,
+    config: &SearchConfig,
+    seed: u64,
+) -> Result<SearchResult> {
+    run_search(aln, config, seed, false, LikelihoodWorkspace::new(), None).map(|(r, _)| r)
+}
+
+/// As [`infer_ml_tree`], persisting a snapshot to `ckpt` after every SPR
+/// round. If `ckpt` already holds a snapshot of *this* search (same
+/// alignment, seed, and configuration — enforced by fingerprint), the
+/// search resumes there and finishes **bit-identically** to an
+/// uninterrupted run: trees, log-likelihoods, and Γ shape all match to the
+/// last bit. Only the kernel [`Trace`] differs, since the work before the
+/// snapshot is not repeated.
+pub fn infer_ml_tree_checkpointed(
+    aln: &PatternAlignment,
+    config: &SearchConfig,
+    seed: u64,
+    ckpt: &mut SearchCheckpointer,
+) -> Result<SearchResult> {
+    run_search(aln, config, seed, false, LikelihoodWorkspace::new(), Some(ckpt)).map(|(r, _)| r)
+}
+
+fn run_search(
+    aln: &PatternAlignment,
+    config: &SearchConfig,
+    seed: u64,
+    record_events: bool,
+    workspace: LikelihoodWorkspace,
+    mut ckpt: Option<&mut SearchCheckpointer>,
+) -> Result<(SearchResult, LikelihoodWorkspace)> {
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // 1. Starting tree: randomized stepwise-addition parsimony.
+    // 1. Starting tree: randomized stepwise-addition parsimony. Re-run even
+    //    when resuming — it is a pure function of the seed, and recomputing
+    //    it keeps the checkpoint format down to the genuinely mutable state.
     let mut tree = stepwise_addition_tree(aln, config.initial_branch_length, &mut rng)
         .expect("alignment has >= 3 taxa");
     let starting_parsimony = parsimony_score(&tree, aln);
@@ -245,26 +288,58 @@ pub fn infer_ml_tree_pooled(
         engine.enable_event_recording();
     }
 
-    // 3. Initial branch lengths + model.
-    engine.optimize_all_branches(&mut tree, 2);
-    if config.optimize_alpha {
-        optimize_alpha(&mut engine, &tree);
-        engine.optimize_all_branches(&mut tree, 1);
-    }
-
-    // 4. SPR hill climbing.
+    // Resume: overwrite the freshly built state with the snapshot. The
+    // exact-slot tree string preserves arena layout, so the resumed SPR
+    // scan enumerates candidates in the identical order.
     let mut rounds = 0;
     let mut moves_applied = 0;
-    for round in 0..config.max_spr_rounds {
-        let stats = spr_round(&mut engine, &mut tree, config.spr_radius, config.epsilon);
-        rounds += 1;
-        moves_applied += stats.applied;
-        engine.optimize_all_branches(&mut tree, 1);
-        if config.optimize_alpha && round % 2 == 1 {
-            optimize_alpha(&mut engine, &tree);
+    let mut converged = false;
+    let mut resumed = false;
+    if let Some(ck) = ckpt.as_deref_mut() {
+        if let Some(snap) = ck.load()? {
+            tree = Tree::from_exact_string(&snap.tree_exact)?;
+            engine.set_alpha(f64::from_bits(snap.alpha_bits))?;
+            rounds = snap.rounds_done;
+            moves_applied = snap.moves_applied;
+            converged = snap.last_applied == 0;
+            resumed = true;
         }
-        if stats.applied == 0 {
-            break;
+    }
+
+    // 3. Initial branch lengths + model (already folded into the snapshot
+    //    when resuming).
+    if !resumed {
+        engine.optimize_all_branches(&mut tree, 2);
+        if config.optimize_alpha {
+            optimize_alpha(&mut engine, &tree);
+            engine.optimize_all_branches(&mut tree, 1);
+        }
+    }
+
+    // 4. SPR hill climbing. `round` stays the absolute round index so the
+    //    alternating alpha re-optimization keeps its parity across a resume.
+    if !converged {
+        let first_round = rounds;
+        for round in first_round..config.max_spr_rounds {
+            let stats = spr_round(&mut engine, &mut tree, config.spr_radius, config.epsilon);
+            rounds = round + 1;
+            moves_applied += stats.applied;
+            engine.optimize_all_branches(&mut tree, 1);
+            if config.optimize_alpha && round % 2 == 1 {
+                optimize_alpha(&mut engine, &tree);
+            }
+            if let Some(ck) = ckpt.as_deref_mut() {
+                ck.save(&SearchCheckpoint {
+                    rounds_done: rounds,
+                    moves_applied,
+                    last_applied: stats.applied,
+                    alpha_bits: engine.rates().alpha().to_bits(),
+                    tree_exact: tree.to_exact_string(),
+                })?;
+            }
+            if stats.applied == 0 {
+                break;
+            }
         }
     }
 
@@ -278,13 +353,18 @@ pub fn infer_ml_tree_pooled(
     }
     // The final smoothing pass determines the reported likelihood: it is the
     // log-likelihood of the returned tree under the returned model.
-    let lnl = engine.optimize_all_branches(&mut tree, config.branch_smoothings);
+    let mut lnl = engine.optimize_all_branches(&mut tree, config.branch_smoothings);
+    if !lnl.is_finite() {
+        // Numerical guard: one forced conservative re-evaluation; a value
+        // that is still non-finite escalates to a typed error.
+        lnl = engine.try_log_likelihood(&tree)?;
+    }
 
     let alpha = engine.rates().alpha();
     let model = engine.model().clone();
     let trace = engine.take_trace();
     let workspace = engine.into_workspace();
-    (
+    Ok((
         SearchResult {
             tree,
             log_likelihood: lnl,
@@ -296,7 +376,7 @@ pub fn infer_ml_tree_pooled(
             trace,
         },
         workspace,
-    )
+    ))
 }
 
 /// Optimize the Γ shape parameter with Brent's method; leaves the engine at
@@ -487,6 +567,79 @@ mod tests {
         assert_eq!(fused.log_likelihood, per_node.log_likelihood);
         assert!(fused.trace.counters().fused_batches > 0);
         assert_eq!(per_node.trace.counters().fused_batches, 0);
+    }
+
+    #[test]
+    fn checked_search_matches_unchecked_bit_for_bit() {
+        let w = SimulationConfig::new(7, 300, 11).generate();
+        let cfg = SearchConfig::fast();
+        let plain = infer_ml_tree(&w.alignment, &cfg, 5);
+        let checked = infer_ml_tree_checked(&w.alignment, &cfg, 5).unwrap();
+        assert_eq!(plain.tree, checked.tree);
+        assert_eq!(plain.log_likelihood.to_bits(), checked.log_likelihood.to_bits());
+        assert_eq!(plain.alpha.to_bits(), checked.alpha.to_bits());
+    }
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("raxml-cell-search-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// Kill the search after its first SPR round, resume from the on-disk
+    /// snapshot, and demand the resumed run lands on the exact same tree,
+    /// log-likelihood, and Γ shape as the uninterrupted run.
+    #[test]
+    fn killed_search_resumes_bit_identically() {
+        use crate::checkpoint::{search_fingerprint, SearchCheckpointer};
+
+        let w = SimulationConfig::new(10, 150, 23).generate();
+        let cfg = SearchConfig::fast();
+        // Pick a starting tree bad enough that the climb needs several
+        // rounds — otherwise the kill after round 1 has nothing to skip.
+        let (seed, uninterrupted) = (0..32)
+            .map(|s| (s, infer_ml_tree(&w.alignment, &cfg, s)))
+            .find(|(_, r)| r.rounds >= 2 && r.moves_applied > 0)
+            .expect("some stepwise tree needs a multi-round SPR climb");
+
+        let path = ckpt_path("kill-resume.ckpt");
+        let fp = search_fingerprint(&w.alignment, &cfg, seed);
+
+        // First attempt dies right after the round-1 snapshot lands.
+        let mut dying = SearchCheckpointer::new(&path, fp).abort_after_saves(1);
+        let err = infer_ml_tree_checkpointed(&w.alignment, &cfg, seed, &mut dying).unwrap_err();
+        assert_eq!(err, crate::error::PhyloError::Interrupted { completed: 1 });
+
+        // Second attempt resumes from the snapshot and runs to completion.
+        let mut ckpt = SearchCheckpointer::new(&path, fp);
+        let resumed = infer_ml_tree_checkpointed(&w.alignment, &cfg, seed, &mut ckpt).unwrap();
+
+        assert_eq!(resumed.tree.to_exact_string(), uninterrupted.tree.to_exact_string());
+        assert_eq!(resumed.log_likelihood.to_bits(), uninterrupted.log_likelihood.to_bits());
+        assert_eq!(resumed.alpha.to_bits(), uninterrupted.alpha.to_bits());
+        assert_eq!(resumed.rounds, uninterrupted.rounds);
+        assert_eq!(resumed.moves_applied, uninterrupted.moves_applied);
+        assert_eq!(resumed.starting_parsimony, uninterrupted.starting_parsimony);
+    }
+
+    /// A checkpoint written for one analysis must refuse to resume another.
+    #[test]
+    fn checkpoint_refuses_a_different_seed() {
+        use crate::checkpoint::{search_fingerprint, SearchCheckpointer};
+
+        let w = SimulationConfig::new(7, 200, 13).generate();
+        let cfg = SearchConfig::fast();
+        let path = ckpt_path("wrong-seed.ckpt");
+
+        let mut first = SearchCheckpointer::new(&path, search_fingerprint(&w.alignment, &cfg, 1));
+        infer_ml_tree_checkpointed(&w.alignment, &cfg, 1, &mut first).unwrap();
+
+        // Same file, different seed ⇒ different fingerprint ⇒ typed refusal.
+        let mut other = SearchCheckpointer::new(&path, search_fingerprint(&w.alignment, &cfg, 2));
+        let err = infer_ml_tree_checkpointed(&w.alignment, &cfg, 2, &mut other).unwrap_err();
+        assert!(matches!(err, crate::error::PhyloError::Checkpoint { .. }), "{err}");
     }
 
     #[test]

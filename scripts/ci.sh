@@ -29,5 +29,9 @@ if [[ "$quick" -eq 0 ]]; then
 fi
 run cargo test --workspace -q
 
+# Fault-injection smoke: inert-plan bit-equality, deterministic fault
+# replay, and checkpoint kill-and-resume bit-identity, end to end.
+run cargo run -p bench --bin fault_study -- --smoke
+
 echo
 echo "ci: all checks passed"

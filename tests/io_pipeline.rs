@@ -69,6 +69,57 @@ fn support_annotated_newick_is_parseable() {
     );
 }
 
+/// Every file in the corrupt-input corpus must come back as a *typed* error
+/// through the experiment-layer loader — never a panic, never a silent
+/// best-effort parse.
+#[test]
+fn corrupt_corpus_yields_typed_errors() {
+    use raxml_cell::experiment::load_alignment;
+    use raxml_cell::ExperimentError;
+    use std::path::Path;
+
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+
+    // The good files load, agree, and carry the declared shape.
+    let fasta = load_alignment(&data.join("good.fasta")).unwrap();
+    let phylip = load_alignment(&data.join("good.phy")).unwrap();
+    assert_eq!(fasta, phylip);
+    assert_eq!(fasta.n_taxa(), 4);
+    assert_eq!(fasta.n_sites(), 16);
+
+    // Each corrupt file maps to the expected PhyloError variant.
+    use phylo::error::PhyloError as E;
+    type ErrorCheck = fn(&E) -> bool;
+    let cases: &[(&str, ErrorCheck)] = &[
+        ("ragged.fasta", |e| matches!(e, E::RaggedAlignment { .. })),
+        ("bad_char.fasta", |e| matches!(e, E::InvalidCharacter { .. })),
+        ("duplicate_taxon.fasta", |e| matches!(e, E::DuplicateTaxon(_))),
+        ("headerless.fasta", |e| matches!(e, E::Parse { format: "FASTA", .. })),
+        ("truncated.phy", |e| matches!(e, E::Parse { format: "PHYLIP", .. })),
+        ("bad_header.phy", |e| matches!(e, E::Parse { format: "PHYLIP", .. })),
+        ("short_row.phy", |e| matches!(e, E::Parse { format: "PHYLIP", .. })),
+    ];
+    for (name, expected) in cases {
+        match load_alignment(&data.join(name)) {
+            Err(ExperimentError::Phylo(e)) => {
+                assert!(expected(&e), "{name}: unexpected error {e}");
+                // Display output is a real diagnosis, not Debug spew.
+                assert!(!e.to_string().is_empty());
+            }
+            other => panic!("{name}: expected a typed Phylo error, got {other:?}"),
+        }
+    }
+
+    // A missing file is an I/O error with the path in the message.
+    let missing = data.join("does-not-exist.fasta");
+    match load_alignment(&missing) {
+        Err(ExperimentError::Io { path, .. }) => {
+            assert!(path.contains("does-not-exist"));
+        }
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
 #[test]
 fn files_round_trip_on_disk() {
     let dir = std::env::temp_dir().join(format!("raxml-cell-io-{}", std::process::id()));

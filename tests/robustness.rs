@@ -216,6 +216,116 @@ fn single_pattern_alignment() {
     assert!(result.log_likelihood.is_finite());
 }
 
+// ---------------------------------------------------------------------------
+// Fault matrix: every fault kind × every scheduler, end to end.
+// ---------------------------------------------------------------------------
+
+mod fault_matrix {
+    use cellsim::cost::CostModel;
+    use cellsim::fault::FaultPlan;
+    use raxml_cell::config::{OptConfig, Scheduler};
+    use raxml_cell::experiment::{capture_workload, WorkloadSpec};
+    use raxml_cell::offload::{price_trace, PricedTrace};
+    use raxml_cell::sched::{schedule_makespan, schedule_makespan_with_faults, DesParams};
+
+    const SCHEDULERS: [Scheduler; 4] = [
+        Scheduler::Edtlp,
+        Scheduler::Llp { workers: 2 },
+        Scheduler::Llp { workers: 4 },
+        Scheduler::Mgps,
+    ];
+
+    fn priced() -> PricedTrace {
+        let workload = capture_workload(&WorkloadSpec::small()).expect("capture");
+        price_trace(&workload.events, &CostModel::paper_calibrated(), &OptConfig::fully_optimized())
+    }
+
+    /// A plan injecting only one fault kind at the given rate.
+    fn single_kind_plan(kind: usize, seed: u64, rate: f64) -> FaultPlan {
+        let mut plan = FaultPlan { seed, ..FaultPlan::none() };
+        match kind {
+            0 => plan.dma_failure_rate = rate,
+            1 => plan.dma_timeout_rate = rate,
+            2 => plan.signal_drop_rate = rate,
+            3 => plan.signal_corrupt_rate = rate,
+            4 => plan.stall_rate = rate,
+            5 => plan = plan.with_death(0, 1_000_000),
+            _ => unreachable!(),
+        }
+        plan
+    }
+
+    /// Every fault kind × every scheduler: no panics, finite makespans, and
+    /// a makespan never *shorter* than the fault-free run.
+    #[test]
+    fn every_fault_kind_on_every_scheduler_completes() {
+        let trace = priced();
+        let params = DesParams::default();
+        let model = CostModel::paper_calibrated();
+        for &sched in &SCHEDULERS {
+            let clean = schedule_makespan(sched, &trace, 8, &model, &params);
+            for kind in 0..6 {
+                let plan = single_kind_plan(kind, 17, 0.2);
+                let out = schedule_makespan_with_faults(sched, &trace, 8, &model, &params, &plan);
+                // Perturbing one worker's burst can reorder PPE grants and
+                // occasionally *improve* global packing (a Graham-style
+                // scheduling anomaly), so faults only guarantee "not much
+                // faster", not strict monotonicity.
+                assert!(
+                    out.makespan as f64 >= clean as f64 * 0.95,
+                    "{sched:?} kind {kind}: faults cut the makespan by >5%"
+                );
+                assert!(out.makespan > 0);
+                if kind == 5 {
+                    assert!(
+                        out.faults.redispatches > 0 || out.faults.degradations > 0,
+                        "{sched:?}: a dead SPE must force recovery work"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Replaying the same plan is deterministic: two invocations agree on
+    /// the makespan and the full fault report, for every scheduler.
+    #[test]
+    fn fault_replay_is_deterministic() {
+        let trace = priced();
+        let params = DesParams::default();
+        let model = CostModel::paper_calibrated();
+        for &sched in &SCHEDULERS {
+            let plan = FaultPlan::uniform(23, 0.1);
+            let a = schedule_makespan_with_faults(sched, &trace, 8, &model, &params, &plan);
+            let b = schedule_makespan_with_faults(sched, &trace, 8, &model, &params, &plan);
+            assert_eq!(a.makespan, b.makespan, "{sched:?}");
+            assert_eq!(a.faults, b.faults, "{sched:?}");
+            assert_eq!(a.stats.ppe_busy, b.stats.ppe_busy, "{sched:?}");
+        }
+    }
+
+    /// The all-zero plan is the fault-free path, bit for bit: same makespan
+    /// and statistics as the legacy (plan-less) entry points.
+    #[test]
+    fn inert_plan_is_bit_exact_for_every_scheduler() {
+        let trace = priced();
+        let params = DesParams::default();
+        let model = CostModel::paper_calibrated();
+        for &sched in &SCHEDULERS {
+            let clean = schedule_makespan(sched, &trace, 8, &model, &params);
+            let inert = schedule_makespan_with_faults(
+                sched,
+                &trace,
+                8,
+                &model,
+                &params,
+                &FaultPlan::none(),
+            );
+            assert_eq!(inert.makespan, clean, "{sched:?}");
+            assert!(inert.faults.is_clean(), "{sched:?}: inert plan must report nothing");
+        }
+    }
+}
+
 /// Larger trees keep the engine honest: a 96-taxon inference completes and
 /// improves on its starting tree.
 #[test]
