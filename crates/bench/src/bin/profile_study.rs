@@ -1,0 +1,133 @@
+//! Observability study: per-scheduler execution traces for one SPR round.
+//!
+//! Simulates a single SPR round's kernel stream under EDTLP, LLP/2 and MGPS
+//! with event tracing enabled, exports a Perfetto-loadable Chrome trace and
+//! a JSONL metrics snapshot per scheduler, and cross-checks the
+//! trace-derived per-SPE utilization against the DES's own `SimStats`
+//! accounting (they must agree exactly — the trace carries the same charged
+//! cycles the stats do).
+//!
+//! Flags:
+//!   --quick   use the reduced workload instead of the 42_SC equivalent
+//!   --smoke   run the self-check suite on a small workload and exit
+//!             nonzero on any mismatch or malformed export
+//!   --out D   write trace artifacts into directory D
+//!             (default: target/profile_study)
+
+use bench::{check_profile, profile_report_text, profile_spr_round, RoundProfile};
+use cellsim::cost::CostModel;
+use raxml_cell::experiment::{capture_workload, WorkloadSpec};
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        match smoke() {
+            Ok(()) => {
+                println!("profile smoke: all checks passed");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("profile smoke FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let out_dir = arg_value("--out").unwrap_or_else(|| "target/profile_study".to_string());
+    let (workload, label) = bench::or_exit(bench::workload_from_args());
+    println!("workload: {label} ({} SPR rounds marked)", workload.rounds.len());
+
+    let profiles = profile_spr_round(&workload, 16);
+    for p in &profiles {
+        if let Err(msg) = check_profile(p) {
+            eprintln!("trace/stats cross-check FAILED: {msg}");
+            std::process::exit(1);
+        }
+    }
+    match write_artifacts(&out_dir, &profiles) {
+        Ok(paths) => {
+            for path in paths {
+                println!("wrote {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error writing artifacts: {e}");
+            std::process::exit(1);
+        }
+    }
+    let model = CostModel::paper_calibrated();
+    print!("{}", profile_report_text(&profiles, model.clock_hz));
+}
+
+/// Value following a `--flag value` pair on the command line.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Write each profile's Chrome trace and metrics snapshot into `dir`.
+fn write_artifacts(dir: &str, profiles: &[RoundProfile]) -> Result<Vec<String>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    let mut paths = Vec::new();
+    for p in profiles {
+        let slug = p.label.to_lowercase().replace('/', "");
+        let trace = format!("{dir}/round0_{slug}.trace.json");
+        let metrics = format!("{dir}/round0_{slug}.metrics.jsonl");
+        std::fs::write(&trace, &p.chrome_json).map_err(|e| format!("write {trace}: {e}"))?;
+        std::fs::write(&metrics, &p.metrics_jsonl).map_err(|e| format!("write {metrics}: {e}"))?;
+        paths.push(trace);
+        paths.push(metrics);
+    }
+    Ok(paths)
+}
+
+/// Self-check suite for CI: trace/stats agreement, export well-formedness,
+/// and round-trip through the filesystem, on a small real workload.
+fn smoke() -> Result<(), String> {
+    let workload =
+        capture_workload(&WorkloadSpec::small()).map_err(|e| format!("workload capture: {e}"))?;
+
+    // 1. The search must have marked at least one SPR round, and the mark
+    //    must slice a nonempty prefix of the event stream.
+    let mark = workload.rounds.first().ok_or("no SPR round marks recorded")?;
+    if workload.round_events(mark).is_empty() {
+        return Err("first SPR round slices zero events".to_string());
+    }
+
+    // 2. Per scheduler: trace totals equal SimStats exactly and both
+    //    exports parse.
+    let profiles = profile_spr_round(&workload, 8);
+    if profiles.len() != 3 {
+        return Err(format!("expected 3 scheduler profiles, got {}", profiles.len()));
+    }
+    for p in &profiles {
+        check_profile(p)?;
+        if p.summary.spe_bursts.iter().sum::<u64>() == 0 {
+            return Err(format!("{}: trace recorded no SPE bursts", p.label));
+        }
+        if !p.chrome_json.contains("\"traceEvents\"") {
+            return Err(format!("{}: chrome trace missing traceEvents array", p.label));
+        }
+    }
+
+    // 3. Artifacts survive a filesystem round trip and still validate.
+    let dir = std::env::temp_dir().join(format!("raxml-cell-profile-smoke-{}", std::process::id()));
+    let dir_s = dir.to_string_lossy().into_owned();
+    let paths = write_artifacts(&dir_s, &profiles)?;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        if path.ends_with(".jsonl") {
+            cellsim::tracelog::validate_jsonl(&text)
+                .map_err(|e| format!("{path} failed JSONL validation after round trip: {e}"))?;
+        } else {
+            cellsim::tracelog::validate_json(&text)
+                .map_err(|e| format!("{path} failed JSON validation after round trip: {e}"))?;
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

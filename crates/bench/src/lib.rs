@@ -138,25 +138,170 @@ pub fn table8_text(workload: &Workload) -> Result<String, ExperimentError> {
 /// Utilization report for an MGPS run at a given bootstrap count (the
 /// simulator's answer to the paper's decrementer measurements).
 pub fn mgps_utilization_text(workload: &Workload, n_bootstraps: usize) -> String {
+    use cellsim::fault::FaultPlan;
+    use cellsim::tracelog::TraceLog;
     use raxml_cell::config::OptConfig;
     use raxml_cell::offload::price_trace;
-    use raxml_cell::sched::mgps_makespan;
+    use raxml_cell::sched::mgps_makespan_traced;
     let model = CostModel::paper_calibrated();
     let priced = price_trace(&workload.events, &model, &OptConfig::fully_optimized());
-    let out = mgps_makespan(&priced, n_bootstraps, &model, &DesParams::default());
-    // Component composition comes from the priced trace (the DES tracks
-    // busy time only); one bootstrap's worth, so fractions are exact.
-    let t = &priced.totals;
-    let spe_total = (t.loop_cycles + t.cond_cycles + t.exp_cycles + t.dma_stall + t.comm) as f64;
+    let mut tlog = TraceLog::enabled();
+    let out = mgps_makespan_traced(
+        &priced,
+        n_bootstraps,
+        &model,
+        &DesParams::default(),
+        &FaultPlan::none(),
+        &mut tlog,
+    );
+    // Component composition comes from the trace's counter channel: the
+    // scheduler annotates every run with the per-component cycle totals it
+    // actually dispatched, so the report and any exported trace agree by
+    // construction. One bootstrap's worth, so fractions are exact.
+    let c = |name: &str| tlog.last_counter(name).unwrap_or(0.0);
+    let loops = c("trace_loop_cycles");
+    let exp = c("trace_exp_cycles");
+    let cond = c("trace_cond_cycles");
+    let dma = c("trace_dma_stall");
+    let comm = c("trace_comm");
+    let spe_total = loops + exp + cond + dma + comm;
     format!(
         "MGPS utilization at {n_bootstraps} bootstraps:\n{}  SPE work composition: loops {:.1}% | exp {:.1}% | conditionals {:.1}% | DMA {:.1}% | comm {:.1}%\n",
         out.stats.report(model.clock_hz),
-        100.0 * t.loop_cycles as f64 / spe_total,
-        100.0 * t.exp_cycles as f64 / spe_total,
-        100.0 * t.cond_cycles as f64 / spe_total,
-        100.0 * t.dma_stall as f64 / spe_total,
-        100.0 * t.comm as f64 / spe_total,
+        100.0 * loops / spe_total,
+        100.0 * exp / spe_total,
+        100.0 * cond / spe_total,
+        100.0 * dma / spe_total,
+        100.0 * comm / spe_total,
     )
+}
+
+/// One scheduler's traced simulation of a single SPR round: the DES's own
+/// accounting plus the trace-derived view and both exporter payloads.
+pub struct RoundProfile {
+    /// Scheduler label ("EDTLP", "LLP/2", "MGPS").
+    pub label: &'static str,
+    /// Full DES outcome (makespan, `SimStats`, fault report).
+    pub outcome: raxml_cell::sched::SimOutcome,
+    /// Totals re-derived from the emitted trace events alone.
+    pub summary: cellsim::tracelog::TraceSummary,
+    /// Chrome trace-event JSON (Perfetto-loadable).
+    pub chrome_json: String,
+    /// JSONL metrics snapshot (one object per line).
+    pub metrics_jsonl: String,
+}
+
+/// Price one SPR round's kernel events (falling back to the whole trace when
+/// the workload recorded no round marks) and simulate it under EDTLP, LLP/2
+/// and MGPS with event tracing enabled.
+pub fn profile_spr_round(workload: &Workload, n_jobs: usize) -> Vec<RoundProfile> {
+    use cellsim::fault::FaultPlan;
+    use cellsim::tracelog::TraceLog;
+    use raxml_cell::config::{OptConfig, Scheduler};
+    use raxml_cell::offload::price_trace;
+    use raxml_cell::sched::schedule_makespan_traced;
+
+    let model = CostModel::paper_calibrated();
+    let params = DesParams::default();
+    let events = match workload.rounds.first() {
+        Some(mark) => workload.round_events(mark),
+        None => &workload.events[..],
+    };
+    let priced = price_trace(events, &model, &OptConfig::fully_optimized());
+    let schedulers: [(Scheduler, &'static str); 3] = [
+        (Scheduler::Edtlp, "EDTLP"),
+        (Scheduler::Llp { workers: 2 }, "LLP/2"),
+        (Scheduler::Mgps, "MGPS"),
+    ];
+    schedulers
+        .iter()
+        .map(|&(sched, label)| {
+            let mut tlog = TraceLog::enabled();
+            let outcome = schedule_makespan_traced(
+                sched,
+                &priced,
+                n_jobs,
+                &model,
+                &params,
+                &FaultPlan::none(),
+                &mut tlog,
+            );
+            tlog.round_span(0, 0, outcome.makespan);
+            let summary = tlog.summary(params.n_spes);
+            let chrome_json = tlog.to_chrome_trace(model.clock_hz);
+            let metrics_jsonl = tlog.to_metrics_jsonl(model.clock_hz, params.n_spes);
+            RoundProfile { label, outcome, summary, chrome_json, metrics_jsonl }
+        })
+        .collect()
+}
+
+/// Cross-check one profile: the trace-derived per-SPE utilization must match
+/// the DES's `SimStats` accounting exactly, and both exporter payloads must
+/// be well-formed. Returns a description of the first mismatch.
+pub fn check_profile(p: &RoundProfile) -> Result<(), String> {
+    let stats = &p.outcome.stats;
+    if p.summary.end != p.outcome.makespan {
+        return Err(format!(
+            "{}: trace end {} != makespan {}",
+            p.label, p.summary.end, p.outcome.makespan
+        ));
+    }
+    if p.summary.ppe_busy != stats.ppe_busy {
+        return Err(format!(
+            "{}: trace PPE busy {} != stats {}",
+            p.label, p.summary.ppe_busy, stats.ppe_busy
+        ));
+    }
+    for (s, spe) in stats.spes.iter().enumerate() {
+        if p.summary.spe_busy[s] != spe.busy() {
+            return Err(format!(
+                "{}: SPE {s} trace busy {} != stats {}",
+                p.label,
+                p.summary.spe_busy[s],
+                spe.busy()
+            ));
+        }
+        if p.summary.spe_stalled[s] != spe.stalled() {
+            return Err(format!(
+                "{}: SPE {s} trace stalled {} != stats {}",
+                p.label,
+                p.summary.spe_stalled[s],
+                spe.stalled()
+            ));
+        }
+        let trace_util = p.summary.utilization(s);
+        let stats_util = spe.busy() as f64 / p.outcome.makespan.max(1) as f64;
+        if (trace_util - stats_util).abs() > 1e-12 {
+            return Err(format!(
+                "{}: SPE {s} trace utilization {trace_util} != stats {stats_util}",
+                p.label
+            ));
+        }
+    }
+    cellsim::tracelog::validate_json(&p.chrome_json)
+        .map_err(|e| format!("{}: chrome trace invalid: {e}", p.label))?;
+    cellsim::tracelog::validate_jsonl(&p.metrics_jsonl)
+        .map_err(|e| format!("{}: metrics jsonl invalid: {e}", p.label))?;
+    Ok(())
+}
+
+/// Human-readable per-scheduler timeline report for a profiled round: the
+/// §5.2-style utilization breakdown regenerated from the trace itself.
+pub fn profile_report_text(profiles: &[RoundProfile], clock_hz: f64) -> String {
+    let mut out = String::from("per-scheduler timeline (trace-derived, one SPR round):\n");
+    for p in profiles {
+        out.push_str(&format!(
+            "  {:<6} makespan {:>12} cycles ({:.3} ms) | mean SPE utilization {:>5.1}% | mean DMA stall {:>4.1}% | PPE busy {:>5.1}% | {} events\n",
+            p.label,
+            p.outcome.makespan,
+            p.outcome.makespan as f64 / clock_hz * 1e3,
+            100.0 * p.summary.mean_utilization(),
+            100.0 * p.summary.mean_stall_fraction(),
+            100.0 * p.summary.ppe_busy as f64 / p.outcome.makespan.max(1) as f64,
+            p.summary.spe_bursts.iter().sum::<u64>(),
+        ));
+    }
+    out
 }
 
 /// Text for Figure 3.
@@ -259,10 +404,38 @@ mod tests {
     }
 
     #[test]
+    fn profiled_round_trace_matches_stats_for_every_scheduler() {
+        let w = quick_workload().expect("capture");
+        let profiles = profile_spr_round(&w, 8);
+        assert_eq!(profiles.len(), 3, "one profile per scheduler");
+        for p in &profiles {
+            check_profile(p).expect("trace-derived utilization must equal SimStats");
+        }
+        let text = profile_report_text(&profiles, CostModel::paper_calibrated().clock_hz);
+        assert!(text.contains("EDTLP") && text.contains("LLP/2") && text.contains("MGPS"));
+    }
+
+    #[test]
+    fn mgps_utilization_composition_comes_from_the_trace() {
+        let w = quick_workload().expect("capture");
+        let text = mgps_utilization_text(&w, 8);
+        assert!(text.contains("SPE work composition"));
+        assert!(text.contains("loops"));
+        // Fractions must be finite percentages that roughly sum to 100.
+        let pct: Vec<f64> = text
+            .split('%')
+            .filter_map(|chunk| chunk.rsplit(' ').next().and_then(|t| t.parse::<f64>().ok()))
+            .collect();
+        let composition: f64 = pct.iter().rev().take(5).sum();
+        assert!((composition - 100.0).abs() < 0.5, "composition sums to {composition}");
+    }
+
+    #[test]
     fn empty_trace_surfaces_as_an_error_not_a_panic() {
         let empty = Workload {
             events: Vec::new(),
             counters: Default::default(),
+            rounds: Vec::new(),
             log_likelihood: -1.0,
             n_patterns: 1,
         };

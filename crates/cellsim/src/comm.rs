@@ -9,6 +9,7 @@
 
 use crate::fault::FaultPlan;
 use crate::time::Cycles;
+use crate::tracelog::TraceLog;
 
 /// How the PPE and an SPE signal each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -179,6 +180,37 @@ pub fn roundtrip_with_faults(
     Err(SignalError { attempts: max, cycles })
 }
 
+/// [`roundtrip_with_faults`] that also records the round trip into a
+/// [`TraceLog`]: the full signal span (retries included) starting at
+/// simulated time `at`, plus one `signal_fault` instant per faulted
+/// attempt. With a disabled log this is bit-identical to the untraced call.
+pub fn roundtrip_with_faults_traced(
+    costs: &CommCosts,
+    kind: SignalKind,
+    plan: &FaultPlan,
+    stream: u64,
+    index: u64,
+    at: Cycles,
+    tlog: &mut TraceLog,
+) -> Result<SignalOutcome, SignalError> {
+    let result = roundtrip_with_faults(costs, kind, plan, stream, index);
+    if tlog.is_enabled() {
+        match &result {
+            Ok(out) => {
+                tlog.signal(at, stream, out.cycles, out.attempts);
+                for _ in 0..out.faults {
+                    tlog.fault(at, "signal_fault", stream as usize);
+                }
+            }
+            Err(err) => {
+                tlog.signal(at, stream, err.cycles, err.attempts);
+                tlog.fault(at, "signal_lost", stream as usize);
+            }
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +278,44 @@ mod tests {
         let err = roundtrip_with_faults(&c, SignalKind::Mailbox, &plan, 0, 0).unwrap_err();
         assert_eq!(err.attempts, plan.backoff.max_attempts);
         assert!(err.cycles > 0);
+    }
+
+    #[test]
+    fn traced_signal_matches_untraced_and_records_span() {
+        use crate::tracelog::{EventData, TraceLog};
+        let c = CommCosts::default();
+        let plan = FaultPlan::none();
+
+        let mut off = TraceLog::disabled();
+        let traced =
+            roundtrip_with_faults_traced(&c, SignalKind::DirectMemory, &plan, 2, 7, 100, &mut off)
+                .unwrap();
+        assert_eq!(
+            traced,
+            roundtrip_with_faults(&c, SignalKind::DirectMemory, &plan, 2, 7).unwrap()
+        );
+        assert!(off.is_empty());
+
+        let mut on = TraceLog::enabled();
+        let out =
+            roundtrip_with_faults_traced(&c, SignalKind::DirectMemory, &plan, 2, 7, 100, &mut on)
+                .unwrap();
+        assert_eq!(on.len(), 1);
+        assert_eq!(
+            on.events()[0].data,
+            EventData::Signal { stream: 2, dur: out.cycles, attempts: 1 }
+        );
+
+        // A lost signal records the wasted span plus a fault instant.
+        let mut on = TraceLog::enabled();
+        let mut lossy = FaultPlan::uniform(2, 0.0);
+        lossy.signal_drop_rate = 1.0;
+        assert!(roundtrip_with_faults_traced(&c, SignalKind::Mailbox, &lossy, 0, 0, 0, &mut on)
+            .is_err());
+        assert!(on
+            .events()
+            .iter()
+            .any(|e| matches!(e.data, EventData::Fault { kind: "signal_lost", .. })));
     }
 
     #[test]

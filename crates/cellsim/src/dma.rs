@@ -14,6 +14,7 @@
 
 use crate::fault::FaultPlan;
 use crate::time::Cycles;
+use crate::tracelog::TraceLog;
 
 /// Maximum size of a single DMA request.
 pub const MAX_TRANSFER: usize = 16 * 1024;
@@ -202,6 +203,40 @@ pub fn transfer_with_faults(
     Err(TransferError::Exhausted { attempts: max, cycles })
 }
 
+/// [`transfer_with_faults`] that also records the transfer into a
+/// [`TraceLog`]: the full transfer span (retries included) starting at
+/// simulated time `at`, plus one `dma_fault` instant per faulted attempt.
+/// With a disabled log this is bit-identical to the untraced call.
+#[allow(clippy::too_many_arguments)]
+pub fn transfer_with_faults_traced(
+    bytes: usize,
+    addr: u64,
+    costs: &DmaCosts,
+    plan: &FaultPlan,
+    stream: u64,
+    index: u64,
+    at: Cycles,
+    tlog: &mut TraceLog,
+) -> Result<TransferOutcome, TransferError> {
+    let result = transfer_with_faults(bytes, addr, costs, plan, stream, index);
+    if tlog.is_enabled() {
+        match &result {
+            Ok(out) => {
+                tlog.dma_transfer(at, stream, bytes as u64, out.cycles, out.attempts);
+                for _ in 0..out.faults {
+                    tlog.fault(at, "dma_fault", stream as usize);
+                }
+            }
+            Err(TransferError::Exhausted { attempts, cycles }) => {
+                tlog.dma_transfer(at, stream, bytes as u64, *cycles, *attempts);
+                tlog.fault(at, "dma_exhausted", stream as usize);
+            }
+            Err(TransferError::Illegal(_)) => {}
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +348,38 @@ mod tests {
             transfer_with_faults(3, 0, &c, &plan, 0, 0),
             Err(TransferError::Illegal(DmaError::BadSize(3)))
         ));
+    }
+
+    #[test]
+    fn traced_transfer_matches_untraced_and_records_span() {
+        use crate::tracelog::{EventData, TraceLog};
+        let c = DmaCosts::default();
+        let plan = FaultPlan::none();
+
+        // Disabled log: same outcome, nothing recorded.
+        let mut off = TraceLog::disabled();
+        let traced = transfer_with_faults_traced(2048, 0, &c, &plan, 3, 0, 500, &mut off).unwrap();
+        assert_eq!(traced, transfer_with_faults(2048, 0, &c, &plan, 3, 0).unwrap());
+        assert!(off.is_empty());
+
+        // Enabled log: one span with the exact cycles and attempts.
+        let mut on = TraceLog::enabled();
+        let out = transfer_with_faults_traced(2048, 0, &c, &plan, 3, 0, 500, &mut on).unwrap();
+        assert_eq!(on.len(), 1);
+        assert_eq!(on.events()[0].at, 500);
+        assert_eq!(
+            on.events()[0].data,
+            EventData::DmaTransfer { stream: 3, bytes: 2048, dur: out.cycles, attempts: 1 }
+        );
+
+        // Exhausted transfers still record their wasted span plus a fault.
+        let mut on = TraceLog::enabled();
+        let certain = FaultPlan::uniform(3, 1.0);
+        assert!(transfer_with_faults_traced(2048, 0, &c, &certain, 0, 0, 0, &mut on).is_err());
+        assert!(on
+            .events()
+            .iter()
+            .any(|e| matches!(e.data, EventData::Fault { kind: "dma_exhausted", .. })));
     }
 
     #[test]

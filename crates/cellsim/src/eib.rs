@@ -29,20 +29,41 @@ impl Default for EibModel {
     }
 }
 
+/// Floor on the effective per-stream bandwidth, bytes/cycle. Degenerate
+/// configurations (zero aggregate bandwidth, astronomically many streams)
+/// would otherwise round a stream's share down to 0 bytes/cycle, pricing
+/// transfers at infinite cycles and making [`EibModel::contention_factor`]
+/// non-finite.
+pub const MIN_EFFECTIVE_BANDWIDTH: f64 = 1e-6;
+
 impl EibModel {
     /// Effective bandwidth available to each of `active_streams` concurrent
-    /// streams, bytes/cycle.
+    /// streams, bytes/cycle. Always ≥ [`MIN_EFFECTIVE_BANDWIDTH`] and never
+    /// NaN, whatever the configuration.
     pub fn effective_bandwidth(&self, active_streams: usize) -> f64 {
-        if active_streams == 0 {
-            return self.per_link_bytes_per_cycle;
+        let share = if active_streams == 0 {
+            // No stream is contending; an arriving one would get a full link.
+            self.per_link_bytes_per_cycle
+        } else {
+            self.per_link_bytes_per_cycle.min(self.total_bytes_per_cycle / active_streams as f64)
+        };
+        if share.is_finite() {
+            share.max(MIN_EFFECTIVE_BANDWIDTH)
+        } else {
+            MIN_EFFECTIVE_BANDWIDTH
         }
-        self.per_link_bytes_per_cycle.min(self.total_bytes_per_cycle / active_streams as f64)
     }
 
-    /// Slowdown factor (≥ 1) a stream experiences relative to an
-    /// uncontended link.
+    /// Slowdown factor a stream experiences relative to an uncontended
+    /// link. Always finite and ≥ 1, even for zero-bandwidth or
+    /// zero-stream configurations.
     pub fn contention_factor(&self, active_streams: usize) -> f64 {
-        self.per_link_bytes_per_cycle / self.effective_bandwidth(active_streams)
+        let factor = self.per_link_bytes_per_cycle / self.effective_bandwidth(active_streams);
+        if factor.is_finite() {
+            factor.max(1.0)
+        } else {
+            1.0
+        }
     }
 }
 
@@ -77,6 +98,42 @@ mod tests {
     fn zero_streams_is_idle() {
         let eib = EibModel::default();
         assert_eq!(eib.effective_bandwidth(0), 16.0);
+        assert_eq!(eib.contention_factor(0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_configs_never_price_zero_bandwidth() {
+        // Absurd stream counts: the share underflows toward 0 but must stay
+        // at the floor, and the slowdown must stay finite.
+        let eib = EibModel::default();
+        for streams in [1usize << 40, usize::MAX] {
+            let bw = eib.effective_bandwidth(streams);
+            assert!(bw >= MIN_EFFECTIVE_BANDWIDTH, "streams={streams}: bw {bw}");
+            let f = eib.contention_factor(streams);
+            assert!(f.is_finite() && f >= 1.0, "streams={streams}: factor {f}");
+        }
+
+        // Zero aggregate bandwidth: the factor is huge but finite.
+        let dead_bus = EibModel { total_bytes_per_cycle: 0.0, ..EibModel::default() };
+        assert_eq!(dead_bus.effective_bandwidth(8), MIN_EFFECTIVE_BANDWIDTH);
+        assert!(dead_bus.contention_factor(8).is_finite());
+
+        // Zero per-link bandwidth: no link to contend for, factor clamps to 1.
+        let dead_link = EibModel { per_link_bytes_per_cycle: 0.0, ..EibModel::default() };
+        assert!(dead_link.effective_bandwidth(4) >= MIN_EFFECTIVE_BANDWIDTH);
+        assert_eq!(dead_link.contention_factor(4), 1.0);
+        assert_eq!(dead_link.contention_factor(0), 1.0);
+    }
+
+    #[test]
+    fn contention_factor_is_monotone_in_streams() {
+        let eib = EibModel::default();
+        let mut last = 0.0;
+        for s in 0..64 {
+            let f = eib.contention_factor(s);
+            assert!(f >= last, "streams={s}: {f} < {last}");
+            last = f;
+        }
     }
 
     #[test]

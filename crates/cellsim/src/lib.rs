@@ -45,6 +45,7 @@ pub mod overlay;
 pub mod spe;
 pub mod stats;
 pub mod time;
+pub mod tracelog;
 
 pub use comm::SignalKind;
 pub use cost::{CondKind, CostModel, ExecutionFlags, ExpKind, KernelCost, Location};
@@ -52,3 +53,4 @@ pub use engine::EventQueue;
 pub use fault::{FaultKind, FaultPlan, FaultReport, SpeDeath};
 pub use machine::MachineConfig;
 pub use time::Cycles;
+pub use tracelog::{EventData, TraceEvent, TraceLog, TraceSummary};

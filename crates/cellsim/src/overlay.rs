@@ -212,4 +212,22 @@ mod tests {
     fn oversized_module_rejected() {
         OverlayManager::new(three_modules(), 99);
     }
+
+    #[test]
+    fn unused_overlay_fault_rate_is_zero_not_nan() {
+        // Regression: fault_rate() on a manager that never served a call
+        // divides faults by calls — with calls == 0 it must return 0.0, not
+        // NaN (NaN would poison any report arithmetic built on top).
+        let mgr = OverlayManager::new(three_modules(), 300);
+        assert_eq!(mgr.stats(), (0, 0, 0));
+        let rate = mgr.fault_rate();
+        assert!(!rate.is_nan(), "unused overlay must not produce NaN");
+        assert_eq!(rate, 0.0);
+
+        // An empty replay through overlay_overhead hits the same path.
+        let (mgr, cycles) =
+            overlay_overhead(std::iter::empty(), three_modules(), 300, &DmaCosts::default());
+        assert_eq!(cycles, 0);
+        assert_eq!(mgr.fault_rate(), 0.0);
+    }
 }

@@ -23,9 +23,22 @@ pub struct ProcessorStats {
 }
 
 impl ProcessorStats {
-    /// Total busy cycles.
+    /// Cycles doing useful work (compute + signalling). DMA-stall cycles are
+    /// *not* busy — the SPE is waiting on the MFC, not working — and are
+    /// reported separately by [`ProcessorStats::stalled`].
     pub fn busy(&self) -> Cycles {
-        self.loop_cycles + self.cond_cycles + self.exp_cycles + self.dma_stall + self.comm
+        self.loop_cycles + self.cond_cycles + self.exp_cycles + self.comm
+    }
+
+    /// Cycles stalled waiting on DMA completion.
+    pub fn stalled(&self) -> Cycles {
+        self.dma_stall
+    }
+
+    /// Cycles the processor was occupied at all (busy or stalled); the
+    /// complement of idle time over the makespan.
+    pub fn occupied(&self) -> Cycles {
+        self.busy() + self.stalled()
     }
 
     /// Add one priced invocation (the processor-side components).
@@ -57,7 +70,9 @@ impl SimStats {
         SimStats { spes: vec![ProcessorStats::default(); n_spes], ppe_busy: 0, makespan: 0 }
     }
 
-    /// Mean SPE utilization over the makespan (0–1).
+    /// Mean SPE utilization over the makespan (0–1): *useful* work only.
+    /// DMA-stall time is excluded — see [`SimStats::spe_occupancy`] for the
+    /// busy-or-stalled fraction.
     pub fn spe_utilization(&self) -> f64 {
         if self.makespan == 0 || self.spes.is_empty() {
             return 0.0;
@@ -66,7 +81,26 @@ impl SimStats {
         busy as f64 / (self.makespan as f64 * self.spes.len() as f64)
     }
 
-    /// Utilization of the busiest SPE.
+    /// Mean fraction of the makespan the SPEs were busy *or* stalled on DMA
+    /// (0–1). This is what the old buggy `spe_utilization` reported.
+    pub fn spe_occupancy(&self) -> f64 {
+        if self.makespan == 0 || self.spes.is_empty() {
+            return 0.0;
+        }
+        let occupied: Cycles = self.spes.iter().map(|s| s.occupied()).sum();
+        occupied as f64 / (self.makespan as f64 * self.spes.len() as f64)
+    }
+
+    /// Mean fraction of the makespan the SPEs spent stalled on DMA (0–1).
+    pub fn spe_stall_fraction(&self) -> f64 {
+        if self.makespan == 0 || self.spes.is_empty() {
+            return 0.0;
+        }
+        let stalled: Cycles = self.spes.iter().map(|s| s.stalled()).sum();
+        stalled as f64 / (self.makespan as f64 * self.spes.len() as f64)
+    }
+
+    /// Utilization of the busiest SPE (useful work only).
     pub fn max_spe_utilization(&self) -> f64 {
         if self.makespan == 0 {
             return 0.0;
@@ -85,9 +119,10 @@ impl SimStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "makespan: {:.3} s | mean SPE utilization {:.1}%",
+            "makespan: {:.3} s | mean SPE utilization {:.1}% (+{:.1}% DMA-stalled)",
             self.makespan as f64 / clock_hz,
-            self.spe_utilization() * 100.0
+            self.spe_utilization() * 100.0,
+            self.spe_stall_fraction() * 100.0,
         );
         for (i, s) in self.spes.iter().enumerate() {
             if s.invocations == 0 {
@@ -95,22 +130,24 @@ impl SimStats {
             }
             let _ = write!(
                 out,
-                "  SPE{i}: {:>10} tasks, busy {:.3} s ({:.1}% of makespan)",
+                "  SPE{i}: {:>10} tasks, busy {:.3} s ({:.1}%) + stalled {:.3} s ({:.1}%)",
                 s.invocations,
                 s.busy() as f64 / clock_hz,
                 100.0 * s.busy() as f64 / self.makespan.max(1) as f64,
+                s.stalled() as f64 / clock_hz,
+                100.0 * s.stalled() as f64 / self.makespan.max(1) as f64,
             );
             // Component split is only known when the caller recorded it
-            // (the phase-level DES tracks aggregate busy time only).
-            if s.exp_cycles + s.cond_cycles + s.dma_stall + s.comm > 0 {
+            // (the phase-level DES tracks busy and DMA-stall time only).
+            if s.exp_cycles + s.cond_cycles + s.comm > 0 {
                 let _ = write!(
                     out,
                     " [loops {:.0}% exp {:.0}% cond {:.0}% dma {:.1}% comm {:.1}%]",
-                    100.0 * s.loop_cycles as f64 / s.busy().max(1) as f64,
-                    100.0 * s.exp_cycles as f64 / s.busy().max(1) as f64,
-                    100.0 * s.cond_cycles as f64 / s.busy().max(1) as f64,
-                    100.0 * s.dma_stall as f64 / s.busy().max(1) as f64,
-                    100.0 * s.comm as f64 / s.busy().max(1) as f64,
+                    100.0 * s.loop_cycles as f64 / s.occupied().max(1) as f64,
+                    100.0 * s.exp_cycles as f64 / s.occupied().max(1) as f64,
+                    100.0 * s.cond_cycles as f64 / s.occupied().max(1) as f64,
+                    100.0 * s.dma_stall as f64 / s.occupied().max(1) as f64,
+                    100.0 * s.comm as f64 / s.occupied().max(1) as f64,
                 );
             }
             out.push('\n');
@@ -140,17 +177,38 @@ mod tests {
         p.add(&cost(100));
         p.add(&cost(200));
         assert_eq!(p.invocations, 2);
-        assert_eq!(p.busy(), 300 + 2 * (10 + 20 + 5 + 1));
+        // DMA stalls are accounted, but NOT as busy time.
+        assert_eq!(p.busy(), 300 + 2 * (10 + 20 + 1));
+        assert_eq!(p.stalled(), 2 * 5);
+        assert_eq!(p.occupied(), p.busy() + p.stalled());
     }
 
     #[test]
     fn utilization_math() {
         let mut s = SimStats::new(2);
-        s.spes[0].add(&cost(964)); // busy = 1000
+        s.spes[0].add(&cost(969)); // busy = 1000, stalled = 5
         s.makespan = 1000;
+        assert_eq!(s.spes[0].busy(), 1000);
+        assert_eq!(s.spes[0].stalled(), 5);
+        // Utilization counts useful work only; stall time reports separately.
         assert!((s.spe_utilization() - 0.5).abs() < 1e-12);
+        assert!((s.spe_stall_fraction() - 5.0 / 2000.0).abs() < 1e-12);
+        assert!((s.spe_occupancy() - 1005.0 / 2000.0).abs() < 1e-12);
         assert!((s.max_spe_utilization() - 1.0).abs() < 1e-12);
         assert_eq!(s.total_invocations(), 1);
+    }
+
+    #[test]
+    fn dma_stall_is_not_utilization() {
+        // A pure-stall SPE has zero utilization — the pre-fix accounting
+        // reported 100% here, inflating every SPE-utilization figure.
+        let mut s = SimStats::new(1);
+        s.spes[0].dma_stall = 1000;
+        s.spes[0].invocations = 1;
+        s.makespan = 1000;
+        assert_eq!(s.spe_utilization(), 0.0);
+        assert_eq!(s.spe_stall_fraction(), 1.0);
+        assert_eq!(s.spe_occupancy(), 1.0);
     }
 
     #[test]

@@ -71,10 +71,22 @@ pub struct Workload {
     pub events: Vec<KernelEvent>,
     /// Aggregate counters.
     pub counters: TraceCounters,
+    /// SPR-round boundaries: each mark slices `events` into one round's
+    /// invocations (plus setup/polish work outside any round).
+    pub rounds: Vec<phylo::trace::RoundMark>,
     /// Final log-likelihood of the inference (sanity anchor).
     pub log_likelihood: f64,
     /// Distinct site patterns of the alignment.
     pub n_patterns: usize,
+}
+
+impl Workload {
+    /// The events of one SPR round, by round mark.
+    pub fn round_events(&self, mark: &phylo::trace::RoundMark) -> &[KernelEvent] {
+        let begin = mark.begin.min(self.events.len());
+        let end = mark.end.min(self.events.len());
+        &self.events[begin..end]
+    }
 }
 
 /// Run a real inference with full tracing and return its workload.
@@ -104,6 +116,7 @@ pub fn capture_workload(spec: &WorkloadSpec) -> Result<Workload> {
         return Err(ExperimentError::NonFiniteLikelihood(result.log_likelihood));
     }
     let counters = *result.trace.counters();
+    let rounds = result.trace.rounds().to_vec();
     let events = result.trace.into_events();
     if events.is_empty() {
         return Err(ExperimentError::EmptyTrace);
@@ -111,6 +124,7 @@ pub fn capture_workload(spec: &WorkloadSpec) -> Result<Workload> {
     Ok(Workload {
         events,
         counters,
+        rounds,
         log_likelihood: result.log_likelihood,
         n_patterns: generated.alignment.n_patterns(),
     })
@@ -837,6 +851,7 @@ mod tests {
         let empty = Workload {
             events: Vec::new(),
             counters: TraceCounters::default(),
+            rounds: Vec::new(),
             log_likelihood: -1.0,
             n_patterns: 10,
         };

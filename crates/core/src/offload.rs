@@ -62,6 +62,22 @@ impl PricedInvocation {
             + (self.spe_dma as f64 * eib_factor) as Cycles / k as u64
             + (k as u64 - 1) * dispatch
     }
+
+    /// The DMA-stall component of [`PricedInvocation::spe_busy_llp`] —
+    /// exactly the cycles of that total an SPE spends waiting on the MFC
+    /// rather than computing. `spe_busy_llp(…) - spe_dma_llp(…)` is the
+    /// busy (compute + signalling) share. Replicates the parent's rounding
+    /// bit-for-bit (cast before divide) so the split is exact.
+    pub fn spe_dma_llp(&self, k: usize, eib_factor: f64) -> Cycles {
+        assert!(k >= 1);
+        assert!(eib_factor >= 1.0);
+        let inflated = (self.spe_dma as f64 * eib_factor) as Cycles;
+        if self.spe_busy() == 0 || k == 1 {
+            inflated
+        } else {
+            inflated / k as u64
+        }
+    }
 }
 
 /// Decide where an invocation executes under a ladder level and with what
@@ -287,6 +303,35 @@ mod tests {
         // Extreme fan-out eventually loses to dispatch overhead.
         let huge = p.spe_busy_llp(64, model.llp_dispatch, 2.0);
         assert!(huge > eight, "dispatch overhead dominates at silly fan-outs");
+    }
+
+    #[test]
+    fn dma_split_is_exact_for_all_fanouts() {
+        let model = CostModel::paper_calibrated();
+        let cfg = OptConfig::fully_optimized();
+        let (p, _) =
+            price_event(&ev(KernelOp::NewviewInnerInner, CallParent::Makenewz), &model, &cfg);
+        assert!(p.spe_dma > 0, "offloaded newview must have a DMA share");
+        for k in [1usize, 2, 3, 4, 8] {
+            for eib in [1.0, 1.5, 2.0] {
+                let total = p.spe_busy_llp(k, model.llp_dispatch, eib);
+                let dma = p.spe_dma_llp(k, eib);
+                assert!(dma <= total, "k={k} eib={eib}");
+                // The busy remainder is exactly the non-DMA terms.
+                let busy = total - dma;
+                let expected_busy = if k == 1 {
+                    p.spe_serial + p.spe_parallel
+                } else {
+                    p.spe_serial
+                        + p.spe_parallel.div_ceil(k as u64)
+                        + (k as u64 - 1) * model.llp_dispatch
+                };
+                assert_eq!(busy, expected_busy, "k={k} eib={eib}");
+            }
+        }
+        // PPE-only invocations have no DMA share at all.
+        let none = PricedInvocation { ppe: 1000, ..PricedInvocation::default() };
+        assert_eq!(none.spe_dma_llp(8, 2.0), 0);
     }
 
     #[test]

@@ -24,16 +24,22 @@
 use crate::offload::PricedTrace;
 use cellsim::fault::{FaultPlan, FaultReport};
 use cellsim::stats::SimStats;
+use cellsim::tracelog::TraceLog;
 use cellsim::{Cycles, EventQueue};
 use std::collections::VecDeque;
 
 /// One scheduling phase of a worker: PPE work followed by an SPE offload.
+/// The SPE side is split into compute (`spe`) and DMA-stall (`dma`) cycles
+/// so utilization accounting can tell useful work from MFC waits; the
+/// burst's wall duration is always `spe + dma`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Phase {
     /// PPE-thread cycles (before SMT inflation).
     pub ppe: Cycles,
-    /// SPE-busy cycles.
+    /// SPE busy (compute + signalling) cycles.
     pub spe: Cycles,
+    /// SPE DMA-stall cycles.
+    pub dma: Cycles,
 }
 
 /// Simulation parameters.
@@ -83,10 +89,9 @@ pub fn phases_for(
         .iter()
         .map(|inv| {
             let is_offload = inv.spe_busy() > 0 && inv.ppe > 0;
-            Phase {
-                ppe: inv.ppe + if is_offload { ctx_switch } else { 0 },
-                spe: inv.spe_busy_llp(k, dispatch, eib_factor),
-            }
+            let total = inv.spe_busy_llp(k, dispatch, eib_factor);
+            let dma = inv.spe_dma_llp(k, eib_factor);
+            Phase { ppe: inv.ppe + if is_offload { ctx_switch } else { 0 }, spe: total - dma, dma }
         })
         .collect()
 }
@@ -105,6 +110,7 @@ pub fn compress_phases(phases: &[Phase], target: usize) -> Vec<Phase> {
             for p in chunk {
                 m.ppe += p.ppe;
                 m.spe += p.spe;
+                m.dma += p.dma;
             }
             m
         })
@@ -143,8 +149,10 @@ struct Burst {
     members: Vec<usize>,
     /// Wall duration the burst was scheduled for.
     duration: Cycles,
-    /// Nominal SPE cycles of the phase (for re-dispatch).
+    /// Nominal SPE busy cycles of the phase (for re-dispatch).
     spe_cycles: Cycles,
+    /// Nominal SPE DMA-stall cycles of the phase (for re-dispatch).
+    dma_cycles: Cycles,
 }
 
 struct Sim<'a> {
@@ -161,6 +169,7 @@ struct Sim<'a> {
     smt: f64,
     spes_per_worker: usize,
     spe_dead: Vec<bool>,
+    tlog: &'a mut TraceLog,
 }
 
 impl Sim<'_> {
@@ -168,19 +177,25 @@ impl Sim<'_> {
     /// request or SPE burst.
     fn advance(&mut self, wid: usize) {
         loop {
+            let now = self.queue.now();
             let w = &mut self.workers[wid];
             let done = match w.job {
                 None => true,
                 Some(j) => w.phase >= self.jobs[j].len(),
             };
             if done {
+                if let Some(j) = w.job.take() {
+                    self.tlog.task_complete(now, wid, j);
+                }
                 if self.next_job >= self.jobs.len() {
-                    w.job = None;
                     return;
                 }
-                w.job = Some(self.next_job);
+                let j = self.next_job;
                 self.next_job += 1;
+                let w = &mut self.workers[wid];
+                w.job = Some(j);
                 w.phase = 0;
+                self.tlog.task_start(now, wid, j);
             }
             let w = &self.workers[wid];
             let job = self.jobs[w.job.expect("worker holds a job")];
@@ -194,8 +209,8 @@ impl Sim<'_> {
                 self.request_ppe(wid, dur, false);
                 return;
             }
-            if phase.spe > 0 {
-                self.start_spe(wid, phase.spe);
+            if phase.spe + phase.dma > 0 {
+                self.start_spe(wid, phase.spe, phase.dma);
                 return;
             }
             // Empty phase: skip.
@@ -209,6 +224,7 @@ impl Sim<'_> {
         if self.ppe_free > 0 {
             self.ppe_free -= 1;
             self.stats.ppe_busy += dur;
+            self.tlog.ppe_span(self.queue.now(), wid, dur, fallback);
             self.queue.schedule_after(dur, Ev::PpeDone(wid));
         } else {
             self.ppe_waiting.push_back((wid, dur));
@@ -224,6 +240,7 @@ impl Sim<'_> {
             if d.at <= now && d.spe < self.spe_dead.len() && !self.spe_dead[d.spe] {
                 self.spe_dead[d.spe] = true;
                 self.report.blacklisted += 1;
+                self.tlog.fault(now, "spe_death", d.spe);
             }
         }
     }
@@ -235,14 +252,18 @@ impl Sim<'_> {
             .collect()
     }
 
-    /// Start an SPE burst of nominally `spe_cycles` for worker `wid`,
-    /// running the fault/retry machinery when the plan is live.
-    fn start_spe(&mut self, wid: usize, spe_cycles: Cycles) {
+    /// Start an SPE burst of nominally `spe_cycles` busy + `dma_cycles`
+    /// stall cycles for worker `wid`, running the fault/retry machinery
+    /// when the plan is live. The wall duration is driven by the combined
+    /// total, exactly as the pre-split simulator's single figure was.
+    fn start_spe(&mut self, wid: usize, spe_cycles: Cycles, dma_cycles: Cycles) {
+        let total = spe_cycles + dma_cycles;
         self.apply_deaths(self.queue.now());
         loop {
+            let now = self.queue.now();
             let alive = self.alive_set(wid);
             if alive.is_empty() {
-                self.degrade(wid, spe_cycles);
+                self.degrade(wid, total);
                 return;
             }
             let mut extra: Cycles = 0;
@@ -254,16 +275,21 @@ impl Sim<'_> {
                 self.report.retries += rec.retries as u64;
                 self.report.penalty_cycles += rec.extra_cycles;
                 extra = rec.extra_cycles;
+                for _ in 0..rec.retries {
+                    self.tlog.fault(now, "retry", wid);
+                }
                 if rec.gave_up {
                     // The offload never completed on this set: re-dispatch.
                     self.report.redispatches += 1;
                     self.workers[wid].failures += 1;
+                    self.tlog.fault(now, "redispatch", wid);
                     if self.workers[wid].failures >= BLACKLIST_AFTER {
                         // Repeat offender: blacklist one member and retry on
                         // the reduced set (degrading if none remain).
                         self.workers[wid].failures = 0;
                         self.spe_dead[alive[0]] = true;
                         self.report.blacklisted += 1;
+                        self.tlog.fault(now, "blacklist", alive[0]);
                         continue;
                     }
                 } else {
@@ -273,24 +299,27 @@ impl Sim<'_> {
             // Burst duration and per-SPE attribution. The fault-free branch
             // is kept arithmetically identical to the legacy simulator; a
             // shrunken set stretches the wall time by k/alive (the same loop
-            // split across fewer SPEs).
+            // split across fewer SPEs). Busy and DMA-stall shares divide
+            // separately so stall time never inflates busy accounting.
             let k = self.spes_per_worker;
-            let (duration, share) = if alive.len() == k {
-                (spe_cycles, spe_cycles / k as u64)
-            } else {
-                (spe_cycles * k as u64 / alive.len() as u64, spe_cycles / alive.len() as u64)
-            };
+            let duration =
+                if alive.len() == k { total } else { total * k as u64 / alive.len() as u64 };
+            let busy_share = spe_cycles / alive.len() as u64;
+            let dma_share = dma_cycles / alive.len() as u64;
             if alive.len() < k {
-                self.report.penalty_cycles += duration - spe_cycles;
+                self.report.penalty_cycles += duration - total;
             }
             let duration = duration + extra;
             for (i, &s) in alive.iter().enumerate() {
-                self.stats.spes[s].loop_cycles += share;
+                self.stats.spes[s].loop_cycles += busy_share;
+                self.stats.spes[s].dma_stall += dma_share;
                 if i == 0 {
                     self.stats.spes[s].invocations += 1;
                 }
+                self.tlog.spe_burst(now, s, wid, duration, busy_share, dma_share);
             }
-            self.workers[wid].burst = Some(Burst { members: alive, duration, spe_cycles });
+            self.workers[wid].burst =
+                Some(Burst { members: alive, duration, spe_cycles, dma_cycles });
             self.queue.schedule_after(duration, Ev::SpeDone(wid));
             return;
         }
@@ -302,6 +331,7 @@ impl Sim<'_> {
         if !self.workers[wid].degraded {
             self.workers[wid].degraded = true;
             self.report.degradations += 1;
+            self.tlog.fault(self.queue.now(), "degradation", wid);
         }
         let dur = (spe_cycles as f64 * self.plan.ppe_fallback_factor * self.smt).round() as Cycles;
         self.report.penalty_cycles += dur.saturating_sub(spe_cycles);
@@ -314,6 +344,8 @@ impl Sim<'_> {
         if let Some((next, dur)) = self.ppe_waiting.pop_front() {
             self.ppe_free -= 1;
             self.stats.ppe_busy += dur;
+            let fb = self.workers[next].fallback;
+            self.tlog.ppe_span(self.queue.now(), next, dur, fb);
             self.queue.schedule_after(dur, Ev::PpeDone(next));
         }
         // The finishing worker proceeds: SPE burst or next phase.
@@ -326,8 +358,8 @@ impl Sim<'_> {
         }
         let w = &self.workers[wid];
         let phase = self.jobs[w.job.expect("worker holds a job")][w.phase];
-        if phase.spe > 0 {
-            self.start_spe(wid, phase.spe);
+        if phase.spe + phase.dma > 0 {
+            self.start_spe(wid, phase.spe, phase.dma);
         } else {
             self.workers[wid].phase += 1;
             self.advance(wid);
@@ -345,7 +377,8 @@ impl Sim<'_> {
                 self.apply_deaths(now);
                 self.report.redispatches += 1;
                 self.report.penalty_cycles += burst.duration;
-                self.start_spe(wid, burst.spe_cycles);
+                self.tlog.fault(now, "redispatch", wid);
+                self.start_spe(wid, burst.spe_cycles, burst.dma_cycles);
                 return;
             }
         }
@@ -410,6 +443,30 @@ pub fn simulate_task_parallel_jobs_with_faults(
     params: &DesParams,
     plan: &FaultPlan,
 ) -> SimOutcome {
+    simulate_task_parallel_jobs_traced(
+        jobs,
+        n_workers,
+        spes_per_worker,
+        params,
+        plan,
+        &mut TraceLog::disabled(),
+    )
+}
+
+/// As [`simulate_task_parallel_jobs_with_faults`], emitting every scheduling
+/// decision into `tlog`: one `SpeBurst` span per alive SPE of every burst
+/// (carrying the exact busy/DMA-stall shares charged to [`SimStats`]), one
+/// `PpeSpan` per hardware-thread grant, task start/complete instants, and
+/// fault/retry/blacklist/degradation instants. With a disabled log this *is*
+/// the untraced simulator — the emit calls early-return before any work.
+pub fn simulate_task_parallel_jobs_traced(
+    jobs: &[&[Phase]],
+    n_workers: usize,
+    spes_per_worker: usize,
+    params: &DesParams,
+    plan: &FaultPlan,
+    tlog: &mut TraceLog,
+) -> SimOutcome {
     let n_jobs = jobs.len();
     assert!(n_workers >= 1, "need at least one worker");
     assert!(
@@ -443,6 +500,7 @@ pub fn simulate_task_parallel_jobs_with_faults(
         smt,
         spes_per_worker,
         spe_dead: vec![false; params.n_spes],
+        tlog,
     };
 
     // Kick off every worker.
@@ -473,7 +531,7 @@ mod tests {
 
     #[test]
     fn single_worker_is_sequential() {
-        let phases = vec![Phase { ppe: 100, spe: 900 }; 10];
+        let phases = vec![Phase { ppe: 100, spe: 900, dma: 0 }; 10];
         let out = simulate_task_parallel(&phases, 1, 1, 1, &params());
         assert_eq!(out.makespan, 10 * 1000);
         assert_eq!(out.stats.spes[0].busy(), 9000);
@@ -483,7 +541,7 @@ mod tests {
 
     #[test]
     fn multiple_jobs_on_one_worker_serialize() {
-        let phases = vec![Phase { ppe: 50, spe: 50 }];
+        let phases = vec![Phase { ppe: 50, spe: 50, dma: 0 }];
         let out = simulate_task_parallel(&phases, 5, 1, 1, &params());
         assert_eq!(out.makespan, 5 * 100);
     }
@@ -491,7 +549,7 @@ mod tests {
     #[test]
     fn spe_bound_workload_scales_with_workers() {
         // Tiny PPE phases: 8 workers ≈ 8× throughput.
-        let phases = vec![Phase { ppe: 1, spe: 10_000 }; 20];
+        let phases = vec![Phase { ppe: 1, spe: 10_000, dma: 0 }; 20];
         let one = simulate_task_parallel(&phases, 8, 1, 1, &params()).makespan;
         let eight = simulate_task_parallel(&phases, 8, 8, 1, &params()).makespan;
         let speedup = one as f64 / eight as f64;
@@ -501,7 +559,7 @@ mod tests {
     #[test]
     fn ppe_bound_workload_caps_at_two_threads() {
         // Pure PPE phases: 8 workers can use only 2 threads.
-        let phases = vec![Phase { ppe: 1000, spe: 1 }; 10];
+        let phases = vec![Phase { ppe: 1000, spe: 1, dma: 0 }; 10];
         let one_worker = simulate_task_parallel(&phases, 8, 1, 1, &params()).makespan;
         let eight = simulate_task_parallel(&phases, 8, 8, 1, &params()).makespan;
         let speedup = one_worker as f64 / eight as f64;
@@ -510,7 +568,7 @@ mod tests {
 
     #[test]
     fn smt_penalty_inflates_ppe_work_only_with_contention() {
-        let phases = vec![Phase { ppe: 1000, spe: 1000 }; 4];
+        let phases = vec![Phase { ppe: 1000, spe: 1000, dma: 0 }; 4];
         let p = DesParams { smt_penalty: 1.5, ..params() };
         let solo = simulate_task_parallel(&phases, 1, 1, 1, &p).makespan;
         assert_eq!(solo, 4 * 2000, "single worker pays no SMT penalty");
@@ -524,7 +582,7 @@ mod tests {
     #[test]
     fn queueing_delays_appear_when_ppe_oversubscribed() {
         // 4 workers, 2 threads, PPE-heavy: makespan ≥ total PPE / 2.
-        let phases = vec![Phase { ppe: 100, spe: 10 }; 50];
+        let phases = vec![Phase { ppe: 100, spe: 10, dma: 0 }; 50];
         let out = simulate_task_parallel(&phases, 4, 4, 1, &params());
         let total_ppe: Cycles = 4 * 50 * 100;
         assert!(out.makespan >= total_ppe / 2);
@@ -533,7 +591,7 @@ mod tests {
 
     #[test]
     fn llp_attributes_busy_across_spe_set() {
-        let phases = vec![Phase { ppe: 10, spe: 800 }];
+        let phases = vec![Phase { ppe: 10, spe: 800, dma: 0 }];
         let out = simulate_task_parallel(&phases, 1, 1, 8, &params());
         for s in 0..8 {
             assert_eq!(out.stats.spes[s].loop_cycles, 100);
@@ -543,7 +601,7 @@ mod tests {
     #[test]
     fn compress_preserves_totals() {
         let phases: Vec<Phase> =
-            (0..1000).map(|i| Phase { ppe: i % 7, spe: 100 + i % 13 }).collect();
+            (0..1000).map(|i| Phase { ppe: i % 7, spe: 100 + i % 13, dma: 0 }).collect();
         let compressed = compress_phases(&phases, 64);
         assert!(compressed.len() <= 64);
         let tp: Cycles = phases.iter().map(|p| p.ppe).sum();
@@ -558,10 +616,10 @@ mod tests {
     #[test]
     fn empty_phases_are_skipped() {
         let phases = vec![
-            Phase { ppe: 0, spe: 0 },
-            Phase { ppe: 10, spe: 0 },
-            Phase { ppe: 0, spe: 20 },
-            Phase { ppe: 0, spe: 0 },
+            Phase { ppe: 0, spe: 0, dma: 0 },
+            Phase { ppe: 10, spe: 0, dma: 0 },
+            Phase { ppe: 0, spe: 20, dma: 0 },
+            Phase { ppe: 0, spe: 0, dma: 0 },
         ];
         let out = simulate_task_parallel(&phases, 2, 2, 1, &params());
         assert_eq!(out.makespan, 30, "phases run back to back per worker");
@@ -569,7 +627,7 @@ mod tests {
 
     #[test]
     fn more_workers_than_jobs_is_fine() {
-        let phases = vec![Phase { ppe: 10, spe: 100 }];
+        let phases = vec![Phase { ppe: 10, spe: 100, dma: 0 }];
         let out = simulate_task_parallel(&phases, 2, 8, 1, &params());
         assert_eq!(out.makespan, 110);
     }
@@ -577,7 +635,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed the machine")]
     fn rejects_oversized_spe_sets() {
-        let phases = vec![Phase { ppe: 1, spe: 1 }];
+        let phases = vec![Phase { ppe: 1, spe: 1, dma: 0 }];
         simulate_task_parallel(&phases, 8, 8, 2, &params());
     }
 
@@ -586,8 +644,8 @@ mod tests {
         // Jobs of very different lengths: the makespan is bounded by the
         // longest job below and the serial sum above, and all work is
         // conserved.
-        let short: Vec<Phase> = vec![Phase { ppe: 10, spe: 100 }; 2];
-        let long: Vec<Phase> = vec![Phase { ppe: 10, spe: 100 }; 50];
+        let short: Vec<Phase> = vec![Phase { ppe: 10, spe: 100, dma: 0 }; 2];
+        let long: Vec<Phase> = vec![Phase { ppe: 10, spe: 100, dma: 0 }; 50];
         let jobs: Vec<&[Phase]> = vec![&long, &short, &short, &short];
         let out = simulate_task_parallel_jobs(&jobs, 4, 1, &params());
         // With 4 workers each job has its own worker: makespan = longest.
@@ -604,8 +662,8 @@ mod tests {
     fn varied_jobs_greedy_assignment() {
         // 2 workers, jobs [long, short, short]: worker A takes long, worker
         // B takes both shorts; makespan = max(long, 2×short).
-        let short: Vec<Phase> = vec![Phase { ppe: 0, spe: 100 }; 3];
-        let long: Vec<Phase> = vec![Phase { ppe: 0, spe: 100 }; 10];
+        let short: Vec<Phase> = vec![Phase { ppe: 0, spe: 100, dma: 0 }; 3];
+        let long: Vec<Phase> = vec![Phase { ppe: 0, spe: 100, dma: 0 }; 10];
         let jobs: Vec<&[Phase]> = vec![&long, &short, &short];
         let out = simulate_task_parallel_jobs(&jobs, 2, 1, &params());
         assert_eq!(out.makespan, 1000);
@@ -614,7 +672,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let phases: Vec<Phase> =
-            (0..500).map(|i| Phase { ppe: 30 + i % 11, spe: 200 + i % 17 }).collect();
+            (0..500).map(|i| Phase { ppe: 30 + i % 11, spe: 200 + i % 17, dma: 0 }).collect();
         let a = simulate_task_parallel(&phases, 16, 8, 1, &params()).makespan;
         let b = simulate_task_parallel(&phases, 16, 8, 1, &params()).makespan;
         assert_eq!(a, b);
@@ -623,7 +681,7 @@ mod tests {
     #[test]
     fn inert_plan_is_bit_identical_to_fault_free() {
         let phases: Vec<Phase> =
-            (0..300).map(|i| Phase { ppe: 40 + i % 13, spe: 300 + i % 23 }).collect();
+            (0..300).map(|i| Phase { ppe: 40 + i % 13, spe: 300 + i % 23, dma: 0 }).collect();
         let p = DesParams { smt_penalty: 1.407, ..params() };
         for (workers, k) in [(8, 1), (4, 2), (2, 4), (1, 8)] {
             let clean = simulate_task_parallel(&phases, 16, workers, k, &p);
@@ -640,7 +698,7 @@ mod tests {
 
     #[test]
     fn fault_rates_stretch_the_makespan_monotonically() {
-        let phases = vec![Phase { ppe: 100, spe: 2000 }; 40];
+        let phases = vec![Phase { ppe: 100, spe: 2000, dma: 0 }; 40];
         let clean = simulate_task_parallel(&phases, 16, 8, 1, &params()).makespan;
         let mut last = clean;
         for rate in [0.01, 0.1, 0.4] {
@@ -666,7 +724,7 @@ mod tests {
 
     #[test]
     fn fault_injection_is_deterministic() {
-        let phases = vec![Phase { ppe: 100, spe: 2000 }; 30];
+        let phases = vec![Phase { ppe: 100, spe: 2000, dma: 0 }; 30];
         let plan = FaultPlan::uniform(99, 0.2).with_death(3, 50_000);
         let a = simulate_task_parallel_with_faults(&phases, 12, 8, 1, &params(), &plan);
         let b = simulate_task_parallel_with_faults(&phases, 12, 8, 1, &params(), &plan);
@@ -678,7 +736,7 @@ mod tests {
     fn spe_death_redispatches_and_shrinks_the_set() {
         // One worker owning all 8 SPEs; kill one mid-run. The work must
         // complete, with at least one re-dispatch and a longer makespan.
-        let phases = vec![Phase { ppe: 10, spe: 8000 }; 10];
+        let phases = vec![Phase { ppe: 10, spe: 8000, dma: 0 }; 10];
         let clean = simulate_task_parallel(&phases, 1, 1, 8, &params());
         let plan = FaultPlan::none().with_death(2, clean.makespan / 2);
         let out = simulate_task_parallel_with_faults(&phases, 1, 1, 8, &params(), &plan);
@@ -691,7 +749,7 @@ mod tests {
 
     #[test]
     fn all_spes_dead_degrades_to_ppe_only() {
-        let phases = vec![Phase { ppe: 100, spe: 1000 }; 5];
+        let phases = vec![Phase { ppe: 100, spe: 1000, dma: 0 }; 5];
         let mut plan = FaultPlan::none();
         for s in 0..8 {
             plan = plan.with_death(s, 0);
@@ -713,7 +771,7 @@ mod tests {
         // Rate 1.0: every offload exhausts its retries. Repeat offenders are
         // blacklisted until the worker degrades to the PPE — the simulation
         // must terminate with all work done.
-        let phases = vec![Phase { ppe: 10, spe: 500 }; 6];
+        let phases = vec![Phase { ppe: 10, spe: 500, dma: 0 }; 6];
         let out = simulate_task_parallel_with_faults(
             &phases,
             4,

@@ -13,8 +13,8 @@ pub mod des;
 
 pub use des::{
     compress_phases, simulate_task_parallel, simulate_task_parallel_jobs,
-    simulate_task_parallel_jobs_with_faults, simulate_task_parallel_with_faults, DesParams, Phase,
-    SimOutcome,
+    simulate_task_parallel_jobs_traced, simulate_task_parallel_jobs_with_faults,
+    simulate_task_parallel_with_faults, DesParams, Phase, SimOutcome,
 };
 
 use crate::config::Scheduler;
@@ -22,6 +22,7 @@ use crate::offload::PricedTrace;
 use cellsim::cost::CostModel;
 use cellsim::eib::EibModel;
 use cellsim::fault::FaultPlan;
+use cellsim::tracelog::TraceLog;
 use cellsim::Cycles;
 
 /// PPE SMT slowdown when both hardware threads are busy, calibrated from
@@ -66,12 +67,29 @@ pub fn edtlp_makespan_with_faults(
     params: &DesParams,
     plan: &FaultPlan,
 ) -> SimOutcome {
+    edtlp_makespan_traced(trace, n_jobs, model, params, plan, &mut TraceLog::disabled())
+}
+
+/// [`edtlp_makespan_with_faults`] emitting every scheduling decision into
+/// `tlog`, plus an `EDTLP` phase span covering the run and the priced
+/// trace's component totals as counters (for §5.2-style breakdown tables).
+pub fn edtlp_makespan_traced(
+    trace: &PricedTrace,
+    n_jobs: usize,
+    model: &CostModel,
+    params: &DesParams,
+    plan: &FaultPlan,
+    tlog: &mut TraceLog,
+) -> SimOutcome {
     let workers = n_jobs.min(params.n_spes);
     let ctx = if workers > params.n_ppe_threads { model.edtlp_context_switch } else { 0 };
     let eib = EibModel::default().contention_factor(workers);
     let phases = des::phases_for(trace, 1, model.llp_dispatch, ctx, eib);
     let phases = compress_phases(&phases, DEFAULT_GRANULARITY);
-    simulate_task_parallel_with_faults(&phases, n_jobs, workers, 1, params, plan)
+    let jobs: Vec<&[Phase]> = (0..n_jobs).map(|_| phases.as_slice()).collect();
+    let out = simulate_task_parallel_jobs_traced(&jobs, workers, 1, params, plan, tlog);
+    annotate_schedule(tlog, "EDTLP", &out, trace, eib);
+    out
 }
 
 /// Makespan under LLP with `workers` processes, each splitting its
@@ -96,6 +114,20 @@ pub fn llp_makespan_with_faults(
     params: &DesParams,
     plan: &FaultPlan,
 ) -> SimOutcome {
+    llp_makespan_traced(trace, n_jobs, workers, model, params, plan, &mut TraceLog::disabled())
+}
+
+/// [`llp_makespan_with_faults`] emitting into `tlog` (see
+/// [`edtlp_makespan_traced`]).
+pub fn llp_makespan_traced(
+    trace: &PricedTrace,
+    n_jobs: usize,
+    workers: usize,
+    model: &CostModel,
+    params: &DesParams,
+    plan: &FaultPlan,
+    tlog: &mut TraceLog,
+) -> SimOutcome {
     let workers = workers.clamp(1, params.n_spes);
     let k = (params.n_spes / workers).max(1);
     let ctx = if workers > params.n_ppe_threads { model.edtlp_context_switch } else { 0 };
@@ -103,7 +135,10 @@ pub fn llp_makespan_with_faults(
     let eib = EibModel::default().contention_factor(k * workers);
     let phases = des::phases_for(trace, k, model.llp_dispatch, ctx, eib);
     let phases = compress_phases(&phases, DEFAULT_GRANULARITY);
-    simulate_task_parallel_with_faults(&phases, n_jobs, workers, k, params, plan)
+    let jobs: Vec<&[Phase]> = (0..n_jobs).map(|_| phases.as_slice()).collect();
+    let out = simulate_task_parallel_jobs_traced(&jobs, workers, k, params, plan, tlog);
+    annotate_schedule(tlog, "LLP", &out, trace, eib);
+    out
 }
 
 /// Makespan under MGPS: full batches of eight bootstraps run EDTLP; a tail
@@ -129,27 +164,45 @@ pub fn mgps_makespan_with_faults(
     params: &DesParams,
     plan: &FaultPlan,
 ) -> SimOutcome {
+    mgps_makespan_traced(trace, n_jobs, model, params, plan, &mut TraceLog::disabled())
+}
+
+/// [`mgps_makespan_with_faults`] emitting into `tlog`. The EDTLP batch and
+/// the tail are separate DES runs whose clocks both start at zero; the tail
+/// segment is stitched onto the batch's end via the log's timestamp offset,
+/// so the exported timeline shows one contiguous run (with nested `EDTLP` /
+/// `LLP` phase spans marking the regime switch).
+pub fn mgps_makespan_traced(
+    trace: &PricedTrace,
+    n_jobs: usize,
+    model: &CostModel,
+    params: &DesParams,
+    plan: &FaultPlan,
+    tlog: &mut TraceLog,
+) -> SimOutcome {
     let batch = params.n_spes;
     let full_batches = n_jobs / batch;
     let tail = n_jobs % batch;
+    let base = tlog.offset();
 
     let mut total: Cycles = 0;
     let mut stats = cellsim::stats::SimStats::new(params.n_spes);
     let mut faults = cellsim::fault::FaultReport::default();
     if full_batches > 0 {
-        let out = edtlp_makespan_with_faults(trace, full_batches * batch, model, params, plan);
+        let out = edtlp_makespan_traced(trace, full_batches * batch, model, params, plan, tlog);
         total += out.makespan;
         stats = out.stats;
         faults = out.faults;
     }
     if tail > 0 {
+        tlog.set_offset(base + total);
         let out = if tail <= 4 {
             // LLP: `tail` workers, 8/tail SPEs each.
-            llp_makespan_with_faults(trace, tail, tail, model, params, plan)
+            llp_makespan_traced(trace, tail, tail, model, params, plan, tlog)
         } else {
             // 5–7 leftover tasks: not enough SPEs for ≥2-way loop splits;
             // run them EDTLP-style.
-            edtlp_makespan_with_faults(trace, tail, model, params, plan)
+            edtlp_makespan_traced(trace, tail, model, params, plan, tlog)
         };
         total += out.makespan;
         for (a, b) in stats.spes.iter_mut().zip(&out.stats.spes) {
@@ -163,8 +216,38 @@ pub fn mgps_makespan_with_faults(
         stats.ppe_busy += out.stats.ppe_busy;
         faults.merge(&out.faults);
     }
+    tlog.set_offset(base);
     stats.makespan = total;
-    SimOutcome { makespan: total, stats, faults }
+    let out = SimOutcome { makespan: total, stats, faults };
+    annotate_schedule(tlog, "MGPS", &out, trace, 1.0);
+    out
+}
+
+/// Stamp a completed scheduler run into the log: a phase span covering the
+/// whole makespan plus the priced trace's per-job component totals as
+/// counters, so a timeline report can regenerate the paper's §5.2-style
+/// breakdown tables straight from the trace. Counter values are per-job
+/// cycle totals — breakdown *fractions* are what the tables use, and those
+/// are invariant to the job count.
+fn annotate_schedule(
+    tlog: &mut TraceLog,
+    name: &'static str,
+    out: &SimOutcome,
+    trace: &PricedTrace,
+    eib_factor: f64,
+) {
+    if !tlog.is_enabled() {
+        return;
+    }
+    tlog.phase_span(0, name, out.makespan);
+    let t = &trace.totals;
+    tlog.counter(out.makespan, "trace_loop_cycles", t.loop_cycles as f64);
+    tlog.counter(out.makespan, "trace_cond_cycles", t.cond_cycles as f64);
+    tlog.counter(out.makespan, "trace_exp_cycles", t.exp_cycles as f64);
+    tlog.counter(out.makespan, "trace_dma_stall", t.dma_stall as f64);
+    tlog.counter(out.makespan, "trace_comm", t.comm as f64);
+    tlog.counter(out.makespan, "trace_ppe_overhead", t.ppe_overhead as f64);
+    tlog.counter(out.makespan, "eib_contention", eib_factor);
 }
 
 /// Dispatch on a [`Scheduler`] value.
@@ -198,18 +281,44 @@ pub fn schedule_makespan_with_faults(
     params: &DesParams,
     plan: &FaultPlan,
 ) -> SimOutcome {
+    schedule_makespan_traced(
+        scheduler,
+        trace,
+        n_jobs,
+        model,
+        params,
+        plan,
+        &mut TraceLog::disabled(),
+    )
+}
+
+/// [`schedule_makespan_with_faults`] emitting the full scheduling timeline
+/// into `tlog` — the traced entry point the profiling harness uses to
+/// produce Perfetto-loadable traces per scheduler.
+pub fn schedule_makespan_traced(
+    scheduler: Scheduler,
+    trace: &PricedTrace,
+    n_jobs: usize,
+    model: &CostModel,
+    params: &DesParams,
+    plan: &FaultPlan,
+    tlog: &mut TraceLog,
+) -> SimOutcome {
     match scheduler {
         Scheduler::SyncWorkers(w) => {
             let makespan = sync_workers_makespan(trace, n_jobs, w);
             let mut stats = cellsim::stats::SimStats::new(params.n_spes);
             stats.makespan = makespan;
-            SimOutcome { makespan, stats, faults: cellsim::fault::FaultReport::default() }
+            let out =
+                SimOutcome { makespan, stats, faults: cellsim::fault::FaultReport::default() };
+            annotate_schedule(tlog, "SyncWorkers", &out, trace, 1.0);
+            out
         }
-        Scheduler::Edtlp => edtlp_makespan_with_faults(trace, n_jobs, model, params, plan),
+        Scheduler::Edtlp => edtlp_makespan_traced(trace, n_jobs, model, params, plan, tlog),
         Scheduler::Llp { workers } => {
-            llp_makespan_with_faults(trace, n_jobs, workers, model, params, plan)
+            llp_makespan_traced(trace, n_jobs, workers, model, params, plan, tlog)
         }
-        Scheduler::Mgps => mgps_makespan_with_faults(trace, n_jobs, model, params, plan),
+        Scheduler::Mgps => mgps_makespan_traced(trace, n_jobs, model, params, plan, tlog),
     }
 }
 
@@ -362,6 +471,40 @@ mod tests {
             let out = schedule_makespan_with_faults(sched, &t, 12, &model, &p, &plan);
             assert!(out.makespan >= clean, "{sched:?}");
             assert!(out.faults.injected > 0, "{sched:?} must inject");
+        }
+    }
+
+    #[test]
+    fn traced_run_is_identical_and_trace_matches_stats() {
+        // The traced simulation must (a) change nothing about the outcome,
+        // and (b) produce spans whose aggregate equals SimStats exactly —
+        // the accounting is self-checking against the timeline.
+        let model = CostModel::paper_calibrated();
+        let t = priced();
+        let p = params();
+        let inert = FaultPlan::none();
+        for sched in [Scheduler::Edtlp, Scheduler::Llp { workers: 2 }, Scheduler::Mgps] {
+            let mut tlog = TraceLog::enabled();
+            let traced = schedule_makespan_traced(sched, &t, 12, &model, &p, &inert, &mut tlog);
+            let plain = schedule_makespan_with_faults(sched, &t, 12, &model, &p, &inert);
+            assert_eq!(traced.makespan, plain.makespan, "{sched:?}");
+            assert!(!tlog.is_empty(), "{sched:?} must emit events");
+
+            let summary = tlog.summary(p.n_spes);
+            assert_eq!(summary.end, traced.makespan, "{sched:?}: trace end = makespan");
+            assert_eq!(summary.ppe_busy, traced.stats.ppe_busy, "{sched:?}");
+            for s in 0..p.n_spes {
+                assert_eq!(
+                    summary.spe_busy[s],
+                    traced.stats.spes[s].busy(),
+                    "{sched:?} SPE{s} busy"
+                );
+                assert_eq!(
+                    summary.spe_stalled[s],
+                    traced.stats.spes[s].stalled(),
+                    "{sched:?} SPE{s} stalled"
+                );
+            }
         }
     }
 

@@ -238,6 +238,17 @@ impl<'a> LikelihoodEngine<'a> {
         std::mem::replace(&mut self.trace, fresh)
     }
 
+    /// Mark the start of SPR round `round` in the trace (closing any open
+    /// round). Kernel invocations issued from here on are attributed to it.
+    pub fn begin_spr_round(&mut self, round: u32) {
+        self.trace.begin_spr_round(round);
+    }
+
+    /// Close the trace's open SPR round mark, if any.
+    pub fn end_spr_round(&mut self) {
+        self.trace.end_spr_round();
+    }
+
     /// Invalidate every cached partial (call after any topology change).
     pub fn invalidate_all(&mut self) {
         self.ws.reset();

@@ -321,6 +321,10 @@ fn run_search(
     if !converged {
         let first_round = rounds;
         for round in first_round..config.max_spr_rounds {
+            // Mark the round in the kernel trace: everything from the SPR
+            // sweep through the post-round branch/alpha polish belongs to it
+            // (the observability layer slices per-round workloads this way).
+            engine.begin_spr_round(round as u32);
             let stats = spr_round(&mut engine, &mut tree, config.spr_radius, config.epsilon);
             rounds = round + 1;
             moves_applied += stats.applied;
@@ -328,6 +332,7 @@ fn run_search(
             if config.optimize_alpha && round % 2 == 1 {
                 optimize_alpha(&mut engine, &tree);
             }
+            engine.end_spr_round();
             if let Some(ck) = ckpt.as_deref_mut() {
                 ck.save(&SearchCheckpoint {
                     rounds_done: rounds,

@@ -120,6 +120,21 @@ pub struct TraceCounters {
     pub fused_ops: u64,
 }
 
+/// One SPR round's slice of the event stream: the half-open range
+/// `[begin, end)` of kernel-invocation indices issued while the round ran.
+/// Indices count *invocations* (`newview` + `evaluate` + `makenewz`), so
+/// they are meaningful on a counters-only trace too; on a recording trace
+/// they index directly into [`Trace::events`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundMark {
+    /// SPR round number (0-based).
+    pub round: u32,
+    /// Index of the first invocation issued in this round.
+    pub begin: usize,
+    /// One past the last invocation issued in this round.
+    pub end: usize,
+}
+
 /// Collects kernel events and aggregate counters during likelihood
 /// computation.
 #[derive(Debug, Clone, Default)]
@@ -127,6 +142,8 @@ pub struct Trace {
     counters: TraceCounters,
     events: Vec<KernelEvent>,
     record_events: bool,
+    rounds: Vec<RoundMark>,
+    open_round: Option<RoundMark>,
 }
 
 impl Trace {
@@ -202,9 +219,55 @@ impl Trace {
         self.events
     }
 
+    /// Total kernel invocations recorded so far (newview + evaluate +
+    /// makenewz). Equals `events().len()` when recording.
+    pub fn invocation_count(&self) -> usize {
+        (self.counters.newview_calls + self.counters.evaluate_calls + self.counters.makenewz_calls)
+            as usize
+    }
+
+    /// Open a round mark: invocations from here until
+    /// [`Trace::end_spr_round`] belong to SPR round `round`. An
+    /// already-open round is closed first.
+    pub fn begin_spr_round(&mut self, round: u32) {
+        self.end_spr_round();
+        let at = self.invocation_count();
+        self.open_round = Some(RoundMark { round, begin: at, end: at });
+    }
+
+    /// Close the open round mark, if any, recording its invocation range.
+    pub fn end_spr_round(&mut self) {
+        if let Some(mut mark) = self.open_round.take() {
+            mark.end = self.invocation_count();
+            self.rounds.push(mark);
+        }
+    }
+
+    /// Completed SPR round marks, in order.
+    pub fn rounds(&self) -> &[RoundMark] {
+        &self.rounds
+    }
+
+    /// The recorded events of one completed round (empty unless recording).
+    pub fn events_for_round(&self, mark: &RoundMark) -> &[KernelEvent] {
+        let begin = mark.begin.min(self.events.len());
+        let end = mark.end.min(self.events.len());
+        &self.events[begin..end]
+    }
+
     /// Merge another trace's counters (and events, if both record) into this
-    /// one — used when joining per-thread traces.
+    /// one — used when joining per-thread traces. Round marks carry over
+    /// with their invocation indices shifted past this trace's existing
+    /// invocations.
     pub fn merge(&mut self, other: &Trace) {
+        let shift = self.invocation_count();
+        for mark in &other.rounds {
+            self.rounds.push(RoundMark {
+                round: mark.round,
+                begin: mark.begin + shift,
+                end: mark.end + shift,
+            });
+        }
         let a = &mut self.counters;
         let b = other.counters;
         a.newview_calls += b.newview_calls;
@@ -226,10 +289,12 @@ impl Trace {
         }
     }
 
-    /// Reset counters and events.
+    /// Reset counters, events, and round marks.
     pub fn clear(&mut self) {
         self.counters = TraceCounters::default();
         self.events.clear();
+        self.rounds.clear();
+        self.open_round = None;
     }
 
     /// Fraction of `newview` invocations that were nested inside `evaluate`
@@ -326,9 +391,63 @@ mod tests {
     fn clear_resets() {
         let mut t = Trace::recording();
         t.push(ev(KernelOp::Evaluate, CallParent::Search));
+        t.begin_spr_round(0);
         t.clear();
         assert_eq!(t.counters(), &TraceCounters::default());
         assert!(t.events().is_empty());
+        assert!(t.rounds().is_empty());
         assert!(t.is_recording(), "recording mode survives clear");
+        // The open round died with clear(): ending now records nothing.
+        t.end_spr_round();
+        assert!(t.rounds().is_empty());
+    }
+
+    #[test]
+    fn round_marks_slice_the_event_stream() {
+        let mut t = Trace::recording();
+        t.push(ev(KernelOp::NewviewTipTip, CallParent::Search)); // pre-round
+        t.begin_spr_round(0);
+        t.push(ev(KernelOp::Evaluate, CallParent::Search));
+        t.push(ev(KernelOp::Makenewz, CallParent::Search));
+        // Starting round 1 implicitly closes round 0.
+        t.begin_spr_round(1);
+        t.push(ev(KernelOp::NewviewInnerInner, CallParent::Search));
+        t.end_spr_round();
+        t.end_spr_round(); // idempotent
+
+        assert_eq!(t.rounds().len(), 2);
+        assert_eq!(t.rounds()[0], RoundMark { round: 0, begin: 1, end: 3 });
+        assert_eq!(t.rounds()[1], RoundMark { round: 1, begin: 3, end: 4 });
+        let r0 = t.events_for_round(&t.rounds()[0]);
+        assert_eq!(r0.len(), 2);
+        assert_eq!(r0[0].op, KernelOp::Evaluate);
+        let r1 = t.events_for_round(&t.rounds()[1]);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r1[0].op, KernelOp::NewviewInnerInner);
+    }
+
+    #[test]
+    fn round_marks_work_without_event_recording() {
+        // Counters-only traces still mark rounds by invocation index.
+        let mut t = Trace::counters_only();
+        t.begin_spr_round(0);
+        t.push(ev(KernelOp::Evaluate, CallParent::Search));
+        t.end_spr_round();
+        assert_eq!(t.rounds(), &[RoundMark { round: 0, begin: 0, end: 1 }]);
+        // No events stored, so the slice is empty but in bounds.
+        assert!(t.events_for_round(&t.rounds()[0]).is_empty());
+    }
+
+    #[test]
+    fn merge_shifts_round_marks() {
+        let mut a = Trace::recording();
+        a.push(ev(KernelOp::NewviewTipTip, CallParent::Search));
+        let mut b = Trace::recording();
+        b.begin_spr_round(0);
+        b.push(ev(KernelOp::Makenewz, CallParent::Search));
+        b.end_spr_round();
+        a.merge(&b);
+        assert_eq!(a.rounds(), &[RoundMark { round: 0, begin: 1, end: 2 }]);
+        assert_eq!(a.events_for_round(&a.rounds()[0])[0].op, KernelOp::Makenewz);
     }
 }

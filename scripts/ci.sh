@@ -33,5 +33,17 @@ run cargo test --workspace -q
 # replay, and checkpoint kill-and-resume bit-identity, end to end.
 run cargo run -p bench --bin fault_study -- --smoke
 
+# Observability smoke: per-scheduler traces of one SPR round, trace-derived
+# utilization vs SimStats cross-check, and export well-formedness — then an
+# independent check that the emitted Chrome trace parses as JSON.
+run cargo run -p bench --bin profile_study -- --smoke
+trace_dir="$(mktemp -d)"
+run cargo run -p bench --bin profile_study -- --quick --out "$trace_dir"
+for f in "$trace_dir"/*.trace.json; do
+    echo "==> python3 json.load $f"
+    python3 -c "import json,sys; json.load(open(sys.argv[1])); print('valid JSON:', sys.argv[1])" "$f"
+done
+rm -rf "$trace_dir"
+
 echo
 echo "ci: all checks passed"

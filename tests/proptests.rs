@@ -477,19 +477,22 @@ proptest! {
         n_workers in 1usize..9,
         ppe in 1u64..5_000,
         spe in 1u64..50_000,
+        dma in 0u64..10_000,
         phases in 1usize..30,
     ) {
         use raxml_cell::sched::{simulate_task_parallel, DesParams, Phase};
         let params = DesParams { n_ppe_threads: 2, smt_penalty: 1.0, n_spes: 8 };
         let n_workers = n_workers.min(8);
-        let job: Vec<Phase> = (0..phases).map(|_| Phase { ppe, spe }).collect();
+        let job: Vec<Phase> = (0..phases).map(|_| Phase { ppe, spe, dma }).collect();
         let out = simulate_task_parallel(&job, n_jobs, n_workers, 1, &params);
         let total_spe: u64 = out.stats.spes.iter().map(|s| s.busy()).sum();
+        let total_stall: u64 = out.stats.spes.iter().map(|s| s.stalled()).sum();
         prop_assert_eq!(total_spe, n_jobs as u64 * phases as u64 * spe, "SPE work conserved");
+        prop_assert_eq!(total_stall, n_jobs as u64 * phases as u64 * dma, "DMA stalls conserved");
         prop_assert_eq!(out.stats.ppe_busy, n_jobs as u64 * phases as u64 * ppe, "PPE work conserved");
         // Lower bounds.
-        let per_job = phases as u64 * (ppe + spe);
-        let spe_bound = (n_jobs as u64).div_ceil(n_workers as u64) * phases as u64 * spe;
+        let per_job = phases as u64 * (ppe + spe + dma);
+        let spe_bound = (n_jobs as u64).div_ceil(n_workers as u64) * phases as u64 * (spe + dma);
         prop_assert!(out.makespan >= spe_bound);
         prop_assert!(out.makespan >= out.stats.ppe_busy / 2);
         // Upper bound: fully serial execution.
