@@ -11,8 +11,17 @@
 //! reproducible run-to-run (real rayon's reduction tree is not).
 
 /// Number of worker threads a parallel sink will use (analogue of
-/// `rayon::current_num_threads`).
+/// `rayon::current_num_threads`). Like real rayon's global pool, the
+/// `RAYON_NUM_THREADS` environment variable overrides the hardware
+/// parallelism — read per call so tests can vary it within one process.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 

@@ -166,6 +166,16 @@ impl TraceLog {
         self.emit(at, EventData::TaskComplete { worker: worker as u32, job: job as u32 });
     }
 
+    /// A task that completed *without* producing a result (panicked or was
+    /// failed by fault injection) — recorded as a `"job-failure"` fault
+    /// instant on `worker`, so failed jobs show up in the fault lane and in
+    /// [`TraceSummary::faults`]. Emitted by the farm-tier bridge alongside
+    /// the ordinary [`TraceLog::task_complete`].
+    #[inline]
+    pub fn task_failed(&mut self, at: Cycles, worker: usize) {
+        self.emit(at, EventData::Fault { kind: "job-failure", unit: worker as u32 });
+    }
+
     /// A DMA transfer span.
     #[inline]
     pub fn dma_transfer(
@@ -774,6 +784,23 @@ mod tests {
         }
         assert!(validate_jsonl("{\"a\":1}\n{\"b\":2}\n").is_ok());
         assert!(validate_jsonl("{\"a\":1}\noops\n").is_err());
+    }
+
+    #[test]
+    fn task_failed_lands_in_the_fault_lane() {
+        let mut log = TraceLog::enabled();
+        log.task_start(0, 2, 5);
+        log.task_failed(10, 2);
+        log.task_complete(10, 2, 5);
+        let s = log.summary(1);
+        assert_eq!(s.faults, 1);
+        let text = log.to_chrome_trace(3.2e9);
+        validate_json(&text).unwrap();
+        assert!(text.contains("job-failure"));
+        // Disabled logs stay inert.
+        let mut off = TraceLog::disabled();
+        off.task_failed(0, 0);
+        assert!(off.is_empty());
     }
 
     #[test]

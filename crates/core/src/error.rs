@@ -25,6 +25,10 @@ pub enum ExperimentError {
     Io { path: String, message: String },
     /// An underlying phylogenetic-inference error.
     Phylo(phylo::error::PhyloError),
+    /// An inference-farm job failed (panicked, injected fault, or lost its
+    /// workers); `job` is the submission index, `message` the rendered
+    /// `phylo::farm::FarmError`.
+    Farm { job: usize, message: String },
 }
 
 impl fmt::Display for ExperimentError {
@@ -49,6 +53,9 @@ impl fmt::Display for ExperimentError {
                 write!(f, "cannot read {path}: {message}")
             }
             ExperimentError::Phylo(e) => write!(f, "phylogenetic inference failed: {e}"),
+            ExperimentError::Farm { job, message } => {
+                write!(f, "inference farm job {job} failed: {message}")
+            }
         }
     }
 }

@@ -130,6 +130,30 @@ pub fn capture_workload(spec: &WorkloadSpec) -> Result<Workload> {
     })
 }
 
+/// Capture several workloads concurrently on the inference farm: one job
+/// per spec, `n_workers` worker threads, results in spec order. This is
+/// the multi-inference driver behind `run_table8_varied`-style studies —
+/// each capture is a full traced inference, so farming them out is the
+/// task-level parallelism of the paper's §3.1 applied to the experiment
+/// pipeline itself.
+///
+/// A spec that fails validation surfaces as its own typed error; a capture
+/// that panics surfaces as [`ExperimentError::Farm`] naming the job. In
+/// both cases the error reported is the first by spec order.
+pub fn capture_workloads(specs: &[WorkloadSpec], n_workers: usize) -> Result<Vec<Workload>> {
+    let jobs: Vec<WorkloadSpec> = specs.to_vec();
+    let outcome = phylo::farm::run_batch(jobs, n_workers.max(1), |_, spec| capture_workload(&spec));
+    outcome
+        .results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(inner) => inner,
+            Err(fe) => Err(ExperimentError::Farm { job: i, message: fe.to_string() }),
+        })
+        .collect()
+}
+
 /// Load an alignment from disk, detecting the format from the extension
 /// (`.fa`/`.fasta` → FASTA, `.nwk` aside, everything else sniffed: a leading
 /// `>` means FASTA, otherwise relaxed PHYLIP — RAxML's own input format).
@@ -828,6 +852,36 @@ mod tests {
         assert!(p.fractions[3] < 0.05, "other work is small");
         assert!(p.nested_fraction > 0.0 && p.nested_fraction <= 1.0);
         assert!(p.newview_mean_flops > 1000.0);
+    }
+
+    /// Farm-captured workloads must be bit-identical to sequential
+    /// captures — the farm only changes where jobs run, never what they
+    /// compute — and spec errors must keep their types through the farm.
+    #[test]
+    fn farmed_captures_match_sequential_bit_for_bit() {
+        let mut a = WorkloadSpec::small();
+        a.seed = 21;
+        let mut b = WorkloadSpec::small();
+        b.seed = 22;
+        let specs = [a.clone(), b.clone()];
+
+        let farmed = capture_workloads(&specs, 2).unwrap();
+        let seq: Vec<Workload> = specs.iter().map(|s| capture_workload(s).unwrap()).collect();
+        assert_eq!(farmed.len(), 2);
+        for (f, s) in farmed.iter().zip(&seq) {
+            assert_eq!(f.log_likelihood.to_bits(), s.log_likelihood.to_bits());
+            assert_eq!(f.events.len(), s.events.len());
+            assert_eq!(f.counters.newview_calls, s.counters.newview_calls);
+            assert_eq!(f.n_patterns, s.n_patterns);
+        }
+
+        // A bad spec keeps its typed error (and its position).
+        let mut bad = WorkloadSpec::small();
+        bad.n_taxa = 3;
+        match capture_workloads(&[a, bad], 2) {
+            Err(ExperimentError::InvalidSpec { field: "n_taxa", .. }) => {}
+            other => panic!("expected InvalidSpec via the farm: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,18 +1,22 @@
-//! Full analyses: multiple inferences + non-parametric bootstrapping under a
-//! thread master–worker (the paper's §3.1 MPI scheme, in-process).
+//! Full analyses: multiple inferences + non-parametric bootstrapping on the
+//! work-stealing inference farm (the paper's §3.1 MPI scheme, in-process).
 //!
 //! A "publishable" reconstruction runs 20–200 distinct inferences on the
 //! original alignment (to find the best-known ML tree) plus 100–1,000
 //! bootstrap replicates on re-weighted alignments (to attach confidence
 //! values to the tree's branches). All of these are independent — the
-//! embarrassing parallelism the Cell port schedules across SPEs.
+//! embarrassing parallelism the Cell port schedules across SPEs. The farm
+//! gives each worker a private [`crate::likelihood::LikelihoodWorkspace`]
+//! shard (zero-allocation steady state) and seals results in job order,
+//! which is what lets checkpointed runs append every completed job to the
+//! store as it finishes.
 
 use crate::alignment::PatternAlignment;
 use crate::bipartitions::split_support;
 use crate::checkpoint::{search_fingerprint, BootstrapStore, Fingerprint};
 use crate::error::{PhyloError, Result};
-use crate::likelihood::WorkspacePool;
-use crate::parallel::run_master_worker;
+use crate::farm::{run_farm, FarmConfig};
+use crate::likelihood::LikelihoodWorkspace;
 use crate::search::{infer_ml_tree_pooled, SearchConfig, SearchResult};
 use crate::trace::Trace;
 use crate::tree::{NodeId, Tree};
@@ -139,8 +143,9 @@ enum Job {
 pub struct BootstrapCheckpointPolicy {
     /// The append-only [`BootstrapStore`] file.
     pub path: PathBuf,
-    /// Jobs dispatched per master–worker wave; the store is appended after
-    /// each wave, so a kill loses at most one wave of work.
+    /// Jobs dispatched per farm wave. Within a wave every completed job is
+    /// appended to the store as the farm seals it in job order, so a kill
+    /// loses at most the unsealed tail of one wave.
     pub chunk_size: usize,
     /// Testing hook: return [`PhyloError::Interrupted`] after this many
     /// waves (with their results already on disk) — models a mid-analysis
@@ -192,29 +197,76 @@ impl BootstrapAnalysis {
         }
     }
 
-    /// Dispatch jobs `start..end` to the master–worker and return their
-    /// results in job order.
-    fn run_jobs(&self, aln: &PatternAlignment, start: usize, end: usize) -> Vec<SearchResult> {
+    /// Dispatch jobs `start..end` to the inference farm and return their
+    /// results in job order. `on_result` fires once per completed job, in
+    /// strict job order, as the farm seals it — the per-job checkpoint
+    /// hook. A failed job (panic in a search) becomes
+    /// [`PhyloError::Farm`]; results sealed before it are already through
+    /// `on_result` (a prefix, so an append-only store stays resumable).
+    fn run_jobs(
+        &self,
+        aln: &PatternAlignment,
+        start: usize,
+        end: usize,
+        mut on_result: impl FnMut(&SearchResult) -> Result<()>,
+    ) -> Result<Vec<SearchResult>> {
         let jobs: Vec<Job> = (start..end).map(|i| self.job_for(i)).collect();
-        // Each worker checks a workspace arena out of the pool per job and
-        // returns it afterwards: `n_workers` arenas serve all replicates, so
-        // steady-state jobs reuse the previous job's buffers instead of
-        // reallocating every partial vector (results are bit-identical).
+        // Each farm worker owns one workspace arena for its whole lifetime:
+        // `n_workers` arenas serve all replicates, so steady-state jobs
+        // reuse the previous job's buffers instead of reallocating every
+        // partial vector (results are bit-identical either way).
         let search = &self.search;
-        let pool = WorkspacePool::new();
-        run_master_worker(jobs, self.n_workers, |_, job| {
-            let ws = pool.checkout();
-            let (result, ws) = match job {
-                Job::Inference { seed } => infer_ml_tree_pooled(aln, search, seed, false, ws),
-                Job::Bootstrap { seed } => {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let replicate = aln.bootstrap_replicate(&mut rng);
-                    infer_ml_tree_pooled(&replicate, search, seed, false, ws)
+        let config = FarmConfig::new(self.n_workers.min((end - start).max(1)));
+        let mut seal_err: Option<PhyloError> = None;
+        let mut sealing_stopped = false;
+        let outcome = run_farm(
+            &config,
+            jobs,
+            |_worker| LikelihoodWorkspace::new(),
+            |ws: &mut LikelihoodWorkspace, _, job| {
+                let owned = std::mem::take(ws);
+                let (result, owned) = match job {
+                    Job::Inference { seed } => {
+                        infer_ml_tree_pooled(aln, search, seed, false, owned)
+                    }
+                    Job::Bootstrap { seed } => {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let replicate = aln.bootstrap_replicate(&mut rng);
+                        infer_ml_tree_pooled(&replicate, search, seed, false, owned)
+                    }
+                };
+                *ws = owned;
+                result
+            },
+            None,
+            |_, sealed| {
+                // Stop at the first failure or append error so the results
+                // passed downstream stay an uninterrupted job-order prefix.
+                if sealing_stopped {
+                    return;
                 }
-            };
-            pool.checkin(ws);
-            result
-        })
+                match sealed {
+                    Ok(r) => {
+                        if let Err(e) = on_result(r) {
+                            seal_err = Some(e);
+                            sealing_stopped = true;
+                        }
+                    }
+                    Err(_) => sealing_stopped = true,
+                }
+            },
+        );
+        if let Some(e) = seal_err {
+            return Err(e);
+        }
+        outcome
+            .results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.map_err(|fe| PhyloError::Farm { job: start + i, message: fe.to_string() })
+            })
+            .collect()
     }
 
     /// Assemble the final [`AnalysisResult`] from per-job (log-likelihood,
@@ -239,16 +291,24 @@ impl BootstrapAnalysis {
         }
     }
 
-    /// Run the full analysis on an alignment.
+    /// Run the full analysis on an alignment, panicking if any job fails
+    /// (see [`BootstrapAnalysis::try_run`] for the fallible form).
     pub fn run(&self, aln: &PatternAlignment) -> AnalysisResult {
+        self.try_run(aln).unwrap_or_else(|e| panic!("bootstrap analysis failed: {e}"))
+    }
+
+    /// Run the full analysis on an alignment. A job that panics inside the
+    /// farm surfaces as [`PhyloError::Farm`] naming the failed job, without
+    /// discarding the other jobs' completed work inside the farm.
+    pub fn try_run(&self, aln: &PatternAlignment) -> Result<AnalysisResult> {
         assert!(self.n_inferences >= 1, "need at least one inference to pick a best tree");
-        let results = self.run_jobs(aln, 0, self.n_jobs());
+        let results = self.run_jobs(aln, 0, self.n_jobs(), |_| Ok(()))?;
         let mut trace = Trace::counters_only();
         for r in &results {
             trace.merge(&r.trace);
         }
         let per_job = results.into_iter().map(|r| (r.log_likelihood, r.tree)).collect();
-        self.assemble(per_job, trace)
+        Ok(self.assemble(per_job, trace))
     }
 
     /// Fingerprint tying a [`BootstrapStore`] to this exact analysis on this
@@ -285,9 +345,14 @@ impl BootstrapAnalysis {
         while store.completed() < total {
             let start = store.completed();
             let end = (start + policy.chunk_size).min(total);
-            for result in self.run_jobs(aln, start, end) {
+            // The farm seals results in job order, so each completed job is
+            // appended to the store as soon as it (and all jobs before it)
+            // finished — a kill mid-wave loses only unsealed work.
+            let results = self.run_jobs(aln, start, end, |result| {
+                store.append(result.log_likelihood, &result.tree.to_exact_string())
+            })?;
+            for result in &results {
                 trace.merge(&result.trace);
-                store.append(result.log_likelihood, &result.tree.to_exact_string())?;
             }
             chunks += 1;
             if let Some(limit) = policy.abort_after_chunks {

@@ -35,6 +35,10 @@ pub enum PhyloError {
     /// completing `completed` units of work; progress is on disk and the
     /// run can be resumed from its checkpoint.
     Interrupted { completed: usize },
+    /// A farm job failed (panicked, hit an injected fault, or lost every
+    /// worker); `job` is the submission index, `message` the rendered
+    /// [`crate::farm::FarmError`].
+    Farm { job: usize, message: String },
 }
 
 impl fmt::Display for PhyloError {
@@ -68,6 +72,9 @@ impl fmt::Display for PhyloError {
             }
             PhyloError::Interrupted { completed } => {
                 write!(f, "analysis interrupted after {completed} completed units; resumable from checkpoint")
+            }
+            PhyloError::Farm { job, message } => {
+                write!(f, "inference farm job {job} failed: {message}")
             }
         }
     }

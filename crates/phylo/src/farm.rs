@@ -1,0 +1,883 @@
+//! The task-tier inference farm: a batched, shardable work-stealing engine
+//! for embarrassingly parallel phylogenetic jobs (bootstraps, multiple
+//! inferences, workload captures).
+//!
+//! This replaces the single-mutex master–worker of [`crate::parallel`] as
+//! the §3.1 task-level layer. Design points:
+//!
+//! * **Per-worker deques, stealing from the back.** Each worker owns a
+//!   deque; the master distributes jobs round-robin, owners pop from the
+//!   front, idle workers steal from the back of a victim's deque. The
+//!   deques are individually mutex-striped (the contention profile of a
+//!   Chase-Lev deque without its unsafe memory reclamation): a worker in
+//!   steady state only touches its own lock, and thieves touch a victim's
+//!   lock once per steal instead of every dispatch contending on one
+//!   global queue.
+//! * **Bounded submission with backpressure.** [`FarmConfig::bounded`]
+//!   caps the number of in-flight (submitted but not completed) jobs; the
+//!   feeding thread blocks until completions free capacity, so a lazy job
+//!   iterator of any length runs in bounded memory.
+//! * **Deterministic job→result ordering.** Results land in submission
+//!   order regardless of which worker ran which job or how work was
+//!   stolen; the in-order seal callback fires for job *i* only after jobs
+//!   `0..i` have sealed, which is what lets an append-only
+//!   [`crate::checkpoint::BootstrapStore`] persist every completed job
+//!   without reordering records.
+//! * **Per-worker reusable shards.** Each worker owns a mutable shard
+//!   (e.g. a [`crate::likelihood::LikelihoodWorkspace`]) created once at
+//!   spawn and threaded through every job it runs, so steady-state jobs
+//!   reuse the previous job's buffers — the arena-recycling contract of
+//!   the zero-allocation hot path, without a shared pool lock per job.
+//! * **Panic isolation.** A job that panics becomes a typed
+//!   [`FarmError::JobPanicked`] entry carrying the original payload
+//!   message; the farm keeps draining and every other job's result
+//!   survives. Worker deaths (from the injectable [`FarmFaultPlan`])
+//!   likewise degrade per-job instead of wedging the farm.
+//! * **Observability.** A [`FarmObserver`] receives start/complete/steal/
+//!   death events with nanosecond timestamps; the `raxml-cell` crate
+//!   bridges these into the `cellsim` trace log so farm-tier runs export
+//!   the same Chrome-trace/JSONL artifacts as the simulator.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// How a farm run is shaped: worker count, submission bound, fault plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FarmConfig {
+    /// Worker threads (each with its own deque and shard).
+    pub n_workers: usize,
+    /// Maximum in-flight (submitted, not yet completed) jobs; `0` means
+    /// unbounded. The feeding thread blocks when the bound is reached.
+    pub capacity: usize,
+    /// Deterministic fault injection for tests.
+    pub fault: FarmFaultPlan,
+}
+
+impl FarmConfig {
+    /// An unbounded farm with `n_workers` workers and no faults.
+    pub fn new(n_workers: usize) -> FarmConfig {
+        FarmConfig { n_workers, capacity: 0, fault: FarmFaultPlan::none() }
+    }
+
+    /// Cap in-flight jobs at `capacity` (backpressure on submission).
+    pub fn bounded(mut self, capacity: usize) -> FarmConfig {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Attach a fault plan.
+    pub fn with_fault(mut self, fault: FarmFaultPlan) -> FarmConfig {
+        self.fault = fault;
+        self
+    }
+}
+
+/// Injectable failures, in the spirit of `cellsim::fault::FaultPlan`:
+/// deterministic, declared up front, replayable. Used by the robustness
+/// tests to prove the farm's accounting survives losing workers and jobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FarmFaultPlan {
+    /// `(worker, n)`: worker dies after completing `n` jobs.
+    deaths: Vec<(usize, usize)>,
+    /// Jobs whose execution is replaced by an injected failure.
+    failed_jobs: Vec<usize>,
+}
+
+impl FarmFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FarmFaultPlan {
+        FarmFaultPlan::default()
+    }
+
+    /// Kill `worker` after it has completed `completed_jobs` jobs (0 kills
+    /// it before it runs anything). Its queued jobs are stolen by the
+    /// survivors; if every worker dies, the remainder surface as
+    /// [`FarmError::WorkerLost`].
+    pub fn kill_worker_after(mut self, worker: usize, completed_jobs: usize) -> FarmFaultPlan {
+        self.deaths.push((worker, completed_jobs));
+        self
+    }
+
+    /// Replace job `job`'s execution with a typed
+    /// [`FarmError::InjectedFault`].
+    pub fn fail_job(mut self, job: usize) -> FarmFaultPlan {
+        self.failed_jobs.push(job);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_inert(&self) -> bool {
+        self.deaths.is_empty() && self.failed_jobs.is_empty()
+    }
+
+    fn death_after(&self, worker: usize) -> Option<usize> {
+        self.deaths.iter().find(|&&(w, _)| w == worker).map(|&(_, n)| n)
+    }
+
+    fn injects_fault(&self, job: usize) -> bool {
+        self.failed_jobs.contains(&job)
+    }
+}
+
+/// Why one job produced no result. The farm never turns one bad job into a
+/// farm-wide panic: every failure is a per-slot typed entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmError {
+    /// The job's closure panicked; `message` is the original payload.
+    JobPanicked { job: usize, worker: usize, message: String },
+    /// The fault plan replaced this job's execution with a failure.
+    InjectedFault { job: usize, worker: usize },
+    /// Every worker died before this job could run.
+    WorkerLost { job: usize },
+}
+
+impl FarmError {
+    /// The submission index of the failed job.
+    pub fn job(&self) -> usize {
+        match *self {
+            FarmError::JobPanicked { job, .. }
+            | FarmError::InjectedFault { job, .. }
+            | FarmError::WorkerLost { job } => job,
+        }
+    }
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmError::JobPanicked { job, worker, message } => {
+                write!(f, "job {job} panicked on worker {worker}: {message}")
+            }
+            FarmError::InjectedFault { job, worker } => {
+                write!(f, "job {job} hit an injected fault on worker {worker}")
+            }
+            FarmError::WorkerLost { job } => {
+                write!(f, "job {job} was queued but every worker died before running it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+/// One farm-tier occurrence, timestamped in nanoseconds since the farm
+/// started. Events from one worker arrive in that worker's program order;
+/// interleaving across workers follows real execution and is therefore not
+/// deterministic (results are — see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FarmEvent {
+    /// Worker `worker` began executing job `job`.
+    JobStarted { at_nanos: u64, worker: usize, job: usize },
+    /// Worker `worker` finished job `job` (`ok` = produced a result).
+    JobCompleted { at_nanos: u64, worker: usize, job: usize, ok: bool },
+    /// `thief` stole job `job` from the back of `victim`'s deque.
+    JobStolen { at_nanos: u64, thief: usize, victim: usize, job: usize },
+    /// A fault-plan death: `worker` stopped pulling work.
+    WorkerDied { at_nanos: u64, worker: usize },
+}
+
+/// Receives [`FarmEvent`]s on the feeding thread while the farm drains.
+pub trait FarmObserver {
+    fn on_event(&mut self, event: FarmEvent);
+}
+
+impl<F: FnMut(FarmEvent)> FarmObserver for F {
+    fn on_event(&mut self, event: FarmEvent) {
+        self(event)
+    }
+}
+
+/// Aggregate accounting of one farm run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Jobs submitted (== `results.len()` of the outcome).
+    pub n_jobs: usize,
+    /// Jobs that produced a [`FarmError`] instead of a result.
+    pub n_failed: usize,
+    /// Successful steals.
+    pub steals: u64,
+    /// Peak submitted-but-not-completed jobs (≤ `capacity` when bounded).
+    pub max_in_flight: usize,
+    /// Jobs completed per worker (stolen jobs count for the thief).
+    pub per_worker_jobs: Vec<usize>,
+    /// Workers killed by the fault plan.
+    pub workers_died: usize,
+    /// Wall time of the whole run.
+    pub elapsed_nanos: u64,
+}
+
+impl FarmStats {
+    /// Completed jobs per wall second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            return 0.0;
+        }
+        self.n_jobs as f64 / (self.elapsed_nanos as f64 / 1e9)
+    }
+}
+
+/// Everything a farm run produced: one result slot per submitted job, in
+/// submission order, plus the run's accounting.
+#[derive(Debug)]
+pub struct FarmOutcome<R> {
+    /// `results[i]` is job `i`'s result or its typed failure.
+    pub results: Vec<Result<R, FarmError>>,
+    pub stats: FarmStats,
+}
+
+impl<R> FarmOutcome<R> {
+    /// All results, or the first failure (by job order).
+    pub fn into_results(self) -> Result<Vec<R>, FarmError> {
+        self.results.into_iter().collect()
+    }
+
+    /// The first failure in job order, if any.
+    pub fn first_error(&self) -> Option<&FarmError> {
+        self.results.iter().find_map(|r| r.as_ref().err())
+    }
+}
+
+/// Render a panic payload as text (shared with
+/// [`crate::parallel::run_master_worker`]'s propagation path).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------------
+
+/// A completed job on its way back to the feeding thread.
+struct Completion<R> {
+    job: usize,
+    worker: usize,
+    result: Result<R, FarmError>,
+}
+
+/// Worker→master mail. Events and completions share one queue so the
+/// observer sees a worker's `JobStarted` before its `JobCompleted`.
+enum Mail<R> {
+    Event(FarmEvent),
+    Done(Completion<R>),
+}
+
+/// Counters shared between the feeder and the workers.
+struct Inner<R> {
+    /// Jobs currently sitting unclaimed in some deque.
+    queued: usize,
+    submitted: usize,
+    completed: usize,
+    /// No more submissions will arrive.
+    closed: bool,
+    /// Workers not yet killed by the fault plan.
+    live_workers: usize,
+    mail: Vec<Mail<R>>,
+}
+
+struct Shared<J, R> {
+    deques: Vec<Mutex<VecDeque<(usize, J)>>>,
+    inner: Mutex<Inner<R>>,
+    /// Workers wait here for work (or close).
+    work_cv: Condvar,
+    /// The feeder waits here for completions (capacity or final drain).
+    done_cv: Condvar,
+}
+
+impl<J, R> Shared<J, R> {
+    fn new(n_workers: usize) -> Shared<J, R> {
+        Shared {
+            deques: (0..n_workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inner: Mutex::new(Inner {
+                queued: 0,
+                submitted: 0,
+                completed: 0,
+                closed: false,
+                live_workers: n_workers,
+                mail: Vec::new(),
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+fn nanos(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Claim a job: own deque front first, then a steal sweep over the other
+/// deques' backs. Returns `None` once the farm is closed and drained.
+fn next_job<J, R>(shared: &Shared<J, R>, id: usize) -> Option<(usize, J, Option<usize>)> {
+    let n = shared.deques.len();
+    loop {
+        let own = shared.deques[id].lock().expect("farm deque").pop_front();
+        if let Some((idx, job)) = own {
+            shared.inner.lock().expect("farm state").queued -= 1;
+            return Some((idx, job, None));
+        }
+        for k in 1..n {
+            let victim = (id + k) % n;
+            let stolen = shared.deques[victim].lock().expect("farm deque").pop_back();
+            if let Some((idx, job)) = stolen {
+                shared.inner.lock().expect("farm state").queued -= 1;
+                return Some((idx, job, Some(victim)));
+            }
+        }
+        let inner = shared.inner.lock().expect("farm state");
+        if inner.queued > 0 {
+            // A job is in flight between the feeder's counter bump and its
+            // deque push (or another thief beat us) — re-sweep.
+            drop(inner);
+            std::thread::yield_now();
+            continue;
+        }
+        if inner.closed {
+            return None;
+        }
+        let _reacquired = shared.work_cv.wait(inner).expect("farm state");
+    }
+}
+
+fn worker_loop<J, R, W, F>(
+    shared: &Shared<J, R>,
+    id: usize,
+    mut shard: W,
+    work: &F,
+    fault: &FarmFaultPlan,
+    epoch: Instant,
+) where
+    J: Send,
+    R: Send,
+    F: Fn(&mut W, usize, J) -> R + Sync,
+{
+    let quota = fault.death_after(id);
+    let mut done_here = 0usize;
+    loop {
+        if quota == Some(done_here) {
+            let mut inner = shared.inner.lock().expect("farm state");
+            inner.live_workers -= 1;
+            inner
+                .mail
+                .push(Mail::Event(FarmEvent::WorkerDied { at_nanos: nanos(epoch), worker: id }));
+            drop(inner);
+            shared.done_cv.notify_all();
+            return;
+        }
+        let Some((idx, job, stolen_from)) = next_job(shared, id) else {
+            return;
+        };
+        let started = nanos(epoch);
+        let result = if fault.injects_fault(idx) {
+            Err(FarmError::InjectedFault { job: idx, worker: id })
+        } else {
+            catch_unwind(AssertUnwindSafe(|| work(&mut shard, idx, job))).map_err(|payload| {
+                FarmError::JobPanicked {
+                    job: idx,
+                    worker: id,
+                    message: panic_message(payload.as_ref()),
+                }
+            })
+        };
+        done_here += 1;
+        let ok = result.is_ok();
+        let mut inner = shared.inner.lock().expect("farm state");
+        if let Some(victim) = stolen_from {
+            inner.mail.push(Mail::Event(FarmEvent::JobStolen {
+                at_nanos: started,
+                thief: id,
+                victim,
+                job: idx,
+            }));
+        }
+        inner.mail.push(Mail::Event(FarmEvent::JobStarted {
+            at_nanos: started,
+            worker: id,
+            job: idx,
+        }));
+        inner.completed += 1;
+        inner.mail.push(Mail::Done(Completion { job: idx, worker: id, result }));
+        inner.mail.push(Mail::Event(FarmEvent::JobCompleted {
+            at_nanos: nanos(epoch),
+            worker: id,
+            job: idx,
+            ok,
+        }));
+        drop(inner);
+        shared.done_cv.notify_all();
+    }
+}
+
+fn ensure_slot<R>(results: &mut Vec<Option<Result<R, FarmError>>>, job: usize) {
+    if results.len() <= job {
+        results.resize_with(job + 1, || None);
+    }
+}
+
+/// Flush the in-order prefix of sealed results through `on_sealed`.
+fn seal_ready<R, S>(results: &[Option<Result<R, FarmError>>], sealed: &mut usize, on_sealed: &mut S)
+where
+    S: FnMut(usize, &Result<R, FarmError>),
+{
+    while *sealed < results.len() {
+        match &results[*sealed] {
+            Some(r) => {
+                on_sealed(*sealed, r);
+                *sealed += 1;
+            }
+            None => break,
+        }
+    }
+}
+
+/// Drain worker mail on the feeding thread: forward events to the
+/// observer, land completions in their slots, advance the in-order seal.
+#[allow(clippy::too_many_arguments)]
+fn drain_mail<R, S>(
+    inner: &mut Inner<R>,
+    results: &mut Vec<Option<Result<R, FarmError>>>,
+    sealed: &mut usize,
+    stats: &mut FarmStats,
+    observer: &mut Option<&mut dyn FarmObserver>,
+    on_sealed: &mut S,
+) where
+    S: FnMut(usize, &Result<R, FarmError>),
+{
+    for mail in inner.mail.drain(..) {
+        match mail {
+            Mail::Event(ev) => {
+                match ev {
+                    FarmEvent::JobStolen { .. } => stats.steals += 1,
+                    FarmEvent::WorkerDied { .. } => stats.workers_died += 1,
+                    _ => {}
+                }
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs.on_event(ev);
+                }
+            }
+            Mail::Done(c) => {
+                stats.per_worker_jobs[c.worker] += 1;
+                if c.result.is_err() {
+                    stats.n_failed += 1;
+                }
+                ensure_slot(results, c.job);
+                results[c.job] = Some(c.result);
+            }
+        }
+    }
+    seal_ready(results, sealed, on_sealed);
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Run `jobs` through a work-stealing farm. The full entry point; see
+/// [`run_batch`] for the common no-hooks case.
+///
+/// * `make_shard(worker)` builds each worker's reusable mutable state.
+/// * `work(&mut shard, job_index, job)` executes one job on a worker.
+/// * `observer`, if present, receives [`FarmEvent`]s on this thread.
+/// * `on_sealed(i, result)` fires exactly once per job, in strict
+///   submission order (job `i` seals only after `0..i` have), on this
+///   thread — the checkpoint-append hook.
+///
+/// Returns one result slot per job, in submission order. The call only
+/// panics on misuse (`n_workers == 0`); job failures are data.
+pub fn run_farm<J, R, W, MkW, F, S>(
+    config: &FarmConfig,
+    jobs: impl IntoIterator<Item = J>,
+    mut make_shard: MkW,
+    work: F,
+    mut observer: Option<&mut dyn FarmObserver>,
+    mut on_sealed: S,
+) -> FarmOutcome<R>
+where
+    J: Send,
+    R: Send,
+    W: Send,
+    MkW: FnMut(usize) -> W,
+    F: Fn(&mut W, usize, J) -> R + Sync,
+    S: FnMut(usize, &Result<R, FarmError>),
+{
+    assert!(config.n_workers >= 1, "farm needs at least one worker");
+    let n_workers = config.n_workers;
+    let epoch = Instant::now();
+    let shared: Shared<J, R> = Shared::new(n_workers);
+    let shards: Vec<W> = (0..n_workers).map(&mut make_shard).collect();
+
+    let mut results: Vec<Option<Result<R, FarmError>>> = Vec::new();
+    let mut sealed = 0usize;
+    let mut stats = FarmStats { per_worker_jobs: vec![0; n_workers], ..FarmStats::default() };
+
+    std::thread::scope(|s| {
+        for (id, shard) in shards.into_iter().enumerate() {
+            let shared = &shared;
+            let work = &work;
+            let fault = &config.fault;
+            s.spawn(move || worker_loop(shared, id, shard, work, fault, epoch));
+        }
+
+        // Feed with backpressure.
+        let mut farm_dead = false;
+        for (idx, job) in jobs.into_iter().enumerate() {
+            if !farm_dead {
+                let mut inner = shared.inner.lock().expect("farm state");
+                loop {
+                    drain_mail(
+                        &mut inner,
+                        &mut results,
+                        &mut sealed,
+                        &mut stats,
+                        &mut observer,
+                        &mut on_sealed,
+                    );
+                    if inner.live_workers == 0 {
+                        farm_dead = true;
+                        break;
+                    }
+                    let in_flight = inner.submitted - inner.completed;
+                    if config.capacity == 0 || in_flight < config.capacity {
+                        inner.submitted += 1;
+                        inner.queued += 1;
+                        stats.max_in_flight =
+                            stats.max_in_flight.max(inner.submitted - inner.completed);
+                        break;
+                    }
+                    inner = shared.done_cv.wait(inner).expect("farm state");
+                }
+                if !farm_dead {
+                    drop(inner);
+                    shared.deques[idx % n_workers]
+                        .lock()
+                        .expect("farm deque")
+                        .push_back((idx, job));
+                    shared.work_cv.notify_one();
+                    continue;
+                }
+            }
+            // No worker left to run this job.
+            ensure_slot(&mut results, idx);
+            results[idx] = Some(Err(FarmError::WorkerLost { job: idx }));
+            stats.n_failed += 1;
+        }
+
+        shared.inner.lock().expect("farm state").closed = true;
+        shared.work_cv.notify_all();
+
+        // Drain until every submitted job has a completion (or the jobs
+        // stranded by a total worker loss are written off).
+        let mut inner = shared.inner.lock().expect("farm state");
+        loop {
+            drain_mail(
+                &mut inner,
+                &mut results,
+                &mut sealed,
+                &mut stats,
+                &mut observer,
+                &mut on_sealed,
+            );
+            if inner.completed >= inner.submitted {
+                break;
+            }
+            if inner.live_workers == 0 {
+                drop(inner);
+                for deque in &shared.deques {
+                    for (idx, _job) in deque.lock().expect("farm deque").drain(..) {
+                        ensure_slot(&mut results, idx);
+                        results[idx] = Some(Err(FarmError::WorkerLost { job: idx }));
+                        stats.n_failed += 1;
+                    }
+                }
+                inner = shared.inner.lock().expect("farm state");
+                inner.completed = inner.submitted;
+                inner.queued = 0;
+                continue;
+            }
+            inner = shared.done_cv.wait(inner).expect("farm state");
+        }
+        drop(inner);
+    });
+
+    // The drain loop exits on the last completion, but a worker can still
+    // push mail after that (its fault-plan death races the master's final
+    // drain). All workers have joined here, so one more drain under the
+    // lock is guaranteed to observe everything; it also flushes the seal.
+    drain_mail(
+        &mut shared.inner.lock().expect("farm state"),
+        &mut results,
+        &mut sealed,
+        &mut stats,
+        &mut observer,
+        &mut on_sealed,
+    );
+    stats.elapsed_nanos = nanos(epoch);
+    stats.n_jobs = results.len();
+    let results: Vec<Result<R, FarmError>> =
+        results.into_iter().map(|slot| slot.expect("every job sealed exactly once")).collect();
+    FarmOutcome { results, stats }
+}
+
+/// The common case: a materialized job list, stateless workers, no hooks.
+/// The farm analogue of [`crate::parallel::run_master_worker`], returning
+/// typed per-job failures instead of propagating panics.
+pub fn run_batch<J, R, F>(jobs: Vec<J>, n_workers: usize, work: F) -> FarmOutcome<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> R + Sync,
+{
+    let config = FarmConfig::new(n_workers);
+    run_farm(&config, jobs, |_| (), |(), idx, job| work(idx, job), None, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let outcome = run_batch((0..100u64).collect(), 4, |_, j| j * j);
+        assert_eq!(outcome.results.len(), 100);
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), (i * i) as u64);
+        }
+        assert_eq!(outcome.stats.n_jobs, 100);
+        assert_eq!(outcome.stats.n_failed, 0);
+        assert_eq!(outcome.stats.per_worker_jobs.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let outcome = run_batch(vec![(); 257], 8, |_, ()| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(outcome.results.len(), 257);
+        assert_eq!(counter.load(Ordering::SeqCst), 257);
+    }
+
+    #[test]
+    fn single_worker_runs_in_submission_order() {
+        let outcome = run_batch(vec![1, 2, 3], 1, |idx, j| (idx, j));
+        let values: Vec<_> = outcome.into_results().unwrap();
+        assert_eq!(values, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let outcome = run_batch(vec![7], 16, |_, j: i32| j + 1);
+        assert_eq!(outcome.into_results().unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let outcome = run_batch(Vec::<u32>::new(), 4, |_, j| j);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats.n_jobs, 0);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_with_original_message() {
+        let outcome = run_batch((0..50u32).collect(), 4, |_, j| {
+            if j == 17 {
+                panic!("job seventeen exploded");
+            }
+            j * 2
+        });
+        assert_eq!(outcome.results.len(), 50);
+        assert_eq!(outcome.stats.n_failed, 1);
+        for (i, r) in outcome.results.iter().enumerate() {
+            if i == 17 {
+                match r {
+                    Err(FarmError::JobPanicked { job: 17, message, .. }) => {
+                        assert!(message.contains("seventeen exploded"), "{message}");
+                    }
+                    other => panic!("expected JobPanicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+            }
+        }
+        assert_eq!(outcome.first_error().unwrap().job(), 17);
+    }
+
+    #[test]
+    fn injected_fault_is_typed_and_contained() {
+        let config = FarmConfig::new(3).with_fault(FarmFaultPlan::none().fail_job(2).fail_job(5));
+        let outcome =
+            run_farm(&config, (0..8u32).collect::<Vec<_>>(), |_| (), |(), _, j| j, None, |_, _| {});
+        assert_eq!(outcome.stats.n_failed, 2);
+        for (i, r) in outcome.results.iter().enumerate() {
+            if i == 2 || i == 5 {
+                assert!(matches!(r, Err(FarmError::InjectedFault { .. })), "{i}: {r:?}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_workers_jobs_are_stolen_by_survivors() {
+        // Worker 0 dies immediately; its round-robin share must still run.
+        let config = FarmConfig::new(3).with_fault(FarmFaultPlan::none().kill_worker_after(0, 0));
+        let outcome = run_farm(
+            &config,
+            (0..60u32).collect::<Vec<_>>(),
+            |_| (),
+            |(), _, j| j + 1,
+            None,
+            |_, _| {},
+        );
+        assert_eq!(outcome.stats.workers_died, 1);
+        assert_eq!(outcome.stats.n_failed, 0);
+        assert_eq!(outcome.stats.per_worker_jobs[0], 0);
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn total_worker_loss_surfaces_as_worker_lost() {
+        let config = FarmConfig::new(2)
+            .with_fault(FarmFaultPlan::none().kill_worker_after(0, 0).kill_worker_after(1, 0));
+        let outcome = run_farm(
+            &config,
+            (0..10u32).collect::<Vec<_>>(),
+            |_| (),
+            |(), _, j| j,
+            None,
+            |_, _| {},
+        );
+        assert_eq!(outcome.results.len(), 10);
+        assert_eq!(outcome.stats.n_failed, 10);
+        for r in &outcome.results {
+            assert!(matches!(r, Err(FarmError::WorkerLost { .. })), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_submission_respects_capacity() {
+        let config = FarmConfig::new(4).bounded(5);
+        let outcome = run_farm(
+            &config,
+            (0..200u32).collect::<Vec<_>>(),
+            |_| (),
+            |(), _, j| j % 7,
+            None,
+            |_, _| {},
+        );
+        assert!(outcome.stats.max_in_flight <= 5, "{}", outcome.stats.max_in_flight);
+        assert_eq!(outcome.results.len(), 200);
+        assert_eq!(outcome.stats.n_failed, 0);
+    }
+
+    #[test]
+    fn seal_callback_fires_in_strict_job_order() {
+        let mut sealed: Vec<usize> = Vec::new();
+        let config = FarmConfig::new(4).with_fault(FarmFaultPlan::none().fail_job(30));
+        let outcome = run_farm(
+            &config,
+            (0..120u32).collect::<Vec<_>>(),
+            |_| (),
+            |(), _, j| j,
+            None,
+            |i, _res| sealed.push(i),
+        );
+        assert_eq!(sealed, (0..120).collect::<Vec<_>>());
+        assert_eq!(outcome.results.len(), 120);
+    }
+
+    #[test]
+    fn shards_persist_across_a_workers_jobs() {
+        // Each worker's shard counts the jobs it ran; the shard totals must
+        // account for every job exactly once.
+        let totals = Mutex::new(vec![0usize; 4]);
+        let outcome = run_farm(
+            &FarmConfig::new(4),
+            vec![(); 97],
+            |id| (id, 0usize),
+            |shard: &mut (usize, usize), _, ()| {
+                shard.1 += 1;
+                shard.1
+            },
+            None,
+            |_, _| {},
+        );
+        drop(totals.lock().unwrap());
+        assert_eq!(outcome.results.len(), 97);
+        assert_eq!(outcome.stats.per_worker_jobs.iter().sum::<usize>(), 97);
+        // A worker's k-th job sees shard counter k: reuse is real.
+        let max_result = outcome.results.iter().map(|r| *r.as_ref().unwrap()).max().unwrap();
+        assert!(max_result >= 97usize.div_ceil(4));
+    }
+
+    #[test]
+    fn observer_sees_coherent_per_job_lifecycles() {
+        let mut events: Vec<FarmEvent> = Vec::new();
+        let mut obs = |ev: FarmEvent| events.push(ev);
+        // Quota 0 so the death is unconditional: a nonzero quota only fires
+        // if the worker actually completes that many jobs, which scheduling
+        // on a small machine may never let happen.
+        let config = FarmConfig::new(3).with_fault(FarmFaultPlan::none().kill_worker_after(2, 0));
+        let outcome = run_farm(
+            &config,
+            (0..40u32).collect::<Vec<_>>(),
+            |_| (),
+            |(), _, j| j,
+            Some(&mut obs),
+            |_, _| {},
+        );
+        let starts = events.iter().filter(|e| matches!(e, FarmEvent::JobStarted { .. })).count();
+        let completes =
+            events.iter().filter(|e| matches!(e, FarmEvent::JobCompleted { .. })).count();
+        let deaths = events.iter().filter(|e| matches!(e, FarmEvent::WorkerDied { .. })).count();
+        assert_eq!(starts, 40);
+        assert_eq!(completes, 40);
+        assert_eq!(deaths, 1);
+        assert_eq!(outcome.stats.workers_died, 1);
+        let steals =
+            events.iter().filter(|e| matches!(e, FarmEvent::JobStolen { .. })).count() as u64;
+        assert_eq!(steals, outcome.stats.steals);
+    }
+
+    #[test]
+    fn skewed_work_triggers_stealing() {
+        // Round-robin puts every 4th job on worker 0; worker 0's jobs are
+        // slow, so the other workers drain their own deques and then steal
+        // worker 0's backlog.
+        let outcome = run_batch((0..64u32).collect(), 4, |idx, j| {
+            if idx % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            j
+        });
+        assert_eq!(outcome.results.len(), 64);
+        assert!(outcome.stats.steals > 0, "expected steals under skew: {:?}", outcome.stats);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_worker_counts() {
+        let run = |n: usize| {
+            run_batch((0..50u64).collect(), n, |_, j| (j as f64).sin().to_bits())
+                .into_results()
+                .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn stats_jobs_per_sec_is_finite() {
+        let outcome = run_batch((0..10u32).collect(), 2, |_, j| j);
+        assert!(outcome.stats.jobs_per_sec().is_finite());
+        assert!(outcome.stats.elapsed_nanos > 0);
+    }
+}

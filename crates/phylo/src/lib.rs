@@ -22,8 +22,10 @@
 //! * **Analyses**: multiple inferences, non-parametric bootstrapping, and
 //!   bipartition support values ([`bootstrap`]).
 //! * **Parallelism**: rayon loop-level parallelism over site patterns (the
-//!   RAxML-OMP analogue) and a thread-based master–worker for embarrassingly
-//!   parallel replicates ([`parallel`]).
+//!   RAxML-OMP analogue) with bit-reproducible reductions ([`parallel`]),
+//!   and a work-stealing inference farm for embarrassingly parallel
+//!   replicates — bounded submission, deterministic result order, typed
+//!   per-job failures ([`farm`]).
 //! * **Instrumentation**: a kernel-invocation trace ([`trace`]) consumed by
 //!   the `cellsim` crate to replay workloads on the simulated Cell.
 //! * **Workloads**: a sequence-evolution simulator generating the `42_SC`
@@ -59,6 +61,7 @@ pub mod bipartitions;
 pub mod bootstrap;
 pub mod checkpoint;
 pub mod error;
+pub mod farm;
 pub mod io;
 pub mod likelihood;
 pub mod math;
@@ -80,6 +83,10 @@ pub mod prelude {
     };
     pub use crate::checkpoint::{BootstrapStore, SearchCheckpointer};
     pub use crate::error::PhyloError;
+    pub use crate::farm::{
+        run_batch, run_farm, FarmConfig, FarmError, FarmEvent, FarmFaultPlan, FarmObserver,
+        FarmOutcome, FarmStats,
+    };
     pub use crate::io::{parse_fasta, parse_newick, parse_phylip, write_phylip};
     pub use crate::likelihood::engine::LikelihoodEngine;
     pub use crate::likelihood::{

@@ -11,9 +11,11 @@
 //! operation-array analogue) executed by one kernel driver.
 //!
 //! Workspaces outlive engines: [`crate::likelihood::engine::LikelihoodEngine::into_workspace`]
-//! recovers the arena when an engine is dropped, and a [`WorkspacePool`]
-//! recycles arenas across bootstrap replicates so the master–worker in
-//! [`crate::parallel`] never rebuilds buffers per job.
+//! recovers the arena when an engine is dropped. Arenas are recycled across
+//! bootstrap replicates two ways: the [`crate::farm`] inference farm hands
+//! each worker a workspace as its per-worker shard (no lock per job), and
+//! the lock-per-checkout [`WorkspacePool`] remains for callers that share
+//! arenas across ad-hoc threads.
 
 use super::kernels::{Mat4, NewtonScratch, TipTable16};
 use crate::tree::NodeId;
@@ -257,10 +259,12 @@ impl LikelihoodWorkspace {
     }
 }
 
-/// A thread-safe pool of [`LikelihoodWorkspace`] arenas. Workers of the
-/// master–worker scheme check a workspace out per job and return it
-/// afterwards, so `n_workers` arenas serve any number of bootstrap
-/// replicates — instead of every replicate reallocating all partials.
+/// A thread-safe pool of [`LikelihoodWorkspace`] arenas: threads check a
+/// workspace out per job and return it afterwards, so `n_workers` arenas
+/// serve any number of bootstrap replicates — instead of every replicate
+/// reallocating all partials. The [`crate::farm`] inference farm avoids
+/// even the checkout lock by owning one workspace per worker as that
+/// worker's shard; the pool remains for ad-hoc sharing across threads.
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
     slots: Mutex<Vec<LikelihoodWorkspace>>,

@@ -3,8 +3,9 @@
 //! The paper exploits RAxML parallelism at three granularities:
 //!
 //! 1. **Task level** — embarrassingly parallel bootstraps/inferences under a
-//!    master–worker scheme (§3.1). Here: [`run_master_worker`], a
-//!    work-queue over OS threads (the MPI analogue).
+//!    master–worker scheme (§3.1). Here: [`crate::farm`], the work-stealing
+//!    inference farm (the MPI analogue); [`run_master_worker`] is the
+//!    original single-queue form, kept for comparison and simple callers.
 //! 2. **Loop level** — the likelihood loops distributed across processors
 //!    (the RAxML-OMP / LLP-across-SPEs layer). Here: rayon-chunked kernel
 //!    dispatchers ([`newview_dispatch`], [`evaluate_dispatch`],
@@ -22,6 +23,18 @@ use rayon::prelude::*;
 /// Minimum patterns per rayon chunk: below this the spawn overhead dominates
 /// the ~100ns/pattern kernel work.
 const MIN_CHUNK: usize = 64;
+
+/// Fixed pattern-chunk width for the parallel dispatchers.
+///
+/// Deliberately *not* derived from `rayon::current_num_threads()`: the
+/// chunk boundaries define the floating-point association of the reduction,
+/// so they must be a pure function of the alignment. Combined with the
+/// indexed partial-sum buffers below (each chunk writes its partial into
+/// its own slot, and the slots are folded sequentially in chunk order),
+/// this makes `evaluate_dispatch`/`newton_dispatch` bit-reproducible
+/// run-to-run and across any thread count — the BEAGLE-style determinism
+/// contract for parallel likelihood accumulation.
+const PAR_CHUNK: usize = 256;
 
 /// Restrict a `newview` child operand to the pattern range `[lo, hi)`.
 fn slice_child<'a>(c: &Child<'a>, lo: usize, hi: usize, n_rates: usize) -> Child<'a> {
@@ -50,11 +63,6 @@ fn slice_operand<'a>(
     }
 }
 
-fn chunk_size(n_patterns: usize) -> usize {
-    let threads = rayon::current_num_threads().max(1);
-    (n_patterns / (threads * 2)).max(MIN_CHUNK)
-}
-
 /// `newview` with optional loop-level parallelism over site patterns.
 #[allow(clippy::too_many_arguments)]
 pub fn newview_dispatch(
@@ -72,7 +80,7 @@ pub fn newview_dispatch(
         return kernels::newview(left, right, out_x, out_scale, n_rates, kind, scaling);
     }
     let stride = n_rates * 4;
-    let chunk = chunk_size(n);
+    let chunk = PAR_CHUNK;
     out_x
         .par_chunks_mut(chunk * stride)
         .zip(out_scale.par_chunks_mut(chunk))
@@ -88,6 +96,11 @@ pub fn newview_dispatch(
 }
 
 /// `evaluate` with optional loop-level parallelism over site patterns.
+///
+/// Deterministic: each fixed-width chunk writes its partial log-likelihood
+/// into an indexed slot and the slots are summed sequentially in chunk
+/// order, so the result is bit-identical run-to-run and across thread
+/// counts (see [`PAR_CHUNK`]).
 #[allow(clippy::too_many_arguments)]
 pub fn evaluate_dispatch(
     u: &EvalOperand<'_>,
@@ -103,18 +116,21 @@ pub fn evaluate_dispatch(
     if !parallel || n < 2 * MIN_CHUNK {
         return evaluate_lnl(u, v, pmats, freqs, weights, n_rates, kind);
     }
-    let chunk = chunk_size(n);
-    weights
-        .par_chunks(chunk)
+    let chunk = PAR_CHUNK;
+    let mut partials = vec![0.0f64; n.div_ceil(chunk)];
+    partials
+        .par_chunks_mut(1)
+        .zip(weights.par_chunks(chunk))
         .enumerate()
-        .map(|(ci, w)| {
+        .map(|(ci, (slot, w))| {
             let lo = ci * chunk;
             let hi = lo + w.len();
             let su = slice_operand(u, lo, hi, n_rates);
             let sv = slice_operand(v, lo, hi, n_rates);
-            evaluate_lnl(&su, &sv, pmats, freqs, w, n_rates, kind)
+            slot[0] = evaluate_lnl(&su, &sv, pmats, freqs, w, n_rates, kind);
         })
-        .sum()
+        .reduce(|| (), |(), ()| ());
+    partials.iter().sum()
 }
 
 /// Newton derivatives with optional loop-level parallelism, on raw
@@ -142,15 +158,19 @@ pub fn newton_dispatch(
         );
     }
     let stride = n_rates * 4;
-    let chunk = chunk_size(n);
-    weights
-        .par_chunks(chunk)
+    let chunk = PAR_CHUNK;
+    // Deterministic reduction, same scheme as `evaluate_dispatch`: indexed
+    // per-chunk partial triples, folded sequentially in chunk order.
+    let mut partials = vec![[0.0f64; 3]; n.div_ceil(chunk)];
+    partials
+        .par_chunks_mut(1)
+        .zip(weights.par_chunks(chunk))
         .enumerate()
-        .map(|(ci, w)| {
+        .map(|(ci, (slot, w))| {
             let lo = ci * chunk;
             let hi = lo + w.len();
             let mut local = NewtonScratch::default();
-            kernels::newton_derivatives_scratch(
+            let (l, d1, d2) = kernels::newton_derivatives_scratch(
                 &st_data[lo * stride..hi * stride],
                 &st_scale[lo..hi],
                 n_rates,
@@ -161,15 +181,27 @@ pub fn newton_dispatch(
                 exp_impl,
                 kind,
                 &mut local,
-            )
+            );
+            slot[0] = [l, d1, d2];
         })
-        .reduce(|| (0.0, 0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+        .reduce(|| (), |(), ()| ());
+    partials.iter().fold((0.0, 0.0, 0.0), |a, p| (a.0 + p[0], a.1 + p[1], a.2 + p[2]))
 }
 
 /// Task-level master–worker: distributes `jobs` across `n_workers` OS
 /// threads through a shared queue and collects results in job order — the
 /// thread analogue of the paper's MPI master–worker scheme for bootstraps
 /// and multiple inferences (§3.1).
+///
+/// Superseded by [`crate::farm`] (work-stealing deques, backpressure,
+/// typed per-job failures); kept as the simple single-queue form for
+/// callers that want all-or-nothing semantics.
+///
+/// # Panics
+///
+/// If a job panics, the *original* panic payload is re-raised on the
+/// calling thread once the remaining workers have stopped — the caller
+/// sees the real failure, not a poisoned-mutex or missing-result artifact.
 pub fn run_master_worker<J, R, F>(jobs: Vec<J>, n_workers: usize, worker: F) -> Vec<R>
 where
     J: Send,
@@ -182,8 +214,40 @@ where
         std::sync::Mutex::new(jobs.into_iter().enumerate().collect());
     let results: std::sync::Mutex<Vec<Option<R>>> =
         std::sync::Mutex::new((0..n_jobs).map(|_| None).collect());
+    // First panic payload from any worker; re-raised after the scope ends.
+    let panic_slot: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
 
-    run_scoped_workers(n_workers.min(n_jobs.max(1)), &queue, &results, &worker);
+    let worker = &worker;
+    std::thread::scope(|s| {
+        for _ in 0..n_workers.min(n_jobs.max(1)) {
+            s.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                match job {
+                    Some((idx, j)) => {
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker(idx, j)
+                        }));
+                        match run {
+                            Ok(r) => results.lock().unwrap()[idx] = Some(r),
+                            Err(payload) => {
+                                let mut slot = panic_slot.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panic_slot.into_inner().unwrap() {
+        std::panic::resume_unwind(payload);
+    }
 
     results
         .into_inner()
@@ -191,32 +255,6 @@ where
         .into_iter()
         .map(|r| r.expect("worker completed every job"))
         .collect()
-}
-
-fn run_scoped_workers<J, R, F>(
-    n_workers: usize,
-    queue: &std::sync::Mutex<std::collections::VecDeque<(usize, J)>>,
-    results: &std::sync::Mutex<Vec<Option<R>>>,
-    worker: &F,
-) where
-    J: Send,
-    R: Send,
-    F: Fn(usize, J) -> R + Sync,
-{
-    std::thread::scope(|s| {
-        for _ in 0..n_workers {
-            s.spawn(move || loop {
-                let job = queue.lock().unwrap().pop_front();
-                match job {
-                    Some((idx, j)) => {
-                        let r = worker(idx, j);
-                        results.lock().unwrap()[idx] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
 }
 
 #[cfg(test)]
@@ -265,12 +303,17 @@ mod tests {
 
         let a = seq_engine.log_likelihood(&tree);
         let b = par_engine.log_likelihood(&tree);
+        // Seq vs par may differ by the chunked reduction's floating-point
+        // association (documented epsilon); par vs par must be bit-equal.
         assert!((a - b).abs() < 1e-9, "evaluate: {a} vs {b}");
+        let b2 = par_engine.log_likelihood(&tree);
+        assert_eq!(b.to_bits(), b2.to_bits(), "parallel evaluate not reproducible");
 
         // Branch optimization drives newton_dispatch + newview_dispatch.
         // The chunked reduction changes floating-point association, which
-        // can shift Newton's final iterate slightly — so the comparison is
-        // near-equality, not bit-equality.
+        // can shift Newton's final iterate slightly — so the seq-vs-par
+        // comparison is near-equality, not bit-equality.
+        let tree0 = tree.clone();
         let mut tree2 = tree.clone();
         let la = seq_engine.optimize_all_branches(&mut tree, 2);
         let lb = par_engine.optimize_all_branches(&mut tree2, 2);
@@ -281,6 +324,62 @@ mod tests {
             let l2 = tree2.branch_length(e2.0, e2.1);
             assert!((l1 - l2).abs() < 1e-4, "branch {e1:?}: {l1} vs {l2}");
         }
+
+        // A second, fresh parallel engine repeating the same optimization
+        // from the same starting tree must agree with the first *to the
+        // bit* — the reduction order is fixed by PAR_CHUNK, not by
+        // scheduling.
+        let model2 = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+        let mut par_engine2 = LikelihoodEngine::new(
+            &w.alignment,
+            model2,
+            GammaRates::standard(0.7).unwrap(),
+            LikelihoodConfig { parallel: true, ..LikelihoodConfig::optimized() },
+        );
+        let mut tree3 = tree0.clone();
+        let lb2 = par_engine2.optimize_all_branches(&mut tree3, 2);
+        assert_eq!(lb.to_bits(), lb2.to_bits(), "parallel optimize not reproducible");
+        for (e2, e3) in tree2.edges().iter().zip(tree3.edges().iter()) {
+            assert_eq!(e2, e3);
+            let l2 = tree2.branch_length(e2.0, e2.1);
+            let l3 = tree3.branch_length(e3.0, e3.1);
+            assert_eq!(l2.to_bits(), l3.to_bits(), "branch {e2:?}: {l2} vs {l3}");
+        }
+    }
+
+    /// The determinism contract across thread counts: the same parallel
+    /// likelihood under `RAYON_NUM_THREADS` ∈ {1, 2, 8} must be the same
+    /// f64 to the bit. `PAR_CHUNK` fixes the chunk boundaries and the
+    /// indexed partial buffers fix the reduction order, so thread count
+    /// can only change scheduling, never association.
+    #[test]
+    fn parallel_lnl_is_bit_identical_across_thread_counts() {
+        let w =
+            SimulationConfig { mean_branch: 0.4, ..SimulationConfig::new(8, 2400, 41) }.generate();
+        assert!(w.alignment.n_patterns() > 2 * MIN_CHUNK);
+        let mut rng = StdRng::seed_from_u64(11);
+        let tree = Tree::random(8, 0.2, &mut rng).unwrap();
+
+        let run = |threads: &str| {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+            let mut engine = LikelihoodEngine::new(
+                &w.alignment,
+                model,
+                GammaRates::standard(0.7).unwrap(),
+                LikelihoodConfig { parallel: true, ..LikelihoodConfig::optimized() },
+            );
+            let lnl = engine.log_likelihood(&tree);
+            let opt = engine.optimize_all_branches(&mut tree.clone(), 2);
+            (lnl.to_bits(), opt.to_bits())
+        };
+
+        let one = run("1");
+        let two = run("2");
+        let eight = run("8");
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(one, two, "1 vs 2 threads");
+        assert_eq!(one, eight, "1 vs 8 threads");
     }
 
     #[test]
@@ -311,5 +410,26 @@ mod tests {
     fn master_worker_more_workers_than_jobs() {
         let results = run_master_worker(vec![7], 16, |_, j: i32| j + 1);
         assert_eq!(results, vec![8]);
+    }
+
+    /// Regression: a panicking job used to surface as the unrelated
+    /// `expect("worker completed every job")` (after poisoning the result
+    /// mutex); the caller must see the job's own panic payload.
+    #[test]
+    fn master_worker_propagates_original_panic_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            run_master_worker((0..20u32).collect(), 4, |_, j| {
+                if j == 9 {
+                    panic!("job nine failed in a specific way");
+                }
+                j
+            })
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        let message = crate::farm::panic_message(payload.as_ref());
+        assert!(
+            message.contains("job nine failed in a specific way"),
+            "wrong payload propagated: {message}"
+        );
     }
 }

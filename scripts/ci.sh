@@ -29,6 +29,17 @@ if [[ "$quick" -eq 0 ]]; then
 fi
 run cargo test --workspace -q
 
+# Determinism gate: the parallel-path tests must pass both pinned to one
+# thread and at the default thread count — the fixed-chunk reductions make
+# parallel log-likelihoods bit-identical regardless of RAYON_NUM_THREADS.
+run env RAYON_NUM_THREADS=1 cargo test -q -p phylo parallel::
+run cargo test -q -p phylo parallel::
+
+# Inference-farm smoke: work-stealing mechanics under injected faults
+# (panics, job failures, worker deaths), bootstrap worker-count bit
+# invariance, and JSONL metrics validity.
+run cargo run -p bench --bin throughput_study -- --smoke
+
 # Fault-injection smoke: inert-plan bit-equality, deterministic fault
 # replay, and checkpoint kill-and-resume bit-identity, end to end.
 run cargo run -p bench --bin fault_study -- --smoke

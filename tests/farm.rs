@@ -1,0 +1,164 @@
+//! Cross-crate stress and integration tests for the inference farm:
+//! accounting under hundreds of tiny jobs with injected failures, the
+//! determinism contract across worker counts, and coherence between the
+//! farm's own statistics and the `cellsim` trace-log bridge.
+
+use cellsim::tracelog::{validate_jsonl, EventData, TraceLog};
+use phylo::farm::{run_batch, run_farm, FarmConfig, FarmError, FarmFaultPlan};
+use phylo::prelude::*;
+use raxml_cell::FarmTracer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Install a silent panic hook for the duration of one closure so
+/// intentionally panicking jobs don't spray backtraces over test output.
+/// Serialized: the hook is process-global.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = HOOK_LOCK.lock().unwrap();
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(default_hook);
+    out
+}
+
+/// Hundreds of tiny jobs with injected worker panics: every job accounted
+/// for exactly once, result order preserved, failures typed per slot.
+#[test]
+fn farm_stress_accounts_every_job_exactly_once() {
+    const N: usize = 500;
+    let executions = AtomicUsize::new(0);
+    let panicky = [23usize, 99, 250, 251, 480];
+    let outcome = with_quiet_panics(|| {
+        run_batch((0..N).collect(), 8, |idx, j: usize| {
+            executions.fetch_add(1, Ordering::SeqCst);
+            if panicky.contains(&idx) {
+                panic!("injected worker panic on job {idx}");
+            }
+            j.wrapping_mul(2654435761)
+        })
+    });
+
+    // Every job ran exactly once and has exactly one result slot.
+    assert_eq!(executions.load(Ordering::SeqCst), N);
+    assert_eq!(outcome.results.len(), N);
+    assert_eq!(outcome.stats.n_jobs, N);
+    assert_eq!(outcome.stats.per_worker_jobs.iter().sum::<usize>(), N);
+
+    // Order preserved: slot i holds job i's value or job i's typed error.
+    for (i, r) in outcome.results.iter().enumerate() {
+        if panicky.contains(&i) {
+            match r {
+                Err(FarmError::JobPanicked { job, message, .. }) => {
+                    assert_eq!(*job, i);
+                    assert!(message.contains(&format!("job {i}")), "payload lost: {message}");
+                }
+                other => panic!("job {i}: expected JobPanicked, got {other:?}"),
+            }
+        } else {
+            assert_eq!(*r.as_ref().unwrap(), i.wrapping_mul(2654435761), "job {i}");
+        }
+    }
+    assert_eq!(outcome.stats.n_failed, panicky.len());
+}
+
+/// The full gauntlet at once — backpressure, a dead worker, an injected
+/// fault, a panic — with the in-order seal still firing once per job.
+#[test]
+fn farm_survives_combined_fault_injection() {
+    const N: usize = 300;
+    let config = FarmConfig::new(4)
+        .bounded(6)
+        .with_fault(FarmFaultPlan::none().fail_job(7).kill_worker_after(1, 2));
+    let sealed = Mutex::new(Vec::new());
+    let outcome = with_quiet_panics(|| {
+        run_farm(
+            &config,
+            (0..N).collect::<Vec<_>>(),
+            |_| (),
+            |(), idx, j: usize| {
+                if idx == 150 {
+                    panic!("mid-batch panic");
+                }
+                j + 1
+            },
+            None,
+            |i, _| sealed.lock().unwrap().push(i),
+        )
+    });
+    assert_eq!(*sealed.lock().unwrap(), (0..N).collect::<Vec<_>>());
+    assert!(outcome.stats.max_in_flight <= 6);
+    assert_eq!(outcome.stats.n_failed, 2);
+    let ok = outcome.results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(ok, N - 2);
+}
+
+/// Determinism across worker counts on real likelihood work: the same
+/// bootstrap batch under 1, 2 and 5 workers produces bit-identical lnLs
+/// and identical trees, regardless of stealing and shard reuse.
+#[test]
+fn farm_bootstrap_batch_is_worker_count_invariant() {
+    let aln = SimulationConfig { mean_branch: 0.12, ..SimulationConfig::new(6, 240, 9) }
+        .generate()
+        .alignment;
+    let search = SearchConfig::fast();
+    let run = |workers: usize| {
+        let outcome = run_farm(
+            &FarmConfig::new(workers),
+            (0..6u64).collect::<Vec<_>>(),
+            |_| LikelihoodWorkspace::new(),
+            |ws: &mut LikelihoodWorkspace, _, seed| {
+                let owned = std::mem::take(ws);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let replicate = aln.bootstrap_replicate(&mut rng);
+                let (result, owned) =
+                    phylo::search::infer_ml_tree_pooled(&replicate, &search, seed, false, owned);
+                *ws = owned;
+                (result.log_likelihood.to_bits(), result.tree.to_exact_string())
+            },
+            None,
+            |_, _| {},
+        );
+        outcome.into_results().unwrap()
+    };
+    use rand::SeedableRng as _;
+    let one = run(1);
+    assert_eq!(one, run(2), "1 vs 2 workers");
+    assert_eq!(one, run(5), "1 vs 5 workers");
+}
+
+/// The trace-log bridge and the farm's own statistics must tell the same
+/// story: task starts/completes match job count, failures land in the
+/// fault lane, counters match FarmStats, and the JSONL export validates.
+#[test]
+fn farm_trace_bridge_is_coherent_with_farm_stats() {
+    let mut log = TraceLog::enabled();
+    let mut tracer = FarmTracer::new(&mut log, 1e9);
+    let config =
+        FarmConfig::new(3).with_fault(FarmFaultPlan::none().fail_job(5).kill_worker_after(2, 0));
+    let outcome = run_farm(
+        &config,
+        (0..60u32).collect::<Vec<_>>(),
+        |_| (),
+        |(), _, j| j,
+        Some(&mut tracer),
+        |_, _| {},
+    );
+    tracer.finish(&outcome.stats);
+
+    let count =
+        |pred: fn(&EventData) -> bool| log.events().iter().filter(|e| pred(&e.data)).count();
+    assert_eq!(count(|d| matches!(d, EventData::TaskStart { .. })), 60);
+    assert_eq!(count(|d| matches!(d, EventData::TaskComplete { .. })), 60);
+    // Faults = 1 injected job failure + 1 worker death.
+    assert_eq!(log.summary(0).faults, 2);
+    assert_eq!(log.last_counter("farm_jobs"), Some(outcome.stats.n_jobs as f64));
+    assert_eq!(log.last_counter("farm_failed"), Some(outcome.stats.n_failed as f64));
+    assert_eq!(log.last_counter("farm_steals"), Some(outcome.stats.steals as f64));
+    assert_eq!(log.last_counter("farm_workers_died"), Some(outcome.stats.workers_died as f64));
+
+    let jsonl = log.to_metrics_jsonl(1e9, 0);
+    validate_jsonl(&jsonl).unwrap();
+    assert!(jsonl.contains("farm_jobs_per_sec"));
+}
