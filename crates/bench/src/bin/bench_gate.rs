@@ -1,0 +1,111 @@
+//! Benchmark regression gate: compare a fresh metrics run against the
+//! committed `BENCH_metrics.json` baseline.
+//!
+//! Default mode measures in-process, mirroring the baseline's recorded
+//! config (jobs/workers/quick) so the comparison is apples-to-apples;
+//! `--current PATH` diffs two existing envelopes instead. Exit codes:
+//! 0 pass (or `--advisory`), 1 regression, 2 setup problems (missing or
+//! unreadable baseline).
+//!
+//! Flags: `--advisory`, `--baseline PATH`, `--current PATH`,
+//! `--threshold-pct N` (default 50).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::artifact::{bench_artifact_path, Envelope};
+use bench::gate::{compare_envelopes, DEFAULT_THRESHOLD_PCT};
+use bench::metrics_run::{collect_metrics, MetricsRunConfig};
+
+fn main() -> ExitCode {
+    let advisory = std::env::args().any(|a| a == "--advisory");
+    let baseline_path = bench::arg_value("--baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| bench_artifact_path("metrics"));
+    let threshold = match bench::arg_value("--threshold-pct") {
+        None => DEFAULT_THRESHOLD_PCT,
+        Some(v) => match v.parse::<f64>() {
+            Ok(t) if t > 0.0 => t,
+            _ => {
+                eprintln!("error: --threshold-pct must be a positive number, got {v:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let baseline = match load_envelope(&baseline_path) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("error: baseline {}: {msg}", baseline_path.display());
+            eprintln!("hint: regenerate with `cargo run --release -p bench --bin metrics_study`");
+            return ExitCode::from(2);
+        }
+    };
+
+    let current = match bench::arg_value("--current") {
+        Some(p) => {
+            let path = PathBuf::from(p);
+            match load_envelope(&path) {
+                Ok(e) => e,
+                Err(msg) => {
+                    eprintln!("error: current {}: {msg}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => {
+            // Measure now, shaped like the baseline was.
+            let cfg = config_from_baseline(&baseline);
+            eprintln!(
+                "bench_gate: measuring {} jobs on {} workers against {}",
+                cfg.n_jobs, cfg.n_workers, baseline.git_rev
+            );
+            match collect_metrics(&cfg) {
+                Ok(run) => run.envelope,
+                Err(msg) => {
+                    eprintln!("error: measurement failed: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let outcome = match compare_envelopes(&baseline, &current, threshold) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", outcome.render_text(threshold));
+
+    if outcome.failed() {
+        if advisory {
+            eprintln!("bench_gate: regression detected, but --advisory keeps the exit clean");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_envelope(path: &std::path::Path) -> Result<Envelope, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Envelope::from_json(&text)
+}
+
+/// Reconstruct the measurement shape the baseline recorded, falling back
+/// to defaults for anything a hand-edited baseline left out.
+fn config_from_baseline(baseline: &Envelope) -> MetricsRunConfig {
+    let mut cfg = MetricsRunConfig::default();
+    if let Some(j) = baseline.config_value("jobs").and_then(|v| v.parse().ok()) {
+        cfg.n_jobs = j;
+    }
+    if let Some(w) = baseline.config_value("workers").and_then(|v| v.parse().ok()) {
+        cfg.n_workers = w;
+    }
+    cfg.quick = baseline.config_value("quick") == Some("true");
+    cfg
+}

@@ -5,10 +5,14 @@
 //! activity (retries, re-dispatches, blacklists, PPE degradations).
 //!
 //! Flags:
-//!   --quick   use the reduced workload instead of the 42_SC equivalent
-//!   --smoke   run the self-check suite (determinism, inert-plan equality,
-//!             checkpoint kill-and-resume) and exit nonzero on any mismatch
+//!   --quick     use the reduced workload instead of the 42_SC equivalent
+//!   --smoke     run the self-check suite (determinism, inert-plan equality,
+//!               checkpoint kill-and-resume) and exit nonzero on any mismatch
+//!   --format F  text (default) or json (a `fault` envelope with per-row
+//!               `{sched}_rate{N}pct_slowdown` / `{sched}_spe_deaths_slowdown`
+//!               metrics; purely informational, nothing gates)
 
+use bench::artifact::{Envelope, OutputFormat};
 use cellsim::cost::CostModel;
 use cellsim::fault::FaultPlan;
 use phylo::bootstrap::{BootstrapAnalysis, BootstrapCheckpointPolicy};
@@ -34,9 +38,28 @@ fn main() {
             }
         }
     }
+    let format = bench::or_exit(OutputFormat::from_args());
     let (w, label) = bench::or_exit(bench::workload_from_args());
-    println!("workload: {label}");
-    print!("{}", bench::fault_study_text(&w, 16));
+    match format {
+        OutputFormat::Text => {
+            println!("workload: {label}");
+            print!("{}", bench::fault_study_text(&w, 16));
+        }
+        OutputFormat::Json => {
+            let (sweep, deaths) = bench::fault_study_rows(&w, 16);
+            let mut envelope = Envelope::new("fault").with_config("workload", label);
+            for row in &sweep {
+                let slug = row.scheduler.to_lowercase().replace('/', "");
+                let pct = (row.fault_rate * 100.0).round() as u64;
+                envelope.push_metric(&format!("{slug}_rate{pct}pct_slowdown"), row.degradation());
+            }
+            for row in &deaths {
+                let slug = row.scheduler.to_lowercase().replace('/', "");
+                envelope.push_metric(&format!("{slug}_spe_deaths_slowdown"), row.degradation());
+            }
+            print!("{}", envelope.to_json());
+        }
+    }
 }
 
 /// Self-check suite for CI: every property the fault machinery guarantees,

@@ -7,13 +7,22 @@
 //! accounting (they must agree exactly — the trace carries the same charged
 //! cycles the stats do).
 //!
+//! Non-smoke runs also leave a schema-versioned envelope at the repo root
+//! (`BENCH_profile.json`) with per-scheduler makespan/utilization numbers.
+//! These are simulated cycle counts — deterministic, so they carry no gate
+//! suffix (any drift is a code change, caught by the determinism gates).
+//!
 //! Flags:
-//!   --quick   use the reduced workload instead of the 42_SC equivalent
-//!   --smoke   run the self-check suite on a small workload and exit
-//!             nonzero on any mismatch or malformed export
-//!   --out D   write trace artifacts into directory D
-//!             (default: target/profile_study)
+//!   --quick        use the reduced workload instead of the 42_SC equivalent
+//!   --smoke        run the self-check suite on a small workload and exit
+//!                  nonzero on any mismatch or malformed export
+//!   --out D        write trace artifacts into directory D
+//!                  (default: target/profile_study)
+//!   --format F     text (default) or json (print the envelope)
+//!   --no-artifact  skip writing BENCH_profile.json
 
+use bench::arg_value;
+use bench::artifact::{bench_artifact_path, Envelope, OutputFormat};
 use bench::{check_profile, profile_report_text, profile_spr_round, RoundProfile};
 use cellsim::cost::CostModel;
 use raxml_cell::experiment::{capture_workload, WorkloadSpec};
@@ -32,9 +41,13 @@ fn main() {
         }
     }
 
+    let format = bench::or_exit(OutputFormat::from_args());
+    let no_artifact = std::env::args().any(|a| a == "--no-artifact");
     let out_dir = arg_value("--out").unwrap_or_else(|| "target/profile_study".to_string());
     let (workload, label) = bench::or_exit(bench::workload_from_args());
-    println!("workload: {label} ({} SPR rounds marked)", workload.rounds.len());
+    if format.is_text() {
+        println!("workload: {label} ({} SPR rounds marked)", workload.rounds.len());
+    }
 
     let profiles = profile_spr_round(&workload, 16);
     for p in &profiles {
@@ -45,8 +58,10 @@ fn main() {
     }
     match write_artifacts(&out_dir, &profiles) {
         Ok(paths) => {
-            for path in paths {
-                println!("wrote {path}");
+            if format.is_text() {
+                for path in paths {
+                    println!("wrote {path}");
+                }
             }
         }
         Err(e) => {
@@ -54,19 +69,47 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let model = CostModel::paper_calibrated();
-    print!("{}", profile_report_text(&profiles, model.clock_hz));
-}
-
-/// Value following a `--flag value` pair on the command line.
-fn arg_value(flag: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == flag {
-            return args.next();
+    let envelope = profile_envelope(workload.rounds.len(), label, &profiles);
+    if !no_artifact {
+        let path = bench_artifact_path("profile");
+        bench::or_exit(envelope.write(&path));
+        if format.is_text() {
+            println!("wrote {}", path.display());
         }
     }
-    None
+    let model = CostModel::paper_calibrated();
+    match format {
+        OutputFormat::Json => print!("{}", envelope.to_json()),
+        OutputFormat::Text => print!("{}", profile_report_text(&profiles, model.clock_hz)),
+    }
+}
+
+/// Fold the per-scheduler profiles into a flat envelope
+/// (`edtlp_makespan_cycles`, `llp2_mean_spe_utilization_pct`, …).
+fn profile_envelope(n_rounds: usize, label: &str, profiles: &[RoundProfile]) -> Envelope {
+    let mut envelope =
+        Envelope::new("profile").with_config("workload", label).with_config("spr_rounds", n_rounds);
+    for p in profiles {
+        let slug = p.label.to_lowercase().replace('/', "");
+        envelope.push_metric(&format!("{slug}_makespan_cycles"), p.outcome.makespan as f64);
+        envelope.push_metric(
+            &format!("{slug}_mean_spe_utilization_pct"),
+            100.0 * p.summary.mean_utilization(),
+        );
+        envelope.push_metric(
+            &format!("{slug}_mean_dma_stall_pct"),
+            100.0 * p.summary.mean_stall_fraction(),
+        );
+        envelope.push_metric(
+            &format!("{slug}_ppe_busy_pct"),
+            100.0 * p.summary.ppe_busy as f64 / p.outcome.makespan.max(1) as f64,
+        );
+        envelope.push_metric(
+            &format!("{slug}_events"),
+            p.summary.spe_bursts.iter().sum::<u64>() as f64,
+        );
+    }
+    envelope
 }
 
 /// Write each profile's Chrome trace and metrics snapshot into `dir`.

@@ -13,13 +13,20 @@
 //! is flat — the binary reports the available parallelism so the numbers
 //! can be read in context.
 //!
+//! Non-smoke runs also leave a schema-versioned envelope at the repo root
+//! (`BENCH_throughput.json`) whose `w{N}_jobs_per_sec` metrics enroll in
+//! the benchmark regression gate's throughput class.
+//!
 //! Flags:
-//!   --smoke     run the self-check suite (farm mechanics under injected
-//!               faults + a tiny bootstrap batch's worker-count
-//!               invariance + JSONL validity) and exit nonzero on failure
-//!   --jobs N    batch size (default 24)
-//!   --out D     artifact directory (default: target/throughput_study)
+//!   --smoke        run the self-check suite (farm mechanics under injected
+//!                  faults + a tiny bootstrap batch's worker-count
+//!                  invariance + JSONL validity) and exit nonzero on failure
+//!   --jobs N       batch size (default 24)
+//!   --out D        artifact directory (default: target/throughput_study)
+//!   --format F     text (default) or json (print the envelope)
+//!   --no-artifact  skip writing BENCH_throughput.json
 
+use bench::artifact::{bench_artifact_path, Envelope, OutputFormat};
 use cellsim::tracelog::{validate_jsonl, TraceLog};
 use phylo::alignment::PatternAlignment;
 use phylo::farm::{run_farm, FarmConfig, FarmError, FarmFaultPlan, FarmStats};
@@ -45,6 +52,8 @@ fn main() {
         }
     }
 
+    let format = bench::or_exit(OutputFormat::from_args());
+    let no_artifact = std::env::args().any(|a| a == "--no-artifact");
     let n_jobs: usize =
         arg_value("--jobs").and_then(|s| s.parse().ok()).filter(|&n| n > 0).unwrap_or(24);
     let out_dir = arg_value("--out").unwrap_or_else(|| "target/throughput_study".to_string());
@@ -54,19 +63,26 @@ fn main() {
         .generate()
         .alignment;
     let search = SearchConfig::fast();
-    println!(
-        "bootstrap batch: {n_jobs} jobs on {} taxa x {} patterns ({hw} hardware threads)",
-        aln.n_taxa(),
-        aln.n_patterns()
-    );
+    if format.is_text() {
+        println!(
+            "bootstrap batch: {n_jobs} jobs on {} taxa x {} patterns ({hw} hardware threads)",
+            aln.n_taxa(),
+            aln.n_patterns()
+        );
+        println!(
+            "{:>8} {:>10} {:>10} {:>8} {:>8}",
+            "workers", "elapsed_s", "jobs/sec", "steals", "failed"
+        );
+    }
 
     let mut log = TraceLog::enabled();
     let mut reference: Option<Vec<u64>> = None;
     let mut rates: Vec<(usize, f64)> = Vec::new();
-    println!(
-        "{:>8} {:>10} {:>10} {:>8} {:>8}",
-        "workers", "elapsed_s", "jobs/sec", "steals", "failed"
-    );
+    let mut envelope = Envelope::new("throughput")
+        .with_config("jobs", n_jobs)
+        .with_config("hw_threads", hw)
+        .with_config("taxa", aln.n_taxa())
+        .with_config("patterns", aln.n_patterns());
     for &w in &WORKER_COUNTS {
         let (bits, stats) = run_batch_traced(&aln, &search, n_jobs, w, Some(&mut log));
         match &reference {
@@ -79,29 +95,49 @@ fn main() {
             }
         }
         log.counter(stats.elapsed_nanos, jobs_per_sec_name(w), stats.jobs_per_sec());
-        println!(
-            "{:>8} {:>10.3} {:>10.2} {:>8} {:>8}",
-            w,
-            stats.elapsed_nanos as f64 / 1e9,
-            stats.jobs_per_sec(),
-            stats.steals,
-            stats.n_failed
-        );
+        if format.is_text() {
+            println!(
+                "{:>8} {:>10.3} {:>10.2} {:>8} {:>8}",
+                w,
+                stats.elapsed_nanos as f64 / 1e9,
+                stats.jobs_per_sec(),
+                stats.steals,
+                stats.n_failed
+            );
+        }
+        // `_per_sec` suffix enrolls these in the gate's throughput class.
+        envelope.push_metric(&format!("w{w}_jobs_per_sec"), stats.jobs_per_sec());
+        envelope.push_metric(&format!("w{w}_steals"), stats.steals as f64);
+        envelope.push_metric(&format!("w{w}_elapsed_s"), stats.elapsed_nanos as f64 / 1e9);
         rates.push((w, stats.jobs_per_sec()));
     }
-    println!("per-job log-likelihoods bit-identical across all worker counts");
+    if format.is_text() {
+        println!("per-job log-likelihoods bit-identical across all worker counts");
+    }
 
     let monotonic_to_4 =
         rates.windows(2).take(2).all(|p| p[1].1 >= p[0].1 * if hw > 1 { 1.0 } else { 0.0 });
-    if hw >= 4 && !monotonic_to_4 {
-        println!("note: jobs/sec not monotonic 1->4 despite {hw} hardware threads");
-    } else if hw == 1 {
-        println!("note: 1 hardware thread available; scaling cannot show on this machine");
+    if format.is_text() {
+        if hw >= 4 && !monotonic_to_4 {
+            println!("note: jobs/sec not monotonic 1->4 despite {hw} hardware threads");
+        } else if hw == 1 {
+            println!("note: 1 hardware thread available; scaling cannot show on this machine");
+        }
     }
 
-    if let Err(e) = write_metrics(&out_dir, &log) {
+    if let Err(e) = write_metrics(&out_dir, &log, format.is_text()) {
         eprintln!("error writing artifacts: {e}");
         std::process::exit(1);
+    }
+    if !no_artifact {
+        let path = bench_artifact_path("throughput");
+        bench::or_exit(envelope.write(&path));
+        if format.is_text() {
+            println!("wrote {}", path.display());
+        }
+    }
+    if format == OutputFormat::Json {
+        print!("{}", envelope.to_json());
     }
 }
 
@@ -117,16 +153,7 @@ fn jobs_per_sec_name(workers: usize) -> &'static str {
     }
 }
 
-/// Value following a `--flag value` pair on the command line.
-fn arg_value(flag: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == flag {
-            return args.next();
-        }
-    }
-    None
-}
+use bench::arg_value;
 
 /// Run `n_jobs` bootstrap-replicate searches on the farm with `n_workers`
 /// workers (per-worker workspace shards) and return the per-job lnL bits
@@ -173,13 +200,15 @@ fn run_batch_traced(
 
 /// Write the metrics snapshot (1 cycle = 1 ns, no SPE lanes — this is a
 /// task-tier study) and return its path.
-fn write_metrics(dir: &str, log: &TraceLog) -> Result<String, String> {
+fn write_metrics(dir: &str, log: &TraceLog, verbose: bool) -> Result<String, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
     let jsonl = log.to_metrics_jsonl(1e9, 0);
     validate_jsonl(&jsonl).map_err(|e| format!("metrics JSONL malformed: {e}"))?;
     let path = format!("{dir}/throughput.metrics.jsonl");
     std::fs::write(&path, &jsonl).map_err(|e| format!("write {path}: {e}"))?;
-    println!("wrote {path}");
+    if verbose {
+        println!("wrote {path}");
+    }
     Ok(path)
 }
 
@@ -275,7 +304,7 @@ fn smoke_bootstrap_invariance() -> Result<(), String> {
     }
     let dir = std::env::temp_dir().join(format!("raxml-throughput-smoke-{}", std::process::id()));
     let dir_s = dir.to_string_lossy().into_owned();
-    let path = write_metrics(&dir_s, &log)?;
+    let path = write_metrics(&dir_s, &log, true)?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
     validate_jsonl(&text).map_err(|e| format!("{path} failed validation after round trip: {e}"))?;
     if !text.contains("farm_jobs_per_sec") {

@@ -1,0 +1,229 @@
+//! The benchmark regression gate: diff a current metrics envelope against
+//! a committed baseline and fail on latency or throughput regressions.
+//!
+//! Gating is by naming convention, so adding a metric to the study
+//! automatically enrolls it:
+//!
+//! * names ending in `_p99` are **latency** metrics — a regression is the
+//!   current value exceeding the baseline by more than the threshold;
+//! * names ending in `_per_sec` are **throughput** metrics — a regression
+//!   is the current value falling below the baseline by more than the
+//!   threshold;
+//! * everything else is informational and never gates.
+//!
+//! Metrics present on only one side are reported but never fail the gate
+//! (new metrics must be able to land before the baseline is regenerated).
+//! The default threshold is deliberately loose (50%) because these are
+//! wall-clock numbers from shared CI machines; the gate exists to catch
+//! "it got 2× slower", not 5% noise — and CI runs it in `--advisory`
+//! mode anyway, with the hard mode available for local pre-merge checks.
+
+use crate::artifact::Envelope;
+
+/// Default regression threshold, percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 50.0;
+
+/// Which direction a gated metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// `*_p99`: lower is better.
+    Latency,
+    /// `*_per_sec`: higher is better.
+    Throughput,
+}
+
+/// The gate class of a metric name, if it is gated at all.
+pub fn gate_kind(name: &str) -> Option<GateKind> {
+    if name.ends_with("_p99") {
+        Some(GateKind::Latency)
+    } else if name.ends_with("_per_sec") {
+        Some(GateKind::Throughput)
+    } else {
+        None
+    }
+}
+
+/// One gated metric's comparison.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    pub name: String,
+    pub kind: GateKind,
+    pub baseline: f64,
+    pub current: f64,
+    /// Signed change in percent (positive = current is larger).
+    pub change_pct: f64,
+    pub regressed: bool,
+}
+
+/// The whole comparison: per-metric verdicts plus bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    pub checks: Vec<GateCheck>,
+    /// Gated names present in only one envelope, or with a non-positive
+    /// baseline (nothing sane to compare against).
+    pub skipped: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when any gated metric regressed past the threshold.
+    pub fn failed(&self) -> bool {
+        self.checks.iter().any(|c| c.regressed)
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self, threshold_pct: f64) -> String {
+        let mut out = format!(
+            "benchmark gate: {} gated metrics, threshold {threshold_pct}%\n",
+            self.checks.len()
+        );
+        out.push_str(&format!(
+            "{:<32} {:>14} {:>14} {:>9}  verdict\n",
+            "metric", "baseline", "current", "change"
+        ));
+        for c in &self.checks {
+            out.push_str(&format!(
+                "{:<32} {:>14.1} {:>14.1} {:>+8.1}%  {}\n",
+                c.name,
+                c.baseline,
+                c.current,
+                c.change_pct,
+                if c.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.skipped {
+            out.push_str(&format!("{name:<32} (skipped: not comparable)\n"));
+        }
+        out.push_str(if self.failed() { "gate: FAIL\n" } else { "gate: PASS\n" });
+        out
+    }
+}
+
+/// Compare two envelopes' gated metrics at `threshold_pct`.
+///
+/// Refuses mismatched artifacts (comparing a throughput envelope against a
+/// metrics envelope is always a setup bug, not a regression).
+pub fn compare_envelopes(
+    baseline: &Envelope,
+    current: &Envelope,
+    threshold_pct: f64,
+) -> Result<GateOutcome, String> {
+    if baseline.artifact != current.artifact {
+        return Err(format!(
+            "artifact mismatch: baseline {:?} vs current {:?}",
+            baseline.artifact, current.artifact
+        ));
+    }
+    let mut outcome = GateOutcome::default();
+    for (name, &base) in baseline.metrics.iter().map(|(n, v)| (n, v)) {
+        let Some(kind) = gate_kind(name) else {
+            continue;
+        };
+        let Some(cur) = current.metric(name) else {
+            outcome.skipped.push(name.clone());
+            continue;
+        };
+        if base <= 0.0 {
+            // A zero baseline (empty histogram, idle counter) has no
+            // meaningful relative change.
+            outcome.skipped.push(name.clone());
+            continue;
+        }
+        let change_pct = (cur - base) / base * 100.0;
+        let regressed = match kind {
+            GateKind::Latency => change_pct > threshold_pct,
+            GateKind::Throughput => change_pct < -threshold_pct,
+        };
+        outcome.checks.push(GateCheck {
+            name: name.clone(),
+            kind,
+            baseline: base,
+            current: cur,
+            change_pct,
+            regressed,
+        });
+    }
+    for (name, _) in &current.metrics {
+        if gate_kind(name).is_some() && baseline.metric(name).is_none() {
+            outcome.skipped.push(name.clone());
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(metrics: &[(&str, f64)]) -> Envelope {
+        let mut e = Envelope::new("metrics");
+        for &(n, v) in metrics {
+            e.push_metric(n, v);
+        }
+        e
+    }
+
+    #[test]
+    fn identical_envelopes_pass() {
+        let e = envelope(&[("run_ns_p99", 1000.0), ("jobs_per_sec", 50.0), ("info", 7.0)]);
+        let out = compare_envelopes(&e, &e.clone(), DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(!out.failed());
+        assert_eq!(out.checks.len(), 2, "info metric is not gated");
+        assert!(out.render_text(50.0).contains("gate: PASS"));
+    }
+
+    #[test]
+    fn doubled_p99_fails_the_gate() {
+        let base = envelope(&[("run_ns_p99", 1000.0)]);
+        let cur = envelope(&[("run_ns_p99", 2000.0)]);
+        let out = compare_envelopes(&base, &cur, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(out.failed());
+        assert_eq!(out.checks[0].change_pct, 100.0);
+        assert!(out.render_text(50.0).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn halved_throughput_fails_the_gate() {
+        let base = envelope(&[("jobs_per_sec", 100.0)]);
+        let cur = envelope(&[("jobs_per_sec", 40.0)]);
+        assert!(compare_envelopes(&base, &cur, DEFAULT_THRESHOLD_PCT).unwrap().failed());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = envelope(&[("run_ns_p99", 1000.0), ("jobs_per_sec", 50.0)]);
+        let cur = envelope(&[("run_ns_p99", 10.0), ("jobs_per_sec", 5000.0)]);
+        assert!(!compare_envelopes(&base, &cur, DEFAULT_THRESHOLD_PCT).unwrap().failed());
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = envelope(&[("run_ns_p99", 1000.0), ("jobs_per_sec", 100.0)]);
+        let cur = envelope(&[("run_ns_p99", 1400.0), ("jobs_per_sec", 60.0)]);
+        assert!(!compare_envelopes(&base, &cur, DEFAULT_THRESHOLD_PCT).unwrap().failed());
+    }
+
+    #[test]
+    fn missing_and_zero_baselines_are_skipped_not_failed() {
+        let base = envelope(&[("gone_ns_p99", 1000.0), ("idle_ns_p99", 0.0)]);
+        let cur = envelope(&[("new_ns_p99", 5.0), ("idle_ns_p99", 50.0)]);
+        let out = compare_envelopes(&base, &cur, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(!out.failed());
+        assert!(out.checks.is_empty());
+        assert_eq!(out.skipped.len(), 3);
+    }
+
+    #[test]
+    fn artifact_mismatch_is_an_error() {
+        let mut other = envelope(&[]);
+        other.artifact = "throughput".to_string();
+        assert!(compare_envelopes(&envelope(&[]), &other, 50.0).is_err());
+    }
+
+    #[test]
+    fn gate_kind_classification() {
+        assert_eq!(gate_kind("x_ns_p99"), Some(GateKind::Latency));
+        assert_eq!(gate_kind("jobs_per_sec"), Some(GateKind::Throughput));
+        assert_eq!(gate_kind("x_ns_p50"), None);
+        assert_eq!(gate_kind("jobs_total"), None);
+    }
+}

@@ -5,6 +5,10 @@
 //! [`ExperimentError`]; the binaries funnel through [`or_exit`] so a bad
 //! workload prints a diagnosis and exits nonzero instead of unwinding.
 
+pub mod artifact;
+pub mod gate;
+pub mod metrics_run;
+
 use cellsim::cost::CostModel;
 use raxml_cell::error::ExperimentError;
 use raxml_cell::experiment::{
@@ -15,7 +19,7 @@ use raxml_cell::report::{format_comparison, shape_deviation, PAPER_PROFILE};
 use raxml_cell::sched::DesParams;
 
 /// Unwrap a driver result in a binary: print the error and exit nonzero.
-pub fn or_exit<T>(result: Result<T, ExperimentError>) -> T {
+pub fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
     match result {
         Ok(v) => v,
         Err(e) => {
@@ -23,6 +27,18 @@ pub fn or_exit<T>(result: Result<T, ExperimentError>) -> T {
             std::process::exit(1);
         }
     }
+}
+
+/// Value following a `--flag value` pair on the process command line
+/// (shared by every study binary).
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
 }
 
 /// Capture the `42_SC`-equivalent workload (a full traced inference on the
@@ -311,13 +327,17 @@ pub fn figure3_text_for(workload: &Workload) -> Result<String, ExperimentError> 
 }
 
 /// Sweep uniform fault rates and a dead-SPE scenario across the DES
-/// schedulers, reporting makespan degradation and what the recovery
-/// machinery (retries, re-dispatch, blacklisting, PPE degradation) did.
-pub fn fault_study_text(workload: &Workload, n_jobs: usize) -> String {
+/// schedulers, returning the structured rows: `(rate_sweep, spe_deaths)`.
+/// [`fault_study_text`] renders these as tables; the `--format json` path
+/// of the `fault_study` binary flattens them into an envelope.
+pub fn fault_study_rows(
+    workload: &Workload,
+    n_jobs: usize,
+) -> (Vec<raxml_cell::report::FaultRow>, Vec<raxml_cell::report::FaultRow>) {
     use cellsim::fault::FaultPlan;
     use raxml_cell::config::{OptConfig, Scheduler};
     use raxml_cell::offload::price_trace;
-    use raxml_cell::report::{format_fault_table, FaultRow};
+    use raxml_cell::report::FaultRow;
     use raxml_cell::sched::{schedule_makespan, schedule_makespan_with_faults};
 
     let model = CostModel::paper_calibrated();
@@ -329,8 +349,7 @@ pub fn fault_study_text(workload: &Workload, n_jobs: usize) -> String {
         (Scheduler::Mgps, "MGPS"),
     ];
 
-    let mut out = String::new();
-    let mut rows = Vec::new();
+    let mut sweep = Vec::new();
     for &(sched, label) in &schedulers {
         let clean = schedule_makespan(sched, &priced, n_jobs, &model, &params);
         for rate in [0.01, 0.05, 0.2] {
@@ -342,7 +361,7 @@ pub fn fault_study_text(workload: &Workload, n_jobs: usize) -> String {
                 &params,
                 &FaultPlan::uniform(29, rate),
             );
-            rows.push(FaultRow {
+            sweep.push(FaultRow {
                 scheduler: label.to_string(),
                 fault_rate: rate,
                 makespan: o.makespan,
@@ -351,17 +370,13 @@ pub fn fault_study_text(workload: &Workload, n_jobs: usize) -> String {
             });
         }
     }
-    out.push_str(&format_fault_table(
-        &format!("Fault-rate sweep ({n_jobs} bootstraps, uniform plan, seed 29)"),
-        &rows,
-    ));
 
-    let mut rows = Vec::new();
+    let mut deaths = Vec::new();
     for &(sched, label) in &schedulers {
         let clean = schedule_makespan(sched, &priced, n_jobs, &model, &params);
         let plan = FaultPlan::none().with_death(0, clean / 4).with_death(3, clean / 2);
         let o = schedule_makespan_with_faults(sched, &priced, n_jobs, &model, &params, &plan);
-        rows.push(FaultRow {
+        deaths.push(FaultRow {
             scheduler: label.to_string(),
             fault_rate: 0.0,
             makespan: o.makespan,
@@ -369,10 +384,25 @@ pub fn fault_study_text(workload: &Workload, n_jobs: usize) -> String {
             report: o.faults,
         });
     }
+    (sweep, deaths)
+}
+
+/// Sweep uniform fault rates and a dead-SPE scenario across the DES
+/// schedulers, reporting makespan degradation and what the recovery
+/// machinery (retries, re-dispatch, blacklisting, PPE degradation) did.
+pub fn fault_study_text(workload: &Workload, n_jobs: usize) -> String {
+    use raxml_cell::report::format_fault_table;
+
+    let (sweep, deaths) = fault_study_rows(workload, n_jobs);
+    let mut out = String::new();
+    out.push_str(&format_fault_table(
+        &format!("Fault-rate sweep ({n_jobs} bootstraps, uniform plan, seed 29)"),
+        &sweep,
+    ));
     out.push('\n');
     out.push_str(&format_fault_table(
         "Permanent SPE deaths (SPE 0 at 25% of clean makespan, SPE 3 at 50%)",
-        &rows,
+        &deaths,
     ));
     out
 }

@@ -74,6 +74,12 @@ pub struct TraceLog {
     /// clock at zero) stitch into one timeline.
     offset: Cycles,
     events: Vec<TraceEvent>,
+    /// Latest value per distinct counter name, maintained at emit time so
+    /// [`TraceLog::last_counter`] and [`TraceLog::counters_snapshot`] never
+    /// scan the event buffer. A `Vec` rather than a map: counter names are
+    /// `&'static str` literals and a trace has a handful of distinct ones,
+    /// so the linear probe on emit is cheaper than hashing.
+    counters: Vec<(&'static str, f64)>,
 }
 
 impl TraceLog {
@@ -84,7 +90,7 @@ impl TraceLog {
 
     /// A recording log.
     pub fn enabled() -> TraceLog {
-        TraceLog { enabled: true, offset: 0, events: Vec::new() }
+        TraceLog { enabled: true, ..TraceLog::default() }
     }
 
     /// Whether events are being recorded.
@@ -120,6 +126,7 @@ impl TraceLog {
     /// Drop all recorded events (keeps mode and offset).
     pub fn clear(&mut self) {
         self.events.clear();
+        self.counters.clear();
     }
 
     /// Emit one event at relative time `at` (the offset is applied here).
@@ -127,6 +134,12 @@ impl TraceLog {
     pub fn emit(&mut self, at: Cycles, data: EventData) {
         if !self.enabled {
             return;
+        }
+        if let EventData::Counter { name, value } = data {
+            match self.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some(entry) => entry.1 = value,
+                None => self.counters.push((name, value)),
+            }
         }
         self.events.push(TraceEvent { at: self.offset + at, data });
     }
@@ -260,12 +273,18 @@ impl TraceLog {
         s
     }
 
-    /// The last recorded value of counter `name`, if any.
+    /// The last recorded value of counter `name`, if any. Served from the
+    /// per-name index maintained at emit time — O(distinct counter names),
+    /// not a reverse scan of the whole event buffer.
     pub fn last_counter(&self, name: &str) -> Option<f64> {
-        self.events.iter().rev().find_map(|ev| match ev.data {
-            EventData::Counter { name: n, value } if n == name => Some(value),
-            _ => None,
-        })
+        self.counters.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    /// The latest value of every distinct counter, in first-emission order.
+    /// One slice borrow — the per-scrape export path reads every counter
+    /// without touching the event buffer at all.
+    pub fn counters_snapshot(&self) -> &[(&'static str, f64)] {
+        &self.counters
     }
 
     /// Export as Chrome trace-event JSON (the object form with a
@@ -719,6 +738,32 @@ mod tests {
         assert!(s.mean_utilization() > 0.0);
         assert_eq!(log.last_counter("eib_contention"), Some(1.5));
         assert_eq!(log.last_counter("missing"), None);
+    }
+
+    #[test]
+    fn counter_index_tracks_latest_values() {
+        let mut log = TraceLog::enabled();
+        log.counter(10, "a", 1.0);
+        log.counter(20, "b", 2.0);
+        log.counter(30, "a", 3.0);
+        assert_eq!(log.last_counter("a"), Some(3.0), "index holds the latest emission");
+        assert_eq!(log.counters_snapshot(), &[("a", 3.0), ("b", 2.0)]);
+        // The index agrees with a full scan of the event buffer.
+        for &(name, value) in log.counters_snapshot() {
+            let scanned = log
+                .events()
+                .iter()
+                .rev()
+                .find_map(|ev| match ev.data {
+                    EventData::Counter { name: n, value } if n == name => Some(value),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(scanned, value);
+        }
+        log.clear();
+        assert!(log.counters_snapshot().is_empty());
+        assert_eq!(log.last_counter("a"), None);
     }
 
     #[test]

@@ -48,6 +48,26 @@ impl<'a> FarmTracer<'a> {
     }
 }
 
+/// Mirror every [`TraceLog`] counter's latest value into same-named gauges
+/// in `registry` — the bridge from the simulator's cycle-domain telemetry
+/// to the wall-clock metrics exporters, so one Prometheus scrape or JSONL
+/// snapshot carries both domains. Reads the log's per-name counter index
+/// ([`TraceLog::counters_snapshot`]), not the event buffer, so a per-scrape
+/// call stays O(distinct counters) regardless of trace length.
+///
+/// Gauges (not counters) because trace counters are snapshots of
+/// already-aggregated values — `farm_jobs_per_sec` is a rate, re-emitted
+/// values overwrite — and because the registry's own farm counters use the
+/// `_total` suffix, so the two namespaces cannot collide in kind.
+pub fn bridge_counters_to_gauges(log: &TraceLog, registry: &obs::Registry) {
+    if !registry.is_enabled() {
+        return;
+    }
+    for &(name, value) in log.counters_snapshot() {
+        registry.gauge(name).set(value);
+    }
+}
+
 impl FarmObserver for FarmTracer<'_> {
     fn on_event(&mut self, event: FarmEvent) {
         match event {
@@ -112,6 +132,24 @@ mod tests {
         // Both exporters must produce parseable artifacts.
         validate_json(&log.to_chrome_trace(1e9)).unwrap();
         validate_jsonl(&log.to_metrics_jsonl(1e9, 0)).unwrap();
+    }
+
+    #[test]
+    fn counters_bridge_into_registry_gauges() {
+        let mut log = TraceLog::enabled();
+        log.counter(10, "farm_jobs", 12.0);
+        log.counter(20, "farm_jobs_per_sec", 340.5);
+        log.counter(30, "farm_jobs", 24.0);
+
+        let registry = obs::Registry::new(true);
+        bridge_counters_to_gauges(&log, &registry);
+        assert_eq!(registry.gauge("farm_jobs").get(), 24.0, "latest value wins");
+        assert_eq!(registry.gauge("farm_jobs_per_sec").get(), 340.5);
+
+        // A disabled registry is left untouched.
+        let off = obs::Registry::new(false);
+        bridge_counters_to_gauges(&log, &off);
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

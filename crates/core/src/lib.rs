@@ -43,4 +43,4 @@ pub mod sched;
 pub use config::{OffloadStage, OptConfig, Scheduler};
 pub use error::ExperimentError;
 pub use experiment::{capture_workload, capture_workloads, Workload, WorkloadSpec};
-pub use farm_trace::FarmTracer;
+pub use farm_trace::{bridge_counters_to_gauges, FarmTracer};

@@ -1,0 +1,264 @@
+//! Log-linear latency histograms with a fixed bucket layout.
+//!
+//! The layout is the HDR-histogram family's log-linear scheme specialised
+//! to one compile-time precision: every power-of-two octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so the relative quantisation error
+//! is bounded by `1/SUB_BUCKETS` (6.25%) while the whole `u64` range fits
+//! in [`N_BUCKETS`] buckets. Because the layout is *fixed* (not adaptive),
+//! quantile estimates are a pure function of the recorded multiset —
+//! deterministic run-to-run — and two histograms merge by adding bucket
+//! counts, which is exactly what the farm needs to fold per-worker
+//! latency distributions into one process-wide view.
+//!
+//! Recording is a handful of relaxed atomic operations and never touches
+//! the heap; see the `metrics_overhead` integration test at the workspace
+//! root for the counting-allocator proof.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 16;
+
+/// Total buckets covering the full `u64` range: 16 exact unit buckets for
+/// values `0..16`, then 16 sub-buckets for each octave `4..=63`.
+pub const N_BUCKETS: usize = (64 - 3) * SUB_BUCKETS;
+
+/// The bucket index recording value `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= 4
+        let sub = ((v >> (octave - 4)) & 15) as usize;
+        (octave as usize - 3) * SUB_BUCKETS + sub
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < N_BUCKETS, "bucket {i} out of range");
+    if i < SUB_BUCKETS {
+        (i as u64, i as u64)
+    } else {
+        let octave = (i / SUB_BUCKETS + 3) as u32;
+        let sub = (i % SUB_BUCKETS) as u64;
+        let width = 1u64 << (octave - 4);
+        let lo = (SUB_BUCKETS as u64 + sub) * width;
+        // `width - 1` first: the top bucket's `lo + width` is 2^64.
+        (lo, lo + (width - 1))
+    }
+}
+
+/// The shared atomic cell behind a histogram handle. Recording is wait-free
+/// (relaxed atomics only) and allocation-free; all allocation happens once
+/// at registration time.
+#[derive(Debug)]
+pub struct HistogramCell {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of recorded values (wrapping — only meaningful until overflow,
+    /// which at nanosecond magnitudes is ~584 years of recorded latency).
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// `u64::MAX` while empty.
+    min: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> HistogramCell {
+        HistogramCell {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl HistogramCell {
+    /// Record one value. Wait-free, allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Wrapping on overflow; fetch_add on AtomicU64 wraps by definition.
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the current state (individual loads are
+    /// relaxed; concurrent recording may skew count vs buckets by in-flight
+    /// records, which a quiesced reader never sees).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every cell (used by [`crate::Registry::reset`]).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+/// An owned, mergeable copy of a histogram's state. Quantiles are computed
+/// here, off the hot path, and are deterministic: the same recorded
+/// multiset always yields the same estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, [`N_BUCKETS`] long.
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Largest recorded value (0 while empty).
+    pub max: u64,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    pub min: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: vec![0; N_BUCKETS], count: 0, sum: 0, max: 0, min: u64::MAX }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The quantile estimate for `q ∈ [0, 1]`: the upper bound of the
+    /// bucket holding the rank-`⌈q·count⌉` value, clamped to the recorded
+    /// maximum. Monotone in `q` by construction, and `quantile(1.0)` is
+    /// exactly the recorded max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Fold `other` into `self`: the result is indistinguishable from one
+    /// histogram that recorded both value streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_have_exact_buckets() {
+        for v in 0..16u64 {
+            let i = bucket_index(v);
+            assert_eq!(bucket_bounds(i), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in [16, 17, 31, 32, 100, 1_000, 65_535, 1 << 40, u64::MAX - 1, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_increasing() {
+        let mut prev_hi = None;
+        for i in 0..N_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1u64, "gap before bucket {i}");
+            }
+            prev_hi = Some(hi);
+            if hi == u64::MAX {
+                break;
+            }
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_are_deterministic_and_monotone() {
+        let h = HistogramCell::default();
+        for v in [1u64, 2, 3, 100, 200, 5_000, 5_000, 90_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max, 90_000);
+        assert_eq!(s.min, 1);
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= s.max, "{p50} {p90} {p99} {}", s.max);
+        assert_eq!(s.quantile(1.0), 90_000);
+        assert_eq!(h.snapshot().quantile(0.5), p50, "same state, same estimate");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = HistogramCell::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let a = HistogramCell::default();
+        let b = HistogramCell::default();
+        let all = HistogramCell::default();
+        for v in 0..1000u64 {
+            let target = if v % 3 == 0 { &a } else { &b };
+            target.record(v * 17);
+            all.record(v * 17);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let h = HistogramCell::default();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+}

@@ -26,6 +26,34 @@ use crate::search::SearchConfig;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Wall-clock telemetry for durable writes: snapshot/append latency
+/// histograms (fsync included, so these are the honest numbers) and byte
+/// counters. Resolved from the global [`obs`] registry once per process;
+/// with the registry disabled each write pays one atomic load and no
+/// clock reads.
+struct CkptMetrics {
+    write_ns: obs::Histogram,
+    write_bytes: obs::Counter,
+    append_ns: obs::Histogram,
+    append_bytes: obs::Counter,
+}
+
+fn ckpt_metrics() -> Option<&'static CkptMetrics> {
+    let reg = obs::global();
+    if !reg.is_enabled() {
+        return None;
+    }
+    static CELL: OnceLock<CkptMetrics> = OnceLock::new();
+    Some(CELL.get_or_init(|| CkptMetrics {
+        write_ns: reg.histogram("checkpoint_write_ns"),
+        write_bytes: reg.counter("checkpoint_bytes_total"),
+        append_ns: reg.histogram("bootstrap_append_ns"),
+        append_bytes: reg.counter("bootstrap_append_bytes_total"),
+    }))
+}
 
 /// File-format version; bumped on any incompatible layout change.
 const VERSION: u32 = 1;
@@ -283,7 +311,13 @@ impl SearchCheckpointer {
         let _ = writeln!(out, "alpha {:016x}", snap.alpha_bits);
         let _ = writeln!(out, "tree");
         out.push_str(&snap.tree_exact);
+        let metrics = ckpt_metrics();
+        let t0 = metrics.map(|_| Instant::now());
         atomic_write(&self.path, &out)?;
+        if let (Some(m), Some(t0)) = (metrics, t0) {
+            m.write_ns.record(t0.elapsed().as_nanos() as u64);
+            m.write_bytes.add(out.len() as u64);
+        }
         self.saves += 1;
         if let Some(limit) = self.abort_after_saves {
             if self.saves >= limit {
@@ -397,12 +431,18 @@ impl BootstrapStore {
         let index = self.records.len();
         assert!(index < self.total, "appending job {index} to a store of {} jobs", self.total);
         let line = record_line(index, log_likelihood, tree_exact);
+        let metrics = ckpt_metrics();
+        let t0 = metrics.map(|_| Instant::now());
         let mut f = std::fs::OpenOptions::new()
             .append(true)
             .open(&self.path)
             .map_err(|e| io_err(&self.path, e))?;
         f.write_all(line.as_bytes()).map_err(|e| io_err(&self.path, e))?;
         f.sync_all().map_err(|e| io_err(&self.path, e))?;
+        if let (Some(m), Some(t0)) = (metrics, t0) {
+            m.append_ns.record(t0.elapsed().as_nanos() as u64);
+            m.append_bytes.add(line.len() as u64);
+        }
         self.records.push(JobRecord { index, log_likelihood, tree_exact: tree_exact.to_owned() });
         Ok(())
     }

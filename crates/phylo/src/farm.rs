@@ -36,7 +36,15 @@
 //! * **Observability.** A [`FarmObserver`] receives start/complete/steal/
 //!   death events with nanosecond timestamps; the `raxml-cell` crate
 //!   bridges these into the `cellsim` trace log so farm-tier runs export
-//!   the same Chrome-trace/JSONL artifacts as the simulator.
+//!   the same Chrome-trace/JSONL artifacts as the simulator. Independently,
+//!   every run records wall-clock telemetry into the process-wide
+//!   [`obs`] metrics registry: per-worker queue-wait / run / seal-lag
+//!   latency histograms (`farm_queue_wait_ns_w<i>`, `farm_job_run_ns_w<i>`,
+//!   `farm_seal_lag_ns_w<i>`) and exactly-once job/steal/backpressure/death
+//!   counters (`farm_*_total`) that stay coherent with [`FarmStats`] by
+//!   construction — counters tick where the stats tick. With the registry
+//!   disabled (the default) each record is one branch and zero heap
+//!   operations.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -255,10 +263,76 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 // Internals
 // ---------------------------------------------------------------------------
 
+/// The farm's wall-clock telemetry handles, resolved from the global
+/// [`obs`] registry once per run. Only built when the registry is enabled
+/// at farm start, so a disabled registry costs the farm exactly one
+/// `is_enabled` load — no handle registration, no name formatting, and no
+/// per-job recording.
+struct FarmMetrics {
+    /// `farm_queue_wait_ns_w<i>`: push-to-claim latency, recorded by the
+    /// worker that ran the job (thieves record into their own histogram).
+    queue_wait: Vec<obs::Histogram>,
+    /// `farm_job_run_ns_w<i>`: job execution wall time per worker.
+    run: Vec<obs::Histogram>,
+    /// `farm_seal_lag_ns_w<i>`: completion-to-seal latency per worker —
+    /// how long a finished job waited for its in-order turn.
+    seal_lag: Vec<obs::Histogram>,
+    /// Tick exactly where [`FarmStats`] ticks, so the registry and the
+    /// stats can never disagree.
+    jobs: obs::Counter,
+    failed: obs::Counter,
+    steals: obs::Counter,
+    backpressure: obs::Counter,
+    deaths: obs::Counter,
+}
+
+impl FarmMetrics {
+    fn new(n_workers: usize) -> Option<FarmMetrics> {
+        let reg = obs::global();
+        if !reg.is_enabled() {
+            return None;
+        }
+        Some(FarmMetrics {
+            queue_wait: (0..n_workers)
+                .map(|i| reg.histogram(&format!("farm_queue_wait_ns_w{i}")))
+                .collect(),
+            run: (0..n_workers).map(|i| reg.histogram(&format!("farm_job_run_ns_w{i}"))).collect(),
+            seal_lag: (0..n_workers)
+                .map(|i| reg.histogram(&format!("farm_seal_lag_ns_w{i}")))
+                .collect(),
+            jobs: reg.counter("farm_jobs_total"),
+            failed: reg.counter("farm_jobs_failed_total"),
+            steals: reg.counter("farm_steals_total"),
+            backpressure: reg.counter("farm_backpressure_waits_total"),
+            deaths: reg.counter("farm_workers_died_total"),
+        })
+    }
+}
+
+/// A job's landed outcome plus the provenance the seal loop needs to
+/// record seal lag: when it completed and which worker ran it
+/// (`usize::MAX` for jobs written off as [`FarmError::WorkerLost`]).
+struct Slot<R> {
+    result: Result<R, FarmError>,
+    completed_at: u64,
+    worker: usize,
+}
+
+impl<R> Slot<R> {
+    fn lost(job: usize, at_nanos: u64) -> Slot<R> {
+        Slot {
+            result: Err(FarmError::WorkerLost { job }),
+            completed_at: at_nanos,
+            worker: usize::MAX,
+        }
+    }
+}
+
 /// A completed job on its way back to the feeding thread.
 struct Completion<R> {
     job: usize,
     worker: usize,
+    at_nanos: u64,
     result: Result<R, FarmError>,
 }
 
@@ -283,7 +357,9 @@ struct Inner<R> {
 }
 
 struct Shared<J, R> {
-    deques: Vec<Mutex<VecDeque<(usize, J)>>>,
+    /// `(job index, job, enqueued_at nanos)` — the timestamp feeds the
+    /// queue-wait histogram.
+    deques: Vec<Mutex<VecDeque<(usize, J, u64)>>>,
     inner: Mutex<Inner<R>>,
     /// Workers wait here for work (or close).
     work_cv: Condvar,
@@ -315,20 +391,21 @@ fn nanos(epoch: Instant) -> u64 {
 
 /// Claim a job: own deque front first, then a steal sweep over the other
 /// deques' backs. Returns `None` once the farm is closed and drained.
-fn next_job<J, R>(shared: &Shared<J, R>, id: usize) -> Option<(usize, J, Option<usize>)> {
+#[allow(clippy::type_complexity)]
+fn next_job<J, R>(shared: &Shared<J, R>, id: usize) -> Option<(usize, J, u64, Option<usize>)> {
     let n = shared.deques.len();
     loop {
         let own = shared.deques[id].lock().expect("farm deque").pop_front();
-        if let Some((idx, job)) = own {
+        if let Some((idx, job, enq)) = own {
             shared.inner.lock().expect("farm state").queued -= 1;
-            return Some((idx, job, None));
+            return Some((idx, job, enq, None));
         }
         for k in 1..n {
             let victim = (id + k) % n;
             let stolen = shared.deques[victim].lock().expect("farm deque").pop_back();
-            if let Some((idx, job)) = stolen {
+            if let Some((idx, job, enq)) = stolen {
                 shared.inner.lock().expect("farm state").queued -= 1;
-                return Some((idx, job, Some(victim)));
+                return Some((idx, job, enq, Some(victim)));
             }
         }
         let inner = shared.inner.lock().expect("farm state");
@@ -353,6 +430,7 @@ fn worker_loop<J, R, W, F>(
     work: &F,
     fault: &FarmFaultPlan,
     epoch: Instant,
+    metrics: Option<&FarmMetrics>,
 ) where
     J: Send,
     R: Send,
@@ -371,7 +449,7 @@ fn worker_loop<J, R, W, F>(
             shared.done_cv.notify_all();
             return;
         }
-        let Some((idx, job, stolen_from)) = next_job(shared, id) else {
+        let Some((idx, job, enqueued_at, stolen_from)) = next_job(shared, id) else {
             return;
         };
         let started = nanos(epoch);
@@ -388,6 +466,11 @@ fn worker_loop<J, R, W, F>(
         };
         done_here += 1;
         let ok = result.is_ok();
+        let finished = nanos(epoch);
+        if let Some(m) = metrics {
+            m.queue_wait[id].record(started.saturating_sub(enqueued_at));
+            m.run[id].record(finished.saturating_sub(started));
+        }
         let mut inner = shared.inner.lock().expect("farm state");
         if let Some(victim) = stolen_from {
             inner.mail.push(Mail::Event(FarmEvent::JobStolen {
@@ -403,9 +486,14 @@ fn worker_loop<J, R, W, F>(
             job: idx,
         }));
         inner.completed += 1;
-        inner.mail.push(Mail::Done(Completion { job: idx, worker: id, result }));
+        inner.mail.push(Mail::Done(Completion {
+            job: idx,
+            worker: id,
+            at_nanos: finished,
+            result,
+        }));
         inner.mail.push(Mail::Event(FarmEvent::JobCompleted {
-            at_nanos: nanos(epoch),
+            at_nanos: finished,
             worker: id,
             job: idx,
             ok,
@@ -415,21 +503,38 @@ fn worker_loop<J, R, W, F>(
     }
 }
 
-fn ensure_slot<R>(results: &mut Vec<Option<Result<R, FarmError>>>, job: usize) {
+fn ensure_slot<R>(results: &mut Vec<Option<Slot<R>>>, job: usize) {
     if results.len() <= job {
         results.resize_with(job + 1, || None);
     }
 }
 
-/// Flush the in-order prefix of sealed results through `on_sealed`.
-fn seal_ready<R, S>(results: &[Option<Result<R, FarmError>>], sealed: &mut usize, on_sealed: &mut S)
-where
+/// Flush the in-order prefix of sealed results through `on_sealed`. This is
+/// the exactly-once point of the farm, so the registry's job counters tick
+/// here — they agree with [`FarmStats`] by construction, not by auditing.
+fn seal_ready<R, S>(
+    results: &[Option<Slot<R>>],
+    sealed: &mut usize,
+    metrics: Option<&FarmMetrics>,
+    epoch: Instant,
+    on_sealed: &mut S,
+) where
     S: FnMut(usize, &Result<R, FarmError>),
 {
     while *sealed < results.len() {
         match &results[*sealed] {
-            Some(r) => {
-                on_sealed(*sealed, r);
+            Some(slot) => {
+                if let Some(m) = metrics {
+                    m.jobs.inc();
+                    if slot.result.is_err() {
+                        m.failed.inc();
+                    }
+                    if slot.worker != usize::MAX {
+                        m.seal_lag[slot.worker]
+                            .record(nanos(epoch).saturating_sub(slot.completed_at));
+                    }
+                }
+                on_sealed(*sealed, &slot.result);
                 *sealed += 1;
             }
             None => break,
@@ -442,9 +547,11 @@ where
 #[allow(clippy::too_many_arguments)]
 fn drain_mail<R, S>(
     inner: &mut Inner<R>,
-    results: &mut Vec<Option<Result<R, FarmError>>>,
+    results: &mut Vec<Option<Slot<R>>>,
     sealed: &mut usize,
     stats: &mut FarmStats,
+    metrics: Option<&FarmMetrics>,
+    epoch: Instant,
     observer: &mut Option<&mut dyn FarmObserver>,
     on_sealed: &mut S,
 ) where
@@ -454,8 +561,18 @@ fn drain_mail<R, S>(
         match mail {
             Mail::Event(ev) => {
                 match ev {
-                    FarmEvent::JobStolen { .. } => stats.steals += 1,
-                    FarmEvent::WorkerDied { .. } => stats.workers_died += 1,
+                    FarmEvent::JobStolen { .. } => {
+                        stats.steals += 1;
+                        if let Some(m) = metrics {
+                            m.steals.inc();
+                        }
+                    }
+                    FarmEvent::WorkerDied { .. } => {
+                        stats.workers_died += 1;
+                        if let Some(m) = metrics {
+                            m.deaths.inc();
+                        }
+                    }
                     _ => {}
                 }
                 if let Some(obs) = observer.as_deref_mut() {
@@ -468,11 +585,12 @@ fn drain_mail<R, S>(
                     stats.n_failed += 1;
                 }
                 ensure_slot(results, c.job);
-                results[c.job] = Some(c.result);
+                results[c.job] =
+                    Some(Slot { result: c.result, completed_at: c.at_nanos, worker: c.worker });
             }
         }
     }
-    seal_ready(results, sealed, on_sealed);
+    seal_ready(results, sealed, metrics, epoch, on_sealed);
 }
 
 // ---------------------------------------------------------------------------
@@ -512,8 +630,10 @@ where
     let epoch = Instant::now();
     let shared: Shared<J, R> = Shared::new(n_workers);
     let shards: Vec<W> = (0..n_workers).map(&mut make_shard).collect();
+    let metrics = FarmMetrics::new(n_workers);
+    let metrics = metrics.as_ref();
 
-    let mut results: Vec<Option<Result<R, FarmError>>> = Vec::new();
+    let mut results: Vec<Option<Slot<R>>> = Vec::new();
     let mut sealed = 0usize;
     let mut stats = FarmStats { per_worker_jobs: vec![0; n_workers], ..FarmStats::default() };
 
@@ -522,7 +642,7 @@ where
             let shared = &shared;
             let work = &work;
             let fault = &config.fault;
-            s.spawn(move || worker_loop(shared, id, shard, work, fault, epoch));
+            s.spawn(move || worker_loop(shared, id, shard, work, fault, epoch, metrics));
         }
 
         // Feed with backpressure.
@@ -536,6 +656,8 @@ where
                         &mut results,
                         &mut sealed,
                         &mut stats,
+                        metrics,
+                        epoch,
                         &mut observer,
                         &mut on_sealed,
                     );
@@ -551,21 +673,25 @@ where
                             stats.max_in_flight.max(inner.submitted - inner.completed);
                         break;
                     }
+                    if let Some(m) = metrics {
+                        m.backpressure.inc();
+                    }
                     inner = shared.done_cv.wait(inner).expect("farm state");
                 }
                 if !farm_dead {
                     drop(inner);
-                    shared.deques[idx % n_workers]
-                        .lock()
-                        .expect("farm deque")
-                        .push_back((idx, job));
+                    shared.deques[idx % n_workers].lock().expect("farm deque").push_back((
+                        idx,
+                        job,
+                        nanos(epoch),
+                    ));
                     shared.work_cv.notify_one();
                     continue;
                 }
             }
             // No worker left to run this job.
             ensure_slot(&mut results, idx);
-            results[idx] = Some(Err(FarmError::WorkerLost { job: idx }));
+            results[idx] = Some(Slot::lost(idx, nanos(epoch)));
             stats.n_failed += 1;
         }
 
@@ -581,6 +707,8 @@ where
                 &mut results,
                 &mut sealed,
                 &mut stats,
+                metrics,
+                epoch,
                 &mut observer,
                 &mut on_sealed,
             );
@@ -590,9 +718,9 @@ where
             if inner.live_workers == 0 {
                 drop(inner);
                 for deque in &shared.deques {
-                    for (idx, _job) in deque.lock().expect("farm deque").drain(..) {
+                    for (idx, _job, _enq) in deque.lock().expect("farm deque").drain(..) {
                         ensure_slot(&mut results, idx);
-                        results[idx] = Some(Err(FarmError::WorkerLost { job: idx }));
+                        results[idx] = Some(Slot::lost(idx, nanos(epoch)));
                         stats.n_failed += 1;
                     }
                 }
@@ -615,13 +743,17 @@ where
         &mut results,
         &mut sealed,
         &mut stats,
+        metrics,
+        epoch,
         &mut observer,
         &mut on_sealed,
     );
     stats.elapsed_nanos = nanos(epoch);
     stats.n_jobs = results.len();
-    let results: Vec<Result<R, FarmError>> =
-        results.into_iter().map(|slot| slot.expect("every job sealed exactly once")).collect();
+    let results: Vec<Result<R, FarmError>> = results
+        .into_iter()
+        .map(|slot| slot.expect("every job sealed exactly once").result)
+        .collect();
     FarmOutcome { results, stats }
 }
 

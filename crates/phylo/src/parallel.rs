@@ -19,6 +19,8 @@ use crate::likelihood::kernels::{
 use crate::likelihood::{KernelKind, ScalingCheck};
 use crate::model::ExpImpl;
 use rayon::prelude::*;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Minimum patterns per rayon chunk: below this the spawn overhead dominates
 /// the ~100ns/pattern kernel work.
@@ -35,6 +37,39 @@ const MIN_CHUNK: usize = 64;
 /// run-to-run and across any thread count — the BEAGLE-style determinism
 /// contract for parallel likelihood accumulation.
 const PAR_CHUNK: usize = 256;
+
+/// Wall-clock telemetry for the loop-level dispatchers: batch latency
+/// histograms (`evaluate_dispatch_ns`, `newton_dispatch_ns`) and pattern
+/// throughput counters (`*_patterns_total`, patterns/sec once divided by
+/// wall time). Handles are resolved from the global [`obs`] registry once
+/// per process; while the registry is disabled every dispatch pays one
+/// atomic load and skips the clock reads entirely, so the instrumented
+/// path stays allocation-free and — because timing never feeds back into
+/// the arithmetic — bit-identical in its likelihood results.
+///
+/// `newview_dispatch` is deliberately *not* instrumented: it runs per tree
+/// node rather than per optimization pass, and two clock reads per node
+/// would be measurable against the ~100ns/pattern kernel.
+struct DispatchMetrics {
+    evaluate_ns: obs::Histogram,
+    newton_ns: obs::Histogram,
+    evaluate_patterns: obs::Counter,
+    newton_patterns: obs::Counter,
+}
+
+fn dispatch_metrics() -> Option<&'static DispatchMetrics> {
+    let reg = obs::global();
+    if !reg.is_enabled() {
+        return None;
+    }
+    static CELL: OnceLock<DispatchMetrics> = OnceLock::new();
+    Some(CELL.get_or_init(|| DispatchMetrics {
+        evaluate_ns: reg.histogram("evaluate_dispatch_ns"),
+        newton_ns: reg.histogram("newton_dispatch_ns"),
+        evaluate_patterns: reg.counter("evaluate_patterns_total"),
+        newton_patterns: reg.counter("newton_patterns_total"),
+    }))
+}
 
 /// Restrict a `newview` child operand to the pattern range `[lo, hi)`.
 fn slice_child<'a>(c: &Child<'a>, lo: usize, hi: usize, n_rates: usize) -> Child<'a> {
@@ -113,24 +148,32 @@ pub fn evaluate_dispatch(
     parallel: bool,
 ) -> f64 {
     let n = weights.len();
-    if !parallel || n < 2 * MIN_CHUNK {
-        return evaluate_lnl(u, v, pmats, freqs, weights, n_rates, kind);
+    let metrics = dispatch_metrics();
+    let t0 = metrics.map(|_| Instant::now());
+    let lnl = if !parallel || n < 2 * MIN_CHUNK {
+        evaluate_lnl(u, v, pmats, freqs, weights, n_rates, kind)
+    } else {
+        let chunk = PAR_CHUNK;
+        let mut partials = vec![0.0f64; n.div_ceil(chunk)];
+        partials
+            .par_chunks_mut(1)
+            .zip(weights.par_chunks(chunk))
+            .enumerate()
+            .map(|(ci, (slot, w))| {
+                let lo = ci * chunk;
+                let hi = lo + w.len();
+                let su = slice_operand(u, lo, hi, n_rates);
+                let sv = slice_operand(v, lo, hi, n_rates);
+                slot[0] = evaluate_lnl(&su, &sv, pmats, freqs, w, n_rates, kind);
+            })
+            .reduce(|| (), |(), ()| ());
+        partials.iter().sum()
+    };
+    if let (Some(m), Some(t0)) = (metrics, t0) {
+        m.evaluate_ns.record(t0.elapsed().as_nanos() as u64);
+        m.evaluate_patterns.add(n as u64);
     }
-    let chunk = PAR_CHUNK;
-    let mut partials = vec![0.0f64; n.div_ceil(chunk)];
-    partials
-        .par_chunks_mut(1)
-        .zip(weights.par_chunks(chunk))
-        .enumerate()
-        .map(|(ci, (slot, w))| {
-            let lo = ci * chunk;
-            let hi = lo + w.len();
-            let su = slice_operand(u, lo, hi, n_rates);
-            let sv = slice_operand(v, lo, hi, n_rates);
-            slot[0] = evaluate_lnl(&su, &sv, pmats, freqs, w, n_rates, kind);
-        })
-        .reduce(|| (), |(), ()| ());
-    partials.iter().sum()
+    lnl
 }
 
 /// Newton derivatives with optional loop-level parallelism, on raw
@@ -152,40 +195,48 @@ pub fn newton_dispatch(
     scratch: &mut NewtonScratch,
 ) -> (f64, f64, f64) {
     let n = weights.len();
-    if !parallel || n < 2 * MIN_CHUNK {
-        return kernels::newton_derivatives_scratch(
+    let metrics = dispatch_metrics();
+    let t0 = metrics.map(|_| Instant::now());
+    let derivs = if !parallel || n < 2 * MIN_CHUNK {
+        kernels::newton_derivatives_scratch(
             st_data, st_scale, n_rates, lambdas, rates, t, weights, exp_impl, kind, scratch,
-        );
+        )
+    } else {
+        let stride = n_rates * 4;
+        let chunk = PAR_CHUNK;
+        // Deterministic reduction, same scheme as `evaluate_dispatch`: indexed
+        // per-chunk partial triples, folded sequentially in chunk order.
+        let mut partials = vec![[0.0f64; 3]; n.div_ceil(chunk)];
+        partials
+            .par_chunks_mut(1)
+            .zip(weights.par_chunks(chunk))
+            .enumerate()
+            .map(|(ci, (slot, w))| {
+                let lo = ci * chunk;
+                let hi = lo + w.len();
+                let mut local = NewtonScratch::default();
+                let (l, d1, d2) = kernels::newton_derivatives_scratch(
+                    &st_data[lo * stride..hi * stride],
+                    &st_scale[lo..hi],
+                    n_rates,
+                    lambdas,
+                    rates,
+                    t,
+                    w,
+                    exp_impl,
+                    kind,
+                    &mut local,
+                );
+                slot[0] = [l, d1, d2];
+            })
+            .reduce(|| (), |(), ()| ());
+        partials.iter().fold((0.0, 0.0, 0.0), |a, p| (a.0 + p[0], a.1 + p[1], a.2 + p[2]))
+    };
+    if let (Some(m), Some(t0)) = (metrics, t0) {
+        m.newton_ns.record(t0.elapsed().as_nanos() as u64);
+        m.newton_patterns.add(n as u64);
     }
-    let stride = n_rates * 4;
-    let chunk = PAR_CHUNK;
-    // Deterministic reduction, same scheme as `evaluate_dispatch`: indexed
-    // per-chunk partial triples, folded sequentially in chunk order.
-    let mut partials = vec![[0.0f64; 3]; n.div_ceil(chunk)];
-    partials
-        .par_chunks_mut(1)
-        .zip(weights.par_chunks(chunk))
-        .enumerate()
-        .map(|(ci, (slot, w))| {
-            let lo = ci * chunk;
-            let hi = lo + w.len();
-            let mut local = NewtonScratch::default();
-            let (l, d1, d2) = kernels::newton_derivatives_scratch(
-                &st_data[lo * stride..hi * stride],
-                &st_scale[lo..hi],
-                n_rates,
-                lambdas,
-                rates,
-                t,
-                w,
-                exp_impl,
-                kind,
-                &mut local,
-            );
-            slot[0] = [l, d1, d2];
-        })
-        .reduce(|| (), |(), ()| ());
-    partials.iter().fold((0.0, 0.0, 0.0), |a, p| (a.0 + p[0], a.1 + p[1], a.2 + p[2]))
+    derivs
 }
 
 /// Task-level master–worker: distributes `jobs` across `n_workers` OS

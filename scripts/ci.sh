@@ -49,12 +49,32 @@ run cargo run -p bench --bin fault_study -- --smoke
 # independent check that the emitted Chrome trace parses as JSON.
 run cargo run -p bench --bin profile_study -- --smoke
 trace_dir="$(mktemp -d)"
-run cargo run -p bench --bin profile_study -- --quick --out "$trace_dir"
+# --no-artifact: CI must not overwrite the committed BENCH_profile.json
+# baseline with quick-workload numbers.
+run cargo run -p bench --bin profile_study -- --quick --out "$trace_dir" --no-artifact
 for f in "$trace_dir"/*.trace.json; do
     echo "==> python3 json.load $f"
     python3 -c "import json,sys; json.load(open(sys.argv[1])); print('valid JSON:', sys.argv[1])" "$f"
 done
 rm -rf "$trace_dir"
+
+# Wall-clock metrics smoke: instrumented farm batch, registry/FarmStats
+# coherence, Prometheus + JSONL export validity after a filesystem round
+# trip. Then validate the committed benchmark baselines and run the
+# regression gate in advisory mode (wall-clock numbers on shared CI
+# machines inform, they don't block).
+metrics_dir="$(mktemp -d)"
+run cargo run -p bench --bin metrics_study -- --smoke --out "$metrics_dir"
+rm -rf "$metrics_dir"
+# (BENCH_dispatch.json is Criterion JSONL, not an envelope — not listed.)
+for f in BENCH_metrics.json BENCH_throughput.json BENCH_profile.json; do
+    [[ -f "$f" ]] || continue
+    echo "==> python3 json.load $f"
+    python3 -c "import json,sys; json.load(open(sys.argv[1])); print('valid JSON:', sys.argv[1])" "$f"
+done
+if [[ -f BENCH_metrics.json ]]; then
+    run scripts/bench_gate --advisory
+fi
 
 echo
 echo "ci: all checks passed"

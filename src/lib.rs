@@ -10,8 +10,11 @@
 //!   (the hardware substrate; see `DESIGN.md` for the substitution rationale).
 //! * [`raxml_cell`] — the port itself: function offloading, the seven
 //!   Cell-specific optimizations, and the EDTLP/LLP/MGPS schedulers.
+//! * [`obs`] — the process-wide wall-clock metrics registry (counters,
+//!   gauges, latency histograms, Prometheus/JSONL export).
 
 pub use cellsim;
+pub use obs;
 pub use phylo;
 pub use raxml_cell;
 
