@@ -16,7 +16,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use phylo::likelihood::engine::LikelihoodEngine;
 use phylo::likelihood::{LikelihoodConfig, LikelihoodWorkspace, WorkspaceOptions};
 use phylo::model::{GammaRates, SubstModel};
-use phylo::search::{infer_ml_tree, infer_ml_tree_pooled, SearchConfig};
+use phylo::search::{run_inference, InferenceOptions, InferenceRequest, SearchConfig};
 use phylo::simulate::SimulationConfig;
 
 fn bench_dispatch(c: &mut Criterion) {
@@ -62,15 +62,20 @@ fn bench_workspace_pooling(c: &mut Criterion) {
     let mut group = c.benchmark_group("workspace");
     group.sample_size(10);
     group.bench_function("fresh/inference_10x400", |b| {
-        b.iter(|| black_box(infer_ml_tree(&w.alignment, &config, 5).log_likelihood))
+        b.iter(|| {
+            let request = InferenceRequest::new(config.clone(), 5);
+            let outcome = run_inference(&w.alignment, &request, InferenceOptions::new()).unwrap();
+            black_box(outcome.result.log_likelihood)
+        })
     });
     group.bench_function("pooled/inference_10x400", |b| {
         let mut ws = Some(LikelihoodWorkspace::new());
         b.iter(|| {
-            let (result, returned) =
-                infer_ml_tree_pooled(&w.alignment, &config, 5, false, ws.take().unwrap());
-            ws = Some(returned);
-            black_box(result.log_likelihood)
+            let request = InferenceRequest::new(config.clone(), 5);
+            let options = InferenceOptions::new().with_workspace(ws.take().unwrap());
+            let outcome = run_inference(&w.alignment, &request, options).unwrap();
+            ws = Some(outcome.workspace);
+            black_box(outcome.result.log_likelihood)
         })
     });
     group.finish();

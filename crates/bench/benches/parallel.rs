@@ -11,7 +11,7 @@ use phylo::likelihood::engine::LikelihoodEngine;
 use phylo::likelihood::LikelihoodConfig;
 use phylo::model::{GammaRates, SubstModel};
 use phylo::parallel::run_master_worker;
-use phylo::search::{infer_ml_tree, SearchConfig};
+use phylo::search::{run_inference, InferenceOptions, InferenceRequest, SearchConfig};
 use phylo::simulate::SimulationConfig;
 use phylo::tree::Tree;
 use rand::rngs::StdRng;
@@ -61,7 +61,11 @@ fn bench_task_level(c: &mut Criterion) {
                 run_master_worker(jobs, workers, |_, seed| {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let rep = aln.bootstrap_replicate(&mut rng);
-                    infer_ml_tree(&rep, &search, seed).log_likelihood
+                    let request = InferenceRequest::new(search.clone(), seed);
+                    run_inference(&rep, &request, InferenceOptions::new())
+                        .unwrap()
+                        .result
+                        .log_likelihood
                 })
             })
         });

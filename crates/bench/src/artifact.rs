@@ -206,8 +206,17 @@ pub enum OutputFormat {
 
 impl OutputFormat {
     /// Parse `--format` from the process arguments; `Text` when absent.
+    #[deprecated(since = "0.2.0", note = "use `crate::cli::StudyArgs`, which parses `--format`")]
     pub fn from_args() -> Result<OutputFormat, String> {
-        match crate::arg_value("--format").as_deref() {
+        let mut args = std::env::args();
+        let value = loop {
+            match args.next() {
+                None => break None,
+                Some(a) if a == "--format" => break args.next(),
+                Some(_) => {}
+            }
+        };
+        match value.as_deref() {
             None | Some("text") => Ok(OutputFormat::Text),
             Some("json") => Ok(OutputFormat::Json),
             Some(other) => Err(format!("--format must be text or json, got {other:?}")),

@@ -18,11 +18,13 @@ use bench::gate::{compare_envelopes, DEFAULT_THRESHOLD_PCT};
 use bench::metrics_run::{collect_metrics, MetricsRunConfig};
 
 fn main() -> ExitCode {
-    let advisory = std::env::args().any(|a| a == "--advisory");
-    let baseline_path = bench::arg_value("--baseline")
+    let args = bench::cli::StudyArgs::parse();
+    let advisory = args.flag("--advisory");
+    let baseline_path = args
+        .value("--baseline")
         .map(PathBuf::from)
         .unwrap_or_else(|| bench_artifact_path("metrics"));
-    let threshold = match bench::arg_value("--threshold-pct") {
+    let threshold = match args.value("--threshold-pct") {
         None => DEFAULT_THRESHOLD_PCT,
         Some(v) => match v.parse::<f64>() {
             Ok(t) if t > 0.0 => t,
@@ -42,7 +44,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let current = match bench::arg_value("--current") {
+    let current = match args.value("--current") {
         Some(p) => {
             let path = PathBuf::from(p);
             match load_envelope(&path) {

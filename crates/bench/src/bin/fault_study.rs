@@ -18,7 +18,7 @@ use cellsim::fault::FaultPlan;
 use phylo::bootstrap::{BootstrapAnalysis, BootstrapCheckpointPolicy};
 use phylo::checkpoint::{search_fingerprint, SearchCheckpointer};
 use phylo::error::PhyloError;
-use phylo::search::{infer_ml_tree, infer_ml_tree_checkpointed, SearchConfig};
+use phylo::search::{run_inference, InferenceOptions, InferenceRequest, SearchConfig};
 use phylo::simulate::SimulationConfig;
 use raxml_cell::config::{OptConfig, Scheduler};
 use raxml_cell::experiment::{capture_workload, WorkloadSpec};
@@ -26,7 +26,8 @@ use raxml_cell::offload::price_trace;
 use raxml_cell::sched::{schedule_makespan, schedule_makespan_with_faults, DesParams};
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args = bench::cli::StudyArgs::parse();
+    if args.smoke {
         match smoke() {
             Ok(()) => {
                 println!("fault smoke: all checks passed");
@@ -38,7 +39,7 @@ fn main() {
             }
         }
     }
-    let format = bench::or_exit(OutputFormat::from_args());
+    let format = args.format;
     let (w, label) = bench::or_exit(bench::workload_from_args());
     match format {
         OutputFormat::Text => {
@@ -112,17 +113,23 @@ fn smoke() -> Result<(), String> {
     let w = SimulationConfig::new(8, 200, 19).generate();
     let cfg = SearchConfig::fast();
     let seed = 2;
-    let reference = infer_ml_tree(&w.alignment, &cfg, seed);
+    let request = InferenceRequest::new(cfg.clone(), seed);
+    let reference = run_inference(&w.alignment, &request, InferenceOptions::new())
+        .map_err(|e| format!("reference search: {e}"))?
+        .result;
     let path = dir.join("search.ckpt");
     let fp = search_fingerprint(&w.alignment, &cfg, seed);
     let mut dying = SearchCheckpointer::new(&path, fp).abort_after_saves(1);
-    match infer_ml_tree_checkpointed(&w.alignment, &cfg, seed, &mut dying) {
+    match run_inference(&w.alignment, &request, InferenceOptions::new().with_checkpoint(&mut dying))
+    {
         Err(PhyloError::Interrupted { .. }) => {}
         other => return Err(format!("expected interrupted search, got {other:?}")),
     }
     let mut ckpt = SearchCheckpointer::new(&path, fp);
-    let resumed = infer_ml_tree_checkpointed(&w.alignment, &cfg, seed, &mut ckpt)
-        .map_err(|e| format!("resume: {e}"))?;
+    let resumed =
+        run_inference(&w.alignment, &request, InferenceOptions::new().with_checkpoint(&mut ckpt))
+            .map_err(|e| format!("resume: {e}"))?
+            .result;
     if resumed.tree.to_exact_string() != reference.tree.to_exact_string()
         || resumed.log_likelihood.to_bits() != reference.log_likelihood.to_bits()
     {
@@ -132,7 +139,8 @@ fn smoke() -> Result<(), String> {
     // 4. A killed bootstrap analysis resumes bit-identically too.
     let analysis =
         BootstrapAnalysis { n_inferences: 1, n_bootstraps: 3, n_workers: 2, seed: 5, search: cfg };
-    let reference = analysis.run(&w.alignment);
+    let reference =
+        analysis.try_run(&w.alignment).map_err(|e| format!("reference analysis: {e}"))?;
     let store = dir.join("bootstrap.ckpt");
     let dying = BootstrapCheckpointPolicy::new(&store, 2).abort_after_chunks(1);
     match analysis.run_with_checkpoint(&w.alignment, &dying) {

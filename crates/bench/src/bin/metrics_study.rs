@@ -14,25 +14,20 @@
 //! (small alignment), `--jobs N`, `--workers N`, `--out DIR`,
 //! `--format text|json`, `--no-artifact`.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bench::artifact::{bench_artifact_path, OutputFormat};
+use bench::cli::StudyArgs;
 use bench::metrics_run::{collect_metrics, MetricsRun, MetricsRunConfig, FARM_HIST_FAMILIES};
 use bench::or_exit;
 
 fn main() -> ExitCode {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let quick = std::env::args().any(|a| a == "--quick");
-    let no_artifact = std::env::args().any(|a| a == "--no-artifact");
-    let format = or_exit(OutputFormat::from_args());
-    let jobs =
-        bench::arg_value("--jobs").map(|v| or_exit(v.parse::<usize>().map_err(|e| e.to_string())));
-    let workers = bench::arg_value("--workers")
-        .map(|v| or_exit(v.parse::<usize>().map_err(|e| e.to_string())));
-    let out_dir = bench::arg_value("--out")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/metrics_study"));
+    let args = StudyArgs::parse();
+    let (smoke, quick, no_artifact, format) =
+        (args.smoke, args.quick, args.no_artifact, args.format);
+    let jobs = or_exit(args.usize_value("--jobs"));
+    let workers = or_exit(args.usize_value("--workers"));
+    let out_dir = args.out_dir("target/metrics_study");
 
     let cfg = if smoke {
         MetricsRunConfig::smoke()

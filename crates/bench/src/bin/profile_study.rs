@@ -21,14 +21,15 @@
 //!   --format F     text (default) or json (print the envelope)
 //!   --no-artifact  skip writing BENCH_profile.json
 
-use bench::arg_value;
 use bench::artifact::{bench_artifact_path, Envelope, OutputFormat};
+use bench::cli::StudyArgs;
 use bench::{check_profile, profile_report_text, profile_spr_round, RoundProfile};
 use cellsim::cost::CostModel;
 use raxml_cell::experiment::{capture_workload, WorkloadSpec};
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args = StudyArgs::parse();
+    if args.smoke {
         match smoke() {
             Ok(()) => {
                 println!("profile smoke: all checks passed");
@@ -41,9 +42,9 @@ fn main() {
         }
     }
 
-    let format = bench::or_exit(OutputFormat::from_args());
-    let no_artifact = std::env::args().any(|a| a == "--no-artifact");
-    let out_dir = arg_value("--out").unwrap_or_else(|| "target/profile_study".to_string());
+    let format = args.format;
+    let no_artifact = args.no_artifact;
+    let out_dir = args.out_dir("target/profile_study");
     let (workload, label) = bench::or_exit(bench::workload_from_args());
     if format.is_text() {
         println!("workload: {label} ({} SPR rounds marked)", workload.rounds.len());
@@ -113,7 +114,11 @@ fn profile_envelope(n_rounds: usize, label: &str, profiles: &[RoundProfile]) -> 
 }
 
 /// Write each profile's Chrome trace and metrics snapshot into `dir`.
-fn write_artifacts(dir: &str, profiles: &[RoundProfile]) -> Result<Vec<String>, String> {
+fn write_artifacts(
+    dir: &std::path::Path,
+    profiles: &[RoundProfile],
+) -> Result<Vec<String>, String> {
+    let dir = &dir.display().to_string();
     std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
     let mut paths = Vec::new();
     for p in profiles {
@@ -159,8 +164,7 @@ fn smoke() -> Result<(), String> {
 
     // 3. Artifacts survive a filesystem round trip and still validate.
     let dir = std::env::temp_dir().join(format!("raxml-cell-profile-smoke-{}", std::process::id()));
-    let dir_s = dir.to_string_lossy().into_owned();
-    let paths = write_artifacts(&dir_s, &profiles)?;
+    let paths = write_artifacts(&dir, &profiles)?;
     for path in &paths {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         if path.ends_with(".jsonl") {

@@ -39,7 +39,8 @@ use raxml_cell::FarmTracer;
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args = StudyArgs::parse();
+    if args.smoke {
         match smoke() {
             Ok(()) => {
                 println!("throughput smoke: all checks passed");
@@ -52,11 +53,10 @@ fn main() {
         }
     }
 
-    let format = bench::or_exit(OutputFormat::from_args());
-    let no_artifact = std::env::args().any(|a| a == "--no-artifact");
-    let n_jobs: usize =
-        arg_value("--jobs").and_then(|s| s.parse().ok()).filter(|&n| n > 0).unwrap_or(24);
-    let out_dir = arg_value("--out").unwrap_or_else(|| "target/throughput_study".to_string());
+    let format = args.format;
+    let no_artifact = args.no_artifact;
+    let n_jobs: usize = bench::or_exit(args.usize_value("--jobs")).filter(|&n| n > 0).unwrap_or(24);
+    let out_dir = args.out_dir("target/throughput_study");
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let aln = SimulationConfig { mean_branch: 0.15, ..SimulationConfig::new(8, 400, 7) }
@@ -153,7 +153,7 @@ fn jobs_per_sec_name(workers: usize) -> &'static str {
     }
 }
 
-use bench::arg_value;
+use bench::cli::StudyArgs;
 
 /// Run `n_jobs` bootstrap-replicate searches on the farm with `n_workers`
 /// workers (per-worker workspace shards) and return the per-job lnL bits
@@ -172,10 +172,14 @@ fn run_batch_traced(
         let owned = std::mem::take(ws);
         let mut rng = StdRng::seed_from_u64(seed);
         let replicate = aln.bootstrap_replicate(&mut rng);
-        let (result, owned) =
-            phylo::search::infer_ml_tree_pooled(&replicate, search, seed, false, owned);
-        *ws = owned;
-        result.log_likelihood.to_bits()
+        let outcome = phylo::search::run_inference(
+            &replicate,
+            &phylo::search::InferenceRequest::new(search.clone(), seed),
+            phylo::search::InferenceOptions::new().with_workspace(owned),
+        )
+        .expect("un-checkpointed search on finite data cannot fail");
+        *ws = outcome.workspace;
+        outcome.result.log_likelihood.to_bits()
     };
     let outcome = match log {
         Some(log) => {
@@ -200,8 +204,9 @@ fn run_batch_traced(
 
 /// Write the metrics snapshot (1 cycle = 1 ns, no SPE lanes — this is a
 /// task-tier study) and return its path.
-fn write_metrics(dir: &str, log: &TraceLog, verbose: bool) -> Result<String, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+fn write_metrics(dir: &std::path::Path, log: &TraceLog, verbose: bool) -> Result<String, String> {
+    let dir = dir.display();
+    std::fs::create_dir_all(format!("{dir}")).map_err(|e| format!("create {dir}: {e}"))?;
     let jsonl = log.to_metrics_jsonl(1e9, 0);
     validate_jsonl(&jsonl).map_err(|e| format!("metrics JSONL malformed: {e}"))?;
     let path = format!("{dir}/throughput.metrics.jsonl");
@@ -303,8 +308,7 @@ fn smoke_bootstrap_invariance() -> Result<(), String> {
         return Err("farm_jobs counter missing from trace log".to_string());
     }
     let dir = std::env::temp_dir().join(format!("raxml-throughput-smoke-{}", std::process::id()));
-    let dir_s = dir.to_string_lossy().into_owned();
-    let path = write_metrics(&dir_s, &log, true)?;
+    let path = write_metrics(&dir, &log, true)?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
     validate_jsonl(&text).map_err(|e| format!("{path} failed validation after round trip: {e}"))?;
     if !text.contains("farm_jobs_per_sec") {

@@ -6,6 +6,7 @@
 //! workload prints a diagnosis and exits nonzero instead of unwinding.
 
 pub mod artifact;
+pub mod cli;
 pub mod gate;
 pub mod metrics_run;
 
@@ -31,6 +32,7 @@ pub fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
 
 /// Value following a `--flag value` pair on the process command line
 /// (shared by every study binary).
+#[deprecated(since = "0.2.0", note = "use `cli::StudyArgs`, which validates the shared flags")]
 pub fn arg_value(flag: &str) -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {

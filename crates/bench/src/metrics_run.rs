@@ -16,7 +16,7 @@ use obs::HistogramSnapshot;
 use phylo::checkpoint::{search_fingerprint, BootstrapStore, SearchCheckpointer};
 use phylo::farm::{run_farm, FarmConfig, FarmStats};
 use phylo::likelihood::LikelihoodWorkspace;
-use phylo::search::{infer_ml_tree_checkpointed, SearchConfig};
+use phylo::search::{run_inference, InferenceOptions, InferenceRequest, SearchConfig};
 use phylo::simulate::SimulationConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,8 +115,12 @@ fn collect_inner(cfg: &MetricsRunConfig, registry: &obs::Registry) -> Result<Met
     let ckpt_path = dir.join("search.ckpt");
     let fp = search_fingerprint(&aln, &search, 1);
     let mut ckpt = SearchCheckpointer::new(&ckpt_path, fp);
-    infer_ml_tree_checkpointed(&aln, &search, 1, &mut ckpt)
-        .map_err(|e| format!("checkpointed search: {e}"))?;
+    run_inference(
+        &aln,
+        &InferenceRequest::new(search.clone(), 1),
+        InferenceOptions::new().with_checkpoint(&mut ckpt),
+    )
+    .map_err(|e| format!("checkpointed search: {e}"))?;
 
     // 2. The farm batch, with the trace bridge and a BootstrapStore append
     //    per sealed job (real durable writes feed `bootstrap_append_ns`).
@@ -136,10 +140,14 @@ fn collect_inner(cfg: &MetricsRunConfig, registry: &obs::Registry) -> Result<Met
             let owned = std::mem::take(ws);
             let mut rng = StdRng::seed_from_u64(seed);
             let replicate = aln_ref.bootstrap_replicate(&mut rng);
-            let (result, owned) =
-                phylo::search::infer_ml_tree_pooled(&replicate, search_ref, seed, false, owned);
-            *ws = owned;
-            (result.log_likelihood, result.tree.to_exact_string())
+            let outcome = run_inference(
+                &replicate,
+                &InferenceRequest::new(search_ref.clone(), seed),
+                InferenceOptions::new().with_workspace(owned),
+            )
+            .expect("un-checkpointed search on finite data cannot fail");
+            *ws = outcome.workspace;
+            (outcome.result.log_likelihood, outcome.result.tree.to_exact_string())
         },
         Some(&mut tracer),
         |_, sealed| {

@@ -131,6 +131,10 @@ impl Spe {
 
     /// Start a task of the given duration at time `now` (which must not be
     /// before the current busy horizon). Returns the completion time.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_run_task`, which reports a dead SPE as `SpeDead`"
+    )]
     pub fn run_task(&mut self, now: Cycles, duration: Cycles) -> Cycles {
         self.try_run_task(now, duration).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -270,11 +274,11 @@ mod tests {
     fn spe_task_accounting() {
         let mut spe = Spe::new(3);
         assert!(!spe.is_busy(0));
-        let done = spe.run_task(100, 50);
+        let done = spe.try_run_task(100, 50).unwrap();
         assert_eq!(done, 150);
         assert!(spe.is_busy(120));
         assert!(!spe.is_busy(150));
-        spe.run_task(200, 25);
+        spe.try_run_task(200, 25).unwrap();
         assert_eq!(spe.busy_total(), 75);
         assert_eq!(spe.tasks(), 2);
         assert!((spe.utilization(300) - 0.25).abs() < 1e-12);
@@ -284,8 +288,8 @@ mod tests {
     #[should_panic(expected = "is busy until")]
     fn spe_rejects_overlapping_tasks() {
         let mut spe = Spe::new(0);
-        spe.run_task(0, 100);
-        spe.run_task(50, 10);
+        spe.try_run_task(0, 100).unwrap();
+        let _ = spe.try_run_task(50, 10);
     }
 
     #[test]
@@ -299,18 +303,21 @@ mod tests {
         assert_eq!(spe.tasks(), 1, "the rejected task must not be counted");
     }
 
+    /// The deprecated panicking wrapper must keep its contract while it
+    /// survives as a shim.
     #[test]
     #[should_panic(expected = "SPE4 is dead")]
     fn run_task_panics_on_dead_spe() {
         let mut spe = Spe::new(4);
         spe.kill();
+        #[allow(deprecated)]
         spe.run_task(0, 10);
     }
 
     #[test]
     fn stalls_extend_the_horizon_without_counting_as_work() {
         let mut spe = Spe::new(1);
-        spe.run_task(0, 100);
+        spe.try_run_task(0, 100).unwrap();
         assert_eq!(spe.stall(50, 30), 130, "stall extends the current task");
         assert_eq!(spe.stall(500, 20), 520, "idle stall starts from now");
         assert_eq!(spe.busy_total(), 100);

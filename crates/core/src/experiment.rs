@@ -14,7 +14,7 @@ use crate::platform::PlatformModel;
 use crate::report::{Comparison, FIGURE3_BOOTSTRAPS, PAPER_LADDER, PAPER_TABLE_8, TABLE_ROWS};
 use crate::sched::{mgps_makespan, sync_workers_makespan, DesParams};
 use cellsim::cost::CostModel;
-use phylo::search::{infer_ml_tree_traced, SearchConfig};
+use phylo::search::{run_inference, InferenceOptions, InferenceRequest, SearchConfig};
 use phylo::simulate::SimulationConfig;
 use phylo::trace::{KernelEvent, KernelOp, TraceCounters};
 
@@ -111,7 +111,10 @@ pub fn capture_workload(spec: &WorkloadSpec) -> Result<Workload> {
         SimulationConfig::new(spec.n_taxa, spec.n_sites, spec.seed)
     };
     let generated = sim.generate();
-    let result = infer_ml_tree_traced(&generated.alignment, &spec.search, spec.seed, true);
+    let request = InferenceRequest::new(spec.search.clone(), spec.seed);
+    let result = run_inference(&generated.alignment, &request, InferenceOptions::new().traced())
+        .expect("un-checkpointed search on finite data cannot fail")
+        .result;
     if !result.log_likelihood.is_finite() {
         return Err(ExperimentError::NonFiniteLikelihood(result.log_likelihood));
     }

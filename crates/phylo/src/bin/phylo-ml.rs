@@ -15,7 +15,7 @@ use phylo::io::{parse_fasta, parse_newick, parse_phylip, write_phylip};
 use phylo::likelihood::engine::LikelihoodEngine;
 use phylo::likelihood::LikelihoodConfig;
 use phylo::model::{GammaRates, SubstModel};
-use phylo::search::{infer_ml_tree, SearchConfig};
+use phylo::search::{run_inference, InferenceOptions, InferenceRequest, SearchConfig};
 use phylo::simulate::SimulationConfig;
 use std::process::ExitCode;
 
@@ -175,7 +175,9 @@ fn cmd_infer(raw: &[String]) -> Result<(), String> {
         a.get("preset").unwrap_or("standard")
     );
     let t0 = std::time::Instant::now();
-    let result = infer_ml_tree(&aln, &cfg, seed);
+    let request = InferenceRequest::new(cfg, seed);
+    let result =
+        run_inference(&aln, &request, InferenceOptions::new()).map_err(|e| e.to_string())?.result;
     eprintln!(
         "done in {:.2?}: lnL = {:.4}, alpha = {:.4}, {} SPR moves in {} rounds",
         t0.elapsed(),
@@ -206,7 +208,7 @@ fn cmd_analyze(raw: &[String]) -> Result<(), String> {
         analysis.n_inferences, analysis.n_bootstraps, analysis.n_workers
     );
     let t0 = std::time::Instant::now();
-    let result = analysis.run(&aln);
+    let result = analysis.try_run(&aln).map_err(|e| e.to_string())?;
     eprintln!("done in {:.2?}: best lnL = {:.4}", t0.elapsed(), result.best_log_likelihood);
     let names = aln.taxon_names().to_vec();
     if a.has("consensus") {

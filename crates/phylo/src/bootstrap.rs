@@ -17,7 +17,9 @@ use crate::checkpoint::{search_fingerprint, BootstrapStore, Fingerprint};
 use crate::error::{PhyloError, Result};
 use crate::farm::{run_farm, FarmConfig};
 use crate::likelihood::LikelihoodWorkspace;
-use crate::search::{infer_ml_tree_pooled, SearchConfig, SearchResult};
+use crate::search::{
+    run_inference, InferenceOptions, InferenceRequest, SearchConfig, SearchResult,
+};
 use crate::trace::Trace;
 use crate::tree::{NodeId, Tree};
 use rand::rngs::StdRng;
@@ -225,18 +227,25 @@ impl BootstrapAnalysis {
             |_worker| LikelihoodWorkspace::new(),
             |ws: &mut LikelihoodWorkspace, _, job| {
                 let owned = std::mem::take(ws);
-                let (result, owned) = match job {
-                    Job::Inference { seed } => {
-                        infer_ml_tree_pooled(aln, search, seed, false, owned)
-                    }
+                let outcome = match job {
+                    Job::Inference { seed } => run_inference(
+                        aln,
+                        &InferenceRequest::new(search.clone(), seed),
+                        InferenceOptions::new().with_workspace(owned),
+                    ),
                     Job::Bootstrap { seed } => {
                         let mut rng = StdRng::seed_from_u64(seed);
                         let replicate = aln.bootstrap_replicate(&mut rng);
-                        infer_ml_tree_pooled(&replicate, search, seed, false, owned)
+                        run_inference(
+                            &replicate,
+                            &InferenceRequest::new(search.clone(), seed),
+                            InferenceOptions::new().with_workspace(owned),
+                        )
                     }
                 };
-                *ws = owned;
-                result
+                let outcome = outcome.expect("un-checkpointed search on finite data cannot fail");
+                *ws = outcome.workspace;
+                outcome.result
             },
             None,
             |_, sealed| {
@@ -293,6 +302,7 @@ impl BootstrapAnalysis {
 
     /// Run the full analysis on an alignment, panicking if any job fails
     /// (see [`BootstrapAnalysis::try_run`] for the fallible form).
+    #[deprecated(since = "0.2.0", note = "use `try_run`, which reports failures as `PhyloError`")]
     pub fn run(&self, aln: &PatternAlignment) -> AnalysisResult {
         self.try_run(aln).unwrap_or_else(|e| panic!("bootstrap analysis failed: {e}"))
     }
@@ -392,7 +402,7 @@ mod tests {
             seed: 7,
             search: SearchConfig::fast(),
         };
-        (analysis.run(&w.alignment), w)
+        (analysis.try_run(&w.alignment).unwrap(), w)
     }
 
     #[test]
@@ -481,7 +491,7 @@ mod tests {
             seed: 7,
             search: SearchConfig::fast(),
         };
-        let reference = analysis.run(&w.alignment);
+        let reference = analysis.try_run(&w.alignment).unwrap();
 
         let dir = std::env::temp_dir().join("raxml-cell-bootstrap-ckpt-tests");
         std::fs::create_dir_all(&dir).unwrap();

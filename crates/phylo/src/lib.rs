@@ -44,8 +44,8 @@
 //! let alignment = workload.alignment;
 //!
 //! // Infer a maximum-likelihood tree.
-//! let config = SearchConfig::fast();
-//! let result = infer_ml_tree(&alignment, &config, 1);
+//! let request = InferenceRequest::new(SearchConfig::fast(), 1);
+//! let result = run_inference(&alignment, &request, InferenceOptions::new()).unwrap().result;
 //! assert!(result.log_likelihood.is_finite());
 //! println!("best tree: {}", result.tree.to_newick(&alignment.taxon_names()));
 //! ```
@@ -94,8 +94,15 @@ pub mod prelude {
     };
     pub use crate::model::{GammaRates, SubstModel};
     pub use crate::search::{
+        run_inference, InferenceOptions, InferenceOutcome, InferenceRequest, SearchConfig,
+        SearchConfigBuilder, SearchResult,
+    };
+    // Deprecated variant family, re-exported so existing downstream `use
+    // phylo::prelude::*` code keeps compiling during the migration window.
+    #[allow(deprecated)]
+    pub use crate::search::{
         infer_ml_tree, infer_ml_tree_checked, infer_ml_tree_checkpointed, infer_ml_tree_pooled,
-        infer_ml_tree_traced, SearchConfig, SearchConfigBuilder, SearchResult,
+        infer_ml_tree_traced,
     };
     pub use crate::simulate::SimulationConfig;
     pub use crate::trace::Trace;

@@ -191,30 +191,132 @@ pub struct SearchResult {
     pub trace: Trace,
 }
 
-/// Run one full ML inference: stepwise-addition start, branch and model
-/// optimization, SPR hill climbing. `seed` controls the randomized addition
-/// order — distinct seeds reproduce the paper's "multiple inferences on
-/// distinct starting trees".
-pub fn infer_ml_tree(aln: &PatternAlignment, config: &SearchConfig, seed: u64) -> SearchResult {
-    infer_ml_tree_traced(aln, config, seed, false)
+/// What to infer: the search configuration plus the seed controlling the
+/// randomized stepwise-addition order. Distinct seeds reproduce the paper's
+/// "multiple inferences on distinct starting trees". This is the one job
+/// description shared by the library entry point ([`run_inference`]), the
+/// inference farm, and the `serve` job-submission service.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Full search settings (preset or builder-derived).
+    pub config: SearchConfig,
+    /// Seed for the randomized addition order.
+    pub seed: u64,
 }
 
-/// As [`infer_ml_tree`], optionally recording the full kernel event trace
-/// (needed by the Cell simulator replay).
+impl InferenceRequest {
+    /// A request running `config` with `seed`.
+    pub fn new(config: SearchConfig, seed: u64) -> InferenceRequest {
+        InferenceRequest { config, seed }
+    }
+
+    /// Fingerprint tying a [`SearchCheckpointer`] file to this exact request
+    /// on this exact alignment (see [`crate::checkpoint::search_fingerprint`]).
+    pub fn fingerprint(&self, aln: &PatternAlignment) -> u64 {
+        crate::checkpoint::search_fingerprint(aln, &self.config, self.seed)
+    }
+}
+
+/// How to execute one inference: the orthogonal execution concerns that the
+/// historical `infer_ml_tree{,_traced,_pooled,_checked,_checkpointed}`
+/// family hard-wired into separate entry points. All options compose; every
+/// combination produces bit-identical trees, log-likelihoods, and Γ shapes
+/// (only the kernel [`Trace`] differs across trace/checkpoint settings).
+#[derive(Default)]
+pub struct InferenceOptions<'a> {
+    /// Record the full kernel event trace (needed by the Cell simulator
+    /// replay); counters are collected either way.
+    pub record_events: bool,
+    /// Run the engine on a caller-supplied (typically pooled) workspace
+    /// arena instead of a fresh one; it is handed back in the
+    /// [`InferenceOutcome`] so steady-state replicates allocate no buffers.
+    pub workspace: Option<LikelihoodWorkspace>,
+    /// Persist a snapshot after every SPR round and resume from one when
+    /// the checkpointer already holds a snapshot of *this* request
+    /// (fingerprint-enforced); the resumed run finishes bit-identically.
+    pub checkpoint: Option<&'a mut SearchCheckpointer>,
+}
+
+impl<'a> InferenceOptions<'a> {
+    /// The defaults: no event trace, fresh workspace, no checkpoint.
+    pub fn new() -> InferenceOptions<'a> {
+        InferenceOptions::default()
+    }
+
+    /// Record the full kernel event trace.
+    pub fn traced(mut self) -> InferenceOptions<'a> {
+        self.record_events = true;
+        self
+    }
+
+    /// Reuse `workspace` instead of allocating a fresh arena.
+    pub fn with_workspace(mut self, workspace: LikelihoodWorkspace) -> InferenceOptions<'a> {
+        self.workspace = Some(workspace);
+        self
+    }
+
+    /// Snapshot to (and resume from) `ckpt`.
+    pub fn with_checkpoint(mut self, ckpt: &'a mut SearchCheckpointer) -> InferenceOptions<'a> {
+        self.checkpoint = Some(ckpt);
+        self
+    }
+}
+
+/// Result of [`run_inference`]: the search result plus the workspace arena
+/// the engine ran on, handed back for reuse by the next job.
+#[derive(Debug)]
+pub struct InferenceOutcome {
+    /// The inference result proper.
+    pub result: SearchResult,
+    /// The engine's workspace arena (the caller-supplied one if
+    /// [`InferenceOptions::workspace`] was set, else the fresh one).
+    pub workspace: LikelihoodWorkspace,
+}
+
+/// Run one full ML inference: stepwise-addition start, branch and model
+/// optimization, SPR hill climbing — the unified entry point behind the
+/// deprecated `infer_ml_tree_*` family. Fails with
+/// [`crate::error::PhyloError::Numerical`] when the likelihood goes
+/// non-finite beyond what forced conservative re-evaluation can repair,
+/// [`crate::error::PhyloError::Interrupted`] when a checkpoint abort policy
+/// fires, and [`crate::error::PhyloError::Checkpoint`] when resuming against
+/// a foreign snapshot.
+pub fn run_inference(
+    aln: &PatternAlignment,
+    request: &InferenceRequest,
+    options: InferenceOptions<'_>,
+) -> Result<InferenceOutcome> {
+    let InferenceOptions { record_events, workspace, checkpoint } = options;
+    let workspace = workspace.unwrap_or_default();
+    run_search(aln, &request.config, request.seed, record_events, workspace, checkpoint)
+        .map(|(result, workspace)| InferenceOutcome { result, workspace })
+}
+
+/// Run one full ML inference with the default options.
+#[deprecated(since = "0.2.0", note = "use `run_inference(aln, &InferenceRequest, options)`")]
+pub fn infer_ml_tree(aln: &PatternAlignment, config: &SearchConfig, seed: u64) -> SearchResult {
+    run_inference(aln, &InferenceRequest::new(config.clone(), seed), InferenceOptions::new())
+        .expect("un-checkpointed search on finite data cannot fail; use run_inference")
+        .result
+}
+
+/// As [`infer_ml_tree`], optionally recording the full kernel event trace.
+#[deprecated(since = "0.2.0", note = "use `run_inference` with `InferenceOptions::traced()`")]
 pub fn infer_ml_tree_traced(
     aln: &PatternAlignment,
     config: &SearchConfig,
     seed: u64,
     record_events: bool,
 ) -> SearchResult {
-    infer_ml_tree_pooled(aln, config, seed, record_events, LikelihoodWorkspace::new()).0
+    let options = InferenceOptions { record_events, ..InferenceOptions::new() };
+    run_inference(aln, &InferenceRequest::new(config.clone(), seed), options)
+        .expect("un-checkpointed search on finite data cannot fail; use run_inference")
+        .result
 }
 
 /// As [`infer_ml_tree_traced`], running the engine on a caller-supplied
-/// (typically pooled) workspace arena and handing the arena back with the
-/// result. Workers of a bootstrap analysis pass each job the workspace of
-/// the previous one, so steady-state replicates allocate no new buffers.
-/// Results are bit-identical to a fresh workspace.
+/// (typically pooled) workspace arena and handing the arena back.
+#[deprecated(since = "0.2.0", note = "use `run_inference` with `InferenceOptions::with_workspace`")]
 pub fn infer_ml_tree_pooled(
     aln: &PatternAlignment,
     config: &SearchConfig,
@@ -222,35 +324,38 @@ pub fn infer_ml_tree_pooled(
     record_events: bool,
     workspace: LikelihoodWorkspace,
 ) -> (SearchResult, LikelihoodWorkspace) {
-    run_search(aln, config, seed, record_events, workspace, None)
-        .expect("un-checkpointed search on finite data cannot fail; use infer_ml_tree_checked")
+    let options = InferenceOptions { record_events, workspace: Some(workspace), checkpoint: None };
+    let outcome = run_inference(aln, &InferenceRequest::new(config.clone(), seed), options)
+        .expect("un-checkpointed search on finite data cannot fail; use run_inference");
+    (outcome.result, outcome.workspace)
 }
 
-/// As [`infer_ml_tree`], but returning `Err` instead of panicking when the
-/// likelihood goes non-finite beyond what the engine's forced conservative
-/// re-evaluation can repair ([`crate::error::PhyloError::Numerical`]).
+/// As [`infer_ml_tree`], but returning `Err` instead of panicking on a
+/// numerical failure.
+#[deprecated(since = "0.2.0", note = "use `run_inference`, which is fallible by construction")]
 pub fn infer_ml_tree_checked(
     aln: &PatternAlignment,
     config: &SearchConfig,
     seed: u64,
 ) -> Result<SearchResult> {
-    run_search(aln, config, seed, false, LikelihoodWorkspace::new(), None).map(|(r, _)| r)
+    run_inference(aln, &InferenceRequest::new(config.clone(), seed), InferenceOptions::new())
+        .map(|o| o.result)
 }
 
 /// As [`infer_ml_tree`], persisting a snapshot to `ckpt` after every SPR
-/// round. If `ckpt` already holds a snapshot of *this* search (same
-/// alignment, seed, and configuration — enforced by fingerprint), the
-/// search resumes there and finishes **bit-identically** to an
-/// uninterrupted run: trees, log-likelihoods, and Γ shape all match to the
-/// last bit. Only the kernel [`Trace`] differs, since the work before the
-/// snapshot is not repeated.
+/// round and resuming bit-identically from an existing snapshot.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_inference` with `InferenceOptions::with_checkpoint`"
+)]
 pub fn infer_ml_tree_checkpointed(
     aln: &PatternAlignment,
     config: &SearchConfig,
     seed: u64,
     ckpt: &mut SearchCheckpointer,
 ) -> Result<SearchResult> {
-    run_search(aln, config, seed, false, LikelihoodWorkspace::new(), Some(ckpt)).map(|(r, _)| r)
+    let request = InferenceRequest::new(config.clone(), seed);
+    run_inference(aln, &request, InferenceOptions::new().with_checkpoint(ckpt)).map(|o| o.result)
 }
 
 fn run_search(
@@ -441,11 +546,18 @@ mod tests {
     use crate::bipartitions::robinson_foulds;
     use crate::simulate::SimulationConfig;
 
+    /// The common case, spelled with the unified entry point.
+    fn infer(aln: &PatternAlignment, cfg: &SearchConfig, seed: u64) -> SearchResult {
+        run_inference(aln, &InferenceRequest::new(cfg.clone(), seed), InferenceOptions::new())
+            .unwrap()
+            .result
+    }
+
     #[test]
     fn inference_recovers_true_topology_on_clean_data() {
         let w =
             SimulationConfig { mean_branch: 0.12, ..SimulationConfig::new(8, 1200, 42) }.generate();
-        let result = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 1);
+        let result = infer(&w.alignment, &SearchConfig::fast(), 1);
         assert_eq!(
             robinson_foulds(&result.tree, &w.true_tree),
             0,
@@ -458,8 +570,8 @@ mod tests {
     #[test]
     fn inference_is_deterministic_given_seed() {
         let w = SimulationConfig::new(7, 300, 11).generate();
-        let a = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 5);
-        let b = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 5);
+        let a = infer(&w.alignment, &SearchConfig::fast(), 5);
+        let b = infer(&w.alignment, &SearchConfig::fast(), 5);
         assert_eq!(a.tree, b.tree);
         assert_eq!(a.log_likelihood, b.log_likelihood);
     }
@@ -467,8 +579,8 @@ mod tests {
     #[test]
     fn distinct_seeds_explore_distinct_starting_trees() {
         let w = SimulationConfig::new(10, 150, 23).generate();
-        let a = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 1);
-        let b = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 2);
+        let a = infer(&w.alignment, &SearchConfig::fast(), 1);
+        let b = infer(&w.alignment, &SearchConfig::fast(), 2);
         // Final trees may coincide; starting parsimony scores usually
         // differ, and likelihoods must both be sane.
         assert!(a.log_likelihood < 0.0 && b.log_likelihood < 0.0);
@@ -487,8 +599,8 @@ mod tests {
         no_alpha_cfg.initial_alpha = 5.0; // deliberately wrong
         let mut alpha_cfg = no_alpha_cfg.clone();
         alpha_cfg.optimize_alpha = true;
-        let without = infer_ml_tree(&w.alignment, &no_alpha_cfg, 3);
-        let with = infer_ml_tree(&w.alignment, &alpha_cfg, 3);
+        let without = infer(&w.alignment, &no_alpha_cfg, 3);
+        let with = infer(&w.alignment, &alpha_cfg, 3);
         assert!(
             with.log_likelihood > without.log_likelihood,
             "alpha optimization must help on heterogeneous data: {} vs {}",
@@ -502,7 +614,7 @@ mod tests {
     fn search_likelihood_beats_starting_tree() {
         let w = SimulationConfig::new(9, 400, 55).generate();
         let cfg = SearchConfig::fast();
-        let result = infer_ml_tree(&w.alignment, &cfg, 9);
+        let result = infer(&w.alignment, &cfg, 9);
         // Compare against the unoptimized starting tree's likelihood.
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let start = stepwise_addition_tree(&w.alignment, 0.1, &mut rng).unwrap();
@@ -544,16 +656,22 @@ mod tests {
     fn pooled_inference_is_bit_identical_to_fresh() {
         let w = SimulationConfig::new(7, 300, 11).generate();
         let cfg = SearchConfig::fast();
-        let fresh = infer_ml_tree(&w.alignment, &cfg, 5);
+        let fresh = infer(&w.alignment, &cfg, 5);
         // Warm a workspace on a different seed, then reuse it.
-        let (_, warm) = infer_ml_tree_pooled(
+        let warm = run_inference(
             &w.alignment,
-            &cfg,
-            6,
-            false,
-            crate::likelihood::LikelihoodWorkspace::new(),
-        );
-        let (pooled, _) = infer_ml_tree_pooled(&w.alignment, &cfg, 5, false, warm);
+            &InferenceRequest::new(cfg.clone(), 6),
+            InferenceOptions::new(),
+        )
+        .unwrap()
+        .workspace;
+        let pooled = run_inference(
+            &w.alignment,
+            &InferenceRequest::new(cfg.clone(), 5),
+            InferenceOptions::new().with_workspace(warm),
+        )
+        .unwrap()
+        .result;
         assert_eq!(fresh.tree, pooled.tree);
         assert_eq!(fresh.log_likelihood, pooled.log_likelihood);
         assert_eq!(fresh.alpha, pooled.alpha);
@@ -564,25 +682,32 @@ mod tests {
     #[test]
     fn search_agrees_across_dispatch_modes() {
         let w = SimulationConfig::new(6, 200, 21).generate();
-        let fused = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 2);
+        let fused = infer(&w.alignment, &SearchConfig::fast(), 2);
         let per_node_cfg =
             SearchConfig::fast().to_builder().workspace(WorkspaceOptions::per_node()).build();
-        let per_node = infer_ml_tree(&w.alignment, &per_node_cfg, 2);
+        let per_node = infer(&w.alignment, &per_node_cfg, 2);
         assert_eq!(fused.tree, per_node.tree);
         assert_eq!(fused.log_likelihood, per_node.log_likelihood);
         assert!(fused.trace.counters().fused_batches > 0);
         assert_eq!(per_node.trace.counters().fused_batches, 0);
     }
 
+    /// Event recording is pure observation: it must not perturb any result.
     #[test]
-    fn checked_search_matches_unchecked_bit_for_bit() {
+    fn traced_search_matches_untraced_bit_for_bit() {
         let w = SimulationConfig::new(7, 300, 11).generate();
         let cfg = SearchConfig::fast();
-        let plain = infer_ml_tree(&w.alignment, &cfg, 5);
-        let checked = infer_ml_tree_checked(&w.alignment, &cfg, 5).unwrap();
-        assert_eq!(plain.tree, checked.tree);
-        assert_eq!(plain.log_likelihood.to_bits(), checked.log_likelihood.to_bits());
-        assert_eq!(plain.alpha.to_bits(), checked.alpha.to_bits());
+        let plain = infer(&w.alignment, &cfg, 5);
+        let traced = run_inference(
+            &w.alignment,
+            &InferenceRequest::new(cfg.clone(), 5),
+            InferenceOptions::new().traced(),
+        )
+        .unwrap()
+        .result;
+        assert_eq!(plain.tree, traced.tree);
+        assert_eq!(plain.log_likelihood.to_bits(), traced.log_likelihood.to_bits());
+        assert_eq!(plain.alpha.to_bits(), traced.alpha.to_bits());
     }
 
     fn ckpt_path(name: &str) -> std::path::PathBuf {
@@ -605,7 +730,7 @@ mod tests {
         // Pick a starting tree bad enough that the climb needs several
         // rounds — otherwise the kill after round 1 has nothing to skip.
         let (seed, uninterrupted) = (0..32)
-            .map(|s| (s, infer_ml_tree(&w.alignment, &cfg, s)))
+            .map(|s| (s, infer(&w.alignment, &cfg, s)))
             .find(|(_, r)| r.rounds >= 2 && r.moves_applied > 0)
             .expect("some stepwise tree needs a multi-round SPR climb");
 
@@ -614,12 +739,24 @@ mod tests {
 
         // First attempt dies right after the round-1 snapshot lands.
         let mut dying = SearchCheckpointer::new(&path, fp).abort_after_saves(1);
-        let err = infer_ml_tree_checkpointed(&w.alignment, &cfg, seed, &mut dying).unwrap_err();
+        let request = InferenceRequest::new(cfg.clone(), seed);
+        let err = run_inference(
+            &w.alignment,
+            &request,
+            InferenceOptions::new().with_checkpoint(&mut dying),
+        )
+        .unwrap_err();
         assert_eq!(err, crate::error::PhyloError::Interrupted { completed: 1 });
 
         // Second attempt resumes from the snapshot and runs to completion.
         let mut ckpt = SearchCheckpointer::new(&path, fp);
-        let resumed = infer_ml_tree_checkpointed(&w.alignment, &cfg, seed, &mut ckpt).unwrap();
+        let resumed = run_inference(
+            &w.alignment,
+            &request,
+            InferenceOptions::new().with_checkpoint(&mut ckpt),
+        )
+        .unwrap()
+        .result;
 
         assert_eq!(resumed.tree.to_exact_string(), uninterrupted.tree.to_exact_string());
         assert_eq!(resumed.log_likelihood.to_bits(), uninterrupted.log_likelihood.to_bits());
@@ -632,25 +769,36 @@ mod tests {
     /// A checkpoint written for one analysis must refuse to resume another.
     #[test]
     fn checkpoint_refuses_a_different_seed() {
-        use crate::checkpoint::{search_fingerprint, SearchCheckpointer};
+        use crate::checkpoint::SearchCheckpointer;
 
         let w = SimulationConfig::new(7, 200, 13).generate();
         let cfg = SearchConfig::fast();
         let path = ckpt_path("wrong-seed.ckpt");
 
-        let mut first = SearchCheckpointer::new(&path, search_fingerprint(&w.alignment, &cfg, 1));
-        infer_ml_tree_checkpointed(&w.alignment, &cfg, 1, &mut first).unwrap();
+        let one = InferenceRequest::new(cfg.clone(), 1);
+        let mut first = SearchCheckpointer::new(&path, one.fingerprint(&w.alignment));
+        run_inference(&w.alignment, &one, InferenceOptions::new().with_checkpoint(&mut first))
+            .unwrap();
 
         // Same file, different seed ⇒ different fingerprint ⇒ typed refusal.
-        let mut other = SearchCheckpointer::new(&path, search_fingerprint(&w.alignment, &cfg, 2));
-        let err = infer_ml_tree_checkpointed(&w.alignment, &cfg, 2, &mut other).unwrap_err();
+        let two = InferenceRequest::new(cfg.clone(), 2);
+        let mut other = SearchCheckpointer::new(&path, two.fingerprint(&w.alignment));
+        let err =
+            run_inference(&w.alignment, &two, InferenceOptions::new().with_checkpoint(&mut other))
+                .unwrap_err();
         assert!(matches!(err, crate::error::PhyloError::Checkpoint { .. }), "{err}");
     }
 
     #[test]
     fn trace_is_collected() {
         let w = SimulationConfig::new(6, 120, 3).generate();
-        let result = infer_ml_tree_traced(&w.alignment, &SearchConfig::fast(), 1, true);
+        let result = run_inference(
+            &w.alignment,
+            &InferenceRequest::new(SearchConfig::fast(), 1),
+            InferenceOptions::new().traced(),
+        )
+        .unwrap()
+        .result;
         let c = result.trace.counters();
         assert!(c.newview_calls > 100, "a search makes many newview calls: {c:?}");
         assert!(c.makenewz_calls > 10);

@@ -1,0 +1,110 @@
+//! `phylo-serve` — run the persistent multi-tenant inference service.
+//!
+//! ```text
+//! phylo-serve [--addr HOST:PORT] [--workers N] [--capacity N] [--quota N]
+//!             [--max-queue N] [--state-dir DIR]
+//!             [--synthetic NAME=TAXA,SITES,SEED]...
+//! ```
+//!
+//! Datasets are registered up front with `--synthetic` (repeatable); jobs
+//! reference them by name. Scrape `GET /metrics` on the same port for the
+//! Prometheus export. The process serves until killed; with `--state-dir`,
+//! a restart replays the journal and resumes unfinished jobs.
+
+use serve::server::Server;
+use serve::service::{InferenceService, ServiceConfig};
+use std::sync::Arc;
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("phylo-serve: {message}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: phylo-serve [--addr HOST:PORT] [--workers N] [--capacity N] \
+             [--quota N] [--max-queue N] [--state-dir DIR] \
+             [--synthetic NAME=TAXA,SITES,SEED]..."
+        );
+        return Ok(());
+    }
+
+    let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7654");
+    let workers = parse_flag(&args, "--workers")?.unwrap_or(4);
+    let mut config = ServiceConfig::new(workers);
+    if let Some(capacity) = parse_flag(&args, "--capacity")? {
+        config = config.with_farm_capacity(capacity);
+    }
+    if let Some(quota) = parse_flag(&args, "--quota")? {
+        config = config.with_tenant_quota(quota);
+    }
+    if let Some(max_queue) = parse_flag(&args, "--max-queue")? {
+        config = config.with_max_queue(max_queue);
+    }
+    if let Some(dir) = flag_value(&args, "--state-dir") {
+        config = config.with_state_dir(dir);
+    }
+    // Recovered jobs must not run before their datasets exist; start
+    // paused, register, then resume.
+    config = config.paused();
+
+    let service =
+        Arc::new(InferenceService::start(config).map_err(|e| format!("starting service: {e}"))?);
+    let mut registered = 0usize;
+    for (flag, value) in args.iter().zip(args.iter().skip(1)) {
+        if flag != "--synthetic" {
+            continue;
+        }
+        let (name, dims) = value
+            .split_once('=')
+            .ok_or_else(|| format!("--synthetic wants NAME=TAXA,SITES,SEED, got {value:?}"))?;
+        let parts: Vec<&str> = dims.split(',').collect();
+        let [taxa, sites, seed] = parts.as_slice() else {
+            return Err(format!("--synthetic wants NAME=TAXA,SITES,SEED, got {value:?}"));
+        };
+        let parse = |s: &str, what: &str| {
+            s.parse::<u64>().map_err(|_| format!("--synthetic {name}: bad {what} {s:?}"))
+        };
+        let taxa = parse(taxa, "taxa")? as usize;
+        let sites = parse(sites, "sites")? as usize;
+        let seed = parse(seed, "seed")?;
+        let aln = phylo::simulate::SimulationConfig::new(taxa, sites, seed).generate().alignment;
+        service.register_dataset(name, aln);
+        eprintln!("registered dataset {name:?}: {taxa} taxa x {sites} sites (seed {seed})");
+        registered += 1;
+    }
+    if registered == 0 {
+        eprintln!("note: no --synthetic datasets registered; submissions will be rejected");
+    }
+    service.resume();
+
+    let server = Server::bind(addr, service.clone()).map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!(
+        "phylo-serve listening on {} ({} workers); GET /metrics for Prometheus",
+        server.addr(),
+        workers
+    );
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} wants a non-negative integer, got {v:?}")),
+    }
+}

@@ -1,0 +1,120 @@
+//! A small blocking client for the frame protocol, plus a one-shot HTTP
+//! scraper for the `/metrics` endpoint. Used by the integration tests, the
+//! `serve_study` benchmark, and scripting.
+
+use crate::wire::{
+    self, JobSpec, JobStatusWire, RejectReason, Request, Response, StatsWire, WireState,
+};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One framed connection to the server. Requests are synchronous: write a
+/// frame, read the response frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> std::io::Result<Response> {
+        wire::write_frame(&mut self.stream, &request.encode())?;
+        let frame = wire::read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server hung up mid-request")
+        })?;
+        Response::parse(&frame).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Submit a job: `Ok(Ok(id))` if admitted, `Ok(Err(reason))` if the
+    /// service rejected it, `Err` on transport failure.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        spec: &JobSpec,
+    ) -> std::io::Result<Result<u64, RejectReason>> {
+        let request = Request::Submit { tenant: tenant.to_string(), spec: spec.clone() };
+        match self.round_trip(&request)? {
+            Response::Accepted { job } => Ok(Ok(job)),
+            Response::Rejected { reason } => Ok(Err(reason)),
+            other => Err(unexpected("accepted/rejected", &other)),
+        }
+    }
+
+    /// Poll one job's status.
+    pub fn status(&mut self, job: u64) -> std::io::Result<JobStatusWire> {
+        match self.round_trip(&Request::Status { job })? {
+            Response::Status(status) => Ok(status),
+            Response::Error { message } => {
+                Err(std::io::Error::new(std::io::ErrorKind::NotFound, message))
+            }
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// Service-wide counters.
+    pub fn stats(&mut self) -> std::io::Result<StatsWire> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Poll until the job reaches `Done`/`Failed`, with capped exponential
+    /// backoff. Times out with `ErrorKind::TimedOut`.
+    pub fn wait_done(&mut self, job: u64, timeout: Duration) -> std::io::Result<JobStatusWire> {
+        let deadline = Instant::now() + timeout;
+        let mut pause = Duration::from_millis(1);
+        loop {
+            let status = self.status(job)?;
+            if matches!(status.state, WireState::Done | WireState::Failed) {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("job {job} still {:?} after {timeout:?}", status.state),
+                ));
+            }
+            std::thread::sleep(pause);
+            pause = (pause * 2).min(Duration::from_millis(50));
+        }
+    }
+}
+
+/// One-shot HTTP `GET /metrics` against the same port; returns the
+/// Prometheus text body.
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: serve\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+    })?;
+    if !head.starts_with("HTTP/1.1 200") {
+        let status = head.lines().next().unwrap_or("");
+        return Err(std::io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+fn unexpected(wanted: &str, got: &Response) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("expected {wanted} reply, got {got:?}"),
+    )
+}

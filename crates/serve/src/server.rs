@@ -1,0 +1,191 @@
+//! The TCP front end: a thread-per-connection accept loop speaking the
+//! frame protocol of [`crate::wire`], multiplexed with a plain-HTTP
+//! `GET /metrics` endpoint on the same port.
+//!
+//! Protocol sniffing is unambiguous by construction: a frame starts with a
+//! 4-byte big-endian length ≤ [`wire::MAX_FRAME`] (1 MiB), while `b"GET "`
+//! read as that length is ~1.2 GiB — so the first four bytes of a
+//! connection decide HTTP vs frames with no false positives (see the
+//! invariant test in [`crate::wire`]).
+//!
+//! Thread-per-connection mirrors the paper's PPE-side organisation — a
+//! cheap coordinator thread per client, with the heavy lifting on the farm
+//! — and keeps the server free of any async runtime dependency.
+
+use crate::service::InferenceService;
+use crate::wire::{self, Request, Response};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running server; dropping it stops the accept loop (the service itself
+/// is owned by the caller and outlives the listener).
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `service` until dropped or [`stop`](Server::stop)ped.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<InferenceService>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let accept_thread =
+            std::thread::Builder::new().name("serve-accept".to_string()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let service = service.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || handle_connection(stream, &service));
+                }
+            })?;
+        Ok(Server { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop. In-flight
+    /// connection threads finish their current request and exit on the
+    /// next client hang-up.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop is parked in `accept()`; a throwaway self-connect
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, service: &InferenceService) {
+    // Sniff the protocol from the first four bytes (frame length prefix vs
+    // the start of an HTTP request line).
+    let mut head = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut head[filled..]) {
+            Ok(0) => return,
+            Ok(n) => filled += n,
+            Err(_) => return,
+        }
+    }
+    if &head == b"GET " {
+        serve_http(stream);
+    } else {
+        serve_frames(stream, head, service);
+    }
+}
+
+/// Serve one HTTP request (the scrape endpoint) and close. Prometheus
+/// re-connects per scrape, so connection reuse buys nothing here.
+fn serve_http(mut stream: TcpStream) {
+    // Read until the end of the request head; the body is irrelevant.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 16 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let request_line = String::from_utf8_lossy(&buf);
+    let path = request_line.split_whitespace().next().unwrap_or("");
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", obs::global().to_prometheus_text())
+    } else {
+        ("404 Not Found", "not found; try GET /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Serve framed requests until the client hangs up. `head` already holds
+/// the first frame's length prefix from the sniff.
+fn serve_frames(mut stream: TcpStream, head: [u8; 4], service: &InferenceService) {
+    let mut first = Some(head);
+    loop {
+        let frame = match read_frame_with_head(&mut stream, first.take()) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        let response = match Request::parse(&frame) {
+            Ok(request) => dispatch(&request, service),
+            Err(message) => Response::Error { message },
+        };
+        if wire::write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn read_frame_with_head(
+    stream: &mut TcpStream,
+    head: Option<[u8; 4]>,
+) -> std::io::Result<Option<String>> {
+    match head {
+        None => wire::read_frame(stream),
+        Some(len) => {
+            let n = u32::from_be_bytes(len) as usize;
+            if n > wire::MAX_FRAME {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("frame length {n} exceeds MAX_FRAME"),
+                ));
+            }
+            let mut buf = vec![0u8; n];
+            stream.read_exact(&mut buf)?;
+            String::from_utf8(buf).map(Some).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("non-UTF-8 frame: {e}"),
+                )
+            })
+        }
+    }
+}
+
+fn dispatch(request: &Request, service: &InferenceService) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Submit { tenant, spec } => match service.submit(tenant, spec) {
+            Ok(job) => Response::Accepted { job },
+            Err(reason) => Response::Rejected { reason },
+        },
+        Request::Status { job } => match service.status(*job) {
+            Some(status) => Response::Status(status),
+            None => Response::Error { message: format!("unknown job {job}") },
+        },
+        Request::Stats => Response::Stats(service.stats().to_wire()),
+    }
+}

@@ -1,0 +1,889 @@
+//! The service core: per-tenant FIFO queues drained by a fair round-robin
+//! scheduler into **one long-lived farm run**, admission control, status
+//! polling, and crash-safe jobs.
+//!
+//! ## Threading model
+//!
+//! [`InferenceService::start`] spawns a scheduler thread that calls
+//! [`phylo::farm::run_farm`] once with a *blocking* job iterator
+//! ([`JobFeed`]): `next()` parks on a condvar until a queued job exists (or
+//! shutdown drains the queues), so the farm's worker pool — and every
+//! per-worker [`LikelihoodWorkspace`] arena — persists across jobs instead
+//! of being rebuilt per batch. Submissions are cheap queue pushes from any
+//! thread.
+//!
+//! One farm subtlety shapes the design: the farm delivers seal callbacks on
+//! the *feeding* thread, which in a persistent service is usually parked
+//! inside `JobFeed::next()`. Seals therefore lag. The authoritative
+//! completion path is the **work closure** (worker thread): it writes
+//! `Done`/`Failed` into the job table and notifies waiters the moment the
+//! inference finishes. `on_sealed` only settles jobs the closure never got
+//! to run (farm write-offs) and feeds the exactly-once cross-check counters
+//! reported by [`ShutdownReport`]; both paths converge on one idempotent
+//! `finish` routine, so a job is accounted exactly once no matter which
+//! fires first.
+//!
+//! ## Fairness
+//!
+//! Each tenant gets a FIFO queue; the feed cycles tenants in first-seen
+//! order and takes at most one job per visit, so a tenant that dumps 100
+//! jobs cannot starve one that submits a single job — dispatch order
+//! interleaves `a b c a b c …` regardless of arrival order.
+//!
+//! ## Admission control
+//!
+//! [`InferenceService::submit`] rejects instead of queueing unboundedly:
+//! an explicit [`RejectReason`] for a full service queue, an exhausted
+//! per-tenant in-flight quota, an unknown dataset, or a draining service.
+//! Between the service queue and the workers sits the farm's own bounded
+//! submission (`farm_capacity`), so accepted work is also backpressured on
+//! its way into the deques.
+//!
+//! ## Crash safety
+//!
+//! With a state dir configured, every accepted job is journaled
+//! (`journal.jsonl`, JSON lines, torn-tail tolerant) and checkpointing jobs
+//! snapshot through [`phylo::checkpoint::SearchCheckpointer`] under
+//! `job-<id>.ckpt`. On restart the journal is replayed: finished jobs come
+//! back pollable with their exact result bits, unfinished jobs re-enqueue
+//! under their original ids and — when checkpointed — resume mid-search
+//! bit-identically. A job interrupted mid-checkpoint is deliberately left
+//! unsettled in the journal so the restart retries it.
+
+use crate::wire::{self, JobSpec, JsonObj, RejectReason, StatsWire, WireResult, WireState};
+use obs::json::{self, Json};
+use phylo::alignment::PatternAlignment;
+use phylo::checkpoint::SearchCheckpointer;
+use phylo::error::PhyloError;
+use phylo::farm::{run_farm, FarmConfig, FarmError, FarmEvent, FarmStats};
+use phylo::likelihood::LikelihoodWorkspace;
+use phylo::search::{run_inference, InferenceOptions, SearchResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Journal header line; a version bump invalidates old journals loudly.
+const JOURNAL_HEADER: &str = "#RAXML-CELL-SERVE-JOURNAL v1";
+
+/// How the service is sized and where (if anywhere) it persists state.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Farm worker threads.
+    pub n_workers: usize,
+    /// The farm's bounded in-flight submission cap (`0` = unbounded); the
+    /// feed thread blocks when this many dispatched jobs are unfinished.
+    pub farm_capacity: usize,
+    /// Max admitted-but-unfinished jobs per tenant (`0` = unlimited).
+    pub tenant_quota: usize,
+    /// Max jobs waiting in the service queues (`0` = unlimited); beyond it
+    /// submissions are rejected with [`RejectReason::QueueFull`].
+    pub max_queue: usize,
+    /// Directory for the journal and per-job checkpoints; `None` disables
+    /// persistence (checkpoint-requesting jobs then run un-checkpointed).
+    pub state_dir: Option<PathBuf>,
+    /// Test hook: forward to
+    /// [`SearchCheckpointer::abort_after_saves`](SearchCheckpointer) on
+    /// every checkpointing job, modelling a crash between SPR rounds.
+    pub abort_after_saves: Option<usize>,
+    /// Start with dispatch paused (see [`InferenceService::resume`]) so
+    /// datasets can be registered before recovered or pre-queued jobs run.
+    pub start_paused: bool,
+}
+
+impl ServiceConfig {
+    /// A service with `n_workers` workers, farm capacity `2 * n_workers`,
+    /// no quotas, no queue bound, and no persistence.
+    pub fn new(n_workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            n_workers,
+            farm_capacity: 2 * n_workers,
+            tenant_quota: 0,
+            max_queue: 0,
+            state_dir: None,
+            abort_after_saves: None,
+            start_paused: false,
+        }
+    }
+
+    pub fn with_farm_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.farm_capacity = capacity;
+        self
+    }
+
+    pub fn with_tenant_quota(mut self, quota: usize) -> ServiceConfig {
+        self.tenant_quota = quota;
+        self
+    }
+
+    pub fn with_max_queue(mut self, max: usize) -> ServiceConfig {
+        self.max_queue = max;
+        self
+    }
+
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> ServiceConfig {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    pub fn paused(mut self) -> ServiceConfig {
+        self.start_paused = true;
+        self
+    }
+
+    /// Test hook: make every checkpointing job abort after `n` snapshots.
+    pub fn with_abort_after_saves(mut self, n: usize) -> ServiceConfig {
+        self.abort_after_saves = Some(n);
+        self
+    }
+}
+
+/// Service-wide accounting, the in-process twin of [`StatsWire`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Submissions admitted (including journal-recovered ones).
+    pub accepted: u64,
+    /// Submissions turned away at admission.
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Currently waiting in the service queues.
+    pub queued: u64,
+    /// Currently executing on a worker.
+    pub running: u64,
+}
+
+impl ServiceStats {
+    pub fn to_wire(self) -> StatsWire {
+        StatsWire {
+            accepted: self.accepted,
+            rejected: self.rejected,
+            completed: self.completed,
+            failed: self.failed,
+            queued: self.queued,
+            running: self.running,
+        }
+    }
+}
+
+/// What [`InferenceService::shutdown`] returns: final service accounting,
+/// the farm's own [`FarmStats`], and the seal counters — enough to prove
+/// exactly-once execution (`dispatched == farm.n_jobs`,
+/// `sealed_ok + sealed_failed == dispatched`, and
+/// `completed + failed == accepted` once the queues drained).
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    pub stats: ServiceStats,
+    pub farm: FarmStats,
+    /// Jobs handed to the farm over the service's lifetime.
+    pub dispatched: usize,
+    /// Farm seals that carried a result.
+    pub sealed_ok: u64,
+    /// Farm seals that carried a [`FarmError`].
+    pub sealed_failed: u64,
+}
+
+/// One job's lifecycle state in the table.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Done(WireResult),
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    tenant: String,
+    spec: JobSpec,
+    state: JobState,
+    submitted_at: Instant,
+    /// Set by the idempotent `finish` routine — whichever of the work
+    /// closure or the seal callback gets there first accounts the job.
+    finished: bool,
+}
+
+#[derive(Default)]
+struct State {
+    datasets: HashMap<String, Arc<PatternAlignment>>,
+    jobs: HashMap<u64, JobRecord>,
+    /// Tenants in first-seen order — the round-robin ring.
+    tenants: Vec<String>,
+    queues: HashMap<String, VecDeque<u64>>,
+    rr_cursor: usize,
+    /// `dispatch_order[farm_idx]` is the job id of farm submission
+    /// `farm_idx` — the seal callback's index→id map, and the fairness
+    /// tests' witness.
+    dispatch_order: Vec<u64>,
+    next_id: u64,
+    in_flight: HashMap<String, usize>,
+    stats: ServiceStats,
+    paused: bool,
+    draining: bool,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    state: Mutex<State>,
+    /// Wakes the feed thread: new job queued, resume, or drain.
+    feed_cv: Condvar,
+    /// Wakes status waiters: some job reached `Done`/`Failed`.
+    done_cv: Condvar,
+    journal: Mutex<Option<File>>,
+    sealed_ok: AtomicU64,
+    sealed_failed: AtomicU64,
+}
+
+impl Shared {
+    fn journal_line(&self, line: &str) {
+        let mut guard = self.journal.lock().expect("journal lock");
+        if let Some(file) = guard.as_mut() {
+            // Crash-safety is best-effort append+flush; a torn final line
+            // is tolerated by the replay parser.
+            let _ = writeln!(file, "{line}");
+            let _ = file.flush();
+        }
+    }
+
+    /// The single idempotent completion path (worker closure or seal
+    /// callback, whichever first). Updates the table, quotas, counters and
+    /// metrics, appends the journal mark, and wakes waiters.
+    fn finish(&self, job_id: u64, outcome: Result<WireResult, (String, bool)>) {
+        let mut st = self.state.lock().expect("service state");
+        let Some(rec) = st.jobs.get_mut(&job_id) else { return };
+        if rec.finished {
+            return;
+        }
+        rec.finished = true;
+        let was_running = matches!(rec.state, JobState::Running);
+        let tenant = rec.tenant.clone();
+        let sojourn_start = rec.submitted_at;
+        let journal_entry = match outcome {
+            Ok(result) => {
+                let line = JsonObj::new()
+                    .str("ev", "done")
+                    .u64("job", job_id)
+                    .num("log_likelihood", result.log_likelihood)
+                    .u64("lnl_bits", result.log_likelihood.to_bits())
+                    .u64("alpha_bits", result.alpha.to_bits())
+                    .str("tree", &result.tree_exact)
+                    .u64("rounds", result.rounds as u64)
+                    .u64("moves_applied", result.moves_applied as u64)
+                    .finish();
+                rec.state = JobState::Done(result);
+                st.stats.completed += 1;
+                obs::global().counter("serve_completed_total").inc();
+                Some(line)
+            }
+            Err((message, interrupted)) => {
+                rec.state = JobState::Failed(message.clone());
+                st.stats.failed += 1;
+                obs::global().counter("serve_failed_total").inc();
+                // An interrupted checkpointing job is left unsettled in the
+                // journal on purpose: a restart re-enqueues it and the
+                // checkpoint tier resumes it bit-identically.
+                if interrupted {
+                    None
+                } else {
+                    Some(
+                        JsonObj::new()
+                            .str("ev", "failed")
+                            .u64("job", job_id)
+                            .str("error", &message)
+                            .finish(),
+                    )
+                }
+            }
+        };
+        if was_running {
+            st.stats.running -= 1;
+        }
+        if let Some(n) = st.in_flight.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+        obs::global().histogram("serve_sojourn_ns").record_since(sojourn_start);
+        drop(st);
+        if let Some(line) = journal_entry {
+            self.journal_line(&line);
+        }
+        self.done_cv.notify_all();
+    }
+}
+
+/// The blocking iterator feeding the farm: round-robin over tenant queues,
+/// parking on `feed_cv` while empty, `None` once draining *and* drained.
+struct JobFeed {
+    shared: Arc<Shared>,
+}
+
+impl Iterator for JobFeed {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let mut st = self.shared.state.lock().expect("service state");
+        loop {
+            if !st.paused {
+                let n = st.tenants.len();
+                for k in 0..n {
+                    let ti = (st.rr_cursor + k) % n;
+                    let tenant = st.tenants[ti].clone();
+                    let popped = st.queues.get_mut(&tenant).and_then(VecDeque::pop_front);
+                    if let Some(id) = popped {
+                        st.rr_cursor = (ti + 1) % n;
+                        st.stats.queued -= 1;
+                        obs::global().gauge("serve_queue_depth").set(st.stats.queued as f64);
+                        st.dispatch_order.push(id);
+                        return Some(id);
+                    }
+                }
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.shared.feed_cv.wait(st).expect("service state");
+        }
+    }
+}
+
+/// The persistent multi-tenant inference service. Cheap to share behind an
+/// [`Arc`]; dropped or [`shutdown`](InferenceService::shutdown), it drains
+/// its queues and joins the farm.
+pub struct InferenceService {
+    shared: Arc<Shared>,
+    scheduler: Mutex<Option<JoinHandle<FarmStats>>>,
+}
+
+impl InferenceService {
+    /// Start the farm and (with a state dir) replay the journal. Jobs
+    /// recovered as unfinished are re-enqueued under their original ids;
+    /// start [`paused`](ServiceConfig::paused) to register their datasets
+    /// before the first dispatch. Also enables the global [`obs`] registry
+    /// so the `/metrics` endpoint is live.
+    pub fn start(config: ServiceConfig) -> std::io::Result<InferenceService> {
+        assert!(config.n_workers >= 1, "service needs at least one worker");
+        obs::global().set_enabled(true);
+
+        let mut state = State { paused: config.start_paused, next_id: 1, ..State::default() };
+        let mut journal = None;
+        if let Some(dir) = &config.state_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join("journal.jsonl");
+            if path.exists() {
+                replay_journal(&std::fs::read_to_string(&path)?, &mut state)?;
+            }
+            let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+            if file.metadata()?.len() == 0 {
+                writeln!(file, "{JOURNAL_HEADER}")?;
+                file.flush()?;
+            }
+            journal = Some(file);
+        }
+        obs::global().gauge("serve_queue_depth").set(state.stats.queued as f64);
+
+        let shared = Arc::new(Shared {
+            config: config.clone(),
+            state: Mutex::new(state),
+            feed_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            journal: Mutex::new(journal),
+            sealed_ok: AtomicU64::new(0),
+            sealed_failed: AtomicU64::new(0),
+        });
+
+        let farm_config = FarmConfig::new(config.n_workers).bounded(config.farm_capacity);
+        let feed_shared = shared.clone();
+        let work_shared = shared.clone();
+        let seal_shared = shared.clone();
+        let scheduler =
+            std::thread::Builder::new().name("serve-scheduler".to_string()).spawn(move || {
+                // Live progress for the `/metrics` endpoint: farm lifecycle
+                // events become registry counters as the feeder drains its
+                // mailbox, so a scrape sees starts/steals/deaths in flight,
+                // not just at shutdown.
+                let mut observer = |event: FarmEvent| match event {
+                    FarmEvent::JobStarted { .. } => {
+                        obs::global().counter("serve_farm_started_total").inc()
+                    }
+                    FarmEvent::JobCompleted { .. } => {}
+                    FarmEvent::JobStolen { .. } => {
+                        obs::global().counter("serve_farm_steals_total").inc()
+                    }
+                    FarmEvent::WorkerDied { .. } => {
+                        obs::global().counter("serve_farm_worker_deaths_total").inc()
+                    }
+                };
+                let outcome = run_farm(
+                    &farm_config,
+                    JobFeed { shared: feed_shared },
+                    |_| LikelihoodWorkspace::default(),
+                    move |ws, _idx, job_id| execute_job(&work_shared, ws, job_id),
+                    Some(&mut observer),
+                    move |farm_idx, sealed| on_sealed(&seal_shared, farm_idx, sealed),
+                );
+                outcome.stats
+            })?;
+
+        Ok(InferenceService { shared, scheduler: Mutex::new(Some(scheduler)) })
+    }
+
+    /// Register (or replace) a named dataset jobs can reference.
+    pub fn register_dataset(&self, name: &str, aln: PatternAlignment) {
+        let mut st = self.shared.state.lock().expect("service state");
+        st.datasets.insert(name.to_string(), Arc::new(aln));
+    }
+
+    /// Un-pause dispatch after a [`paused`](ServiceConfig::paused) start.
+    pub fn resume(&self) {
+        let mut st = self.shared.state.lock().expect("service state");
+        st.paused = false;
+        drop(st);
+        self.shared.feed_cv.notify_all();
+    }
+
+    /// Admit a job (returning its id) or reject it with a typed reason.
+    pub fn submit(&self, tenant: &str, spec: &JobSpec) -> Result<u64, RejectReason> {
+        let mut st = self.shared.state.lock().expect("service state");
+        if st.draining {
+            self.reject(&mut st);
+            return Err(RejectReason::ShuttingDown);
+        }
+        if !st.datasets.contains_key(&spec.dataset) {
+            self.reject(&mut st);
+            return Err(RejectReason::UnknownDataset);
+        }
+        let quota = self.shared.config.tenant_quota;
+        if quota > 0 && st.in_flight.get(tenant).copied().unwrap_or(0) >= quota {
+            self.reject(&mut st);
+            return Err(RejectReason::QuotaExceeded);
+        }
+        let max_queue = self.shared.config.max_queue;
+        if max_queue > 0 && st.stats.queued as usize >= max_queue {
+            self.reject(&mut st);
+            return Err(RejectReason::QueueFull);
+        }
+
+        let id = st.next_id;
+        st.next_id += 1;
+        enqueue(&mut st, id, tenant.to_string(), spec.clone(), Instant::now());
+        st.stats.accepted += 1;
+        obs::global().counter("serve_submitted_total").inc();
+        obs::global().gauge("serve_queue_depth").set(st.stats.queued as f64);
+        drop(st);
+
+        let line = spec
+            .write_fields(JsonObj::new().str("ev", "submit").u64("job", id).str("tenant", tenant))
+            .finish();
+        self.shared.journal_line(&line);
+        self.shared.feed_cv.notify_all();
+        Ok(id)
+    }
+
+    fn reject(&self, st: &mut State) {
+        st.stats.rejected += 1;
+        obs::global().counter("serve_rejected_total").inc();
+    }
+
+    /// A snapshot of one job's externally visible status.
+    pub fn status(&self, job_id: u64) -> Option<wire::JobStatusWire> {
+        let st = self.shared.state.lock().expect("service state");
+        let rec = st.jobs.get(&job_id)?;
+        let (state, result, error) = match &rec.state {
+            JobState::Queued => (WireState::Queued, None, None),
+            JobState::Running => (WireState::Running, None, None),
+            JobState::Done(r) => (WireState::Done, Some(r.clone()), None),
+            JobState::Failed(e) => (WireState::Failed, None, Some(e.clone())),
+        };
+        Some(wire::JobStatusWire { job: job_id, tenant: rec.tenant.clone(), state, result, error })
+    }
+
+    /// Block until the job reaches `Done`/`Failed` (then return its
+    /// status), or `None` on timeout or unknown id.
+    pub fn wait_done(&self, job_id: u64, timeout: Duration) -> Option<wire::JobStatusWire> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("service state");
+        loop {
+            match st.jobs.get(&job_id).map(|r| &r.state) {
+                None => return None,
+                Some(JobState::Done(_) | JobState::Failed(_)) => break,
+                Some(_) => {}
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (guard, timed_out) =
+                self.shared.done_cv.wait_timeout(st, left).expect("service state");
+            st = guard;
+            if timed_out.timed_out() {
+                return None;
+            }
+        }
+        drop(st);
+        self.status(job_id)
+    }
+
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.state.lock().expect("service state").stats
+    }
+
+    /// The order jobs were handed to the farm — the fairness tests'
+    /// observable.
+    pub fn dispatch_order(&self) -> Vec<u64> {
+        self.shared.state.lock().expect("service state").dispatch_order.clone()
+    }
+
+    /// Drain: stop admitting, finish everything queued, join the farm, and
+    /// report final accounting. Idempotent; later calls return `None`.
+    pub fn shutdown(&self) -> Option<ShutdownReport> {
+        let handle = self.scheduler.lock().expect("scheduler handle").take()?;
+        {
+            let mut st = self.shared.state.lock().expect("service state");
+            st.draining = true;
+            st.paused = false;
+        }
+        self.shared.feed_cv.notify_all();
+        let farm = handle.join().expect("scheduler thread panicked");
+        let st = self.shared.state.lock().expect("service state");
+        Some(ShutdownReport {
+            stats: st.stats,
+            farm,
+            dispatched: st.dispatch_order.len(),
+            sealed_ok: self.shared.sealed_ok.load(Ordering::Relaxed),
+            sealed_failed: self.shared.sealed_failed.load(Ordering::Relaxed),
+        })
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// Insert a record and queue it under its tenant (shared by `submit` and
+/// journal replay).
+fn enqueue(st: &mut State, id: u64, tenant: String, spec: JobSpec, submitted_at: Instant) {
+    if !st.tenants.contains(&tenant) {
+        st.tenants.push(tenant.clone());
+    }
+    st.queues.entry(tenant.clone()).or_default().push_back(id);
+    *st.in_flight.entry(tenant.clone()).or_insert(0) += 1;
+    st.stats.queued += 1;
+    st.jobs.insert(
+        id,
+        JobRecord { tenant, spec, state: JobState::Queued, submitted_at, finished: false },
+    );
+}
+
+fn wire_result(result: &SearchResult) -> WireResult {
+    WireResult {
+        log_likelihood: result.log_likelihood,
+        alpha: result.alpha,
+        tree_exact: result.tree.to_exact_string(),
+        rounds: result.rounds,
+        moves_applied: result.moves_applied,
+    }
+}
+
+/// The farm work closure: runs on a worker thread, owns the authoritative
+/// completion marking (see module docs).
+fn execute_job(shared: &Arc<Shared>, ws: &mut LikelihoodWorkspace, job_id: u64) {
+    let (spec, aln) = {
+        let mut st = shared.state.lock().expect("service state");
+        let Some(rec) = st.jobs.get_mut(&job_id) else { return };
+        rec.state = JobState::Running;
+        let spec = rec.spec.clone();
+        let aln = st.datasets.get(&spec.dataset).cloned();
+        st.stats.running += 1;
+        (spec, aln)
+    };
+    let Some(aln) = aln else {
+        // Possible only for journal-recovered jobs whose dataset was not
+        // re-registered before `resume()`.
+        let msg = format!("dataset {:?} is not registered", spec.dataset);
+        shared.finish(job_id, Err((msg, false)));
+        return;
+    };
+
+    let replicate;
+    let target: &PatternAlignment = match spec.kind {
+        wire::JobKind::Search => &aln,
+        wire::JobKind::Bootstrap => {
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            replicate = aln.bootstrap_replicate(&mut rng);
+            &replicate
+        }
+    };
+    let request = spec.to_request();
+
+    let mut checkpointer = None;
+    if spec.checkpoint {
+        if let Some(dir) = &shared.config.state_dir {
+            let mut ckpt = SearchCheckpointer::new(
+                dir.join(format!("job-{job_id}.ckpt")),
+                request.fingerprint(target),
+            );
+            if let Some(n) = shared.config.abort_after_saves {
+                ckpt = ckpt.abort_after_saves(n);
+            }
+            checkpointer = Some(ckpt);
+        }
+    }
+
+    let mut options = InferenceOptions::new().with_workspace(std::mem::take(ws));
+    if let Some(ckpt) = checkpointer.as_mut() {
+        options = options.with_checkpoint(ckpt);
+    }
+
+    match run_inference(target, &request, options) {
+        Ok(outcome) => {
+            let result = wire_result(&outcome.result);
+            *ws = outcome.workspace;
+            // Completed checkpoints are spent; drop the file so a restart
+            // does not resurrect a finished search.
+            if let Some(dir) = &shared.config.state_dir {
+                if spec.checkpoint {
+                    let _ = std::fs::remove_file(dir.join(format!("job-{job_id}.ckpt")));
+                }
+            }
+            shared.finish(job_id, Ok(result));
+        }
+        Err(err) => {
+            let interrupted = matches!(err, PhyloError::Interrupted { .. });
+            shared.finish(job_id, Err((err.to_string(), interrupted)));
+        }
+    }
+}
+
+/// The farm seal callback (feeding thread): settles write-offs the work
+/// closure never ran, and counts seals for the exactly-once cross-check.
+fn on_sealed(shared: &Arc<Shared>, farm_idx: usize, sealed: &Result<(), FarmError>) {
+    match sealed {
+        Ok(()) => {
+            shared.sealed_ok.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(err) => {
+            shared.sealed_failed.fetch_add(1, Ordering::Relaxed);
+            let job_id = {
+                let st = shared.state.lock().expect("service state");
+                st.dispatch_order.get(farm_idx).copied()
+            };
+            if let Some(id) = job_id {
+                shared.finish(id, Err((err.to_string(), false)));
+            }
+        }
+    }
+}
+
+/// Replay a journal into a fresh `State`: finished jobs become pollable
+/// records, unfinished ones re-enqueue under their original ids.
+fn replay_journal(contents: &str, state: &mut State) -> std::io::Result<()> {
+    // (id, tenant, spec, settled-state) in submit order.
+    let mut order: Vec<u64> = Vec::new();
+    let mut submitted: HashMap<u64, (String, JobSpec)> = HashMap::new();
+    let mut settled: HashMap<u64, JobState> = HashMap::new();
+
+    for line in contents.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // A torn final line (crash mid-append) parses as an error: skip.
+        let Ok(v) = json::parse(line) else { continue };
+        let (Some(ev), Some(job)) = (event_kind(&v), wire::get_u64(&v, "job")) else { continue };
+        match ev {
+            "submit" => {
+                let Some(tenant) = wire::get_str(&v, "tenant") else { continue };
+                let Ok(spec) = JobSpec::from_json(&v) else { continue };
+                if submitted.insert(job, (tenant.to_string(), spec)).is_none() {
+                    order.push(job);
+                }
+            }
+            "done" => {
+                let (Some(lnl), Some(alpha), Some(tree)) = (
+                    wire::get_u64(&v, "lnl_bits"),
+                    wire::get_u64(&v, "alpha_bits"),
+                    wire::get_str(&v, "tree"),
+                ) else {
+                    continue;
+                };
+                settled.insert(
+                    job,
+                    JobState::Done(WireResult {
+                        log_likelihood: f64::from_bits(lnl),
+                        alpha: f64::from_bits(alpha),
+                        tree_exact: tree.to_string(),
+                        rounds: wire::get_usize(&v, "rounds").unwrap_or(0),
+                        moves_applied: wire::get_usize(&v, "moves_applied").unwrap_or(0),
+                    }),
+                );
+            }
+            "failed" => {
+                let error = wire::get_str(&v, "error").unwrap_or("unknown failure").to_string();
+                settled.insert(job, JobState::Failed(error));
+            }
+            _ => {}
+        }
+    }
+
+    let now = Instant::now();
+    for id in order {
+        let (tenant, spec) = submitted.remove(&id).expect("submit recorded");
+        state.next_id = state.next_id.max(id + 1);
+        state.stats.accepted += 1;
+        match settled.remove(&id) {
+            Some(done) => {
+                match done {
+                    JobState::Done(_) => state.stats.completed += 1,
+                    JobState::Failed(_) => state.stats.failed += 1,
+                    _ => unreachable!(),
+                }
+                state.jobs.insert(
+                    id,
+                    JobRecord { tenant, spec, state: done, submitted_at: now, finished: true },
+                );
+            }
+            None => enqueue(state, id, tenant, spec, now),
+        }
+    }
+    Ok(())
+}
+
+fn event_kind(v: &Json) -> Option<&str> {
+    wire::get_str(v, "ev")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{JobKind, Preset};
+    use phylo::simulate::SimulationConfig;
+
+    fn tiny_alignment(seed: u64) -> PatternAlignment {
+        SimulationConfig::new(6, 120, seed).generate().alignment
+    }
+
+    fn quick_spec(dataset: &str, seed: u64) -> JobSpec {
+        let mut spec = JobSpec::new(dataset, JobKind::Search, seed, Preset::Fast);
+        spec.max_spr_rounds = Some(1);
+        spec
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("raxml-cell-serve-tests").join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Three tenants, three jobs each, all of tenant a's submitted first:
+    /// dispatch must interleave a b c a b c a b c, not drain a's queue.
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let service = InferenceService::start(ServiceConfig::new(2).paused()).unwrap();
+        service.register_dataset("d", tiny_alignment(5));
+        let mut ids: HashMap<&str, Vec<u64>> = HashMap::new();
+        for tenant in ["a", "a", "a", "b", "b", "b", "c", "c", "c"] {
+            let id = service.submit(tenant, &quick_spec("d", 1)).unwrap();
+            ids.entry(tenant).or_default().push(id);
+        }
+        service.resume();
+        let report = service.shutdown().unwrap();
+
+        let expect: Vec<u64> =
+            (0..3).flat_map(|round| ["a", "b", "c"].map(|t| ids[t][round])).collect();
+        assert_eq!(service.dispatch_order(), expect, "round-robin dispatch");
+        assert_eq!(report.stats.completed, 9);
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.dispatched, 9);
+        assert_eq!(report.farm.n_jobs, 9);
+        assert_eq!(report.sealed_ok, 9);
+        assert_eq!(report.sealed_failed, 0);
+    }
+
+    /// Admission control: unknown dataset, per-tenant quota, global queue
+    /// bound, and post-shutdown submissions each yield their typed reason.
+    #[test]
+    fn admission_rejects_with_typed_reasons() {
+        let config = ServiceConfig::new(1).paused().with_tenant_quota(2).with_max_queue(3);
+        let service = InferenceService::start(config).unwrap();
+        service.register_dataset("d", tiny_alignment(6));
+
+        assert_eq!(service.submit("a", &quick_spec("nope", 1)), Err(RejectReason::UnknownDataset));
+        service.submit("a", &quick_spec("d", 1)).unwrap();
+        service.submit("a", &quick_spec("d", 2)).unwrap();
+        assert_eq!(service.submit("a", &quick_spec("d", 3)), Err(RejectReason::QuotaExceeded));
+        service.submit("b", &quick_spec("d", 4)).unwrap();
+        assert_eq!(
+            service.submit("c", &quick_spec("d", 5)),
+            Err(RejectReason::QueueFull),
+            "global queue bound holds even for an under-quota tenant"
+        );
+
+        service.resume();
+        let report = service.shutdown().unwrap();
+        assert_eq!(report.stats.accepted, 3);
+        assert_eq!(report.stats.rejected, 3);
+        assert_eq!(report.stats.completed, 3);
+        assert_eq!(service.submit("a", &quick_spec("d", 9)), Err(RejectReason::ShuttingDown));
+    }
+
+    /// A finished job's exact result bits survive a service restart via the
+    /// journal, and the job is not re-run.
+    #[test]
+    fn journal_restores_finished_jobs_across_restart() {
+        let dir = unique_dir("journal-restore");
+        let aln = tiny_alignment(7);
+
+        let config = ServiceConfig::new(1).with_state_dir(&dir);
+        let service = InferenceService::start(config).unwrap();
+        service.register_dataset("d", aln.clone());
+        let job = service.submit("a", &quick_spec("d", 3)).unwrap();
+        let first = service
+            .wait_done(job, Duration::from_secs(300))
+            .expect("job finishes")
+            .result
+            .expect("job succeeded");
+        service.shutdown().unwrap();
+
+        let revived =
+            InferenceService::start(ServiceConfig::new(1).paused().with_state_dir(&dir)).unwrap();
+        revived.register_dataset("d", aln);
+        revived.resume();
+        let status = revived.status(job).expect("job survived restart");
+        let restored = status.result.expect("restored as done");
+        assert_eq!(restored.log_likelihood.to_bits(), first.log_likelihood.to_bits());
+        assert_eq!(restored.tree_exact, first.tree_exact);
+        let report = revived.shutdown().unwrap();
+        assert_eq!(report.stats.accepted, 1, "recovered, not re-admitted");
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.dispatched, 0, "finished jobs are not re-run");
+    }
+
+    /// A bootstrap job equals the library-level replicate + inference.
+    #[test]
+    fn bootstrap_job_matches_library_replicate() {
+        let aln = tiny_alignment(8);
+        let service = InferenceService::start(ServiceConfig::new(2)).unwrap();
+        service.register_dataset("d", aln.clone());
+        let mut spec = quick_spec("d", 11);
+        spec.kind = JobKind::Bootstrap;
+        let job = service.submit("t", &spec).unwrap();
+        let served = service
+            .wait_done(job, Duration::from_secs(300))
+            .expect("finishes")
+            .result
+            .expect("succeeds");
+        service.shutdown().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let replicate = aln.bootstrap_replicate(&mut rng);
+        let direct =
+            run_inference(&replicate, &spec.to_request(), InferenceOptions::new()).unwrap().result;
+        assert_eq!(served.log_likelihood.to_bits(), direct.log_likelihood.to_bits());
+        assert_eq!(served.tree_exact, direct.tree.to_exact_string());
+    }
+}

@@ -34,7 +34,7 @@ fn main() {
         analysis.n_inferences, analysis.n_bootstraps, analysis.n_workers
     );
     let t0 = Instant::now();
-    let result = analysis.run(alignment);
+    let result = analysis.try_run(alignment).expect("analysis on finite data succeeds");
     let elapsed = t0.elapsed();
 
     println!("\ncompleted in {elapsed:.2?}");

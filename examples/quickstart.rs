@@ -33,7 +33,10 @@ fn main() {
 
     // Run one full ML inference.
     let config = SearchConfig::standard();
-    let result = infer_ml_tree(&patterns, &config, 1);
+    let request = InferenceRequest::new(config, 1);
+    let result = run_inference(&patterns, &request, InferenceOptions::new())
+        .expect("inference on finite data succeeds")
+        .result;
 
     println!("\nstarting parsimony score : {:.0}", result.starting_parsimony);
     println!("final log-likelihood     : {:.4}", result.log_likelihood);

@@ -76,5 +76,28 @@ if [[ -f BENCH_metrics.json ]]; then
     run scripts/bench_gate --advisory
 fi
 
+# Service-tier smoke: multi-tenant open-loop load over the real wire
+# protocol with exactly-once verification and a validated /metrics scrape,
+# then an independent Python parse of the committed BENCH_serve.json
+# baseline and an advisory regression gate over a fresh measurement
+# (serve_jobs_per_sec throughput, serve_e2e_ns_p99 latency).
+run cargo run -p bench --bin serve_study -- --smoke
+if [[ -f BENCH_serve.json ]]; then
+    echo "==> python3 json.load BENCH_serve.json"
+    python3 -c "import json,sys; json.load(open(sys.argv[1])); print('valid JSON:', sys.argv[1])" BENCH_serve.json
+    serve_dir="$(mktemp -d)"
+    # --no-artifact: never overwrite the committed baseline from CI.
+    echo "==> cargo run --release -q -p bench --bin serve_study -- --no-artifact --format json > current.json"
+    cargo run --release -q -p bench --bin serve_study -- --no-artifact --format json \
+        > "$serve_dir/current.json"
+    run scripts/bench_gate --advisory --baseline BENCH_serve.json --current "$serve_dir/current.json"
+    rm -rf "$serve_dir"
+fi
+
+# Migration gate: the deprecated infer_ml_tree_* shims and bench::arg_value
+# must not be used anywhere in shipping code (bins, examples, libs).
+# Equivalence tests opt in explicitly with #[allow(deprecated)].
+run cargo clippy -q --workspace --bins --examples -- -D deprecated
+
 echo
 echo "ci: all checks passed"

@@ -7,9 +7,20 @@ use phylo::likelihood::engine::LikelihoodEngine;
 use phylo::likelihood::reference::log_likelihood_naive;
 use phylo::likelihood::LikelihoodConfig;
 use phylo::model::{GammaRates, SubstModel};
-use phylo::search::{infer_ml_tree, SearchConfig};
+use phylo::search::{run_inference, InferenceOptions, InferenceRequest, SearchConfig};
 use phylo::simulate::SimulationConfig;
 use raxml_cell::config::OptConfig;
+/// One inference via the unified entry point.
+fn infer(
+    aln: &phylo::alignment::PatternAlignment,
+    cfg: &SearchConfig,
+    seed: u64,
+) -> phylo::search::SearchResult {
+    run_inference(aln, &InferenceRequest::new(cfg.clone(), seed), InferenceOptions::new())
+        .unwrap()
+        .result
+}
+
 use raxml_cell::experiment::{capture_workload, WorkloadSpec};
 use raxml_cell::offload::price_trace;
 
@@ -21,7 +32,7 @@ use raxml_cell::offload::price_trace;
 #[test]
 fn search_result_likelihood_is_confirmed_by_reference() {
     let w = SimulationConfig::new(8, 250, 99).generate();
-    let result = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 3);
+    let result = infer(&w.alignment, &SearchConfig::fast(), 3);
     let rates = GammaRates::new(result.alpha, 4).unwrap();
     let naive = log_likelihood_naive(&result.tree, &w.alignment, &result.model, &rates);
     assert!(
@@ -37,7 +48,7 @@ fn search_result_likelihood_is_confirmed_by_reference() {
 #[test]
 fn searched_tree_satisfies_reversibility_invariant() {
     let w = SimulationConfig::new(9, 300, 5).generate();
-    let result = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 7);
+    let result = infer(&w.alignment, &SearchConfig::fast(), 7);
     let mut engine = LikelihoodEngine::new(
         &w.alignment,
         result.model.clone(),
@@ -133,8 +144,8 @@ fn workload_capture_is_deterministic() {
 #[test]
 fn multiple_inferences_converge_on_easy_data() {
     let w = SimulationConfig { mean_branch: 0.12, ..SimulationConfig::new(8, 900, 123) }.generate();
-    let a = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 10);
-    let b = infer_ml_tree(&w.alignment, &SearchConfig::fast(), 20);
+    let a = infer(&w.alignment, &SearchConfig::fast(), 10);
+    let b = infer(&w.alignment, &SearchConfig::fast(), 20);
     assert!(
         (a.log_likelihood - b.log_likelihood).abs() < 1.0,
         "{} vs {}",

@@ -112,9 +112,14 @@ fn farm_bootstrap_batch_is_worker_count_invariant() {
                 let owned = std::mem::take(ws);
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
                 let replicate = aln.bootstrap_replicate(&mut rng);
-                let (result, owned) =
-                    phylo::search::infer_ml_tree_pooled(&replicate, &search, seed, false, owned);
-                *ws = owned;
+                let outcome = phylo::search::run_inference(
+                    &replicate,
+                    &phylo::search::InferenceRequest::new(search.clone(), seed),
+                    phylo::search::InferenceOptions::new().with_workspace(owned),
+                )
+                .unwrap();
+                *ws = outcome.workspace;
+                let result = outcome.result;
                 (result.log_likelihood.to_bits(), result.tree.to_exact_string())
             },
             None,

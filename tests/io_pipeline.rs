@@ -58,7 +58,7 @@ fn support_annotated_newick_is_parseable() {
         seed: 3,
         search: SearchConfig::fast(),
     };
-    let result = analysis.run(&w.alignment);
+    let result = analysis.try_run(&w.alignment).unwrap();
     let names = w.alignment.taxon_names().to_vec();
     let annotated = result.best.to_newick_with_support(&names);
     let parsed = parse_newick(&annotated, &names).unwrap();

@@ -11,6 +11,13 @@ use phylo::farm::{run_farm, FarmConfig, FarmFaultPlan};
 use phylo::prelude::*;
 use proptest::prelude::*;
 
+/// One inference via the unified entry point.
+fn infer(aln: &PatternAlignment, cfg: &SearchConfig, seed: u64) -> SearchResult {
+    run_inference(aln, &InferenceRequest::new(cfg.clone(), seed), InferenceOptions::new())
+        .unwrap()
+        .result
+}
+
 proptest! {
     /// Every recorded value lies inside its bucket's reported bounds, and
     /// the bucket index is within range.
@@ -143,11 +150,11 @@ fn likelihood_bits_are_identical_with_metrics_on_and_off() {
 
     let w = SimulationConfig::new(7, 240, 11).generate();
     let cfg = SearchConfig::fast();
-    let off = phylo::search::infer_ml_tree(&w.alignment, &cfg, 4);
+    let off = infer(&w.alignment, &cfg, 4);
 
     registry.set_enabled(true);
     registry.reset();
-    let on = phylo::search::infer_ml_tree(&w.alignment, &cfg, 4);
+    let on = infer(&w.alignment, &cfg, 4);
     // The instrumented run must actually have recorded something, or this
     // test proves nothing.
     assert!(

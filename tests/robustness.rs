@@ -5,9 +5,19 @@ use phylo::bootstrap::BootstrapAnalysis;
 use phylo::likelihood::engine::LikelihoodEngine;
 use phylo::likelihood::LikelihoodConfig;
 use phylo::model::{GammaRates, SubstModel};
-use phylo::search::{infer_ml_tree, SearchConfig};
+use phylo::search::{run_inference, InferenceOptions, InferenceRequest, SearchConfig};
 use phylo::simulate::SimulationConfig;
 use phylo::tree::{Tree, MAX_BRANCH, MIN_BRANCH};
+/// One inference via the unified entry point.
+fn infer(
+    aln: &phylo::alignment::PatternAlignment,
+    cfg: &SearchConfig,
+    seed: u64,
+) -> phylo::search::SearchResult {
+    run_inference(aln, &InferenceRequest::new(cfg.clone(), seed), InferenceOptions::new())
+        .unwrap()
+        .result
+}
 
 fn fast() -> SearchConfig {
     let mut cfg = SearchConfig::fast();
@@ -30,7 +40,7 @@ fn identical_sequences_do_not_break_the_search() {
     ])
     .unwrap()
     .compress();
-    let result = infer_ml_tree(&aln, &fast(), 1);
+    let result = infer(&aln, &fast(), 1);
     assert!(result.log_likelihood.is_finite());
     assert_eq!(result.starting_parsimony, 0.0);
     // With no signal every branch should optimize to (near) zero.
@@ -46,7 +56,7 @@ fn identical_sequences_do_not_break_the_search() {
 #[test]
 fn three_taxa_is_the_degenerate_search() {
     let w = SimulationConfig::new(3, 200, 4).generate();
-    let result = infer_ml_tree(&w.alignment, &fast(), 1);
+    let result = infer(&w.alignment, &fast(), 1);
     assert!(result.log_likelihood.is_finite());
     assert_eq!(result.moves_applied, 0, "no SPR exists on 3 taxa");
     assert_eq!(result.tree.edges().len(), 3);
@@ -67,7 +77,7 @@ fn four_taxa_searches_all_topologies() {
     quartet.set_branch_length(v, internal[0].0, 0.15);
     let w =
         SimulationConfig { tree: Some(quartet), ..SimulationConfig::new(4, 2000, 9) }.generate();
-    let result = infer_ml_tree(&w.alignment, &fast(), 1);
+    let result = infer(&w.alignment, &fast(), 1);
     assert_eq!(
         phylo::bipartitions::robinson_foulds(&result.tree, &w.true_tree),
         0,
@@ -84,7 +94,7 @@ fn all_gap_taxon_survives_the_pipeline() {
         (0..6).map(|i| (w.raw.taxon_names()[i].clone(), w.raw.sequence_string(i))).collect();
     pairs.push(("gappy".to_string(), "-".repeat(150)));
     let aln = Alignment::from_named_sequences(&pairs).unwrap().compress();
-    let result = infer_ml_tree(&aln, &fast(), 1);
+    let result = infer(&aln, &fast(), 1);
     assert!(result.log_likelihood.is_finite());
     result.tree.validate().unwrap();
     assert_eq!(result.tree.n_taxa(), 7);
@@ -187,7 +197,7 @@ fn tiny_noisy_bootstrap_analysis() {
         seed: 5,
         search: fast(),
     };
-    let result = analysis.run(&w.alignment);
+    let result = analysis.try_run(&w.alignment).unwrap();
     assert!(result.best_log_likelihood.is_finite());
     assert_eq!(result.bootstrap_trees.len(), 8);
     for &(_, s) in &result.best.support {
@@ -212,7 +222,7 @@ fn single_pattern_alignment() {
     .unwrap()
     .compress();
     assert_eq!(aln.n_patterns(), 1);
-    let result = infer_ml_tree(&aln, &fast(), 1);
+    let result = infer(&aln, &fast(), 1);
     assert!(result.log_likelihood.is_finite());
 }
 
@@ -335,7 +345,7 @@ fn mid_scale_inference_is_sane() {
     cfg.spr_radius = 2;
     cfg.max_spr_rounds = 1;
     cfg.optimize_alpha = false;
-    let result = infer_ml_tree(&w.alignment, &cfg, 1);
+    let result = infer(&w.alignment, &cfg, 1);
     assert!(result.log_likelihood.is_finite());
     result.tree.validate().unwrap();
     assert_eq!(result.tree.n_taxa(), 96);

@@ -1,0 +1,234 @@
+//! End-to-end tests of the service tier over the real wire protocol:
+//! submit → poll → result must be bit-identical to an in-process
+//! `run_inference`, admission control must surface typed rejections across
+//! the wire, `/metrics` must serve validator-clean Prometheus text on the
+//! same port, and a killed-and-restarted service must resume checkpointed
+//! jobs bit-identically from the journal + checkpoint tier.
+
+use phylo::prelude::*;
+use serve::client::{scrape_metrics, Client};
+use serve::server::Server;
+use serve::service::{InferenceService, ServiceConfig};
+use serve::wire::{JobKind, JobSpec, Preset, RejectReason, WireState};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(600);
+
+fn small_alignment(seed: u64) -> PatternAlignment {
+    SimulationConfig::new(7, 240, seed).generate().alignment
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("raxml-cell-serve-integration").join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The tentpole round trip: a search job submitted over TCP returns the
+/// exact bits (lnL, alpha, tree) of the same request run in process.
+#[test]
+fn wire_round_trip_is_bit_identical_to_run_inference() {
+    let aln = small_alignment(31);
+    let service = Arc::new(InferenceService::start(ServiceConfig::new(2)).unwrap());
+    service.register_dataset("demo", aln.clone());
+    let server = Server::bind("127.0.0.1:0", service.clone()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+
+    let spec = JobSpec::new("demo", JobKind::Search, 5, Preset::Fast);
+    let job = client.submit("tenant-a", &spec).unwrap().expect("admitted");
+    let status = client.wait_done(job, WAIT).unwrap();
+    assert_eq!(status.state, WireState::Done);
+    assert_eq!(status.tenant, "tenant-a");
+    let served = status.result.expect("done carries the result");
+
+    let direct = run_inference(&aln, &spec.to_request(), InferenceOptions::new()).unwrap().result;
+    assert_eq!(
+        served.log_likelihood.to_bits(),
+        direct.log_likelihood.to_bits(),
+        "served lnL bits differ from in-process run_inference"
+    );
+    assert_eq!(served.alpha.to_bits(), direct.alpha.to_bits());
+    assert_eq!(served.tree_exact, direct.tree.to_exact_string());
+    assert_eq!(served.rounds, direct.rounds);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+/// Admission control is visible across the wire as typed rejections, and
+/// rejected submissions never execute.
+#[test]
+fn wire_rejections_are_typed() {
+    let config = ServiceConfig::new(1).paused().with_tenant_quota(1).with_max_queue(2);
+    let service = Arc::new(InferenceService::start(config).unwrap());
+    service.register_dataset("demo", small_alignment(32));
+    let server = Server::bind("127.0.0.1:0", service.clone()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let spec = JobSpec::new("demo", JobKind::Search, 1, Preset::Fast);
+    let mut unknown = spec.clone();
+    unknown.dataset = "missing".to_string();
+    assert_eq!(client.submit("a", &unknown).unwrap(), Err(RejectReason::UnknownDataset));
+
+    assert!(client.submit("a", &spec).unwrap().is_ok());
+    assert_eq!(client.submit("a", &spec).unwrap(), Err(RejectReason::QuotaExceeded));
+    assert!(client.submit("b", &spec).unwrap().is_ok());
+    assert_eq!(client.submit("c", &spec).unwrap(), Err(RejectReason::QueueFull));
+
+    service.resume();
+    let report = service.shutdown().unwrap();
+    assert_eq!(report.stats.accepted, 2);
+    assert_eq!(report.stats.rejected, 3);
+    assert_eq!(report.stats.completed, 2);
+    assert_eq!(report.dispatched, 2, "rejected submissions never reach the farm");
+    assert_eq!(report.farm.n_jobs, 2);
+}
+
+/// `/metrics` on the service port serves Prometheus text that passes the
+/// repo's own validator and carries the service-tier counters.
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let service = Arc::new(InferenceService::start(ServiceConfig::new(2)).unwrap());
+    service.register_dataset("demo", small_alignment(33));
+    let server = Server::bind("127.0.0.1:0", service.clone()).unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let job = client
+        .submit("a", &JobSpec::new("demo", JobKind::Search, 2, Preset::Fast))
+        .unwrap()
+        .expect("admitted");
+    client.wait_done(job, WAIT).unwrap();
+
+    let text = scrape_metrics(server.addr()).unwrap();
+    obs::validate_prometheus_text(&text).expect("scrape must pass the Prometheus validator");
+    for name in ["serve_submitted_total", "serve_completed_total", "serve_sojourn_ns"] {
+        assert!(text.contains(name), "scrape missing {name}:\n{text}");
+    }
+    // Unknown paths 404 without killing the listener.
+    let err = scrape_metrics_path(server.addr(), "/nope").unwrap_err();
+    assert!(err.to_string().contains("404"), "unexpected error: {err}");
+    assert!(scrape_metrics(server.addr()).is_ok(), "listener survives a 404");
+}
+
+fn scrape_metrics_path(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: serve\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    if !raw.starts_with("HTTP/1.1 200") {
+        return Err(std::io::Error::other(raw.lines().next().unwrap_or("").to_string()));
+    }
+    Ok(raw)
+}
+
+/// Kill-and-restart: a checkpointing job interrupted mid-search (via the
+/// abort-after-saves hook modelling a crash between SPR rounds) resumes on
+/// the restarted service and lands on exactly the bits of an uninterrupted
+/// run.
+#[test]
+fn restarted_service_resumes_checkpointed_jobs_bit_identically() {
+    let dir = unique_dir("kill-restart");
+    let aln = small_alignment(34);
+    let spec = JobSpec::new("demo", JobKind::Search, 6, Preset::Standard).checkpointed();
+
+    // The reference: the same request, uninterrupted, in process.
+    let reference =
+        run_inference(&aln, &spec.to_request(), InferenceOptions::new()).unwrap().result;
+
+    // First life: the checkpointer aborts after its first snapshot, i.e.
+    // the process "dies" with the search half done but journaled.
+    let config = ServiceConfig::new(1).with_state_dir(&dir).with_abort_after_saves(1);
+    let service = InferenceService::start(config).unwrap();
+    service.register_dataset("demo", aln.clone());
+    let job = service.submit("tenant-a", &spec).unwrap();
+    let status = service.wait_done(job, WAIT).expect("interrupted job settles");
+    assert_eq!(status.state, WireState::Failed, "abort hook must interrupt the search");
+    assert!(
+        status.error.unwrap().contains("interrupted"),
+        "failure must be the checkpoint interruption"
+    );
+    service.shutdown().unwrap();
+    assert!(dir.join(format!("job-{job}.ckpt")).exists(), "snapshot survives the crash");
+
+    // Second life: replay the journal, re-register the dataset, resume. The
+    // job keeps its id and completes from the snapshot.
+    let service =
+        InferenceService::start(ServiceConfig::new(1).paused().with_state_dir(&dir)).unwrap();
+    let recovered = service.status(job).expect("job recovered from the journal");
+    assert_eq!(recovered.state, WireState::Queued, "unsettled job re-enqueues");
+    service.register_dataset("demo", aln);
+    service.resume();
+    let status = service.wait_done(job, WAIT).expect("resumed job finishes");
+    assert_eq!(status.state, WireState::Done, "err: {:?}", status.error);
+    let resumed = status.result.unwrap();
+    assert_eq!(
+        resumed.log_likelihood.to_bits(),
+        reference.log_likelihood.to_bits(),
+        "resumed lnL bits differ from the uninterrupted run"
+    );
+    assert_eq!(resumed.alpha.to_bits(), reference.alpha.to_bits());
+    assert_eq!(resumed.tree_exact, reference.tree.to_exact_string());
+    let report = service.shutdown().unwrap();
+    assert_eq!(report.stats.completed, 1);
+    assert!(!dir.join(format!("job-{job}.ckpt")).exists(), "completed checkpoint is cleaned up");
+}
+
+/// Concurrent tenants over one server: all jobs complete exactly once and
+/// the farm's accounting agrees with the client-observed set.
+#[test]
+fn concurrent_tenants_complete_exactly_once() {
+    let service = Arc::new(InferenceService::start(ServiceConfig::new(3)).unwrap());
+    service.register_dataset("demo", small_alignment(35));
+    let server = Server::bind("127.0.0.1:0", service.clone()).unwrap();
+    let addr = server.addr();
+
+    const TENANTS: usize = 3;
+    const JOBS: usize = 3;
+    let ids: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let tenant = format!("tenant-{t}");
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut ids = Vec::new();
+                    for j in 0..JOBS {
+                        let mut spec = JobSpec::new(
+                            "demo",
+                            JobKind::Search,
+                            (t * 100 + j) as u64 + 1,
+                            Preset::Fast,
+                        );
+                        spec.max_spr_rounds = Some(1);
+                        ids.push(client.submit(&tenant, &spec).unwrap().expect("admitted"));
+                    }
+                    for &id in &ids {
+                        let s = client.wait_done(id, WAIT).unwrap();
+                        assert_eq!(s.state, WireState::Done, "job {id}: {:?}", s.error);
+                    }
+                    ids
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut all: Vec<u64> = ids.into_iter().flatten().collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), TENANTS * JOBS, "every job id distinct");
+
+    drop(server);
+    let report = service.shutdown().unwrap();
+    assert_eq!(report.stats.completed, (TENANTS * JOBS) as u64);
+    assert_eq!(report.stats.failed, 0);
+    assert_eq!(report.dispatched, TENANTS * JOBS);
+    assert_eq!(report.farm.n_jobs, TENANTS * JOBS);
+    assert_eq!(report.sealed_ok, (TENANTS * JOBS) as u64);
+}

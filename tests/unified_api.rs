@@ -1,0 +1,135 @@
+//! Equivalence tests for the unified inference API: every deprecated
+//! `infer_ml_tree_*` shim must be lnL-bit-identical to the `run_inference`
+//! call it delegates to, and the deprecated panicking `BootstrapAnalysis::run`
+//! must agree with `try_run`. These pin the migration path: callers can
+//! switch entry points without a single bit of numerical drift.
+
+#![allow(deprecated)]
+
+use phylo::bootstrap::BootstrapAnalysis;
+use phylo::checkpoint::SearchCheckpointer;
+use phylo::likelihood::LikelihoodWorkspace;
+use phylo::prelude::*;
+
+fn workload(seed: u64) -> PatternAlignment {
+    SimulationConfig::new(7, 240, seed).generate().alignment
+}
+
+fn unified(aln: &PatternAlignment, cfg: &SearchConfig, seed: u64) -> SearchResult {
+    run_inference(aln, &InferenceRequest::new(cfg.clone(), seed), InferenceOptions::new())
+        .unwrap()
+        .result
+}
+
+fn assert_same(label: &str, shim: &SearchResult, unified: &SearchResult) {
+    assert_eq!(
+        shim.log_likelihood.to_bits(),
+        unified.log_likelihood.to_bits(),
+        "{label}: lnL bits diverge from run_inference"
+    );
+    assert_eq!(
+        shim.tree.to_exact_string(),
+        unified.tree.to_exact_string(),
+        "{label}: tree diverges from run_inference"
+    );
+    assert_eq!(shim.alpha.to_bits(), unified.alpha.to_bits(), "{label}: alpha bits diverge");
+    assert_eq!(shim.rounds, unified.rounds, "{label}: round count diverges");
+}
+
+#[test]
+fn infer_ml_tree_matches_run_inference() {
+    let aln = workload(11);
+    let cfg = SearchConfig::fast();
+    assert_same("infer_ml_tree", &infer_ml_tree(&aln, &cfg, 3), &unified(&aln, &cfg, 3));
+}
+
+#[test]
+fn infer_ml_tree_traced_matches_run_inference() {
+    let aln = workload(12);
+    let cfg = SearchConfig::fast();
+    let shim = infer_ml_tree_traced(&aln, &cfg, 4, true);
+    let via_options = run_inference(
+        &aln,
+        &InferenceRequest::new(cfg.clone(), 4),
+        InferenceOptions::new().traced(),
+    )
+    .unwrap()
+    .result;
+    assert_same("infer_ml_tree_traced", &shim, &via_options);
+    assert!(!via_options.trace.events().is_empty(), "traced run must record events");
+    // Tracing itself must not perturb the arithmetic.
+    assert_same("traced vs untraced", &shim, &unified(&aln, &cfg, 4));
+}
+
+#[test]
+fn infer_ml_tree_pooled_matches_run_inference() {
+    let aln = workload(13);
+    let cfg = SearchConfig::fast();
+    let (shim, ws) = infer_ml_tree_pooled(&aln, &cfg, 5, false, LikelihoodWorkspace::default());
+    let outcome = run_inference(
+        &aln,
+        &InferenceRequest::new(cfg.clone(), 5),
+        InferenceOptions::new().with_workspace(ws),
+    )
+    .unwrap();
+    assert_same("infer_ml_tree_pooled", &shim, &outcome.result);
+}
+
+#[test]
+fn infer_ml_tree_checked_matches_run_inference() {
+    let aln = workload(14);
+    let cfg = SearchConfig::fast();
+    let shim = infer_ml_tree_checked(&aln, &cfg, 6).unwrap();
+    assert_same("infer_ml_tree_checked", &shim, &unified(&aln, &cfg, 6));
+}
+
+#[test]
+fn infer_ml_tree_checkpointed_matches_run_inference() {
+    let dir = std::env::temp_dir().join("raxml-cell-unified-api-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let shim_path = dir.join("shim.ckpt");
+    let new_path = dir.join("unified.ckpt");
+    let _ = std::fs::remove_file(&shim_path);
+    let _ = std::fs::remove_file(&new_path);
+
+    let aln = workload(15);
+    let cfg = SearchConfig::fast();
+    let request = InferenceRequest::new(cfg.clone(), 7);
+    let fp = request.fingerprint(&aln);
+
+    let mut shim_ckpt = SearchCheckpointer::new(&shim_path, fp);
+    let shim = infer_ml_tree_checkpointed(&aln, &cfg, 7, &mut shim_ckpt).unwrap();
+
+    let mut new_ckpt = SearchCheckpointer::new(&new_path, fp);
+    let via_options =
+        run_inference(&aln, &request, InferenceOptions::new().with_checkpoint(&mut new_ckpt))
+            .unwrap()
+            .result;
+    assert_same("infer_ml_tree_checkpointed", &shim, &via_options);
+    // And checkpointing must not perturb the un-checkpointed result.
+    assert_same("checkpointed vs plain", &shim, &unified(&aln, &cfg, 7));
+}
+
+#[test]
+fn bootstrap_run_matches_try_run() {
+    let aln = workload(16);
+    let analysis = BootstrapAnalysis {
+        n_inferences: 1,
+        n_bootstraps: 4,
+        n_workers: 2,
+        seed: 9,
+        search: SearchConfig::fast(),
+    };
+    let panicking = analysis.run(&aln);
+    let fallible = analysis.try_run(&aln).unwrap();
+    assert_eq!(
+        panicking.best_log_likelihood.to_bits(),
+        fallible.best_log_likelihood.to_bits(),
+        "run and try_run diverge on the best tree's lnL"
+    );
+    assert_eq!(panicking.best.tree.to_exact_string(), fallible.best.tree.to_exact_string());
+    assert_eq!(panicking.bootstrap_trees.len(), fallible.bootstrap_trees.len());
+    for (a, b) in panicking.bootstrap_trees.iter().zip(&fallible.bootstrap_trees) {
+        assert_eq!(a.to_exact_string(), b.to_exact_string());
+    }
+}
