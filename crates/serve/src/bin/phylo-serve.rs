@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! phylo-serve [--addr HOST:PORT] [--workers N] [--capacity N] [--quota N]
-//!             [--max-queue N] [--state-dir DIR]
+//!             [--max-queue N] [--max-conns N] [--state-dir DIR] [--no-fsync]
 //!             [--synthetic NAME=TAXA,SITES,SEED]...
 //! ```
 //!
@@ -10,9 +10,12 @@
 //! reference them by name. Scrape `GET /metrics` on the same port for the
 //! Prometheus export. The process serves until killed; with `--state-dir`,
 //! a restart replays the journal and resumes unfinished jobs.
+//! `--max-conns` bounds concurrent connections (extras get a typed `busy`
+//! rejection); `--no-fsync` trades journal durability (`sync_data` per
+//! append, the default) for OS-managed write-back.
 
-use serve::server::Server;
-use serve::service::{InferenceService, ServiceConfig};
+use serve::server::{Server, ServerConfig};
+use serve::service::{InferenceService, ServiceConfig, SyncPolicy};
 use std::sync::Arc;
 
 fn main() {
@@ -27,8 +30,8 @@ fn run() -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: phylo-serve [--addr HOST:PORT] [--workers N] [--capacity N] \
-             [--quota N] [--max-queue N] [--state-dir DIR] \
-             [--synthetic NAME=TAXA,SITES,SEED]..."
+             [--quota N] [--max-queue N] [--max-conns N] [--state-dir DIR] \
+             [--no-fsync] [--synthetic NAME=TAXA,SITES,SEED]..."
         );
         return Ok(());
     }
@@ -47,6 +50,9 @@ fn run() -> Result<(), String> {
     }
     if let Some(dir) = flag_value(&args, "--state-dir") {
         config = config.with_state_dir(dir);
+    }
+    if args.iter().any(|a| a == "--no-fsync") {
+        config = config.with_sync_policy(SyncPolicy::OsManaged);
     }
     // Recovered jobs must not run before their datasets exist; start
     // paused, register, then resume.
@@ -82,7 +88,12 @@ fn run() -> Result<(), String> {
     }
     service.resume();
 
-    let server = Server::bind(addr, service.clone()).map_err(|e| format!("binding {addr}: {e}"))?;
+    let mut server_config = ServerConfig::default();
+    if let Some(max_conns) = parse_flag(&args, "--max-conns")? {
+        server_config = server_config.with_max_connections(max_conns);
+    }
+    let server = Server::bind_with(addr, service.clone(), server_config)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
     eprintln!(
         "phylo-serve listening on {} ({} workers); GET /metrics for Prometheus",
         server.addr(),

@@ -1,12 +1,12 @@
 //! A small blocking client for the frame protocol, plus a one-shot HTTP
-//! scraper for the `/metrics` endpoint. Used by the integration tests, the
-//! `serve_study` benchmark, and scripting.
+//! scraper for the `/metrics` endpoint and a reconnecting [`RetryClient`]
+//! with exactly-once submit semantics. Used by the integration tests, the
+//! `serve_study`/`chaos_study` benchmarks, and scripting.
 
-use crate::wire::{
-    self, JobSpec, JobStatusWire, RejectReason, Request, Response, StatsWire, WireState,
-};
+use crate::wire::{self, JobSpec, JobStatusWire, RejectReason, Request, Response, StatsWire};
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One framed connection to the server. Requests are synchronous: write a
@@ -23,11 +23,30 @@ impl Client {
     }
 
     fn round_trip(&mut self, request: &Request) -> std::io::Result<Response> {
-        wire::write_frame(&mut self.stream, &request.encode())?;
+        if let Err(write_err) = wire::write_frame(&mut self.stream, &request.encode()) {
+            // A rejected-at-accept connection gets one `busy` frame and an
+            // immediate close, so our write may die with EPIPE before we
+            // ever look at the socket. The frame is still sitting in the
+            // receive buffer — prefer the typed rejection over the raw
+            // transport error when it is there.
+            if let Ok(Some(frame)) = wire::read_frame(&mut self.stream) {
+                if matches!(Response::parse(&frame), Ok(Response::Busy)) {
+                    return Err(busy_error());
+                }
+            }
+            return Err(write_err);
+        }
         let frame = wire::read_frame(&mut self.stream)?.ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server hung up mid-request")
         })?;
-        Response::parse(&frame).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let response = Response::parse(&frame)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if matches!(response, Response::Busy) {
+            // The server wrote one `busy` frame at accept time and closed;
+            // surface it as a retryable connection-level error.
+            return Err(busy_error());
+        }
+        Ok(response)
     }
 
     /// Liveness probe.
@@ -45,7 +64,23 @@ impl Client {
         tenant: &str,
         spec: &JobSpec,
     ) -> std::io::Result<Result<u64, RejectReason>> {
-        let request = Request::Submit { tenant: tenant.to_string(), spec: spec.clone() };
+        self.submit_idem(tenant, spec, None)
+    }
+
+    /// [`submit`](Client::submit) with an optional idempotency key: resend
+    /// the same key after a transport failure and the service returns the
+    /// original job id instead of admitting a duplicate.
+    pub fn submit_idem(
+        &mut self,
+        tenant: &str,
+        spec: &JobSpec,
+        idem: Option<&str>,
+    ) -> std::io::Result<Result<u64, RejectReason>> {
+        let request = Request::Submit {
+            tenant: tenant.to_string(),
+            spec: spec.clone(),
+            idem: idem.map(str::to_string),
+        };
         match self.round_trip(&request)? {
             Response::Accepted { job } => Ok(Ok(job)),
             Response::Rejected { reason } => Ok(Err(reason)),
@@ -64,6 +99,18 @@ impl Client {
         }
     }
 
+    /// Request best-effort cancellation; returns the job's post-call
+    /// status (`Cancelled` only if it was still queued).
+    pub fn cancel(&mut self, job: u64) -> std::io::Result<JobStatusWire> {
+        match self.round_trip(&Request::Cancel { job })? {
+            Response::Status(status) => Ok(status),
+            Response::Error { message } => {
+                Err(std::io::Error::new(std::io::ErrorKind::NotFound, message))
+            }
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
     /// Service-wide counters.
     pub fn stats(&mut self) -> std::io::Result<StatsWire> {
         match self.round_trip(&Request::Stats)? {
@@ -72,14 +119,185 @@ impl Client {
         }
     }
 
-    /// Poll until the job reaches `Done`/`Failed`, with capped exponential
-    /// backoff. Times out with `ErrorKind::TimedOut`.
+    /// Poll until the job reaches a terminal state
+    /// (`Done`/`Failed`/`Cancelled`), with capped exponential backoff.
+    /// Times out with `ErrorKind::TimedOut`.
     pub fn wait_done(&mut self, job: u64, timeout: Duration) -> std::io::Result<JobStatusWire> {
         let deadline = Instant::now() + timeout;
         let mut pause = Duration::from_millis(1);
         loop {
             let status = self.status(job)?;
-            if matches!(status.state, WireState::Done | WireState::Failed) {
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("job {job} still {:?} after {timeout:?}", status.state),
+                ));
+            }
+            std::thread::sleep(pause);
+            pause = (pause * 2).min(Duration::from_millis(50));
+        }
+    }
+}
+
+/// A shared, mutable server address — the chaos studies' one-cell service
+/// discovery. A killed server restarts on a fresh ephemeral port (std's
+/// `TcpListener` does not set `SO_REUSEADDR`, so rebinding the old port can
+/// hit `TIME_WAIT`); the restarter publishes the new address here and every
+/// [`RetryClient`] picks it up on its next reconnect.
+#[derive(Clone, Default)]
+pub struct AddrCell {
+    inner: Arc<Mutex<Option<SocketAddr>>>,
+}
+
+impl AddrCell {
+    pub fn new(addr: SocketAddr) -> AddrCell {
+        AddrCell { inner: Arc::new(Mutex::new(Some(addr))) }
+    }
+
+    /// Publish a new server address; existing connections are unaffected,
+    /// reconnects go to the new address.
+    pub fn set(&self, addr: SocketAddr) {
+        *self.inner.lock().expect("addr cell") = Some(addr);
+    }
+
+    pub fn get(&self) -> Option<SocketAddr> {
+        *self.inner.lock().expect("addr cell")
+    }
+}
+
+/// How a [`RetryClient`] paces its reconnect attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per operation before giving up.
+    pub max_attempts: usize,
+    /// First backoff pause; doubles per failed attempt.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 12,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
+}
+
+/// A reconnecting client: every operation retries across transport
+/// failures with capped exponential backoff, reconnecting through an
+/// [`AddrCell`] so it survives a server kill/restart on a new port.
+///
+/// Submits are **exactly-once**: each logical submit generates one
+/// idempotency key (`<prefix>-<counter>`) before the first attempt and
+/// resends it verbatim on every retry, so "the frame was truncated — did
+/// the server admit my job?" resolves to the original id instead of a
+/// duplicate.
+pub struct RetryClient {
+    addr: AddrCell,
+    conn: Option<Client>,
+    policy: RetryPolicy,
+    key_prefix: String,
+    next_key: u64,
+}
+
+impl RetryClient {
+    /// `key_prefix` must be unique per logical client (e.g. `"c3"`), since
+    /// idempotency keys are `<prefix>-<counter>` scoped per tenant.
+    pub fn new(addr: AddrCell, key_prefix: &str) -> RetryClient {
+        RetryClient {
+            addr,
+            conn: None,
+            policy: RetryPolicy::default(),
+            key_prefix: key_prefix.to_string(),
+            next_key: 0,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: RetryPolicy) -> RetryClient {
+        self.policy = policy;
+        self
+    }
+
+    fn conn(&mut self) -> std::io::Result<&mut Client> {
+        if self.conn.is_none() {
+            let addr = self.addr.get().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotConnected, "no server address published")
+            })?;
+            self.conn = Some(Client::connect(addr)?);
+            obs::global().counter("serve_client_reconnects_total").inc();
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Run `op` with reconnect-and-retry. Any `Err` drops the connection
+    /// (its stream state is suspect after a fault) and retries after
+    /// backoff, except `NotFound`, which is a real answer, not a fault.
+    fn retry<T>(&mut self, op: impl Fn(&mut Client) -> std::io::Result<T>) -> std::io::Result<T> {
+        let mut pause = self.policy.base_backoff;
+        let mut last_err = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                obs::global().counter("serve_retries_total").inc();
+                std::thread::sleep(pause);
+                pause = (pause * 2).min(self.policy.max_backoff);
+            }
+            let outcome = self.conn().and_then(&op);
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(e),
+                Err(e) => {
+                    self.conn = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("retry budget exhausted")))
+    }
+
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.retry(|c| c.ping())
+    }
+
+    /// Exactly-once submit: one idempotency key per call, reused across
+    /// every retry of that call.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        spec: &JobSpec,
+    ) -> std::io::Result<Result<u64, RejectReason>> {
+        let key = format!("{}-{}", self.key_prefix, self.next_key);
+        self.next_key += 1;
+        let tenant = tenant.to_string();
+        let spec = spec.clone();
+        self.retry(move |c| c.submit_idem(&tenant, &spec, Some(&key)))
+    }
+
+    pub fn status(&mut self, job: u64) -> std::io::Result<JobStatusWire> {
+        self.retry(move |c| c.status(job))
+    }
+
+    pub fn cancel(&mut self, job: u64) -> std::io::Result<JobStatusWire> {
+        self.retry(move |c| c.cancel(job))
+    }
+
+    pub fn stats(&mut self) -> std::io::Result<StatsWire> {
+        self.retry(|c| c.stats())
+    }
+
+    /// Poll (with reconnects) until the job is terminal; each poll gets the
+    /// full retry budget, and the overall wait respects `timeout`.
+    pub fn wait_done(&mut self, job: u64, timeout: Duration) -> std::io::Result<JobStatusWire> {
+        let deadline = Instant::now() + timeout;
+        let mut pause = Duration::from_millis(1);
+        loop {
+            let status = self.status(job)?;
+            if status.state.is_terminal() {
                 return Ok(status);
             }
             if Instant::now() >= deadline {
@@ -110,6 +328,11 @@ pub fn scrape_metrics(addr: impl ToSocketAddrs) -> std::io::Result<String> {
         return Err(std::io::Error::other(format!("scrape failed: {status}")));
     }
     Ok(body.to_string())
+}
+
+/// The retryable error a typed `busy` rejection maps to.
+fn busy_error() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "server at connection capacity")
 }
 
 fn unexpected(wanted: &str, got: &Response) -> std::io::Error {

@@ -19,9 +19,18 @@
 //!   [`phylo::checkpoint`](phylo::checkpoint) tier.
 //! * **Server** ([`server`]): a thread-per-connection TCP front end that
 //!   multiplexes the frame protocol with a plain-HTTP `GET /metrics`
-//!   endpoint serving the [`obs`] Prometheus text exporter.
+//!   endpoint serving the [`obs`] Prometheus text exporter. Connections
+//!   live under handshake and per-frame deadlines, a bounded connection
+//!   cap answers overload with a typed `busy` frame, and `stop()` is a
+//!   graceful drain that joins every handler thread.
 //! * **Client** ([`client`]): a small blocking client for tests, studies,
-//!   and scripting.
+//!   and scripting, plus [`client::RetryClient`] — reconnecting, capped
+//!   exponential backoff, and exactly-once submits via idempotency keys
+//!   that survive server restarts.
+//! * **Fault injection** ([`fault`]): deterministic wire-level chaos
+//!   (drops, truncation, corruption, stalls) from counter-mode splitmix64
+//!   draws, replayable bit-exactly — the service-tier mirror of
+//!   `cellsim::fault`, exercised end to end by `bench --bin chaos_study`.
 //!
 //! ## Quick start
 //!
@@ -46,9 +55,13 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use service::{InferenceService, ServiceConfig, ServiceStats, ShutdownReport};
+pub use client::{AddrCell, Client, RetryClient, RetryPolicy};
+pub use fault::{FaultTally, FaultyStream, ServeFaultPlan, WireFault};
+pub use server::{DrainReport, Server, ServerConfig};
+pub use service::{InferenceService, ServiceConfig, ServiceStats, ShutdownReport, SyncPolicy};
 pub use wire::{JobKind, JobSpec, Preset, RejectReason};

@@ -6,54 +6,284 @@
 //! 4-byte big-endian length ≤ [`wire::MAX_FRAME`] (1 MiB), while `b"GET "`
 //! read as that length is ~1.2 GiB — so the first four bytes of a
 //! connection decide HTTP vs frames with no false positives (see the
-//! invariant test in [`crate::wire`]).
+//! invariant test in [`crate::wire`]). The shutdown wake sentinel
+//! `0xFFFF_FFFF` occupies a third, equally unambiguous region.
+//!
+//! ## Connection lifecycle hardening
+//!
+//! Every connection lives under deadlines ([`ServerConfig`]): the protocol
+//! sniff must complete within `handshake_timeout` (a slow-loris client that
+//! sends three bytes and idles is evicted, not parked forever), each frame
+//! read within `frame_read_timeout`, each write within `write_timeout`.
+//! Deadline evictions tick `serve_conn_deadline_total`. A bounded
+//! connection cap (`max_connections`) turns overload into a typed
+//! [`Response::Busy`] frame plus `serve_conn_rejected_total` instead of an
+//! unbounded thread pile-up.
+//!
+//! Every handler thread is tracked in a connection registry, so
+//! [`Server::stop`] is a **graceful drain**: it shuts each live socket
+//! down, joins every handler under `drain_deadline`, and reports exactly
+//! how many threads were joined or (past the hard deadline) leaked —
+//! nothing is silently abandoned.
+//!
+//! With a [`ServeFaultPlan`] installed, each accepted stream is wrapped in
+//! a [`FaultyStream`] keyed by the accept counter, so chaos studies inject
+//! deterministic wire faults on the server side of the protocol.
 //!
 //! Thread-per-connection mirrors the paper's PPE-side organisation — a
 //! cheap coordinator thread per client, with the heavy lifting on the farm
 //! — and keeps the server free of any async runtime dependency.
 
+use crate::fault::{FaultTally, FaultyStream, ServeFaultPlan};
 use crate::service::InferenceService;
 use crate::wire::{self, Request, Response};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// A running server; dropping it stops the accept loop (the service itself
-/// is owned by the caller and outlives the listener).
+/// The shutdown wake preamble: an impossible frame length (`> MAX_FRAME`)
+/// that is also not `b"GET "`, so a handler that ever sniffs it knows the
+/// connection is the server's own stop() wake and drops it immediately
+/// instead of serving it.
+const WAKE_HEAD: [u8; 4] = [0xff, 0xff, 0xff, 0xff];
+
+/// Deadlines and bounds for the connection lifecycle.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The protocol sniff (first 4 bytes) must complete within this.
+    pub handshake_timeout: Duration,
+    /// Each frame read (including idle time between requests) must complete
+    /// within this; an idle or stalled client is evicted past it.
+    pub frame_read_timeout: Duration,
+    /// Each response write must complete within this.
+    pub write_timeout: Duration,
+    /// Maximum simultaneous connections (`0` = unbounded); beyond it a
+    /// fresh connection receives one [`Response::Busy`] frame and closes.
+    pub max_connections: usize,
+    /// Hard deadline for [`Server::stop`] to join all handler threads.
+    pub drain_deadline: Duration,
+    /// Deterministic wire faults injected around every accepted stream.
+    pub fault_plan: Option<ServeFaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            handshake_timeout: Duration::from_secs(10),
+            frame_read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_connections: 0,
+            drain_deadline: Duration::from_secs(5),
+            fault_plan: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    pub fn with_handshake_timeout(mut self, d: Duration) -> ServerConfig {
+        self.handshake_timeout = d;
+        self
+    }
+
+    pub fn with_frame_read_timeout(mut self, d: Duration) -> ServerConfig {
+        self.frame_read_timeout = d;
+        self
+    }
+
+    pub fn with_write_timeout(mut self, d: Duration) -> ServerConfig {
+        self.write_timeout = d;
+        self
+    }
+
+    pub fn with_max_connections(mut self, n: usize) -> ServerConfig {
+        self.max_connections = n;
+        self
+    }
+
+    pub fn with_drain_deadline(mut self, d: Duration) -> ServerConfig {
+        self.drain_deadline = d;
+        self
+    }
+
+    pub fn with_fault_plan(mut self, plan: ServeFaultPlan) -> ServerConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// What [`Server::stop`] observed while draining connection threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Handler threads joined within the drain deadline.
+    pub joined: usize,
+    /// Handler threads still running when the deadline expired (abandoned).
+    pub leaked: usize,
+}
+
+/// One live connection: the socket handle (for forced shutdown at drain)
+/// and the handler thread.
+struct ConnEntry {
+    stream: TcpStream,
+    handle: JoinHandle<()>,
+}
+
+/// Registry of live handler threads; the accept loop registers, `stop()`
+/// drains.
+#[derive(Default)]
+struct Registry {
+    entries: Mutex<Vec<ConnEntry>>,
+}
+
+impl Registry {
+    /// Join finished handlers and return the number still active.
+    fn reap(&self) -> usize {
+        let mut entries = self.entries.lock().expect("conn registry");
+        let mut active = Vec::with_capacity(entries.len());
+        for entry in entries.drain(..) {
+            if entry.handle.is_finished() {
+                let _ = entry.handle.join();
+            } else {
+                active.push(entry);
+            }
+        }
+        *entries = active;
+        entries.len()
+    }
+
+    fn register(&self, stream: TcpStream, handle: JoinHandle<()>) {
+        self.entries.lock().expect("conn registry").push(ConnEntry { stream, handle });
+    }
+
+    /// Shut every live socket down, then join all handlers until `deadline`
+    /// elapses; whatever survives it is counted leaked, never blocked on.
+    fn drain(&self, deadline: Duration) -> DrainReport {
+        let mut entries: Vec<ConnEntry> =
+            self.entries.lock().expect("conn registry").drain(..).collect();
+        for entry in &entries {
+            // Unblock parked reads/writes; the handler exits on the error.
+            let _ = entry.stream.shutdown(Shutdown::Both);
+        }
+        let hard = Instant::now() + deadline;
+        let mut report = DrainReport::default();
+        while !entries.is_empty() {
+            let mut still_running = Vec::with_capacity(entries.len());
+            for entry in entries.drain(..) {
+                if entry.handle.is_finished() {
+                    let _ = entry.handle.join();
+                    report.joined += 1;
+                } else {
+                    still_running.push(entry);
+                }
+            }
+            entries = still_running;
+            if entries.is_empty() || Instant::now() >= hard {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        report.leaked = entries.len();
+        if report.leaked > 0 {
+            obs::global().counter("serve_conn_leaked_total").add(report.leaked as u64);
+        }
+        report
+    }
+}
+
+/// A running server; dropping it stops the accept loop and drains handler
+/// threads (the service itself is owned by the caller and outlives the
+/// listener).
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    registry: Arc<Registry>,
+    drain_deadline: Duration,
+    tally: Arc<FaultTally>,
+}
+
+/// Everything a handler thread needs, shared once per server.
+struct ServerShared {
+    service: Arc<InferenceService>,
+    config: ServerConfig,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
-    /// `service` until dropped or [`stop`](Server::stop)ped.
+    /// `service` with default deadlines until dropped or
+    /// [`stop`](Server::stop)ped.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<InferenceService>,
     ) -> std::io::Result<Server> {
+        Server::bind_with(addr, service, ServerConfig::default())
+    }
+
+    /// Bind with explicit lifecycle deadlines, connection bounds, and an
+    /// optional wire fault plan.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<InferenceService>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Registry::default());
+        let tally = Arc::new(FaultTally::default());
+        let drain_deadline = config.drain_deadline;
+        let plan = config.fault_plan.clone().map(Arc::new);
+        let shared = Arc::new(ServerShared { service, config });
+
         let stop_flag = stop.clone();
+        let registry_accept = registry.clone();
+        let tally_accept = tally.clone();
         let accept_thread =
             std::thread::Builder::new().name("serve-accept".to_string()).spawn(move || {
+                let mut conn_id: u64 = 0;
                 for conn in listener.incoming() {
                     if stop_flag.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    let service = service.clone();
-                    let _ = std::thread::Builder::new()
+                    let active = registry_accept.reap();
+                    let max = shared.config.max_connections;
+                    if max > 0 && active >= max {
+                        reject_busy(stream, &shared.config);
+                        continue;
+                    }
+                    obs::global().counter("serve_conn_accepted_total").inc();
+                    let id = conn_id;
+                    conn_id += 1;
+                    let Ok(socket) = stream.try_clone() else { continue };
+                    let conn = match &plan {
+                        None => ConnStream::Plain(stream),
+                        Some(plan) => ConnStream::Faulty(FaultyStream::new(
+                            stream,
+                            plan.clone(),
+                            tally_accept.clone(),
+                            id,
+                        )),
+                    };
+                    let shared = shared.clone();
+                    let spawned = std::thread::Builder::new()
                         .name("serve-conn".to_string())
-                        .spawn(move || handle_connection(stream, &service));
+                        .spawn(move || handle_connection(conn, &shared));
+                    if let Ok(handle) = spawned {
+                        registry_accept.register(socket, handle);
+                    }
                 }
             })?;
-        Ok(Server { addr, stop, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            registry,
+            drain_deadline,
+            tally,
+        })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -61,56 +291,163 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept loop. In-flight
-    /// connection threads finish their current request and exit on the
-    /// next client hang-up.
-    pub fn stop(&mut self) {
+    /// Wire faults injected so far by this server's fault plan (all zero
+    /// when no plan is installed).
+    pub fn fault_tally(&self) -> &FaultTally {
+        &self.tally
+    }
+
+    /// Stop accepting, then **drain**: shut down every live connection,
+    /// join every handler thread under the drain deadline, and report what
+    /// was joined vs leaked. Idempotent; later calls return an empty
+    /// report.
+    pub fn stop(&mut self) -> DrainReport {
         if self.stop.swap(true, Ordering::SeqCst) {
-            return;
+            return DrainReport::default();
         }
+        let start = Instant::now();
         // The accept loop is parked in `accept()`; a throwaway self-connect
-        // wakes it so it can observe the flag.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        // wakes it. The wake carries the WAKE_HEAD sentinel so that even if
+        // a handler is ever spawned for it, the sniff recognises and drops
+        // it instead of serving a phantom connection that races shutdown.
+        if let Ok(mut wake) = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1)) {
+            let _ = wake.write_all(&WAKE_HEAD);
+        }
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        let report = self.registry.drain(self.drain_deadline);
+        obs::global().histogram("serve_drain_ns").record_since(start);
+        report
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop();
+        let _ = self.stop();
     }
 }
 
-fn handle_connection(mut stream: TcpStream, service: &InferenceService) {
+/// Send one typed `Busy` frame on a fresh over-cap connection and close.
+fn reject_busy(mut stream: TcpStream, config: &ServerConfig) {
+    obs::global().counter("serve_conn_rejected_total").inc();
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = wire::write_frame(&mut stream, &Response::Busy.encode());
+}
+
+/// A connection's transport: the bare socket, or the socket behind a
+/// deterministic fault injector. Deadline control always reaches the real
+/// socket underneath.
+enum ConnStream {
+    Plain(TcpStream),
+    Faulty(FaultyStream<TcpStream>),
+}
+
+impl ConnStream {
+    fn socket(&self) -> &TcpStream {
+        match self {
+            ConnStream::Plain(s) => s,
+            ConnStream::Faulty(f) => f.get_ref(),
+        }
+    }
+
+    fn set_read_timeout(&self, d: Duration) {
+        let _ = self.socket().set_read_timeout(Some(d));
+    }
+
+    fn set_write_timeout(&self, d: Duration) {
+        let _ = self.socket().set_write_timeout(Some(d));
+    }
+}
+
+impl Read for ConnStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ConnStream::Plain(s) => s.read(buf),
+            ConnStream::Faulty(f) => f.read(buf),
+        }
+    }
+}
+
+impl Write for ConnStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ConnStream::Plain(s) => s.write(buf),
+            ConnStream::Faulty(f) => f.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ConnStream::Plain(s) => s.flush(),
+            ConnStream::Faulty(f) => f.flush(),
+        }
+    }
+}
+
+/// A read/write failure caused by an expired socket deadline (Unix reports
+/// `WouldBlock`, Windows `TimedOut`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn handle_connection(conn: ConnStream, shared: &ServerShared) {
+    let socket = conn.socket().try_clone().ok();
+    drive_connection(conn, shared);
+    // The registry holds its own clone of this socket for drain, which
+    // keeps the fd open after this thread exits (until the next reap).
+    // Shut the connection down explicitly so the peer sees EOF the moment
+    // the handler dies, instead of blocking on a half-dead socket.
+    if let Some(socket) = socket {
+        let _ = socket.shutdown(Shutdown::Both);
+    }
+}
+
+fn drive_connection(mut conn: ConnStream, shared: &ServerShared) {
     // Sniff the protocol from the first four bytes (frame length prefix vs
-    // the start of an HTTP request line).
+    // the start of an HTTP request line) — under the handshake deadline, so
+    // a slow-loris client cannot park this thread forever.
+    conn.set_read_timeout(shared.config.handshake_timeout);
+    let overall = Instant::now() + shared.config.handshake_timeout;
     let mut head = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
-        match stream.read(&mut head[filled..]) {
+        match conn.read(&mut head[filled..]) {
             Ok(0) => return,
             Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                obs::global().counter("serve_conn_deadline_total").inc();
+                return;
+            }
             Err(_) => return,
         }
+        // Trickling one byte per timeout window must not extend the
+        // handshake indefinitely: the overall deadline still applies.
+        if filled < 4 && Instant::now() >= overall {
+            obs::global().counter("serve_conn_deadline_total").inc();
+            return;
+        }
+    }
+    if head == WAKE_HEAD {
+        // stop()'s accept-loop wake: never a real client, drop it.
+        return;
     }
     if &head == b"GET " {
-        serve_http(stream);
+        serve_http(conn);
     } else {
-        serve_frames(stream, head, service);
+        serve_frames(conn, head, shared);
     }
 }
 
 /// Serve one HTTP request (the scrape endpoint) and close. Prometheus
 /// re-connects per scrape, so connection reuse buys nothing here.
-fn serve_http(mut stream: TcpStream) {
+fn serve_http(mut conn: ConnStream) {
     // Read until the end of the request head; the body is irrelevant.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    conn.set_read_timeout(Duration::from_secs(5));
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 256];
     while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 16 * 1024 {
-        match stream.read(&mut chunk) {
+        match conn.read(&mut chunk) {
             Ok(0) | Err(_) => break,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
         }
@@ -126,31 +463,53 @@ fn serve_http(mut stream: TcpStream) {
         "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
-    let _ = stream.write_all(response.as_bytes());
+    let _ = conn.write_all(response.as_bytes());
 }
 
-/// Serve framed requests until the client hangs up. `head` already holds
-/// the first frame's length prefix from the sniff.
-fn serve_frames(mut stream: TcpStream, head: [u8; 4], service: &InferenceService) {
+/// Serve framed requests until the client hangs up or a deadline expires.
+/// `head` already holds the first frame's length prefix from the sniff.
+fn serve_frames(mut conn: ConnStream, head: [u8; 4], shared: &ServerShared) {
+    conn.set_read_timeout(shared.config.frame_read_timeout);
+    conn.set_write_timeout(shared.config.write_timeout);
     let mut first = Some(head);
     loop {
-        let frame = match read_frame_with_head(&mut stream, first.take()) {
+        let frame = match read_frame_with_head(&mut conn, first.take()) {
             Ok(Some(f)) => f,
             Ok(None) => return,
-            Err(_) => return,
+            Err(e) if is_timeout(&e) => {
+                obs::global().counter("serve_conn_deadline_total").inc();
+                return;
+            }
+            Err(_) => {
+                // Torn, oversized, or corrupt frame: count it and close —
+                // there is no way to resynchronise a length-prefixed stream.
+                obs::global().counter("serve_frame_read_errors_total").inc();
+                return;
+            }
         };
         let response = match Request::parse(&frame) {
-            Ok(request) => dispatch(&request, service),
-            Err(message) => Response::Error { message },
+            Ok(request) => dispatch(&request, &shared.service),
+            Err(message) => {
+                obs::global().counter("serve_frame_parse_errors_total").inc();
+                Response::Error { message }
+            }
         };
-        if wire::write_frame(&mut stream, &response.encode()).is_err() {
-            return;
+        match wire::write_frame(&mut conn, &response.encode()) {
+            Ok(()) => {}
+            Err(e) if is_timeout(&e) => {
+                obs::global().counter("serve_conn_deadline_total").inc();
+                return;
+            }
+            Err(_) => {
+                obs::global().counter("serve_frame_write_errors_total").inc();
+                return;
+            }
         }
     }
 }
 
 fn read_frame_with_head(
-    stream: &mut TcpStream,
+    stream: &mut impl Read,
     head: Option<[u8; 4]>,
 ) -> std::io::Result<Option<String>> {
     match head {
@@ -178,11 +537,17 @@ fn read_frame_with_head(
 fn dispatch(request: &Request, service: &InferenceService) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::Submit { tenant, spec } => match service.submit(tenant, spec) {
-            Ok(job) => Response::Accepted { job },
-            Err(reason) => Response::Rejected { reason },
-        },
+        Request::Submit { tenant, spec, idem } => {
+            match service.submit_idem(tenant, spec, idem.as_deref()) {
+                Ok(job) => Response::Accepted { job },
+                Err(reason) => Response::Rejected { reason },
+            }
+        }
         Request::Status { job } => match service.status(*job) {
+            Some(status) => Response::Status(status),
+            None => Response::Error { message: format!("unknown job {job}") },
+        },
+        Request::Cancel { job } => match service.cancel(*job) {
             Some(status) => Response::Status(status),
             None => Response::Error { message: format!("unknown job {job}") },
         },

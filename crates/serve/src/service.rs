@@ -72,6 +72,22 @@ use std::time::{Duration, Instant};
 /// Journal header line; a version bump invalidates old journals loudly.
 const JOURNAL_HEADER: &str = "#RAXML-CELL-SERVE-JOURNAL v1";
 
+/// When journal appends reach the disk platter.
+///
+/// `File::flush()` is a no-op for unbuffered files, so "append + flush" was
+/// never durable — a machine crash could lose acknowledged submits. The
+/// default now pays one `sync_data` per append: an acked submit survives
+/// power loss. `OsManaged` opts back into the old cheap behaviour for
+/// throughput studies where the OS page cache is trusted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `sync_data` after every journal append (durable acks).
+    #[default]
+    EveryAppend,
+    /// Leave flushing to the OS page cache (fast, crash-lossy).
+    OsManaged,
+}
+
 /// How the service is sized and where (if anywhere) it persists state.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -95,6 +111,8 @@ pub struct ServiceConfig {
     /// Start with dispatch paused (see [`InferenceService::resume`]) so
     /// datasets can be registered before recovered or pre-queued jobs run.
     pub start_paused: bool,
+    /// Journal durability policy (default: `sync_data` per append).
+    pub sync_policy: SyncPolicy,
 }
 
 impl ServiceConfig {
@@ -109,6 +127,7 @@ impl ServiceConfig {
             state_dir: None,
             abort_after_saves: None,
             start_paused: false,
+            sync_policy: SyncPolicy::default(),
         }
     }
 
@@ -142,6 +161,12 @@ impl ServiceConfig {
         self.abort_after_saves = Some(n);
         self
     }
+
+    /// Choose the journal durability policy.
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> ServiceConfig {
+        self.sync_policy = policy;
+        self
+    }
 }
 
 /// Service-wide accounting, the in-process twin of [`StatsWire`].
@@ -153,6 +178,8 @@ pub struct ServiceStats {
     pub rejected: u64,
     pub completed: u64,
     pub failed: u64,
+    /// Jobs settled by cancellation (client request or expired deadline).
+    pub cancelled: u64,
     /// Currently waiting in the service queues.
     pub queued: u64,
     /// Currently executing on a worker.
@@ -166,6 +193,7 @@ impl ServiceStats {
             rejected: self.rejected,
             completed: self.completed,
             failed: self.failed,
+            cancelled: self.cancelled,
             queued: self.queued,
             running: self.running,
         }
@@ -176,7 +204,7 @@ impl ServiceStats {
 /// the farm's own [`FarmStats`], and the seal counters — enough to prove
 /// exactly-once execution (`dispatched == farm.n_jobs`,
 /// `sealed_ok + sealed_failed == dispatched`, and
-/// `completed + failed == accepted` once the queues drained).
+/// `completed + failed + cancelled == accepted` once the queues drained).
 #[derive(Debug, Clone)]
 pub struct ShutdownReport {
     pub stats: ServiceStats,
@@ -196,6 +224,14 @@ enum JobState {
     Running,
     Done(WireResult),
     Failed(String),
+    Cancelled(String),
+}
+
+/// How a job settles through the idempotent [`Shared::finish`] path.
+enum Settle {
+    Done(WireResult),
+    Failed { message: String, interrupted: bool },
+    Cancelled { reason: String, deadline: bool },
 }
 
 #[derive(Debug)]
@@ -223,9 +259,18 @@ struct State {
     dispatch_order: Vec<u64>,
     next_id: u64,
     in_flight: HashMap<String, usize>,
+    /// `tenant \u{1} key` → job id: the exactly-once retry dedup map,
+    /// rebuilt from the journal on restart.
+    idem: HashMap<String, u64>,
     stats: ServiceStats,
     paused: bool,
     draining: bool,
+}
+
+/// Idempotency keys are scoped per tenant; `\u{1}` cannot appear in either
+/// half, so the composite is collision-free.
+fn idem_key(tenant: &str, key: &str) -> String {
+    format!("{tenant}\u{1}{key}")
 }
 
 struct Shared {
@@ -238,23 +283,38 @@ struct Shared {
     journal: Mutex<Option<File>>,
     sealed_ok: AtomicU64,
     sealed_failed: AtomicU64,
+    /// `sync_data` calls actually issued — the durability tests' witness
+    /// (obs counters are global and cross-test contaminated).
+    journal_syncs: AtomicU64,
 }
 
 impl Shared {
     fn journal_line(&self, line: &str) {
         let mut guard = self.journal.lock().expect("journal lock");
         if let Some(file) = guard.as_mut() {
-            // Crash-safety is best-effort append+flush; a torn final line
-            // is tolerated by the replay parser.
+            // A torn final line (crash mid-append) is tolerated by the
+            // replay parser; whether the append survives a crash at all is
+            // the sync policy's call.
             let _ = writeln!(file, "{line}");
-            let _ = file.flush();
+            match self.config.sync_policy {
+                SyncPolicy::EveryAppend => {
+                    if file.sync_data().is_ok() {
+                        self.journal_syncs.fetch_add(1, Ordering::Relaxed);
+                        obs::global().counter("serve_journal_sync_total").inc();
+                    }
+                }
+                SyncPolicy::OsManaged => {
+                    let _ = file.flush();
+                }
+            }
         }
     }
 
-    /// The single idempotent completion path (worker closure or seal
-    /// callback, whichever first). Updates the table, quotas, counters and
-    /// metrics, appends the journal mark, and wakes waiters.
-    fn finish(&self, job_id: u64, outcome: Result<WireResult, (String, bool)>) {
+    /// The single idempotent completion path (worker closure, seal
+    /// callback, or cancellation — whichever first). Updates the table,
+    /// quotas, counters and metrics, appends the journal mark, and wakes
+    /// waiters.
+    fn finish(&self, job_id: u64, outcome: Settle) {
         let mut st = self.state.lock().expect("service state");
         let Some(rec) = st.jobs.get_mut(&job_id) else { return };
         if rec.finished {
@@ -265,7 +325,7 @@ impl Shared {
         let tenant = rec.tenant.clone();
         let sojourn_start = rec.submitted_at;
         let journal_entry = match outcome {
-            Ok(result) => {
+            Settle::Done(result) => {
                 let line = JsonObj::new()
                     .str("ev", "done")
                     .u64("job", job_id)
@@ -281,7 +341,7 @@ impl Shared {
                 obs::global().counter("serve_completed_total").inc();
                 Some(line)
             }
-            Err((message, interrupted)) => {
+            Settle::Failed { message, interrupted } => {
                 rec.state = JobState::Failed(message.clone());
                 st.stats.failed += 1;
                 obs::global().counter("serve_failed_total").inc();
@@ -299,6 +359,21 @@ impl Shared {
                             .finish(),
                     )
                 }
+            }
+            Settle::Cancelled { reason, deadline } => {
+                rec.state = JobState::Cancelled(reason.clone());
+                st.stats.cancelled += 1;
+                obs::global().counter("serve_cancelled_total").inc();
+                if deadline {
+                    obs::global().counter("serve_deadline_expired_total").inc();
+                }
+                Some(
+                    JsonObj::new()
+                        .str("ev", "cancelled")
+                        .u64("job", job_id)
+                        .str("reason", &reason)
+                        .finish(),
+                )
             }
         };
         if was_running {
@@ -327,7 +402,7 @@ impl Iterator for JobFeed {
 
     fn next(&mut self) -> Option<u64> {
         let mut st = self.shared.state.lock().expect("service state");
-        loop {
+        'scan: loop {
             if !st.paused {
                 let n = st.tenants.len();
                 for k in 0..n {
@@ -338,6 +413,11 @@ impl Iterator for JobFeed {
                         st.rr_cursor = (ti + 1) % n;
                         st.stats.queued -= 1;
                         obs::global().gauge("serve_queue_depth").set(st.stats.queued as f64);
+                        // A job cancelled while queued is already settled;
+                        // skip it so `dispatched == farm.n_jobs` stays exact.
+                        if st.jobs.get(&id).is_some_and(|r| r.finished) {
+                            continue 'scan;
+                        }
                         st.dispatch_order.push(id);
                         return Some(id);
                     }
@@ -380,7 +460,11 @@ impl InferenceService {
             let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
             if file.metadata()?.len() == 0 {
                 writeln!(file, "{JOURNAL_HEADER}")?;
-                file.flush()?;
+                if config.sync_policy == SyncPolicy::EveryAppend {
+                    file.sync_data()?;
+                } else {
+                    file.flush()?;
+                }
             }
             journal = Some(file);
         }
@@ -394,6 +478,7 @@ impl InferenceService {
             journal: Mutex::new(journal),
             sealed_ok: AtomicU64::new(0),
             sealed_failed: AtomicU64::new(0),
+            journal_syncs: AtomicU64::new(0),
         });
 
         let farm_config = FarmConfig::new(config.n_workers).bounded(config.farm_capacity);
@@ -448,7 +533,27 @@ impl InferenceService {
 
     /// Admit a job (returning its id) or reject it with a typed reason.
     pub fn submit(&self, tenant: &str, spec: &JobSpec) -> Result<u64, RejectReason> {
+        self.submit_idem(tenant, spec, None)
+    }
+
+    /// [`submit`](InferenceService::submit) with an optional client-chosen
+    /// idempotency key. A key already bound to a job (including journal-
+    /// recovered ones) short-circuits to that job's id **before** admission
+    /// checks run — a retried submit never re-executes and never gets
+    /// rejected for queue pressure its first attempt already paid for.
+    pub fn submit_idem(
+        &self,
+        tenant: &str,
+        spec: &JobSpec,
+        idem: Option<&str>,
+    ) -> Result<u64, RejectReason> {
         let mut st = self.shared.state.lock().expect("service state");
+        if let Some(key) = idem {
+            if let Some(&existing) = st.idem.get(&idem_key(tenant, key)) {
+                obs::global().counter("serve_idem_hits_total").inc();
+                return Ok(existing);
+            }
+        }
         if st.draining {
             self.reject(&mut st);
             return Err(RejectReason::ShuttingDown);
@@ -471,17 +576,57 @@ impl InferenceService {
         let id = st.next_id;
         st.next_id += 1;
         enqueue(&mut st, id, tenant.to_string(), spec.clone(), Instant::now());
+        if let Some(key) = idem {
+            st.idem.insert(idem_key(tenant, key), id);
+        }
         st.stats.accepted += 1;
         obs::global().counter("serve_submitted_total").inc();
         obs::global().gauge("serve_queue_depth").set(st.stats.queued as f64);
         drop(st);
 
-        let line = spec
-            .write_fields(JsonObj::new().str("ev", "submit").u64("job", id).str("tenant", tenant))
-            .finish();
+        let mut obj = JsonObj::new().str("ev", "submit").u64("job", id).str("tenant", tenant);
+        if let Some(key) = idem {
+            obj = obj.str("idem", key);
+        }
+        let line = spec.write_fields(obj).finish();
         self.shared.journal_line(&line);
         self.shared.feed_cv.notify_all();
         Ok(id)
+    }
+
+    /// Best-effort cancellation: a still-queued job settles as `Cancelled`
+    /// (journaled, counted, never dispatched); a running or already-settled
+    /// job is left alone. Returns the job's post-call status, `None` for an
+    /// unknown id.
+    pub fn cancel(&self, job_id: u64) -> Option<wire::JobStatusWire> {
+        let cancellable = {
+            let mut st = self.shared.state.lock().expect("service state");
+            match st.jobs.get(&job_id) {
+                None => return None,
+                Some(rec) if !rec.finished && matches!(rec.state, JobState::Queued) => {
+                    // Pull it out of its tenant queue so the queue depth
+                    // stays honest; the feed also skips finished ids as a
+                    // backstop for the pop-before-cancel race.
+                    let tenant = rec.tenant.clone();
+                    if let Some(q) = st.queues.get_mut(&tenant) {
+                        if let Some(pos) = q.iter().position(|&id| id == job_id) {
+                            q.remove(pos);
+                            st.stats.queued -= 1;
+                            obs::global().gauge("serve_queue_depth").set(st.stats.queued as f64);
+                        }
+                    }
+                    true
+                }
+                Some(_) => false,
+            }
+        };
+        if cancellable {
+            self.shared.finish(
+                job_id,
+                Settle::Cancelled { reason: "cancelled by client".to_string(), deadline: false },
+            );
+        }
+        self.status(job_id)
     }
 
     fn reject(&self, st: &mut State) {
@@ -498,19 +643,20 @@ impl InferenceService {
             JobState::Running => (WireState::Running, None, None),
             JobState::Done(r) => (WireState::Done, Some(r.clone()), None),
             JobState::Failed(e) => (WireState::Failed, None, Some(e.clone())),
+            JobState::Cancelled(reason) => (WireState::Cancelled, None, Some(reason.clone())),
         };
         Some(wire::JobStatusWire { job: job_id, tenant: rec.tenant.clone(), state, result, error })
     }
 
-    /// Block until the job reaches `Done`/`Failed` (then return its
-    /// status), or `None` on timeout or unknown id.
+    /// Block until the job reaches `Done`/`Failed`/`Cancelled` (then return
+    /// its status), or `None` on timeout or unknown id.
     pub fn wait_done(&self, job_id: u64, timeout: Duration) -> Option<wire::JobStatusWire> {
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.state.lock().expect("service state");
         loop {
             match st.jobs.get(&job_id).map(|r| &r.state) {
                 None => return None,
-                Some(JobState::Done(_) | JobState::Failed(_)) => break,
+                Some(JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled(_)) => break,
                 Some(_) => {}
             }
             let left = deadline.checked_duration_since(Instant::now())?;
@@ -527,6 +673,12 @@ impl InferenceService {
 
     pub fn stats(&self) -> ServiceStats {
         self.shared.state.lock().expect("service state").stats
+    }
+
+    /// `sync_data` calls the journal has issued (0 under
+    /// [`SyncPolicy::OsManaged`] or without a state dir).
+    pub fn journal_sync_count(&self) -> u64 {
+        self.shared.journal_syncs.load(Ordering::Relaxed)
     }
 
     /// The order jobs were handed to the farm — the fairness tests'
@@ -594,6 +746,27 @@ fn execute_job(shared: &Arc<Shared>, ws: &mut LikelihoodWorkspace, job_id: u64) 
     let (spec, aln) = {
         let mut st = shared.state.lock().expect("service state");
         let Some(rec) = st.jobs.get_mut(&job_id) else { return };
+        if rec.finished {
+            // Cancelled between the feed popping it and the worker picking
+            // it up; the settle already happened, so do nothing.
+            return;
+        }
+        // Per-job deadlines are enforced at dispatch: a job that waited in
+        // the queue past its budget settles as a deadline cancellation
+        // instead of burning a worker on an answer nobody wants.
+        if let Some(ms) = rec.spec.deadline_ms {
+            if rec.submitted_at.elapsed() >= Duration::from_millis(ms) {
+                drop(st);
+                shared.finish(
+                    job_id,
+                    Settle::Cancelled {
+                        reason: format!("deadline of {ms} ms expired before execution"),
+                        deadline: true,
+                    },
+                );
+                return;
+            }
+        }
         rec.state = JobState::Running;
         let spec = rec.spec.clone();
         let aln = st.datasets.get(&spec.dataset).cloned();
@@ -604,7 +777,7 @@ fn execute_job(shared: &Arc<Shared>, ws: &mut LikelihoodWorkspace, job_id: u64) 
         // Possible only for journal-recovered jobs whose dataset was not
         // re-registered before `resume()`.
         let msg = format!("dataset {:?} is not registered", spec.dataset);
-        shared.finish(job_id, Err((msg, false)));
+        shared.finish(job_id, Settle::Failed { message: msg, interrupted: false });
         return;
     };
 
@@ -649,11 +822,11 @@ fn execute_job(shared: &Arc<Shared>, ws: &mut LikelihoodWorkspace, job_id: u64) 
                     let _ = std::fs::remove_file(dir.join(format!("job-{job_id}.ckpt")));
                 }
             }
-            shared.finish(job_id, Ok(result));
+            shared.finish(job_id, Settle::Done(result));
         }
         Err(err) => {
             let interrupted = matches!(err, PhyloError::Interrupted { .. });
-            shared.finish(job_id, Err((err.to_string(), interrupted)));
+            shared.finish(job_id, Settle::Failed { message: err.to_string(), interrupted });
         }
     }
 }
@@ -672,7 +845,7 @@ fn on_sealed(shared: &Arc<Shared>, farm_idx: usize, sealed: &Result<(), FarmErro
                 st.dispatch_order.get(farm_idx).copied()
             };
             if let Some(id) = job_id {
-                shared.finish(id, Err((err.to_string(), false)));
+                shared.finish(id, Settle::Failed { message: err.to_string(), interrupted: false });
             }
         }
     }
@@ -685,6 +858,10 @@ fn replay_journal(contents: &str, state: &mut State) -> std::io::Result<()> {
     let mut order: Vec<u64> = Vec::new();
     let mut submitted: HashMap<u64, (String, JobSpec)> = HashMap::new();
     let mut settled: HashMap<u64, JobState> = HashMap::new();
+    // job id → idempotency key, rebound into `state.idem` for *all*
+    // replayed jobs (settled ones included) so a client retrying a submit
+    // from before the crash still dedups to the original id.
+    let mut idem_of: HashMap<u64, String> = HashMap::new();
 
     for line in contents.lines() {
         let line = line.trim();
@@ -698,6 +875,9 @@ fn replay_journal(contents: &str, state: &mut State) -> std::io::Result<()> {
             "submit" => {
                 let Some(tenant) = wire::get_str(&v, "tenant") else { continue };
                 let Ok(spec) = JobSpec::from_json(&v) else { continue };
+                if let Some(key) = wire::get_str(&v, "idem") {
+                    idem_of.insert(job, key.to_string());
+                }
                 if submitted.insert(job, (tenant.to_string(), spec)).is_none() {
                     order.push(job);
                 }
@@ -725,6 +905,10 @@ fn replay_journal(contents: &str, state: &mut State) -> std::io::Result<()> {
                 let error = wire::get_str(&v, "error").unwrap_or("unknown failure").to_string();
                 settled.insert(job, JobState::Failed(error));
             }
+            "cancelled" => {
+                let reason = wire::get_str(&v, "reason").unwrap_or("cancelled").to_string();
+                settled.insert(job, JobState::Cancelled(reason));
+            }
             _ => {}
         }
     }
@@ -734,11 +918,15 @@ fn replay_journal(contents: &str, state: &mut State) -> std::io::Result<()> {
         let (tenant, spec) = submitted.remove(&id).expect("submit recorded");
         state.next_id = state.next_id.max(id + 1);
         state.stats.accepted += 1;
+        if let Some(key) = idem_of.remove(&id) {
+            state.idem.insert(idem_key(&tenant, &key), id);
+        }
         match settled.remove(&id) {
             Some(done) => {
                 match done {
                     JobState::Done(_) => state.stats.completed += 1,
                     JobState::Failed(_) => state.stats.failed += 1,
+                    JobState::Cancelled(_) => state.stats.cancelled += 1,
                     _ => unreachable!(),
                 }
                 state.jobs.insert(

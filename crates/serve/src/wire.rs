@@ -271,6 +271,10 @@ pub struct JobSpec {
     /// Snapshot after every SPR round so a service restart resumes the job
     /// bit-identically (requires the service to have a state dir).
     pub checkpoint: bool,
+    /// Per-job deadline in milliseconds from admission. A job still queued
+    /// when its deadline passes is settled as cancelled at dispatch time
+    /// instead of being run; `None` means no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -283,12 +287,19 @@ impl JobSpec {
             spr_radius: None,
             max_spr_rounds: None,
             checkpoint: false,
+            deadline_ms: None,
         }
     }
 
     /// Request checkpointing for this job.
     pub fn checkpointed(mut self) -> JobSpec {
         self.checkpoint = true;
+        self
+    }
+
+    /// Attach a per-job deadline (milliseconds from admission).
+    pub fn with_deadline_ms(mut self, ms: u64) -> JobSpec {
+        self.deadline_ms = Some(ms);
         self
     }
 
@@ -317,6 +328,9 @@ impl JobSpec {
         if let Some(r) = self.max_spr_rounds {
             obj = obj.u64("max_spr_rounds", r as u64);
         }
+        if let Some(ms) = self.deadline_ms {
+            obj = obj.u64("deadline_ms", ms);
+        }
         obj.bool("checkpoint", self.checkpoint)
     }
 
@@ -340,6 +354,7 @@ impl JobSpec {
             spr_radius: get_usize(v, "spr_radius"),
             max_spr_rounds: get_usize(v, "max_spr_rounds"),
             checkpoint: get_bool(v, "checkpoint").unwrap_or(false),
+            deadline_ms: get_u64(v, "deadline_ms"),
         })
     }
 }
@@ -352,8 +367,23 @@ impl JobSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     Ping,
-    Submit { tenant: String, spec: JobSpec },
-    Status { job: u64 },
+    Submit {
+        tenant: String,
+        spec: JobSpec,
+        /// Client-generated idempotency key: a retried submit carrying the
+        /// same key returns the originally admitted job id instead of
+        /// double-running the job (the exactly-once retry contract).
+        idem: Option<String>,
+    },
+    Status {
+        job: u64,
+    },
+    /// Best-effort cancellation: a queued job settles as cancelled; a
+    /// running or finished job is left untouched. Responds with the job's
+    /// post-cancel status.
+    Cancel {
+        job: u64,
+    },
     Stats,
 }
 
@@ -361,10 +391,15 @@ impl Request {
     pub fn encode(&self) -> String {
         match self {
             Request::Ping => JsonObj::new().str("op", "ping").finish(),
-            Request::Submit { tenant, spec } => {
-                spec.write_fields(JsonObj::new().str("op", "submit").str("tenant", tenant)).finish()
+            Request::Submit { tenant, spec, idem } => {
+                let mut obj = JsonObj::new().str("op", "submit").str("tenant", tenant);
+                if let Some(key) = idem {
+                    obj = obj.str("idem", key);
+                }
+                spec.write_fields(obj).finish()
             }
             Request::Status { job } => JsonObj::new().str("op", "status").u64("job", *job).finish(),
+            Request::Cancel { job } => JsonObj::new().str("op", "cancel").u64("job", *job).finish(),
             Request::Stats => JsonObj::new().str("op", "stats").finish(),
         }
     }
@@ -379,10 +414,17 @@ impl Request {
                 if tenant.is_empty() {
                     return Err("submit: 'tenant' must be non-empty".to_string());
                 }
-                Ok(Request::Submit { tenant: tenant.to_string(), spec: JobSpec::from_json(&v)? })
+                Ok(Request::Submit {
+                    tenant: tenant.to_string(),
+                    spec: JobSpec::from_json(&v)?,
+                    idem: get_str(&v, "idem").map(str::to_string),
+                })
             }
             Some("status") => {
                 Ok(Request::Status { job: get_u64(&v, "job").ok_or("status: missing 'job' id")? })
+            }
+            Some("cancel") => {
+                Ok(Request::Cancel { job: get_u64(&v, "job").ok_or("cancel: missing 'job' id")? })
             }
             Some("stats") => Ok(Request::Stats),
             Some(op) => Err(format!("unknown op {op:?}")),
@@ -449,6 +491,9 @@ pub enum WireState {
     Running,
     Done,
     Failed,
+    /// Settled without running: cancelled by the client or expired past its
+    /// deadline (the reason travels in the status `error` field).
+    Cancelled,
 }
 
 impl WireState {
@@ -458,6 +503,7 @@ impl WireState {
             WireState::Running => "running",
             WireState::Done => "done",
             WireState::Failed => "failed",
+            WireState::Cancelled => "cancelled",
         }
     }
 
@@ -467,8 +513,14 @@ impl WireState {
             "running" => Some(WireState::Running),
             "done" => Some(WireState::Done),
             "failed" => Some(WireState::Failed),
+            "cancelled" => Some(WireState::Cancelled),
             _ => None,
         }
+    }
+
+    /// True for the states a job can no longer leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, WireState::Done | WireState::Failed | WireState::Cancelled)
     }
 }
 
@@ -491,6 +543,7 @@ pub struct StatsWire {
     pub rejected: u64,
     pub completed: u64,
     pub failed: u64,
+    pub cancelled: u64,
     pub queued: u64,
     pub running: u64,
 }
@@ -507,6 +560,10 @@ pub enum Response {
     },
     Status(JobStatusWire),
     Stats(StatsWire),
+    /// The server is at its connection cap: sent once on a fresh connection
+    /// in place of any reply, then the connection closes. Clients back off
+    /// and reconnect.
+    Busy,
     /// The request could not be understood or referenced an unknown job.
     Error {
         message: String,
@@ -554,9 +611,11 @@ impl Response {
                 .u64("rejected", s.rejected)
                 .u64("completed", s.completed)
                 .u64("failed", s.failed)
+                .u64("cancelled", s.cancelled)
                 .u64("queued", s.queued)
                 .u64("running", s.running)
                 .finish(),
+            Response::Busy => JsonObj::new().bool("ok", false).str("reply", "busy").finish(),
             Response::Error { message } => JsonObj::new()
                 .bool("ok", false)
                 .str("reply", "error")
@@ -612,9 +671,11 @@ impl Response {
                 rejected: get_u64(&v, "rejected").unwrap_or(0),
                 completed: get_u64(&v, "completed").unwrap_or(0),
                 failed: get_u64(&v, "failed").unwrap_or(0),
+                cancelled: get_u64(&v, "cancelled").unwrap_or(0),
                 queued: get_u64(&v, "queued").unwrap_or(0),
                 running: get_u64(&v, "running").unwrap_or(0),
             })),
+            Some("busy") => Ok(Response::Busy),
             Some("error") => Ok(Response::Error {
                 message: get_str(&v, "error").unwrap_or("unknown error").to_string(),
             }),
@@ -643,10 +704,21 @@ mod tests {
         round_trip_request(Request::Ping);
         round_trip_request(Request::Stats);
         round_trip_request(Request::Status { job: 123 });
+        round_trip_request(Request::Cancel { job: u64::MAX - 17 });
         let mut spec = JobSpec::new("42_SC", JobKind::Bootstrap, u64::MAX - 3, Preset::Thorough);
         spec.spr_radius = Some(5);
         spec.checkpoint = true;
-        round_trip_request(Request::Submit { tenant: "acme \"lab\"\n".to_string(), spec });
+        spec.deadline_ms = Some(2_500);
+        round_trip_request(Request::Submit {
+            tenant: "acme \"lab\"\n".to_string(),
+            spec: spec.clone(),
+            idem: None,
+        });
+        round_trip_request(Request::Submit {
+            tenant: "acme".to_string(),
+            spec,
+            idem: Some("client-7-seq-\"42\"".to_string()),
+        });
     }
 
     #[test]
@@ -654,14 +726,23 @@ mod tests {
         round_trip_response(Response::Pong);
         round_trip_response(Response::Accepted { job: 7 });
         round_trip_response(Response::Rejected { reason: RejectReason::QueueFull });
+        round_trip_response(Response::Busy);
         round_trip_response(Response::Error { message: "nope: \\ \"quoted\"".to_string() });
         round_trip_response(Response::Stats(StatsWire {
             accepted: 10,
             rejected: 2,
-            completed: 7,
+            completed: 6,
             failed: 1,
+            cancelled: 1,
             queued: 1,
             running: 1,
+        }));
+        round_trip_response(Response::Status(JobStatusWire {
+            job: 11,
+            tenant: "t".to_string(),
+            state: WireState::Cancelled,
+            result: None,
+            error: Some("deadline expired".to_string()),
         }));
         round_trip_response(Response::Status(JobStatusWire {
             job: 9,

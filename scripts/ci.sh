@@ -94,6 +94,25 @@ if [[ -f BENCH_serve.json ]]; then
     rm -rf "$serve_dir"
 fi
 
+# Chaos smoke: deterministic wire fault injection (drops, truncation,
+# stalls), a mid-stream graceful drain + restart on a fresh port, and the
+# triple exactly-once cross-check (client view vs journal-replayed service
+# view vs per-life farm accounting), plus cancellation and per-job
+# deadlines. Then validate the committed BENCH_chaos.json baseline and run
+# an advisory regression gate over a fresh measurement.
+run cargo run -p bench --bin chaos_study -- --smoke
+if [[ -f BENCH_chaos.json ]]; then
+    echo "==> python3 json.load BENCH_chaos.json"
+    python3 -c "import json,sys; json.load(open(sys.argv[1])); print('valid JSON:', sys.argv[1])" BENCH_chaos.json
+    chaos_dir="$(mktemp -d)"
+    # --no-artifact: never overwrite the committed baseline from CI.
+    echo "==> cargo run --release -q -p bench --bin chaos_study -- --no-artifact --format json > current.json"
+    cargo run --release -q -p bench --bin chaos_study -- --no-artifact --format json \
+        > "$chaos_dir/current.json"
+    run scripts/bench_gate --advisory --baseline BENCH_chaos.json --current "$chaos_dir/current.json"
+    rm -rf "$chaos_dir"
+fi
+
 # Migration gate: the deprecated infer_ml_tree_* shims and bench::arg_value
 # must not be used anywhere in shipping code (bins, examples, libs).
 # Equivalence tests opt in explicitly with #[allow(deprecated)].

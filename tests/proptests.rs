@@ -499,3 +499,115 @@ proptest! {
         prop_assert!(out.makespan <= per_job * n_jobs as u64);
     }
 }
+
+// ---------------------------------------------------------------------
+// serve wire protocol
+// ---------------------------------------------------------------------
+
+/// Printable-ASCII payload strategy (the compat proptest has no regex
+/// string strategies).
+fn arb_ascii(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0x20u8..0x7f, 0..max_len)
+        .prop_map(|v| String::from_utf8(v).expect("printable ASCII"))
+}
+
+proptest! {
+    /// `read_frame` never fabricates a frame from a truncated byte
+    /// stream: cutting a valid frame short yields a clean EOF only when
+    /// no bytes arrived at all, a typed error otherwise — never
+    /// `Ok(Some)`.
+    #[test]
+    fn truncated_frames_never_parse(payload in arb_ascii(200), cut_frac in 0.0f64..1.0) {
+        use serve::wire::{read_frame, write_frame};
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < buf.len()); // a full buffer is not a truncation
+        let mut cursor = std::io::Cursor::new(&buf[..cut]);
+        match read_frame(&mut cursor) {
+            Ok(Some(_)) => prop_assert!(false, "truncated frame parsed as complete"),
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only before any byte arrives"),
+            Err(_) => {} // typed error: mid-prefix or mid-payload EOF
+        }
+    }
+
+    /// An oversized length prefix is rejected with a typed error before
+    /// any payload allocation, regardless of what bytes follow.
+    #[test]
+    fn oversized_length_prefix_is_rejected(
+        extra in 1u32..1 << 30,
+        tail in proptest::collection::vec(0u16..256, 0..64),
+    ) {
+        use serve::wire::{read_frame, MAX_FRAME};
+        let len = MAX_FRAME as u32 + extra;
+        let mut buf = len.to_be_bytes().to_vec();
+        buf.extend(tail.into_iter().map(|b| b as u8));
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).expect_err("oversized frame must be rejected");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Non-UTF-8 payloads surface as a typed `InvalidData` error, not a
+    /// panic or a mangled string.
+    #[test]
+    fn corrupt_utf8_payload_is_rejected(
+        prefix in arb_ascii(32),
+        bad in proptest::collection::vec(0x80u8..0xC0, 1..16),
+    ) {
+        use serve::wire::read_frame;
+        let mut payload = prefix.into_bytes();
+        payload.extend_from_slice(&bad); // lone continuation bytes: invalid UTF-8
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).expect_err("invalid UTF-8 must be rejected");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Single-bit corruption of an encoded request — the exact fault
+    /// `ServeFaultPlan::corrupt_site` injects — never panics anywhere in
+    /// the frame + parse path: it either round-trips to some request or
+    /// fails with a typed error at one of the two layers.
+    #[test]
+    fn bit_flipped_requests_never_panic(
+        job in 0u64..1_000_000,
+        bit in 0u32..8,
+        flip_byte in 0usize..1_000,
+    ) {
+        use serve::wire::{read_frame, write_frame, Request};
+        let request = Request::Status { job };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &request.encode()).unwrap();
+        let pos = flip_byte % buf.len();
+        buf[pos] ^= 1 << bit;
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor) {
+            Err(_) => {}   // frame layer caught it (length, EOF, or UTF-8)
+            Ok(None) => {} // flipped length made the stream look empty
+            Ok(Some(text)) => {
+                let _ = Request::parse(&text); // parse may fail, must not panic
+            }
+        }
+    }
+
+    /// Requests that survive encode → frame → read → parse round-trip to
+    /// the same value, idempotency keys and deadlines included.
+    #[test]
+    fn request_roundtrip_is_lossless(
+        job in 0u64..1 << 62,
+        key_n in 0u64..1 << 32,
+        deadline_raw in 0u64..1 << 41,
+    ) {
+        use serve::wire::{read_frame, write_frame, JobKind, JobSpec, Preset, Request};
+        let mut spec = JobSpec::new("d", JobKind::Search, job, Preset::Fast);
+        spec.deadline_ms = if deadline_raw & 1 == 1 { Some(deadline_raw >> 1) } else { None };
+        let idem = if key_n == 0 { None } else { Some(format!("key-{key_n}")) };
+        let request = Request::Submit { tenant: "t".into(), spec, idem };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &request.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let text = read_frame(&mut cursor).unwrap().unwrap();
+        let parsed = Request::parse(&text).unwrap();
+        prop_assert_eq!(parsed, request);
+    }
+}
