@@ -9,8 +9,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use phylo::likelihood::kernels::{
-    build_sumtable, build_tip_tables, evaluate_lnl, newton_derivatives, newview, Child,
-    EvalOperand, Mat4,
+    build_sumtable, build_tip_tables, evaluate_lnl, newton_derivatives, newview, tile_partials,
+    tiled_len, Child, EvalOperand, Mat4,
 };
 use phylo::likelihood::{KernelKind, ScalingCheck};
 use phylo::math::fast_exp;
@@ -45,8 +45,11 @@ fn fixture() -> Fixture {
         seed = (seed * 9301.0 + 49297.0) % 233280.0 / 233280.0;
         0.01 + seed
     };
-    let xl: Vec<f64> = (0..N_PATTERNS * stride).map(|_| next()).collect();
-    let xr: Vec<f64> = (0..N_PATTERNS * stride).map(|_| next()).collect();
+    // Partials live in the tiled pattern-block layout the kernels consume.
+    let aos_l: Vec<f64> = (0..N_PATTERNS * stride).map(|_| next()).collect();
+    let aos_r: Vec<f64> = (0..N_PATTERNS * stride).map(|_| next()).collect();
+    let xl = tile_partials(&aos_l, N_PATTERNS, N_RATES);
+    let xr = tile_partials(&aos_r, N_PATTERNS, N_RATES);
     let zeros = vec![0u32; N_PATTERNS];
     let codes: Vec<u8> = (0..N_PATTERNS).map(|i| ((i % 15) + 1) as u8).collect();
     let weights: Vec<f64> = (0..N_PATTERNS).map(|i| 1.0 + (i % 5) as f64).collect();
@@ -55,12 +58,16 @@ fn fixture() -> Fixture {
 
 fn bench_newview(c: &mut Criterion) {
     let f = fixture();
-    let stride = N_RATES * 4;
-    let mut out = vec![0.0; N_PATTERNS * stride];
+    let mut out = vec![0.0; tiled_len(N_PATTERNS, N_RATES)];
     let mut scale = vec![0u32; N_PATTERNS];
 
     let mut group = c.benchmark_group("newview");
-    for (kind, kind_name) in [(KernelKind::Scalar, "scalar"), (KernelKind::Vector, "vector")] {
+    for (kind, kind_name) in [
+        (KernelKind::Scalar, "scalar"),
+        (KernelKind::Vector, "vector"),
+        (KernelKind::Wide4, "wide4"),
+        (KernelKind::Wide8, "wide8"),
+    ] {
         group.bench_function(format!("inner_inner/{kind_name}"), |b| {
             b.iter(|| {
                 newview(
@@ -108,8 +115,7 @@ fn bench_newview(c: &mut Criterion) {
 
 fn bench_scaling_checks(c: &mut Criterion) {
     let f = fixture();
-    let stride = N_RATES * 4;
-    let mut out = vec![0.0; N_PATTERNS * stride];
+    let mut out = vec![0.0; tiled_len(N_PATTERNS, N_RATES)];
     let mut scale = vec![0u32; N_PATTERNS];
     let mut group = c.benchmark_group("scaling");
     for (check, name) in
@@ -166,7 +172,12 @@ fn bench_exp(c: &mut Criterion) {
 fn bench_evaluate(c: &mut Criterion) {
     let f = fixture();
     let mut group = c.benchmark_group("evaluate");
-    for (kind, name) in [(KernelKind::Scalar, "scalar"), (KernelKind::Vector, "vector")] {
+    for (kind, name) in [
+        (KernelKind::Scalar, "scalar"),
+        (KernelKind::Vector, "vector"),
+        (KernelKind::Wide4, "wide4"),
+        (KernelKind::Wide8, "wide8"),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 evaluate_lnl(

@@ -1,0 +1,398 @@
+//! Kernel-width and cross-move-reuse study.
+//!
+//! Two questions, one artifact:
+//!
+//! 1. **Does pattern-parallel widening pay?** `newview` throughput
+//!    (patterns/sec) for the scalar, 2-lane, 4-lane and 8-lane kernels on
+//!    the tiled CLV layout, swept over 1k–4k pattern alignments — the regime
+//!    where RAxML-Cell's SPE loops live. All four widths are bit-identical
+//!    by construction (lanes map to patterns), so this is a pure
+//!    throughput comparison.
+//! 2. **Does cross-move partial reuse pay?** One full lazy-SPR round with
+//!    the engine's validity-generation cache enabled vs flushed before
+//!    every candidate. Both modes must (and do — checked here) produce
+//!    bit-identical likelihoods and apply identical moves; the study
+//!    reports the wall-clock gap and the engine's own reuse accounting.
+//!
+//! Metrics ending `_per_sec` / `_p99` enroll in the benchmark regression
+//! gate (advisory in CI); the rest are informational.
+//!
+//! Flags:
+//!   --smoke        self-check suite (kernel bit-identity incl. underflow
+//!                  scaling, reuse-vs-flush bit-identity, envelope round
+//!                  trip) and exit nonzero on failure
+//!   --quick        reduced sweep (fewer reps, smaller SPR instance)
+//!   --format F     text (default) or json (print the envelope)
+//!   --no-artifact  skip writing BENCH_kernels.json
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench::artifact::{bench_artifact_path, Envelope, OutputFormat};
+use bench::cli::StudyArgs;
+use phylo::likelihood::engine::LikelihoodEngine;
+use phylo::likelihood::kernels::{newview, tile_partials, tiled_len, Child, Mat4, ScaleStats};
+use phylo::likelihood::{wide8_supported, KernelKind, LikelihoodConfig, ScalingCheck};
+use phylo::model::{ExpImpl, GammaRates, SubstModel};
+use phylo::search::spr::spr_round_with_mode;
+use phylo::simulate::SimulationConfig;
+use phylo::tree::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_RATES: usize = 4;
+const KINDS: [(KernelKind, &str); 4] = [
+    (KernelKind::Scalar, "scalar"),
+    (KernelKind::Vector, "vector"),
+    (KernelKind::Wide4, "wide4"),
+    (KernelKind::Wide8, "wide8"),
+];
+
+fn main() {
+    let args = StudyArgs::parse();
+    if args.smoke {
+        match smoke() {
+            Ok(()) => {
+                println!("kernel smoke: all checks passed");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("kernel smoke FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let sizes: &[usize] = if args.quick { &[1024, 2048] } else { &[1024, 2048, 4096] };
+    let reps = if args.quick { 20 } else { 60 };
+    let spr_reps = if args.quick { 5 } else { 11 };
+
+    let mut envelope = Envelope::new("kernels")
+        .with_config("rates", N_RATES)
+        .with_config("newview_reps", reps)
+        .with_config("spr_reps", spr_reps)
+        .with_config("wide8_hw", wide8_supported())
+        // Compile-time ISA of this binary: with the baseline x86-64 target
+        // the 4/8-lane kernels are split into 128-bit halves and widening
+        // buys little; build with RUSTFLAGS="-C target-cpu=native" for the
+        // numbers the layout is designed for. Results are bit-identical
+        // either way (Rust never contracts mul+add into fma).
+        .with_config("compiled_avx2", cfg!(target_feature = "avx2"))
+        .with_config("compiled_avx512f", cfg!(target_feature = "avx512f"))
+        .with_config("latency_unit", "ns");
+
+    if args.format.is_text() {
+        println!("newview throughput (patterns/sec), tiled CLV layout, {N_RATES} rates");
+        print!("{:>10}", "patterns");
+        for (_, name) in KINDS {
+            print!("{name:>14}");
+        }
+        println!();
+    }
+    for &n in sizes {
+        let mut row = Vec::new();
+        for (kind, name) in KINDS {
+            let pps = newview_throughput(n, kind, reps);
+            envelope.push_metric(&format!("newview_{name}_{n}"), pps);
+            row.push(pps);
+        }
+        if args.format.is_text() {
+            print!("{n:>10}");
+            for pps in &row {
+                print!("{:>14.0}", pps);
+            }
+            println!();
+        }
+    }
+    // Headline gate metrics: the largest size of the sweep (least noise;
+    // "at >= 1k patterns" is exactly the acceptance regime).
+    let top = *sizes.last().expect("sweep is never empty");
+    for (_, name) in KINDS {
+        let v = envelope
+            .metric(&format!("newview_{name}_{top}"))
+            .expect("headline size was just measured");
+        envelope.push_metric(&format!("newview_{name}_patterns_per_sec"), v);
+    }
+
+    match spr_comparison(spr_reps, args.quick) {
+        Ok(spr) => {
+            envelope.push_metric("spr_round_p99", spr.reuse_p99_ns);
+            envelope.push_metric("spr_round_reuse_mean_ns", spr.reuse_mean_ns);
+            envelope.push_metric("spr_round_full_mean_ns", spr.full_mean_ns);
+            envelope.push_metric("spr_reuse_partials_reused", spr.partials_reused as f64);
+            envelope.push_metric("spr_reuse_partials_recomputed", spr.reuse_recomputed as f64);
+            envelope.push_metric("spr_full_partials_recomputed", spr.full_recomputed as f64);
+            if args.format.is_text() {
+                println!();
+                println!(
+                    "spr round ({} taxa, {} patterns): reuse {:.2} ms (p99 {:.2} ms), \
+                     full recompute {:.2} ms",
+                    spr.n_taxa,
+                    spr.n_patterns,
+                    spr.reuse_mean_ns / 1e6,
+                    spr.reuse_p99_ns / 1e6,
+                    spr.full_mean_ns / 1e6,
+                );
+                println!(
+                    "  newview descriptors executed: {} with reuse vs {} flushed \
+                     ({} traversal entries skipped as already valid)",
+                    spr.reuse_recomputed, spr.full_recomputed, spr.partials_reused,
+                );
+                println!("  final lnL bit-identical across modes: {}", spr.final_lnl);
+            }
+        }
+        Err(msg) => {
+            eprintln!("kernel study FAILED: {msg}");
+            std::process::exit(1);
+        }
+    }
+
+    if !args.no_artifact {
+        let path = bench_artifact_path("kernels");
+        bench::or_exit(envelope.write(&path));
+        if args.format.is_text() {
+            println!("wrote {}", path.display());
+        }
+    }
+    if args.format == OutputFormat::Json {
+        print!("{}", envelope.to_json());
+    }
+}
+
+/// Synthetic inner/inner `newview` operands at a given pattern count —
+/// the same deterministic LCG fixture as the criterion benches, sized up.
+struct NewviewFixture {
+    pl: Vec<Mat4>,
+    pr: Vec<Mat4>,
+    xl: Vec<f64>,
+    xr: Vec<f64>,
+    zeros: Vec<u32>,
+}
+
+fn newview_fixture(n_patterns: usize) -> NewviewFixture {
+    let model = SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0]).unwrap();
+    let gamma = GammaRates::standard(0.7).unwrap();
+    let pl: Vec<Mat4> =
+        gamma.rates().iter().map(|&r| model.transition_matrix(0.13, r, ExpImpl::Sdk)).collect();
+    let pr: Vec<Mat4> =
+        gamma.rates().iter().map(|&r| model.transition_matrix(0.31, r, ExpImpl::Sdk)).collect();
+    let stride = N_RATES * 4;
+    let mut seed = 0.37f64;
+    let mut next = move || {
+        seed = (seed * 9301.0 + 49297.0) % 233280.0 / 233280.0;
+        0.01 + seed
+    };
+    let aos_l: Vec<f64> = (0..n_patterns * stride).map(|_| next()).collect();
+    let aos_r: Vec<f64> = (0..n_patterns * stride).map(|_| next()).collect();
+    NewviewFixture {
+        pl,
+        pr,
+        xl: tile_partials(&aos_l, n_patterns, N_RATES),
+        xr: tile_partials(&aos_r, n_patterns, N_RATES),
+        zeros: vec![0u32; n_patterns],
+    }
+}
+
+/// Patterns/sec of the inner/inner `newview` case for one kernel width.
+fn newview_throughput(n_patterns: usize, kind: KernelKind, reps: usize) -> f64 {
+    let f = newview_fixture(n_patterns);
+    let mut out = vec![0.0; tiled_len(n_patterns, N_RATES)];
+    let mut scale = vec![0u32; n_patterns];
+    let run = |out: &mut [f64], scale: &mut [u32]| {
+        newview(
+            &Child::Inner { x: &f.xl, scale: &f.zeros, pmats: &f.pl },
+            &Child::Inner { x: &f.xr, scale: &f.zeros, pmats: &f.pr },
+            out,
+            scale,
+            N_RATES,
+            kind,
+            ScalingCheck::IntegerCast,
+        )
+    };
+    // Warm-up (page in the buffers, settle the clock).
+    for _ in 0..3 {
+        black_box(run(&mut out, &mut scale));
+    }
+    // Best-of-trials: the minimum elapsed time is the least scheduler-noise
+    // estimate for a short compute-bound loop.
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            black_box(run(&mut out, &mut scale));
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (n_patterns * reps) as f64 / best.max(1e-12)
+}
+
+struct SprComparison {
+    n_taxa: usize,
+    n_patterns: usize,
+    reuse_mean_ns: f64,
+    reuse_p99_ns: f64,
+    full_mean_ns: f64,
+    partials_reused: u64,
+    reuse_recomputed: u64,
+    full_recomputed: u64,
+    final_lnl: f64,
+}
+
+/// One lazy-SPR round per rep, in both cache modes, from identical warmed
+/// starts. Errors (instead of reporting) if the modes ever disagree.
+fn spr_comparison(reps: usize, quick: bool) -> Result<SprComparison, String> {
+    let (n_taxa, n_sites) = if quick { (10, 600) } else { (12, 1200) };
+    let w = SimulationConfig { mean_branch: 0.25, ..SimulationConfig::new(n_taxa, n_sites, 13) }
+        .generate();
+    let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
+    let rates = GammaRates::standard(0.8).unwrap();
+    let cfg = LikelihoodConfig::optimized();
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut start = Tree::random(n_taxa, 0.1, &mut rng).unwrap();
+    {
+        // Shared warmed start so every rep runs the same round.
+        let mut eng = LikelihoodEngine::new(&w.alignment, model.clone(), rates.clone(), cfg);
+        eng.optimize_all_branches(&mut start, 2);
+    }
+
+    let run_mode = |reuse: bool| -> (Vec<f64>, u64, u64, u64, usize, usize) {
+        let mut samples = Vec::with_capacity(reps);
+        let (mut lnl_bits, mut reused, mut recomputed) = (0u64, 0u64, 0u64);
+        let (mut applied, mut evaluated) = (0usize, 0usize);
+        for _ in 0..reps {
+            let mut eng = LikelihoodEngine::new(&w.alignment, model.clone(), rates.clone(), cfg);
+            let mut tree = start.clone();
+            eng.reset_reuse_stats();
+            let t0 = Instant::now();
+            let stats = spr_round_with_mode(&mut eng, &mut tree, 5, 1e-4, reuse);
+            samples.push(t0.elapsed().as_nanos() as f64);
+            let r = eng.reuse_stats();
+            lnl_bits = stats.log_likelihood.to_bits();
+            reused = r.partials_reused;
+            recomputed = r.partials_recomputed;
+            applied = stats.applied;
+            evaluated = stats.evaluated;
+        }
+        (samples, lnl_bits, reused, recomputed, applied, evaluated)
+    };
+
+    let (reuse_samples, reuse_bits, reused, reuse_recomputed, r_app, r_eval) = run_mode(true);
+    let (full_samples, full_bits, _, full_recomputed, f_app, f_eval) = run_mode(false);
+    if reuse_bits != full_bits {
+        return Err(format!(
+            "reuse vs full-recompute SPR rounds diverged: lnL bits {reuse_bits:#x} vs \
+             {full_bits:#x}"
+        ));
+    }
+    if (r_app, r_eval) != (f_app, f_eval) {
+        return Err(format!(
+            "reuse vs full-recompute SPR rounds applied different moves: \
+             {r_app}/{r_eval} vs {f_app}/{f_eval}"
+        ));
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let p99 = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        s[((s.len() - 1) as f64 * 0.99).round() as usize]
+    };
+    Ok(SprComparison {
+        n_taxa,
+        n_patterns: w.alignment.n_patterns(),
+        reuse_mean_ns: mean(&reuse_samples),
+        reuse_p99_ns: p99(&reuse_samples),
+        full_mean_ns: mean(&full_samples),
+        partials_reused: reused,
+        reuse_recomputed,
+        full_recomputed,
+        final_lnl: f64::from_bits(reuse_bits),
+    })
+}
+
+// ---------------------------------------------------------------------
+// smoke
+// ---------------------------------------------------------------------
+
+fn smoke() -> Result<(), String> {
+    smoke_kernel_bit_identity()?;
+    smoke_reuse_bit_identity()?;
+    smoke_envelope_round_trip()?;
+    println!("kernel smoke: width bit-identity + reuse bit-identity + envelope all OK");
+    Ok(())
+}
+
+/// Every kernel width reproduces the scalar kernel to the bit — outputs,
+/// per-pattern scale counts and ScaleStats — on a fixture with a ragged
+/// tail block and lanes that fire the underflow rescale mid-block.
+fn smoke_kernel_bit_identity() -> Result<(), String> {
+    let n_patterns = 13; // 8 + ragged 5: exercises full and partial blocks
+    let mut f = newview_fixture(n_patterns);
+    // Drive patterns 2, 7 and 9 below the scaling threshold in both
+    // children so the rescale fires in full and ragged blocks alike.
+    for &p in &[2usize, 7, 9] {
+        for c in 0..N_RATES {
+            for s in 0..4 {
+                let idx = phylo::likelihood::kernels::tiled_index(p, c, s, N_RATES);
+                f.xl[idx] *= phylo::likelihood::SCALE_THRESHOLD;
+                f.xr[idx] *= phylo::likelihood::SCALE_THRESHOLD;
+            }
+        }
+    }
+    let run = |kind: KernelKind, scaling: ScalingCheck| -> (Vec<u64>, Vec<u32>, ScaleStats) {
+        let mut out = vec![0.0; tiled_len(n_patterns, N_RATES)];
+        let mut scale = vec![0u32; n_patterns];
+        let stats = newview(
+            &Child::Inner { x: &f.xl, scale: &f.zeros, pmats: &f.pl },
+            &Child::Inner { x: &f.xr, scale: &f.zeros, pmats: &f.pr },
+            &mut out,
+            &mut scale,
+            N_RATES,
+            kind,
+            scaling,
+        );
+        (out.iter().map(|v| v.to_bits()).collect(), scale, stats)
+    };
+    for scaling in [ScalingCheck::FloatCompare, ScalingCheck::IntegerCast] {
+        let reference = run(KernelKind::Scalar, scaling);
+        if reference.1.iter().filter(|&&s| s > 0).count() != 3 {
+            return Err("underflow fixture did not fire exactly 3 rescales".to_string());
+        }
+        for (kind, name) in &KINDS[1..] {
+            if run(*kind, scaling) != reference {
+                return Err(format!("{name} kernel diverged from scalar under {scaling:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reuse and full-recompute SPR rounds agree bit-for-bit on a small
+/// instance, and the reuse mode actually reuses partials.
+fn smoke_reuse_bit_identity() -> Result<(), String> {
+    let spr = spr_comparison(2, true)?;
+    if spr.partials_reused == 0 {
+        return Err("reuse mode reported zero partials reused".to_string());
+    }
+    if spr.reuse_recomputed >= spr.full_recomputed {
+        return Err(format!(
+            "reuse mode should execute fewer newview descriptors: {} vs {}",
+            spr.reuse_recomputed, spr.full_recomputed
+        ));
+    }
+    Ok(())
+}
+
+/// The envelope this study writes round-trips through its own JSON.
+fn smoke_envelope_round_trip() -> Result<(), String> {
+    let mut e = Envelope::new("kernels").with_config("rates", N_RATES);
+    e.push_metric("newview_wide4_patterns_per_sec", 123456.0);
+    e.push_metric("spr_round_p99", 9e6);
+    let back = Envelope::from_json(&e.to_json())?;
+    if back.metric("newview_wide4_patterns_per_sec") != Some(123456.0)
+        || back.metric("spr_round_p99") != Some(9e6)
+    {
+        return Err("envelope metrics lost in round trip".to_string());
+    }
+    Ok(())
+}

@@ -29,6 +29,20 @@ const NEWTON_MAX_ITER: usize = 32;
 /// Newton convergence tolerance on the branch length.
 const NEWTON_TOL: f64 = 1e-9;
 
+/// Cross-move partial-reuse accounting (the BEAGLE-style ledger): how many
+/// subtree roots a traversal found already valid — skipping their entire
+/// subtrees — versus how many `newview` descriptors actually executed.
+/// Search moves that invalidate narrowly (SPR/NNI targeted bookkeeping)
+/// drive `reused` up; an engine that flushed its whole cache per candidate
+/// would show `reused == 0` between moves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Traversal entries satisfied by a cached partial (subtree skipped).
+    pub partials_reused: u64,
+    /// `newview` descriptors executed (partials recomputed).
+    pub partials_recomputed: u64,
+}
+
 /// Per-rate transition matrices for a branch of length `t`, written into a
 /// caller-owned buffer (free function so the workspace can be borrowed
 /// mutably while the model/rates fields are read).
@@ -87,6 +101,7 @@ pub struct LikelihoodEngine<'a> {
     n_taxa: usize,
     ws: LikelihoodWorkspace,
     trace: Trace,
+    reuse: ReuseStats,
     /// Test hook: force the next guarded evaluation to observe a NaN.
     poison_numerics: bool,
 }
@@ -155,6 +170,7 @@ impl<'a> LikelihoodEngine<'a> {
             n_taxa,
             ws,
             trace: Trace::counters_only(),
+            reuse: ReuseStats::default(),
             poison_numerics: false,
         }
     }
@@ -204,8 +220,30 @@ impl<'a> LikelihoodEngine<'a> {
             return None;
         }
         let idx = self.inner_idx(node);
+        if !self.slot_is_current(idx) {
+            return None;
+        }
         self.ws.orientation[idx]
             .map(|tw| (self.ws.partials[idx].as_slice(), self.ws.scales[idx].as_slice(), tw))
+    }
+
+    /// Cross-move partial-reuse accounting since the last
+    /// [`Self::reset_reuse_stats`].
+    pub fn reuse_stats(&self) -> ReuseStats {
+        self.reuse
+    }
+
+    /// Zero the reuse ledger (e.g. at a search-round boundary).
+    pub fn reset_reuse_stats(&mut self) {
+        self.reuse = ReuseStats::default();
+    }
+
+    /// A slot's partial is live only when its validity generation matches
+    /// the workspace's current cache generation ([`Self::invalidate_all`]
+    /// is an O(1) generation bump rather than an orientation sweep).
+    #[inline]
+    fn slot_is_current(&self, idx: usize) -> bool {
+        self.ws.valid_gen[idx] == self.ws.cache_gen
     }
 
     /// Replace the substitution model (invalidates all partials).
@@ -326,7 +364,7 @@ impl<'a> LikelihoodEngine<'a> {
     /// "the log likelihood value is the same at all branches of the tree if
     /// the model of nucleotide substitution is time-reversible").
     pub fn log_likelihood(&mut self, tree: &Tree) -> f64 {
-        let (u, v) = tree.edges()[0];
+        let (u, v) = tree.first_edge();
         self.log_likelihood_at(tree, (u, v))
     }
 
@@ -415,7 +453,7 @@ impl<'a> LikelihoodEngine<'a> {
     /// branch. Feeds per-site rate estimation (the CAT model) and
     /// site-level diagnostics.
     pub fn site_log_likelihoods(&mut self, tree: &Tree) -> Vec<f64> {
-        let (u, v) = tree.edges()[0];
+        let (u, v) = tree.first_edge();
         self.prepare(tree, u, v, CallParent::Evaluate);
         let t = tree.branch_length(u, v);
         fill_pmats(
@@ -607,6 +645,7 @@ impl<'a> LikelihoodEngine<'a> {
     fn compile_traversal(&mut self, tree: &Tree, u: NodeId, v: NodeId) {
         let n_taxa = self.n_taxa;
         let ws = &mut self.ws;
+        let mut reused = 0u64;
         ws.ops.clear();
         for (p, toward) in [(u, v), (v, u)] {
             if tree.is_tip(p) {
@@ -617,7 +656,9 @@ impl<'a> LikelihoodEngine<'a> {
             ws.visit_stack.push((p, toward));
             // Discovery order puts every node before its descendants…
             while let Some((node, tw)) = ws.visit_stack.pop() {
-                if ws.orientation[node - n_taxa] == Some(tw) {
+                let idx = node - n_taxa;
+                if ws.orientation[idx] == Some(tw) && ws.valid_gen[idx] == ws.cache_gen {
+                    reused += 1;
                     continue; // already valid — subtree under it is too
                 }
                 let [(a, la), (b, lb)] = tree.other_neighbors(node, tw);
@@ -641,6 +682,7 @@ impl<'a> LikelihoodEngine<'a> {
             // …so reversing the segment yields children-before-parents.
             ws.ops.reverse_from(start);
         }
+        self.reuse.partials_reused += reused;
     }
 
     /// Execute the compiled descriptor list: one driver loop dispatching
@@ -713,6 +755,8 @@ impl<'a> LikelihoodEngine<'a> {
             ws.partials[idx] = out_x;
             ws.scales[idx] = out_scale;
             ws.orientation[idx] = Some(op.toward);
+            ws.valid_gen[idx] = ws.cache_gen;
+            self.reuse.partials_recomputed += 1;
 
             let kernel_op = match (op.left_tip, op.right_tip) {
                 (true, true) => KernelOp::NewviewTipTip,
@@ -748,7 +792,9 @@ impl<'a> LikelihoodEngine<'a> {
         let mut order: Vec<(NodeId, NodeId)> = Vec::new();
         let mut stack: Vec<(NodeId, NodeId)> = vec![(p, toward)];
         while let Some((node, tw)) = stack.pop() {
-            if self.ws.orientation[self.inner_idx(node)] == Some(tw) {
+            let idx = self.inner_idx(node);
+            if self.ws.orientation[idx] == Some(tw) && self.slot_is_current(idx) {
+                self.reuse.partials_reused += 1;
                 continue; // already valid — subtree under it is too
             }
             order.push((node, tw));
@@ -822,6 +868,8 @@ impl<'a> LikelihoodEngine<'a> {
         ws.partials[idx] = out_x;
         ws.scales[idx] = out_scale;
         ws.orientation[idx] = Some(toward);
+        ws.valid_gen[idx] = ws.cache_gen;
+        self.reuse.partials_recomputed += 1;
 
         let op = match (tree.is_tip(a), tree.is_tip(b)) {
             (true, true) => KernelOp::NewviewTipTip,
@@ -1033,6 +1081,31 @@ mod tests {
         let third = eng.log_likelihood(&tree);
         assert!((first - third).abs() < 1e-12);
         assert!(eng.trace().counters().newview_calls > calls_after_second);
+    }
+
+    #[test]
+    fn invalidate_all_is_generational_and_reuse_is_counted() {
+        let (aln, tree) = toy_setup();
+        let mut eng = engine(&aln, LikelihoodConfig::optimized());
+        eng.log_likelihood(&tree);
+        let after_cold = eng.reuse_stats();
+        assert!(after_cold.partials_recomputed >= 3, "cold start recomputes everything");
+        assert_eq!(after_cold.partials_reused, 0);
+
+        // Warm re-evaluation at the same branch: subtree roots are reused.
+        eng.log_likelihood(&tree);
+        let warm = eng.reuse_stats();
+        assert_eq!(warm.partials_recomputed, after_cold.partials_recomputed);
+        assert!(warm.partials_reused >= 1, "warm evaluation must reuse cached partials");
+
+        // After the O(1) generation bump every slot is stale even though
+        // its orientation still matches — nothing may be reused.
+        eng.invalidate_all();
+        eng.reset_reuse_stats();
+        eng.log_likelihood(&tree);
+        let cold = eng.reuse_stats();
+        assert_eq!(cold.partials_reused, 0, "generation bump must invalidate all slots");
+        assert_eq!(cold.partials_recomputed, after_cold.partials_recomputed);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Case-specialized likelihood kernels.
+//! Case-specialized likelihood kernels over pattern-blocked SoA tiles.
 //!
 //! `newview` at an inner node `p` with children `l`, `r` computes, for each
 //! site pattern `i`, rate category `c` and state `s`:
@@ -10,15 +10,30 @@
 //! When a child is a tip its contribution collapses to a 16-entry lookup
 //! (per rate category) — the paper's §5.2.3 case split (tip/tip, tip/inner,
 //! inner/inner), each "a distinct — highly optimized — version of the loop".
-//! Each kernel exists in scalar form and in the 2-lane `[f64; 2]` vector
-//! form of the paper's Figure 2 (an SPE register holds two doubles), with
-//! identical operation order so results are bit-equal.
 //!
-//! After each pattern, the underflow-scaling conditional (§5.2.3) checks
-//! whether every entry dropped below 2⁻²⁵⁶ and rescales; both the float
-//! comparison and the integer-cast variant are provided.
+//! # Tiled CLV layout
+//!
+//! Partials are stored in pattern blocks of [`TILE`] sites: element
+//! `(pattern i, rate c, state s)` lives at
+//!
+//! ```text
+//! (i / TILE) · n_rates·4·TILE  +  (c·4 + s) · TILE  +  i % TILE
+//! ```
+//!
+//! so the values of `TILE` consecutive patterns for one `(c, s)` are
+//! contiguous. A `W`-lane kernel (`W ∈ {1, 2, 4, 8}`) then advances `W`
+//! *patterns* per iteration with plain contiguous loads — no shuffles —
+//! and every lane performs the exact scalar operation sequence for its
+//! pattern. Because IEEE-754 addition and multiplication are lane-local
+//! and the per-pattern association never changes, all four kernel widths
+//! are bit-identical, including the §5.2.3 underflow-scaling conditional,
+//! which is always evaluated per pattern (per lane).
+//!
+//! Buffers are padded to a whole number of blocks; padding lanes are
+//! written as zeros so buffer-level bit comparisons stay deterministic.
+//! Per-pattern metadata (scale counts, tip codes, weights) stays unpadded.
 
-use super::{KernelKind, ScalingCheck, LN_SCALE, SCALE_MULTIPLIER, SCALE_THRESHOLD};
+use super::{KernelKind, ScalingCheck, LN_SCALE, SCALE_MULTIPLIER, SCALE_THRESHOLD, TILE};
 use crate::alphabet::TIP_LIKELIHOODS;
 
 /// A 4×4 transition-probability matrix, row-major (`m[from][to]`).
@@ -26,6 +41,35 @@ pub type Mat4 = [[f64; 4]; 4];
 
 /// Per-rate tip lookup table: `table[code][state] = Σ_t P[state][t] · tip(code)[t]`.
 pub type TipTable16 = [[f64; 4]; 16];
+
+/// Number of `f64`s in a tiled partial buffer covering `n_patterns` sites:
+/// the pattern count rounded up to whole [`TILE`] blocks, times the
+/// `n_rates × 4` states per pattern.
+pub fn tiled_len(n_patterns: usize, n_rates: usize) -> usize {
+    n_patterns.div_ceil(TILE) * TILE * n_rates * 4
+}
+
+/// Flat index of `(pattern, rate, state)` in the tiled layout.
+#[inline(always)]
+pub fn tiled_index(pattern: usize, rate: usize, state: usize, n_rates: usize) -> usize {
+    (pattern / TILE) * n_rates * 4 * TILE + (rate * 4 + state) * TILE + pattern % TILE
+}
+
+/// Convert a `[pattern][rate][state]` AoS partial vector into the tiled
+/// layout (padding lanes zeroed). Test/bench helper; the engine builds
+/// partials tiled in place.
+pub fn tile_partials(aos: &[f64], n_patterns: usize, n_rates: usize) -> Vec<f64> {
+    assert_eq!(aos.len(), n_patterns * n_rates * 4);
+    let mut out = vec![0.0; tiled_len(n_patterns, n_rates)];
+    for i in 0..n_patterns {
+        for c in 0..n_rates {
+            for s in 0..4 {
+                out[tiled_index(i, c, s, n_rates)] = aos[(i * n_rates + c) * 4 + s];
+            }
+        }
+    }
+    out
+}
 
 /// Precompute the tip lookup tables for a branch (one per rate category).
 pub fn build_tip_tables(pmats: &[Mat4]) -> Vec<TipTable16> {
@@ -56,9 +100,9 @@ pub enum Child<'a> {
     /// A tip: encoded pattern codes and the per-rate lookup tables built by
     /// [`build_tip_tables`] for the child branch.
     Tip { codes: &'a [u8], tables: &'a [TipTable16] },
-    /// An inner node: its partial vector (`[pattern][rate][state]` layout),
-    /// per-pattern scale counts, and the per-rate `P` matrices of the child
-    /// branch.
+    /// An inner node: its tiled partial vector (see the module docs for the
+    /// layout; length [`tiled_len`]), per-pattern scale counts, and the
+    /// per-rate `P` matrices of the child branch.
     Inner { x: &'a [f64], scale: &'a [u32], pmats: &'a [Mat4] },
 }
 
@@ -106,49 +150,74 @@ fn all_below_threshold_int(v: &[f64]) -> bool {
     below
 }
 
-/// Evaluate the scaling conditional over one pattern's `n_rates × 4` values
-/// and rescale in place if every entry is below threshold.
-/// Returns (checks, fired).
+/// Evaluate the §5.2.3 underflow-scaling conditional for one pattern (one
+/// lane of a tile): gather its `n_rates × 4` values from the block, and if
+/// every one is below threshold multiply them by 2²⁵⁶ in place (an exact
+/// power-of-two shift, so rescaling is bit-neutral to the likelihood).
+/// Returns `(checks, fired)`. The conditional is per-pattern regardless of
+/// kernel width, which is what keeps every width's `ScaleStats` identical.
 #[inline]
-fn check_and_scale(values: &mut [f64], n_rates: usize, scaling: ScalingCheck) -> (u32, bool) {
-    debug_assert_eq!(values.len(), n_rates * 4);
+fn check_and_scale_lane(
+    block: &mut [f64],
+    lane: usize,
+    n_rates: usize,
+    scaling: ScalingCheck,
+) -> (u32, bool) {
     let mut fire = true;
     for c in 0..n_rates {
-        let quad = &values[c * 4..c * 4 + 4];
+        let q = c * 4 * TILE + lane;
+        let quad = [block[q], block[q + TILE], block[q + 2 * TILE], block[q + 3 * TILE]];
         let below = match scaling {
-            ScalingCheck::FloatCompare => all_below_threshold_float(quad),
-            ScalingCheck::IntegerCast => all_below_threshold_int(quad),
+            ScalingCheck::FloatCompare => all_below_threshold_float(&quad),
+            ScalingCheck::IntegerCast => all_below_threshold_int(&quad),
         };
         fire &= below;
     }
     if fire {
-        for v in values.iter_mut() {
-            *v *= SCALE_MULTIPLIER;
+        for c in 0..n_rates {
+            for s in 0..4 {
+                block[(c * 4 + s) * TILE + lane] *= SCALE_MULTIPLIER;
+            }
         }
     }
     (n_rates as u32, fire)
 }
 
 // ---------------------------------------------------------------------------
-// 2-lane vector helpers (the [f64; 2] mirror of the SPE's 128-bit registers).
+// Lane-generic vector helpers. `W = 2` mirrors the SPE's 128-bit registers
+// (paper Figure 2); `W = 4` and `W = 8` are the AVX2/AVX-512-width forms.
+// All arithmetic is lane-local two-operand mul/add — never `mul_add`, which
+// would round differently from the scalar sequence.
 // ---------------------------------------------------------------------------
 
-/// `spu_splats`: replicate a scalar into both lanes.
+/// `spu_splats`: replicate a scalar into all `W` lanes.
 #[inline(always)]
-fn splat(x: f64) -> [f64; 2] {
-    [x, x]
-}
-
-/// `spu_madd`: lane-wise multiply-add `a·b + c`.
-#[inline(always)]
-fn madd(a: [f64; 2], b: [f64; 2], c: [f64; 2]) -> [f64; 2] {
-    [a[0] * b[0] + c[0], a[1] * b[1] + c[1]]
+fn wsplat<const W: usize>(x: f64) -> [f64; W] {
+    [x; W]
 }
 
 /// Lane-wise multiply.
 #[inline(always)]
-fn vmul(a: [f64; 2], b: [f64; 2]) -> [f64; 2] {
-    [a[0] * b[0], a[1] * b[1]]
+fn wmul<const W: usize>(a: [f64; W], b: [f64; W]) -> [f64; W] {
+    std::array::from_fn(|j| a[j] * b[j])
+}
+
+/// `spu_madd`: lane-wise multiply-add `a·b + c` as two rounded operations.
+#[inline(always)]
+fn wmadd<const W: usize>(a: [f64; W], b: [f64; W], c: [f64; W]) -> [f64; W] {
+    std::array::from_fn(|j| a[j] * b[j] + c[j])
+}
+
+/// Load `W` consecutive lanes starting at `off`.
+#[inline(always)]
+fn wload<const W: usize>(b: &[f64], off: usize) -> [f64; W] {
+    std::array::from_fn(|j| b[off + j])
+}
+
+/// Store `W` consecutive lanes starting at `off`.
+#[inline(always)]
+fn wstore<const W: usize>(b: &mut [f64], off: usize, v: [f64; W]) {
+    b[off..off + W].copy_from_slice(&v);
 }
 
 // ---------------------------------------------------------------------------
@@ -156,8 +225,8 @@ fn vmul(a: [f64; 2], b: [f64; 2]) -> [f64; 2] {
 // ---------------------------------------------------------------------------
 
 /// Compute one `newview` over all patterns in the supplied (pre-sliced)
-/// buffers. `out_x` has `patterns × n_rates × 4` entries, `out_scale` has
-/// one entry per pattern. Pattern counts of all operands must agree.
+/// buffers. `out_x` is a tiled buffer of [`tiled_len`] entries; `out_scale`
+/// has one entry per pattern. Pattern counts of all operands must agree.
 pub fn newview(
     left: &Child<'_>,
     right: &Child<'_>,
@@ -168,183 +237,280 @@ pub fn newview(
     scaling: ScalingCheck,
 ) -> ScaleStats {
     let n_patterns = out_scale.len();
-    let stride = n_rates * 4;
-    assert_eq!(out_x.len(), n_patterns * stride, "output buffer size mismatch");
+    assert_eq!(out_x.len(), tiled_len(n_patterns, n_rates), "output buffer size mismatch");
 
     // Normalize so a tip operand, if any, is on the left: the math is
     // symmetric and this halves the number of specialized paths, exactly as
     // RAxML canonicalizes its cases.
     let (a, b) = if !left.is_tip() && right.is_tip() { (right, left) } else { (left, right) };
 
-    let mut stats = ScaleStats::default();
     match (a, b) {
         (Child::Tip { codes: lc, tables: lt }, Child::Tip { codes: rc, tables: rt }) => {
             assert_eq!(lc.len(), n_patterns);
             assert_eq!(rc.len(), n_patterns);
-            for i in 0..n_patterns {
-                let out = &mut out_x[i * stride..(i + 1) * stride];
-                match kind {
-                    KernelKind::Scalar => tip_tip_pattern_scalar(lc[i], rc[i], lt, rt, out),
-                    KernelKind::Vector => tip_tip_pattern_vector(lc[i], rc[i], lt, rt, out),
+            match kind {
+                KernelKind::Scalar => {
+                    newview_tip_tip::<1>(lc, lt, rc, rt, out_x, out_scale, n_rates, scaling)
                 }
-                let (checks, fired) = check_and_scale(out, n_rates, scaling);
-                stats.checks += checks as u64;
-                stats.fired += fired as u64;
-                out_scale[i] = fired as u32;
+                KernelKind::Vector => {
+                    newview_tip_tip::<2>(lc, lt, rc, rt, out_x, out_scale, n_rates, scaling)
+                }
+                KernelKind::Wide4 => {
+                    newview_tip_tip::<4>(lc, lt, rc, rt, out_x, out_scale, n_rates, scaling)
+                }
+                KernelKind::Wide8 => {
+                    newview_tip_tip::<8>(lc, lt, rc, rt, out_x, out_scale, n_rates, scaling)
+                }
             }
         }
         (Child::Tip { codes: lc, tables: lt }, Child::Inner { x: rx, scale: rs, pmats: rp }) => {
             assert_eq!(lc.len(), n_patterns);
-            assert_eq!(rx.len(), n_patterns * stride);
-            for i in 0..n_patterns {
-                let out = &mut out_x[i * stride..(i + 1) * stride];
-                let xr = &rx[i * stride..(i + 1) * stride];
-                match kind {
-                    KernelKind::Scalar => tip_inner_pattern_scalar(lc[i], lt, xr, rp, out),
-                    KernelKind::Vector => tip_inner_pattern_vector(lc[i], lt, xr, rp, out),
+            assert_eq!(rx.len(), tiled_len(n_patterns, n_rates));
+            match kind {
+                KernelKind::Scalar => {
+                    newview_tip_inner::<1>(lc, lt, rx, rs, rp, out_x, out_scale, n_rates, scaling)
                 }
-                let (checks, fired) = check_and_scale(out, n_rates, scaling);
-                stats.checks += checks as u64;
-                stats.fired += fired as u64;
-                out_scale[i] = rs[i] + fired as u32;
+                KernelKind::Vector => {
+                    newview_tip_inner::<2>(lc, lt, rx, rs, rp, out_x, out_scale, n_rates, scaling)
+                }
+                KernelKind::Wide4 => {
+                    newview_tip_inner::<4>(lc, lt, rx, rs, rp, out_x, out_scale, n_rates, scaling)
+                }
+                KernelKind::Wide8 => {
+                    newview_tip_inner::<8>(lc, lt, rx, rs, rp, out_x, out_scale, n_rates, scaling)
+                }
             }
         }
         (
             Child::Inner { x: lx, scale: ls, pmats: lp },
             Child::Inner { x: rx, scale: rs, pmats: rp },
         ) => {
-            assert_eq!(lx.len(), n_patterns * stride);
-            assert_eq!(rx.len(), n_patterns * stride);
-            for i in 0..n_patterns {
-                let out = &mut out_x[i * stride..(i + 1) * stride];
-                let xl = &lx[i * stride..(i + 1) * stride];
-                let xr = &rx[i * stride..(i + 1) * stride];
-                match kind {
-                    KernelKind::Scalar => inner_inner_pattern_scalar(xl, lp, xr, rp, out),
-                    KernelKind::Vector => inner_inner_pattern_vector(xl, lp, xr, rp, out),
-                }
-                let (checks, fired) = check_and_scale(out, n_rates, scaling);
-                stats.checks += checks as u64;
-                stats.fired += fired as u64;
-                out_scale[i] = ls[i] + rs[i] + fired as u32;
+            assert_eq!(lx.len(), tiled_len(n_patterns, n_rates));
+            assert_eq!(rx.len(), tiled_len(n_patterns, n_rates));
+            match kind {
+                KernelKind::Scalar => newview_inner_inner::<1>(
+                    lx, ls, lp, rx, rs, rp, out_x, out_scale, n_rates, scaling,
+                ),
+                KernelKind::Vector => newview_inner_inner::<2>(
+                    lx, ls, lp, rx, rs, rp, out_x, out_scale, n_rates, scaling,
+                ),
+                KernelKind::Wide4 => newview_inner_inner::<4>(
+                    lx, ls, lp, rx, rs, rp, out_x, out_scale, n_rates, scaling,
+                ),
+                KernelKind::Wide8 => newview_inner_inner::<8>(
+                    lx, ls, lp, rx, rs, rp, out_x, out_scale, n_rates, scaling,
+                ),
             }
         }
         _ => unreachable!("tip operand is always normalized to the left"),
     }
+}
+
+/// Shared per-block epilogue: zero the padding lanes (so buffer-level bit
+/// comparisons are deterministic), then run the per-pattern scaling
+/// conditional and fold the children's scale counts into `out_scale`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal epilogue; args mirror newview's
+fn finish_block(
+    ob: &mut [f64],
+    out_scale: &mut [u32],
+    base: usize,
+    valid: usize,
+    n_rates: usize,
+    scaling: ScalingCheck,
+    stats: &mut ScaleStats,
+    child_scale: impl Fn(usize) -> u32,
+) {
+    for c in 0..n_rates {
+        for s in 0..4 {
+            for pad in valid..TILE {
+                ob[(c * 4 + s) * TILE + pad] = 0.0;
+            }
+        }
+    }
+    for lane in 0..valid {
+        let i = base + lane;
+        let (checks, fired) = check_and_scale_lane(ob, lane, n_rates, scaling);
+        stats.checks += checks as u64;
+        stats.fired += fired as u64;
+        out_scale[i] = child_scale(i) + fired as u32;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn newview_tip_tip<const W: usize>(
+    lc: &[u8],
+    lt: &[TipTable16],
+    rc: &[u8],
+    rt: &[TipTable16],
+    out_x: &mut [f64],
+    out_scale: &mut [u32],
+    n_rates: usize,
+    scaling: ScalingCheck,
+) -> ScaleStats {
+    let n_patterns = out_scale.len();
+    let bs = n_rates * 4 * TILE;
+    let mut stats = ScaleStats::default();
+    for (blk, ob) in out_x.chunks_exact_mut(bs).enumerate() {
+        let base = blk * TILE;
+        let valid = TILE.min(n_patterns - base);
+        let mut l = 0;
+        while l + W <= valid {
+            tip_tip_group::<W>(lc, lt, rc, rt, ob, base, l);
+            l += W;
+        }
+        while l < valid {
+            tip_tip_group::<1>(lc, lt, rc, rt, ob, base, l);
+            l += 1;
+        }
+        finish_block(ob, out_scale, base, valid, n_rates, scaling, &mut stats, |_| 0);
+    }
     stats
 }
 
-#[inline]
-fn tip_tip_pattern_scalar(
-    lcode: u8,
-    rcode: u8,
+#[allow(clippy::too_many_arguments)]
+fn newview_tip_inner<const W: usize>(
+    lc: &[u8],
     lt: &[TipTable16],
+    rx: &[f64],
+    rs: &[u32],
+    rp: &[Mat4],
+    out_x: &mut [f64],
+    out_scale: &mut [u32],
+    n_rates: usize,
+    scaling: ScalingCheck,
+) -> ScaleStats {
+    let n_patterns = out_scale.len();
+    let bs = n_rates * 4 * TILE;
+    let mut stats = ScaleStats::default();
+    for (blk, ob) in out_x.chunks_exact_mut(bs).enumerate() {
+        let base = blk * TILE;
+        let valid = TILE.min(n_patterns - base);
+        let rb = &rx[blk * bs..(blk + 1) * bs];
+        let mut l = 0;
+        while l + W <= valid {
+            tip_inner_group::<W>(lc, lt, rb, rp, ob, base, l);
+            l += W;
+        }
+        while l < valid {
+            tip_inner_group::<1>(lc, lt, rb, rp, ob, base, l);
+            l += 1;
+        }
+        finish_block(ob, out_scale, base, valid, n_rates, scaling, &mut stats, |i| rs[i]);
+    }
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn newview_inner_inner<const W: usize>(
+    lx: &[f64],
+    ls: &[u32],
+    lp: &[Mat4],
+    rx: &[f64],
+    rs: &[u32],
+    rp: &[Mat4],
+    out_x: &mut [f64],
+    out_scale: &mut [u32],
+    n_rates: usize,
+    scaling: ScalingCheck,
+) -> ScaleStats {
+    let n_patterns = out_scale.len();
+    let bs = n_rates * 4 * TILE;
+    let mut stats = ScaleStats::default();
+    for (blk, ob) in out_x.chunks_exact_mut(bs).enumerate() {
+        let base = blk * TILE;
+        let valid = TILE.min(n_patterns - base);
+        let lb = &lx[blk * bs..(blk + 1) * bs];
+        let rb = &rx[blk * bs..(blk + 1) * bs];
+        let mut l = 0;
+        while l + W <= valid {
+            inner_inner_group::<W>(lb, lp, rb, rp, ob, l);
+            l += W;
+        }
+        while l < valid {
+            inner_inner_group::<1>(lb, lp, rb, rp, ob, l);
+            l += 1;
+        }
+        finish_block(ob, out_scale, base, valid, n_rates, scaling, &mut stats, |i| ls[i] + rs[i]);
+    }
+    stats
+}
+
+/// `W` patterns of one tip/tip block: per rate and state, a gather of the
+/// two lookup rows and one lane-wise multiply.
+#[inline(always)]
+fn tip_tip_group<const W: usize>(
+    lc: &[u8],
+    lt: &[TipTable16],
+    rc: &[u8],
     rt: &[TipTable16],
-    out: &mut [f64],
+    ob: &mut [f64],
+    base: usize,
+    l0: usize,
 ) {
     for (c, (ltab, rtab)) in lt.iter().zip(rt).enumerate() {
-        let lv = &ltab[lcode as usize];
-        let rv = &rtab[rcode as usize];
+        let q = c * 4 * TILE;
         for s in 0..4 {
-            out[c * 4 + s] = lv[s] * rv[s];
+            let lv: [f64; W] = std::array::from_fn(|j| ltab[lc[base + l0 + j] as usize][s]);
+            let rv: [f64; W] = std::array::from_fn(|j| rtab[rc[base + l0 + j] as usize][s]);
+            wstore(ob, q + s * TILE + l0, wmul(lv, rv));
         }
     }
 }
 
-#[inline]
-fn tip_tip_pattern_vector(
-    lcode: u8,
-    rcode: u8,
+/// `W` patterns of one tip/inner block: the inner child's dot products come
+/// from contiguous tile loads; the tip contribution is a lookup gather.
+#[inline(always)]
+fn tip_inner_group<const W: usize>(
+    lc: &[u8],
     lt: &[TipTable16],
-    rt: &[TipTable16],
-    out: &mut [f64],
-) {
-    for (c, (ltab, rtab)) in lt.iter().zip(rt).enumerate() {
-        let lv = &ltab[lcode as usize];
-        let rv = &rtab[rcode as usize];
-        let lo = vmul([lv[0], lv[1]], [rv[0], rv[1]]);
-        let hi = vmul([lv[2], lv[3]], [rv[2], rv[3]]);
-        out[c * 4] = lo[0];
-        out[c * 4 + 1] = lo[1];
-        out[c * 4 + 2] = hi[0];
-        out[c * 4 + 3] = hi[1];
-    }
-}
-
-#[inline]
-fn tip_inner_pattern_scalar(
-    lcode: u8,
-    lt: &[TipTable16],
-    xr: &[f64],
+    rb: &[f64],
     rp: &[Mat4],
-    out: &mut [f64],
+    ob: &mut [f64],
+    base: usize,
+    l0: usize,
 ) {
     for (c, (ltab, p)) in lt.iter().zip(rp).enumerate() {
-        let lv = &ltab[lcode as usize];
-        let x = &xr[c * 4..c * 4 + 4];
+        let q = c * 4 * TILE;
+        let b: [[f64; W]; 4] = std::array::from_fn(|t| wload(rb, q + t * TILE + l0));
         for s in 0..4 {
-            let rv = p[s][0] * x[0] + p[s][1] * x[1] + p[s][2] * x[2] + p[s][3] * x[3];
-            out[c * 4 + s] = lv[s] * rv;
+            let lv: [f64; W] = std::array::from_fn(|j| ltab[lc[base + l0 + j] as usize][s]);
+            let mut ra = wmul(wsplat::<W>(p[s][0]), b[0]);
+            ra = wmadd(wsplat::<W>(p[s][1]), b[1], ra);
+            ra = wmadd(wsplat::<W>(p[s][2]), b[2], ra);
+            ra = wmadd(wsplat::<W>(p[s][3]), b[3], ra);
+            wstore(ob, q + s * TILE + l0, wmul(lv, ra));
         }
     }
 }
 
-#[inline]
-fn tip_inner_pattern_vector(
-    lcode: u8,
-    lt: &[TipTable16],
-    xr: &[f64],
+/// `W` patterns of one inner/inner block: both children's dot products are
+/// contiguous tile loads against splatted matrix entries. Per lane the
+/// operation sequence is exactly the scalar one, so every `W` is
+/// bit-identical.
+#[inline(always)]
+fn inner_inner_group<const W: usize>(
+    lb: &[f64],
+    lp: &[Mat4],
+    rb: &[f64],
     rp: &[Mat4],
-    out: &mut [f64],
+    ob: &mut [f64],
+    l0: usize,
 ) {
-    for (c, (ltab, p)) in lt.iter().zip(rp).enumerate() {
-        let lv = &ltab[lcode as usize];
-        let x = &xr[c * 4..c * 4 + 4];
-        // Two lanes of states at a time; per-lane op order matches scalar.
-        for pair in 0..2 {
-            let (s0, s1) = (2 * pair, 2 * pair + 1);
-            let mut acc = vmul([p[s0][0], p[s1][0]], splat(x[0]));
-            acc = madd([p[s0][1], p[s1][1]], splat(x[1]), acc);
-            acc = madd([p[s0][2], p[s1][2]], splat(x[2]), acc);
-            acc = madd([p[s0][3], p[s1][3]], splat(x[3]), acc);
-            let prod = vmul([lv[s0], lv[s1]], acc);
-            out[c * 4 + s0] = prod[0];
-            out[c * 4 + s1] = prod[1];
-        }
-    }
-}
-
-#[inline]
-fn inner_inner_pattern_scalar(xl: &[f64], lp: &[Mat4], xr: &[f64], rp: &[Mat4], out: &mut [f64]) {
     for (c, (pl, pr)) in lp.iter().zip(rp).enumerate() {
-        let a = &xl[c * 4..c * 4 + 4];
-        let b = &xr[c * 4..c * 4 + 4];
+        let q = c * 4 * TILE;
+        let a: [[f64; W]; 4] = std::array::from_fn(|t| wload(lb, q + t * TILE + l0));
+        let b: [[f64; W]; 4] = std::array::from_fn(|t| wload(rb, q + t * TILE + l0));
         for s in 0..4 {
-            let la = pl[s][0] * a[0] + pl[s][1] * a[1] + pl[s][2] * a[2] + pl[s][3] * a[3];
-            let ra = pr[s][0] * b[0] + pr[s][1] * b[1] + pr[s][2] * b[2] + pr[s][3] * b[3];
-            out[c * 4 + s] = la * ra;
-        }
-    }
-}
-
-#[inline]
-fn inner_inner_pattern_vector(xl: &[f64], lp: &[Mat4], xr: &[f64], rp: &[Mat4], out: &mut [f64]) {
-    for (c, (pl, pr)) in lp.iter().zip(rp).enumerate() {
-        let a = &xl[c * 4..c * 4 + 4];
-        let b = &xr[c * 4..c * 4 + 4];
-        for pair in 0..2 {
-            let (s0, s1) = (2 * pair, 2 * pair + 1);
-            let mut la = vmul([pl[s0][0], pl[s1][0]], splat(a[0]));
-            la = madd([pl[s0][1], pl[s1][1]], splat(a[1]), la);
-            la = madd([pl[s0][2], pl[s1][2]], splat(a[2]), la);
-            la = madd([pl[s0][3], pl[s1][3]], splat(a[3]), la);
-            let mut ra = vmul([pr[s0][0], pr[s1][0]], splat(b[0]));
-            ra = madd([pr[s0][1], pr[s1][1]], splat(b[1]), ra);
-            ra = madd([pr[s0][2], pr[s1][2]], splat(b[2]), ra);
-            ra = madd([pr[s0][3], pr[s1][3]], splat(b[3]), ra);
-            let prod = vmul(la, ra);
-            out[c * 4 + s0] = prod[0];
-            out[c * 4 + s1] = prod[1];
+            let mut la = wmul(wsplat::<W>(pl[s][0]), a[0]);
+            la = wmadd(wsplat::<W>(pl[s][1]), a[1], la);
+            la = wmadd(wsplat::<W>(pl[s][2]), a[2], la);
+            la = wmadd(wsplat::<W>(pl[s][3]), a[3], la);
+            let mut ra = wmul(wsplat::<W>(pr[s][0]), b[0]);
+            ra = wmadd(wsplat::<W>(pr[s][1]), b[1], ra);
+            ra = wmadd(wsplat::<W>(pr[s][2]), b[2], ra);
+            ra = wmadd(wsplat::<W>(pr[s][3]), b[3], ra);
+            wstore(ob, q + s * TILE + l0, wmul(la, ra));
         }
     }
 }
@@ -357,7 +523,7 @@ fn inner_inner_pattern_vector(xl: &[f64], lp: &[Mat4], xr: &[f64], rp: &[Mat4], 
 pub enum EvalOperand<'a> {
     /// A tip: its encoded pattern codes.
     Tip { codes: &'a [u8] },
-    /// An inner node: partials and per-pattern scale counts.
+    /// An inner node: tiled partials and per-pattern scale counts.
     Inner { x: &'a [f64], scale: &'a [u32] },
 }
 
@@ -375,8 +541,8 @@ impl EvalOperand<'_> {
         match self {
             EvalOperand::Tip { codes } => TIP_LIKELIHOODS[codes[i] as usize],
             EvalOperand::Inner { x, .. } => {
-                let off = (i * n_rates + c) * 4;
-                [x[off], x[off + 1], x[off + 2], x[off + 3]]
+                let off = tiled_index(i, c, 0, n_rates);
+                [x[off], x[off + TILE], x[off + 2 * TILE], x[off + 3 * TILE]]
             }
         }
     }
@@ -384,6 +550,11 @@ impl EvalOperand<'_> {
 
 /// Log-likelihood at a branch: `Σ_i w_i · ln((1/C) Σ_c x_uᵀ diag(π) P_c x_v)`
 /// plus the accumulated scaling corrections.
+///
+/// The per-site association is the same for every [`KernelKind`] — kernels
+/// vary only in how many *patterns* they advance per iteration — so the
+/// result is bit-identical across kinds (the `kind` parameter is kept for
+/// configuration plumbing and ablation symmetry).
 pub fn evaluate_lnl(
     u: &EvalOperand<'_>,
     v: &EvalOperand<'_>,
@@ -393,6 +564,7 @@ pub fn evaluate_lnl(
     n_rates: usize,
     kind: KernelKind,
 ) -> f64 {
+    let _ = kind;
     let n_patterns = weights.len();
     let inv_c = 1.0 / n_rates as f64;
     let mut lnl = 0.0;
@@ -404,10 +576,7 @@ pub fn evaluate_lnl(
         for (c, p) in pmats.iter().enumerate() {
             let xu = u.quad(i, c, n_rates);
             let xv = v.quad(i, c, n_rates);
-            site += match kind {
-                KernelKind::Scalar => eval_site_scalar(&xu, &xv, p, freqs),
-                KernelKind::Vector => eval_site_vector(&xu, &xv, p, freqs),
-            };
+            site += eval_site(&xu, &xv, p, freqs);
         }
         site *= inv_c;
         let scale = (u.scale_at(i) + v.scale_at(i)) as f64;
@@ -428,6 +597,7 @@ pub fn evaluate_site_lnls(
     n_rates: usize,
     kind: KernelKind,
 ) -> Vec<f64> {
+    let _ = kind;
     let inv_c = 1.0 / n_rates as f64;
     let mut out = Vec::with_capacity(n_patterns);
     for i in 0..n_patterns {
@@ -435,10 +605,7 @@ pub fn evaluate_site_lnls(
         for (c, p) in pmats.iter().enumerate() {
             let xu = u.quad(i, c, n_rates);
             let xv = v.quad(i, c, n_rates);
-            site += match kind {
-                KernelKind::Scalar => eval_site_scalar(&xu, &xv, p, freqs),
-                KernelKind::Vector => eval_site_vector(&xu, &xv, p, freqs),
-            };
+            site += eval_site(&xu, &xv, p, freqs);
         }
         site *= inv_c;
         let scale = (u.scale_at(i) + v.scale_at(i)) as f64;
@@ -448,27 +615,13 @@ pub fn evaluate_site_lnls(
 }
 
 #[inline]
-fn eval_site_scalar(xu: &[f64; 4], xv: &[f64; 4], p: &Mat4, freqs: &[f64; 4]) -> f64 {
+fn eval_site(xu: &[f64; 4], xv: &[f64; 4], p: &Mat4, freqs: &[f64; 4]) -> f64 {
     let mut acc = 0.0;
     for s in 0..4 {
         let pv = p[s][0] * xv[0] + p[s][1] * xv[1] + p[s][2] * xv[2] + p[s][3] * xv[3];
         acc += freqs[s] * xu[s] * pv;
     }
     acc
-}
-
-#[inline]
-fn eval_site_vector(xu: &[f64; 4], xv: &[f64; 4], p: &Mat4, freqs: &[f64; 4]) -> f64 {
-    let mut acc = [0.0; 2];
-    for pair in 0..2 {
-        let (s0, s1) = (2 * pair, 2 * pair + 1);
-        let mut pv = vmul([p[s0][0], p[s1][0]], splat(xv[0]));
-        pv = madd([p[s0][1], p[s1][1]], splat(xv[1]), pv);
-        pv = madd([p[s0][2], p[s1][2]], splat(xv[2]), pv);
-        pv = madd([p[s0][3], p[s1][3]], splat(xv[3]), pv);
-        acc = madd(vmul([freqs[s0], freqs[s1]], [xu[s0], xu[s1]]), pv, acc);
-    }
-    acc[0] + acc[1]
 }
 
 // ---------------------------------------------------------------------------
@@ -481,7 +634,9 @@ fn eval_site_vector(xu: &[f64; 4], xv: &[f64; 4], p: &Mat4, freqs: &[f64; 4]) ->
 /// and second derivatives w.r.t. `t` nearly free. RAxML builds exactly this
 /// table once per `makenewz` and iterates Newton on it.
 pub struct SumTable {
-    /// Layout `[pattern][rate][k]`.
+    /// Layout `[pattern][rate][k]` (unpadded — the table is consumed
+    /// pattern-at-a-time by the Newton loop, which never vectorizes across
+    /// patterns).
     pub data: Vec<f64>,
     pub n_rates: usize,
     /// Combined (u + v) scale counts — constant offsets that cancel in the
@@ -569,11 +724,12 @@ pub fn newton_derivatives(
     newton_derivatives_kind(st, lambdas, rates, t, weights, exp_impl, KernelKind::Scalar)
 }
 
-/// As [`newton_derivatives`] with an explicit kernel form: the vector
-/// variant evaluates the three eigen-sums two lanes at a time, mirroring
-/// the paper's vectorization of "the other offloaded functions" (§5.2.5).
-/// The two forms agree to within floating-point re-association (≤1 ulp per
-/// site).
+/// As [`newton_derivatives`] with an explicit kernel kind. Since the tiled
+/// layout moved vector lanes onto *patterns*, the eigen-sum association is
+/// the same (scalar, left-to-right) for every kind, and every kind returns
+/// bit-identical derivatives — the precondition for search trajectories
+/// being invariant under the kernel switch. The parameter is kept so config
+/// plumbing and ablation call sites stay uniform.
 #[allow(clippy::too_many_arguments)]
 pub fn newton_derivatives_kind(
     st: &SumTable,
@@ -636,6 +792,7 @@ pub fn newton_derivatives_scratch(
     kind: KernelKind,
     scratch: &mut NewtonScratch,
 ) -> (f64, f64, f64) {
+    let _ = kind;
     let n_patterns = weights.len();
     let inv_c = 1.0 / n_rates as f64;
 
@@ -667,27 +824,9 @@ pub fn newton_derivatives_scratch(
         for c in 0..n_rates {
             let off = (i * n_rates + c) * 4;
             let s = &st_data[off..off + 4];
-            match kind {
-                KernelKind::Scalar => {
-                    li += s[0] * e0[c][0] + s[1] * e0[c][1] + s[2] * e0[c][2] + s[3] * e0[c][3];
-                    dli += s[0] * e1[c][0] + s[1] * e1[c][1] + s[2] * e1[c][2] + s[3] * e1[c][3];
-                    ddli += s[0] * e2[c][0] + s[1] * e2[c][1] + s[2] * e2[c][2] + s[3] * e2[c][3];
-                }
-                KernelKind::Vector => {
-                    // Two lanes over the eigen index: the pairwise
-                    // association (s0·e0 + s2·e2) + (s1·e1 + s3·e3) differs
-                    // from the scalar left-to-right sum only in rounding
-                    // (≤1 ulp per site).
-                    let slo = [s[0], s[1]];
-                    let shi = [s[2], s[3]];
-                    let l = madd(shi, [e0[c][2], e0[c][3]], vmul(slo, [e0[c][0], e0[c][1]]));
-                    li += l[0] + l[1];
-                    let d = madd(shi, [e1[c][2], e1[c][3]], vmul(slo, [e1[c][0], e1[c][1]]));
-                    dli += d[0] + d[1];
-                    let dd = madd(shi, [e2[c][2], e2[c][3]], vmul(slo, [e2[c][0], e2[c][1]]));
-                    ddli += dd[0] + dd[1];
-                }
-            }
+            li += s[0] * e0[c][0] + s[1] * e0[c][1] + s[2] * e0[c][2] + s[3] * e0[c][3];
+            dli += s[0] * e1[c][0] + s[1] * e1[c][1] + s[2] * e1[c][2] + s[3] * e1[c][3];
+            ddli += s[0] * e2[c][0] + s[1] * e2[c][1] + s[2] * e2[c][2] + s[3] * e2[c][3];
         }
         li *= inv_c;
         dli *= inv_c;
@@ -713,6 +852,9 @@ mod tests {
         SubstModel::gtr([0.3, 0.2, 0.25, 0.25], [1.2, 3.1, 0.8, 0.9, 3.4, 1.0]).unwrap()
     }
 
+    const ALL_KINDS: [KernelKind; 4] =
+        [KernelKind::Scalar, KernelKind::Vector, KernelKind::Wide4, KernelKind::Wide8];
+
     #[test]
     fn tip_tables_match_direct_sum() {
         let m = model();
@@ -723,6 +865,34 @@ mod tests {
                 for s in 0..4 {
                     let direct: f64 = (0..4).map(|t| p[c][s][t] * TIP_LIKELIHOODS[code][t]).sum();
                     assert!((tables[c][code][s] - direct).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_index_round_trips() {
+        let n_rates = 3;
+        let n = 21; // not a multiple of TILE — exercises the tail block
+        let aos: Vec<f64> = (0..n * n_rates * 4).map(|i| i as f64).collect();
+        let tiled = tile_partials(&aos, n, n_rates);
+        assert_eq!(tiled.len(), tiled_len(n, n_rates));
+        for i in 0..n {
+            for c in 0..n_rates {
+                for s in 0..4 {
+                    assert_eq!(
+                        tiled[tiled_index(i, c, s, n_rates)],
+                        aos[(i * n_rates + c) * 4 + s]
+                    );
+                }
+            }
+        }
+        // Padding lanes are zero.
+        let block = (n / TILE) * n_rates * 4 * TILE;
+        for c in 0..n_rates {
+            for s in 0..4 {
+                for pad in (n % TILE)..TILE {
+                    assert_eq!(tiled[block + (c * 4 + s) * TILE + pad], 0.0);
                 }
             }
         }
@@ -740,14 +910,13 @@ mod tests {
         let lt = build_tip_tables(&pl);
         let rt = build_tip_tables(&pr);
 
-        let codes_l: Vec<u8> = vec![1, 2, 4, 8, 5, 15, 3, 10];
-        let codes_r: Vec<u8> = vec![8, 8, 1, 2, 15, 4, 7, 1];
+        let codes_l: Vec<u8> = vec![1, 2, 4, 8, 5, 15, 3, 10, 12];
+        let codes_r: Vec<u8> = vec![8, 8, 1, 2, 15, 4, 7, 1, 9];
         let n = codes_l.len();
-        let stride = n_rates * 4;
 
         // Fake "inner" operands replicating the tip vectors per rate.
         let expand = |codes: &[u8]| -> Vec<f64> {
-            let mut x = vec![0.0; n * stride];
+            let mut x = vec![0.0; n * n_rates * 4];
             for i in 0..n {
                 for c in 0..n_rates {
                     for s in 0..4 {
@@ -755,13 +924,13 @@ mod tests {
                     }
                 }
             }
-            x
+            tile_partials(&x, n, n_rates)
         };
         let xl = expand(&codes_l);
         let xr = expand(&codes_r);
         let zeros = vec![0u32; n];
 
-        let mut out_tt = vec![0.0; n * stride];
+        let mut out_tt = vec![0.0; tiled_len(n, n_rates)];
         let mut sc_tt = vec![0u32; n];
         newview(
             &Child::Tip { codes: &codes_l, tables: &lt },
@@ -773,7 +942,7 @@ mod tests {
             ScalingCheck::IntegerCast,
         );
 
-        let mut out_ii = vec![0.0; n * stride];
+        let mut out_ii = vec![0.0; tiled_len(n, n_rates)];
         let mut sc_ii = vec![0u32; n];
         newview(
             &Child::Inner { x: &xl, scale: &zeros, pmats: &pl },
@@ -785,7 +954,7 @@ mod tests {
             ScalingCheck::IntegerCast,
         );
 
-        let mut out_ti = vec![0.0; n * stride];
+        let mut out_ti = vec![0.0; tiled_len(n, n_rates)];
         let mut sc_ti = vec![0u32; n];
         newview(
             &Child::Tip { codes: &codes_l, tables: &lt },
@@ -808,7 +977,7 @@ mod tests {
     }
 
     #[test]
-    fn vector_kernels_bit_equal_to_scalar() {
+    fn all_kernel_widths_bit_equal_to_scalar() {
         let m = model();
         let rates = [0.25, 0.8, 1.3, 2.7];
         let n_rates = rates.len();
@@ -816,8 +985,9 @@ mod tests {
         let pr = pmats(&m, 0.29, &rates);
         let lt = build_tip_tables(&pl);
         let rt = build_tip_tables(&pr);
+        // 13 patterns: one full block plus a 5-lane tail, so every width
+        // exercises its remainder path.
         let n = 13;
-        let stride = n_rates * 4;
 
         // Deterministic pseudo-random partials.
         let mut x = 0.123456789f64;
@@ -825,8 +995,10 @@ mod tests {
             x = (x * 9301.0 + 49297.0) % 233280.0 / 233280.0;
             0.01 + x
         };
-        let xl: Vec<f64> = (0..n * stride).map(|_| next()).collect();
-        let xr: Vec<f64> = (0..n * stride).map(|_| next()).collect();
+        let aos_l: Vec<f64> = (0..n * n_rates * 4).map(|_| next()).collect();
+        let aos_r: Vec<f64> = (0..n * n_rates * 4).map(|_| next()).collect();
+        let xl = tile_partials(&aos_l, n, n_rates);
+        let xr = tile_partials(&aos_r, n, n_rates);
         let zeros = vec![0u32; n];
         let codes: Vec<u8> = (0..n).map(|i| ((i % 15) + 1) as u8).collect();
 
@@ -842,9 +1014,9 @@ mod tests {
             ),
         ];
         for (a, b) in &cases {
-            let mut out_s = vec![0.0; n * stride];
+            let mut out_s = vec![0.0; tiled_len(n, n_rates)];
             let mut sc_s = vec![0u32; n];
-            newview(
+            let stats_s = newview(
                 a,
                 b,
                 &mut out_s,
@@ -853,19 +1025,15 @@ mod tests {
                 KernelKind::Scalar,
                 ScalingCheck::IntegerCast,
             );
-            let mut out_v = vec![0.0; n * stride];
-            let mut sc_v = vec![0u32; n];
-            newview(
-                a,
-                b,
-                &mut out_v,
-                &mut sc_v,
-                n_rates,
-                KernelKind::Vector,
-                ScalingCheck::IntegerCast,
-            );
-            assert_eq!(out_s, out_v, "vector kernel must be bit-equal");
-            assert_eq!(sc_s, sc_v);
+            for kind in [KernelKind::Vector, KernelKind::Wide4, KernelKind::Wide8] {
+                let mut out_w = vec![0.0; tiled_len(n, n_rates)];
+                let mut sc_w = vec![0u32; n];
+                let stats_w =
+                    newview(a, b, &mut out_w, &mut sc_w, n_rates, kind, ScalingCheck::IntegerCast);
+                assert_eq!(out_s, out_w, "{kind:?} kernel must be bit-equal to scalar");
+                assert_eq!(sc_s, sc_w);
+                assert_eq!(stats_s, stats_w, "{kind:?} ScaleStats must match scalar");
+            }
         }
     }
 
@@ -877,29 +1045,79 @@ mod tests {
         let pr = pmats(&m, 0.1, &rates);
         // Inner children with very small partials force a scaling event.
         let tiny = SCALE_THRESHOLD * 1e-3;
-        let xl = vec![tiny; 4];
-        let xr = vec![tiny; 4];
+        let xl = tile_partials(&[tiny; 4], 1, 1);
+        let xr = tile_partials(&[tiny; 4], 1, 1);
         let ls = vec![3u32];
         let rs = vec![5u32];
-        let mut out = vec![0.0; 4];
-        let mut sc = vec![0u32; 1];
-        let stats = newview(
-            &Child::Inner { x: &xl, scale: &ls, pmats: &pl },
-            &Child::Inner { x: &xr, scale: &rs, pmats: &pr },
-            &mut out,
-            &mut sc,
-            1,
-            KernelKind::Scalar,
-            ScalingCheck::IntegerCast,
-        );
-        assert_eq!(stats.fired, 1);
-        assert_eq!(sc[0], 3 + 5 + 1, "scale counts must accumulate");
-        // Compare against the same computation with scaling disabled-in-effect:
-        // the rescaled values must be exactly 2^256 × the raw products.
-        let mut raw = vec![0.0; 4];
-        inner_inner_pattern_scalar(&xl, &pl, &xr, &pr, &mut raw);
-        for (v, r) in out.iter().zip(&raw) {
-            assert_eq!(*v, r * SCALE_MULTIPLIER, "rescale must be an exact power-of-two shift");
+        for kind in ALL_KINDS {
+            let mut out = vec![0.0; tiled_len(1, 1)];
+            let mut sc = vec![0u32; 1];
+            let stats = newview(
+                &Child::Inner { x: &xl, scale: &ls, pmats: &pl },
+                &Child::Inner { x: &xr, scale: &rs, pmats: &pr },
+                &mut out,
+                &mut sc,
+                1,
+                kind,
+                ScalingCheck::IntegerCast,
+            );
+            assert_eq!(stats.fired, 1);
+            assert_eq!(sc[0], 3 + 5 + 1, "scale counts must accumulate");
+            // The rescaled values must be exactly 2^256 × the raw products.
+            for s in 0..4 {
+                let la: f64 = (0..4).map(|t| pl[0][s][t] * tiny).sum();
+                let ra: f64 = (0..4).map(|t| pr[0][s][t] * tiny).sum();
+                assert_eq!(
+                    out[tiled_index(0, 0, s, 1)],
+                    la * ra * SCALE_MULTIPLIER,
+                    "rescale must be an exact power-of-two shift ({kind:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_is_per_lane_in_mixed_blocks() {
+        // One block where only some lanes underflow: the conditional must
+        // fire for exactly those patterns, for every kernel width.
+        let m = model();
+        let rates = [1.0];
+        let pl = pmats(&m, 0.1, &rates);
+        let pr = pmats(&m, 0.1, &rates);
+        let n = TILE;
+        let tiny = SCALE_THRESHOLD * 1e-3;
+        let mut aos = vec![0.5; n * 4];
+        for i in [1, 3, 4, 7] {
+            for s in 0..4 {
+                aos[i * 4 + s] = tiny;
+            }
+        }
+        let xl = tile_partials(&aos, n, 1);
+        let xr = tile_partials(&aos, n, 1);
+        let zeros = vec![0u32; n];
+        let mut reference: Option<(Vec<f64>, Vec<u32>, ScaleStats)> = None;
+        for kind in ALL_KINDS {
+            let mut out = vec![0.0; tiled_len(n, 1)];
+            let mut sc = vec![0u32; n];
+            let stats = newview(
+                &Child::Inner { x: &xl, scale: &zeros, pmats: &pl },
+                &Child::Inner { x: &xr, scale: &zeros, pmats: &pr },
+                &mut out,
+                &mut sc,
+                1,
+                kind,
+                ScalingCheck::IntegerCast,
+            );
+            assert_eq!(sc, vec![0, 1, 0, 1, 1, 0, 0, 1], "per-lane firing ({kind:?})");
+            assert_eq!(stats.fired, 4);
+            match &reference {
+                None => reference = Some((out, sc, stats)),
+                Some((rx, rsc, rst)) => {
+                    assert_eq!(&out, rx, "{kind:?}");
+                    assert_eq!(&sc, rsc);
+                    assert_eq!(&stats, rst);
+                }
+            }
         }
     }
 
@@ -933,14 +1151,14 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_scalar_vector_agree() {
+    fn evaluate_is_bit_identical_across_kinds() {
         let m = model();
         let rates = [0.5, 1.5];
         let n_rates = 2;
         let p = pmats(&m, 0.31, &rates);
         let n = 6;
-        let stride = n_rates * 4;
-        let xv: Vec<f64> = (0..n * stride).map(|i| 0.01 + (i % 7) as f64 * 0.1).collect();
+        let aos: Vec<f64> = (0..n * n_rates * 4).map(|i| 0.01 + (i % 7) as f64 * 0.1).collect();
+        let xv = tile_partials(&aos, n, n_rates);
         let sv = vec![1u32; n];
         let codes: Vec<u8> = vec![1, 2, 4, 8, 15, 5];
         let weights = vec![2.0, 1.0, 1.0, 3.0, 1.0, 2.0];
@@ -948,8 +1166,10 @@ mod tests {
         let u = EvalOperand::Tip { codes: &codes };
         let v = EvalOperand::Inner { x: &xv, scale: &sv };
         let a = evaluate_lnl(&u, &v, &p, m.freqs(), &weights, n_rates, KernelKind::Scalar);
-        let b = evaluate_lnl(&u, &v, &p, m.freqs(), &weights, n_rates, KernelKind::Vector);
-        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        for kind in ALL_KINDS {
+            let b = evaluate_lnl(&u, &v, &p, m.freqs(), &weights, n_rates, kind);
+            assert_eq!(a.to_bits(), b.to_bits(), "{kind:?}: {a} vs {b}");
+        }
         assert!(a < 0.0, "log likelihood of probabilities < 1 must be negative");
     }
 
@@ -963,8 +1183,8 @@ mod tests {
         let t = 0.23;
         let p = pmats(&m, t, rates);
         let n = 5;
-        let stride = n_rates * 4;
-        let xv: Vec<f64> = (0..n * stride).map(|i| 0.02 + (i % 5) as f64 * 0.17).collect();
+        let aos: Vec<f64> = (0..n * n_rates * 4).map(|i| 0.02 + (i % 5) as f64 * 0.17).collect();
+        let xv = tile_partials(&aos, n, n_rates);
         let sv = vec![2u32; n];
         let codes: Vec<u8> = vec![1, 8, 2, 4, 10];
         let weights = vec![1.0, 4.0, 2.0, 1.0, 1.0];
@@ -985,8 +1205,8 @@ mod tests {
         let rates = [0.4, 1.6];
         let n = 4;
         let n_rates = 2;
-        let stride = n_rates * 4;
-        let xv: Vec<f64> = (0..n * stride).map(|i| 0.05 + (i % 3) as f64 * 0.3).collect();
+        let aos: Vec<f64> = (0..n * n_rates * 4).map(|i| 0.05 + (i % 3) as f64 * 0.3).collect();
+        let xv = tile_partials(&aos, n, n_rates);
         let sv = vec![0u32; n];
         let codes: Vec<u8> = vec![1, 2, 4, 8];
         let weights = vec![1.0, 2.0, 1.0, 1.0];
@@ -1012,14 +1232,14 @@ mod tests {
     }
 
     #[test]
-    fn newton_scalar_and_vector_agree() {
+    fn newton_is_bit_identical_across_kinds() {
         let m = model();
         let gam = crate::model::GammaRates::standard(0.5).unwrap();
         let rates = gam.rates().to_vec();
         let n = 9;
         let n_rates = rates.len();
-        let stride = n_rates * 4;
-        let xv: Vec<f64> = (0..n * stride).map(|i| 0.03 + (i % 11) as f64 * 0.09).collect();
+        let aos: Vec<f64> = (0..n * n_rates * 4).map(|i| 0.03 + (i % 11) as f64 * 0.09).collect();
+        let xv = tile_partials(&aos, n, n_rates);
         let sv = vec![1u32; n];
         let codes: Vec<u8> = vec![1, 2, 4, 8, 3, 5, 9, 15, 6];
         let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
@@ -1036,18 +1256,20 @@ mod tests {
                 ExpImpl::Sdk,
                 KernelKind::Scalar,
             );
-            let b = newton_derivatives_kind(
-                &st,
-                &m.eigen().values,
-                &rates,
-                t,
-                &weights,
-                ExpImpl::Sdk,
-                KernelKind::Vector,
-            );
-            assert!((a.0 - b.0).abs() < 1e-9, "lnl: {} vs {}", a.0, b.0);
-            assert!((a.1 - b.1).abs() < 1e-9, "d1: {} vs {}", a.1, b.1);
-            assert!((a.2 - b.2).abs() < 1e-9, "d2: {} vs {}", a.2, b.2);
+            for kind in ALL_KINDS {
+                let b = newton_derivatives_kind(
+                    &st,
+                    &m.eigen().values,
+                    &rates,
+                    t,
+                    &weights,
+                    ExpImpl::Sdk,
+                    kind,
+                );
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "lnl: {} vs {} ({kind:?})", a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "d1: {} vs {} ({kind:?})", a.1, b.1);
+                assert_eq!(a.2.to_bits(), b.2.to_bits(), "d2: {} vs {} ({kind:?})", a.2, b.2);
+            }
         }
     }
 
@@ -1058,8 +1280,8 @@ mod tests {
         let n_rates = 2;
         let p = pmats(&m, 0.27, &rates);
         let n = 7;
-        let stride = n_rates * 4;
-        let xv: Vec<f64> = (0..n * stride).map(|i| 0.02 + (i % 9) as f64 * 0.11).collect();
+        let aos: Vec<f64> = (0..n * n_rates * 4).map(|i| 0.02 + (i % 9) as f64 * 0.11).collect();
+        let xv = tile_partials(&aos, n, n_rates);
         let sv = vec![2u32; n];
         let codes: Vec<u8> = vec![1, 8, 2, 4, 10, 15, 5];
         let weights: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
@@ -1076,7 +1298,7 @@ mod tests {
         let m = model();
         let p = pmats(&m, 0.2, &[1.0]);
         let codes = vec![1u8, 2];
-        let x = vec![0.5; 8];
+        let x = tile_partials(&[0.5; 8], 2, 1);
         let s = vec![0u32; 2];
         let u = EvalOperand::Tip { codes: &codes };
         let v = EvalOperand::Inner { x: &x, scale: &s };

@@ -37,7 +37,15 @@ pub const SCALE_MULTIPLIER: f64 = 1.157920892373162e77; // 2^256
 /// log-likelihood.
 pub const LN_SCALE: f64 = -177.445_678_223_346; // -256 · ln 2
 
-/// Which arithmetic formulation the `newview` loops use.
+/// Pattern-block width of the tiled CLV layout: partials are stored in
+/// blocks of `TILE` site patterns so that 2-, 4- and 8-lane kernels all
+/// read full lanes from one contiguous tile. `TILE` is the widest lane
+/// count, so every narrower kernel divides it evenly.
+pub const TILE: usize = 8;
+
+/// Which arithmetic formulation the `newview` loops use. Lanes map to
+/// *patterns* (never to states), so every kind performs the identical
+/// per-pattern operation sequence and all four are bit-identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelKind {
     /// Straight-line scalar code (the paper's starting point).
@@ -46,6 +54,48 @@ pub enum KernelKind {
     /// registers (paper Figure 2).
     #[default]
     Vector,
+    /// 4-lane pattern-parallel loops (AVX2-width autovectorization).
+    Wide4,
+    /// 8-lane pattern-parallel loops (AVX-512-width autovectorization).
+    /// Portable Rust — correct everywhere — but only *selected* by
+    /// [`widest_kernel`] when [`wide8_supported`] says the hardware has
+    /// 512-bit registers to back it.
+    Wide8,
+}
+
+impl KernelKind {
+    /// How many site patterns one kernel iteration advances.
+    pub fn lanes(self) -> usize {
+        match self {
+            KernelKind::Scalar => 1,
+            KernelKind::Vector => 2,
+            KernelKind::Wide4 => 4,
+            KernelKind::Wide8 => 8,
+        }
+    }
+}
+
+/// Whether the 8-lane kernel is worth selecting on this host. The kernel
+/// itself is portable Rust and correct on every target; this check only
+/// gates *selection* on hardware with 512-bit vector registers.
+pub fn wide8_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The widest kernel kind the host supports.
+pub fn widest_kernel() -> KernelKind {
+    if wide8_supported() {
+        KernelKind::Wide8
+    } else {
+        KernelKind::Wide4
+    }
 }
 
 /// How the underflow-scaling conditional is evaluated (paper §5.2.3).

@@ -17,7 +17,7 @@
 //! the lock-per-checkout [`WorkspacePool`] remains for callers that share
 //! arenas across ad-hoc threads.
 
-use super::kernels::{Mat4, NewtonScratch, TipTable16};
+use super::kernels::{tiled_len, Mat4, NewtonScratch, TipTable16};
 use crate::tree::NodeId;
 use std::sync::Mutex;
 
@@ -134,13 +134,25 @@ pub struct LikelihoodWorkspace {
     n_taxa: usize,
     n_patterns: usize,
     n_rates: usize,
-    /// Partial vectors per inner node (`[pattern][rate][state]` layout).
+    /// Partial vectors per inner node, in the pattern-blocked tiled layout
+    /// of [`crate::likelihood::kernels`] (length [`tiled_len`], padded to
+    /// whole [`crate::likelihood::TILE`] blocks).
     pub(crate) partials: Vec<Vec<f64>>,
-    /// Per-pattern scaling counts per inner node.
+    /// Per-pattern scaling counts per inner node (unpadded).
     pub(crate) scales: Vec<Vec<u32>>,
     /// `orientation[i] = Some(q)`: inner node `n_taxa + i`'s partial is
-    /// valid for the tree rooted so that `q` is its parent.
+    /// valid for the tree rooted so that `q` is its parent — provided its
+    /// validity generation also matches (see [`Self::cache_gen`]).
     pub(crate) orientation: Vec<Option<NodeId>>,
+    /// Validity generation per inner node: the partial at slot `i` is live
+    /// only when `valid_gen[i] == cache_gen`. Bumping `cache_gen` is the
+    /// O(1) whole-cache invalidation (`invalidate_all`); targeted
+    /// invalidation (`invalidate_for_branch`) still clears orientations so
+    /// cross-move partial reuse keeps untouched subtrees warm.
+    pub(crate) valid_gen: Vec<u64>,
+    /// Current cache generation; starts at 1 so a zeroed `valid_gen` is
+    /// stale by construction.
+    pub(crate) cache_gen: u64,
     /// Per-rate P-matrix scratch for the two `newview` child branches and
     /// for the `evaluate`/`makenewz` branch.
     pub(crate) pmat_a: Vec<Mat4>,
@@ -199,13 +211,18 @@ impl LikelihoodWorkspace {
             self.scales.push(Vec::new());
         }
         for p in &mut self.partials {
-            p.resize(n_patterns * stride, 0.0);
+            p.resize(tiled_len(n_patterns, n_rates), 0.0);
         }
         for s in &mut self.scales {
             s.resize(n_patterns, 0);
         }
         self.orientation.clear();
         self.orientation.resize(n_inner, None);
+        self.valid_gen.clear();
+        self.valid_gen.resize(n_inner, 0);
+        // Generation 0 marks "never computed"; start (or continue) strictly
+        // above it so every slot is stale after adoption.
+        self.cache_gen = self.cache_gen.max(1);
 
         self.pmat_a.resize(n_rates, [[0.0; 4]; 4]);
         self.pmat_b.resize(n_rates, [[0.0; 4]; 4]);
@@ -237,11 +254,11 @@ impl LikelihoodWorkspace {
         self.n_rates = n_rates;
     }
 
-    /// Invalidate every cached partial without touching buffer sizes.
+    /// Invalidate every cached partial without touching buffer sizes: an
+    /// O(1) generation bump — every slot's `valid_gen` is now stale — plus
+    /// clearing the compiled descriptor list.
     pub fn reset(&mut self) {
-        for o in &mut self.orientation {
-            *o = None;
-        }
+        self.cache_gen += 1;
         self.ops.clear();
     }
 
@@ -301,13 +318,27 @@ mod tests {
         let mut ws = LikelihoodWorkspace::new();
         ws.ensure(8, 100, 4);
         assert_eq!(ws.partials.len(), 6);
-        assert!(ws.partials.iter().all(|p| p.len() == 100 * 16));
+        // Partials are tiled: 100 patterns pad to 104 (13 blocks of 8).
+        assert!(ws.partials.iter().all(|p| p.len() == 104 * 16));
         assert!(ws.scales.iter().all(|s| s.len() == 100));
         assert_eq!(ws.orientation.len(), 6);
+        assert_eq!(ws.valid_gen.len(), 6);
+        assert!(ws.cache_gen >= 1, "generation 0 is reserved for never-computed slots");
         assert_eq!(ws.pmat_a.len(), 4);
+        // The sum table stays unpadded `[pattern][rate][k]`.
         assert_eq!(ws.sum_data.len(), 100 * 16);
         assert_eq!(ws.hop.len(), 14);
         assert_eq!(ws.dimensions(), (8, 100, 4));
+    }
+
+    #[test]
+    fn reset_is_a_generation_bump() {
+        let mut ws = LikelihoodWorkspace::for_dimensions(6, 40, 2);
+        let gen_before = ws.cache_gen;
+        ws.valid_gen[0] = gen_before; // pretend slot 0 was computed
+        ws.reset();
+        assert_eq!(ws.cache_gen, gen_before + 1);
+        assert!(ws.valid_gen[0] < ws.cache_gen, "all slots stale after reset");
     }
 
     #[test]
@@ -315,10 +346,10 @@ mod tests {
         let mut ws = LikelihoodWorkspace::for_dimensions(10, 200, 4);
         ws.ensure(5, 50, 2);
         assert_eq!(ws.partials.len(), 3);
-        assert!(ws.partials.iter().all(|p| p.len() == 50 * 8));
+        assert!(ws.partials.iter().all(|p| p.len() == 56 * 8)); // 50 pads to 56
         ws.ensure(10, 200, 4);
         assert_eq!(ws.partials.len(), 8);
-        assert!(ws.partials.iter().all(|p| p.len() == 200 * 16));
+        assert!(ws.partials.iter().all(|p| p.len() == 200 * 16)); // 200 = 25 blocks exactly
         assert!(ws.orientation.iter().all(|o| o.is_none()));
     }
 

@@ -16,7 +16,7 @@
 use crate::likelihood::kernels::{
     self, evaluate_lnl, Child, EvalOperand, Mat4, NewtonScratch, ScaleStats,
 };
-use crate::likelihood::{KernelKind, ScalingCheck};
+use crate::likelihood::{KernelKind, ScalingCheck, TILE};
 use crate::model::ExpImpl;
 use rayon::prelude::*;
 use std::sync::OnceLock;
@@ -72,29 +72,40 @@ fn dispatch_metrics() -> Option<&'static DispatchMetrics> {
 }
 
 /// Restrict a `newview` child operand to the pattern range `[lo, hi)`.
+///
+/// Inner partials live in the tiled block layout, so the `x` slice is cut on
+/// whole blocks: `lo` must be block-aligned (chunk boundaries are multiples of
+/// `PAR_CHUNK`, which `TILE` divides), and the end rounds up so a ragged tail
+/// chunk keeps its zero-padded final block.
 fn slice_child<'a>(c: &Child<'a>, lo: usize, hi: usize, n_rates: usize) -> Child<'a> {
-    let stride = n_rates * 4;
+    debug_assert_eq!(lo % TILE, 0, "chunk start must be tile-aligned");
+    let block = n_rates * 4 * TILE;
     match *c {
         Child::Tip { codes, tables } => Child::Tip { codes: &codes[lo..hi], tables },
-        Child::Inner { x, scale, pmats } => {
-            Child::Inner { x: &x[lo * stride..hi * stride], scale: &scale[lo..hi], pmats }
-        }
+        Child::Inner { x, scale, pmats } => Child::Inner {
+            x: &x[(lo / TILE) * block..hi.div_ceil(TILE) * block],
+            scale: &scale[lo..hi],
+            pmats,
+        },
     }
 }
 
 /// Restrict an evaluate/makenewz operand to the pattern range `[lo, hi)`.
+/// Same block-aligned slicing of tiled `x` as [`slice_child`].
 fn slice_operand<'a>(
     op: &EvalOperand<'a>,
     lo: usize,
     hi: usize,
     n_rates: usize,
 ) -> EvalOperand<'a> {
-    let stride = n_rates * 4;
+    debug_assert_eq!(lo % TILE, 0, "chunk start must be tile-aligned");
+    let block = n_rates * 4 * TILE;
     match *op {
         EvalOperand::Tip { codes } => EvalOperand::Tip { codes: &codes[lo..hi] },
-        EvalOperand::Inner { x, scale } => {
-            EvalOperand::Inner { x: &x[lo * stride..hi * stride], scale: &scale[lo..hi] }
-        }
+        EvalOperand::Inner { x, scale } => EvalOperand::Inner {
+            x: &x[(lo / TILE) * block..hi.div_ceil(TILE) * block],
+            scale: &scale[lo..hi],
+        },
     }
 }
 
@@ -116,6 +127,11 @@ pub fn newview_dispatch(
     }
     let stride = n_rates * 4;
     let chunk = PAR_CHUNK;
+    // `chunk * stride` f64s = `chunk / TILE` whole blocks, so every chunk
+    // boundary of the tiled `out_x` is block-aligned; the final (short)
+    // x-chunk absorbs the zero-padded tail block and there are exactly as
+    // many x-chunks as scale-chunks.
+    const _: () = assert!(PAR_CHUNK.is_multiple_of(TILE), "chunks must cover whole tiles");
     out_x
         .par_chunks_mut(chunk * stride)
         .zip(out_scale.par_chunks_mut(chunk))

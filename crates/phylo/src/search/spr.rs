@@ -54,6 +54,25 @@ pub fn spr_round(
     radius: usize,
     epsilon: f64,
 ) -> SprRoundStats {
+    spr_round_with_mode(engine, tree, radius, epsilon, true)
+}
+
+/// [`spr_round`] with the cross-move partial reuse made switchable:
+/// `reuse = false` flushes every cached partial before each candidate
+/// scoring and each applied-move re-evaluation, forcing a full recompute
+/// per candidate. The deterministic kernels make both modes bit-identical
+/// in every likelihood and every applied move — the flag exists so the
+/// benchmark suite can price the reuse, not to change results.
+pub fn spr_round_with_mode(
+    engine: &mut LikelihoodEngine<'_>,
+    tree: &mut Tree,
+    radius: usize,
+    epsilon: f64,
+    reuse: bool,
+) -> SprRoundStats {
+    if !reuse {
+        engine.invalidate_all();
+    }
     let mut current = engine.log_likelihood(tree);
     let mut applied = 0;
     let mut evaluated = 0;
@@ -105,6 +124,9 @@ pub fn spr_round(
             // Lazy scoring, RAxML-style: one junction newview inside the
             // makenewz preparation plus a couple of Newton steps; the
             // sum table reports the likelihood for free.
+            if !reuse {
+                engine.invalidate_all();
+            }
             let (_, lnl) =
                 engine.optimize_branch_with_iters(tree, (pruned.junction, pruned.root), 2);
             evaluated += 1;
@@ -131,7 +153,13 @@ pub fn spr_round(
                 let locals: Vec<Edge> =
                     tree.neighbors_of(v_node).map(|(n, _)| edge(v_node, n)).collect();
                 for e in locals {
+                    if !reuse {
+                        engine.invalidate_all();
+                    }
                     engine.optimize_branch(tree, e);
+                }
+                if !reuse {
+                    engine.invalidate_all();
                 }
                 current = engine.log_likelihood(tree);
                 applied += 1;
@@ -273,6 +301,39 @@ mod tests {
             "the true tree on overwhelming data should be a local optimum"
         );
         assert_eq!(robinson_foulds(&tree, &w.true_tree), 0, "tree must be unchanged");
+    }
+
+    /// Reuse and full-recompute modes are the same search, priced
+    /// differently: identical moves, identical evaluation counts, and the
+    /// final likelihood equal to the bit.
+    #[test]
+    fn reuse_and_full_recompute_modes_are_bit_identical() {
+        for seed in [6u64, 17, 29] {
+            let w = SimulationConfig::new(9, 300, seed).generate();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let start = Tree::random(9, 0.1, &mut rng).unwrap();
+
+            let mut t_reuse = start.clone();
+            let mut eng = engine(&w.alignment);
+            eng.optimize_all_branches(&mut t_reuse, 1);
+            let s_reuse = spr_round_with_mode(&mut eng, &mut t_reuse, 4, 1e-4, true);
+
+            let mut t_full = start;
+            let mut eng = engine(&w.alignment);
+            eng.optimize_all_branches(&mut t_full, 1);
+            let s_full = spr_round_with_mode(&mut eng, &mut t_full, 4, 1e-4, false);
+
+            assert_eq!(s_reuse.applied, s_full.applied, "seed {seed}");
+            assert_eq!(s_reuse.evaluated, s_full.evaluated, "seed {seed}");
+            assert_eq!(
+                s_reuse.log_likelihood.to_bits(),
+                s_full.log_likelihood.to_bits(),
+                "seed {seed}: {} vs {}",
+                s_reuse.log_likelihood,
+                s_full.log_likelihood
+            );
+            assert_eq!(t_reuse, t_full, "seed {seed}: topologies differ");
+        }
     }
 
     #[test]

@@ -306,6 +306,14 @@ impl Tree {
     /// All branches of the currently attached tree, canonically ordered.
     pub fn edges(&self) -> Vec<Edge> {
         let mut out = Vec::with_capacity(2 * self.n_taxa - 3);
+        self.edges_into(&mut out);
+        out
+    }
+
+    /// [`Self::edges`] into a caller-owned buffer — no allocation once the
+    /// buffer has grown to capacity, for steady-state search loops.
+    pub fn edges_into(&self, out: &mut Vec<Edge>) {
+        out.clear();
         for a in 0..self.n_nodes() {
             for (b, _) in self.neighbors_of(a) {
                 if a < b {
@@ -313,7 +321,19 @@ impl Tree {
                 }
             }
         }
-        out
+    }
+
+    /// The first edge in [`Self::edges`]' canonical order, without
+    /// allocating — a stable virtual-root choice for evaluation.
+    pub fn first_edge(&self) -> Edge {
+        for a in 0..self.n_nodes() {
+            for (b, _) in self.neighbors_of(a) {
+                if a < b {
+                    return (a, b);
+                }
+            }
+        }
+        panic!("tree has no attached edges");
     }
 
     /// Insert taxon `tip` on edge `(a, b)`: a new inner node `v` splits the

@@ -113,6 +113,37 @@ if [[ -f BENCH_chaos.json ]]; then
     rm -rf "$chaos_dir"
 fi
 
+# Kernel smoke: bit-identity of every kernel width against the scalar
+# reference (including a fixture that fires the underflow rescale), the
+# reuse-vs-full-recompute SPR cross-check, and an envelope round trip.
+# Then a schema check of the committed BENCH_kernels.json baseline — it
+# must carry a patterns-per-sec headline for every kernel width plus the
+# SPR-round p99 — and an advisory regression gate over a fresh quick
+# measurement (wall-clock numbers on shared CI machines inform, not block).
+run cargo run -p bench --bin kernel_study -- --smoke
+if [[ -f BENCH_kernels.json ]]; then
+    echo "==> python3 schema check BENCH_kernels.json"
+    python3 - BENCH_kernels.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, f"unexpected schema_version: {doc['schema_version']}"
+metrics = doc["metrics"]
+required = ["newview_%s_patterns_per_sec" % k for k in ("scalar", "vector", "wide4", "wide8")]
+required.append("spr_round_p99")
+missing = [name for name in required if name not in metrics]
+assert not missing, f"BENCH_kernels.json is missing metrics: {missing}"
+assert all(metrics[name] > 0 for name in required), "kernel metrics must be positive"
+print("schema OK:", sys.argv[1])
+EOF
+    kernel_dir="$(mktemp -d)"
+    # --no-artifact: never overwrite the committed baseline from CI.
+    echo "==> cargo run --release -q -p bench --bin kernel_study -- --quick --no-artifact --format json > current.json"
+    cargo run --release -q -p bench --bin kernel_study -- --quick --no-artifact --format json \
+        > "$kernel_dir/current.json"
+    run scripts/bench_gate --advisory --baseline BENCH_kernels.json --current "$kernel_dir/current.json"
+    rm -rf "$kernel_dir"
+fi
+
 # Migration gate: the deprecated infer_ml_tree_* shims and bench::arg_value
 # must not be used anywhere in shipping code (bins, examples, libs).
 # Equivalence tests opt in explicitly with #[allow(deprecated)].

@@ -271,8 +271,10 @@ proptest! {
 // ---------------------------------------------------------------------
 
 proptest! {
-    /// Scalar and vector kernels agree (bit-equal) on random data, and both
-    /// scaling-check variants agree, through the full engine.
+    /// All four kernel widths agree to the bit on random instances, under
+    /// both scaling-check variants, through the full engine. Lanes map to
+    /// patterns, so widening the kernel never changes any per-pattern
+    /// operation order.
     #[test]
     fn kernel_variants_agree_on_random_instances(seed in 0u64..40) {
         let w = SimulationConfig::new(6, 100, seed).generate();
@@ -281,14 +283,134 @@ proptest! {
         let model = SubstModel::gtr(w.alignment.base_frequencies(), [1.0; 6]).unwrap();
         let rates = GammaRates::standard(0.6).unwrap();
         let mut reference: Option<f64> = None;
-        for kernel in [KernelKind::Scalar, KernelKind::Vector] {
+        let kinds = [KernelKind::Scalar, KernelKind::Vector, KernelKind::Wide4, KernelKind::Wide8];
+        for kernel in kinds {
             for scaling in [ScalingCheck::FloatCompare, ScalingCheck::IntegerCast] {
                 let cfg = LikelihoodConfig { kernel, scaling, ..LikelihoodConfig::optimized() };
                 let mut engine = LikelihoodEngine::new(&w.alignment, model.clone(), rates.clone(), cfg);
                 let lnl = engine.log_likelihood(&tree);
                 let r = *reference.get_or_insert(lnl);
-                prop_assert!((lnl - r).abs() < 1e-10, "{:?}/{:?}: {} vs {}", kernel, scaling, lnl, r);
+                prop_assert_eq!(lnl.to_bits(), r.to_bits(),
+                    "{:?}/{:?}: {} vs {}", kernel, scaling, lnl, r);
             }
+        }
+    }
+
+    /// Direct kernel-level bit-equality over random partials, P matrices
+    /// and tip codes — including patterns driven below the underflow
+    /// threshold so the §5.2.3 rescaling conditional fires on a random
+    /// subset of lanes. Outputs, per-pattern scale counts and the
+    /// `ScaleStats` instrumentation must all be identical across kernel
+    /// widths, for all three child-case pairings.
+    #[test]
+    fn wide_kernels_bit_equal_on_random_partials(
+        seed in 0u64..150,
+        n_patterns in 1usize..40,
+        n_rates in 1usize..5,
+        tiny_mask in 0u64..256,
+    ) {
+        use phylo::likelihood::kernels::{
+            build_tip_tables, evaluate_lnl, newview, tile_partials, tiled_len, Child, EvalOperand,
+            Mat4,
+        };
+        use phylo::likelihood::SCALE_THRESHOLD;
+        use rand::Rng;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stride = n_rates * 4;
+        let mut arb_pmats = |n: usize| -> Vec<Mat4> {
+            (0..n)
+                .map(|_| {
+                    let mut m = [[0.0f64; 4]; 4];
+                    for row in &mut m {
+                        for v in row.iter_mut() {
+                            *v = rng.gen_range(0.05..1.0);
+                        }
+                    }
+                    m
+                })
+                .collect()
+        };
+        let pmats_l = arb_pmats(n_rates);
+        let pmats_r = arb_pmats(n_rates);
+        let tables_l = build_tip_tables(&pmats_l);
+        let tables_r = build_tip_tables(&pmats_r);
+        let codes_l: Vec<u8> = (0..n_patterns).map(|_| rng.gen_range(1u8..16)).collect();
+        let codes_r: Vec<u8> = (0..n_patterns).map(|_| rng.gen_range(1u8..16)).collect();
+        // Patterns whose bit is set in `tiny_mask` (cycled over blocks of 8)
+        // get partials near the scaling threshold in BOTH children, so their
+        // newview products underflow and the rescale fires mid-block.
+        let mut arb_partials = || -> Vec<f64> {
+            (0..n_patterns * stride)
+                .map(|j| {
+                    let pattern = j / stride;
+                    let v: f64 = rng.gen_range(0.05..1.0);
+                    if (tiny_mask >> (pattern % 8)) & 1 == 1 { v * SCALE_THRESHOLD } else { v }
+                })
+                .collect()
+        };
+        let xl = tile_partials(&arb_partials(), n_patterns, n_rates);
+        let xr = tile_partials(&arb_partials(), n_patterns, n_rates);
+        let sl: Vec<u32> = (0..n_patterns).map(|_| rng.gen_range(0u32..3)).collect();
+        let sr: Vec<u32> = (0..n_patterns).map(|_| rng.gen_range(0u32..3)).collect();
+        let weights: Vec<f64> = (0..n_patterns).map(|_| rng.gen_range(1.0..4.0)).collect();
+        let freqs = [0.3, 0.2, 0.25, 0.25];
+
+        let cases = [
+            (
+                Child::Tip { codes: &codes_l, tables: &tables_l },
+                Child::Tip { codes: &codes_r, tables: &tables_r },
+            ),
+            (
+                Child::Tip { codes: &codes_l, tables: &tables_l },
+                Child::Inner { x: &xr, scale: &sr, pmats: &pmats_r },
+            ),
+            (
+                Child::Inner { x: &xl, scale: &sl, pmats: &pmats_l },
+                Child::Inner { x: &xr, scale: &sr, pmats: &pmats_r },
+            ),
+        ];
+        let wide = [KernelKind::Vector, KernelKind::Wide4, KernelKind::Wide8];
+        for (l, r) in &cases {
+            for scaling in [ScalingCheck::FloatCompare, ScalingCheck::IntegerCast] {
+                let mut ref_x = vec![0.0; tiled_len(n_patterns, n_rates)];
+                let mut ref_s = vec![0u32; n_patterns];
+                let ref_stats =
+                    newview(l, r, &mut ref_x, &mut ref_s, n_rates, KernelKind::Scalar, scaling);
+                for kind in wide {
+                    let mut x = vec![0.0; tiled_len(n_patterns, n_rates)];
+                    let mut s = vec![0u32; n_patterns];
+                    let stats = newview(l, r, &mut x, &mut s, n_rates, kind, scaling);
+                    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                    prop_assert_eq!(bits(&x), bits(&ref_x), "{:?}/{:?} partials", kind, scaling);
+                    prop_assert_eq!(&s, &ref_s, "{:?}/{:?} scale counts", kind, scaling);
+                    prop_assert_eq!(stats, ref_stats, "{:?}/{:?} ScaleStats", kind, scaling);
+                }
+            }
+        }
+
+        // Every pattern flagged tiny in both children must actually have
+        // fired the rescale in the inner/inner case — the proptest would be
+        // vacuous if the threshold never triggered.
+        let mut ref_x = vec![0.0; tiled_len(n_patterns, n_rates)];
+        let mut ref_s = vec![0u32; n_patterns];
+        let (l, r) = &cases[2];
+        newview(l, r, &mut ref_x, &mut ref_s, n_rates, KernelKind::Scalar, ScalingCheck::IntegerCast);
+        for (i, &s) in ref_s.iter().enumerate() {
+            if (tiny_mask >> (i % 8)) & 1 == 1 {
+                prop_assert!(s > sl[i] + sr[i], "pattern {} should have rescaled", i);
+            }
+        }
+
+        // `evaluate` is also bit-identical across kinds (the association is
+        // shared by construction; this pins it).
+        let u = EvalOperand::Inner { x: &xl, scale: &sl };
+        let v = EvalOperand::Inner { x: &xr, scale: &sr };
+        let lnl_ref =
+            evaluate_lnl(&u, &v, &pmats_l, &freqs, &weights, n_rates, KernelKind::Scalar);
+        for kind in wide {
+            let lnl = evaluate_lnl(&u, &v, &pmats_l, &freqs, &weights, n_rates, kind);
+            prop_assert_eq!(lnl.to_bits(), lnl_ref.to_bits(), "{:?} evaluate", kind);
         }
     }
 }

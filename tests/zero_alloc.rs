@@ -74,29 +74,41 @@ fn steady_state_hot_path_does_not_touch_the_heap() {
 
     let mut rng = StdRng::seed_from_u64(9);
     let mut tree = Tree::random(12, 0.15, &mut rng).unwrap();
-    // `tree.edges()` allocates; collect once outside the measured region.
-    let edges = tree.edges();
+    // `tree.edges()` allocates; collect outside the measured region (and
+    // refresh after warm-up — its NNI round can rearrange the topology).
+    // The NNI round reuses a caller-owned edge buffer the same way.
+    let mut edges = tree.edges();
+    let mut nni_scratch: Vec<phylo::tree::Edge> = Vec::new();
 
-    // One full cycle of everything the search's inner loop does.
-    let cycle = |engine: &mut LikelihoodEngine<'_>, tree: &mut Tree| -> f64 {
+    // One full cycle of everything the search's inner loop does, including
+    // a whole in-place NNI round (apply, score, revert, targeted cache
+    // invalidation — no tree clones, no cache rebuild).
+    let cycle = |engine: &mut LikelihoodEngine<'_>,
+                 tree: &mut Tree,
+                 edges: &[(usize, usize)],
+                 scratch: &mut Vec<_>|
+     -> f64 {
         engine.invalidate_all();
         let mut acc = 0.0;
-        for &edge in &edges {
+        for &edge in edges {
             acc += engine.log_likelihood_at(tree, edge);
         }
-        for &edge in &edges {
+        for &edge in edges {
             let (_, lnl) = engine.optimize_branch_with_iters(tree, edge, 4);
             acc += lnl;
         }
+        acc +=
+            phylo::search::nni::nni_round_with_scratch(engine, tree, 1e-4, scratch).log_likelihood;
         acc
     };
 
     // Warm-up: every arena reaches its steady-state capacity here.
-    let warm = cycle(&mut engine, &mut tree);
+    let warm = cycle(&mut engine, &mut tree, &edges.clone(), &mut nni_scratch);
     assert!(warm.is_finite());
+    tree.edges_into(&mut edges);
 
     let before = heap_counters();
-    let measured = cycle(&mut engine, &mut tree);
+    let measured = cycle(&mut engine, &mut tree, &edges, &mut nni_scratch);
     let after = heap_counters();
     black_box(measured);
 
